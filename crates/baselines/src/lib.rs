@@ -1,0 +1,37 @@
+//! Baseline replication protocols the paper compares against (§3, §6).
+//!
+//! - [`masking`]: a Byzantine **masking-quorum** register in the style of
+//!   Malkhi–Reiter / Phalanx: read and write quorums of `⌈(n+2b+1)/2⌉`
+//!   servers, a read accepting a value vouched for by `b+1` servers.
+//!   Provides safe-register semantics (strong consistency for a single
+//!   writer) at the cost of larger quorums and per-response signature
+//!   verification.
+//! - [`pbft`]: **PBFT-lite**, the normal-case three-phase protocol of
+//!   Castro–Liskov's Practical Byzantine Fault Tolerance: pre-prepare /
+//!   prepare / commit with HMAC authenticators, `O(n²)` messages per
+//!   operation, linearizable. View changes and checkpoints are out of
+//!   scope — §6's comparison is about common-case message complexity, and
+//!   a crashed primary is reported as unavailability.
+//!
+//! Both run on the same deterministic simulator as the secure store, with
+//! the same message/crypto accounting, so the benchmark harness can put
+//! all three systems side by side (experiment T4/F4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod masking;
+pub mod pbft;
+
+use sstore_simnet::SimTime;
+
+/// Outcome of one baseline operation, with its latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineResult {
+    /// Whether the operation completed.
+    pub ok: bool,
+    /// Value returned by reads.
+    pub value: Option<Vec<u8>>,
+    /// End-to-end latency.
+    pub latency: SimTime,
+}

@@ -1,0 +1,709 @@
+//! PBFT-lite: the normal-case three-phase protocol of Castro–Liskov.
+//!
+//! `n = 3f+1` replicas; replica 0 is the (fixed) primary. A client request
+//! flows REQUEST → PRE-PREPARE → PREPARE → COMMIT → REPLY, with HMAC
+//! authenticators on every message — the cheap-MACs/many-messages point in
+//! the paper's §6 comparison: roughly `2n² + 2n + 1` messages per
+//! operation versus the secure store's `b+1`.
+//!
+//! View changes, checkpoints and batching are out of scope: the comparison
+//! is about common-case complexity, and a crashed primary surfaces as
+//! unavailability.
+
+use std::collections::{HashMap, HashSet};
+
+use sstore_core::metrics::CryptoCounters;
+use sstore_core::types::{DataId, OpId};
+use sstore_crypto::hmac::hmac_sha256;
+use sstore_crypto::sha256::{digest_parts, Digest};
+use sstore_simnet::{Actor, Context, Message, NodeId, SimConfig, SimTime, Simulation};
+
+use crate::BaselineResult;
+
+/// A state-machine command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Store `value` under `data`.
+    Put {
+        /// Target item.
+        data: DataId,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Fetch the value under `data`.
+    Get {
+        /// Target item.
+        data: DataId,
+    },
+}
+
+impl Command {
+    fn digest(&self, op: OpId) -> Digest {
+        match self {
+            Command::Put { data, value } => digest_parts([
+                b"put".as_slice(),
+                &op.0.to_be_bytes(),
+                &data.0.to_be_bytes(),
+                value,
+            ]),
+            Command::Get { data } => {
+                digest_parts([b"get".as_slice(), &op.0.to_be_bytes(), &data.0.to_be_bytes()])
+            }
+        }
+    }
+}
+
+/// PBFT-lite wire messages. Every message carries an HMAC authenticator
+/// computed over its digest with a pairwise key.
+#[derive(Debug, Clone)]
+pub enum PbftMsg {
+    /// Client request to the primary.
+    Request {
+        /// Client-chosen operation id.
+        op: OpId,
+        /// The command.
+        cmd: Command,
+        /// Authenticator.
+        mac: Digest,
+    },
+    /// Primary assigns a sequence number.
+    PrePrepare {
+        /// Sequence number.
+        seq: u64,
+        /// Operation id (reply routing).
+        op: OpId,
+        /// The command.
+        cmd: Command,
+        /// Command digest.
+        digest: Digest,
+        /// Authenticator.
+        mac: Digest,
+    },
+    /// Replica agrees with the assignment.
+    Prepare {
+        /// Sequence number.
+        seq: u64,
+        /// Command digest.
+        digest: Digest,
+        /// Sender replica index.
+        replica: u16,
+        /// Authenticator.
+        mac: Digest,
+    },
+    /// Replica commits.
+    Commit {
+        /// Sequence number.
+        seq: u64,
+        /// Command digest.
+        digest: Digest,
+        /// Sender replica index.
+        replica: u16,
+        /// Authenticator.
+        mac: Digest,
+    },
+    /// Execution result back to the client.
+    Reply {
+        /// Echoed operation id.
+        op: OpId,
+        /// Result bytes (empty for Put).
+        result: Option<Vec<u8>>,
+        /// Sender replica index.
+        replica: u16,
+        /// Authenticator.
+        mac: Digest,
+    },
+}
+
+impl Message for PbftMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            PbftMsg::Request { .. } => "pbft-request",
+            PbftMsg::PrePrepare { .. } => "pbft-pre-prepare",
+            PbftMsg::Prepare { .. } => "pbft-prepare",
+            PbftMsg::Commit { .. } => "pbft-commit",
+            PbftMsg::Reply { .. } => "pbft-reply",
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        let payload = match self {
+            PbftMsg::Request { cmd, .. } | PbftMsg::PrePrepare { cmd, .. } => match cmd {
+                Command::Put { value, .. } => 16 + value.len(),
+                Command::Get { .. } => 16,
+            },
+            PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => 16,
+            PbftMsg::Reply { result, .. } => 8 + result.as_ref().map_or(0, Vec::len),
+        };
+        payload + 32 /* digest */ + 32 /* mac */ + 16
+    }
+}
+
+/// Derives the pairwise MAC key for nodes `(a, b)` (order-independent).
+fn pair_key(a: usize, b: usize) -> [u8; 8] {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let mut k = [0u8; 8];
+    k[..4].copy_from_slice(&(lo as u32).to_be_bytes());
+    k[4..].copy_from_slice(&(hi as u32).to_be_bytes());
+    k
+}
+
+fn mac_for(from: usize, to: usize, digest: &Digest, counters: &mut CryptoCounters) -> Digest {
+    counters.count_mac();
+    hmac_sha256(&pair_key(from, to), digest.as_bytes())
+}
+
+fn check_mac(
+    from: usize,
+    to: usize,
+    digest: &Digest,
+    mac: &Digest,
+    counters: &mut CryptoCounters,
+) -> bool {
+    counters.count_mac();
+    &hmac_sha256(&pair_key(from, to), digest.as_bytes()) == mac
+}
+
+#[derive(Debug, Default)]
+struct SlotState {
+    digest: Option<Digest>,
+    op: Option<OpId>,
+    cmd: Option<Command>,
+    /// Replicas whose prepare-phase vote we hold (the primary's
+    /// pre-prepare counts as its vote, and a replica's own vote counts
+    /// once broadcast).
+    prepares: HashSet<u16>,
+    commits: HashSet<u16>,
+    commit_sent: bool,
+    executed: bool,
+}
+
+/// A PBFT-lite replica.
+pub struct PbftReplica {
+    index: usize,
+    n: usize,
+    f: usize,
+    client_node: NodeId,
+    store: HashMap<DataId, Vec<u8>>,
+    slots: HashMap<u64, SlotState>,
+    next_seq: u64,
+    exec_cursor: u64,
+    counters: CryptoCounters,
+    crashed: bool,
+}
+
+impl PbftReplica {
+    /// Creates replica `index` of `n = 3f+1`.
+    pub fn new(index: usize, n: usize, f: usize, client_node: NodeId) -> Self {
+        PbftReplica {
+            index,
+            n,
+            f,
+            client_node,
+            store: HashMap::new(),
+            slots: HashMap::new(),
+            next_seq: 1,
+            exec_cursor: 1,
+            counters: CryptoCounters::new(),
+            crashed: false,
+        }
+    }
+
+    /// Marks the replica crashed.
+    pub fn crash(&mut self) {
+        self.crashed = true;
+    }
+
+    /// Crypto counters.
+    pub fn counters(&self) -> CryptoCounters {
+        self.counters
+    }
+
+    fn is_primary(&self) -> bool {
+        self.index == 0
+    }
+
+    fn broadcast(
+        &mut self,
+        ctx: &mut Context<'_, PbftMsg>,
+        make: impl Fn(&mut CryptoCounters, usize) -> PbftMsg,
+    ) {
+        for peer in 0..self.n {
+            if peer == self.index {
+                continue;
+            }
+            let msg = make(&mut self.counters, peer);
+            ctx.send(NodeId(peer), msg);
+        }
+    }
+
+    /// Broadcasts our commit once the prepare quorum (2f+1 votes,
+    /// pre-prepare included) is reached.
+    fn maybe_commit(&mut self, seq: u64, ctx: &mut Context<'_, PbftMsg>) {
+        let quorum = 2 * self.f + 1;
+        let own = self.index as u16;
+        let Some(slot) = self.slots.get_mut(&seq) else {
+            return;
+        };
+        let Some(digest) = slot.digest else {
+            return;
+        };
+        if slot.commit_sent || slot.prepares.len() < quorum {
+            return;
+        }
+        slot.commit_sent = true;
+        slot.commits.insert(own);
+        let index = self.index;
+        self.broadcast(ctx, |counters, peer| {
+            let mac = mac_for(index, peer, &digest, counters);
+            PbftMsg::Commit {
+                seq,
+                digest,
+                replica: own,
+                mac,
+            }
+        });
+    }
+
+    fn try_execute(&mut self, ctx: &mut Context<'_, PbftMsg>) {
+        // Execute committed slots in order.
+        while let Some(slot) = self.slots.get(&self.exec_cursor) {
+            let quorum = 2 * self.f + 1;
+            // Committed-local: 2f+1 commit votes and prepared.
+            if slot.executed
+                || slot.commits.len() < quorum
+                || slot.prepares.len() < quorum
+                || slot.cmd.is_none()
+            {
+                break;
+            }
+            let seq = self.exec_cursor;
+            let (op, cmd) = {
+                let slot = self.slots.get_mut(&seq).expect("slot exists");
+                slot.executed = true;
+                (slot.op.expect("op set"), slot.cmd.clone().expect("cmd set"))
+            };
+            let result = match cmd {
+                Command::Put { data, value } => {
+                    self.store.insert(data, value);
+                    None
+                }
+                Command::Get { data } => Some(self.store.get(&data).cloned().unwrap_or_default()),
+            };
+            let reply_digest = digest_parts([
+                b"reply".as_slice(),
+                &op.0.to_be_bytes(),
+                result.as_deref().unwrap_or(&[]),
+            ]);
+            let mac = mac_for(
+                self.index,
+                self.client_node.0,
+                &reply_digest,
+                &mut self.counters,
+            );
+            ctx.send(
+                self.client_node,
+                PbftMsg::Reply {
+                    op,
+                    result,
+                    replica: self.index as u16,
+                    mac,
+                },
+            );
+            self.exec_cursor += 1;
+        }
+    }
+}
+
+impl Actor<PbftMsg> for PbftReplica {
+    fn on_message(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Context<'_, PbftMsg>) {
+        if self.crashed {
+            return;
+        }
+        match msg {
+            PbftMsg::Request { op, cmd, mac } => {
+                if !self.is_primary() {
+                    return; // fixed-primary variant
+                }
+                let d = cmd.digest(op);
+                if !check_mac(from.0, self.index, &d, &mac, &mut self.counters) {
+                    return;
+                }
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let index = self.index as u16;
+                let slot = self.slots.entry(seq).or_default();
+                slot.digest = Some(d);
+                slot.op = Some(op);
+                slot.cmd = Some(cmd.clone());
+                slot.prepares.insert(index); // the pre-prepare is our vote
+                let index = self.index;
+                self.broadcast(ctx, |counters, peer| {
+                    let mac = mac_for(index, peer, &d, counters);
+                    PbftMsg::PrePrepare {
+                        seq,
+                        op,
+                        cmd: cmd.clone(),
+                        digest: d,
+                        mac,
+                    }
+                });
+                self.maybe_commit(seq, ctx);
+                self.try_execute(ctx);
+            }
+            PbftMsg::PrePrepare {
+                seq,
+                op,
+                cmd,
+                digest,
+                mac,
+            } => {
+                if self.is_primary() || from != NodeId(0) {
+                    return;
+                }
+                if !check_mac(from.0, self.index, &digest, &mac, &mut self.counters) {
+                    return;
+                }
+                if cmd.digest(op) != digest {
+                    return; // primary equivocation
+                }
+                let own = self.index as u16;
+                let slot = self.slots.entry(seq).or_default();
+                if slot.digest.is_some() {
+                    return; // duplicate pre-prepare
+                }
+                slot.digest = Some(digest);
+                slot.op = Some(op);
+                slot.cmd = Some(cmd);
+                slot.prepares.insert(0); // the primary's vote
+                slot.prepares.insert(own); // our vote, broadcast below
+                let index = self.index;
+                self.broadcast(ctx, |counters, peer| {
+                    let mac = mac_for(index, peer, &digest, counters);
+                    PbftMsg::Prepare {
+                        seq,
+                        digest,
+                        replica: index as u16,
+                        mac,
+                    }
+                });
+                self.maybe_commit(seq, ctx);
+                self.try_execute(ctx);
+            }
+            PbftMsg::Prepare {
+                seq,
+                digest,
+                replica,
+                mac,
+            } => {
+                if !check_mac(from.0, self.index, &digest, &mac, &mut self.counters) {
+                    return;
+                }
+                let slot = self.slots.entry(seq).or_default();
+                if slot.digest.is_some_and(|d| d != digest) {
+                    return;
+                }
+                slot.prepares.insert(replica);
+                self.maybe_commit(seq, ctx);
+                self.try_execute(ctx);
+            }
+            PbftMsg::Commit {
+                seq,
+                digest,
+                replica,
+                mac,
+            } => {
+                if !check_mac(from.0, self.index, &digest, &mac, &mut self.counters) {
+                    return;
+                }
+                let slot = self.slots.entry(seq).or_default();
+                if slot.digest.is_some_and(|d| d != digest) {
+                    return;
+                }
+                slot.commits.insert(replica);
+                self.try_execute(ctx);
+            }
+            PbftMsg::Reply { .. } => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// The PBFT-lite client.
+pub struct PbftClient {
+    node: NodeId,
+    f: usize,
+    counters: CryptoCounters,
+    inflight: Option<OpId>,
+    replies: HashMap<u16, Option<Vec<u8>>>,
+    result: Option<BaselineResult>,
+    next_op: u64,
+}
+
+impl PbftClient {
+    fn new(node: NodeId, f: usize) -> Self {
+        PbftClient {
+            node,
+            f,
+            counters: CryptoCounters::new(),
+            inflight: None,
+            replies: HashMap::new(),
+            result: None,
+            next_op: 1,
+        }
+    }
+}
+
+impl Actor<PbftMsg> for PbftClient {
+    fn on_message(&mut self, from: NodeId, msg: PbftMsg, _ctx: &mut Context<'_, PbftMsg>) {
+        let PbftMsg::Reply {
+            op,
+            result,
+            replica,
+            mac,
+        } = msg
+        else {
+            return;
+        };
+        if self.inflight != Some(op) {
+            return;
+        }
+        let reply_digest = digest_parts([
+            b"reply".as_slice(),
+            &op.0.to_be_bytes(),
+            result.as_deref().unwrap_or(&[]),
+        ]);
+        if !check_mac(from.0, self.node.0, &reply_digest, &mac, &mut self.counters) {
+            return;
+        }
+        self.replies.insert(replica, result);
+        // f+1 matching replies suffice.
+        let mut tally: Vec<(&Option<Vec<u8>>, usize)> = Vec::new();
+        for r in self.replies.values() {
+            match tally.iter_mut().find(|(v, _)| *v == r) {
+                Some((_, c)) => *c += 1,
+                None => tally.push((r, 1)),
+            }
+        }
+        if let Some((value, _)) = tally.into_iter().find(|(_, c)| *c >= self.f + 1) {
+            self.result = Some(BaselineResult {
+                ok: true,
+                value: value.clone(),
+                latency: SimTime::ZERO,
+            });
+            self.inflight = None;
+            self.replies.clear();
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// A simulated PBFT-lite cluster with a synchronous-style driver.
+pub struct PbftCluster {
+    /// The underlying simulation.
+    pub sim: Simulation<PbftMsg>,
+    n: usize,
+    client_node: NodeId,
+}
+
+impl PbftCluster {
+    /// Builds `n = 3f+1` replicas plus one client.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n == 3f+1`.
+    pub fn new(f: usize, config: SimConfig) -> Self {
+        let n = 3 * f + 1;
+        let mut sim = Simulation::new(config);
+        let client_node = NodeId(n);
+        for i in 0..n {
+            sim.add_node(PbftReplica::new(i, n, f, client_node));
+        }
+        let real_client = sim.add_node(PbftClient::new(client_node, f));
+        assert_eq!(real_client, client_node);
+        PbftCluster {
+            sim,
+            n,
+            client_node,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Crashes replica `i` (crashing 0 kills the fixed primary).
+    pub fn crash_replica(&mut self, i: usize) {
+        self.sim.with_node(NodeId(i), |a| {
+            a.as_any_mut()
+                .and_then(|x| x.downcast_mut::<PbftReplica>())
+                .expect("replica")
+                .crash();
+        });
+    }
+
+    fn with_client<R>(&mut self, g: impl FnOnce(&mut PbftClient) -> R) -> R {
+        self.sim.with_node(self.client_node, |a| {
+            g(a.as_any_mut()
+                .and_then(|x| x.downcast_mut::<PbftClient>())
+                .expect("client"))
+        })
+    }
+
+    /// Executes one command through consensus; runs until a reply quorum or
+    /// the timeout.
+    pub fn execute(&mut self, cmd: Command) -> BaselineResult {
+        let started = self.sim.now();
+        let client_node = self.client_node;
+        let (op, msg) = self.with_client(|c| {
+            let op = OpId(c.next_op);
+            c.next_op += 1;
+            c.inflight = Some(op);
+            c.result = None;
+            c.replies.clear();
+            let d = cmd.digest(op);
+            let mac = mac_for(client_node.0, 0, &d, &mut c.counters);
+            (op, PbftMsg::Request { op, cmd, mac })
+        });
+        let _ = op;
+        self.sim.post(client_node, NodeId(0), msg);
+        let deadline = started + SimTime::from_secs(5);
+        loop {
+            if let Some(mut r) = self.with_client(|c| c.result.take()) {
+                r.latency = self.sim.now().saturating_sub(started);
+                return r;
+            }
+            if self.sim.now() >= deadline {
+                self.with_client(|c| c.inflight = None);
+                return BaselineResult {
+                    ok: false,
+                    value: None,
+                    latency: self.sim.now().saturating_sub(started),
+                };
+            }
+            if !self.sim.step() {
+                // No more events: the op cannot complete (crashed quorum).
+                self.sim.run_until(deadline);
+            }
+        }
+    }
+
+    /// Put convenience wrapper.
+    pub fn put(&mut self, data: DataId, value: &[u8]) -> BaselineResult {
+        self.execute(Command::Put {
+            data,
+            value: value.to_vec(),
+        })
+    }
+
+    /// Get convenience wrapper.
+    pub fn get(&mut self, data: DataId) -> BaselineResult {
+        self.execute(Command::Get { data })
+    }
+
+    /// Sum of replica crypto counters.
+    pub fn replica_counters(&mut self) -> CryptoCounters {
+        let mut total = CryptoCounters::new();
+        for i in 0..self.n {
+            total = total.merged(self.sim.with_node(NodeId(i), |a| {
+                a.as_any_mut()
+                    .and_then(|x| x.downcast_mut::<PbftReplica>())
+                    .expect("replica")
+                    .counters()
+            }));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(f: usize, seed: u64) -> PbftCluster {
+        PbftCluster::new(f, SimConfig::lan(seed))
+    }
+
+    #[test]
+    fn put_then_get() {
+        let mut c = cluster(1, 1);
+        assert!(c.put(DataId(1), b"linearizable").ok);
+        let r = c.get(DataId(1));
+        assert!(r.ok);
+        assert_eq!(r.value.unwrap(), b"linearizable");
+    }
+
+    #[test]
+    fn get_of_missing_returns_empty() {
+        let mut c = cluster(1, 2);
+        let r = c.get(DataId(7));
+        assert!(r.ok);
+        assert_eq!(r.value.unwrap(), b"");
+    }
+
+    #[test]
+    fn sequential_ops_ordered() {
+        let mut c = cluster(1, 3);
+        c.put(DataId(1), b"a");
+        c.put(DataId(1), b"b");
+        c.put(DataId(2), b"c");
+        assert_eq!(c.get(DataId(1)).value.unwrap(), b"b");
+        assert_eq!(c.get(DataId(2)).value.unwrap(), b"c");
+    }
+
+    #[test]
+    fn message_complexity_is_quadratic() {
+        let mut c = cluster(1, 4);
+        let n = c.n() as u64;
+        c.put(DataId(1), b"v");
+        let s = c.sim.stats();
+        // 1 request + (n-1) pre-prepares + (n-1)^2 prepares + n(n-1)
+        // commits + n replies.
+        assert_eq!(s.sent_by_kind("pbft-request"), 1);
+        assert_eq!(s.sent_by_kind("pbft-pre-prepare"), n - 1);
+        assert_eq!(s.sent_by_kind("pbft-prepare"), (n - 1) * (n - 1));
+        assert_eq!(s.sent_by_kind("pbft-commit"), n * (n - 1));
+        assert_eq!(s.sent_by_kind("pbft-reply"), n);
+        let total = s.total_messages;
+        assert!(total >= 2 * n * n - 2 * n, "O(n^2): got {total}");
+    }
+
+    #[test]
+    fn tolerates_f_backup_crashes() {
+        let mut c = cluster(1, 5);
+        c.crash_replica(3);
+        assert!(c.put(DataId(1), b"v").ok);
+        assert_eq!(c.get(DataId(1)).value.unwrap(), b"v");
+    }
+
+    #[test]
+    fn primary_crash_means_unavailable() {
+        let mut c = cluster(1, 6);
+        c.crash_replica(0);
+        let r = c.put(DataId(1), b"v");
+        assert!(!r.ok, "fixed-primary variant cannot make progress");
+    }
+
+    #[test]
+    fn macs_are_counted() {
+        let mut c = cluster(1, 7);
+        c.put(DataId(1), b"v");
+        assert!(c.replica_counters().macs > 0);
+        // No signatures anywhere in PBFT-lite.
+        assert_eq!(c.replica_counters().signs, 0);
+    }
+
+    #[test]
+    fn f2_configuration_works() {
+        let mut c = cluster(2, 8);
+        assert_eq!(c.n(), 7);
+        assert!(c.put(DataId(1), b"seven replicas").ok);
+        assert_eq!(c.get(DataId(1)).value.unwrap(), b"seven replicas");
+    }
+}

@@ -1,0 +1,96 @@
+//! F3: cryptographic-primitive micro-benchmarks.
+//!
+//! Grounds the paper's §6 cost discussion: signatures dominate protocol
+//! CPU cost, MACs (PBFT's tool) are orders of magnitude cheaper, digests
+//! sit in between. Run with `cargo bench --bench crypto_ops`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sstore_crypto::cipher::SealKey;
+use sstore_crypto::hmac::hmac_sha256;
+use sstore_crypto::schnorr::{SchnorrParams, SigningKey};
+use sstore_crypto::sha256::digest;
+use sstore_crypto::{ida, shamir};
+
+fn bench_digest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024, 64 * 1024] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| digest(data));
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hmac_sha256");
+    for size in [64usize, 1024] {
+        let data = vec![0xcdu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| hmac_sha256(b"pairwise key", data));
+        });
+    }
+    g.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schnorr");
+    for (label, params) in [
+        ("micro-128", SchnorrParams::micro()),
+        ("toy-256", SchnorrParams::toy()),
+    ] {
+        let key = SigningKey::from_seed(&params, 1);
+        let msg = vec![0x11u8; 256];
+        let sig = key.sign(&msg);
+        g.bench_function(BenchmarkId::new("sign", label), |b| {
+            b.iter(|| key.sign(&msg));
+        });
+        g.bench_function(BenchmarkId::new("verify", label), |b| {
+            b.iter(|| key.verifying_key().verify(&msg, &sig).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_seal(c: &mut Criterion) {
+    let key = SealKey::derive(b"master", b"bench");
+    let value = vec![0x5au8; 1024];
+    let sealed = key.seal(&value, 1);
+    let mut g = c.benchmark_group("value_cipher_1k");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("seal", |b| b.iter(|| key.seal(&value, 1)));
+    g.bench_function("open", |b| b.iter(|| key.open(&sealed).unwrap()));
+    g.finish();
+}
+
+fn bench_fragmentation(c: &mut Criterion) {
+    let value = vec![0x77u8; 1024];
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let shares = shamir::split(&value, 3, 7, &mut rng).unwrap();
+    let frags = ida::disperse(&value, 3, 7).unwrap();
+    let mut g = c.benchmark_group("fragmentation_1k_3of7");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("shamir_split", |b| {
+        b.iter(|| shamir::split(&value, 3, 7, &mut rng).unwrap())
+    });
+    g.bench_function("shamir_reconstruct", |b| {
+        b.iter(|| shamir::reconstruct(&shares[..3], 3).unwrap())
+    });
+    g.bench_function("ida_disperse", |b| {
+        b.iter(|| ida::disperse(&value, 3, 7).unwrap())
+    });
+    g.bench_function("ida_reconstruct", |b| {
+        b.iter(|| ida::reconstruct(&frags[..3], 3).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_digest, bench_hmac, bench_schnorr, bench_seal, bench_fragmentation
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! `cargo bench` entry point that regenerates every evaluation table
+//! (T1–T4, F1–F7). Criterion micro-benches live in `crypto_ops` and
+//! `protocol_fastpath`; this harness prints the paper-reproduction tables.
+
+fn main() {
+    // Criterion passes --bench/--test flags; we ignore all arguments.
+    for table in sstore_bench::experiments::run_all() {
+        table.print();
+    }
+}

@@ -1,0 +1,119 @@
+//! Protocol fast-path micro-benchmarks: whole client operations measured
+//! end-to-end inside the simulator (LAN, fault-free), plus core data
+//! structure hot paths (context merge, canonical encoding, quorum math).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sstore_core::client::ClientOp;
+use sstore_core::config::{GossipConfig, ServerConfig};
+use sstore_core::context::Context;
+use sstore_core::encoding::Enc;
+use sstore_core::sim::{ClusterBuilder, Step};
+use sstore_core::types::{Consistency, DataId, GroupId, Timestamp};
+
+const G: GroupId = GroupId(1);
+
+fn quiet() -> ServerConfig {
+    let mut cfg = ServerConfig::default();
+    cfg.gossip = GossipConfig {
+        enabled: false,
+        ..GossipConfig::default()
+    };
+    cfg
+}
+
+/// One full session (connect, write, read, disconnect) in the simulator.
+fn bench_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_roundtrip");
+    g.sample_size(10);
+    for (n, b) in [(4usize, 1usize), (7, 2)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_b{b}")),
+            &(n, b),
+            |bencher, &(n, b)| {
+                bencher.iter(|| {
+                    let mut cluster = ClusterBuilder::new(n, b)
+                        .seed(1)
+                        .server_config(quiet())
+                        .client(vec![
+                            Step::Do(ClientOp::Connect {
+                                group: G,
+                                recover: false,
+                            }),
+                            Step::Do(ClientOp::Write {
+                                data: DataId(1),
+                                group: G,
+                                consistency: Consistency::Mrc,
+                                value: vec![0xab; 64],
+                            }),
+                            Step::Do(ClientOp::Read {
+                                data: DataId(1),
+                                group: G,
+                                consistency: Consistency::Mrc,
+                            }),
+                            Step::Do(ClientOp::Disconnect { group: G }),
+                        ])
+                        .build();
+                    cluster.run_to_quiescence();
+                    assert!(cluster.client_results(0).iter().all(|r| r.outcome.is_ok()));
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn big_context(entries: u64) -> Context {
+    let mut ctx = Context::new(G);
+    for i in 0..entries {
+        ctx.observe(DataId(i), Timestamp::Version(i * 3 + 1));
+    }
+    ctx
+}
+
+fn bench_context_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context");
+    for size in [8u64, 64, 512] {
+        let a = big_context(size);
+        let mut b = big_context(size / 2);
+        for i in 0..size / 2 {
+            b.observe(DataId(i + size / 2), Timestamp::Version(i + 9));
+        }
+        g.bench_with_input(BenchmarkId::new("merge", size), &size, |bencher, _| {
+            bencher.iter(|| {
+                let mut m = a.clone();
+                m.merge(&b);
+                m
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("encode", size), &size, |bencher, _| {
+            bencher.iter(|| Enc::new().context(&a).finish());
+        });
+        g.bench_with_input(BenchmarkId::new("dominates", size), &size, |bencher, _| {
+            bencher.iter(|| a.dominates(&b));
+        });
+    }
+    g.finish();
+}
+
+fn bench_quorum_math(c: &mut Criterion) {
+    c.bench_function("quorum_sweep_n400", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for n in 4..400 {
+                for bb in 1..=(n - 1) / 3 {
+                    acc += sstore_core::quorum::context_quorum(n, bb);
+                    acc += sstore_core::quorum::masking_quorum(n, bb);
+                }
+            }
+            acc
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_session, bench_context_ops, bench_quorum_math
+}
+criterion_main!(benches);

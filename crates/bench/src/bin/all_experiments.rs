@@ -1,0 +1,13 @@
+//! Runs the complete experiment suite; `--markdown` emits EXPERIMENTS.md
+//! ready tables.
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    for table in sstore_bench::experiments::run_all() {
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            table.print();
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates experiment f2 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    let table = sstore_bench::experiments::f2_availability();
+    if std::env::args().any(|a| a == "--markdown") {
+        println!("{}", table.to_markdown());
+    } else {
+        table.print();
+    }
+}

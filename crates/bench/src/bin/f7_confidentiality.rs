@@ -1,0 +1,10 @@
+//! Regenerates experiment f7 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    let table = sstore_bench::experiments::f7_confidentiality();
+    if std::env::args().any(|a| a == "--markdown") {
+        println!("{}", table.to_markdown());
+    } else {
+        table.print();
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates ablation F8 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    let table = sstore_bench::experiments::f8_read_ablation();
+    if std::env::args().any(|a| a == "--markdown") {
+        println!("{}", table.to_markdown());
+    } else {
+        table.print();
+    }
+}

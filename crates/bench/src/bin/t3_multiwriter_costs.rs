@@ -1,0 +1,10 @@
+//! Regenerates experiment t3 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    let table = sstore_bench::experiments::t3_multi_writer_costs();
+    if std::env::args().any(|a| a == "--markdown") {
+        println!("{}", table.to_markdown());
+    } else {
+        table.print();
+    }
+}

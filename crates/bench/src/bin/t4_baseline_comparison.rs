@@ -1,0 +1,10 @@
+//! Regenerates experiment t4 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    let table = sstore_bench::experiments::t4_baseline_comparison();
+    if std::env::args().any(|a| a == "--markdown") {
+        println!("{}", table.to_markdown());
+    } else {
+        table.print();
+    }
+}

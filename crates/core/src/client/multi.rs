@@ -1,0 +1,447 @@
+//! Multi-writer data protocols hardened against malicious clients
+//! (paper §5.3).
+//!
+//! Timestamps become `(time, uid(C), d(v))` tuples; reads contact `2b+1`
+//! servers and accept a value only when `b+1` of them report it, masking
+//! servers that would report a write before its causal predecessors have
+//! arrived. Clients need not verify signatures on this path — non-malicious
+//! servers validate before reporting — but can be configured to.
+
+use std::collections::{HashMap, HashSet};
+
+use sstore_simnet::SimTime;
+
+use crate::client::{ClientCore, Op, OpCommon, OpKind, OpState, Outcome, Output};
+use crate::item::StoredItem;
+use crate::quorum;
+use crate::types::{Consistency, DataId, GroupId, OpId, ServerId, Timestamp, TsOrder};
+use crate::wire::Msg;
+use sstore_crypto::sha256::digest;
+
+impl ClientCore {
+    /// Starts a multi-writer write: `2b+1` servers, augmented timestamp.
+    pub(crate) fn begin_mw_write(
+        &mut self,
+        op_id: OpId,
+        data: DataId,
+        group: GroupId,
+        value: Vec<u8>,
+        now: SimTime,
+        offset: usize,
+    ) -> Output {
+        let mut out = Output::default();
+        // Lamport-style time: advance past everything this client has seen
+        // in the group, so causality is respected across writers.
+        let time = self
+            .context(group)
+            .iter()
+            .map(|(_, ts)| ts.time())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let ts = Timestamp::Multi {
+            time,
+            writer: self.id(),
+            digest: digest(&value),
+        };
+        self.ctx_mut(group).observe(data, ts);
+        let writer_ctx = Some(self.context(group));
+        let client = self.id();
+        let item = {
+            let (_, _, key, _, counters) = self.parts();
+            StoredItem::create(data, group, ts, client, writer_ctx, value, key, counters)
+        };
+        let needed = quorum::multi_writer_quorum(self.dir().b());
+        let mut common = OpCommon {
+            kind: OpKind::MwWrite,
+            group,
+            started: now,
+            round: 1,
+            contacted: HashSet::new(),
+            offset,
+            timer_epoch: 0,
+        };
+        let rotation = self.rotation(offset);
+        {
+            let item = &item;
+            Self::widen_contacts(
+                op_id,
+                &mut common,
+                &rotation,
+                self.target_count(needed, 1),
+                |op| Msg::WriteReq {
+                    op,
+                    item: item.clone(),
+                },
+                &mut out,
+            );
+        }
+        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        self.insert_op(
+            op_id,
+            Op {
+                common,
+                state: OpState::MwWrite {
+                    acks: HashSet::new(),
+                    needed,
+                    ts,
+                    item,
+                },
+            },
+        );
+        out
+    }
+
+    /// Starts a multi-writer read: version-list queries to `2b+1` servers.
+    pub(crate) fn begin_mw_read(
+        &mut self,
+        op_id: OpId,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+        now: SimTime,
+        offset: usize,
+    ) -> Output {
+        let mut out = Output::default();
+        let base = quorum::multi_writer_quorum(self.dir().b());
+        let mut common = OpCommon {
+            kind: OpKind::MwRead,
+            group,
+            started: now,
+            round: 1,
+            contacted: HashSet::new(),
+            offset,
+            timer_epoch: 0,
+        };
+        let rotation = self.rotation(offset);
+        Self::widen_contacts(
+            op_id,
+            &mut common,
+            &rotation,
+            self.target_count(base, 1),
+            |op| Msg::MwReadReq { op, data },
+            &mut out,
+        );
+        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        self.insert_op(
+            op_id,
+            Op {
+                common,
+                state: OpState::MwRead {
+                    data,
+                    consistency,
+                    responded: HashMap::new(),
+                    best_seen: None,
+                    awaiting_retry: false,
+                },
+            },
+        );
+        out
+    }
+
+    /// Handles a multi-writer write acknowledgement.
+    pub(crate) fn on_mw_write_ack(
+        &mut self,
+        op_id: OpId,
+        from: ServerId,
+        accepted: bool,
+        now: SimTime,
+    ) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        let OpState::MwWrite { acks, needed, ts, .. } = &mut op.state else {
+            self.insert_op(op_id, op);
+            return out;
+        };
+        if op.common.contacted.contains(&from) && accepted {
+            acks.insert(from);
+        }
+        if acks.len() >= *needed {
+            let ts = *ts;
+            Self::complete(op_id, op, Outcome::WriteOk { ts }, now, &mut out);
+        } else {
+            self.insert_op(op_id, op);
+        }
+        out
+    }
+
+    /// Handles a multi-writer version-list response.
+    pub(crate) fn on_mw_read_resp(
+        &mut self,
+        op_id: OpId,
+        from: ServerId,
+        versions: Vec<StoredItem>,
+        now: SimTime,
+    ) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        let OpState::MwRead {
+            responded,
+            awaiting_retry,
+            ..
+        } = &mut op.state
+        else {
+            self.insert_op(op_id, op);
+            return out;
+        };
+        if *awaiting_retry
+            || !op.common.contacted.contains(&from)
+            || responded.contains_key(&from)
+        {
+            self.insert_op(op_id, op);
+            return out;
+        }
+        responded.insert(from, versions);
+        if responded.len() >= op.common.contacted.len() {
+            self.evaluate_mw_read(op_id, op, now, &mut out);
+        } else {
+            self.insert_op(op_id, op);
+        }
+        out
+    }
+
+    /// The acceptance rule of paper §5.3: a value counts only when `b+1`
+    /// servers report it, and the newest acceptable value wins. Pairs of
+    /// reported timestamps with equal `(time, writer)` but different
+    /// digests expose a faulty writer.
+    fn evaluate_mw_read(&mut self, op_id: OpId, mut op: Op, now: SimTime, out: &mut Output) {
+        let OpState::MwRead {
+            data,
+            consistency,
+            responded,
+            best_seen,
+            ..
+        } = &mut op.state
+        else {
+            unreachable!("evaluate_mw_read on wrong state");
+        };
+        let data = *data;
+        let consistency = *consistency;
+        let group = op.common.group;
+        let ctx_ts = self.context(group).timestamp(data);
+
+        // Tally identical versions across servers.
+        struct Bucket {
+            item: StoredItem,
+            holders: HashSet<ServerId>,
+        }
+        let mut buckets: Vec<Bucket> = Vec::new();
+        let mut faulty_writer = false;
+        let mut digest_checks = 0u64;
+        for (&server, versions) in responded.iter() {
+            for item in versions {
+                if item.meta.data != data {
+                    continue;
+                }
+                // The multi-writer timestamp binds the value: `d(v)` is a
+                // component of the timestamp itself (paper §5.3). A copy
+                // whose bytes do not hash to the timestamp's digest is a
+                // server-side corruption and cannot vouch for anything.
+                if let Timestamp::Multi { digest: d, .. } = item.meta.ts {
+                    digest_checks += 1;
+                    if digest(&item.value) != d {
+                        continue;
+                    }
+                }
+                let mut placed = false;
+                for bucket in &mut buckets {
+                    match item.meta.ts.compare(&bucket.item.meta.ts) {
+                        TsOrder::Equal => {
+                            bucket.holders.insert(server);
+                            placed = true;
+                            break;
+                        }
+                        TsOrder::FaultyWriter => {
+                            faulty_writer = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if !placed {
+                    buckets.push(Bucket {
+                        item: item.clone(),
+                        holders: [server].into_iter().collect(),
+                    });
+                }
+            }
+        }
+        {
+            let (_, _, _, _, counters) = self.parts();
+            for _ in 0..digest_checks {
+                counters.count_digest();
+            }
+        }
+        if faulty_writer {
+            Self::complete(
+                op_id,
+                op,
+                Outcome::FaultyWriterDetected { data },
+                now,
+                out,
+            );
+            return;
+        }
+        let accept = quorum::multi_writer_accept(self.dir().b());
+        let verify_reads = self.cfg().verify_multi_writer_reads;
+        let mut viable: Vec<(StoredItem, usize)> = Vec::new();
+        for bucket in buckets {
+            if best_seen.map_or(true, |b| bucket.item.meta.ts.is_newer_than(&b)) {
+                *best_seen = Some(bucket.item.meta.ts);
+            }
+            if bucket.holders.len() < accept || !bucket.item.meta.ts.is_at_least(&ctx_ts) {
+                continue;
+            }
+            if verify_reads {
+                let Some(key) = self.dir().client_key(bucket.item.meta.writer).cloned() else {
+                    continue;
+                };
+                let ok = {
+                    let (_, _, _, _, counters) = self.parts();
+                    bucket.item.verify(&key, counters).is_ok()
+                };
+                if !ok {
+                    continue;
+                }
+            }
+            viable.push((bucket.item, bucket.holders.len()));
+        }
+        viable.sort_by(|a, b| match a.0.meta.ts.compare(&b.0.meta.ts) {
+            TsOrder::Less => std::cmp::Ordering::Greater,
+            TsOrder::Greater => std::cmp::Ordering::Less,
+            _ => std::cmp::Ordering::Equal,
+        });
+        let best_seen = *best_seen;
+        if let Some((item, confirmations)) = viable.into_iter().next() {
+            let ctx = self.ctx_mut(group);
+            ctx.observe(data, item.meta.ts);
+            if consistency == Consistency::Cc {
+                if let Some(wctx) = &item.meta.writer_ctx {
+                    ctx.merge(wctx);
+                }
+            }
+            let outcome = Outcome::ReadOk {
+                ts: item.meta.ts,
+                value: item.value,
+                confirmations,
+            };
+            Self::complete(op_id, op, outcome, now, out);
+        } else {
+            self.escalate_mw_read(op_id, op, best_seen, now, out);
+        }
+    }
+
+    /// Widen the contact set, or schedule a dissemination-wait retry, or
+    /// give up `Stale`.
+    fn escalate_mw_read(
+        &mut self,
+        op_id: OpId,
+        mut op: Op,
+        best_seen: Option<Timestamp>,
+        now: SimTime,
+        out: &mut Output,
+    ) {
+        if op.common.round >= self.cfg().retry.max_rounds {
+            Self::complete(op_id, op, Outcome::Stale { best_seen }, now, out);
+            return;
+        }
+        op.common.round += 1;
+        let round = op.common.round;
+        let base = quorum::multi_writer_quorum(self.dir().b());
+        let target = self.target_count(base, round);
+        let OpState::MwRead {
+            data,
+            responded,
+            awaiting_retry,
+            ..
+        } = &mut op.state
+        else {
+            unreachable!("escalate_mw_read on non-MwRead op");
+        };
+        let data = *data;
+        responded.clear();
+        if target > op.common.contacted.len() {
+            let rotation = self.rotation(op.common.offset);
+            Self::widen_contacts(
+                op_id,
+                &mut op.common,
+                &rotation,
+                target,
+                |op| Msg::MwReadReq { op, data },
+                out,
+            );
+            // Re-query the previously contacted servers as well.
+            for &s in op.common.contacted.clone().iter() {
+                if !out
+                    .sends
+                    .iter()
+                    .any(|(to, m)| *to == s && m.op() == Some(op_id))
+                {
+                    out.sends.push((s, Msg::MwReadReq { op: op_id, data }));
+                }
+            }
+            Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, out);
+        } else {
+            *awaiting_retry = true;
+            Self::arm_timer(
+                op_id,
+                &mut op.common,
+                self.cfg().retry.stale_retry_delay,
+                out,
+            );
+        }
+        self.insert_op(op_id, op);
+    }
+
+    /// Timeout handling for the multi-writer states.
+    pub(crate) fn multi_timeout(&mut self, op_id: OpId, now: SimTime) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        match &mut op.state {
+            OpState::MwWrite { needed, item, .. } => {
+                if op.common.round >= self.cfg().retry.max_rounds {
+                    Self::complete(op_id, op, Outcome::Unavailable, now, &mut out);
+                    return out;
+                }
+                op.common.round += 1;
+                let target = self.target_count(*needed, op.common.round);
+                let rotation = self.rotation(op.common.offset);
+                let item = item.clone();
+                Self::widen_contacts(
+                    op_id,
+                    &mut op.common,
+                    &rotation,
+                    target,
+                    |op| Msg::WriteReq {
+                        op,
+                        item: item.clone(),
+                    },
+                    &mut out,
+                );
+                Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                self.insert_op(op_id, op);
+            }
+            OpState::MwRead { awaiting_retry, responded, data, .. } => {
+                if *awaiting_retry {
+                    *awaiting_retry = false;
+                    responded.clear();
+                    let data = *data;
+                    for &s in &op.common.contacted {
+                        out.sends.push((s, Msg::MwReadReq { op: op_id, data }));
+                    }
+                    Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                    self.insert_op(op_id, op);
+                } else {
+                    self.evaluate_mw_read(op_id, op, now, &mut out);
+                }
+            }
+            _ => unreachable!("multi_timeout on non-multi op"),
+        }
+        out
+    }
+}

@@ -1,0 +1,557 @@
+//! Single-writer data protocols: the read and write of paper Fig. 2.
+//!
+//! Writes go to `b+1` servers, guaranteeing one correct server holds the
+//! value. Reads query `b+1` servers for timestamps, fetch the value from
+//! the best one, and verify the writer's signature — one verification per
+//! read in the common case, exactly the cost model of paper §6.
+
+use std::collections::HashSet;
+
+use sstore_simnet::SimTime;
+
+use crate::client::{ClientCore, Op, OpCommon, OpKind, OpState, Outcome, Output};
+use crate::item::{ItemMeta, StoredItem};
+use crate::quorum;
+use crate::types::{Consistency, DataId, GroupId, OpId, ServerId, Timestamp, TsOrder};
+use crate::wire::Msg;
+
+impl ClientCore {
+    /// Starts a single-writer write (paper Fig. 2, Write).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn begin_write(
+        &mut self,
+        op_id: OpId,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+        value: Vec<u8>,
+        now: SimTime,
+        offset: usize,
+        fuzz: u64,
+    ) -> Output {
+        let mut out = Output::default();
+        // "increment t_j in 𝒳_i": the next version follows the context,
+        // advanced by a random extra amount when timestamp fuzzing hides
+        // the update count (paper §5.2).
+        let ts = Timestamp::Version(self.ctx_mut(group).timestamp(data).time() + 1 + fuzz);
+        self.ctx_mut(group).observe(data, ts);
+        let writer_ctx = match consistency {
+            Consistency::Cc => Some(self.context(group)),
+            Consistency::Mrc => None,
+        };
+        let client = self.id();
+        let item = {
+            let (_, _, key, _, counters) = self.parts();
+            StoredItem::create(data, group, ts, client, writer_ctx, value, key, counters)
+        };
+        let needed = quorum::data_quorum(self.dir().b());
+        let mut common = OpCommon {
+            kind: OpKind::Write,
+            group,
+            started: now,
+            round: 1,
+            contacted: HashSet::new(),
+            offset,
+            timer_epoch: 0,
+        };
+        let rotation = self.rotation(offset);
+        let target = self.target_count(needed, 1);
+        {
+            let item = &item;
+            Self::widen_contacts(
+                op_id,
+                &mut common,
+                &rotation,
+                target,
+                |op| Msg::WriteReq {
+                    op,
+                    item: item.clone(),
+                },
+                &mut out,
+            );
+        }
+        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        self.insert_op(
+            op_id,
+            Op {
+                common,
+                state: OpState::Write {
+                    acks: HashSet::new(),
+                    needed,
+                    ts,
+                    item,
+                },
+            },
+        );
+        out
+    }
+
+    /// Starts a single-writer read (paper Fig. 2, Read) — phase 1:
+    /// timestamp queries to `b+1` servers.
+    pub(crate) fn begin_read(
+        &mut self,
+        op_id: OpId,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+        now: SimTime,
+        offset: usize,
+    ) -> Output {
+        let mut out = Output::default();
+        // Adaptive reads probe with b̂+1 servers (Alvisi et al. dynamic
+        // quorums); static configuration uses the full b+1.
+        let base = quorum::data_quorum(self.fault_estimate());
+        let mut common = OpCommon {
+            kind: OpKind::Read,
+            group,
+            started: now,
+            round: 1,
+            contacted: HashSet::new(),
+            offset,
+            timer_epoch: 0,
+        };
+        let rotation = self.rotation(offset);
+        Self::widen_contacts(
+            op_id,
+            &mut common,
+            &rotation,
+            self.target_count(base, 1),
+            |op| Msg::TsQueryReq { op, data },
+            &mut out,
+        );
+        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        self.insert_op(
+            op_id,
+            Op {
+                common,
+                state: OpState::ReadP1 {
+                    data,
+                    consistency,
+                    responded: HashSet::new(),
+                    candidates: Vec::new(),
+                    best_seen: None,
+                    awaiting_retry: false,
+                },
+            },
+        );
+        out
+    }
+
+    /// Handles a write acknowledgement.
+    pub(crate) fn on_write_ack(
+        &mut self,
+        op_id: OpId,
+        from: ServerId,
+        accepted: bool,
+        now: SimTime,
+    ) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        match &mut op.state {
+            OpState::Write { acks, needed, ts, .. } if op.common.contacted.contains(&from) => {
+                if accepted {
+                    acks.insert(from);
+                }
+                if acks.len() >= *needed {
+                    let ts = *ts;
+                    Self::complete(op_id, op, Outcome::WriteOk { ts }, now, &mut out);
+                    return out;
+                }
+                self.insert_op(op_id, op);
+            }
+            OpState::MwWrite { .. } => {
+                self.insert_op(op_id, op);
+                return self.on_mw_write_ack(op_id, from, accepted, now);
+            }
+            _ => self.insert_op(op_id, op),
+        }
+        out
+    }
+
+    /// Handles a phase-1 timestamp response.
+    pub(crate) fn on_ts_query_resp(
+        &mut self,
+        op_id: OpId,
+        from: ServerId,
+        meta: Option<ItemMeta>,
+        inline: Option<StoredItem>,
+        now: SimTime,
+    ) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        let OpState::ReadP1 {
+            data,
+            responded,
+            candidates,
+            best_seen,
+            awaiting_retry,
+            ..
+        } = &mut op.state
+        else {
+            self.insert_op(op_id, op);
+            return out;
+        };
+        if *awaiting_retry
+            || !op.common.contacted.contains(&from)
+            || !responded.insert(from)
+        {
+            self.insert_op(op_id, op);
+            return out;
+        }
+        if let Some(m) = meta {
+            if m.data == *data {
+                if best_seen.map_or(true, |b| m.ts.is_newer_than(&b)) {
+                    *best_seen = Some(m.ts);
+                }
+                // Only trust a piggybacked item that matches the metadata.
+                let inline = inline.filter(|i| i.meta == m);
+                candidates.push((from, m, inline));
+            }
+        }
+        if responded.len() >= op.common.contacted.len() {
+            self.evaluate_read_p1(op_id, op, now, &mut out);
+        } else {
+            self.insert_op(op_id, op);
+        }
+        out
+    }
+
+    /// Phase-1 decision: "let t_r be the highest timestamp … if t_r ≥ t_j
+    /// then choose the server which sent t_r" (paper Fig. 2); otherwise
+    /// contact additional servers or try later.
+    fn evaluate_read_p1(&mut self, op_id: OpId, mut op: Op, now: SimTime, out: &mut Output) {
+        let OpState::ReadP1 {
+            data,
+            consistency,
+            candidates,
+            best_seen,
+            ..
+        } = &mut op.state
+        else {
+            unreachable!("evaluate_read_p1 on wrong state");
+        };
+        let data = *data;
+        let consistency = *consistency;
+        let best_seen = *best_seen;
+        let group = op.common.group;
+        let ctx_ts = self.context(group).timestamp(data);
+        let mut viable: Vec<(ServerId, ItemMeta, Option<StoredItem>)> = candidates
+            .drain(..)
+            .filter(|(_, m, _)| m.ts.is_at_least(&ctx_ts))
+            .collect();
+        // Highest timestamp first.
+        viable.sort_by(|a, b| match a.1.ts.compare(&b.1.ts) {
+            TsOrder::Less => std::cmp::Ordering::Greater,
+            TsOrder::Greater => std::cmp::Ordering::Less,
+            _ => std::cmp::Ordering::Equal,
+        });
+        // Fast path: the best response piggybacked its (matching) item, so
+        // the read completes in one round trip — §6's best case.
+        while let Some((_, _, Some(item))) = viable.first() {
+            let item = item.clone();
+            match self.validate_read_item(group, data, consistency, ctx_ts, item) {
+                Some(outcome) => {
+                    Self::complete(op_id, op, outcome, now, out);
+                    return;
+                }
+                None => {
+                    // Bad inline copy: evidence of a faulty server.
+                    self.raise_fault_estimate();
+                    viable.remove(0);
+                }
+            }
+        }
+        if let Some((target, meta, _)) = viable.first().cloned() {
+            let expect = meta.ts;
+            out.sends.push((
+                target,
+                Msg::ReadReq {
+                    op: op_id,
+                    data,
+                    ts: expect,
+                },
+            ));
+            op.state = OpState::ReadP2 {
+                data,
+                consistency,
+                target,
+                fallbacks: viable[1..]
+                    .iter()
+                    .map(|(s, m, _)| (*s, m.clone()))
+                    .collect(),
+                best_seen,
+            };
+            Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, out);
+            self.insert_op(op_id, op);
+        } else {
+            self.escalate_read(op_id, op, best_seen, now, out);
+        }
+    }
+
+    /// Verifies a candidate item against the client's context and updates
+    /// the context on success. Shared by the one-round-trip fast path and
+    /// the phase-2 response handler.
+    fn validate_read_item(
+        &mut self,
+        group: GroupId,
+        data: DataId,
+        consistency: Consistency,
+        ctx_ts: Timestamp,
+        item: StoredItem,
+    ) -> Option<Outcome> {
+        if item.meta.data != data || item.meta.group != group || !item.meta.ts.is_at_least(&ctx_ts)
+        {
+            return None;
+        }
+        if consistency == Consistency::Cc && item.meta.writer_ctx.is_none() {
+            return None;
+        }
+        let key = self.dir().client_key(item.meta.writer)?.clone();
+        let ok = {
+            let (_, _, _, _, counters) = self.parts();
+            item.verify(&key, counters).is_ok()
+        };
+        if !ok {
+            return None;
+        }
+        let ctx = self.ctx_mut(group);
+        ctx.observe(data, item.meta.ts);
+        if consistency == Consistency::Cc {
+            if let Some(wctx) = &item.meta.writer_ctx {
+                ctx.merge(wctx);
+            }
+        }
+        Some(Outcome::ReadOk {
+            ts: item.meta.ts,
+            value: item.value,
+            confirmations: 1,
+        })
+    }
+
+    /// No viable candidate: widen the contact set, or schedule a later
+    /// retry once everyone has been asked, or give up `Stale`.
+    fn escalate_read(
+        &mut self,
+        op_id: OpId,
+        mut op: Op,
+        best_seen: Option<Timestamp>,
+        now: SimTime,
+        out: &mut Output,
+    ) {
+        if op.common.round >= self.cfg().retry.max_rounds {
+            Self::complete(op_id, op, Outcome::Stale { best_seen }, now, out);
+            return;
+        }
+        // An empty round is evidence the contacted set was too optimistic.
+        self.raise_fault_estimate();
+        op.common.round += 1;
+        let round = op.common.round;
+        let base = quorum::data_quorum(self.dir().b());
+        let target = self.target_count(base, round);
+        let (data, consistency) = match &op.state {
+            OpState::ReadP1 { data, consistency, .. }
+            | OpState::ReadP2 { data, consistency, .. } => (*data, *consistency),
+            _ => unreachable!("escalate_read on non-read op"),
+        };
+        let already = op.common.contacted.len();
+        op.state = OpState::ReadP1 {
+            data,
+            consistency,
+            responded: HashSet::new(),
+            candidates: Vec::new(),
+            best_seen,
+            awaiting_retry: false,
+        };
+        if target > already {
+            // Widen: query the additional servers plus re-query the old
+            // ones (their state may have advanced via dissemination).
+            let rotation = self.rotation(op.common.offset);
+            Self::widen_contacts(
+                op_id,
+                &mut op.common,
+                &rotation,
+                target,
+                |op| Msg::TsQueryReq { op, data },
+                out,
+            );
+            for &s in op.common.contacted.clone().iter() {
+                if !out.sends.iter().any(|(to, m)| *to == s && m.op() == Some(op_id)) {
+                    out.sends.push((s, Msg::TsQueryReq { op: op_id, data }));
+                }
+            }
+            Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, out);
+        } else {
+            // Everyone asked and all stale: "try later" — wait for the
+            // dissemination protocol to make progress.
+            if let OpState::ReadP1 { awaiting_retry, .. } = &mut op.state {
+                *awaiting_retry = true;
+            }
+            Self::arm_timer(
+                op_id,
+                &mut op.common,
+                self.cfg().retry.stale_retry_delay,
+                out,
+            );
+        }
+        self.insert_op(op_id, op);
+    }
+
+    /// Handles the phase-2 value response.
+    pub(crate) fn on_read_resp(
+        &mut self,
+        op_id: OpId,
+        from: ServerId,
+        item: Option<StoredItem>,
+        now: SimTime,
+    ) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        let OpState::ReadP2 {
+            data,
+            consistency,
+            target,
+            fallbacks,
+            best_seen,
+            ..
+        } = &mut op.state
+        else {
+            self.insert_op(op_id, op);
+            return out;
+        };
+        if from != *target {
+            self.insert_op(op_id, op);
+            return out;
+        }
+        let data = *data;
+        let consistency = *consistency;
+        let best_seen = *best_seen;
+        let group = op.common.group;
+        let ctx_ts = self.context(group).timestamp(data);
+
+        // "if MRC … update t_j; if CC … update each timestamp to the max
+        // with 𝒳_writer" (paper Fig. 2) — done inside the validator.
+        let accepted =
+            item.and_then(|item| self.validate_read_item(group, data, consistency, ctx_ts, item));
+
+        match accepted {
+            Some(outcome) => {
+                Self::complete(op_id, op, outcome, now, &mut out);
+            }
+            None => {
+                // Bad or missing value: evidence of a faulty server; fall
+                // back to the next candidate, or restart phase 1.
+                self.raise_fault_estimate();
+                if let Some((next, meta)) = fallbacks.first().cloned() {
+                    fallbacks.remove(0);
+                    *target = next;
+                    out.sends.push((
+                        next,
+                        Msg::ReadReq {
+                            op: op_id,
+                            data,
+                            ts: meta.ts,
+                        },
+                    ));
+                    Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                    self.insert_op(op_id, op);
+                } else {
+                    self.escalate_read(op_id, op, best_seen, now, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Timeout handling for single-writer reads and writes.
+    pub(crate) fn ops_timeout(&mut self, op_id: OpId, now: SimTime) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        match &mut op.state {
+            OpState::Write { needed, item, .. } => {
+                if op.common.round >= self.cfg().retry.max_rounds {
+                    Self::complete(op_id, op, Outcome::Unavailable, now, &mut out);
+                    return out;
+                }
+                op.common.round += 1;
+                let target = self.target_count(*needed, op.common.round);
+                let rotation = self.rotation(op.common.offset);
+                let item = item.clone();
+                Self::widen_contacts(
+                    op_id,
+                    &mut op.common,
+                    &rotation,
+                    target,
+                    |op| Msg::WriteReq {
+                        op,
+                        item: item.clone(),
+                    },
+                    &mut out,
+                );
+                Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                self.insert_op(op_id, op);
+            }
+            OpState::ReadP1 {
+                awaiting_retry,
+                responded,
+                candidates,
+                data,
+                ..
+            } => {
+                if *awaiting_retry {
+                    // Stale retry: re-query every contacted server.
+                    *awaiting_retry = false;
+                    responded.clear();
+                    candidates.clear();
+                    let data = *data;
+                    for &s in &op.common.contacted {
+                        out.sends.push((s, Msg::TsQueryReq { op: op_id, data }));
+                    }
+                    Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                    self.insert_op(op_id, op);
+                } else {
+                    // Phase timeout with partial responses: decide with
+                    // what we have.
+                    self.evaluate_read_p1(op_id, op, now, &mut out);
+                }
+            }
+            OpState::ReadP2 {
+                fallbacks,
+                target,
+                data,
+                best_seen,
+                ..
+            } => {
+                // The chosen server did not answer: next candidate or
+                // restart.
+                let data = *data;
+                let best_seen = *best_seen;
+                if let Some((next, meta)) = fallbacks.first().cloned() {
+                    fallbacks.remove(0);
+                    *target = next;
+                    out.sends.push((
+                        next,
+                        Msg::ReadReq {
+                            op: op_id,
+                            data,
+                            ts: meta.ts,
+                        },
+                    ));
+                    Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                    self.insert_op(op_id, op);
+                } else {
+                    self.escalate_read(op_id, op, best_seen, now, &mut out);
+                }
+            }
+            _ => unreachable!("ops_timeout on non-data op"),
+        }
+        out
+    }
+}

@@ -1,0 +1,379 @@
+//! Session management: context acquisition, storage and reconstruction
+//! (paper §5.1, Fig. 1).
+
+use std::collections::{HashMap, HashSet};
+
+use sstore_simnet::SimTime;
+
+use crate::client::{ClientCore, Op, OpCommon, OpKind, OpState, Outcome, Output};
+use crate::item::{ItemMeta, SignedContext};
+use crate::types::{DataId, GroupId, OpId, ServerId};
+use crate::wire::Msg;
+
+impl ClientCore {
+    /// Starts a `Connect` (context read) or `Reconstruct` (full scan).
+    pub(crate) fn begin_connect(
+        &mut self,
+        op_id: OpId,
+        group: GroupId,
+        recover: bool,
+        now: SimTime,
+        offset: usize,
+    ) -> Output {
+        let mut out = Output::default();
+        let mut common = OpCommon {
+            kind: if recover {
+                OpKind::Reconstruct
+            } else {
+                OpKind::Connect
+            },
+            group,
+            started: now,
+            round: 1,
+            contacted: HashSet::new(),
+            offset,
+            timer_epoch: 0,
+        };
+        let rotation = self.rotation(offset);
+        let state = if recover {
+            // Reconstruction reads item metadata from *all* servers.
+            Self::widen_contacts(
+                op_id,
+                &mut common,
+                &rotation,
+                self.dir().n(),
+                |op| Msg::TsScanReq { op, group },
+                &mut out,
+            );
+            OpState::CtxScan {
+                responded: HashSet::new(),
+                metas: Vec::new(),
+            }
+        } else {
+            let client = self.id();
+            Self::widen_contacts(
+                op_id,
+                &mut common,
+                &rotation,
+                self.target_count(self.ctx_quorum(), 1),
+                |op| Msg::CtxReadReq { op, client, group },
+                &mut out,
+            );
+            OpState::CtxRead {
+                responded: HashSet::new(),
+                candidates: Vec::new(),
+            }
+        };
+        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        self.insert_op(op_id, Op { common, state });
+        out
+    }
+
+    /// Starts a `Disconnect`: sign and store the current context.
+    pub(crate) fn begin_disconnect(
+        &mut self,
+        op_id: OpId,
+        group: GroupId,
+        now: SimTime,
+        offset: usize,
+    ) -> Output {
+        let mut out = Output::default();
+        let session = self.session_of(group) + 1;
+        let ctx = self.context(group);
+        let client = self.id();
+        let signed = {
+            let (_, _, key, _, counters) = self.parts();
+            SignedContext::create(client, session, ctx, key, counters)
+        };
+        let mut common = OpCommon {
+            kind: OpKind::Disconnect,
+            group,
+            started: now,
+            round: 1,
+            contacted: HashSet::new(),
+            offset,
+            timer_epoch: 0,
+        };
+        let quorum = self.ctx_quorum();
+        let rotation = self.rotation(offset);
+        Self::widen_contacts(
+            op_id,
+            &mut common,
+            &rotation,
+            self.target_count(quorum, 1),
+            |op| Msg::CtxWriteReq {
+                op,
+                group,
+                signed: signed.clone(),
+            },
+            &mut out,
+        );
+        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        self.insert_op(
+            op_id,
+            Op {
+                common,
+                state: OpState::CtxWrite {
+                    acks: HashSet::new(),
+                    quorum,
+                },
+            },
+        );
+        self.pending_session.insert(group, session);
+        out
+    }
+
+    /// Handles a context-read response.
+    pub(crate) fn on_ctx_read_resp(
+        &mut self,
+        op_id: OpId,
+        from: ServerId,
+        stored: Option<SignedContext>,
+        now: SimTime,
+    ) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        let OpState::CtxRead {
+            responded,
+            candidates,
+        } = &mut op.state
+        else {
+            self.insert_op(op_id, op);
+            return out;
+        };
+        if !op.common.contacted.contains(&from) || !responded.insert(from) {
+            self.insert_op(op_id, op);
+            return out;
+        }
+        if let Some(sc) = stored {
+            // Only contexts claiming to be ours and for this group matter.
+            if sc.client == self.id() && sc.ctx.group() == op.common.group {
+                candidates.push(sc);
+            }
+        }
+        if responded.len() >= self.ctx_quorum() {
+            self.finish_ctx_read(op_id, op, now, &mut out);
+        } else {
+            self.insert_op(op_id, op);
+        }
+        out
+    }
+
+    /// Picks the latest *valid* candidate: sort by session descending and
+    /// verify until one passes — "in the best case, context acquisition
+    /// requires just one signature verification" (paper §6).
+    fn finish_ctx_read(&mut self, op_id: OpId, mut op: Op, now: SimTime, out: &mut Output) {
+        let OpState::CtxRead { candidates, .. } = &mut op.state else {
+            unreachable!("finish_ctx_read on non-CtxRead op");
+        };
+        candidates.sort_by(|a, b| b.session.cmp(&a.session));
+        let mut adopted: Option<SignedContext> = None;
+        let my_key = self.verifying_key();
+        for sc in candidates.drain(..) {
+            let ok = {
+                let (_, _, _, _, counters) = self.parts();
+                sc.verify(&my_key, counters).is_ok()
+            };
+            if ok {
+                adopted = Some(sc);
+                break;
+            }
+        }
+        let group = op.common.group;
+        let context_len = match adopted {
+            Some(sc) => {
+                let len = sc.ctx.len();
+                self.sessions.insert(group, sc.session);
+                self.contexts.insert(group, sc.ctx);
+                len
+            }
+            None => {
+                // Fresh client (or all copies invalid): start empty.
+                self.contexts
+                    .entry(group)
+                    .or_insert_with(|| crate::context::Context::new(group));
+                0
+            }
+        };
+        Self::complete(op_id, op, Outcome::Connected { context_len }, now, out);
+    }
+
+    /// Handles a reconstruction-scan response.
+    pub(crate) fn on_ts_scan_resp(
+        &mut self,
+        op_id: OpId,
+        from: ServerId,
+        entries: Vec<ItemMeta>,
+        now: SimTime,
+    ) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        let OpState::CtxScan { responded, metas } = &mut op.state else {
+            self.insert_op(op_id, op);
+            return out;
+        };
+        if !responded.insert(from) {
+            self.insert_op(op_id, op);
+            return out;
+        }
+        metas.push((from, entries));
+        // Only faulty servers may withhold: n-b responses are guaranteed.
+        if responded.len() >= self.dir().n() - self.dir().b() {
+            self.finish_ctx_scan(op_id, op, now, &mut out);
+        } else {
+            self.insert_op(op_id, op);
+        }
+        out
+    }
+
+    /// Builds the context from "the latest valid timestamp for each data
+    /// item" (paper §5.1): per item, verify candidate metadata from newest
+    /// to oldest and adopt the first that verifies.
+    fn finish_ctx_scan(&mut self, op_id: OpId, mut op: Op, now: SimTime, out: &mut Output) {
+        let OpState::CtxScan { metas, .. } = &mut op.state else {
+            unreachable!("finish_ctx_scan on non-CtxScan op");
+        };
+        let group = op.common.group;
+        let mut by_item: HashMap<DataId, Vec<ItemMeta>> = HashMap::new();
+        for (_, entries) in metas.drain(..) {
+            for m in entries {
+                if m.group == group {
+                    by_item.entry(m.data).or_default().push(m);
+                }
+            }
+        }
+        let mut ctx = crate::context::Context::new(group);
+        for (data, mut candidates) in by_item {
+            // Newest first; identical timestamps only need one verification.
+            candidates.sort_by(|a, b| match a.ts.compare(&b.ts) {
+                crate::types::TsOrder::Less => std::cmp::Ordering::Greater,
+                crate::types::TsOrder::Greater => std::cmp::Ordering::Less,
+                _ => std::cmp::Ordering::Equal,
+            });
+            candidates.dedup_by(|a, b| a.ts.compare(&b.ts) == crate::types::TsOrder::Equal);
+            for meta in candidates {
+                let Some(key) = self.dir().client_key(meta.writer).cloned() else {
+                    continue;
+                };
+                let ok = {
+                    let (_, _, _, _, counters) = self.parts();
+                    meta.verify(&key, counters).is_ok()
+                };
+                if ok {
+                    ctx.observe(data, meta.ts);
+                    break;
+                }
+            }
+        }
+        let context_len = ctx.len();
+        self.contexts.insert(group, ctx);
+        // The crashed session's number is unknown; derive a strictly larger
+        // one from simulated time so the next stored context supersedes all
+        // previous ones.
+        let session = self
+            .session_of(group)
+            .max(now.as_micros())
+            .max(1);
+        self.sessions.insert(group, session);
+        Self::complete(op_id, op, Outcome::Connected { context_len }, now, out);
+    }
+
+    /// Handles a context-write acknowledgement.
+    pub(crate) fn on_ctx_write_ack(&mut self, op_id: OpId, from: ServerId, now: SimTime) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        let OpState::CtxWrite { acks, quorum } = &mut op.state else {
+            self.insert_op(op_id, op);
+            return out;
+        };
+        if !op.common.contacted.contains(&from) {
+            self.insert_op(op_id, op);
+            return out;
+        }
+        acks.insert(from);
+        if acks.len() >= *quorum {
+            let group = op.common.group;
+            if let Some(&s) = self.pending_session.get(&group) {
+                self.sessions.insert(group, s);
+                self.pending_session.remove(&group);
+            }
+            Self::complete(op_id, op, Outcome::Disconnected, now, &mut out);
+        } else {
+            self.insert_op(op_id, op);
+        }
+        out
+    }
+
+    /// Timeout handling for the three session states: widen the contact set
+    /// round by round; give up after `max_rounds`.
+    pub(crate) fn session_timeout(&mut self, op_id: OpId, now: SimTime) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        let max_rounds = self.cfg().retry.max_rounds;
+        if op.common.round >= max_rounds {
+            // Best effort: a scan can still finish with what it has.
+            if let OpState::CtxScan { responded, .. } = &op.state {
+                if !responded.is_empty() {
+                    self.finish_ctx_scan(op_id, op, now, &mut out);
+                    return out;
+                }
+            }
+            Self::complete(op_id, op, Outcome::Unavailable, now, &mut out);
+            return out;
+        }
+        op.common.round += 1;
+        let round = op.common.round;
+        let rotation = self.rotation(op.common.offset);
+        let group = op.common.group;
+        let client = self.id();
+        match &op.state {
+            OpState::CtxRead { .. } => {
+                let target = self.target_count(self.ctx_quorum(), round);
+                Self::widen_contacts(
+                    op_id,
+                    &mut op.common,
+                    &rotation,
+                    target,
+                    |op| Msg::CtxReadReq { op, client, group },
+                    &mut out,
+                );
+            }
+            OpState::CtxScan { .. } => {
+                // Already contacted everyone; just wait another round.
+            }
+            OpState::CtxWrite { .. } => {
+                let target = self.target_count(self.ctx_quorum(), round);
+                let session = self.pending_session.get(&group).copied().unwrap_or(1);
+                let ctx = self.context(group);
+                let signed = {
+                    let (_, _, key, _, counters) = self.parts();
+                    SignedContext::create(client, session, ctx, key, counters)
+                };
+                Self::widen_contacts(
+                    op_id,
+                    &mut op.common,
+                    &rotation,
+                    target,
+                    |op| Msg::CtxWriteReq {
+                        op,
+                        group,
+                        signed: signed.clone(),
+                    },
+                    &mut out,
+                );
+            }
+            _ => unreachable!("session_timeout on non-session op"),
+        }
+        Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+        self.insert_op(op_id, op);
+        out
+    }
+}

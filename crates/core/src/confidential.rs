@@ -1,0 +1,309 @@
+//! Confidentiality layers for stored values (paper §5.2 end, §5.3 end).
+//!
+//! Servers must never learn confidential values, so encryption happens at
+//! the client. Three backends:
+//!
+//! - [`ValueCipher`]: client-side authenticated encryption (the paper's
+//!   non-shared / shared-key scheme). Metadata stays plaintext; the
+//!   timestamp doubles as the nonce since the protocol forces it to be
+//!   unique per write.
+//! - [`FragmentStore::shamir`]: information-theoretic secret sharing — no
+//!   `b` colluding servers learn anything, at `n×` storage.
+//! - [`FragmentStore::ida`]: Rabin dispersal — `n/k×` storage, erasure
+//!   tolerance, computational confidentiality (the paper's cited
+//!   fragmentation-scattering alternative).
+
+use rand::rngs::StdRng;
+
+use sstore_crypto::cipher::{SealKey, Sealed};
+use sstore_crypto::{ida, shamir, CryptoError};
+
+use crate::types::Timestamp;
+
+/// Client-side value encryption keyed from a user master secret.
+///
+/// ```
+/// use sstore_core::confidential::ValueCipher;
+/// use sstore_core::types::Timestamp;
+///
+/// let cipher = ValueCipher::new(b"household master secret", b"medical");
+/// let ts = Timestamp::Version(3);
+/// let blob = cipher.encrypt(b"blood type O+", &ts);
+/// assert_eq!(cipher.decrypt(&blob, &ts).unwrap(), b"blood type O+");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueCipher {
+    key: SealKey,
+}
+
+impl ValueCipher {
+    /// Derives the cipher from a master secret and a per-group label.
+    pub fn new(master: &[u8], label: &[u8]) -> Self {
+        ValueCipher {
+            key: SealKey::derive(master, label),
+        }
+    }
+
+    /// Encrypts `plaintext` for the write stamped `ts`, producing the bytes
+    /// to hand to [`crate::client::ClientOp::Write`].
+    pub fn encrypt(&self, plaintext: &[u8], ts: &Timestamp) -> Vec<u8> {
+        let sealed = self.key.seal(plaintext, nonce_of(ts));
+        let mut blob = Vec::with_capacity(sealed.encoded_len());
+        blob.extend_from_slice(&sealed.nonce.to_be_bytes());
+        blob.extend_from_slice(sealed.tag.as_bytes());
+        blob.extend_from_slice(&sealed.ciphertext);
+        blob
+    }
+
+    /// Decrypts a value read back from the store.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::BadMac`] when the blob was corrupted or sealed under
+    /// a different key/nonce; [`CryptoError::BadParams`] when too short.
+    pub fn decrypt(&self, blob: &[u8], ts: &Timestamp) -> Result<Vec<u8>, CryptoError> {
+        if blob.len() < 8 + 32 {
+            return Err(CryptoError::BadParams("ciphertext too short"));
+        }
+        let nonce = u64::from_be_bytes(blob[..8].try_into().expect("8 bytes"));
+        if nonce != nonce_of(ts) {
+            return Err(CryptoError::BadMac);
+        }
+        let mut tag = [0u8; 32];
+        tag.copy_from_slice(&blob[8..40]);
+        let sealed = Sealed {
+            nonce,
+            ciphertext: blob[40..].to_vec(),
+            tag: sstore_crypto::sha256::Digest(tag),
+        };
+        self.key.open(&sealed)
+    }
+}
+
+/// The write timestamp as a cipher nonce: unique per write because the
+/// protocol orders timestamps strictly.
+fn nonce_of(ts: &Timestamp) -> u64 {
+    match ts {
+        Timestamp::Version(v) => *v,
+        Timestamp::Multi { time, writer, .. } => (*time << 16) | writer.0 as u64,
+    }
+}
+
+/// Which fragmentation scheme a [`FragmentStore`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentScheme {
+    /// Shamir secret sharing: information-theoretic, `n×` storage.
+    Shamir,
+    /// Rabin IDA: `n/k×` storage, computational confidentiality.
+    Ida,
+}
+
+/// Fragments values so each server holds only an unusable piece.
+#[derive(Debug, Clone)]
+pub struct FragmentStore {
+    scheme: FragmentScheme,
+    k: usize,
+    n: usize,
+}
+
+/// One per-server fragment of a value, tagged with its server index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueFragment {
+    /// Index identifying which share/fragment this is.
+    pub index: u8,
+    /// Encoded fragment bytes (scheme-specific framing included).
+    pub bytes: Vec<u8>,
+}
+
+impl FragmentStore {
+    /// Shamir-sharing store: any `k` of `n` fragments reconstruct; fewer
+    /// reveal nothing.
+    pub fn shamir(k: usize, n: usize) -> Self {
+        FragmentStore {
+            scheme: FragmentScheme::Shamir,
+            k,
+            n,
+        }
+    }
+
+    /// IDA store: any `k` of `n` fragments reconstruct at `n/k×` storage.
+    pub fn ida(k: usize, n: usize) -> Self {
+        FragmentStore {
+            scheme: FragmentScheme::Ida,
+            k,
+            n,
+        }
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> FragmentScheme {
+        self.scheme
+    }
+
+    /// Splits `value` into `n` per-server fragments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid `(k, n)` parameters.
+    pub fn split(&self, value: &[u8], rng: &mut StdRng) -> Result<Vec<ValueFragment>, CryptoError> {
+        match self.scheme {
+            FragmentScheme::Shamir => Ok(shamir::split(value, self.k, self.n, rng)?
+                .into_iter()
+                .map(|s| ValueFragment {
+                    index: s.x,
+                    bytes: s.data,
+                })
+                .collect()),
+            FragmentScheme::Ida => Ok(ida::disperse(value, self.k, self.n)?
+                .into_iter()
+                .map(|f| {
+                    let mut bytes = f.data_len.to_be_bytes().to_vec();
+                    bytes.extend_from_slice(&f.data);
+                    ValueFragment {
+                        index: f.index,
+                        bytes,
+                    }
+                })
+                .collect()),
+        }
+    }
+
+    /// Reconstructs the value from at least `k` fragments.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::BadShares`] when too few or inconsistent fragments
+    /// are supplied.
+    pub fn reconstruct(&self, frags: &[ValueFragment]) -> Result<Vec<u8>, CryptoError> {
+        match self.scheme {
+            FragmentScheme::Shamir => {
+                let shares: Vec<shamir::Share> = frags
+                    .iter()
+                    .map(|f| shamir::Share {
+                        x: f.index,
+                        data: f.bytes.clone(),
+                    })
+                    .collect();
+                shamir::reconstruct(&shares, self.k)
+            }
+            FragmentScheme::Ida => {
+                let fragments: Vec<ida::Fragment> = frags
+                    .iter()
+                    .map(|f| {
+                        if f.bytes.len() < 8 {
+                            return Err(CryptoError::BadShares("fragment too short"));
+                        }
+                        Ok(ida::Fragment {
+                            index: f.index,
+                            data_len: u64::from_be_bytes(
+                                f.bytes[..8].try_into().expect("8 bytes"),
+                            ),
+                            data: f.bytes[8..].to_vec(),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                ida::reconstruct(&fragments, self.k)
+            }
+        }
+    }
+
+    /// Total stored bytes across all fragments for a value of `len` bytes
+    /// (storage-blowup accounting for experiment F7).
+    pub fn storage_bytes(&self, len: usize) -> usize {
+        match self.scheme {
+            FragmentScheme::Shamir => self.n * len,
+            FragmentScheme::Ida => self.n * (len.div_ceil(self.k).max(1) + 8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ClientId;
+    use rand::SeedableRng;
+    use sstore_crypto::sha256::digest;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn cipher_roundtrip() {
+        let c = ValueCipher::new(b"master", b"records");
+        let ts = Timestamp::Version(7);
+        let blob = c.encrypt(b"secret value", &ts);
+        assert_eq!(c.decrypt(&blob, &ts).unwrap(), b"secret value");
+    }
+
+    #[test]
+    fn cipher_binds_timestamp() {
+        let c = ValueCipher::new(b"master", b"records");
+        let blob = c.encrypt(b"v", &Timestamp::Version(7));
+        assert!(c.decrypt(&blob, &Timestamp::Version(8)).is_err());
+    }
+
+    #[test]
+    fn cipher_rejects_corruption_and_short_blobs() {
+        let c = ValueCipher::new(b"master", b"records");
+        let ts = Timestamp::Version(1);
+        let mut blob = c.encrypt(b"value", &ts);
+        let last = blob.len() - 1;
+        blob[last] ^= 1;
+        assert!(c.decrypt(&blob, &ts).is_err());
+        assert!(c.decrypt(&[1, 2, 3], &ts).is_err());
+    }
+
+    #[test]
+    fn cipher_key_separation() {
+        let a = ValueCipher::new(b"master", b"group-a");
+        let b = ValueCipher::new(b"master", b"group-b");
+        let ts = Timestamp::Version(1);
+        let blob = a.encrypt(b"v", &ts);
+        assert!(b.decrypt(&blob, &ts).is_err());
+    }
+
+    #[test]
+    fn multi_writer_nonces_distinct_per_writer() {
+        let t1 = Timestamp::Multi {
+            time: 1,
+            writer: ClientId(1),
+            digest: digest(b"a"),
+        };
+        let t2 = Timestamp::Multi {
+            time: 1,
+            writer: ClientId(2),
+            digest: digest(b"a"),
+        };
+        assert_ne!(nonce_of(&t1), nonce_of(&t2));
+    }
+
+    #[test]
+    fn shamir_store_roundtrip() {
+        let store = FragmentStore::shamir(2, 4);
+        let frags = store.split(b"fragment me", &mut rng()).unwrap();
+        assert_eq!(frags.len(), 4);
+        assert_eq!(
+            store.reconstruct(&frags[1..3]).unwrap(),
+            b"fragment me"
+        );
+    }
+
+    #[test]
+    fn ida_store_roundtrip_and_smaller_storage() {
+        let shamir = FragmentStore::shamir(3, 7);
+        let ida = FragmentStore::ida(3, 7);
+        let value = vec![9u8; 900];
+        let frags = ida.split(&value, &mut rng()).unwrap();
+        let picked = vec![frags[0].clone(), frags[3].clone(), frags[6].clone()];
+        assert_eq!(ida.reconstruct(&picked).unwrap(), value);
+        assert!(ida.storage_bytes(900) < shamir.storage_bytes(900));
+    }
+
+    #[test]
+    fn too_few_fragments_fail() {
+        let store = FragmentStore::shamir(3, 5);
+        let frags = store.split(b"v", &mut rng()).unwrap();
+        assert!(store.reconstruct(&frags[..2]).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Tunable protocol parameters for clients and servers.
+
+use sstore_simnet::SimTime;
+
+/// Gossip/dissemination tuning (paper §4: "a frequency that can be tuned
+/// according to the needs of the clients or the resources available to the
+/// servers").
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipConfig {
+    /// Whether servers run dissemination at all.
+    pub enabled: bool,
+    /// Interval between gossip rounds at each server.
+    pub period: SimTime,
+    /// Number of random peers contacted per round.
+    pub fanout: usize,
+    /// `true`: anti-entropy summaries (pull missing items both ways).
+    /// `false`: push-only rumor mongering of recently changed items.
+    pub anti_entropy: bool,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            enabled: true,
+            period: SimTime::from_millis(200),
+            fanout: 2,
+            anti_entropy: true,
+        }
+    }
+}
+
+/// Client-side retry behaviour when a quorum phase stalls or returns only
+/// stale data (paper Fig. 2: "contact additional servers or try later").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// How long to wait for quorum responses before widening/retrying.
+    pub phase_timeout: SimTime,
+    /// Delay before re-trying a read that found only stale data.
+    pub stale_retry_delay: SimTime,
+    /// Total rounds (initial attempt included) before the operation fails.
+    pub max_rounds: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            phase_timeout: SimTime::from_millis(500),
+            stale_retry_delay: SimTime::from_millis(200),
+            max_rounds: 6,
+        }
+    }
+}
+
+/// Multi-writer protocol options (paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiWriterConfig {
+    /// Servers hold a write until its causal predecessors have arrived
+    /// (defence against the spurious-context denial of service). Disabled
+    /// only by fault injection.
+    pub validate_causal_deps: bool,
+    /// Upper bound on retained log entries per item, GC aside.
+    pub log_capacity: usize,
+}
+
+impl Default for MultiWriterConfig {
+    fn default() -> Self {
+        MultiWriterConfig {
+            validate_causal_deps: true,
+            log_capacity: 8,
+        }
+    }
+}
+
+/// Complete server configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Gossip tuning.
+    pub gossip: GossipConfig,
+    /// Multi-writer options.
+    pub multi_writer: MultiWriterConfig,
+    /// Piggyback the full item on timestamp-query responses when the value
+    /// is at most this many bytes, making common-case reads one round trip
+    /// (0 = off, the paper's two-phase Fig. 2 read).
+    pub read_inline_limit: usize,
+}
+
+/// Complete client configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Retry/timeout policy.
+    pub retry: RetryPolicy,
+    /// Extra servers contacted beyond the minimum quorum on the first
+    /// attempt (0 reproduces the paper's exact message counts).
+    pub extra_fanout: usize,
+    /// Whether multi-writer reads additionally verify signatures at the
+    /// client (the paper lets clients skip this because `b+1` matching
+    /// server reports already mask faulty servers).
+    pub verify_multi_writer_reads: bool,
+    /// Keep a fixed (client-derived) rotation offset instead of a random
+    /// one per operation. A sticky client always prefers the same `b+1`
+    /// servers, so successive operations find their own prior writes
+    /// without waiting for dissemination.
+    pub sticky_rotation: bool,
+    /// Confidentiality aid (paper §5.2): advance single-writer version
+    /// numbers by a random extra amount in `1..=N` so observers cannot
+    /// count how often an item is updated. `None` increments by exactly 1.
+    pub timestamp_fuzz: Option<u64>,
+    /// Dynamic-quorum extension (paper §3 cites Alvisi et al., "Dynamic
+    /// Byzantine Quorum Systems"): start reads with an optimistic fault
+    /// estimate `b̂ = 0` (contacting just one server) and raise `b̂` toward
+    /// the configured bound whenever a response fails validation or a
+    /// round comes up empty. Writes always use the full `b+1` — durability
+    /// is never gambled on the estimate. Safety (MRC/CC) is context-based
+    /// and unaffected; only freshness probing adapts.
+    pub adaptive_read_quorum: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let g = GossipConfig::default();
+        assert!(g.enabled && g.fanout >= 1);
+        let r = RetryPolicy::default();
+        assert!(r.max_rounds >= 1);
+        assert!(r.phase_timeout > SimTime::ZERO);
+        let m = MultiWriterConfig::default();
+        assert!(m.validate_causal_deps);
+        assert!(m.log_capacity >= 2);
+        let c = ClientConfig::default();
+        assert_eq!(c.extra_fanout, 0, "paper-exact message counts by default");
+        assert!(!c.verify_multi_writer_reads);
+    }
+}

@@ -1,0 +1,237 @@
+//! The client *context*: per-group vector of `(uid, timestamp)` pairs
+//! (paper §5.1).
+//!
+//! A context captures a client's past interactions with the store. It is
+//! the client-side metadata from which all consistency decisions are made:
+//! MRC compares a single entry, CC merges the writer's context into the
+//! reader's. Contexts form a join-semilattice under [`Context::merge`].
+
+use std::collections::BTreeMap;
+
+use crate::types::{DataId, GroupId, Timestamp, TsOrder};
+
+/// A client's context for one related group of data items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Context {
+    group: GroupId,
+    entries: BTreeMap<DataId, Timestamp>,
+}
+
+impl Context {
+    /// Creates an empty context for `group`.
+    pub fn new(group: GroupId) -> Self {
+        Context {
+            group,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The group this context describes.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Number of tracked data items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the context tracks no items yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The timestamp recorded for `data` ([`Timestamp::GENESIS`] if none).
+    pub fn timestamp(&self, data: DataId) -> Timestamp {
+        self.entries
+            .get(&data)
+            .copied()
+            .unwrap_or(Timestamp::GENESIS)
+    }
+
+    /// Records that `ts` was observed for `data`, keeping the maximum.
+    ///
+    /// Returns `true` if the entry advanced. Incomparable or equivocating
+    /// timestamps leave the entry unchanged (callers detect writer faults
+    /// through [`Timestamp::compare`] before updating contexts).
+    pub fn observe(&mut self, data: DataId, ts: Timestamp) -> bool {
+        let current = self.timestamp(data);
+        match ts.compare(&current) {
+            TsOrder::Greater => {
+                self.entries.insert(data, ts);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Pointwise-maximum merge with another context (used by CC reads:
+    /// "update each timestamp in `𝒳_i` to max of value in `𝒳_i` and the
+    /// corresponding value in `𝒳_writer`", paper Fig. 2).
+    pub fn merge(&mut self, other: &Context) {
+        debug_assert_eq!(self.group, other.group, "cross-group context merge");
+        for (&data, &ts) in &other.entries {
+            self.observe(data, ts);
+        }
+    }
+
+    /// Whether every entry of `other` is dominated by this context
+    /// (i.e. this context is at least as recent everywhere).
+    pub fn dominates(&self, other: &Context) -> bool {
+        other
+            .entries
+            .iter()
+            .all(|(&data, ts)| self.timestamp(data).is_at_least(ts))
+    }
+
+    /// Iterates entries in `DataId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (DataId, &Timestamp)> + '_ {
+        self.entries.iter().map(|(&d, ts)| (d, ts))
+    }
+
+    /// Estimated wire size in bytes (for message cost accounting).
+    pub fn size_bytes(&self) -> usize {
+        4 + 8 + self.entries.len() * (8 + 43)
+    }
+}
+
+impl FromIterator<(DataId, Timestamp)> for Context {
+    /// Builds a context in group 0; use [`Context::new`] + `observe` when
+    /// the group matters.
+    fn from_iter<I: IntoIterator<Item = (DataId, Timestamp)>>(iter: I) -> Self {
+        let mut ctx = Context::new(GroupId(0));
+        for (d, ts) in iter {
+            ctx.observe(d, ts);
+        }
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ClientId;
+    use sstore_crypto::sha256::digest;
+
+    fn v(n: u64) -> Timestamp {
+        Timestamp::Version(n)
+    }
+
+    #[test]
+    fn empty_context_returns_genesis() {
+        let ctx = Context::new(GroupId(1));
+        assert_eq!(ctx.timestamp(DataId(9)), Timestamp::GENESIS);
+        assert!(ctx.is_empty());
+        assert_eq!(ctx.len(), 0);
+    }
+
+    #[test]
+    fn observe_keeps_maximum() {
+        let mut ctx = Context::new(GroupId(1));
+        assert!(ctx.observe(DataId(1), v(5)));
+        assert!(!ctx.observe(DataId(1), v(3)), "older values ignored");
+        assert!(!ctx.observe(DataId(1), v(5)), "equal values ignored");
+        assert!(ctx.observe(DataId(1), v(9)));
+        assert_eq!(ctx.timestamp(DataId(1)), v(9));
+    }
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let mut a = Context::new(GroupId(1));
+        a.observe(DataId(1), v(5));
+        a.observe(DataId(2), v(1));
+        let mut b = Context::new(GroupId(1));
+        b.observe(DataId(1), v(3));
+        b.observe(DataId(2), v(7));
+        b.observe(DataId(3), v(2));
+        a.merge(&b);
+        assert_eq!(a.timestamp(DataId(1)), v(5));
+        assert_eq!(a.timestamp(DataId(2)), v(7));
+        assert_eq!(a.timestamp(DataId(3)), v(2));
+    }
+
+    #[test]
+    fn merge_semilattice_laws() {
+        let build = |pairs: &[(u64, u64)]| {
+            let mut c = Context::new(GroupId(1));
+            for &(d, t) in pairs {
+                c.observe(DataId(d), v(t));
+            }
+            c
+        };
+        let a = build(&[(1, 5), (2, 1)]);
+        let b = build(&[(1, 3), (3, 4)]);
+        let c = build(&[(2, 9)]);
+        // Idempotent
+        let mut aa = a.clone();
+        aa.merge(&a);
+        assert_eq!(aa, a);
+        // Commutative
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Associative
+        let mut abc1 = a.clone();
+        abc1.merge(&b);
+        abc1.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut abc2 = a.clone();
+        abc2.merge(&bc);
+        assert_eq!(abc1, abc2);
+    }
+
+    #[test]
+    fn dominates_checks_every_entry() {
+        let mut a = Context::new(GroupId(1));
+        a.observe(DataId(1), v(5));
+        a.observe(DataId(2), v(5));
+        let mut b = Context::new(GroupId(1));
+        b.observe(DataId(1), v(4));
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        b.observe(DataId(3), v(1));
+        assert!(!a.dominates(&b), "b has an entry a lacks");
+        assert!(a.dominates(&Context::new(GroupId(1))), "everything dominates empty");
+    }
+
+    #[test]
+    fn multi_writer_timestamps_merge() {
+        let m1 = Timestamp::Multi {
+            time: 1,
+            writer: ClientId(1),
+            digest: digest(b"a"),
+        };
+        let m2 = Timestamp::Multi {
+            time: 2,
+            writer: ClientId(0),
+            digest: digest(b"b"),
+        };
+        let mut ctx = Context::new(GroupId(2));
+        ctx.observe(DataId(1), m1);
+        ctx.observe(DataId(1), m2);
+        assert_eq!(ctx.timestamp(DataId(1)), m2);
+        // Older multi-writer ts does not regress.
+        ctx.observe(DataId(1), m1);
+        assert_eq!(ctx.timestamp(DataId(1)), m2);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut ctx = Context::new(GroupId(1));
+        ctx.observe(DataId(3), v(1));
+        ctx.observe(DataId(1), v(1));
+        ctx.observe(DataId(2), v(1));
+        let ids: Vec<u64> = ctx.iter().map(|(d, _)| d.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let ctx: Context = [(DataId(1), v(2)), (DataId(2), v(3))].into_iter().collect();
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(ctx.timestamp(DataId(2)), v(3));
+    }
+}

@@ -1,0 +1,122 @@
+//! The static system directory: who the servers are, how many can be
+//! faulty, and everyone's well-known public keys (paper §4 assumes keys
+//! are well known; key management is out of scope).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sstore_crypto::schnorr::{SchnorrParams, SigningKey, VerifyingKey};
+
+use crate::quorum;
+use crate::types::{ClientId, ServerId};
+
+/// Immutable directory of the deployment, shared by every node.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    n: usize,
+    b: usize,
+    client_keys: HashMap<ClientId, VerifyingKey>,
+}
+
+impl Directory {
+    /// Builds a directory for `n` servers tolerating `b` faults, with the
+    /// given client public keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(n, b)` violates the protocol's availability constraint
+    /// `n ≥ 3b+1` (see [`quorum::validate`]).
+    pub fn new(n: usize, b: usize, client_keys: HashMap<ClientId, VerifyingKey>) -> Arc<Self> {
+        quorum::validate(n, b).expect("invalid (n, b) configuration");
+        Arc::new(Directory { n, b, client_keys })
+    }
+
+    /// Total number of servers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Assumed bound on faulty servers.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// All server ids, `S_0 … S_{n-1}`.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        (0..self.n as u16).map(ServerId)
+    }
+
+    /// Public key of `client`, if registered.
+    pub fn client_key(&self, client: ClientId) -> Option<&VerifyingKey> {
+        self.client_keys.get(&client)
+    }
+
+    /// Whether `client` is authorized (has a registered key). Stands in for
+    /// the paper's assumed external authorization service.
+    pub fn is_authorized(&self, client: ClientId) -> bool {
+        self.client_keys.contains_key(&client)
+    }
+}
+
+/// Deterministically generates a keyring of `count` clients on the toy
+/// Schnorr group, returning both the signing keys and a directory-ready
+/// public-key map. Fixture helper used across tests, benches and examples.
+pub fn generate_client_keys(
+    count: u16,
+    seed: u64,
+) -> (HashMap<ClientId, SigningKey>, HashMap<ClientId, VerifyingKey>) {
+    let params = SchnorrParams::toy();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut signing = HashMap::new();
+    let mut verifying = HashMap::new();
+    for i in 0..count {
+        let key = SigningKey::generate(&params, &mut rng);
+        verifying.insert(ClientId(i), key.verifying_key().clone());
+        signing.insert(ClientId(i), key);
+    }
+    (signing, verifying)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_basics() {
+        let (_, pubs) = generate_client_keys(3, 1);
+        let dir = Directory::new(7, 2, pubs);
+        assert_eq!(dir.n(), 7);
+        assert_eq!(dir.b(), 2);
+        assert_eq!(dir.servers().count(), 7);
+        assert!(dir.is_authorized(ClientId(0)));
+        assert!(!dir.is_authorized(ClientId(9)));
+        assert!(dir.client_key(ClientId(2)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid (n, b)")]
+    fn rejects_unavailable_config() {
+        let (_, pubs) = generate_client_keys(1, 1);
+        Directory::new(3, 1, pubs);
+    }
+
+    #[test]
+    fn keygen_is_deterministic() {
+        let (_, a) = generate_client_keys(2, 9);
+        let (_, b) = generate_client_keys(2, 9);
+        assert_eq!(a.get(&ClientId(0)), b.get(&ClientId(0)));
+        let (_, c) = generate_client_keys(2, 10);
+        assert_ne!(a.get(&ClientId(0)), c.get(&ClientId(0)));
+    }
+
+    #[test]
+    fn signing_keys_match_directory_keys() {
+        let (signing, pubs) = generate_client_keys(2, 3);
+        for (id, sk) in &signing {
+            assert_eq!(sk.verifying_key(), pubs.get(id).unwrap());
+        }
+    }
+}

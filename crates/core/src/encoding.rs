@@ -1,0 +1,234 @@
+//! Canonical byte encoding for signed protocol payloads.
+//!
+//! Every signature in the secure store is computed over a *canonical*
+//! encoding of the signed fields, so that a client and every server derive
+//! byte-identical input for signing and verification. The encoding is
+//! injective: all variable-length fields are length-prefixed and all
+//! composite fields are tagged.
+
+use sstore_crypto::sha256::Digest;
+
+use crate::context::Context;
+use crate::types::{ClientId, DataId, GroupId, Timestamp};
+
+/// Incremental canonical encoder.
+///
+/// ```
+/// use sstore_core::encoding::Enc;
+///
+/// let bytes = Enc::new().u64(7).bytes(b"payload").finish();
+/// assert_eq!(bytes.len(), 8 + 8 + 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Appends a raw byte.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn u16(mut self, v: u16) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self.buf.extend_from_slice(&(v.len() as u64).to_be_bytes());
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a fixed-size digest (no length prefix needed).
+    pub fn digest(mut self, d: &Digest) -> Self {
+        self.buf.extend_from_slice(d.as_bytes());
+        self
+    }
+
+    /// Appends a timestamp (tagged by family).
+    pub fn timestamp(self, ts: &Timestamp) -> Self {
+        match ts {
+            Timestamp::Version(v) => self.u8(1).u64(*v),
+            Timestamp::Multi {
+                time,
+                writer,
+                digest,
+            } => self.u8(2).u64(*time).u16(writer.0).digest(digest),
+        }
+    }
+
+    /// Appends a whole context: group id, entry count, sorted entries.
+    pub fn context(mut self, ctx: &Context) -> Self {
+        self = self.u32(ctx.group().0).u64(ctx.len() as u64);
+        for (data, ts) in ctx.iter() {
+            self = self.u64(data.0).timestamp(ts);
+        }
+        self
+    }
+
+    /// Returns the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Canonical signing payload for a data write (paper Fig. 2).
+///
+/// Covers `uid(x)`, the group, the timestamp, the writer, the value digest
+/// and — for CC data — the writer's context `𝒳_writer`. Signing the digest
+/// of the value rather than the value itself lets third parties verify
+/// *metadata* (e.g. during context reconstruction) without the value.
+pub fn write_payload(
+    data: DataId,
+    group: GroupId,
+    ts: &Timestamp,
+    writer: ClientId,
+    value_digest: &Digest,
+    writer_ctx: Option<&Context>,
+) -> Vec<u8> {
+    let mut e = Enc::new()
+        .u8(b'W')
+        .u64(data.0)
+        .u32(group.0)
+        .timestamp(ts)
+        .u16(writer.0)
+        .digest(value_digest);
+    match writer_ctx {
+        Some(ctx) => e = e.u8(1).context(ctx),
+        None => e = e.u8(0),
+    }
+    e.finish()
+}
+
+/// Canonical signing payload for a stored context (paper Fig. 1).
+pub fn context_payload(client: ClientId, ctx: &Context, session: u64) -> Vec<u8> {
+    Enc::new()
+        .u8(b'X')
+        .u16(client.0)
+        .u64(session)
+        .context(ctx)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_crypto::sha256::digest;
+
+    fn sample_ctx() -> Context {
+        let mut ctx = Context::new(GroupId(1));
+        ctx.observe(DataId(1), Timestamp::Version(3));
+        ctx.observe(DataId(2), Timestamp::Version(5));
+        ctx
+    }
+
+    #[test]
+    fn primitive_encoding_shapes() {
+        assert_eq!(Enc::new().u8(7).finish(), vec![7]);
+        assert_eq!(Enc::new().u16(1).finish(), vec![0, 1]);
+        assert_eq!(Enc::new().u64(1).finish(), vec![0, 0, 0, 0, 0, 0, 0, 1]);
+        let b = Enc::new().bytes(b"ab").finish();
+        assert_eq!(&b[..8], &2u64.to_be_bytes());
+        assert_eq!(&b[8..], b"ab");
+    }
+
+    #[test]
+    fn timestamps_are_tagged() {
+        let v = Enc::new().timestamp(&Timestamp::Version(1)).finish();
+        let m = Enc::new()
+            .timestamp(&Timestamp::Multi {
+                time: 1,
+                writer: ClientId(0),
+                digest: digest(b"v"),
+            })
+            .finish();
+        assert_ne!(v[0], m[0]);
+    }
+
+    #[test]
+    fn write_payload_distinguishes_fields() {
+        let d = digest(b"value");
+        let base = write_payload(
+            DataId(1),
+            GroupId(1),
+            &Timestamp::Version(1),
+            ClientId(1),
+            &d,
+            None,
+        );
+        let other_item = write_payload(
+            DataId(2),
+            GroupId(1),
+            &Timestamp::Version(1),
+            ClientId(1),
+            &d,
+            None,
+        );
+        let other_ts = write_payload(
+            DataId(1),
+            GroupId(1),
+            &Timestamp::Version(2),
+            ClientId(1),
+            &d,
+            None,
+        );
+        let with_ctx = write_payload(
+            DataId(1),
+            GroupId(1),
+            &Timestamp::Version(1),
+            ClientId(1),
+            &d,
+            Some(&sample_ctx()),
+        );
+        assert_ne!(base, other_item);
+        assert_ne!(base, other_ts);
+        assert_ne!(base, with_ctx);
+    }
+
+    #[test]
+    fn context_payload_depends_on_session_and_entries() {
+        let ctx = sample_ctx();
+        let a = context_payload(ClientId(1), &ctx, 1);
+        let b = context_payload(ClientId(1), &ctx, 2);
+        assert_ne!(a, b);
+        let mut ctx2 = ctx.clone();
+        ctx2.observe(DataId(1), Timestamp::Version(4));
+        assert_ne!(a, context_payload(ClientId(1), &ctx2, 1));
+    }
+
+    #[test]
+    fn context_encoding_is_order_independent() {
+        // Contexts iterate sorted by DataId, so insertion order must not
+        // change the canonical bytes.
+        let mut a = Context::new(GroupId(1));
+        a.observe(DataId(2), Timestamp::Version(5));
+        a.observe(DataId(1), Timestamp::Version(3));
+        let b = sample_ctx();
+        assert_eq!(
+            Enc::new().context(&a).finish(),
+            Enc::new().context(&b).finish()
+        );
+    }
+}

@@ -1,0 +1,422 @@
+//! Byzantine server behaviours for fault-injection experiments.
+//!
+//! The paper assumes up to `b` servers "can behave arbitrarily while
+//! executing the secure store protocols" (§4). The simulator realizes a
+//! representative adversary menu by intercepting a correct server's wire
+//! traffic — the adversary sees exactly what a compromised server would see
+//! (messages), never the honest implementation's internals:
+//!
+//! - [`Behavior::Crash`] — stops responding entirely.
+//! - [`Behavior::Stale`] — answers with the *first* value it ever saw for
+//!   each item/context, hiding all later updates.
+//! - [`Behavior::CorruptValue`] — flips bits in returned values (clients
+//!   catch this via the signed digest).
+//! - [`Behavior::CorruptSig`] — replaces signatures with garbage.
+//! - [`Behavior::Equivocate`] — advertises fabricated, inflated timestamps
+//!   in phase-1 replies to lure readers (it can never produce a signed
+//!   value to match).
+//! - [`Behavior::Premature`] — reports multi-writer values before their
+//!   causal predecessors arrived (configured via
+//!   `MultiWriterConfig::validate_causal_deps = false`).
+
+use std::collections::HashMap;
+
+use sstore_crypto::schnorr::Signature;
+
+use crate::item::{SignedContext, StoredItem};
+use crate::server::Addr;
+use crate::types::{ClientId, DataId, GroupId, Timestamp};
+use crate::wire::Msg;
+
+/// The fault menu for a simulated server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Crash fault: never responds, never gossips.
+    Crash,
+    /// Serves the oldest state it ever held.
+    Stale,
+    /// Corrupts value bytes in read responses and gossip.
+    CorruptValue,
+    /// Replaces signatures with garbage in read responses.
+    CorruptSig,
+    /// Advertises fabricated high timestamps in timestamp queries.
+    Equivocate,
+    /// Skips multi-writer causal-dependency validation and reports pending
+    /// writes immediately (the attack §5.3's `2b+1`/`b+1` rule masks).
+    Premature,
+}
+
+impl Behavior {
+    /// Whether this behaviour counts as Byzantine (vs. honest).
+    pub fn is_faulty(&self) -> bool {
+        !matches!(self, Behavior::Honest)
+    }
+}
+
+/// Adversary memory: the first-seen versions used by [`Behavior::Stale`].
+#[derive(Debug, Default)]
+pub struct AdversaryState {
+    first_items: HashMap<DataId, StoredItem>,
+    first_ctxs: HashMap<(ClientId, GroupId), SignedContext>,
+}
+
+impl AdversaryState {
+    /// Creates empty adversary memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes an inbound message (before the honest logic handles it),
+    /// capturing first-seen state for later stale replays.
+    pub fn observe_inbound(&mut self, msg: &Msg) {
+        match msg {
+            Msg::WriteReq { item, .. } => {
+                self.first_items
+                    .entry(item.meta.data)
+                    .or_insert_with(|| item.clone());
+            }
+            Msg::GossipPush { items } => {
+                for item in items {
+                    self.first_items
+                        .entry(item.meta.data)
+                        .or_insert_with(|| item.clone());
+                }
+            }
+            Msg::CtxWriteReq { group, signed, .. } => {
+                self.first_ctxs
+                    .entry((signed.client, *group))
+                    .or_insert_with(|| signed.clone());
+            }
+            _ => {}
+        }
+    }
+
+    /// Rewrites the honest server's outbound messages according to
+    /// `behavior`. Returns the (possibly emptied) message list.
+    pub fn mutate_outbound(
+        &self,
+        behavior: Behavior,
+        outbound: Vec<(Addr, Msg)>,
+    ) -> Vec<(Addr, Msg)> {
+        match behavior {
+            Behavior::Crash => Vec::new(),
+            Behavior::Honest | Behavior::Premature => outbound,
+            Behavior::Stale => outbound
+                .into_iter()
+                .map(|(to, msg)| (to, self.make_stale(msg)))
+                .collect(),
+            Behavior::CorruptValue => outbound
+                .into_iter()
+                .map(|(to, msg)| (to, corrupt_values(msg)))
+                .collect(),
+            Behavior::CorruptSig => outbound
+                .into_iter()
+                .map(|(to, msg)| (to, corrupt_signatures(msg)))
+                .collect(),
+            Behavior::Equivocate => outbound
+                .into_iter()
+                .map(|(to, msg)| (to, equivocate(msg)))
+                .collect(),
+        }
+    }
+
+    fn make_stale(&self, msg: Msg) -> Msg {
+        match msg {
+            Msg::TsQueryResp { op, data, .. } => Msg::TsQueryResp {
+                op,
+                data,
+                meta: self.first_items.get(&data).map(|i| i.meta.clone()),
+                inline: None,
+            },
+            Msg::ReadResp { op, item } => Msg::ReadResp {
+                op,
+                item: item
+                    .and_then(|i| self.first_items.get(&i.meta.data).cloned())
+                    .or(None),
+            },
+            Msg::MwReadResp { op, data, .. } => Msg::MwReadResp {
+                op,
+                data,
+                versions: self.first_items.get(&data).cloned().into_iter().collect(),
+            },
+            Msg::CtxReadResp { op, stored } => Msg::CtxReadResp {
+                op,
+                stored: stored.and_then(|s| {
+                    self.first_ctxs.get(&(s.client, s.ctx.group())).cloned()
+                }),
+            },
+            Msg::TsScanResp { op, entries } => Msg::TsScanResp {
+                op,
+                entries: entries
+                    .into_iter()
+                    .map(|m| {
+                        self.first_items
+                            .get(&m.data)
+                            .map(|i| i.meta.clone())
+                            .unwrap_or(m)
+                    })
+                    .collect(),
+            },
+            other => other,
+        }
+    }
+}
+
+fn garbage_signature() -> Signature {
+    Signature::from_bytes(&[0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef]).expect("static bytes parse")
+}
+
+fn corrupt_item_value(mut item: StoredItem) -> StoredItem {
+    if item.value.is_empty() {
+        item.value = vec![0xff];
+    } else {
+        item.value[0] ^= 0xff;
+    }
+    item
+}
+
+fn corrupt_item_sig(mut item: StoredItem) -> StoredItem {
+    item.meta.signature = garbage_signature();
+    item
+}
+
+fn corrupt_values(msg: Msg) -> Msg {
+    match msg {
+        Msg::ReadResp { op, item } => Msg::ReadResp {
+            op,
+            item: item.map(corrupt_item_value),
+        },
+        Msg::TsQueryResp {
+            op,
+            data,
+            meta,
+            inline,
+        } => Msg::TsQueryResp {
+            op,
+            data,
+            meta,
+            inline: inline.map(corrupt_item_value),
+        },
+        Msg::MwReadResp { op, data, versions } => Msg::MwReadResp {
+            op,
+            data,
+            versions: versions.into_iter().map(corrupt_item_value).collect(),
+        },
+        Msg::GossipPush { items } => Msg::GossipPush {
+            items: items.into_iter().map(corrupt_item_value).collect(),
+        },
+        other => other,
+    }
+}
+
+fn corrupt_signatures(msg: Msg) -> Msg {
+    match msg {
+        Msg::ReadResp { op, item } => Msg::ReadResp {
+            op,
+            item: item.map(corrupt_item_sig),
+        },
+        Msg::TsQueryResp {
+            op,
+            data,
+            meta,
+            inline,
+        } => Msg::TsQueryResp {
+            op,
+            data,
+            meta,
+            inline: inline.map(corrupt_item_sig),
+        },
+        Msg::MwReadResp { op, data, versions } => Msg::MwReadResp {
+            op,
+            data,
+            versions: versions.into_iter().map(corrupt_item_sig).collect(),
+        },
+        Msg::GossipPush { items } => Msg::GossipPush {
+            items: items.into_iter().map(corrupt_item_sig).collect(),
+        },
+        Msg::CtxReadResp { op, stored } => Msg::CtxReadResp {
+            op,
+            stored: stored.map(|mut s| {
+                s.signature = garbage_signature();
+                s
+            }),
+        },
+        other => other,
+    }
+}
+
+fn equivocate(msg: Msg) -> Msg {
+    match msg {
+        Msg::TsQueryResp {
+            op,
+            data,
+            meta: Some(mut m),
+            ..
+        } => {
+            // Advertise a timestamp far in the future; the server cannot
+            // back it with a signed value, so phase 2 will fail at honest
+            // verification — the paper's argument for why this only costs
+            // retries, not safety.
+            m.ts = match m.ts {
+                Timestamp::Version(v) => Timestamp::Version(v + 1_000_000),
+                Timestamp::Multi {
+                    time,
+                    writer,
+                    digest,
+                } => Timestamp::Multi {
+                    time: time + 1_000_000,
+                    writer,
+                    digest,
+                },
+            };
+            Msg::TsQueryResp {
+                op,
+                data,
+                meta: Some(m),
+                inline: None,
+            }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CryptoCounters;
+    use crate::types::OpId;
+    use sstore_crypto::schnorr::{SchnorrParams, SigningKey};
+
+    fn item(data: u64, ver: u64, value: &[u8]) -> StoredItem {
+        let key = SigningKey::from_seed(&SchnorrParams::toy(), 1);
+        StoredItem::create(
+            DataId(data),
+            GroupId(1),
+            Timestamp::Version(ver),
+            ClientId(1),
+            None,
+            value.to_vec(),
+            &key,
+            &mut CryptoCounters::new(),
+        )
+    }
+
+    fn read_resp(i: StoredItem) -> Vec<(Addr, Msg)> {
+        vec![(
+            Addr::Client(ClientId(1)),
+            Msg::ReadResp {
+                op: OpId(1),
+                item: Some(i),
+            },
+        )]
+    }
+
+    #[test]
+    fn crash_silences_everything() {
+        let adv = AdversaryState::new();
+        let out = adv.mutate_outbound(Behavior::Crash, read_resp(item(1, 1, b"v")));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn honest_passes_through() {
+        let adv = AdversaryState::new();
+        let msgs = read_resp(item(1, 1, b"v"));
+        let out = adv.mutate_outbound(Behavior::Honest, msgs.clone());
+        assert_eq!(out.len(), msgs.len());
+    }
+
+    #[test]
+    fn stale_replays_first_seen() {
+        let mut adv = AdversaryState::new();
+        let old = item(1, 1, b"old");
+        let new = item(1, 5, b"new");
+        adv.observe_inbound(&Msg::WriteReq {
+            op: OpId(1),
+            item: old.clone(),
+        });
+        adv.observe_inbound(&Msg::WriteReq {
+            op: OpId(2),
+            item: new.clone(),
+        });
+        let out = adv.mutate_outbound(Behavior::Stale, read_resp(new));
+        match &out[0].1 {
+            Msg::ReadResp { item: Some(i), .. } => assert_eq!(i.value, b"old"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_value_breaks_digest_not_shape() {
+        let adv = AdversaryState::new();
+        let orig = item(1, 1, b"payload");
+        let out = adv.mutate_outbound(Behavior::CorruptValue, read_resp(orig.clone()));
+        match &out[0].1 {
+            Msg::ReadResp { item: Some(i), .. } => {
+                assert_ne!(i.value, orig.value);
+                assert_eq!(i.meta, orig.meta, "metadata untouched");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_sig_replaces_signature() {
+        let adv = AdversaryState::new();
+        let orig = item(1, 1, b"payload");
+        let out = adv.mutate_outbound(Behavior::CorruptSig, read_resp(orig.clone()));
+        match &out[0].1 {
+            Msg::ReadResp { item: Some(i), .. } => {
+                assert_ne!(i.meta.signature, orig.meta.signature);
+                assert_eq!(i.value, orig.value);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equivocate_inflates_ts_query_only() {
+        let adv = AdversaryState::new();
+        let orig = item(1, 3, b"v");
+        let msgs = vec![(
+            Addr::Client(ClientId(1)),
+            Msg::TsQueryResp {
+                op: OpId(1),
+                data: DataId(1),
+                meta: Some(orig.meta.clone()),
+                inline: None,
+            },
+        )];
+        let out = adv.mutate_outbound(Behavior::Equivocate, msgs);
+        match &out[0].1 {
+            Msg::TsQueryResp { meta: Some(m), .. } => {
+                assert!(m.ts.is_newer_than(&orig.meta.ts));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Read responses pass through untouched (the lie is only in phase 1).
+        let out = adv.mutate_outbound(Behavior::Equivocate, read_resp(orig.clone()));
+        match &out[0].1 {
+            Msg::ReadResp { item: Some(i), .. } => assert_eq!(i, &orig),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn behavior_classification() {
+        assert!(!Behavior::Honest.is_faulty());
+        for b in [
+            Behavior::Crash,
+            Behavior::Stale,
+            Behavior::CorruptValue,
+            Behavior::CorruptSig,
+            Behavior::Equivocate,
+            Behavior::Premature,
+        ] {
+            assert!(b.is_faulty());
+        }
+    }
+}

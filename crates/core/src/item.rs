@@ -1,0 +1,315 @@
+//! Signed stored items and signed contexts — the units servers keep.
+//!
+//! Servers are *passive repositories* (paper §1): everything they store is
+//! signed by the writing client, so a malicious server can withhold or
+//! replay but never fabricate or alter data undetectably.
+
+use sstore_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use sstore_crypto::sha256::{digest, Digest};
+use sstore_crypto::CryptoError;
+
+use crate::context::Context;
+use crate::encoding::{context_payload, write_payload};
+use crate::metrics::CryptoCounters;
+use crate::types::{ClientId, DataId, GroupId, Timestamp};
+
+/// Signed metadata of a stored data item.
+///
+/// The signature covers the value's *digest* rather than the value, so that
+/// metadata can be verified on its own — which is exactly what the context
+/// reconstruction protocol (paper §5.1) and gossip validation need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemMeta {
+    /// The data item `uid(x)`.
+    pub data: DataId,
+    /// The related group the item belongs to.
+    pub group: GroupId,
+    /// Timestamp of this write.
+    pub ts: Timestamp,
+    /// The writing client.
+    pub writer: ClientId,
+    /// Digest of the value, `d(v)`.
+    pub value_digest: Digest,
+    /// The writer's context at write time (`𝒳_writer`), present for CC data.
+    pub writer_ctx: Option<Context>,
+    /// Writer's signature over all fields above.
+    pub signature: Signature,
+}
+
+impl ItemMeta {
+    /// The canonical bytes the signature covers.
+    pub fn payload(&self) -> Vec<u8> {
+        write_payload(
+            self.data,
+            self.group,
+            &self.ts,
+            self.writer,
+            &self.value_digest,
+            self.writer_ctx.as_ref(),
+        )
+    }
+
+    /// Verifies the writer's signature over the metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::BadSignature`] when the signature does not match.
+    pub fn verify(&self, key: &VerifyingKey, counters: &mut CryptoCounters) -> Result<(), CryptoError> {
+        counters.count_verify();
+        key.verify(&self.payload(), &self.signature)
+    }
+
+    /// Estimated wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        8 + 4 + 43 + 2 + 32
+            + self.writer_ctx.as_ref().map_or(1, |c| 1 + c.size_bytes())
+            + self.signature.encoded_len()
+    }
+}
+
+/// A stored data item: signed metadata plus the value bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredItem {
+    /// Signed metadata.
+    pub meta: ItemMeta,
+    /// The value `v` (possibly client-side encrypted).
+    pub value: Vec<u8>,
+}
+
+impl StoredItem {
+    /// Creates and signs a new item as client `writer` would.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        data: DataId,
+        group: GroupId,
+        ts: Timestamp,
+        writer: ClientId,
+        writer_ctx: Option<Context>,
+        value: Vec<u8>,
+        key: &SigningKey,
+        counters: &mut CryptoCounters,
+    ) -> Self {
+        counters.count_digest();
+        let value_digest = digest(&value);
+        let mut meta = ItemMeta {
+            data,
+            group,
+            ts,
+            writer,
+            value_digest,
+            writer_ctx,
+            signature: Signature::from_bytes(&[0, 0, 0, 0]).expect("placeholder"),
+        };
+        counters.count_sign();
+        meta.signature = key.sign(&meta.payload());
+        StoredItem { meta, value }
+    }
+
+    /// Verifies both the signature and that the value matches the signed
+    /// digest.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::BadSignature`] for a bad signature, or
+    /// [`CryptoError::BadMac`] when the value does not hash to the signed
+    /// digest (a corrupted value).
+    pub fn verify(&self, key: &VerifyingKey, counters: &mut CryptoCounters) -> Result<(), CryptoError> {
+        self.meta.verify(key, counters)?;
+        counters.count_digest();
+        if digest(&self.value) != self.meta.value_digest {
+            return Err(CryptoError::BadMac);
+        }
+        Ok(())
+    }
+
+    /// Estimated wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.meta.size_bytes() + 8 + self.value.len()
+    }
+}
+
+/// A client's signed context as stored at servers (paper Fig. 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedContext {
+    /// The owning client.
+    pub client: ClientId,
+    /// Session counter; strictly increases across the client's sessions,
+    /// making "latest context" well defined.
+    pub session: u64,
+    /// The context itself.
+    pub ctx: Context,
+    /// Client's signature over `(client, session, ctx)`.
+    pub signature: Signature,
+}
+
+impl SignedContext {
+    /// Creates and signs a context snapshot.
+    pub fn create(
+        client: ClientId,
+        session: u64,
+        ctx: Context,
+        key: &SigningKey,
+        counters: &mut CryptoCounters,
+    ) -> Self {
+        counters.count_sign();
+        let signature = key.sign(&context_payload(client, &ctx, session));
+        SignedContext {
+            client,
+            session,
+            ctx,
+            signature,
+        }
+    }
+
+    /// Verifies the owner's signature.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::BadSignature`] when the signature does not match.
+    pub fn verify(&self, key: &VerifyingKey, counters: &mut CryptoCounters) -> Result<(), CryptoError> {
+        counters.count_verify();
+        key.verify(
+            &context_payload(self.client, &self.ctx, self.session),
+            &self.signature,
+        )
+    }
+
+    /// Estimated wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        2 + 8 + self.ctx.size_bytes() + self.signature.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_crypto::schnorr::SchnorrParams;
+
+    fn key(seed: u64) -> SigningKey {
+        SigningKey::from_seed(&SchnorrParams::toy(), seed)
+    }
+
+    fn sample_item(k: &SigningKey, c: &mut CryptoCounters) -> StoredItem {
+        StoredItem::create(
+            DataId(1),
+            GroupId(1),
+            Timestamp::Version(3),
+            ClientId(1),
+            None,
+            b"value".to_vec(),
+            k,
+            c,
+        )
+    }
+
+    #[test]
+    fn item_roundtrip_and_counting() {
+        let k = key(1);
+        let mut c = CryptoCounters::new();
+        let item = sample_item(&k, &mut c);
+        assert_eq!(c.signs, 1);
+        assert_eq!(c.digests, 1);
+        item.verify(k.verifying_key(), &mut c).unwrap();
+        assert_eq!(c.verifies, 1);
+        assert_eq!(c.digests, 2);
+    }
+
+    #[test]
+    fn tampered_value_detected() {
+        let k = key(2);
+        let mut c = CryptoCounters::new();
+        let mut item = sample_item(&k, &mut c);
+        item.value = b"evil".to_vec();
+        assert_eq!(
+            item.verify(k.verifying_key(), &mut c),
+            Err(CryptoError::BadMac)
+        );
+    }
+
+    #[test]
+    fn tampered_meta_detected() {
+        let k = key(3);
+        let mut c = CryptoCounters::new();
+        let mut item = sample_item(&k, &mut c);
+        item.meta.ts = Timestamp::Version(99);
+        assert_eq!(
+            item.verify(k.verifying_key(), &mut c),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn meta_verifiable_without_value() {
+        let k = key(4);
+        let mut c = CryptoCounters::new();
+        let item = sample_item(&k, &mut c);
+        // Context reconstruction sees only metadata.
+        item.meta.verify(k.verifying_key(), &mut c).unwrap();
+    }
+
+    #[test]
+    fn wrong_writer_key_rejected() {
+        let k1 = key(5);
+        let k2 = key(6);
+        let mut c = CryptoCounters::new();
+        let item = sample_item(&k1, &mut c);
+        assert!(item.verify(k2.verifying_key(), &mut c).is_err());
+    }
+
+    #[test]
+    fn cc_item_carries_writer_context() {
+        let k = key(7);
+        let mut c = CryptoCounters::new();
+        let mut ctx = Context::new(GroupId(1));
+        ctx.observe(DataId(2), Timestamp::Version(5));
+        let item = StoredItem::create(
+            DataId(1),
+            GroupId(1),
+            Timestamp::Version(3),
+            ClientId(1),
+            Some(ctx.clone()),
+            b"v".to_vec(),
+            &k,
+            &mut c,
+        );
+        item.verify(k.verifying_key(), &mut c).unwrap();
+        // Dropping the context invalidates the signature.
+        let mut stripped = item.clone();
+        stripped.meta.writer_ctx = None;
+        assert!(stripped.verify(k.verifying_key(), &mut c).is_err());
+    }
+
+    #[test]
+    fn signed_context_roundtrip() {
+        let k = key(8);
+        let mut c = CryptoCounters::new();
+        let mut ctx = Context::new(GroupId(2));
+        ctx.observe(DataId(1), Timestamp::Version(1));
+        let sc = SignedContext::create(ClientId(1), 7, ctx, &k, &mut c);
+        sc.verify(k.verifying_key(), &mut c).unwrap();
+        assert_eq!(c.signs, 1);
+        assert_eq!(c.verifies, 1);
+    }
+
+    #[test]
+    fn signed_context_tamper_detected() {
+        let k = key(9);
+        let mut c = CryptoCounters::new();
+        let sc = SignedContext::create(ClientId(1), 7, Context::new(GroupId(2)), &k, &mut c);
+        let mut bad = sc.clone();
+        bad.session = 8;
+        assert!(bad.verify(k.verifying_key(), &mut c).is_err());
+        let mut bad2 = sc;
+        bad2.ctx.observe(DataId(1), Timestamp::Version(1));
+        assert!(bad2.verify(k.verifying_key(), &mut c).is_err());
+    }
+
+    #[test]
+    fn size_estimates_positive() {
+        let k = key(10);
+        let mut c = CryptoCounters::new();
+        let item = sample_item(&k, &mut c);
+        assert!(item.size_bytes() > item.meta.size_bytes());
+        assert!(item.meta.size_bytes() > 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Cryptographic-operation accounting (paper §6's "computational overhead").
+//!
+//! The paper counts signatures, signature verifications and digests per
+//! operation; every client and server in the reproduction tallies them here
+//! so the benchmark harness can compare measured counts against the
+//! formulas (e.g. "context write: one signature and `⌈(n+b+1)/2⌉`
+//! verifications").
+
+/// Counts of cryptographic operations performed by one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CryptoCounters {
+    /// Signatures produced.
+    pub signs: u64,
+    /// Signature verifications performed.
+    pub verifies: u64,
+    /// Digest computations (value hashing).
+    pub digests: u64,
+    /// MAC computations (used by the PBFT-lite baseline).
+    pub macs: u64,
+}
+
+impl CryptoCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one signature.
+    pub fn count_sign(&mut self) {
+        self.signs += 1;
+    }
+
+    /// Records one verification.
+    pub fn count_verify(&mut self) {
+        self.verifies += 1;
+    }
+
+    /// Records one digest computation.
+    pub fn count_digest(&mut self) {
+        self.digests += 1;
+    }
+
+    /// Records one MAC computation.
+    pub fn count_mac(&mut self) {
+        self.macs += 1;
+    }
+
+    /// Element-wise sum.
+    pub fn merged(self, other: CryptoCounters) -> CryptoCounters {
+        CryptoCounters {
+            signs: self.signs + other.signs,
+            verifies: self.verifies + other.verifies,
+            digests: self.digests + other.digests,
+            macs: self.macs + other.macs,
+        }
+    }
+
+    /// Element-wise difference against an earlier snapshot.
+    pub fn since(self, earlier: CryptoCounters) -> CryptoCounters {
+        CryptoCounters {
+            signs: self.signs - earlier.signs,
+            verifies: self.verifies - earlier.verifies,
+            digests: self.digests - earlier.digests,
+            macs: self.macs - earlier.macs,
+        }
+    }
+}
+
+impl std::fmt::Display for CryptoCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sign={} verify={} digest={} mac={}",
+            self.signs, self.verifies, self.digests, self.macs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_merging() {
+        let mut a = CryptoCounters::new();
+        a.count_sign();
+        a.count_verify();
+        a.count_verify();
+        a.count_digest();
+        a.count_mac();
+        let b = a;
+        let sum = a.merged(b);
+        assert_eq!(sum.signs, 2);
+        assert_eq!(sum.verifies, 4);
+        assert_eq!(sum.digests, 2);
+        assert_eq!(sum.macs, 2);
+    }
+
+    #[test]
+    fn since_snapshot() {
+        let mut c = CryptoCounters::new();
+        c.count_sign();
+        let snap = c;
+        c.count_sign();
+        c.count_verify();
+        let d = c.since(snap);
+        assert_eq!(d.signs, 1);
+        assert_eq!(d.verifies, 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", CryptoCounters::new()).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Quorum arithmetic for every protocol in the evaluation (paper §5–§6).
+//!
+//! | Operation                        | Servers contacted               |
+//! |----------------------------------|---------------------------------|
+//! | Context read/write               | `⌈(n+b+1)/2⌉`                   |
+//! | Data read/write (single-writer)  | `b+1`                           |
+//! | Data read/write (multi-writer)   | `2b+1`, accept on `b+1` matches |
+//! | Masking quorum baseline          | `⌈(n+2b+1)/2⌉`, accept on `b+1` |
+//! | PBFT-lite baseline               | all `n`, `O(n²)` messages       |
+
+/// Quorum size for context read/write: `⌈(n+b+1)/2⌉`.
+///
+/// Two such quorums intersect in at least `b+1` servers, so at least one
+/// *non-faulty* server participates in both the last context write and the
+/// next context read. The paper's optimization over masking quorums: the
+/// latest *validly signed* context from a single server suffices.
+pub fn context_quorum(n: usize, b: usize) -> usize {
+    (n + b + 1).div_ceil(2)
+}
+
+/// Servers contacted for single-writer data reads and writes: `b+1`
+/// (guarantees at least one non-faulty participant).
+pub fn data_quorum(b: usize) -> usize {
+    b + 1
+}
+
+/// Servers contacted for multi-writer reads and writes: `2b+1`.
+pub fn multi_writer_quorum(b: usize) -> usize {
+    2 * b + 1
+}
+
+/// Matching responses a multi-writer read needs before accepting: `b+1`.
+pub fn multi_writer_accept(b: usize) -> usize {
+    b + 1
+}
+
+/// Masking-quorum size (Malkhi–Reiter): `⌈(n+2b+1)/2⌉`. Two such quorums
+/// intersect in `2b+1` servers, of which `b+1` are correct and vouch for
+/// the value.
+pub fn masking_quorum(n: usize, b: usize) -> usize {
+    (n + 2 * b + 1).div_ceil(2)
+}
+
+/// Minimum `n` for the context quorum to be available with `b` faulty
+/// servers: `⌈(n+b+1)/2⌉ ≤ n - b` ⇒ `n ≥ 3b+1`.
+pub fn min_servers_context(b: usize) -> usize {
+    3 * b + 1
+}
+
+/// Minimum `n` for masking quorums to be available: `n ≥ 4b+1`.
+pub fn min_servers_masking(b: usize) -> usize {
+    4 * b + 1
+}
+
+/// Validates a secure-store configuration.
+///
+/// # Errors
+///
+/// Returns a description of the violated constraint.
+pub fn validate(n: usize, b: usize) -> Result<(), String> {
+    if n == 0 {
+        return Err("need at least one server".into());
+    }
+    if n < min_servers_context(b) {
+        return Err(format!(
+            "context quorum needs n >= 3b+1 (n={n}, b={b}): quorum {} would exceed the {} servers guaranteed live",
+            context_quorum(n, b),
+            n - b
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_quorum_formula() {
+        // Values straight from the paper's expression ⌈(n+b+1)/2⌉.
+        assert_eq!(context_quorum(4, 1), 3);
+        assert_eq!(context_quorum(7, 1), 5); // (7+1+1)/2 = 4.5 -> 5
+        assert_eq!(context_quorum(7, 2), 5);
+        assert_eq!(context_quorum(10, 3), 7);
+        assert_eq!(context_quorum(16, 3), 10);
+    }
+
+    #[test]
+    fn context_quorums_intersect_in_b_plus_1() {
+        for n in 4..30 {
+            for b in 1..=(n - 1) / 3 {
+                let q = context_quorum(n, b);
+                // |Q1 ∩ Q2| >= 2q - n >= b+1
+                assert!(2 * q - n >= b + 1, "n={n} b={b} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn masking_quorums_intersect_in_2b_plus_1() {
+        for n in 5usize..40 {
+            for b in 1..=(n.saturating_sub(1)) / 4 {
+                let q = masking_quorum(n, b);
+                assert!(2 * q - n >= 2 * b + 1, "n={n} b={b} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn context_quorum_is_smaller_than_masking() {
+        for n in 5..40 {
+            for b in 1..=n / 5 {
+                assert!(context_quorum(n, b) <= masking_quorum(n, b));
+            }
+        }
+        // Strictly smaller whenever b >= 1 and parity cooperates.
+        assert!(context_quorum(10, 2) < masking_quorum(10, 2));
+    }
+
+    #[test]
+    fn availability_thresholds() {
+        // Context quorum must still be formable with b servers down.
+        for b in 1..6 {
+            let n = min_servers_context(b);
+            assert!(context_quorum(n, b) <= n - b, "b={b}");
+            assert!(context_quorum(n - 1, b) > (n - 1) - b, "n-1 must fail");
+        }
+        for b in 1..6 {
+            let n = min_servers_masking(b);
+            assert!(masking_quorum(n, b) <= n - b, "b={b}");
+        }
+    }
+
+    #[test]
+    fn data_quorums() {
+        assert_eq!(data_quorum(1), 2);
+        assert_eq!(multi_writer_quorum(2), 5);
+        assert_eq!(multi_writer_accept(2), 3);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        assert!(validate(0, 0).is_err());
+        assert!(validate(3, 1).is_err());
+        assert!(validate(4, 1).is_ok());
+        assert!(validate(7, 2).is_ok());
+        assert!(validate(6, 2).is_err());
+    }
+}

@@ -1,0 +1,898 @@
+//! The secure-store server: a passive, signed-data repository
+//! (paper §4–§5).
+//!
+//! Servers never originate data. They store client-signed items and
+//! contexts, answer quorum requests, disseminate updates to peers, and —
+//! for multi-writer data — hold writes until their causal predecessors
+//! arrive and log recent versions (paper §5.3). All consistency enforcement
+//! is the *client's* job; this keeps the power entrusted to servers minimal.
+//!
+//! The server is a sans-I/O state machine: [`ServerNode::handle`] maps an
+//! incoming message to outgoing messages; [`ServerNode::on_gossip_timer`]
+//! drives dissemination. Adapters in `sim` and `sstore-transport` connect
+//! it to the simulator and to real threads.
+
+mod wlog;
+
+pub use wlog::WriteLog;
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use sstore_simnet::SimTime;
+
+use crate::config::ServerConfig;
+use crate::directory::Directory;
+use crate::item::{SignedContext, StoredItem};
+use crate::metrics::CryptoCounters;
+use crate::types::{ClientId, DataId, GroupId, ServerId, Timestamp};
+use crate::wire::Msg;
+
+/// A participant address: either a peer server or a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Addr {
+    /// A secure-store server.
+    Server(ServerId),
+    /// A client.
+    Client(ClientId),
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Server(s) => write!(f, "{s}"),
+            Addr::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// The server state machine.
+#[derive(Debug)]
+pub struct ServerNode {
+    id: ServerId,
+    dir: Arc<Directory>,
+    cfg: ServerConfig,
+    /// Latest admitted item per data id (authoritative current copy).
+    items: HashMap<DataId, StoredItem>,
+    /// Multi-writer reportable logs.
+    logs: HashMap<DataId, WriteLog>,
+    /// Multi-writer writes awaiting causal predecessors, with requester for
+    /// deferred acks.
+    pending: Vec<(StoredItem, Option<(Addr, crate::types::OpId)>)>,
+    /// Stored client contexts, keyed by (client, group).
+    contexts: HashMap<(ClientId, GroupId), SignedContext>,
+    /// Items per group, for context scans.
+    group_index: HashMap<GroupId, BTreeSet<DataId>>,
+    /// Items changed since the last push-gossip round.
+    dirty: HashSet<DataId>,
+    /// Timestamps peers are known to hold (from gossip summaries); drives
+    /// multi-writer log GC ("erase once a new value is available at 2b+1
+    /// servers").
+    peer_knowledge: HashMap<ServerId, HashMap<DataId, Timestamp>>,
+    counters: CryptoCounters,
+}
+
+impl ServerNode {
+    /// Creates an empty server.
+    pub fn new(id: ServerId, dir: Arc<Directory>, cfg: ServerConfig) -> Self {
+        ServerNode {
+            id,
+            dir,
+            cfg,
+            items: HashMap::new(),
+            logs: HashMap::new(),
+            pending: Vec::new(),
+            contexts: HashMap::new(),
+            group_index: HashMap::new(),
+            dirty: HashSet::new(),
+            peer_knowledge: HashMap::new(),
+            counters: CryptoCounters::new(),
+        }
+    }
+
+    /// This server's identity.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Cryptographic-operation counters accumulated so far.
+    pub fn counters(&self) -> CryptoCounters {
+        self.counters
+    }
+
+    /// The configured gossip period (used by adapters to re-arm timers).
+    pub fn gossip_period(&self) -> SimTime {
+        self.cfg.gossip.period
+    }
+
+    /// The server's current copy of `data`, if any (test/harness hook).
+    pub fn item(&self, data: DataId) -> Option<&StoredItem> {
+        self.items.get(&data)
+    }
+
+    /// Number of reportable log entries for `data` (test/harness hook).
+    pub fn log_len(&self, data: DataId) -> usize {
+        self.logs.get(&data).map_or(0, WriteLog::len)
+    }
+
+    /// Number of writes held back waiting for causal predecessors.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of stored items (test/harness hook).
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Handles one incoming message, returning the messages to send.
+    pub fn handle(&mut self, from: Addr, msg: Msg, _now: SimTime) -> Vec<(Addr, Msg)> {
+        match msg {
+            Msg::CtxReadReq { op, client, group } => {
+                if !self.dir.is_authorized(client) {
+                    return Vec::new();
+                }
+                let stored = self.contexts.get(&(client, group)).cloned();
+                vec![(from, Msg::CtxReadResp { op, stored })]
+            }
+            Msg::CtxWriteReq { op, group, signed } => {
+                if self.accept_context(group, signed) {
+                    vec![(from, Msg::CtxWriteAck { op })]
+                } else {
+                    Vec::new()
+                }
+            }
+            Msg::TsScanReq { op, group } => {
+                let entries = self
+                    .group_index
+                    .get(&group)
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|d| self.items.get(d))
+                    .map(|i| i.meta.clone())
+                    .collect();
+                vec![(from, Msg::TsScanResp { op, entries })]
+            }
+            Msg::TsQueryReq { op, data } => {
+                let item = self.items.get(&data);
+                let meta = item.map(|i| i.meta.clone());
+                let inline = item
+                    .filter(|i| i.value.len() <= self.cfg.read_inline_limit)
+                    .cloned();
+                vec![(from, Msg::TsQueryResp { op, data, meta, inline })]
+            }
+            Msg::ReadReq { op, data, ts } => {
+                let item = self
+                    .items
+                    .get(&data)
+                    .filter(|i| i.meta.ts.is_at_least(&ts))
+                    .cloned();
+                vec![(from, Msg::ReadResp { op, item })]
+            }
+            Msg::WriteReq { op, item } => match item.meta.ts {
+                Timestamp::Version(_) => {
+                    // An ack means "this server durably holds your write or
+                    // a newer one" — so re-deliveries (client retries racing
+                    // with gossip) still ack positively.
+                    let ts = item.meta.ts;
+                    let data = item.meta.data;
+                    let accepted = self.accept_item(item)
+                        || self
+                            .items
+                            .get(&data)
+                            .is_some_and(|cur| cur.meta.ts.is_at_least(&ts));
+                    vec![(from, Msg::WriteAck { op, accepted })]
+                }
+                Timestamp::Multi { .. } => self.accept_multi_writer(item, Some((from, op))),
+            },
+            Msg::MwReadReq { op, data } => {
+                let versions = self
+                    .logs
+                    .get(&data)
+                    .map(|l| l.reportable().cloned().collect())
+                    .unwrap_or_default();
+                vec![(from, Msg::MwReadResp { op, data, versions })]
+            }
+            Msg::GossipPush { items } => {
+                let mut out = Vec::new();
+                for item in items {
+                    match item.meta.ts {
+                        Timestamp::Version(_) => {
+                            self.accept_item(item);
+                        }
+                        Timestamp::Multi { .. } => {
+                            out.extend(self.accept_multi_writer(item, None));
+                        }
+                    }
+                }
+                out
+            }
+            Msg::GossipSummary {
+                entries,
+                want_reply,
+            } => self.handle_summary(from, entries, want_reply),
+            // Responses are client-side messages; a server receiving one
+            // (misrouted or adversarial noise) ignores it.
+            Msg::CtxReadResp { .. }
+            | Msg::CtxWriteAck { .. }
+            | Msg::TsScanResp { .. }
+            | Msg::TsQueryResp { .. }
+            | Msg::ReadResp { .. }
+            | Msg::WriteAck { .. }
+            | Msg::MwReadResp { .. } => Vec::new(),
+        }
+    }
+
+    /// Runs one gossip round: contacts `fanout` random peers with either an
+    /// anti-entropy summary or a push of recently changed items.
+    pub fn on_gossip_timer(&mut self, _now: SimTime, rng: &mut StdRng) -> Vec<(Addr, Msg)> {
+        if !self.cfg.gossip.enabled {
+            return Vec::new();
+        }
+        let mut peers: Vec<ServerId> = self.dir.servers().filter(|&s| s != self.id).collect();
+        peers.shuffle(rng);
+        peers.truncate(self.cfg.gossip.fanout);
+        let mut out = Vec::new();
+        if self.cfg.gossip.anti_entropy {
+            let entries: Vec<(DataId, Timestamp)> = self
+                .items
+                .iter()
+                .map(|(&d, i)| (d, i.meta.ts))
+                .collect();
+            for peer in peers {
+                out.push((
+                    Addr::Server(peer),
+                    Msg::GossipSummary {
+                        entries: entries.clone(),
+                        want_reply: true,
+                    },
+                ));
+            }
+        } else {
+            let items: Vec<StoredItem> = self
+                .dirty
+                .iter()
+                .filter_map(|d| self.items.get(d))
+                .cloned()
+                .collect();
+            if !items.is_empty() {
+                for peer in peers {
+                    out.push((Addr::Server(peer), Msg::GossipPush { items: items.clone() }));
+                }
+                self.dirty.clear();
+            }
+        }
+        out
+    }
+
+    /// Verifies and stores a signed context if it is newer than the stored
+    /// one. Returns whether it was accepted.
+    fn accept_context(&mut self, group: GroupId, signed: SignedContext) -> bool {
+        let Some(key) = self.dir.client_key(signed.client) else {
+            return false;
+        };
+        let key = key.clone();
+        if signed.verify(&key, &mut self.counters).is_err() {
+            return false;
+        }
+        let slot = (signed.client, group);
+        match self.contexts.get(&slot) {
+            Some(existing) if existing.session >= signed.session => false,
+            _ => {
+                self.contexts.insert(slot, signed);
+                true
+            }
+        }
+    }
+
+    /// Verifies and stores a single-writer item if newer than the current
+    /// copy. Returns whether the item advanced the store.
+    fn accept_item(&mut self, item: StoredItem) -> bool {
+        if !self.verify_item(&item) {
+            return false;
+        }
+        let current_ts = self
+            .items
+            .get(&item.meta.data)
+            .map(|i| i.meta.ts)
+            .unwrap_or(Timestamp::GENESIS);
+        if !item.meta.ts.is_newer_than(&current_ts) {
+            return false;
+        }
+        self.index_and_store(item);
+        true
+    }
+
+    /// Multi-writer admission (paper §5.3): verify, then hold the write
+    /// until its causal predecessors (per `𝒳_writer`) have arrived; once
+    /// admitted, log it and ack. Admission of one write can release others.
+    fn accept_multi_writer(
+        &mut self,
+        item: StoredItem,
+        reply: Option<(Addr, crate::types::OpId)>,
+    ) -> Vec<(Addr, Msg)> {
+        if !self.verify_item(&item) {
+            return match reply {
+                Some((to, op)) => vec![(to, Msg::WriteAck { op, accepted: false })],
+                None => Vec::new(),
+            };
+        }
+        self.pending.push((item, reply));
+        let mut out = Vec::new();
+        // Fixpoint: admit every pending write whose predecessors are
+        // present; each admission may unlock more.
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < self.pending.len() {
+                let ready = self.causal_preds_present(&self.pending[i].0);
+                if ready {
+                    let (item, reply) = self.pending.remove(i);
+                    self.admit_multi_writer(item);
+                    if let Some((to, op)) = reply {
+                        out.push((to, Msg::WriteAck { op, accepted: true }));
+                    }
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Whether every causal predecessor named in the item's writer context
+    /// has already been admitted at this server.
+    fn causal_preds_present(&self, item: &StoredItem) -> bool {
+        if !self.cfg.multi_writer.validate_causal_deps {
+            return true;
+        }
+        let Some(ctx) = &item.meta.writer_ctx else {
+            return true;
+        };
+        ctx.iter().all(|(data, ts)| {
+            if data == item.meta.data {
+                // The write itself satisfies its own entry.
+                return true;
+            }
+            let known = self
+                .items
+                .get(&data)
+                .map(|i| i.meta.ts)
+                .unwrap_or(Timestamp::GENESIS);
+            known.is_at_least(ts)
+        })
+    }
+
+    fn admit_multi_writer(&mut self, item: StoredItem) {
+        let data = item.meta.data;
+        let log = self
+            .logs
+            .entry(data)
+            .or_insert_with(|| WriteLog::new(self.cfg.multi_writer.log_capacity));
+        log.insert(item.clone());
+        // Advance the authoritative copy if newer.
+        let current_ts = self
+            .items
+            .get(&data)
+            .map(|i| i.meta.ts)
+            .unwrap_or(Timestamp::GENESIS);
+        if item.meta.ts.is_newer_than(&current_ts) {
+            self.index_and_store(item);
+        }
+        self.gc_log(data);
+    }
+
+    fn index_and_store(&mut self, item: StoredItem) {
+        self.group_index
+            .entry(item.meta.group)
+            .or_default()
+            .insert(item.meta.data);
+        self.dirty.insert(item.meta.data);
+        self.items.insert(item.meta.data, item);
+    }
+
+    /// Full verification of a client-signed item (signature + value digest).
+    fn verify_item(&mut self, item: &StoredItem) -> bool {
+        let Some(key) = self.dir.client_key(item.meta.writer) else {
+            return false;
+        };
+        let key = key.clone();
+        item.verify(&key, &mut self.counters).is_ok()
+    }
+
+    /// Processes an anti-entropy summary: learn what the peer has, send it
+    /// what it is missing, optionally reply with our own summary.
+    fn handle_summary(
+        &mut self,
+        from: Addr,
+        entries: Vec<(DataId, Timestamp)>,
+        want_reply: bool,
+    ) -> Vec<(Addr, Msg)> {
+        let Addr::Server(peer) = from else {
+            return Vec::new(); // summaries are server-to-server only
+        };
+        let knowledge = self.peer_knowledge.entry(peer).or_default();
+        let mut their_ts: HashMap<DataId, Timestamp> = HashMap::new();
+        for (data, ts) in entries {
+            their_ts.insert(data, ts);
+            let slot = knowledge.entry(data).or_insert(Timestamp::GENESIS);
+            if ts.is_newer_than(slot) {
+                *slot = ts;
+            }
+        }
+        // Items we hold that the peer is missing or holds stale.
+        let missing: Vec<StoredItem> = self
+            .items
+            .values()
+            .filter(|i| {
+                let theirs = their_ts
+                    .get(&i.meta.data)
+                    .copied()
+                    .unwrap_or(Timestamp::GENESIS);
+                i.meta.ts.is_newer_than(&theirs)
+            })
+            .cloned()
+            .collect();
+        let gc_candidates: Vec<DataId> = their_ts.keys().copied().collect();
+        for data in gc_candidates {
+            self.gc_log(data);
+        }
+        let mut out = Vec::new();
+        if !missing.is_empty() {
+            out.push((from, Msg::GossipPush { items: missing }));
+        }
+        if want_reply {
+            let entries: Vec<(DataId, Timestamp)> = self
+                .items
+                .iter()
+                .map(|(&d, i)| (d, i.meta.ts))
+                .collect();
+            out.push((
+                from,
+                Msg::GossipSummary {
+                    entries,
+                    want_reply: false,
+                },
+            ));
+        }
+        out
+    }
+
+    /// Garbage-collects the multi-writer log of `data`: entries older than
+    /// the newest timestamp known to be held by at least `2b+1` servers
+    /// (this one included) can no longer be needed by any reader (paper
+    /// §5.3's erasure rule).
+    fn gc_log(&mut self, data: DataId) {
+        let Some(log) = self.logs.get_mut(&data) else {
+            return;
+        };
+        let threshold = 2 * self.dir.b() + 1;
+        // Collect candidate timestamps from our own log (newest first) and
+        // find the newest one replicated widely enough.
+        let candidates: Vec<Timestamp> = log.reportable().map(|i| i.meta.ts).collect();
+        let my_ts = self.items.get(&data).map(|i| i.meta.ts);
+        for ts in candidates {
+            let mut holders = 0usize;
+            if my_ts.map_or(false, |mine| mine.is_at_least(&ts)) {
+                holders += 1;
+            }
+            holders += self
+                .peer_knowledge
+                .values()
+                .filter(|k| {
+                    k.get(&data)
+                        .map_or(false, |theirs| theirs.is_at_least(&ts))
+                })
+                .count();
+            if holders >= threshold {
+                log.retain_from(ts);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::directory::generate_client_keys;
+    use crate::item::StoredItem;
+    use crate::types::OpId;
+    use sstore_crypto::schnorr::SigningKey;
+
+    struct Fixture {
+        server: ServerNode,
+        keys: HashMap<ClientId, SigningKey>,
+        counters: CryptoCounters,
+    }
+
+    fn fixture(n: usize, b: usize) -> Fixture {
+        let (keys, pubs) = generate_client_keys(4, 42);
+        let dir = Directory::new(n, b, pubs);
+        Fixture {
+            server: ServerNode::new(ServerId(0), dir, ServerConfig::default()),
+            keys,
+            counters: CryptoCounters::new(),
+        }
+    }
+
+    fn now() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn item_v(f: &mut Fixture, client: u16, data: u64, ver: u64, value: &[u8]) -> StoredItem {
+        StoredItem::create(
+            DataId(data),
+            GroupId(1),
+            Timestamp::Version(ver),
+            ClientId(client),
+            None,
+            value.to_vec(),
+            &f.keys[&ClientId(client)],
+            &mut f.counters,
+        )
+    }
+
+    fn client_addr(c: u16) -> Addr {
+        Addr::Client(ClientId(c))
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut f = fixture(4, 1);
+        let item = item_v(&mut f, 0, 1, 1, b"hello");
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::WriteReq {
+                op: OpId(1),
+                item: item.clone(),
+            },
+            now(),
+        );
+        assert!(matches!(
+            out[0].1,
+            Msg::WriteAck { accepted: true, .. }
+        ));
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::ReadReq {
+                op: OpId(2),
+                data: DataId(1),
+                ts: Timestamp::Version(1),
+            },
+            now(),
+        );
+        match &out[0].1 {
+            Msg::ReadResp { item: Some(got), .. } => assert_eq!(got.value, b"hello"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_write_acked_but_not_stored() {
+        let mut f = fixture(4, 1);
+        let new = item_v(&mut f, 0, 1, 5, b"v5");
+        let old = item_v(&mut f, 0, 1, 3, b"v3");
+        f.server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item: new }, now());
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::WriteReq { op: OpId(2), item: old },
+            now(),
+        );
+        // The server holds something at least as new: positive ack (the
+        // write is durably superseded), but the stored value is unchanged.
+        assert!(matches!(out[0].1, Msg::WriteAck { accepted: true, .. }));
+        assert_eq!(
+            f.server.item(DataId(1)).unwrap().meta.ts,
+            Timestamp::Version(5)
+        );
+        assert_eq!(f.server.item(DataId(1)).unwrap().value, b"v5");
+    }
+
+    #[test]
+    fn forged_write_rejected() {
+        let mut f = fixture(4, 1);
+        let mut item = item_v(&mut f, 0, 1, 1, b"real");
+        item.value = b"fake".to_vec(); // signature no longer matches
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::WriteReq { op: OpId(1), item },
+            now(),
+        );
+        assert!(matches!(out[0].1, Msg::WriteAck { accepted: false, .. }));
+        assert!(f.server.item(DataId(1)).is_none());
+    }
+
+    #[test]
+    fn unknown_writer_rejected() {
+        let mut f = fixture(4, 1);
+        // Sign with a key not registered in the directory.
+        let (other_keys, _) = generate_client_keys(10, 999);
+        let item = StoredItem::create(
+            DataId(1),
+            GroupId(1),
+            Timestamp::Version(1),
+            ClientId(9),
+            None,
+            b"v".to_vec(),
+            &other_keys[&ClientId(9)],
+            &mut f.counters,
+        );
+        let out = f
+            .server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, now());
+        assert!(matches!(out[0].1, Msg::WriteAck { accepted: false, .. }));
+    }
+
+    #[test]
+    fn ts_query_reports_current_meta() {
+        let mut f = fixture(4, 1);
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::TsQueryReq {
+                op: OpId(1),
+                data: DataId(1),
+            },
+            now(),
+        );
+        assert!(matches!(&out[0].1, Msg::TsQueryResp { meta: None, .. }));
+        let item = item_v(&mut f, 0, 1, 2, b"x");
+        f.server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(2), item }, now());
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::TsQueryReq {
+                op: OpId(3),
+                data: DataId(1),
+            },
+            now(),
+        );
+        match &out[0].1 {
+            Msg::TsQueryResp { meta: Some(m), .. } => assert_eq!(m.ts, Timestamp::Version(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_of_newer_ts_than_held_returns_none() {
+        let mut f = fixture(4, 1);
+        let item = item_v(&mut f, 0, 1, 1, b"v1");
+        f.server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, now());
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::ReadReq {
+                op: OpId(2),
+                data: DataId(1),
+                ts: Timestamp::Version(9),
+            },
+            now(),
+        );
+        assert!(matches!(&out[0].1, Msg::ReadResp { item: None, .. }));
+    }
+
+    #[test]
+    fn context_store_and_fetch() {
+        let mut f = fixture(4, 1);
+        let mut ctx = Context::new(GroupId(1));
+        ctx.observe(DataId(1), Timestamp::Version(2));
+        let signed = SignedContext::create(
+            ClientId(0),
+            1,
+            ctx,
+            &f.keys[&ClientId(0)],
+            &mut f.counters,
+        );
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::CtxWriteReq {
+                op: OpId(1),
+                group: GroupId(1),
+                signed: signed.clone(),
+            },
+            now(),
+        );
+        assert!(matches!(out[0].1, Msg::CtxWriteAck { .. }));
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::CtxReadReq {
+                op: OpId(2),
+                client: ClientId(0),
+                group: GroupId(1),
+            },
+            now(),
+        );
+        match &out[0].1 {
+            Msg::CtxReadResp { stored: Some(s), .. } => assert_eq!(s, &signed),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn older_session_context_does_not_overwrite() {
+        let mut f = fixture(4, 1);
+        let newer = SignedContext::create(
+            ClientId(0),
+            5,
+            Context::new(GroupId(1)),
+            &f.keys[&ClientId(0)],
+            &mut f.counters,
+        );
+        let older = SignedContext::create(
+            ClientId(0),
+            3,
+            Context::new(GroupId(1)),
+            &f.keys[&ClientId(0)],
+            &mut f.counters,
+        );
+        f.server.handle(
+            client_addr(0),
+            Msg::CtxWriteReq {
+                op: OpId(1),
+                group: GroupId(1),
+                signed: newer.clone(),
+            },
+            now(),
+        );
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::CtxWriteReq {
+                op: OpId(2),
+                group: GroupId(1),
+                signed: older,
+            },
+            now(),
+        );
+        assert!(out.is_empty(), "stale context write not acked");
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::CtxReadReq {
+                op: OpId(3),
+                client: ClientId(0),
+                group: GroupId(1),
+            },
+            now(),
+        );
+        match &out[0].1 {
+            Msg::CtxReadResp { stored: Some(s), .. } => assert_eq!(s.session, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_context_rejected() {
+        let mut f = fixture(4, 1);
+        let mut signed = SignedContext::create(
+            ClientId(0),
+            1,
+            Context::new(GroupId(1)),
+            &f.keys[&ClientId(0)],
+            &mut f.counters,
+        );
+        signed.session = 99; // breaks the signature
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::CtxWriteReq {
+                op: OpId(1),
+                group: GroupId(1),
+                signed,
+            },
+            now(),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ts_scan_lists_group_items() {
+        let mut f = fixture(4, 1);
+        for (d, v) in [(1u64, 2u64), (2, 3)] {
+            let item = item_v(&mut f, 0, d, v, b"x");
+            f.server
+                .handle(client_addr(0), Msg::WriteReq { op: OpId(d), item }, now());
+        }
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::TsScanReq {
+                op: OpId(9),
+                group: GroupId(1),
+            },
+            now(),
+        );
+        match &out[0].1 {
+            Msg::TsScanResp { entries, .. } => {
+                assert_eq!(entries.len(), 2);
+                // Metadata must be independently verifiable.
+                let key = f.keys[&ClientId(0)].verifying_key();
+                for m in entries {
+                    m.verify(key, &mut f.counters).unwrap();
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gossip_push_accepts_signed_rejects_forged() {
+        let mut f = fixture(4, 1);
+        let good = item_v(&mut f, 0, 1, 1, b"good");
+        let mut forged = item_v(&mut f, 0, 2, 1, b"orig");
+        forged.value = b"tampered".to_vec();
+        f.server.handle(
+            Addr::Server(ServerId(1)),
+            Msg::GossipPush {
+                items: vec![good, forged],
+            },
+            now(),
+        );
+        assert!(f.server.item(DataId(1)).is_some());
+        assert!(f.server.item(DataId(2)).is_none());
+    }
+
+    #[test]
+    fn gossip_summary_sends_missing_items_and_reply() {
+        let mut f = fixture(4, 1);
+        let item = item_v(&mut f, 0, 1, 3, b"mine");
+        f.server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, now());
+        // Peer claims an older version.
+        let out = f.server.handle(
+            Addr::Server(ServerId(2)),
+            Msg::GossipSummary {
+                entries: vec![(DataId(1), Timestamp::Version(1))],
+                want_reply: true,
+            },
+            now(),
+        );
+        let kinds: Vec<&str> = out
+            .iter()
+            .map(|(_, m)| sstore_simnet::Message::kind(m))
+            .collect();
+        assert!(kinds.contains(&"gossip-push"));
+        assert!(kinds.contains(&"gossip-summary"));
+        // Reply summary must not request another reply (no loops).
+        for (_, m) in &out {
+            if let Msg::GossipSummary { want_reply, .. } = m {
+                assert!(!want_reply);
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_timer_contacts_fanout_peers() {
+        use rand::SeedableRng;
+        let mut f = fixture(7, 2);
+        let item = item_v(&mut f, 0, 1, 1, b"x");
+        f.server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, now());
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = f.server.on_gossip_timer(now(), &mut rng);
+        assert_eq!(out.len(), f.server.cfg.gossip.fanout);
+        for (to, _) in &out {
+            assert!(matches!(to, Addr::Server(s) if *s != ServerId(0)));
+        }
+    }
+
+    #[test]
+    fn push_mode_sends_dirty_once() {
+        use rand::SeedableRng;
+        let mut f = fixture(4, 1);
+        f.server.cfg.gossip.anti_entropy = false;
+        let item = item_v(&mut f, 0, 1, 1, b"x");
+        f.server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, now());
+        let mut rng = StdRng::seed_from_u64(1);
+        let first = f.server.on_gossip_timer(now(), &mut rng);
+        assert!(!first.is_empty());
+        let second = f.server.on_gossip_timer(now(), &mut rng);
+        assert!(second.is_empty(), "dirty set cleared after push");
+    }
+}

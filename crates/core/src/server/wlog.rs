@@ -1,0 +1,222 @@
+//! Per-item multi-writer write log (paper §5.3).
+//!
+//! Non-malicious servers "log the writes and report a set of latest writes
+//! for a particular data item so that a client can choose a common value
+//! from b+1 lists" — keeping an overwritten value readable while its
+//! replacement disseminates. Entries are erased once a newer value is known
+//! to sit at `2b+1` servers (driven by [`retain_from`]) or when the
+//! capacity bound is hit.
+//!
+//! [`retain_from`]: WriteLog::retain_from
+
+use std::collections::VecDeque;
+
+use crate::item::StoredItem;
+use crate::types::{Timestamp, TsOrder};
+
+/// Bounded newest-first log of admitted writes for one data item.
+#[derive(Debug, Clone)]
+pub struct WriteLog {
+    entries: VecDeque<StoredItem>,
+    capacity: usize,
+}
+
+impl WriteLog {
+    /// Creates an empty log bounded at `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a log must at least hold the current
+    /// value.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "log capacity must be at least 1");
+        WriteLog {
+            entries: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts an admitted write, keeping entries sorted newest-first and
+    /// deduplicating identical timestamps. Equivocating writes (same
+    /// `(time, writer)`, different digest) are *both* retained so clients
+    /// can observe the writer fault.
+    pub fn insert(&mut self, item: StoredItem) {
+        let ts = item.meta.ts;
+        // Dedup first: an identical timestamp anywhere means a duplicate
+        // delivery (gossip and client retries re-send items freely).
+        if self
+            .entries
+            .iter()
+            .any(|e| ts.compare(&e.meta.ts) == TsOrder::Equal)
+        {
+            return;
+        }
+        let mut idx = self.entries.len();
+        for (i, existing) in self.entries.iter().enumerate() {
+            match ts.compare(&existing.meta.ts) {
+                TsOrder::Greater => {
+                    idx = i;
+                    break;
+                }
+                TsOrder::FaultyWriter => {
+                    // Keep both as evidence; order deterministically by
+                    // digest so all correct servers report the same list.
+                    let after = match (&ts, &existing.meta.ts) {
+                        (
+                            Timestamp::Multi { digest: d1, .. },
+                            Timestamp::Multi { digest: d2, .. },
+                        ) => d1 > d2,
+                        _ => false,
+                    };
+                    idx = if after { i } else { i + 1 };
+                    break;
+                }
+                TsOrder::Equal | TsOrder::Less | TsOrder::Incomparable => continue,
+            }
+        }
+        self.entries.insert(idx, item);
+        while self.entries.len() > self.capacity {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Iterates reportable entries, newest first.
+    pub fn reportable(&self) -> impl Iterator<Item = &StoredItem> + '_ {
+        self.entries.iter()
+    }
+
+    /// Drops every entry strictly older than `ts` (the GC rule: a value
+    /// replicated at `2b+1` servers makes its predecessors unneeded).
+    pub fn retain_from(&mut self, ts: Timestamp) {
+        self.entries
+            .retain(|e| !matches!(e.meta.ts.compare(&ts), TsOrder::Less));
+    }
+
+    /// The newest entry, if any.
+    pub fn newest(&self) -> Option<&StoredItem> {
+        self.entries.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CryptoCounters;
+    use crate::types::{ClientId, DataId, GroupId};
+    use sstore_crypto::schnorr::{SchnorrParams, SigningKey};
+    use sstore_crypto::sha256::digest;
+
+    fn mk(time: u64, writer: u16, value: &[u8]) -> StoredItem {
+        let key = SigningKey::from_seed(&SchnorrParams::toy(), writer as u64);
+        let ts = Timestamp::Multi {
+            time,
+            writer: ClientId(writer),
+            digest: digest(value),
+        };
+        StoredItem::create(
+            DataId(1),
+            GroupId(1),
+            ts,
+            ClientId(writer),
+            None,
+            value.to_vec(),
+            &key,
+            &mut CryptoCounters::new(),
+        )
+    }
+
+    #[test]
+    fn insert_keeps_newest_first() {
+        let mut log = WriteLog::new(4);
+        log.insert(mk(2, 0, b"b"));
+        log.insert(mk(1, 0, b"a"));
+        log.insert(mk(3, 0, b"c"));
+        let times: Vec<u64> = log.reportable().map(|i| i.meta.ts.time()).collect();
+        assert_eq!(times, vec![3, 2, 1]);
+        assert_eq!(log.newest().unwrap().value, b"c");
+    }
+
+    #[test]
+    fn duplicate_timestamps_deduplicated() {
+        let mut log = WriteLog::new(4);
+        log.insert(mk(1, 0, b"a"));
+        log.insert(mk(1, 0, b"a"));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut log = WriteLog::new(2);
+        for t in 1..=5 {
+            log.insert(mk(t, 0, b"v"));
+        }
+        assert_eq!(log.len(), 2);
+        let times: Vec<u64> = log.reportable().map(|i| i.meta.ts.time()).collect();
+        assert_eq!(times, vec![5, 4]);
+    }
+
+    #[test]
+    fn equivocating_writes_both_retained() {
+        let mut log = WriteLog::new(4);
+        log.insert(mk(1, 0, b"v1"));
+        log.insert(mk(1, 0, b"v2")); // same (time, writer), different digest
+        assert_eq!(log.len(), 2, "evidence of the faulty writer kept");
+    }
+
+    #[test]
+    fn equivocating_insert_order_is_deterministic() {
+        let mut a = WriteLog::new(4);
+        a.insert(mk(1, 0, b"v1"));
+        a.insert(mk(1, 0, b"v2"));
+        let mut b = WriteLog::new(4);
+        b.insert(mk(1, 0, b"v2"));
+        b.insert(mk(1, 0, b"v1"));
+        let order_a: Vec<Vec<u8>> = a.reportable().map(|i| i.value.clone()).collect();
+        let order_b: Vec<Vec<u8>> = b.reportable().map(|i| i.value.clone()).collect();
+        assert_eq!(order_a, order_b);
+    }
+
+    #[test]
+    fn retain_from_drops_older() {
+        let mut log = WriteLog::new(8);
+        for t in 1..=5 {
+            log.insert(mk(t, 0, b"v"));
+        }
+        let cutoff = mk(3, 0, b"v").meta.ts;
+        log.retain_from(cutoff);
+        let times: Vec<u64> = log.reportable().map(|i| i.meta.ts.time()).collect();
+        assert_eq!(times, vec![5, 4, 3]);
+    }
+
+    #[test]
+    fn different_writers_same_time_ordered_by_writer() {
+        let mut log = WriteLog::new(4);
+        log.insert(mk(1, 1, b"w1"));
+        log.insert(mk(1, 2, b"w2"));
+        // Higher writer id wins the tie → newest first puts writer 2 first.
+        let writers: Vec<u16> = log
+            .reportable()
+            .map(|i| match i.meta.ts {
+                Timestamp::Multi { writer, .. } => writer.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(writers, vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        WriteLog::new(0);
+    }
+}

@@ -1,0 +1,513 @@
+//! Simulation harness: runs secure-store clusters inside `sstore-simnet`.
+//!
+//! [`ClusterBuilder`] wires up `n` servers (optionally Byzantine via
+//! [`Behavior`]) and any number of scripted clients, then [`Cluster`]
+//! drives the run and exposes per-node results, crypto counters and network
+//! statistics — everything the benchmark harness needs to regenerate the
+//! paper's §6 cost tables.
+//!
+//! ```
+//! use sstore_core::sim::{ClusterBuilder, Step};
+//! use sstore_core::client::ClientOp;
+//! use sstore_core::types::{Consistency, DataId, GroupId};
+//!
+//! let mut cluster = ClusterBuilder::new(4, 1)
+//!     .seed(7)
+//!     .client(vec![
+//!         Step::Do(ClientOp::Connect { group: GroupId(1), recover: false }),
+//!         Step::Do(ClientOp::Write {
+//!             data: DataId(1), group: GroupId(1),
+//!             consistency: Consistency::Mrc, value: b"hello".to_vec(),
+//!         }),
+//!         Step::Do(ClientOp::Disconnect { group: GroupId(1) }),
+//!     ])
+//!     .build();
+//! cluster.run_to_quiescence();
+//! let results = cluster.client_results(0);
+//! assert!(results.iter().all(|r| r.outcome.is_ok()));
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::Rng;
+
+use sstore_crypto::schnorr::SigningKey;
+use sstore_simnet::{
+    Actor, Context as SimContext, NodeId, SimConfig, SimTime, Simulation,
+};
+
+use crate::client::{ClientCore, ClientOp, OpResult, Output};
+use crate::config::{ClientConfig, ServerConfig};
+use crate::directory::{generate_client_keys, Directory};
+use crate::faults::{AdversaryState, Behavior};
+use crate::metrics::CryptoCounters;
+use crate::server::{Addr, ServerNode};
+use crate::types::{ClientId, ServerId};
+use crate::wire::Msg;
+
+/// Maps protocol addresses to simulator node ids.
+///
+/// Servers occupy nodes `0..n`; clients occupy `n..n+c`.
+#[derive(Debug, Clone, Copy)]
+pub struct AddrBook {
+    n_servers: usize,
+}
+
+impl AddrBook {
+    /// Creates a book for a cluster with `n_servers` servers.
+    pub fn new(n_servers: usize) -> Self {
+        AddrBook { n_servers }
+    }
+
+    /// The simulator node carrying `addr`.
+    pub fn node_of(&self, addr: Addr) -> NodeId {
+        match addr {
+            Addr::Server(s) => NodeId(s.0 as usize),
+            Addr::Client(c) => NodeId(self.n_servers + c.0 as usize),
+        }
+    }
+
+    /// The protocol address of simulator node `node`.
+    pub fn addr_of(&self, node: NodeId) -> Addr {
+        if node.0 < self.n_servers {
+            Addr::Server(ServerId(node.0 as u16))
+        } else {
+            Addr::Client(ClientId((node.0 - self.n_servers) as u16))
+        }
+    }
+}
+
+/// Timer token used for gossip rounds at servers.
+const GOSSIP_TOKEN: u64 = u64::MAX;
+/// Timer token used to advance a client's script.
+const SCRIPT_TOKEN: u64 = u64::MAX - 1;
+
+/// Simulator actor wrapping a [`ServerNode`], with optional Byzantine
+/// behaviour layered on its wire traffic.
+pub struct ServerActor {
+    node: ServerNode,
+    book: AddrBook,
+    behavior: Behavior,
+    adversary: AdversaryState,
+}
+
+impl ServerActor {
+    /// Wraps `node` with the given behaviour.
+    pub fn new(node: ServerNode, book: AddrBook, behavior: Behavior) -> Self {
+        ServerActor {
+            node,
+            book,
+            behavior,
+            adversary: AdversaryState::new(),
+        }
+    }
+
+    /// The wrapped server (inspection hook).
+    pub fn node(&self) -> &ServerNode {
+        &self.node
+    }
+
+    fn dispatch(&self, outbound: Vec<(Addr, Msg)>, ctx: &mut SimContext<'_, Msg>) {
+        let mutated = self.adversary.mutate_outbound(self.behavior, outbound);
+        for (to, msg) in mutated {
+            ctx.send(self.book.node_of(to), msg);
+        }
+    }
+}
+
+impl Actor<Msg> for ServerActor {
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut SimContext<'_, Msg>) {
+        if self.behavior == Behavior::Crash {
+            return;
+        }
+        self.adversary.observe_inbound(&msg);
+        let from_addr = self.book.addr_of(from);
+        let out = self.node.handle(from_addr, msg, ctx.now());
+        self.dispatch(out, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut SimContext<'_, Msg>) {
+        if token != GOSSIP_TOKEN || self.behavior == Behavior::Crash {
+            return;
+        }
+        let now = ctx.now();
+        let out = {
+            let rng = ctx.rng();
+            self.node.on_gossip_timer(now, rng)
+        };
+        self.dispatch(out, ctx);
+        // Re-arm with ±10% jitter so servers do not gossip in lockstep.
+        let period = self.node.gossip_period();
+        let jitter = period.as_micros() / 10;
+        let delay = if jitter > 0 {
+            SimTime::from_micros(period.as_micros() - jitter + ctx.rng().gen_range(0..=2 * jitter))
+        } else {
+            period
+        };
+        ctx.set_timer(delay, GOSSIP_TOKEN);
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// One step of a client script.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Issue an operation and wait for it to complete.
+    Do(ClientOp),
+    /// Pause for the given simulated duration.
+    Wait(SimTime),
+    /// Lose all volatile state (context!) as if the process crashed.
+    Crash,
+}
+
+/// Simulator actor wrapping a [`ClientCore`] plus a script driver.
+pub struct ClientActor {
+    core: ClientCore,
+    book: AddrBook,
+    script: VecDeque<Step>,
+    results: Vec<OpResult>,
+    inflight_script_op: bool,
+}
+
+impl ClientActor {
+    /// Creates a scripted client.
+    pub fn new(core: ClientCore, book: AddrBook, script: Vec<Step>) -> Self {
+        ClientActor {
+            core,
+            book,
+            script: script.into(),
+            results: Vec::new(),
+            inflight_script_op: false,
+        }
+    }
+
+    /// Results of completed operations, in completion order.
+    pub fn results(&self) -> &[OpResult] {
+        &self.results
+    }
+
+    /// Whether the script has fully run and no operation is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.script.is_empty() && !self.inflight_script_op && self.core.inflight() == 0
+    }
+
+    /// The wrapped client core (inspection hook).
+    pub fn core(&self) -> &ClientCore {
+        &self.core
+    }
+
+    fn apply(&mut self, out: Output, ctx: &mut SimContext<'_, Msg>) {
+        for (to, msg) in out.sends {
+            ctx.send(self.book.node_of(Addr::Server(to)), msg);
+        }
+        for (delay, token) in out.timers {
+            ctx.set_timer(delay, token);
+        }
+        let completed = !out.done.is_empty();
+        self.results.extend(out.done);
+        if completed {
+            self.inflight_script_op = false;
+            self.advance_script(ctx);
+        }
+    }
+
+    fn advance_script(&mut self, ctx: &mut SimContext<'_, Msg>) {
+        while !self.inflight_script_op {
+            match self.script.pop_front() {
+                None => return,
+                Some(Step::Crash) => {
+                    self.core.crash();
+                }
+                Some(Step::Wait(d)) => {
+                    ctx.set_timer(d, SCRIPT_TOKEN);
+                    return;
+                }
+                Some(Step::Do(op)) => {
+                    let now = ctx.now();
+                    let (_, out) = {
+                        let rng = ctx.rng();
+                        self.core.begin(op, now, rng)
+                    };
+                    self.inflight_script_op = true;
+                    self.apply(out, ctx);
+                    // apply() clears the flag again if the op completed
+                    // synchronously (it cannot today, but stay defensive).
+                }
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for ClientActor {
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut SimContext<'_, Msg>) {
+        let Addr::Server(sid) = self.book.addr_of(from) else {
+            return; // clients only talk to servers
+        };
+        let out = self.core.on_message(sid, msg, ctx.now());
+        self.apply(out, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut SimContext<'_, Msg>) {
+        if token == SCRIPT_TOKEN {
+            self.advance_script(ctx);
+            return;
+        }
+        let out = self.core.on_timeout(token, ctx.now());
+        self.apply(out, ctx);
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Builder for a simulated secure-store cluster.
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    n: usize,
+    b: usize,
+    seed: u64,
+    sim_config: Option<SimConfig>,
+    server_config: ServerConfig,
+    client_config: ClientConfig,
+    behaviors: Vec<Behavior>,
+    scripts: Vec<Vec<Step>>,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for `n` servers tolerating `b` faults.
+    pub fn new(n: usize, b: usize) -> Self {
+        ClusterBuilder {
+            n,
+            b,
+            seed: 42,
+            sim_config: None,
+            server_config: ServerConfig::default(),
+            client_config: ClientConfig::default(),
+            behaviors: vec![Behavior::Honest; n],
+            scripts: Vec::new(),
+        }
+    }
+
+    /// Sets the run seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses a custom network configuration (default: LAN with the seed).
+    pub fn network(mut self, config: SimConfig) -> Self {
+        self.sim_config = Some(config);
+        self
+    }
+
+    /// Overrides the server configuration.
+    pub fn server_config(mut self, config: ServerConfig) -> Self {
+        self.server_config = config;
+        self
+    }
+
+    /// Overrides the client configuration.
+    pub fn client_config(mut self, config: ClientConfig) -> Self {
+        self.client_config = config;
+        self
+    }
+
+    /// Assigns a Byzantine behaviour to server `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= n`.
+    pub fn behavior(mut self, idx: usize, behavior: Behavior) -> Self {
+        self.behaviors[idx] = behavior;
+        self
+    }
+
+    /// Adds a scripted client; clients get ids `C0, C1, …` in call order.
+    pub fn client(mut self, script: Vec<Step>) -> Self {
+        self.scripts.push(script);
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(n, b)` is an invalid configuration.
+    pub fn build(self) -> Cluster {
+        let client_count = self.scripts.len().max(1) as u16;
+        let (signing, verifying) = generate_client_keys(client_count, self.seed ^ 0xc11e);
+        let dir = Directory::new(self.n, self.b, verifying);
+        let book = AddrBook::new(self.n);
+        let sim_config = self
+            .sim_config
+            .unwrap_or_else(|| SimConfig::lan(self.seed));
+        let mut sim = Simulation::new(sim_config);
+        for i in 0..self.n {
+            let mut cfg = self.server_config.clone();
+            if self.behaviors[i] == Behavior::Premature {
+                cfg.multi_writer.validate_causal_deps = false;
+            }
+            let node = ServerNode::new(ServerId(i as u16), dir.clone(), cfg);
+            let id = sim.add_node(ServerActor::new(node, book, self.behaviors[i]));
+            // Stagger initial gossip across the first period.
+            let period = self.server_config.gossip.period.as_micros().max(1);
+            sim.schedule_timer(
+                id,
+                SimTime::from_micros((i as u64 * period) / self.n as u64),
+                GOSSIP_TOKEN,
+            );
+        }
+        let mut client_nodes = Vec::new();
+        for (i, script) in self.scripts.into_iter().enumerate() {
+            let cid = ClientId(i as u16);
+            let key: SigningKey = signing[&cid].clone();
+            let core = ClientCore::new(cid, dir.clone(), self.client_config.clone(), key);
+            let id = sim.add_node(ClientActor::new(core, book, script));
+            client_nodes.push(id);
+            sim.schedule_timer(id, SimTime::ZERO, SCRIPT_TOKEN);
+        }
+        Cluster {
+            sim,
+            book,
+            dir,
+            n: self.n,
+            client_nodes,
+            signing_keys: signing,
+        }
+    }
+}
+
+/// A running simulated cluster.
+pub struct Cluster {
+    /// The underlying simulation (public for advanced manipulation such as
+    /// partitions).
+    pub sim: Simulation<Msg>,
+    book: AddrBook,
+    dir: Arc<Directory>,
+    n: usize,
+    client_nodes: Vec<NodeId>,
+    signing_keys: std::collections::HashMap<ClientId, SigningKey>,
+}
+
+impl Cluster {
+    /// Runs until every client script has completed and no client operation
+    /// is in flight (periodic gossip keeps the raw event queue non-empty
+    /// forever, so "drain the queue" is not a usable stop condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if clients are still busy after an hour of simulated time —
+    /// that indicates a stuck protocol, not a slow one.
+    pub fn run_to_quiescence(&mut self) {
+        let deadline = self.sim.now() + SimTime::from_secs(3600);
+        while !self.clients_idle() {
+            assert!(self.sim.now() < deadline, "clients stuck after 1h simulated");
+            let chunk = self.sim.now() + SimTime::from_millis(100);
+            self.sim.run_until(chunk);
+        }
+    }
+
+    /// Whether every scripted client has finished all its work.
+    pub fn clients_idle(&mut self) -> bool {
+        let nodes = self.client_nodes.clone();
+        nodes.iter().all(|&n| {
+            self.sim.with_node(n, |a| {
+                a.as_any_mut()
+                    .and_then(|x| x.downcast_mut::<ClientActor>())
+                    .map(|c| c.is_idle())
+                    .expect("client node")
+            })
+        })
+    }
+
+    /// Runs until the given simulated time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Lets the cluster run for an additional `d` of simulated time (e.g.
+    /// to let dissemination settle after the scripts finish).
+    pub fn drain(&mut self, d: SimTime) {
+        let t = self.sim.now() + d;
+        self.sim.run_until(t);
+    }
+
+    /// The cluster's directory.
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.dir
+    }
+
+    /// The address book.
+    pub fn book(&self) -> AddrBook {
+        self.book
+    }
+
+    /// Signing key of client `i` (for crafting adversarial writes in
+    /// tests).
+    pub fn signing_key(&self, client: u16) -> &SigningKey {
+        &self.signing_keys[&ClientId(client)]
+    }
+
+    /// Completed operation results of client `i`.
+    pub fn client_results(&mut self, i: usize) -> Vec<OpResult> {
+        let node = self.client_nodes[i];
+        self.sim.with_node(node, |a| {
+            a.as_any_mut()
+                .and_then(|x| x.downcast_mut::<ClientActor>())
+                .map(|c| c.results().to_vec())
+                .expect("client node")
+        })
+    }
+
+    /// Crypto counters of client `i`.
+    pub fn client_counters(&mut self, i: usize) -> CryptoCounters {
+        let node = self.client_nodes[i];
+        self.sim.with_node(node, |a| {
+            a.as_any_mut()
+                .and_then(|x| x.downcast_mut::<ClientActor>())
+                .map(|c| c.core().counters())
+                .expect("client node")
+        })
+    }
+
+    /// Crypto counters of server `i`.
+    pub fn server_counters(&mut self, i: usize) -> CryptoCounters {
+        self.sim.with_node(NodeId(i), |a| {
+            a.as_any_mut()
+                .and_then(|x| x.downcast_mut::<ServerActor>())
+                .map(|s| s.node().counters())
+                .expect("server node")
+        })
+    }
+
+    /// Runs `f` against server `i`'s state machine.
+    pub fn with_server<R>(&mut self, i: usize, f: impl FnOnce(&ServerNode) -> R) -> R {
+        self.sim.with_node(NodeId(i), |a| {
+            let actor = a
+                .as_any_mut()
+                .and_then(|x| x.downcast_mut::<ServerActor>())
+                .expect("server node");
+            f(actor.node())
+        })
+    }
+
+    /// Sum of crypto counters across all servers.
+    pub fn total_server_counters(&mut self) -> CryptoCounters {
+        (0..self.n).fold(CryptoCounters::new(), |acc, i| {
+            acc.merged(self.server_counters(i))
+        })
+    }
+
+    /// Posts a raw message from a (possibly malicious) client directly into
+    /// the network — used to mount protocol-level attacks in tests.
+    pub fn inject_from_client(&mut self, client: u16, to: ServerId, msg: Msg) {
+        let from = self.book.node_of(Addr::Client(ClientId(client)));
+        let to = self.book.node_of(Addr::Server(to));
+        self.sim.post(from, to, msg);
+    }
+}

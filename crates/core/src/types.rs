@@ -1,0 +1,259 @@
+//! Core identifiers, timestamps and stored-item types (paper §4.1).
+
+use sstore_crypto::sha256::Digest;
+
+/// Identifies a secure-store server `S_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub u16);
+
+impl std::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifies a client `C_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u16);
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Unique identifier of a data item, `uid(x_i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataId(pub u64);
+
+impl std::fmt::Display for DataId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Identifies a *related group* of data items (paper §4: consistency is
+/// maintained within a group, not across groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// Correlates a client request with server responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+/// Consistency level fixed for a data group at creation time (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Consistency {
+    /// Monotonic Read Consistency: a client never reads a value older than
+    /// one it has already read for the same item.
+    Mrc,
+    /// Causal Consistency: additionally, no read returns a causally
+    /// overwritten value across related items.
+    Cc,
+}
+
+impl std::fmt::Display for Consistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Consistency::Mrc => f.write_str("MRC"),
+            Consistency::Cc => f.write_str("CC"),
+        }
+    }
+}
+
+/// A write timestamp (paper §4.1 and §5.3).
+///
+/// Single-writer data uses a plain version number. Multi-writer data uses
+/// the 3-tuple `(time, uid(C), d(v))`: ordered by time, ties broken by
+/// writer id; equal `(time, writer)` with different digests expose a faulty
+/// writer (two values under one timestamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Timestamp {
+    /// Version number for non-shared / single-writer data.
+    Version(u64),
+    /// `(time, writer, digest)` for multi-writer data.
+    Multi {
+        /// Writer-local clock value.
+        time: u64,
+        /// The writing client.
+        writer: ClientId,
+        /// Digest of the written value, binding the timestamp to it.
+        digest: Digest,
+    },
+}
+
+/// Outcome of comparing two timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsOrder {
+    /// Left is older.
+    Less,
+    /// Identical timestamps (same digest where applicable).
+    Equal,
+    /// Left is newer.
+    Greater,
+    /// Same `(time, writer)` but different digests: the writer signed two
+    /// values under one timestamp and is provably faulty (paper §5.3).
+    FaultyWriter,
+    /// A version timestamp compared against a multi-writer one; the two
+    /// families never mix within a data group.
+    Incomparable,
+}
+
+impl Timestamp {
+    /// The zero timestamp that precedes every write of the same family.
+    pub const GENESIS: Timestamp = Timestamp::Version(0);
+
+    /// The writer-local time component.
+    pub fn time(&self) -> u64 {
+        match *self {
+            Timestamp::Version(v) => v,
+            Timestamp::Multi { time, .. } => time,
+        }
+    }
+
+    /// Compares two timestamps per the paper's order.
+    ///
+    /// [`Timestamp::GENESIS`] (version 0) is treated as older than any
+    /// multi-writer timestamp, since every context starts there.
+    pub fn compare(&self, other: &Timestamp) -> TsOrder {
+        use Timestamp::*;
+        match (self, other) {
+            (Version(a), Version(b)) => match a.cmp(b) {
+                std::cmp::Ordering::Less => TsOrder::Less,
+                std::cmp::Ordering::Equal => TsOrder::Equal,
+                std::cmp::Ordering::Greater => TsOrder::Greater,
+            },
+            (
+                Multi {
+                    time: t1,
+                    writer: w1,
+                    digest: d1,
+                },
+                Multi {
+                    time: t2,
+                    writer: w2,
+                    digest: d2,
+                },
+            ) => match (t1, w1).cmp(&(t2, w2)) {
+                std::cmp::Ordering::Less => TsOrder::Less,
+                std::cmp::Ordering::Greater => TsOrder::Greater,
+                std::cmp::Ordering::Equal => {
+                    if d1 == d2 {
+                        TsOrder::Equal
+                    } else {
+                        TsOrder::FaultyWriter
+                    }
+                }
+            },
+            (Version(0), Multi { .. }) => TsOrder::Less,
+            (Multi { .. }, Version(0)) => TsOrder::Greater,
+            _ => TsOrder::Incomparable,
+        }
+    }
+
+    /// Whether `self` is strictly newer than `other`.
+    pub fn is_newer_than(&self, other: &Timestamp) -> bool {
+        self.compare(other) == TsOrder::Greater
+    }
+
+    /// Whether `self` is at least as new as `other`.
+    pub fn is_at_least(&self, other: &Timestamp) -> bool {
+        matches!(self.compare(other), TsOrder::Greater | TsOrder::Equal)
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Timestamp::Version(v) => write!(f, "v{v}"),
+            Timestamp::Multi { time, writer, .. } => write!(f, "t{time}@{writer}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_crypto::sha256::digest;
+
+    fn multi(time: u64, writer: u16, val: &[u8]) -> Timestamp {
+        Timestamp::Multi {
+            time,
+            writer: ClientId(writer),
+            digest: digest(val),
+        }
+    }
+
+    #[test]
+    fn version_ordering() {
+        assert_eq!(
+            Timestamp::Version(1).compare(&Timestamp::Version(2)),
+            TsOrder::Less
+        );
+        assert_eq!(
+            Timestamp::Version(2).compare(&Timestamp::Version(2)),
+            TsOrder::Equal
+        );
+        assert!(Timestamp::Version(3).is_newer_than(&Timestamp::Version(2)));
+    }
+
+    #[test]
+    fn multi_ordering_time_then_writer() {
+        assert_eq!(multi(1, 5, b"a").compare(&multi(2, 1, b"a")), TsOrder::Less);
+        assert_eq!(
+            multi(2, 1, b"a").compare(&multi(2, 2, b"a")),
+            TsOrder::Less
+        );
+        assert_eq!(
+            multi(2, 2, b"a").compare(&multi(2, 1, b"b")),
+            TsOrder::Greater
+        );
+    }
+
+    #[test]
+    fn equal_time_writer_same_digest_is_equal() {
+        assert_eq!(multi(3, 1, b"v").compare(&multi(3, 1, b"v")), TsOrder::Equal);
+    }
+
+    #[test]
+    fn equivocation_detected() {
+        assert_eq!(
+            multi(3, 1, b"v1").compare(&multi(3, 1, b"v2")),
+            TsOrder::FaultyWriter
+        );
+    }
+
+    #[test]
+    fn genesis_precedes_multi() {
+        assert_eq!(Timestamp::GENESIS.compare(&multi(1, 1, b"v")), TsOrder::Less);
+        assert_eq!(
+            multi(1, 1, b"v").compare(&Timestamp::GENESIS),
+            TsOrder::Greater
+        );
+        assert!(multi(1, 1, b"v").is_at_least(&Timestamp::GENESIS));
+    }
+
+    #[test]
+    fn nonzero_version_vs_multi_incomparable() {
+        assert_eq!(
+            Timestamp::Version(5).compare(&multi(1, 1, b"v")),
+            TsOrder::Incomparable
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", ServerId(3)), "S3");
+        assert_eq!(format!("{}", ClientId(2)), "C2");
+        assert_eq!(format!("{}", DataId(9)), "x9");
+        assert_eq!(format!("{}", GroupId(1)), "G1");
+        assert_eq!(format!("{}", Timestamp::Version(4)), "v4");
+        assert_eq!(format!("{}", Consistency::Cc), "CC");
+    }
+}

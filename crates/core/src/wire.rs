@@ -1,0 +1,289 @@
+//! Wire messages exchanged between clients and servers.
+//!
+//! One message enum covers the whole protocol family so a single simulator
+//! network can carry context management, data access, multi-writer access
+//! and gossip. Each variant reports a `kind` label used by the message
+//! accounting that reproduces the paper's §6 cost formulas.
+
+use sstore_simnet::Message;
+
+use crate::item::{ItemMeta, SignedContext, StoredItem};
+use crate::types::{ClientId, DataId, GroupId, OpId, Timestamp};
+
+/// All secure-store protocol messages.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // ------------------------------------------------------------------
+    // Context management (paper §5.1, Fig. 1)
+    // ------------------------------------------------------------------
+    /// Client requests its stored context for a group.
+    CtxReadReq {
+        /// Correlates responses with the client operation.
+        op: OpId,
+        /// Requesting client.
+        client: ClientId,
+        /// Group whose context is requested.
+        group: GroupId,
+    },
+    /// Server's reply: the stored signed context, if any.
+    CtxReadResp {
+        /// Echoed operation id.
+        op: OpId,
+        /// The stored context, or `None` if this server has none.
+        stored: Option<SignedContext>,
+    },
+    /// Client stores its signed context.
+    CtxWriteReq {
+        /// Correlates acks with the client operation.
+        op: OpId,
+        /// Group being written (context carries it too; echoed for routing).
+        group: GroupId,
+        /// The signed context.
+        signed: SignedContext,
+    },
+    /// Server acknowledges a context write.
+    CtxWriteAck {
+        /// Echoed operation id.
+        op: OpId,
+    },
+
+    // ------------------------------------------------------------------
+    // Context reconstruction (paper §5.1, crash-recovery path)
+    // ------------------------------------------------------------------
+    /// Client asks for the metadata of every item in a group.
+    TsScanReq {
+        /// Correlates responses with the client operation.
+        op: OpId,
+        /// Group to scan.
+        group: GroupId,
+    },
+    /// Server's reply: verifiable metadata of all items it holds in the
+    /// group.
+    TsScanResp {
+        /// Echoed operation id.
+        op: OpId,
+        /// Signed metadata entries (no values).
+        entries: Vec<ItemMeta>,
+    },
+
+    // ------------------------------------------------------------------
+    // Single-writer data path (paper §5.2, Fig. 2)
+    // ------------------------------------------------------------------
+    /// Phase 1 of a read: ask a server for its current timestamp of `data`.
+    TsQueryReq {
+        /// Correlates responses with the client operation.
+        op: OpId,
+        /// Item being read.
+        data: DataId,
+    },
+    /// Server's reply with the metadata it holds (timestamp and proof).
+    TsQueryResp {
+        /// Echoed operation id.
+        op: OpId,
+        /// Item being read (echoed).
+        data: DataId,
+        /// Metadata of the server's copy, or `None` if it has no copy.
+        meta: Option<ItemMeta>,
+        /// The full item, piggybacked when the value is small enough
+        /// (server-side `read_inline_limit`); lets common-case reads finish
+        /// in one round trip — §6's "read response time could be the same
+        /// as write".
+        inline: Option<StoredItem>,
+    },
+    /// Phase 2 of a read: fetch the value from the chosen server.
+    ReadReq {
+        /// Correlates responses with the client operation.
+        op: OpId,
+        /// Item being read.
+        data: DataId,
+        /// The timestamp the client expects (from phase 1).
+        ts: Timestamp,
+    },
+    /// Server's reply with the full item.
+    ReadResp {
+        /// Echoed operation id.
+        op: OpId,
+        /// The stored item, or `None` if the server no longer has that
+        /// timestamp.
+        item: Option<StoredItem>,
+    },
+    /// A write: the full signed item.
+    WriteReq {
+        /// Correlates acks with the client operation.
+        op: OpId,
+        /// The signed item.
+        item: StoredItem,
+    },
+    /// Server acknowledges a write (accepted or rejected).
+    WriteAck {
+        /// Echoed operation id.
+        op: OpId,
+        /// Whether the server accepted (verified and stored) the write.
+        accepted: bool,
+    },
+
+    // ------------------------------------------------------------------
+    // Multi-writer data path (paper §5.3)
+    // ------------------------------------------------------------------
+    /// Multi-writer read: ask for the server's log of latest writes.
+    MwReadReq {
+        /// Correlates responses with the client operation.
+        op: OpId,
+        /// Item being read.
+        data: DataId,
+    },
+    /// Server's reply: the set of latest *reportable* writes it holds.
+    MwReadResp {
+        /// Echoed operation id.
+        op: OpId,
+        /// Item being read (echoed).
+        data: DataId,
+        /// Latest reportable writes (full items so clients can verify).
+        versions: Vec<StoredItem>,
+    },
+
+    // ------------------------------------------------------------------
+    // Server-to-server dissemination (paper §4, §5.2)
+    // ------------------------------------------------------------------
+    /// Push gossip: recently updated items, with original signatures.
+    GossipPush {
+        /// Items being disseminated.
+        items: Vec<StoredItem>,
+    },
+    /// Anti-entropy summary of a server's per-item timestamps.
+    GossipSummary {
+        /// `(item, timestamp)` pairs the sender holds.
+        entries: Vec<(DataId, Timestamp)>,
+        /// Whether the receiver should answer with its own summary.
+        want_reply: bool,
+    },
+}
+
+impl Msg {
+    /// The operation id carried by client-path messages, if any.
+    pub fn op(&self) -> Option<OpId> {
+        match self {
+            Msg::CtxReadReq { op, .. }
+            | Msg::CtxReadResp { op, .. }
+            | Msg::CtxWriteReq { op, .. }
+            | Msg::CtxWriteAck { op }
+            | Msg::TsScanReq { op, .. }
+            | Msg::TsScanResp { op, .. }
+            | Msg::TsQueryReq { op, .. }
+            | Msg::TsQueryResp { op, .. }
+            | Msg::ReadReq { op, .. }
+            | Msg::ReadResp { op, .. }
+            | Msg::WriteReq { op, .. }
+            | Msg::WriteAck { op, .. }
+            | Msg::MwReadReq { op, .. }
+            | Msg::MwReadResp { op, .. } => Some(*op),
+            Msg::GossipPush { .. } | Msg::GossipSummary { .. } => None,
+        }
+    }
+}
+
+impl Message for Msg {
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::CtxReadReq { .. } => "ctx-read-req",
+            Msg::CtxReadResp { .. } => "ctx-read-resp",
+            Msg::CtxWriteReq { .. } => "ctx-write-req",
+            Msg::CtxWriteAck { .. } => "ctx-write-ack",
+            Msg::TsScanReq { .. } => "ts-scan-req",
+            Msg::TsScanResp { .. } => "ts-scan-resp",
+            Msg::TsQueryReq { .. } => "ts-query-req",
+            Msg::TsQueryResp { .. } => "ts-query-resp",
+            Msg::ReadReq { .. } => "read-req",
+            Msg::ReadResp { .. } => "read-resp",
+            Msg::WriteReq { .. } => "write-req",
+            Msg::WriteAck { .. } => "write-ack",
+            Msg::MwReadReq { .. } => "mw-read-req",
+            Msg::MwReadResp { .. } => "mw-read-resp",
+            Msg::GossipPush { .. } => "gossip-push",
+            Msg::GossipSummary { .. } => "gossip-summary",
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        const HDR: usize = 16; // op id, routing, framing
+        match self {
+            Msg::CtxReadReq { .. } => HDR + 6,
+            Msg::CtxReadResp { stored, .. } => {
+                HDR + 1 + stored.as_ref().map_or(0, |s| s.size_bytes())
+            }
+            Msg::CtxWriteReq { signed, .. } => HDR + 4 + signed.size_bytes(),
+            Msg::CtxWriteAck { .. } => HDR,
+            Msg::TsScanReq { .. } => HDR + 4,
+            Msg::TsScanResp { entries, .. } => {
+                HDR + entries.iter().map(|m| m.size_bytes()).sum::<usize>()
+            }
+            Msg::TsQueryReq { .. } => HDR + 8,
+            Msg::TsQueryResp { meta, inline, .. } => {
+                HDR + 8
+                    + 1
+                    + meta.as_ref().map_or(0, |m| m.size_bytes())
+                    + inline.as_ref().map_or(0, |i| 8 + i.value.len())
+            }
+            Msg::ReadReq { .. } => HDR + 8 + 43,
+            Msg::ReadResp { item, .. } => HDR + 1 + item.as_ref().map_or(0, |i| i.size_bytes()),
+            Msg::WriteReq { item, .. } => HDR + item.size_bytes(),
+            Msg::WriteAck { .. } => HDR + 1,
+            Msg::MwReadReq { .. } => HDR + 8,
+            Msg::MwReadResp { versions, .. } => {
+                HDR + 8 + versions.iter().map(|i| i.size_bytes()).sum::<usize>()
+            }
+            Msg::GossipPush { items } => {
+                HDR + items.iter().map(|i| i.size_bytes()).sum::<usize>()
+            }
+            Msg::GossipSummary { entries, .. } => HDR + 1 + entries.len() * (8 + 43),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_extraction() {
+        let m = Msg::CtxReadReq {
+            op: OpId(7),
+            client: ClientId(1),
+            group: GroupId(1),
+        };
+        assert_eq!(m.op(), Some(OpId(7)));
+        let g = Msg::GossipSummary {
+            entries: vec![],
+            want_reply: false,
+        };
+        assert_eq!(g.op(), None);
+    }
+
+    #[test]
+    fn kinds_are_distinct_for_req_resp() {
+        let req = Msg::TsQueryReq {
+            op: OpId(1),
+            data: DataId(1),
+        };
+        let resp = Msg::TsQueryResp {
+            op: OpId(1),
+            data: DataId(1),
+            meta: None,
+            inline: None,
+        };
+        assert_ne!(req.kind(), resp.kind());
+    }
+
+    #[test]
+    fn sizes_scale_with_payload() {
+        let small = Msg::GossipSummary {
+            entries: vec![],
+            want_reply: false,
+        };
+        let big = Msg::GossipSummary {
+            entries: (0..10).map(|i| (DataId(i), Timestamp::Version(i))).collect(),
+            want_reply: false,
+        };
+        assert!(big.size_bytes() > small.size_bytes());
+    }
+}

@@ -1,0 +1,159 @@
+//! Dynamic-quorum extension tests (paper §3 cites Alvisi et al., "Dynamic
+//! Byzantine Quorum Systems"): optimistic reads contact `b̂+1` servers,
+//! growing `b̂` when faults are observed. Safety must never depend on the
+//! estimate; only message cost does.
+
+use sstore_core::client::{ClientOp, OpKind, Outcome};
+use sstore_core::config::{ClientConfig, GossipConfig, ServerConfig};
+use sstore_core::faults::Behavior;
+use sstore_core::sim::{ClusterBuilder, Step};
+use sstore_core::types::{Consistency, DataId, GroupId};
+
+const G: GroupId = GroupId(1);
+
+fn adaptive_cfg() -> ClientConfig {
+    ClientConfig {
+        adaptive_read_quorum: true,
+        sticky_rotation: true,
+        ..ClientConfig::default()
+    }
+}
+
+fn quiet() -> ServerConfig {
+    ServerConfig {
+        gossip: GossipConfig {
+            enabled: false,
+            ..GossipConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+fn session(reads: u64) -> Vec<Step> {
+    let mut script = vec![
+        Step::Do(ClientOp::Connect {
+            group: G,
+            recover: false,
+        }),
+        Step::Do(ClientOp::Write {
+            data: DataId(1),
+            group: G,
+            consistency: Consistency::Mrc,
+            value: b"adaptive".to_vec(),
+        }),
+    ];
+    for _ in 0..reads {
+        script.push(Step::Do(ClientOp::Read {
+            data: DataId(1),
+            group: G,
+            consistency: Consistency::Mrc,
+        }));
+    }
+    script
+}
+
+#[test]
+fn fault_free_adaptive_reads_contact_one_server() {
+    let mut cluster = ClusterBuilder::new(7, 2)
+        .seed(1)
+        .server_config(quiet())
+        .client_config(adaptive_cfg())
+        .client(session(6))
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+    let stats = cluster.sim.stats();
+    // 6 reads × (b̂+1 = 1) timestamp queries — versus 18 at the static b+1.
+    assert_eq!(stats.sent_by_kind("ts-query-req"), 6);
+}
+
+#[test]
+fn static_reads_contact_b_plus_one() {
+    let mut cluster = ClusterBuilder::new(7, 2)
+        .seed(1)
+        .server_config(quiet())
+        .client_config(ClientConfig {
+            sticky_rotation: true,
+            ..ClientConfig::default()
+        })
+        .client(session(6))
+        .build();
+    cluster.run_to_quiescence();
+    let stats = cluster.sim.stats();
+    assert_eq!(stats.sent_by_kind("ts-query-req"), 18, "6 reads x (b+1=3)");
+}
+
+#[test]
+fn estimate_rises_under_faults_and_reads_stay_correct() {
+    // The sticky client's first-choice server serves corrupt values; the
+    // optimistic single-server probe fails, the estimate rises, and reads
+    // still return the true value.
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(3)
+        .server_config(quiet())
+        .behavior(0, Behavior::CorruptValue) // sticky C0 starts at S0
+        .client_config(adaptive_cfg())
+        .client(session(4))
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    for r in &results {
+        assert!(r.outcome.is_ok(), "{results:?}");
+        if let Outcome::ReadOk { value, .. } = &r.outcome {
+            assert_eq!(value, b"adaptive");
+        }
+    }
+    // The estimate must have risen after the corrupt responses.
+    let reads: Vec<_> = results.iter().filter(|r| r.kind == OpKind::Read).collect();
+    assert!(reads.iter().any(|r| r.rounds > 1), "faults forced escalation");
+}
+
+#[test]
+fn adaptive_never_exceeds_design_bound() {
+    // Even with every contacted server lying, the estimate caps at b and
+    // reads keep escalating via rounds rather than runaway quorums.
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(5)
+        .behavior(0, Behavior::CorruptSig)
+        .behavior(1, Behavior::CorruptSig) // beyond the bound on purpose
+        .client_config(adaptive_cfg())
+        .client(session(3))
+        .build();
+    cluster.run_to_quiescence();
+    // Safety: no forged value is ever returned.
+    for r in cluster.client_results(0) {
+        if let Outcome::ReadOk { value, .. } = &r.outcome {
+            assert_eq!(value, b"adaptive");
+        }
+    }
+}
+
+#[test]
+fn adaptive_saves_messages_versus_static_under_no_faults() {
+    let run = |adaptive: bool| {
+        let cfg = if adaptive {
+            adaptive_cfg()
+        } else {
+            ClientConfig {
+                sticky_rotation: true,
+                ..ClientConfig::default()
+            }
+        };
+        let mut cluster = ClusterBuilder::new(10, 3)
+            .seed(7)
+            .server_config(quiet())
+            .client_config(cfg)
+            .client(session(10))
+            .build();
+        cluster.run_to_quiescence();
+        assert!(cluster.client_results(0).iter().all(|r| r.outcome.is_ok()));
+        cluster.sim.stats().total_messages
+    };
+    let adaptive = run(true);
+    let static_q = run(false);
+    assert!(
+        adaptive < static_q,
+        "adaptive ({adaptive}) should beat static ({static_q}) without faults"
+    );
+}

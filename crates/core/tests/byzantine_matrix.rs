@@ -1,0 +1,279 @@
+//! Exhaustive adversary matrix: every behaviour × every operation type ×
+//! several placements, asserting safety (never a wrong value) and
+//! liveness-within-bounds (ops succeed when faults ≤ b).
+
+use sstore_core::client::{ClientOp, OpKind, Outcome};
+use sstore_core::faults::Behavior;
+use sstore_core::sim::{ClusterBuilder, Step};
+use sstore_core::types::{Consistency, DataId, GroupId};
+use sstore_simnet::SimTime;
+
+const G: GroupId = GroupId(1);
+
+const ALL_BEHAVIORS: [Behavior; 6] = [
+    Behavior::Crash,
+    Behavior::Stale,
+    Behavior::CorruptValue,
+    Behavior::CorruptSig,
+    Behavior::Equivocate,
+    Behavior::Premature,
+];
+
+fn full_session(consistency: Consistency) -> Vec<Step> {
+    vec![
+        Step::Do(ClientOp::Connect {
+            group: G,
+            recover: false,
+        }),
+        Step::Do(ClientOp::Write {
+            data: DataId(1),
+            group: G,
+            consistency,
+            value: b"alpha".to_vec(),
+        }),
+        Step::Do(ClientOp::Write {
+            data: DataId(2),
+            group: G,
+            consistency,
+            value: b"beta".to_vec(),
+        }),
+        Step::Do(ClientOp::Read {
+            data: DataId(1),
+            group: G,
+            consistency,
+        }),
+        Step::Do(ClientOp::Read {
+            data: DataId(2),
+            group: G,
+            consistency,
+        }),
+        Step::Do(ClientOp::Disconnect { group: G }),
+    ]
+}
+
+fn mw_session() -> Vec<Step> {
+    vec![
+        Step::Do(ClientOp::Connect {
+            group: G,
+            recover: false,
+        }),
+        Step::Do(ClientOp::MwWrite {
+            data: DataId(1),
+            group: G,
+            value: b"alpha".to_vec(),
+        }),
+        Step::Do(ClientOp::MwRead {
+            data: DataId(1),
+            group: G,
+            consistency: Consistency::Cc,
+        }),
+        Step::Do(ClientOp::Disconnect { group: G }),
+    ]
+}
+
+fn assert_session_safe(results: &[sstore_core::OpResult], label: &str) {
+    for r in results {
+        assert!(r.outcome.is_ok(), "{label}: {:?}", r.outcome);
+        if let Outcome::ReadOk { value, .. } = &r.outcome {
+            assert!(
+                value == b"alpha" || value == b"beta",
+                "{label}: forged value {value:?}"
+            );
+        }
+    }
+}
+
+/// Single Byzantine server (b=1, n=4): every behaviour, every placement,
+/// both consistency levels — all masked.
+#[test]
+fn single_byzantine_every_placement_and_behavior() {
+    for behavior in ALL_BEHAVIORS {
+        for placement in 0..4usize {
+            for consistency in [Consistency::Mrc, Consistency::Cc] {
+                let mut cluster = ClusterBuilder::new(4, 1)
+                    .seed(7 + placement as u64)
+                    .behavior(placement, behavior)
+                    .client(full_session(consistency))
+                    .build();
+                cluster.run_to_quiescence();
+                let results = cluster.client_results(0);
+                assert_session_safe(
+                    &results,
+                    &format!("{behavior:?}@S{placement}/{consistency}"),
+                );
+            }
+        }
+    }
+}
+
+/// Two colluding Byzantine servers with b=2 (n=7): mixed behaviours.
+#[test]
+fn two_byzantine_mixed_behaviors() {
+    let pairs = [
+        (Behavior::Stale, Behavior::CorruptValue),
+        (Behavior::Crash, Behavior::Equivocate),
+        (Behavior::CorruptSig, Behavior::Stale),
+        (Behavior::Equivocate, Behavior::Equivocate),
+    ];
+    for (b1, b2) in pairs {
+        let mut cluster = ClusterBuilder::new(7, 2)
+            .seed(21)
+            .behavior(1, b1)
+            .behavior(4, b2)
+            .client(full_session(Consistency::Cc))
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(0);
+        assert_session_safe(&results, &format!("{b1:?}+{b2:?}"));
+    }
+}
+
+/// Multi-writer path under every single-fault behaviour.
+#[test]
+fn multi_writer_under_every_behavior() {
+    for behavior in ALL_BEHAVIORS {
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(33)
+            .behavior(2, behavior)
+            .client(mw_session())
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(0);
+        for r in &results {
+            assert!(r.outcome.is_ok(), "{behavior:?}: {:?}", r.outcome);
+            if let Outcome::ReadOk { value, .. } = &r.outcome {
+                assert_eq!(value, b"alpha", "{behavior:?}");
+            }
+        }
+    }
+}
+
+/// Context operations under every behaviour: the stored context survives a
+/// lying server because the client picks the highest *validly signed*
+/// session.
+#[test]
+fn context_round_trips_under_every_behavior() {
+    for behavior in ALL_BEHAVIORS {
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(55)
+            .behavior(0, behavior)
+            .client(vec![
+                Step::Do(ClientOp::Connect {
+                    group: G,
+                    recover: false,
+                }),
+                Step::Do(ClientOp::Write {
+                    data: DataId(1),
+                    group: G,
+                    consistency: Consistency::Mrc,
+                    value: b"persisted".to_vec(),
+                }),
+                Step::Do(ClientOp::Disconnect { group: G }),
+                Step::Wait(SimTime::from_millis(100)),
+                Step::Do(ClientOp::Connect {
+                    group: G,
+                    recover: false,
+                }),
+                Step::Do(ClientOp::Read {
+                    data: DataId(1),
+                    group: G,
+                    consistency: Consistency::Mrc,
+                }),
+                Step::Do(ClientOp::Disconnect { group: G }),
+            ])
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(0);
+        assert!(
+            results.iter().all(|r| r.outcome.is_ok()),
+            "{behavior:?}: {results:?}"
+        );
+        // The reconnect must restore the full context despite the liar.
+        let reconnect = results
+            .iter()
+            .filter(|r| r.kind == OpKind::Connect)
+            .nth(1)
+            .unwrap();
+        assert_eq!(
+            reconnect.outcome,
+            Outcome::Connected { context_len: 1 },
+            "{behavior:?}"
+        );
+    }
+}
+
+/// Reconstruction under every behaviour: metadata signatures protect the
+/// scan path too.
+#[test]
+fn reconstruction_under_every_behavior() {
+    for behavior in ALL_BEHAVIORS {
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(77)
+            .behavior(1, behavior)
+            .client(vec![
+                Step::Do(ClientOp::Connect {
+                    group: G,
+                    recover: false,
+                }),
+                Step::Do(ClientOp::Write {
+                    data: DataId(1),
+                    group: G,
+                    consistency: Consistency::Mrc,
+                    value: b"v1".to_vec(),
+                }),
+                Step::Do(ClientOp::Write {
+                    data: DataId(1),
+                    group: G,
+                    consistency: Consistency::Mrc,
+                    value: b"v2".to_vec(),
+                }),
+                Step::Crash,
+                Step::Do(ClientOp::Connect {
+                    group: G,
+                    recover: true,
+                }),
+                Step::Do(ClientOp::Read {
+                    data: DataId(1),
+                    group: G,
+                    consistency: Consistency::Mrc,
+                }),
+            ])
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(0);
+        assert!(
+            results.iter().all(|r| r.outcome.is_ok()),
+            "{behavior:?}: {results:?}"
+        );
+        // The post-recovery read must return the latest version, not a
+        // stale one smuggled in via a forged scan entry.
+        match &results.last().unwrap().outcome {
+            Outcome::ReadOk { value, .. } => assert_eq!(value, b"v2", "{behavior:?}"),
+            other => panic!("{behavior:?}: {other:?}"),
+        }
+    }
+}
+
+/// Network partition: a client partitioned from b servers still completes;
+/// healing restores full dissemination.
+#[test]
+fn partition_then_heal() {
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(91)
+        .client(full_session(Consistency::Mrc))
+        .build();
+    // Cut the client off from server 0 in both directions.
+    let client_node = sstore_simnet::NodeId(4);
+    let s0 = sstore_simnet::NodeId(0);
+    cluster.sim.partition_pair(client_node, s0);
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+    cluster.sim.heal_all();
+    cluster.drain(SimTime::from_secs(2));
+    // After healing, gossip must deliver the items to server 0 as well.
+    cluster.with_server(0, |node| {
+        assert!(node.item(DataId(1)).is_some());
+        assert!(node.item(DataId(2)).is_some());
+    });
+}

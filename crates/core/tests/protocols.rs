@@ -1,0 +1,603 @@
+//! End-to-end protocol tests: full clusters in the deterministic simulator.
+
+use sstore_core::client::{ClientOp, OpKind, Outcome};
+use sstore_core::config::{ClientConfig, GossipConfig, ServerConfig};
+use sstore_core::faults::Behavior;
+use sstore_core::quorum;
+use sstore_core::sim::{ClusterBuilder, Step};
+use sstore_core::types::{Consistency, DataId, GroupId, Timestamp};
+use sstore_simnet::{Message, SimConfig, SimTime};
+
+const G: GroupId = GroupId(1);
+
+fn connect() -> Step {
+    Step::Do(ClientOp::Connect {
+        group: G,
+        recover: false,
+    })
+}
+
+fn disconnect() -> Step {
+    Step::Do(ClientOp::Disconnect { group: G })
+}
+
+fn write(data: u64, consistency: Consistency, value: &[u8]) -> Step {
+    Step::Do(ClientOp::Write {
+        data: DataId(data),
+        group: G,
+        consistency,
+        value: value.to_vec(),
+    })
+}
+
+fn read(data: u64, consistency: Consistency) -> Step {
+    Step::Do(ClientOp::Read {
+        data: DataId(data),
+        group: G,
+        consistency,
+    })
+}
+
+fn mw_write(data: u64, value: &[u8]) -> Step {
+    Step::Do(ClientOp::MwWrite {
+        data: DataId(data),
+        group: G,
+        value: value.to_vec(),
+    })
+}
+
+fn mw_read(data: u64) -> Step {
+    Step::Do(ClientOp::MwRead {
+        data: DataId(data),
+        group: G,
+        consistency: Consistency::Cc,
+    })
+}
+
+/// Extracts the value of the first ReadOk in `results`, panicking if none.
+fn first_read_value(results: &[sstore_core::OpResult]) -> Vec<u8> {
+    results
+        .iter()
+        .find_map(|r| match &r.outcome {
+            Outcome::ReadOk { value, .. } => Some(value.clone()),
+            _ => None,
+        })
+        .expect("no successful read")
+}
+
+#[test]
+fn session_write_read_roundtrip() {
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(1)
+        .client(vec![
+            connect(),
+            write(1, Consistency::Mrc, b"v1"),
+            read(1, Consistency::Mrc),
+            disconnect(),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert_eq!(results.len(), 4);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+    assert_eq!(first_read_value(&results), b"v1");
+}
+
+#[test]
+fn context_persists_across_sessions() {
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(2)
+        .client(vec![
+            connect(),
+            write(1, Consistency::Mrc, b"session1"),
+            disconnect(),
+            connect(),
+            read(1, Consistency::Mrc),
+            disconnect(),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+    // The second connect must restore a context with the item.
+    let second_connect = &results[3];
+    assert_eq!(second_connect.kind, OpKind::Connect);
+    assert_eq!(
+        second_connect.outcome,
+        Outcome::Connected { context_len: 1 }
+    );
+}
+
+#[test]
+fn crashed_client_reconstructs_context() {
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(3)
+        .client(vec![
+            connect(),
+            write(1, Consistency::Mrc, b"precious"),
+            write(2, Consistency::Mrc, b"also precious"),
+            // Crash WITHOUT disconnect: the stored context is stale/absent.
+            Step::Crash,
+            Step::Do(ClientOp::Connect {
+                group: G,
+                recover: true,
+            }),
+            read(1, Consistency::Mrc),
+            read(2, Consistency::Mrc),
+            disconnect(),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+    let reconstruct = results
+        .iter()
+        .find(|r| r.kind == OpKind::Reconstruct)
+        .expect("reconstruction ran");
+    assert_eq!(reconstruct.outcome, Outcome::Connected { context_len: 2 });
+}
+
+#[test]
+fn mrc_reads_are_monotonic_under_byzantine_stale_server() {
+    // Writer keeps updating; a stale Byzantine server serves old values.
+    // A reader's successive reads must never go backwards.
+    let writer = vec![
+        connect(),
+        write(1, Consistency::Mrc, b"v1"),
+        write(1, Consistency::Mrc, b"v2"),
+        write(1, Consistency::Mrc, b"v3"),
+        disconnect(),
+    ];
+    let reader = vec![
+        Step::Wait(SimTime::from_millis(50)),
+        connect(),
+        read(1, Consistency::Mrc),
+        Step::Wait(SimTime::from_millis(300)),
+        read(1, Consistency::Mrc),
+        Step::Wait(SimTime::from_millis(300)),
+        read(1, Consistency::Mrc),
+        disconnect(),
+    ];
+    for seed in [1u64, 7, 23] {
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(seed)
+            .behavior(0, Behavior::Stale)
+            .client(writer.clone())
+            .client(reader.clone())
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(1);
+        let versions: Vec<Timestamp> = results
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                Outcome::ReadOk { ts, .. } => Some(*ts),
+                _ => None,
+            })
+            .collect();
+        for pair in versions.windows(2) {
+            assert!(
+                pair[1].is_at_least(&pair[0]),
+                "seed {seed}: non-monotonic reads {versions:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn byzantine_corrupt_value_is_detected_and_masked() {
+    for behavior in [Behavior::CorruptValue, Behavior::CorruptSig, Behavior::Equivocate] {
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(11)
+            .behavior(1, behavior)
+            .client(vec![
+                connect(),
+                write(1, Consistency::Mrc, b"truth"),
+                read(1, Consistency::Mrc),
+                disconnect(),
+            ])
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(0);
+        assert!(
+            results.iter().all(|r| r.outcome.is_ok()),
+            "{behavior:?}: {results:?}"
+        );
+        assert_eq!(first_read_value(&results), b"truth", "{behavior:?}");
+    }
+}
+
+#[test]
+fn survives_b_crash_faults() {
+    let mut cluster = ClusterBuilder::new(7, 2)
+        .seed(5)
+        .behavior(2, Behavior::Crash)
+        .behavior(5, Behavior::Crash)
+        .client(vec![
+            connect(),
+            write(1, Consistency::Mrc, b"available"),
+            read(1, Consistency::Mrc),
+            disconnect(),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+}
+
+#[test]
+fn cc_read_carries_causal_dependencies() {
+    // Writer: x1=v1 then (after reading x1) x2=v2 — x2 causally depends on
+    // x1. Reader reads x2 first; its context must then force a read of x1
+    // to return v1 (not an older/absent value), even though the reader
+    // contacts different servers.
+    let writer = vec![
+        connect(),
+        write(1, Consistency::Cc, b"x1-v1"),
+        write(2, Consistency::Cc, b"x2-v2"),
+        disconnect(),
+    ];
+    let reader = vec![
+        Step::Wait(SimTime::from_millis(400)),
+        connect(),
+        read(2, Consistency::Cc),
+        read(1, Consistency::Cc),
+        disconnect(),
+    ];
+    for seed in [3u64, 9, 31] {
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(seed)
+            .client(writer.clone())
+            .client(reader.clone())
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(1);
+        let reads: Vec<&Outcome> = results
+            .iter()
+            .filter(|r| r.kind == OpKind::Read)
+            .map(|r| &r.outcome)
+            .collect();
+        assert_eq!(reads.len(), 2, "seed {seed}: {results:?}");
+        // If the x2 read succeeded, the x1 read must return v1 (CC).
+        if let Outcome::ReadOk { value, .. } = reads[0] {
+            assert_eq!(value, b"x2-v2");
+            match reads[1] {
+                Outcome::ReadOk { value, .. } => assert_eq!(value, b"x1-v1"),
+                other => panic!("seed {seed}: causal read failed: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_writer_roundtrip_two_writers() {
+    let alice = vec![
+        connect(),
+        mw_write(1, b"alice-1"),
+        Step::Wait(SimTime::from_millis(200)),
+        mw_read(1),
+        disconnect(),
+    ];
+    let bob = vec![
+        Step::Wait(SimTime::from_millis(100)),
+        connect(),
+        mw_write(1, b"bob-1"),
+        mw_read(1),
+        disconnect(),
+    ];
+    let mut cluster = ClusterBuilder::new(7, 2)
+        .seed(13)
+        .client(alice)
+        .client(bob)
+        .build();
+    cluster.run_to_quiescence();
+    for i in 0..2 {
+        let results = cluster.client_results(i);
+        assert!(results.iter().all(|r| r.outcome.is_ok()), "client {i}: {results:?}");
+        if let Some(Outcome::ReadOk { confirmations, .. }) = results
+            .iter()
+            .find(|r| r.kind == OpKind::MwRead)
+            .map(|r| &r.outcome)
+        {
+            assert!(
+                *confirmations >= quorum::multi_writer_accept(2),
+                "client {i}: too few confirmations"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_writer_survives_premature_reporting_servers() {
+    // b=1 premature server reports values before causal preds arrive; the
+    // b+1 matching rule must mask it.
+    let alice = vec![connect(), mw_write(1, b"a"), mw_write(2, b"b"), disconnect()];
+    let reader = vec![
+        Step::Wait(SimTime::from_millis(300)),
+        connect(),
+        mw_read(2),
+        mw_read(1),
+        disconnect(),
+    ];
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(17)
+        .behavior(0, Behavior::Premature)
+        .client(alice)
+        .client(reader)
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(1);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+}
+
+#[test]
+fn spurious_context_attack_is_contained() {
+    // A malicious client writes x9 with a context claiming a (nonexistent)
+    // very new write of x1. Honest servers hold the write back, so honest
+    // readers of x9 are not poisoned into chasing phantom timestamps.
+    use sstore_core::item::StoredItem;
+    use sstore_core::metrics::CryptoCounters;
+    use sstore_core::types::{ClientId, ServerId};
+    use sstore_core::wire::Msg;
+    use sstore_crypto::sha256::digest;
+
+    let honest = vec![
+        connect(),
+        mw_write(1, b"real"),
+        Step::Wait(SimTime::from_millis(500)),
+        mw_read(9), // will come up empty/stale: the attack write is held
+        mw_read(1),
+        disconnect(),
+    ];
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(19)
+        .client(honest)
+        .client(vec![]) // C1: the attacker, driven manually below
+        .build();
+
+    // Craft the malicious write: context claims x1 at a phantom time 10^6.
+    let mut phantom_ctx = sstore_core::Context::new(G);
+    phantom_ctx.observe(
+        DataId(1),
+        Timestamp::Multi {
+            time: 1_000_000,
+            writer: ClientId(1),
+            digest: digest(b"phantom"),
+        },
+    );
+    let value = b"poison".to_vec();
+    let ts = Timestamp::Multi {
+        time: 1_000_001,
+        writer: ClientId(1),
+        digest: digest(&value),
+    };
+    let item = StoredItem::create(
+        DataId(9),
+        G,
+        ts,
+        ClientId(1),
+        Some(phantom_ctx),
+        value,
+        cluster.signing_key(1),
+        &mut CryptoCounters::new(),
+    );
+    for s in 0..4 {
+        cluster.inject_from_client(
+            1,
+            ServerId(s),
+            Msg::WriteReq {
+                op: sstore_core::OpId(999),
+                item: item.clone(),
+            },
+        );
+    }
+    cluster.run_to_quiescence();
+
+    // Honest servers must be holding the write as pending, not serving it.
+    for s in 0..4 {
+        cluster.with_server(s, |node| {
+            assert_eq!(node.log_len(DataId(9)), 0, "S{s} served the poison write");
+            assert_eq!(node.pending_len(), 1, "S{s} should hold it pending");
+        });
+    }
+    // The honest reader's x1 read still works and returns the real value.
+    let results = cluster.client_results(0);
+    let x1 = results
+        .iter()
+        .rev()
+        .find(|r| r.kind == OpKind::MwRead)
+        .unwrap();
+    match &x1.outcome {
+        Outcome::ReadOk { value, .. } => assert_eq!(value, b"real"),
+        other => panic!("x1 read failed: {other:?}"),
+    }
+}
+
+#[test]
+fn message_costs_match_paper_formulas() {
+    // Fault-free run, gossip disabled: the wire counts must equal §6.
+    let n = 7;
+    let b = 2;
+    let mut server_cfg = ServerConfig::default();
+    server_cfg.gossip = GossipConfig {
+        enabled: false,
+        ..GossipConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(n, b)
+        .seed(29)
+        .server_config(server_cfg)
+        .client(vec![
+            connect(),
+            write(1, Consistency::Mrc, b"v"),
+            read(1, Consistency::Mrc),
+            disconnect(),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+
+    let stats = cluster.sim.stats().clone();
+    let q = quorum::context_quorum(n, b);
+    // Context read: q requests + q responses (paper: 2⌈(n+b+1)/2⌉).
+    assert_eq!(stats.sent_by_kind("ctx-read-req"), q as u64);
+    assert_eq!(stats.sent_by_kind("ctx-read-resp"), q as u64);
+    // Context write: q requests, q acks.
+    assert_eq!(stats.sent_by_kind("ctx-write-req"), q as u64);
+    assert_eq!(stats.sent_by_kind("ctx-write-ack"), q as u64);
+    // Data write: b+1 (paper: "a total of b+1 messages for write").
+    assert_eq!(stats.sent_by_kind("write-req"), (b + 1) as u64);
+    // Read phase 1: b+1 queries; phase 2: 1 fetch.
+    assert_eq!(stats.sent_by_kind("ts-query-req"), (b + 1) as u64);
+    assert_eq!(stats.sent_by_kind("read-req"), 1);
+    assert_eq!(stats.sent_by_kind("read-resp"), 1);
+}
+
+#[test]
+fn crypto_costs_match_paper_formulas() {
+    let n = 7;
+    let b = 2;
+    let mut server_cfg = ServerConfig::default();
+    server_cfg.gossip.enabled = false;
+    let mut cluster = ClusterBuilder::new(n, b)
+        .seed(31)
+        .server_config(server_cfg)
+        .client(vec![
+            connect(),
+            write(1, Consistency::Mrc, b"v"),
+            read(1, Consistency::Mrc),
+            disconnect(),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    assert!(cluster
+        .client_results(0)
+        .iter()
+        .all(|r| r.outcome.is_ok()));
+
+    let client = cluster.client_counters(0);
+    // Client: 1 sign for the data write + 1 sign for the context write.
+    assert_eq!(client.signs, 2);
+    // Client verifies: 1 for the read value. (Context read found no stored
+    // context on a fresh client, so 0 there.)
+    assert_eq!(client.verifies, 1);
+
+    let servers = cluster.total_server_counters();
+    // Servers verify the data write at b+1 servers and the context write
+    // at ⌈(n+b+1)/2⌉ servers.
+    let q = quorum::context_quorum(n, b) as u64;
+    assert_eq!(servers.verifies, (b as u64 + 1) + q);
+}
+
+#[test]
+fn dissemination_makes_wider_reads_succeed() {
+    // Writer writes to b+1 servers; reader with a different rotation
+    // eventually sees the value via gossip.
+    let mut gossip_on = ServerConfig::default();
+    gossip_on.gossip.period = SimTime::from_millis(50);
+    let mut cluster = ClusterBuilder::new(7, 1)
+        .seed(37)
+        .server_config(gossip_on)
+        .client(vec![connect(), write(1, Consistency::Mrc, b"spread"), disconnect()])
+        .client(vec![
+            Step::Wait(SimTime::from_secs(2)), // let gossip do its work
+            connect(),
+            read(1, Consistency::Mrc),
+            disconnect(),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(1);
+    assert_eq!(first_read_value(&results), b"spread");
+    // After 2s of 50ms gossip, every server must hold the item.
+    for s in 0..7 {
+        cluster.with_server(s, |node| {
+            assert!(node.item(DataId(1)).is_some(), "S{s} missing item");
+        });
+    }
+}
+
+#[test]
+fn unavailable_when_too_many_servers_crash() {
+    // 3 of 4 crashed with b=1: even the b+1 write quorum cannot form.
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(41)
+        .behavior(0, Behavior::Crash)
+        .behavior(1, Behavior::Crash)
+        .behavior(2, Behavior::Crash)
+        .client_config(ClientConfig {
+            retry: sstore_core::RetryPolicy {
+                phase_timeout: SimTime::from_millis(100),
+                stale_retry_delay: SimTime::from_millis(50),
+                max_rounds: 3,
+            },
+            ..ClientConfig::default()
+        })
+        .client(vec![connect()])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].outcome, Outcome::Unavailable);
+}
+
+#[test]
+fn deterministic_across_identical_seeds() {
+    let build = |seed| {
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(seed)
+            .client(vec![
+                connect(),
+                write(1, Consistency::Mrc, b"d"),
+                read(1, Consistency::Mrc),
+                disconnect(),
+            ])
+            .build();
+        cluster.run_to_quiescence();
+        let stats = cluster.sim.stats().clone();
+        let results: Vec<_> = cluster
+            .client_results(0)
+            .iter()
+            .map(|r| (r.kind, r.latency()))
+            .collect();
+        (stats.total_messages, results)
+    };
+    assert_eq!(build(77), build(77));
+    assert_ne!(build(77), build(78));
+}
+
+#[test]
+fn wan_latency_dominates_op_time() {
+    let run = |config: SimConfig| {
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(43)
+            .network(config)
+            .client(vec![connect(), write(1, Consistency::Mrc, b"v"), disconnect()])
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(0);
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
+        results
+            .iter()
+            .map(|r| r.latency())
+            .fold(SimTime::ZERO, |a, b| a + b)
+    };
+    let lan = run(SimConfig::lan(43));
+    let wan = run(SimConfig::wan(43));
+    assert!(
+        wan.as_micros() > lan.as_micros() * 50,
+        "WAN ({wan}) should dwarf LAN ({lan})"
+    );
+}
+
+#[test]
+fn gossip_message_sizes_accounted() {
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(47)
+        .client(vec![connect(), write(1, Consistency::Mrc, b"payload"), disconnect()])
+        .build();
+    cluster.run_to_quiescence();
+    cluster.drain(SimTime::from_secs(1));
+    let stats = cluster.sim.stats();
+    assert!(stats.sent_by_kind("gossip-summary") > 0);
+    assert!(stats.bytes_by_kind("gossip-summary") > 0);
+}

@@ -1,0 +1,269 @@
+//! Session and context edge cases: group isolation, session monotonicity,
+//! unauthorized clients, empty reads, repeated sessions.
+
+use sstore_core::client::{ClientOp, OpKind, Outcome};
+use sstore_core::sim::{ClusterBuilder, Step};
+use sstore_core::types::{ClientId, Consistency, DataId, GroupId, ServerId};
+use sstore_core::wire::Msg;
+use sstore_core::OpId;
+use sstore_simnet::SimTime;
+
+fn connect(g: u32) -> Step {
+    Step::Do(ClientOp::Connect {
+        group: GroupId(g),
+        recover: false,
+    })
+}
+
+fn disconnect(g: u32) -> Step {
+    Step::Do(ClientOp::Disconnect { group: GroupId(g) })
+}
+
+fn write(g: u32, data: u64, value: &[u8]) -> Step {
+    Step::Do(ClientOp::Write {
+        data: DataId(data),
+        group: GroupId(g),
+        consistency: Consistency::Mrc,
+        value: value.to_vec(),
+    })
+}
+
+fn read(g: u32, data: u64) -> Step {
+    Step::Do(ClientOp::Read {
+        data: DataId(data),
+        group: GroupId(g),
+        consistency: Consistency::Mrc,
+    })
+}
+
+#[test]
+fn groups_have_independent_contexts() {
+    // Items with the same DataId live in different groups; context from
+    // one group must not leak into the other's acquisition.
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(1)
+        .client(vec![
+            connect(1),
+            connect(2),
+            write(1, 1, b"group1"),
+            write(2, 7, b"group2"),
+            disconnect(1),
+            disconnect(2),
+            connect(1),
+            connect(2),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+    let reconnects: Vec<&Outcome> = results
+        .iter()
+        .skip(6)
+        .map(|r| &r.outcome)
+        .collect();
+    assert_eq!(*reconnects[0], Outcome::Connected { context_len: 1 });
+    assert_eq!(*reconnects[1], Outcome::Connected { context_len: 1 });
+}
+
+#[test]
+fn read_of_never_written_item_reports_stale_or_empty() {
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(2)
+        .client_config(sstore_core::ClientConfig {
+            retry: sstore_core::RetryPolicy {
+                phase_timeout: SimTime::from_millis(100),
+                stale_retry_delay: SimTime::from_millis(50),
+                max_rounds: 2,
+            },
+            ..Default::default()
+        })
+        .client(vec![connect(1), read(1, 42)])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    // No value exists anywhere: the read must end Stale (best_seen: None),
+    // never invent data.
+    assert_eq!(
+        results[1].outcome,
+        Outcome::Stale { best_seen: None },
+        "{results:?}"
+    );
+}
+
+#[test]
+fn many_sessions_monotonic_context() {
+    // Ten sessions in a row, each adding one write; every reconnect must
+    // see the full history so far.
+    let mut script = Vec::new();
+    for k in 0..10u64 {
+        script.push(connect(1));
+        script.push(write(1, k + 1, format!("v{k}").as_bytes()));
+        script.push(disconnect(1));
+    }
+    script.push(connect(1));
+    let mut cluster = ClusterBuilder::new(4, 1).seed(3).client(script).build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+    let final_connect = results.last().unwrap();
+    assert_eq!(final_connect.kind, OpKind::Connect);
+    assert_eq!(final_connect.outcome, Outcome::Connected { context_len: 10 });
+}
+
+#[test]
+fn unauthorized_client_messages_are_ignored() {
+    // ClientId(5) has no key in the directory; its context request must be
+    // silently dropped by servers (paper §4's authorization assumption).
+    let mut cluster = ClusterBuilder::new(4, 1).seed(4).client(vec![]).build();
+    for s in 0..4u16 {
+        cluster.inject_from_client(
+            0, // routed from C0's node, but claiming ClientId(5)
+            ServerId(s),
+            Msg::CtxReadReq {
+                op: OpId(1),
+                client: ClientId(5),
+                group: GroupId(1),
+            },
+        );
+    }
+    cluster.drain(SimTime::from_secs(1));
+    assert_eq!(
+        cluster.sim.stats().sent_by_kind("ctx-read-resp"),
+        0,
+        "unauthorized requests must draw no response"
+    );
+}
+
+#[test]
+fn reconstruction_finds_items_from_other_writers_in_group() {
+    // CC groups can contain items written by others; reconstruction scans
+    // per group, not per writer, so it must pick those up too.
+    let writer_a = vec![
+        connect(1),
+        Step::Do(ClientOp::Write {
+            data: DataId(1),
+            group: GroupId(1),
+            consistency: Consistency::Cc,
+            value: b"from-a".to_vec(),
+        }),
+        disconnect(1),
+    ];
+    let writer_b = vec![
+        Step::Wait(SimTime::from_millis(800)),
+        connect(1),
+        Step::Do(ClientOp::Write {
+            data: DataId(2),
+            group: GroupId(1),
+            consistency: Consistency::Cc,
+            value: b"from-b".to_vec(),
+        }),
+        Step::Crash,
+        Step::Do(ClientOp::Connect {
+            group: GroupId(1),
+            recover: true,
+        }),
+    ];
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(5)
+        .client(writer_a)
+        .client(writer_b)
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(1);
+    let rec = results
+        .iter()
+        .find(|r| r.kind == OpKind::Reconstruct)
+        .expect("reconstruction ran");
+    // Both items (dissemination willing) — at least B's own write plus,
+    // after 800ms of gossip, A's item too.
+    assert_eq!(rec.outcome, Outcome::Connected { context_len: 2 }, "{results:?}");
+}
+
+#[test]
+fn disconnect_then_reconnect_has_higher_session() {
+    // Stored sessions strictly increase; an old context can never clobber
+    // a newer one even if replayed by a slow server.
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(6)
+        .client(vec![
+            connect(1),
+            write(1, 1, b"s1"),
+            disconnect(1),
+            connect(1),
+            write(1, 2, b"s2"),
+            disconnect(1),
+            connect(1),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert!(results.iter().all(|r| r.outcome.is_ok()));
+    assert_eq!(
+        results.last().unwrap().outcome,
+        Outcome::Connected { context_len: 2 }
+    );
+}
+
+#[test]
+fn interleaved_groups_in_one_session() {
+    // Data ids are globally unique (paper §4.1: "each data item has a
+    // unique identifier in the system"); two groups, disjoint ids.
+    let mut cluster = ClusterBuilder::new(7, 2)
+        .seed(7)
+        .client(vec![
+            connect(1),
+            connect(2),
+            write(1, 1, b"a1"),
+            write(2, 4, b"b1"),
+            write(1, 2, b"a2"),
+            read(2, 4),
+            read(1, 2),
+            disconnect(2),
+            disconnect(1),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+    let values: Vec<&Vec<u8>> = results
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            Outcome::ReadOk { value, .. } => Some(value),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(values, vec![&b"b1".to_vec(), &b"a2".to_vec()]);
+}
+
+#[test]
+fn cross_group_data_id_reuse_is_rejected_at_read() {
+    // A writer erroneously reuses a data id under a different group. The
+    // group is part of the signed metadata, so a read in group 2 must not
+    // accept group 1's item — it reports Stale instead of leaking.
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(8)
+        .client_config(sstore_core::ClientConfig {
+            retry: sstore_core::RetryPolicy {
+                phase_timeout: SimTime::from_millis(100),
+                stale_retry_delay: SimTime::from_millis(50),
+                max_rounds: 2,
+            },
+            ..Default::default()
+        })
+        .client(vec![
+            connect(1),
+            connect(2),
+            write(1, 1, b"group1-value"),
+            read(2, 1),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    match &results[3].outcome {
+        Outcome::Stale { .. } => {}
+        Outcome::ReadOk { value, .. } => {
+            panic!("cross-group leak: {:?}", String::from_utf8_lossy(value))
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}

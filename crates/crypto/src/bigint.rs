@@ -1,0 +1,746 @@
+//! Arbitrary-precision unsigned integers, purpose-built for Schnorr groups.
+//!
+//! Little-endian `u64` limbs, schoolbook multiplication, Knuth Algorithm D
+//! division, square-and-multiply modular exponentiation and Miller–Rabin
+//! primality testing. The sizes in play (≤ 1024-bit moduli in the
+//! reproduction presets) keep the quadratic algorithms comfortably fast.
+//!
+//! ```
+//! use sstore_crypto::bigint::BigUint;
+//!
+//! let p = BigUint::from(23u64);
+//! let g = BigUint::from(5u64);
+//! assert_eq!(g.modpow(&BigUint::from(6u64), &p), BigUint::from(8u64));
+//! ```
+
+use rand::Rng;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// The internal representation is normalized: no trailing zero limbs, and
+/// zero is the empty limb vector.
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl std::fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl std::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
+        n.normalize();
+        n
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            if a != b {
+                return a.cmp(b);
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether this is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Whether the low bit is clear.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let off = i % 64;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Parses big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut cur: u64 = 0;
+        let mut cur_bits = 0;
+        for &b in bytes.iter().rev() {
+            cur |= (b as u64) << cur_bits;
+            cur_bits += 8;
+            if cur_bits == 64 {
+                limbs.push(cur);
+                cur = 0;
+                cur_bits = 0;
+            }
+        }
+        if cur_bits > 0 {
+            limbs.push(cur);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serializes to minimal big-endian bytes (empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        // Strip leading zero bytes.
+        let first = out.iter().position(|&b| b != 0).unwrap_or(out.len() - 1);
+        out.drain(..first);
+        out
+    }
+
+    /// Parses a lowercase/uppercase hexadecimal string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` contains a non-hex character. Intended for embedding
+    /// verified constants, not for untrusted input.
+    pub fn from_hex(s: &str) -> Self {
+        let s = s.trim();
+        let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
+        let chars: Vec<u8> = s.bytes().collect();
+        let mut i = 0;
+        // Handle odd-length by treating the first nibble alone.
+        if chars.len() % 2 == 1 {
+            bytes.push(hex_val(chars[0]));
+            i = 1;
+        }
+        while i < chars.len() {
+            bytes.push(hex_val(chars[i]) << 4 | hex_val(chars[i + 1]));
+            i += 2;
+        }
+        BigUint::from_be_bytes(&bytes)
+    }
+
+    /// Formats as minimal lowercase hexadecimal ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let bytes = self.to_be_bytes();
+        let mut s: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        while s.len() > 1 && s.starts_with('0') {
+            s.remove(0);
+        }
+        s
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint::sub underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let limb_shift = n / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = n % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Division with remainder (Knuth Algorithm D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u128;
+            let mut q = Vec::with_capacity(self.limbs.len());
+            let mut rem: u128 = 0;
+            for &l in self.limbs.iter().rev() {
+                let cur = (rem << 64) | l as u128;
+                q.push((cur / d) as u64);
+                rem = cur % d;
+            }
+            q.reverse();
+            let mut qn = BigUint { limbs: q };
+            qn.normalize();
+            return (qn, BigUint::from(rem as u64));
+        }
+
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().expect("nonzero").leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0); // extra limb for Algorithm D
+        let vn = &v.limbs;
+        let v_top = vn[n - 1] as u128;
+        let v_next = vn[n - 2] as u128;
+
+        let mut q = vec![0u64; m + 1];
+        for j in (0..=m).rev() {
+            let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = num / v_top;
+            let mut rhat = num % v_top;
+            // Correct qhat down to at most 2 over.
+            while qhat >> 64 != 0 || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128) {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract: un[j..j+n+1] -= qhat * vn.
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (un[j + i] as i128) - ((p as u64) as i128) + borrow;
+                un[j + i] = sub as u64;
+                borrow = sub >> 64;
+            }
+            let sub = (un[j + n] as i128) - (carry as i128) + borrow;
+            un[j + n] = sub as u64;
+            if sub < 0 {
+                // qhat was one too large: add back.
+                qhat -= 1;
+                let mut carry2 = 0u128;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn[i] as u128 + carry2;
+                    un[j + i] = s as u64;
+                    carry2 = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry2 as u64);
+            }
+            q[j] = qhat as u64;
+        }
+
+        let mut quot = BigUint { limbs: q };
+        quot.normalize();
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rem.normalize();
+        (quot, rem.shr(shift))
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// `(self * other) mod m`.
+    pub fn mulmod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(other).rem(m)
+    }
+
+    /// `self^exp mod m` via square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(m);
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mulmod(&base, m);
+            }
+            base = base.mulmod(&base, m);
+        }
+        result
+    }
+
+    /// Modular multiplicative inverse via the extended Euclidean algorithm.
+    ///
+    /// Returns `None` when `gcd(self, m) != 1`.
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        // Extended Euclid on (a, m), tracking only the coefficient of a.
+        // Signs handled by tracking (value, is_negative).
+        if m.is_zero() {
+            return None;
+        }
+        let mut r0 = self.rem(m);
+        let mut r1 = m.clone();
+        let mut s0 = (BigUint::one(), false);
+        let mut s1 = (BigUint::zero(), false);
+        while !r0.is_zero() {
+            let (q, r) = r1.div_rem(&r0);
+            // (r1, r0) = (r0, r)
+            r1 = std::mem::replace(&mut r0, r);
+            // (s1, s0) = (s0, s1 - q*s0)
+            let qs0 = (q.mul(&s0.0), s0.1);
+            let new_s0 = signed_sub(&s1, &qs0);
+            s1 = std::mem::replace(&mut s0, new_s0);
+        }
+        if !r1.is_one() {
+            return None;
+        }
+        // s1 is the coefficient for self; reduce to [0, m).
+        let (val, neg) = s1;
+        let val = val.rem(m);
+        Some(if neg && !val.is_zero() {
+            m.sub(&val)
+        } else {
+            val
+        })
+    }
+
+    /// Uniformly random integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below(bound: &BigUint, rng: &mut impl Rng) -> BigUint {
+        assert!(!bound.is_zero(), "random_below(0)");
+        let bits = bound.bit_len();
+        let limbs = (bits + 63) / 64;
+        let top_mask = if bits % 64 == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
+        loop {
+            let mut l: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+            if let Some(top) = l.last_mut() {
+                *top &= top_mask;
+            }
+            let mut candidate = BigUint { limbs: l };
+            candidate.normalize();
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Random integer with exactly `bits` significant bits (top bit set).
+    pub fn random_bits(bits: usize, rng: &mut impl Rng) -> BigUint {
+        assert!(bits > 0, "random_bits(0)");
+        let limbs = (bits + 63) / 64;
+        let mut l: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        let top_bit = (bits - 1) % 64;
+        let top = l.last_mut().expect("at least one limb");
+        *top &= if top_bit == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (top_bit + 1)) - 1
+        };
+        *top |= 1u64 << top_bit;
+        let mut n = BigUint { limbs: l };
+        n.normalize();
+        n
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probable_prime(&self, rounds: u32, rng: &mut impl Rng) -> bool {
+        if self < &BigUint::from(2u64) {
+            return false;
+        }
+        // Trial division by small primes.
+        const SMALL_PRIMES: [u64; 20] = [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+        ];
+        for &p in &SMALL_PRIMES {
+            let pb = BigUint::from(p);
+            if self == &pb {
+                return true;
+            }
+            if self.rem(&pb).is_zero() {
+                return false;
+            }
+        }
+        // Write self-1 = d * 2^s.
+        let n_minus_1 = self.sub(&BigUint::one());
+        let s = {
+            let mut s = 0usize;
+            while !n_minus_1.bit(s) {
+                s += 1;
+            }
+            s
+        };
+        let d = n_minus_1.shr(s);
+        let two = BigUint::from(2u64);
+        let upper = self.sub(&BigUint::from(3u64));
+        'witness: for _ in 0..rounds {
+            // a in [2, n-2]
+            let a = BigUint::random_below(&upper, rng).add(&two);
+            let mut x = a.modpow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..s - 1 {
+                x = x.mulmod(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+fn hex_val(c: u8) -> u8 {
+    match c {
+        b'0'..=b'9' => c - b'0',
+        b'a'..=b'f' => c - b'a' + 10,
+        b'A'..=b'F' => c - b'A' + 10,
+        _ => panic!("invalid hex character {:?}", c as char),
+    }
+}
+
+/// `a - b` on sign-magnitude pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        (an, bn) if an == bn => {
+            // Same sign: magnitude subtraction.
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), an)
+            } else {
+                (b.0.sub(&a.0), !an)
+            }
+        }
+        (an, _) => (a.0.add(&b.0), an),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn roundtrip_bytes_and_hex() {
+        let n = BigUint::from_hex("deadbeefcafebabe0123456789abcdef00");
+        assert_eq!(n.to_hex(), "deadbeefcafebabe0123456789abcdef00");
+        assert_eq!(BigUint::from_be_bytes(&n.to_be_bytes()), n);
+        assert_eq!(BigUint::zero().to_hex(), "0");
+        assert_eq!(BigUint::from_hex("0"), BigUint::zero());
+        assert_eq!(BigUint::from_hex("f"), BigUint::from(15u64));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = BigUint::from_hex("ffffffffffffffffffffffffffffffff");
+        let b = BigUint::from_hex("1");
+        let c = a.add(&b);
+        assert_eq!(c.to_hex(), "100000000000000000000000000000000");
+        assert_eq!(c.sub(&b), a);
+        assert_eq!(c.sub(&a), b);
+    }
+
+    #[test]
+    fn mul_known() {
+        assert_eq!(
+            big(u64::MAX as u128).mul(&big(u64::MAX as u128)),
+            BigUint::from((u64::MAX as u128) * (u64::MAX as u128))
+        );
+        assert_eq!(big(0).mul(&big(12345)), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = big(1_000_003).div_rem(&big(997));
+        assert_eq!(q, big(1_000_003 / 997));
+        assert_eq!(r, big(1_000_003 % 997));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef0123456789abcdef0");
+        let b = BigUint::from_hex("fedcba9876543210ff");
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_rem_randomized_invariant() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let a = BigUint::random_bits(1 + rng.gen_range(1..512), &mut rng);
+            let b = BigUint::random_bits(1 + rng.gen_range(1..256), &mut rng);
+            let (q, r) = a.div_rem(&b);
+            assert_eq!(q.mul(&b).add(&r), a, "a={a} b={b}");
+            assert!(r < b);
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_hex("1234567890abcdef");
+        assert_eq!(a.shl(4).to_hex(), "1234567890abcdef0");
+        assert_eq!(a.shl(64).shr(64), a);
+        assert_eq!(a.shr(200), BigUint::zero());
+        assert_eq!(a.shl(131).shr(131), a);
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // 2^(p-1) = 1 mod p for prime p.
+        let p = big(1_000_000_007);
+        let r = big(2).modpow(&p.sub(&BigUint::one()), &p);
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn modpow_big_modulus() {
+        // Check against a relation computable by repeated squaring in u128.
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61"); // arbitrary odd modulus
+        let x = big(3).modpow(&big(1 << 20), &m);
+        // (3^(2^20)) mod m == ((3^(2^19)) mod m)^2 mod m
+        let half = big(3).modpow(&big(1 << 19), &m);
+        assert_eq!(half.mulmod(&half, &m), x);
+    }
+
+    #[test]
+    fn modinv_works() {
+        let m = big(1_000_000_007);
+        let a = big(123456789);
+        let inv = a.modinv(&m).unwrap();
+        assert!(a.mulmod(&inv, &m).is_one());
+        // Non-invertible case.
+        assert_eq!(big(6).modinv(&big(9)), None);
+    }
+
+    #[test]
+    fn modinv_randomized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = BigUint::from(0xffff_fffb_u64); // 2^32 - 5, prime
+        for _ in 0..100 {
+            let a = BigUint::random_below(&p, &mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.modinv(&p).expect("prime modulus");
+            assert!(a.mulmod(&inv, &p).is_one());
+        }
+    }
+
+    #[test]
+    fn miller_rabin_classifies_known_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 101, 65537, 1_000_000_007, 0xffff_fffb] {
+            assert!(
+                BigUint::from(p).is_probable_prime(20, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        for c in [1u64, 4, 100, 65535, 561 /* Carmichael */, 1_000_000_001] {
+            assert!(
+                !BigUint::from(c).is_probable_prime(20, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bound = BigUint::from_hex("10000000000000001");
+        for _ in 0..100 {
+            assert!(BigUint::random_below(&bound, &mut rng) < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for bits in [1usize, 7, 63, 64, 65, 160, 512] {
+            assert_eq!(BigUint::random_bits(bits, &mut rng).bit_len(), bits);
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(5) < big(6));
+        assert!(BigUint::from_hex("100000000000000000") > BigUint::from_hex("ffffffffffffffff"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Arithmetic in GF(2⁸) with the AES polynomial `x⁸+x⁴+x³+x+1` (0x11b).
+//!
+//! Shared substrate for [`crate::shamir`] secret sharing and the
+//! [`crate::ida`] information-dispersal codec. Multiplication and inversion
+//! use log/antilog tables built once per process from the generator 3.
+
+use std::sync::OnceLock;
+
+/// Multiplication table context for GF(2⁸).
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            // Multiply x by the generator 3 = x + 1: x*3 = x<<1 ^ x.
+            x = (x << 1) ^ x;
+            if x & 0x100 != 0 {
+                x ^= 0x11b;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Adds two field elements (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+pub fn inv(a: u8) -> u8 {
+    assert_ne!(a, 0, "zero has no inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Division `a / b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `base^exp` by repeated squaring over the log tables.
+pub fn pow(base: u8, exp: u32) -> u8 {
+    if exp == 0 {
+        return 1;
+    }
+    if base == 0 {
+        return 0;
+    }
+    let t = tables();
+    let l = t.log[base as usize] as u32;
+    t.exp[((l as u64 * exp as u64) % 255) as usize]
+}
+
+/// Evaluates the polynomial `coeffs[0] + coeffs[1]·x + …` at `x` (Horner).
+pub fn poly_eval(coeffs: &[u8], x: u8) -> u8 {
+    let mut acc = 0u8;
+    for &c in coeffs.iter().rev() {
+        acc = add(mul(acc, x), c);
+    }
+    acc
+}
+
+/// Solves the linear system `m · sol = rhs` over GF(256) in place via
+/// Gauss–Jordan elimination. `m` is row-major `n × n`; `rhs` has `n` rows of
+/// `width` bytes each. Returns `None` if the matrix is singular.
+pub fn solve_linear(
+    m: &mut [Vec<u8>],
+    rhs: &mut [Vec<u8>],
+) -> Option<()> {
+    let n = m.len();
+    for col in 0..n {
+        // Find a pivot.
+        let pivot = (col..n).find(|&r| m[r][col] != 0)?;
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        // Normalize pivot row.
+        let p_inv = inv(m[col][col]);
+        for v in m[col].iter_mut() {
+            *v = mul(*v, p_inv);
+        }
+        for v in rhs[col].iter_mut() {
+            *v = mul(*v, p_inv);
+        }
+        // Eliminate the column everywhere else.
+        for row in 0..n {
+            if row == col || m[row][col] == 0 {
+                continue;
+            }
+            let factor = m[row][col];
+            let pivot_row = m[col].clone();
+            for (dst, src) in m[row].iter_mut().zip(&pivot_row) {
+                *dst = add(*dst, mul(factor, *src));
+            }
+            let pivot_rhs = rhs[col].clone();
+            for (dst, src) in rhs[row].iter_mut().zip(&pivot_rhs) {
+                *dst = add(*dst, mul(factor, *src));
+            }
+        }
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor() {
+        assert_eq!(add(0x53, 0xca), 0x53 ^ 0xca);
+        assert_eq!(add(7, 7), 0);
+    }
+
+    #[test]
+    fn known_products() {
+        // Classic AES examples.
+        assert_eq!(mul(0x53, 0xca), 0x01);
+        assert_eq!(mul(0x02, 0x87), 0x15);
+        assert_eq!(mul(0, 0xff), 0);
+        assert_eq!(mul(1, 0xab), 0xab);
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative() {
+        for a in [1u8, 3, 17, 91, 255] {
+            for b in [2u8, 5, 80, 254] {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in [7u8, 100] {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_law() {
+        for a in [3u8, 9, 200] {
+            for b in [5u8, 77] {
+                for c in [11u8, 130] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for base in [2u8, 3, 19, 250] {
+            let mut acc = 1u8;
+            for e in 0..20u32 {
+                assert_eq!(pow(base, e), acc, "base={base} e={e}");
+                acc = mul(acc, base);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        // p(x) = 5 + 3x + x^2 at x=2: 5 ^ mul(3,2) ^ mul(2, 2... ) computed directly
+        let coeffs = [5u8, 3, 1];
+        let x = 2u8;
+        let direct = add(add(5, mul(3, x)), mul(1, mul(x, x)));
+        assert_eq!(poly_eval(&coeffs, x), direct);
+        assert_eq!(poly_eval(&coeffs, 0), 5);
+        assert_eq!(poly_eval(&[], 7), 0);
+    }
+
+    #[test]
+    fn solve_identity_system() {
+        let mut m = vec![vec![1, 0], vec![0, 1]];
+        let mut rhs = vec![vec![9, 9], vec![4, 4]];
+        solve_linear(&mut m, &mut rhs).unwrap();
+        assert_eq!(rhs, vec![vec![9, 9], vec![4, 4]]);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let mut m = vec![vec![1, 1], vec![1, 1]];
+        let mut rhs = vec![vec![1], vec![2]];
+        assert!(solve_linear(&mut m, &mut rhs).is_none());
+    }
+
+    #[test]
+    fn solve_roundtrip_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..6);
+            // Random solution and invertible-ish matrix (retry if singular).
+            let sol: Vec<Vec<u8>> = (0..n).map(|_| vec![rng.gen(), rng.gen()]).collect();
+            let m: Vec<Vec<u8>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen()).collect())
+                .collect();
+            // rhs = m * sol
+            let mut rhs: Vec<Vec<u8>> = vec![vec![0u8; 2]; n];
+            for r in 0..n {
+                for c in 0..n {
+                    for k in 0..2 {
+                        rhs[r][k] = add(rhs[r][k], mul(m[r][c], sol[c][k]));
+                    }
+                }
+            }
+            let mut m2 = m.clone();
+            if solve_linear(&mut m2, &mut rhs).is_some() {
+                assert_eq!(rhs, sol);
+            }
+        }
+    }
+}

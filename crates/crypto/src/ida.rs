@@ -1,0 +1,221 @@
+//! Rabin's Information Dispersal Algorithm (IDA) over GF(2⁸).
+//!
+//! Where Shamir sharing costs `n × |secret|` total storage, IDA stores only
+//! `(n/k) × |secret|`: the data is split into `k`-byte columns, each column
+//! is multiplied by an `n × k` Vandermonde matrix, and any `k` of the `n`
+//! resulting fragments reconstruct the original by solving a linear system.
+//! IDA provides erasure tolerance and *computational* (not
+//! information-theoretic) confidentiality — matching Rabin [14] as cited by
+//! the paper.
+//!
+//! ```
+//! use sstore_crypto::ida;
+//!
+//! let frags = ida::disperse(b"hello dispersal", 3, 5).unwrap();
+//! let data = ida::reconstruct(&[frags[0].clone(), frags[2].clone(), frags[4].clone()], 3).unwrap();
+//! assert_eq!(data, b"hello dispersal");
+//! ```
+
+use crate::gf256;
+use crate::CryptoError;
+
+/// One dispersed fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Row index into the dispersal matrix (identifies the fragment).
+    pub index: u8,
+    /// Original data length in bytes (needed to strip padding).
+    pub data_len: u64,
+    /// Encoded fragment bytes, `ceil(data_len / k)` of them.
+    pub data: Vec<u8>,
+}
+
+impl Fragment {
+    /// Total encoded size in bytes (for storage-blowup accounting).
+    pub fn encoded_len(&self) -> usize {
+        self.data.len() + 1 + 8
+    }
+}
+
+/// Vandermonde row for fragment `index`: `[1, x, x², …, x^(k-1)]` with
+/// `x = index + 1` (avoiding the degenerate row at zero).
+fn matrix_row(index: u8, k: usize) -> Vec<u8> {
+    let x = index.wrapping_add(1);
+    (0..k as u32).map(|e| gf256::pow(x, e)).collect()
+}
+
+/// Splits `data` into `n` fragments, any `k` of which reconstruct it.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadShares`] when `k == 0`, `k > n`, or `n > 255`.
+pub fn disperse(data: &[u8], k: usize, n: usize) -> Result<Vec<Fragment>, CryptoError> {
+    if k == 0 {
+        return Err(CryptoError::BadShares("threshold must be positive"));
+    }
+    if k > n {
+        return Err(CryptoError::BadShares("threshold exceeds fragment count"));
+    }
+    if n > 255 {
+        return Err(CryptoError::BadShares("at most 255 fragments"));
+    }
+    let cols = data.len().div_ceil(k).max(1);
+    let mut frags: Vec<Fragment> = (0..n as u8)
+        .map(|index| Fragment {
+            index,
+            data_len: data.len() as u64,
+            data: vec![0u8; cols],
+        })
+        .collect();
+    let rows: Vec<Vec<u8>> = (0..n as u8).map(|i| matrix_row(i, k)).collect();
+    for col in 0..cols {
+        // Column vector of k source bytes (zero-padded at the tail).
+        for (frag, row) in frags.iter_mut().zip(&rows) {
+            let mut acc = 0u8;
+            for (j, &coef) in row.iter().enumerate() {
+                let byte = data.get(col * k + j).copied().unwrap_or(0);
+                acc = gf256::add(acc, gf256::mul(coef, byte));
+            }
+            frag.data[col] = acc;
+        }
+    }
+    Ok(frags)
+}
+
+/// Reconstructs the original data from at least `k` distinct fragments.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadShares`] when fewer than `k` fragments are
+/// supplied, fragments disagree on shape, or indices repeat.
+pub fn reconstruct(frags: &[Fragment], k: usize) -> Result<Vec<u8>, CryptoError> {
+    if k == 0 || frags.len() < k {
+        return Err(CryptoError::BadShares("not enough fragments"));
+    }
+    let frags = &frags[..k];
+    let cols = frags[0].data.len();
+    let data_len = frags[0].data_len as usize;
+    if frags
+        .iter()
+        .any(|f| f.data.len() != cols || f.data_len as usize != data_len)
+    {
+        return Err(CryptoError::BadShares("inconsistent fragment shapes"));
+    }
+    for (i, a) in frags.iter().enumerate() {
+        if frags[i + 1..].iter().any(|b| b.index == a.index) {
+            return Err(CryptoError::BadShares("duplicate fragment indices"));
+        }
+    }
+    if data_len.div_ceil(k).max(1) != cols {
+        return Err(CryptoError::BadShares("fragment size mismatch"));
+    }
+    // Solve M · X = F where M is the k×k submatrix of chosen rows and F the
+    // fragment bytes; X recovers the k source bytes of every column at once.
+    let mut m: Vec<Vec<u8>> = frags.iter().map(|f| matrix_row(f.index, k)).collect();
+    let mut rhs: Vec<Vec<u8>> = frags.iter().map(|f| f.data.clone()).collect();
+    gf256::solve_linear(&mut m, &mut rhs)
+        .ok_or(CryptoError::BadShares("singular dispersal matrix"))?;
+    let mut out = vec![0u8; cols * k];
+    for col in 0..cols {
+        for (j, row) in rhs.iter().enumerate() {
+            out[col * k + j] = row[col];
+        }
+    }
+    out.truncate(data_len);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_multiple() {
+        let data = b"123456789abc"; // 12 bytes, k=3 -> 4 cols
+        let frags = disperse(data, 3, 5).unwrap();
+        assert!(frags.iter().all(|f| f.data.len() == 4));
+        assert_eq!(reconstruct(&frags[..3], 3).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        let data = b"hello world"; // 11 bytes, k=4 -> 3 cols
+        let frags = disperse(data, 4, 7).unwrap();
+        let picked = vec![
+            frags[6].clone(),
+            frags[1].clone(),
+            frags[4].clone(),
+            frags[0].clone(),
+        ];
+        assert_eq!(reconstruct(&picked, 4).unwrap(), data);
+    }
+
+    #[test]
+    fn every_k_subset_works() {
+        let data = b"dispersal!";
+        let frags = disperse(data, 2, 4).unwrap();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                let pair = [frags[i].clone(), frags[j].clone()];
+                assert_eq!(reconstruct(&pair, 2).unwrap(), data, "subset {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn storage_blowup_is_n_over_k() {
+        let data = vec![7u8; 1200];
+        let frags = disperse(&data, 3, 7).unwrap();
+        let total: usize = frags.iter().map(|f| f.data.len()).sum();
+        assert_eq!(total, 7 * 400); // n/k = 7/3 blowup
+    }
+
+    #[test]
+    fn too_few_fragments_rejected() {
+        let frags = disperse(b"abc", 3, 5).unwrap();
+        assert!(reconstruct(&frags[..2], 3).is_err());
+    }
+
+    #[test]
+    fn duplicate_indices_rejected() {
+        let frags = disperse(b"abc", 2, 3).unwrap();
+        let dup = [frags[0].clone(), frags[0].clone()];
+        assert!(reconstruct(&dup, 2).is_err());
+    }
+
+    #[test]
+    fn corrupt_fragment_corrupts_output() {
+        let frags = disperse(b"fragile", 2, 3).unwrap();
+        let mut bad = [frags[0].clone(), frags[1].clone()];
+        bad[0].data[0] ^= 1;
+        assert_ne!(reconstruct(&bad, 2).unwrap(), b"fragile");
+    }
+
+    #[test]
+    fn empty_input() {
+        let frags = disperse(b"", 2, 3).unwrap();
+        assert_eq!(reconstruct(&frags[..2], 2).unwrap(), b"");
+    }
+
+    #[test]
+    fn k_equals_one_replicates() {
+        let frags = disperse(b"rep", 1, 3).unwrap();
+        for f in &frags {
+            assert_eq!(reconstruct(&[f.clone()], 1).unwrap(), b"rep");
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(disperse(b"x", 0, 2).is_err());
+        assert!(disperse(b"x", 3, 2).is_err());
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let a = disperse(b"aaaa", 2, 3).unwrap();
+        let b = disperse(b"bbbbbbbb", 2, 3).unwrap();
+        let mixed = [a[0].clone(), b[1].clone()];
+        assert!(reconstruct(&mixed, 2).is_err());
+    }
+}

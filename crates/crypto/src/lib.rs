@@ -1,0 +1,82 @@
+//! Cryptographic substrate for the secure store, implemented from scratch.
+//!
+//! The DSN 2001 secure-store paper *assumes* "the availability of necessary
+//! authentication and cryptographic mechanisms" (§4). This crate provides
+//! those mechanisms so the rest of the reproduction has no external
+//! cryptographic dependencies:
+//!
+//! - [`sha256`]: the SHA-256 digest (FIPS 180-4), used for value digests
+//!   `d(v)` and as the hash inside signatures.
+//! - [`hmac`]: HMAC-SHA-256, used for PBFT-lite message authenticators and
+//!   for deterministic nonce derivation.
+//! - [`bigint`]: fixed-purpose arbitrary-precision unsigned integers with
+//!   modular exponentiation and Miller–Rabin primality testing.
+//! - [`schnorr`]: Schnorr signatures over a Schnorr group (prime-order
+//!   subgroup of `Z_p*`), with DSA-style parameter generation. Signing is
+//!   deterministic (nonce derived via HMAC) so protocol runs are replayable.
+//! - [`gf256`], [`shamir`], [`ida`]: GF(2⁸) arithmetic, Shamir secret
+//!   sharing and Rabin information dispersal — the fragmentation-scattering
+//!   confidentiality extension the paper cites as related/future work.
+//! - [`cipher`]: a hash-CTR stream cipher with encrypt-then-MAC sealing for
+//!   the client-side encryption of non-shared data (§5.2).
+//!
+//! # Security note
+//!
+//! This is a research reproduction. Parameter sizes are configurable and the
+//! test/bench presets use deliberately small discrete-log groups so that
+//! simulations stay fast; see [`schnorr::SchnorrParams`]. Nothing here has
+//! been audited — do not reuse outside the reproduction.
+//!
+//! # Example
+//!
+//! ```
+//! use sstore_crypto::schnorr::{SchnorrParams, SigningKey};
+//!
+//! let params = SchnorrParams::toy();
+//! let key = SigningKey::generate(&params, &mut rand::thread_rng());
+//! let sig = key.sign(b"write x1 v2");
+//! assert!(key.verifying_key().verify(b"write x1 v2", &sig).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod cipher;
+pub mod gf256;
+pub mod hmac;
+pub mod ida;
+pub mod schnorr;
+pub mod sha256;
+pub mod shamir;
+
+pub use schnorr::{SchnorrParams, Signature, SigningKey, VerifyingKey};
+pub use sha256::{digest, Digest, Sha256};
+
+/// Errors produced by cryptographic operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A signature failed to verify against the message and public key.
+    BadSignature,
+    /// An authenticated ciphertext failed its integrity check.
+    BadMac,
+    /// Inputs to secret sharing / dispersal were structurally invalid
+    /// (e.g. threshold of zero, or more required shares than provided).
+    BadShares(&'static str),
+    /// Parameter generation or validation failed.
+    BadParams(&'static str),
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::BadMac => write!(f, "message authentication check failed"),
+            CryptoError::BadShares(why) => write!(f, "invalid shares: {why}"),
+            CryptoError::BadParams(why) => write!(f, "invalid parameters: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,431 @@
+//! Schnorr signatures over a prime-order subgroup of `Z_p*`.
+//!
+//! The secure store requires that every write (and every stored *context*)
+//! carry a client signature that servers and other clients can verify with
+//! the writer's well-known public key (paper §4). This module provides that
+//! primitive from scratch:
+//!
+//! - DSA-style parameter generation: a prime `q`, a prime `p = q·m + 1`, and
+//!   a generator `g` of the order-`q` subgroup.
+//! - Key generation: secret `x ∈ [1, q)`, public `y = g^x mod p`.
+//! - Deterministic signing (the nonce is derived with HMAC from the secret
+//!   key and message, in the spirit of RFC 6979) so that simulation runs are
+//!   exactly reproducible.
+//!
+//! # Parameter sizes
+//!
+//! [`SchnorrParams::toy`] (256-bit `p`, 160-bit `q`) keeps tests and
+//! simulations fast; [`SchnorrParams::generate`] accepts arbitrary sizes.
+//! The protocol cost *counts* measured by the benchmark harness are
+//! independent of the group size; wall-clock crypto costs are reported
+//! per-group-size in EXPERIMENTS.md.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bigint::BigUint;
+use crate::hmac::HmacSha256;
+use crate::sha256::Sha256;
+use crate::CryptoError;
+
+/// Group parameters `(p, q, g)` for Schnorr signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchnorrParams {
+    p: BigUint,
+    q: BigUint,
+    g: BigUint,
+}
+
+impl SchnorrParams {
+    /// Generates fresh parameters with a `p_bits`-bit modulus and
+    /// `q_bits`-bit subgroup order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_bits < 32` or `p_bits < q_bits + 16`; such sizes leave
+    /// no room for the cofactor search.
+    pub fn generate(p_bits: usize, q_bits: usize, rng: &mut impl Rng) -> Self {
+        assert!(q_bits >= 32, "subgroup order too small");
+        assert!(p_bits >= q_bits + 16, "modulus too small for cofactor");
+        // Find prime q.
+        let q = loop {
+            let mut cand = BigUint::random_bits(q_bits, rng);
+            if cand.is_even() {
+                cand = cand.add(&BigUint::one());
+            }
+            if cand.is_probable_prime(24, rng) {
+                break cand;
+            }
+        };
+        // Find p = q*m + 1 prime with the right bit length. The cofactor m
+        // must be even: q is odd, so an odd m would make p even.
+        let one = BigUint::one();
+        let p = loop {
+            let m = BigUint::random_bits(p_bits - q_bits, rng);
+            let m = if m.is_even() { m } else { m.add(&one) };
+            let cand = q.mul(&m).add(&one);
+            if cand.bit_len() == p_bits && cand.is_probable_prime(24, rng) {
+                break cand;
+            }
+        };
+        // Find generator of the order-q subgroup: g = h^((p-1)/q) != 1.
+        let exp = p.sub(&one).div_rem(&q).0;
+        let g = loop {
+            let h = BigUint::random_below(&p, rng);
+            if h <= one {
+                continue;
+            }
+            let g = h.modpow(&exp, &p);
+            if !g.is_one() {
+                break g;
+            }
+        };
+        SchnorrParams { p, q, g }
+    }
+
+    /// Small deterministic parameters (256-bit `p`, 160-bit `q`) for tests,
+    /// simulations and benchmarks. Generated once per process from a fixed
+    /// seed and cached.
+    pub fn toy() -> Arc<SchnorrParams> {
+        static TOY: OnceLock<Arc<SchnorrParams>> = OnceLock::new();
+        TOY.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(TOY_SEED);
+            Arc::new(SchnorrParams::generate(256, 160, &mut rng))
+        })
+        .clone()
+    }
+
+    /// Even smaller deterministic parameters (128-bit `p`, 64-bit `q`) for
+    /// protocol simulations that perform thousands of signature operations.
+    /// Cryptographically meaningless sizes — the simulations measure
+    /// *operation counts*, which are size-independent.
+    pub fn micro() -> Arc<SchnorrParams> {
+        static MICRO: OnceLock<Arc<SchnorrParams>> = OnceLock::new();
+        MICRO
+            .get_or_init(|| {
+                let mut rng = StdRng::seed_from_u64(TOY_SEED ^ 0xffff);
+                Arc::new(SchnorrParams::generate(128, 64, &mut rng))
+            })
+            .clone()
+    }
+
+    /// The prime modulus `p`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.p
+    }
+
+    /// The prime subgroup order `q`.
+    pub fn order(&self) -> &BigUint {
+        &self.q
+    }
+
+    /// The subgroup generator `g`.
+    pub fn generator(&self) -> &BigUint {
+        &self.g
+    }
+
+    /// Validates internal consistency: `q` prime, `q | p-1`, `g^q = 1`,
+    /// `g != 1`.
+    pub fn validate(&self, rng: &mut impl Rng) -> Result<(), CryptoError> {
+        if !self.q.is_probable_prime(24, rng) {
+            return Err(CryptoError::BadParams("q is not prime"));
+        }
+        if !self.p.is_probable_prime(24, rng) {
+            return Err(CryptoError::BadParams("p is not prime"));
+        }
+        let p_minus_1 = self.p.sub(&BigUint::one());
+        if !p_minus_1.rem(&self.q).is_zero() {
+            return Err(CryptoError::BadParams("q does not divide p-1"));
+        }
+        if self.g.is_one() || self.g.is_zero() {
+            return Err(CryptoError::BadParams("degenerate generator"));
+        }
+        if !self.g.modpow(&self.q, &self.p).is_one() {
+            return Err(CryptoError::BadParams("generator order is not q"));
+        }
+        Ok(())
+    }
+}
+
+/// Fixed seed for the deterministic toy parameter set.
+const TOY_SEED: u64 = 0x5ec5_705e;
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    e: Vec<u8>,
+    s: Vec<u8>,
+}
+
+impl Signature {
+    /// Serialized length in bytes (used by the cost model).
+    pub fn encoded_len(&self) -> usize {
+        self.e.len() + self.s.len() + 8
+    }
+
+    /// Serializes as `len(e) || e || s` (lengths fit in u32).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&(self.e.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.e);
+        out.extend_from_slice(&self.s);
+        out
+    }
+
+    /// Parses the [`Signature::to_bytes`] encoding.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() < 4 {
+            return Err(CryptoError::BadParams("signature too short"));
+        }
+        let e_len = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        if bytes.len() < 4 + e_len {
+            return Err(CryptoError::BadParams("signature truncated"));
+        }
+        Ok(Signature {
+            e: bytes[4..4 + e_len].to_vec(),
+            s: bytes[4 + e_len..].to_vec(),
+        })
+    }
+}
+
+/// A Schnorr private key together with its precomputed public key.
+#[derive(Clone)]
+pub struct SigningKey {
+    params: Arc<SchnorrParams>,
+    x: BigUint,
+    public: VerifyingKey,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SigningKey")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SigningKey {
+    /// Generates a key pair for the given group.
+    pub fn generate(params: &Arc<SchnorrParams>, rng: &mut impl Rng) -> Self {
+        let q_minus_1 = params.q.sub(&BigUint::one());
+        let x = BigUint::random_below(&q_minus_1, rng).add(&BigUint::one());
+        Self::from_secret(params, x)
+    }
+
+    /// Reconstructs a key pair from a secret scalar (reduced mod `q`; must
+    /// not reduce to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the secret reduces to zero modulo `q`.
+    pub fn from_secret(params: &Arc<SchnorrParams>, x: BigUint) -> Self {
+        let x = x.rem(&params.q);
+        assert!(!x.is_zero(), "secret key must be nonzero mod q");
+        let y = params.g.modpow(&x, &params.p);
+        SigningKey {
+            params: params.clone(),
+            x,
+            public: VerifyingKey {
+                params: params.clone(),
+                y,
+            },
+        }
+    }
+
+    /// Deterministic key derivation from a seed (for reproducible fixtures).
+    pub fn from_seed(params: &Arc<SchnorrParams>, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        Self::generate(params, &mut rng)
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> &VerifyingKey {
+        &self.public
+    }
+
+    /// Signs `message` deterministically.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let p = &self.params.p;
+        let q = &self.params.q;
+        // Deterministic nonce: k = HMAC(x, message || ctr) mod q, k != 0.
+        let x_bytes = self.x.to_be_bytes();
+        let mut ctr = 0u32;
+        let k = loop {
+            let mut mac = HmacSha256::new(&x_bytes);
+            mac.update(message).update(ctr.to_be_bytes());
+            let k = BigUint::from_be_bytes(mac.finalize().as_bytes()).rem(q);
+            if !k.is_zero() {
+                break k;
+            }
+            ctr += 1;
+        };
+        let r = self.params.g.modpow(&k, p);
+        let e = challenge(&r, message, q);
+        // s = k + e*x mod q
+        let s = k.add(&e.mulmod(&self.x, q)).rem(q);
+        Signature {
+            e: e.to_be_bytes(),
+            s: s.to_be_bytes(),
+        }
+    }
+}
+
+/// A Schnorr public key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct VerifyingKey {
+    params: Arc<SchnorrParams>,
+    y: BigUint,
+}
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey(y=0x{}..)", &self.y.to_hex()[..8.min(self.y.to_hex().len())])
+    }
+}
+
+impl VerifyingKey {
+    /// The public group element `y = g^x`.
+    pub fn element(&self) -> &BigUint {
+        &self.y
+    }
+
+    /// Serializes the public element (big-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.y.to_be_bytes()
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadSignature`] when the signature does not
+    /// verify.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
+        let p = &self.params.p;
+        let q = &self.params.q;
+        let e = BigUint::from_be_bytes(&signature.e);
+        let s = BigUint::from_be_bytes(&signature.s);
+        if e >= *q || s >= *q {
+            return Err(CryptoError::BadSignature);
+        }
+        // r' = g^s * y^(q-e) mod p  (y has order q, so y^(q-e) = y^{-e})
+        let gs = self.params.g.modpow(&s, p);
+        let ye = self.y.modpow(&q.sub(&e), p);
+        let r = gs.mulmod(&ye, p);
+        if challenge(&r, message, q) == e {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+}
+
+/// Fiat–Shamir challenge `H(r || message) mod q`.
+fn challenge(r: &BigUint, message: &[u8], q: &BigUint) -> BigUint {
+    let mut h = Sha256::new();
+    let r_bytes = r.to_be_bytes();
+    h.update((r_bytes.len() as u64).to_be_bytes());
+    h.update(&r_bytes);
+    h.update(message);
+    BigUint::from_be_bytes(h.finalize().as_bytes()).rem(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_key(seed: u64) -> SigningKey {
+        SigningKey::from_seed(&SchnorrParams::toy(), seed)
+    }
+
+    #[test]
+    fn toy_params_are_valid() {
+        let params = SchnorrParams::toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        params.validate(&mut rng).unwrap();
+        assert_eq!(params.modulus().bit_len(), 256);
+        assert_eq!(params.order().bit_len(), 160);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = toy_key(1);
+        let sig = key.sign(b"hello secure store");
+        key.verifying_key().verify(b"hello secure store", &sig).unwrap();
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let key = toy_key(2);
+        assert_eq!(key.sign(b"msg"), key.sign(b"msg"));
+        assert_ne!(key.sign(b"msg"), key.sign(b"msg2"));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let key = toy_key(3);
+        let sig = key.sign(b"value v1");
+        assert_eq!(
+            key.verifying_key().verify(b"value v2", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let k1 = toy_key(4);
+        let k2 = toy_key(5);
+        let sig = k1.sign(b"m");
+        assert!(k2.verifying_key().verify(b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let key = toy_key(6);
+        let sig = key.sign(b"m");
+        let mut bytes = sig.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        let bad = Signature::from_bytes(&bytes).unwrap();
+        assert!(key.verifying_key().verify(b"m", &bad).is_err());
+    }
+
+    #[test]
+    fn signature_serialization_roundtrip() {
+        let key = toy_key(7);
+        let sig = key.sign(b"serialize me");
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(parsed, sig);
+        assert!(Signature::from_bytes(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn empty_and_large_messages() {
+        let key = toy_key(8);
+        for msg in [Vec::new(), vec![0u8; 10_000]] {
+            let sig = key.sign(&msg);
+            key.verifying_key().verify(&msg, &sig).unwrap();
+        }
+    }
+
+    #[test]
+    fn oversized_scalars_rejected() {
+        let key = toy_key(9);
+        let q_bytes = SchnorrParams::toy().order().to_be_bytes();
+        let bogus = Signature {
+            e: q_bytes.clone(),
+            s: q_bytes,
+        };
+        assert!(key.verifying_key().verify(b"m", &bogus).is_err());
+    }
+
+    #[test]
+    fn from_seed_is_stable() {
+        let a = toy_key(42);
+        let b = toy_key(42);
+        assert_eq!(a.verifying_key(), b.verifying_key());
+    }
+}

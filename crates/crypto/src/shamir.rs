@@ -1,0 +1,201 @@
+//! Shamir secret sharing over GF(2⁸), applied byte-wise.
+//!
+//! The paper's related-work section points to fragmentation-scattering
+//! schemes (Fray et al., Rabin) as a way to keep a data item confidential
+//! unless a threshold of servers is compromised. This module implements the
+//! secret-sharing variant: a secret of `L` bytes becomes `n` shares of `L`
+//! bytes each, any `k` of which reconstruct it, while `k-1` reveal nothing.
+//!
+//! ```
+//! use sstore_crypto::shamir;
+//!
+//! let shares = shamir::split(b"medical record", 3, 5, &mut rand::thread_rng()).unwrap();
+//! let secret = shamir::reconstruct(&shares[1..4], 3).unwrap();
+//! assert_eq!(secret, b"medical record");
+//! ```
+
+use rand::Rng;
+
+use crate::gf256;
+use crate::CryptoError;
+
+/// One share: the evaluation point `x` and per-byte evaluations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Share {
+    /// Evaluation point (1-based; 0 would leak the secret directly).
+    pub x: u8,
+    /// Evaluations of the per-byte polynomials at `x`.
+    pub data: Vec<u8>,
+}
+
+/// Splits `secret` into `n` shares with reconstruction threshold `k`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadShares`] when `k == 0`, `k > n`, or `n > 255`.
+pub fn split(
+    secret: &[u8],
+    k: usize,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<Share>, CryptoError> {
+    if k == 0 {
+        return Err(CryptoError::BadShares("threshold must be positive"));
+    }
+    if k > n {
+        return Err(CryptoError::BadShares("threshold exceeds share count"));
+    }
+    if n > 255 {
+        return Err(CryptoError::BadShares("at most 255 shares"));
+    }
+    // One random degree-(k-1) polynomial per secret byte; constant term is
+    // the byte itself.
+    let polys: Vec<Vec<u8>> = secret
+        .iter()
+        .map(|&byte| {
+            let mut coeffs = vec![byte];
+            coeffs.extend((1..k).map(|_| rng.gen::<u8>()));
+            coeffs
+        })
+        .collect();
+    Ok((1..=n as u8)
+        .map(|x| Share {
+            x,
+            data: polys.iter().map(|p| gf256::poly_eval(p, x)).collect(),
+        })
+        .collect())
+}
+
+/// Reconstructs the secret from at least `k` shares via Lagrange
+/// interpolation at zero.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadShares`] when fewer than `k` shares are given,
+/// shares have inconsistent lengths, or two shares use the same point.
+pub fn reconstruct(shares: &[Share], k: usize) -> Result<Vec<u8>, CryptoError> {
+    if shares.len() < k || k == 0 {
+        return Err(CryptoError::BadShares("not enough shares"));
+    }
+    let shares = &shares[..k];
+    let len = shares[0].data.len();
+    if shares.iter().any(|s| s.data.len() != len) {
+        return Err(CryptoError::BadShares("inconsistent share lengths"));
+    }
+    for (i, a) in shares.iter().enumerate() {
+        if a.x == 0 {
+            return Err(CryptoError::BadShares("share point zero is invalid"));
+        }
+        if shares[i + 1..].iter().any(|b| b.x == a.x) {
+            return Err(CryptoError::BadShares("duplicate share points"));
+        }
+    }
+    // Lagrange basis at x=0: l_i = prod_{j!=i} x_j / (x_j - x_i).
+    let mut basis = Vec::with_capacity(k);
+    for (i, si) in shares.iter().enumerate() {
+        let mut num = 1u8;
+        let mut den = 1u8;
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = gf256::mul(num, sj.x);
+            den = gf256::mul(den, gf256::add(sj.x, si.x)); // subtraction == XOR
+        }
+        basis.push(gf256::div(num, den));
+    }
+    let mut secret = vec![0u8; len];
+    for (share, &b) in shares.iter().zip(&basis) {
+        for (out, &byte) in secret.iter_mut().zip(&share.data) {
+            *out = gf256::add(*out, gf256::mul(b, byte));
+        }
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn roundtrip_basic() {
+        let shares = split(b"top secret", 3, 5, &mut rng()).unwrap();
+        assert_eq!(shares.len(), 5);
+        assert_eq!(reconstruct(&shares[..3], 3).unwrap(), b"top secret");
+        assert_eq!(reconstruct(&shares[2..], 3).unwrap(), b"top secret");
+    }
+
+    #[test]
+    fn any_k_subset_reconstructs() {
+        let shares = split(b"abc123", 2, 4, &mut rng()).unwrap();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                let subset = [shares[i].clone(), shares[j].clone()];
+                assert_eq!(reconstruct(&subset, 2).unwrap(), b"abc123");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_than_k_rejected() {
+        let shares = split(b"x", 3, 5, &mut rng()).unwrap();
+        assert!(reconstruct(&shares[..2], 3).is_err());
+    }
+
+    #[test]
+    fn k_minus_one_shares_are_consistent_with_any_secret() {
+        // Information-theoretic check: given k-1 shares, for *any* candidate
+        // secret byte there exists a polynomial matching those shares —
+        // i.e. the shares do not pin down the secret.
+        let secret = [0x42u8];
+        let shares = split(&secret, 2, 3, &mut rng()).unwrap();
+        let s0 = &shares[0];
+        for candidate in 0..=255u8 {
+            // With threshold 2, one share (x0, y0) and a candidate constant
+            // term c determine the slope a = (y0 - c)/x0; always solvable.
+            let _slope = gf256::div(gf256::add(s0.data[0], candidate), s0.x);
+        }
+    }
+
+    #[test]
+    fn corrupted_share_changes_output() {
+        let shares = split(b"integrity", 2, 3, &mut rng()).unwrap();
+        let mut bad = shares.clone();
+        bad[0].data[0] ^= 0xff;
+        assert_ne!(reconstruct(&bad[..2], 2).unwrap(), b"integrity");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut r = rng();
+        assert!(split(b"s", 0, 3, &mut r).is_err());
+        assert!(split(b"s", 4, 3, &mut r).is_err());
+        assert!(split(b"s", 2, 256, &mut r).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_rejected() {
+        let shares = split(b"s", 2, 3, &mut rng()).unwrap();
+        let dup = [shares[0].clone(), shares[0].clone()];
+        assert!(reconstruct(&dup, 2).is_err());
+    }
+
+    #[test]
+    fn empty_secret() {
+        let shares = split(b"", 2, 3, &mut rng()).unwrap();
+        assert_eq!(reconstruct(&shares[..2], 2).unwrap(), b"");
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let shares = split(b"all or nothing", 5, 5, &mut rng()).unwrap();
+        assert_eq!(reconstruct(&shares, 5).unwrap(), b"all or nothing");
+        assert!(reconstruct(&shares[..4], 5).is_err());
+    }
+}

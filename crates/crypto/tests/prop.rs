@@ -1,0 +1,165 @@
+//! Property-based tests for the cryptographic substrate.
+
+use proptest::prelude::*;
+
+use sstore_crypto::bigint::BigUint;
+use sstore_crypto::cipher::SealKey;
+use sstore_crypto::hmac::hmac_sha256;
+use sstore_crypto::sha256::{digest, digest_parts, Sha256};
+
+fn arb_biguint(max_bits: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..max_bits / 8)
+        .prop_map(|bytes| BigUint::from_be_bytes(&bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Incremental hashing equals one-shot for arbitrary chunkings.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                 cuts in proptest::collection::vec(any::<usize>(), 0..6)) {
+        let mut h = Sha256::new();
+        let mut offsets: Vec<usize> = cuts.iter().map(|&c| c % (data.len() + 1)).collect();
+        offsets.sort_unstable();
+        let mut prev = 0;
+        for &o in &offsets {
+            h.update(&data[prev..o]);
+            prev = o;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), digest(&data));
+    }
+
+    /// digest_parts is injective across part boundaries.
+    #[test]
+    fn digest_parts_boundary_sensitivity(a in proptest::collection::vec(any::<u8>(), 1..32),
+                                         b in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let joined = [a.clone(), b.clone()].concat();
+        let parts = digest_parts([a.as_slice(), b.as_slice()]);
+        let whole = digest_parts([joined.as_slice()]);
+        // Same bytes, different part structure ⇒ different digest.
+        prop_assert_ne!(parts, whole);
+    }
+
+    /// HMAC differs under different keys and different messages.
+    #[test]
+    fn hmac_key_and_message_sensitivity(k1 in proptest::collection::vec(any::<u8>(), 1..64),
+                                        k2 in proptest::collection::vec(any::<u8>(), 1..64),
+                                        m in proptest::collection::vec(any::<u8>(), 0..128)) {
+        if k1 != k2 {
+            prop_assert_ne!(hmac_sha256(&k1, &m), hmac_sha256(&k2, &m));
+        }
+        let mut m2 = m.clone();
+        m2.push(0x01);
+        prop_assert_ne!(hmac_sha256(&k1, &m), hmac_sha256(&k1, &m2));
+    }
+
+    /// Bigint add/sub are inverses; add is commutative and associative.
+    #[test]
+    fn bigint_add_sub_laws(a in arb_biguint(256), b in arb_biguint(256), c in arb_biguint(128)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&c).add(&b));
+        prop_assert_eq!(a.add(&b).sub(&b), a.clone());
+    }
+
+    /// Multiplication distributes over addition.
+    #[test]
+    fn bigint_mul_distributive(a in arb_biguint(192), b in arb_biguint(192), c in arb_biguint(192)) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    /// Division identity: a = q*b + r with r < b.
+    #[test]
+    fn bigint_division_identity(a in arb_biguint(384), b in arb_biguint(192)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r < b);
+    }
+
+    /// Shifts match multiplication/division by powers of two.
+    #[test]
+    fn bigint_shift_laws(a in arb_biguint(200), s in 0usize..70) {
+        let two_pow = BigUint::one().shl(s);
+        prop_assert_eq!(a.shl(s), a.mul(&two_pow));
+        prop_assert_eq!(a.shl(s).shr(s), a.clone());
+    }
+
+    /// Byte round trip is the identity.
+    #[test]
+    fn bigint_byte_roundtrip(a in arb_biguint(320)) {
+        prop_assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a.clone());
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()), a);
+    }
+
+    /// Modular exponentiation laws: g^(x+y) = g^x * g^y (mod m).
+    #[test]
+    fn bigint_modpow_homomorphic(g in arb_biguint(64), x in 0u64..512, y in 0u64..512) {
+        let m = BigUint::from(0xffff_fffb_u64); // prime
+        prop_assume!(!g.is_zero());
+        let gx = g.modpow(&BigUint::from(x), &m);
+        let gy = g.modpow(&BigUint::from(y), &m);
+        let gxy = g.modpow(&BigUint::from(x + y), &m);
+        prop_assert_eq!(gx.mulmod(&gy, &m), gxy);
+    }
+
+    /// Sealing round-trips and any corruption is caught.
+    #[test]
+    fn seal_open_roundtrip_and_tamper(master in proptest::collection::vec(any::<u8>(), 1..32),
+                                      payload in proptest::collection::vec(any::<u8>(), 0..256),
+                                      nonce in any::<u64>(),
+                                      flip_at in any::<usize>()) {
+        let key = SealKey::derive(&master, b"prop");
+        let sealed = key.seal(&payload, nonce);
+        prop_assert_eq!(key.open(&sealed).unwrap(), payload.clone());
+        if !sealed.ciphertext.is_empty() {
+            let mut bad = sealed.clone();
+            let i = flip_at % bad.ciphertext.len();
+            bad.ciphertext[i] ^= 0x80;
+            prop_assert!(key.open(&bad).is_err());
+        }
+    }
+}
+
+/// Miller–Rabin agrees with trial division on all odd numbers < 2^14.
+#[test]
+fn miller_rabin_vs_trial_division() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let is_prime_naive = |n: u64| {
+        if n < 2 {
+            return false;
+        }
+        let mut d = 2;
+        while d * d <= n {
+            if n % d == 0 {
+                return false;
+            }
+            d += 1;
+        }
+        true
+    };
+    for n in (3..1u64 << 14).step_by(2) {
+        assert_eq!(
+            BigUint::from(n).is_probable_prime(16, &mut rng),
+            is_prime_naive(n),
+            "disagreement at {n}"
+        );
+    }
+}
+
+/// Generated Schnorr parameter sets validate and keys interoperate.
+#[test]
+fn generated_params_validate() {
+    use rand::SeedableRng;
+    use sstore_crypto::schnorr::{SchnorrParams, SigningKey};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let params = std::sync::Arc::new(SchnorrParams::generate(192, 96, &mut rng));
+    params.validate(&mut rng).unwrap();
+    let k1 = SigningKey::generate(&params, &mut rng);
+    let k2 = SigningKey::generate(&params, &mut rng);
+    let sig = k1.sign(b"interop");
+    assert!(k1.verifying_key().verify(b"interop", &sig).is_ok());
+    assert!(k2.verifying_key().verify(b"interop", &sig).is_err());
+}

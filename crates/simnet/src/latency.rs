@@ -1,0 +1,174 @@
+//! Message latency models.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::SimTime;
+
+/// How long a message takes to cross the network.
+///
+/// The paper's §6 argues its protocols win "specially in an environment
+/// where communication latencies are high across the server replicas" — the
+/// LAN/WAN presets here let the benchmark harness show exactly that
+/// crossover.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Fixed delay for every message.
+    Constant(SimTime),
+    /// Uniformly distributed delay in `[min, max]`.
+    Uniform {
+        /// Minimum one-way delay.
+        min: SimTime,
+        /// Maximum one-way delay.
+        max: SimTime,
+    },
+    /// Mostly-uniform base delay with occasional spikes: with probability
+    /// `spike_probability` the delay is multiplied by `spike_factor`.
+    /// Approximates heavy-tailed internet behaviour without needing a full
+    /// distribution library.
+    Spiky {
+        /// Minimum base delay.
+        min: SimTime,
+        /// Maximum base delay.
+        max: SimTime,
+        /// Probability of a spike in `[0, 1)`.
+        spike_probability: f64,
+        /// Multiplier applied to spiked samples.
+        spike_factor: u32,
+    },
+}
+
+impl LatencyModel {
+    /// LAN preset: 100–300 µs.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform {
+            min: SimTime::from_micros(100),
+            max: SimTime::from_micros(300),
+        }
+    }
+
+    /// WAN preset: 40–80 ms.
+    pub fn wan() -> Self {
+        LatencyModel::Uniform {
+            min: SimTime::from_millis(40),
+            max: SimTime::from_millis(80),
+        }
+    }
+
+    /// Heavy-tailed WAN: 40–80 ms with 1% of messages taking 5× longer.
+    pub fn wan_heavy_tail() -> Self {
+        LatencyModel::Spiky {
+            min: SimTime::from_millis(40),
+            max: SimTime::from_millis(80),
+            spike_probability: 0.01,
+            spike_factor: 5,
+        }
+    }
+
+    /// Draws a delay sample.
+    pub fn sample(&self, rng: &mut StdRng) -> SimTime {
+        match *self {
+            LatencyModel::Constant(t) => t,
+            LatencyModel::Uniform { min, max } => {
+                let (lo, hi) = (min.as_micros(), max.as_micros());
+                SimTime::from_micros(if hi > lo { rng.gen_range(lo..=hi) } else { lo })
+            }
+            LatencyModel::Spiky {
+                min,
+                max,
+                spike_probability,
+                spike_factor,
+            } => {
+                let (lo, hi) = (min.as_micros(), max.as_micros());
+                let base = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                let mult = if rng.gen::<f64>() < spike_probability {
+                    spike_factor as u64
+                } else {
+                    1
+                };
+                SimTime::from_micros(base * mult)
+            }
+        }
+    }
+
+    /// Mean one-way delay implied by the model (spikes included).
+    pub fn mean(&self) -> SimTime {
+        match *self {
+            LatencyModel::Constant(t) => t,
+            LatencyModel::Uniform { min, max } => {
+                SimTime::from_micros((min.as_micros() + max.as_micros()) / 2)
+            }
+            LatencyModel::Spiky {
+                min,
+                max,
+                spike_probability,
+                spike_factor,
+            } => {
+                let base = (min.as_micros() + max.as_micros()) as f64 / 2.0;
+                let mean =
+                    base * (1.0 - spike_probability) + base * spike_factor as f64 * spike_probability;
+                SimTime::from_micros(mean as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant(SimTime::from_millis(5));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), SimTime::from_millis(5));
+        }
+        assert_eq!(m.mean(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = LatencyModel::lan();
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = m.sample(&mut r);
+            assert!(s >= SimTime::from_micros(100) && s <= SimTime::from_micros(300));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_midpoint() {
+        assert_eq!(LatencyModel::wan().mean(), SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn spiky_produces_spikes() {
+        let m = LatencyModel::Spiky {
+            min: SimTime::from_millis(10),
+            max: SimTime::from_millis(10),
+            spike_probability: 0.5,
+            spike_factor: 10,
+        };
+        let mut r = rng();
+        let samples: Vec<SimTime> = (0..200).map(|_| m.sample(&mut r)).collect();
+        assert!(samples.iter().any(|&s| s == SimTime::from_millis(100)));
+        assert!(samples.iter().any(|&s| s == SimTime::from_millis(10)));
+        // Mean: 10ms * 0.5 + 100ms * 0.5 = 55ms.
+        assert_eq!(m.mean(), SimTime::from_millis(55));
+    }
+
+    #[test]
+    fn degenerate_uniform_range() {
+        let m = LatencyModel::Uniform {
+            min: SimTime::from_millis(7),
+            max: SimTime::from_millis(7),
+        };
+        assert_eq!(m.sample(&mut rng()), SimTime::from_millis(7));
+    }
+}

@@ -1,0 +1,599 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! The secure-store paper defers measurement to "simulations as well as
+//! actual implementations" (§6). This crate is that simulator: protocol
+//! participants are *actors* (pure state machines), the network is an event
+//! queue with pluggable latency models, message drops and partitions, and
+//! every run is exactly reproducible from its seed.
+//!
+//! The design is sans-I/O: the same actor state machines run here and on the
+//! real threaded transport (`sstore-transport`).
+//!
+//! # Example
+//!
+//! ```
+//! use sstore_simnet::{Actor, Context, Message, NodeId, SimConfig, Simulation};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping(u32);
+//! impl Message for Ping {
+//!     fn kind(&self) -> &'static str { "ping" }
+//!     fn size_bytes(&self) -> usize { 4 }
+//! }
+//!
+//! struct Echo;
+//! impl Actor<Ping> for Echo {
+//!     fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+//!         if msg.0 > 0 { ctx.send(from, Ping(msg.0 - 1)); }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(SimConfig::lan(42));
+//! let a = sim.add_node(Echo);
+//! let b = sim.add_node(Echo);
+//! sim.post(a, b, Ping(10));
+//! sim.run_to_quiescence();
+//! assert_eq!(sim.stats().total_messages, 11);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod stats;
+mod time;
+
+pub use latency::LatencyModel;
+pub use stats::NetStats;
+pub use time::SimTime;
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifies a node (actor) in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Trait for simulated protocol messages.
+///
+/// `kind` labels the message for per-type accounting; `size_bytes` feeds the
+/// bandwidth counters (a reasonable serialized-size estimate is fine).
+pub trait Message: Clone + std::fmt::Debug {
+    /// Short static label for accounting (e.g. `"ctx-read-req"`).
+    fn kind(&self) -> &'static str;
+    /// Estimated wire size in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+/// A protocol participant: a state machine driven by messages and timers.
+///
+/// Implementations must be deterministic given the context RNG — all
+/// randomness must come from [`Context::rng`].
+pub trait Actor<M: Message> {
+    /// Handles a message delivered from `from`.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Handles a timer previously set with [`Context::set_timer`].
+    fn on_timer(&mut self, _timer: u64, _ctx: &mut Context<'_, M>) {}
+
+    /// Downcasting hook so harnesses can inspect concrete actor state via
+    /// [`Simulation::with_node`]. Override to return `Some(self)`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// Effect sink handed to actors; collects sends and timers, exposes the
+/// node's identity, the current simulated time and the deterministic RNG.
+pub struct Context<'a, M: Message> {
+    node: NodeId,
+    now: SimTime,
+    rng: &'a mut StdRng,
+    sends: Vec<(NodeId, M)>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    /// The identity of the acting node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic per-run random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues `msg` for delivery to `to` (latency applied by the network).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Schedules `on_timer(token)` to fire after `delay`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        self.timers.push((delay, token));
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { token: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    to: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Link connectivity state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkState {
+    /// Messages flow with the configured latency model.
+    #[default]
+    Up,
+    /// Messages are silently discarded (network partition).
+    Down,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for all randomness in the run.
+    pub seed: u64,
+    /// Latency model applied to every message.
+    pub latency: LatencyModel,
+    /// Probability in `[0, 1)` that any message is dropped.
+    pub drop_probability: f64,
+}
+
+impl SimConfig {
+    /// LAN preset: ~0.2 ms links, no drops.
+    pub fn lan(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            latency: LatencyModel::lan(),
+            drop_probability: 0.0,
+        }
+    }
+
+    /// WAN preset: 40–80 ms links, no drops.
+    pub fn wan(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            latency: LatencyModel::wan(),
+            drop_probability: 0.0,
+        }
+    }
+
+    /// Lossy-WAN preset: WAN latency plus the given drop probability.
+    pub fn lossy_wan(seed: u64, drop_probability: f64) -> Self {
+        SimConfig {
+            seed,
+            latency: LatencyModel::wan(),
+            drop_probability,
+        }
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// Nodes are added with [`Simulation::add_node`]; external stimuli are
+/// injected with [`Simulation::post`]; the run advances with
+/// [`Simulation::step`], [`Simulation::run_until`] or
+/// [`Simulation::run_to_quiescence`].
+pub struct Simulation<M: Message> {
+    nodes: Vec<Box<dyn Actor<M>>>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    links: HashMap<(NodeId, NodeId), LinkState>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    config: SimConfig,
+    stats: NetStats,
+    events_processed: u64,
+}
+
+impl<M: Message> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Message> Simulation<M> {
+    /// Creates an empty simulation.
+    pub fn new(config: SimConfig) -> Self {
+        Simulation {
+            nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            links: HashMap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            stats: NetStats::default(),
+            events_processed: 0,
+        }
+    }
+
+    /// Registers an actor and returns its node id.
+    pub fn add_node(&mut self, actor: impl Actor<M> + 'static) -> NodeId {
+        self.nodes.push(Box::new(actor));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Accumulated network statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Resets the network statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
+    }
+
+    /// Sets the state of the directed link `from → to`.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, state: LinkState) {
+        self.links.insert((from, to), state);
+    }
+
+    /// Cuts both directions between `a` and `b`.
+    pub fn partition_pair(&mut self, a: NodeId, b: NodeId) {
+        self.set_link(a, b, LinkState::Down);
+        self.set_link(b, a, LinkState::Down);
+    }
+
+    /// Restores all links.
+    pub fn heal_all(&mut self) {
+        self.links.clear();
+    }
+
+    /// Injects a message from `from` to `to`, subject to the network model.
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.enqueue_send(from, to, msg);
+    }
+
+    /// Schedules `on_timer(token)` at `node` after `delay` — used to
+    /// bootstrap periodic behaviour (actors have no start hook).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimTime, token: u64) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at: self.now + delay,
+            seq: self.seq,
+            to: node,
+            kind: EventKind::Timer { token },
+        }));
+    }
+
+    /// Delivers a message to `to` immediately at the current time, bypassing
+    /// latency/drop/partition (useful to bootstrap client operations).
+    pub fn post_local(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let at = self.now;
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            to,
+            kind: EventKind::Deliver { from, msg },
+        }));
+    }
+
+    fn enqueue_send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.stats.record_send(msg.kind(), msg.size_bytes());
+        if self.links.get(&(from, to)).copied().unwrap_or_default() == LinkState::Down {
+            self.stats.record_drop(msg.kind());
+            return;
+        }
+        if self.config.drop_probability > 0.0
+            && self.rng.gen::<f64>() < self.config.drop_probability
+        {
+            self.stats.record_drop(msg.kind());
+            return;
+        }
+        let delay = self.config.latency.sample(&mut self.rng);
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at: self.now + delay,
+            seq: self.seq,
+            to,
+            kind: EventKind::Deliver { from, msg },
+        }));
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.events_processed += 1;
+        let node = ev.to;
+        if node.0 >= self.nodes.len() {
+            return true; // message to an unknown node: dropped
+        }
+        let mut ctx = Context {
+            node,
+            now: self.now,
+            rng: &mut self.rng,
+            sends: Vec::new(),
+            timers: Vec::new(),
+        };
+        match ev.kind {
+            EventKind::Deliver { from, msg } => {
+                self.stats.record_delivery(msg.kind());
+                self.nodes[node.0].on_message(from, msg, &mut ctx);
+            }
+            EventKind::Timer { token } => {
+                self.nodes[node.0].on_timer(token, &mut ctx);
+            }
+        }
+        let Context { sends, timers, .. } = ctx;
+        for (to, msg) in sends {
+            self.enqueue_send(node, to, msg);
+        }
+        for (delay, token) in timers {
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                at: self.now + delay,
+                seq: self.seq,
+                to: node,
+                kind: EventKind::Timer { token },
+            }));
+        }
+        true
+    }
+
+    /// Runs until simulated time reaches `deadline` or the queue drains.
+    ///
+    /// On return, `now()` is at least `deadline` even if the queue drained
+    /// early, so repeated calls advance a quiet simulation's clock.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 50 million events as a runaway-protocol backstop.
+    pub fn run_to_quiescence(&mut self) {
+        let start = self.events_processed;
+        while self.step() {
+            assert!(
+                self.events_processed - start < 50_000_000,
+                "simulation did not quiesce"
+            );
+        }
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs a closure against a node's actor, e.g. to inspect its state
+    /// from tests and harnesses.
+    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Actor<M>) -> R) -> R {
+        f(self.nodes[id.0].as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Num(u64);
+    impl Message for Num {
+        fn kind(&self) -> &'static str {
+            "num"
+        }
+        fn size_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    /// Forwards each message to the next node, decrementing.
+    struct Ring {
+        next: NodeId,
+        seen: Vec<u64>,
+    }
+    impl Actor<Num> for Ring {
+        fn on_message(&mut self, _from: NodeId, msg: Num, ctx: &mut Context<'_, Num>) {
+            self.seen.push(msg.0);
+            if msg.0 > 0 {
+                ctx.send(self.next, Num(msg.0 - 1));
+            }
+        }
+        fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, Num>) {
+            ctx.send(self.next, Num(token));
+        }
+    }
+
+    fn ring_sim(seed: u64) -> (Simulation<Num>, Vec<NodeId>) {
+        let mut sim = Simulation::new(SimConfig::lan(seed));
+        let ids: Vec<NodeId> = (0..3)
+            .map(|i| {
+                sim.add_node(Ring {
+                    next: NodeId((i + 1) % 3),
+                    seen: Vec::new(),
+                })
+            })
+            .collect();
+        (sim, ids)
+    }
+
+    #[test]
+    fn messages_circulate_and_time_advances() {
+        let (mut sim, ids) = ring_sim(1);
+        sim.post(ids[2], ids[0], Num(5));
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().total_messages, 6);
+        assert!(sim.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let (mut sim, ids) = ring_sim(seed);
+            sim.post(ids[0], ids[1], Num(20));
+            sim.run_to_quiescence();
+            (sim.now(), sim.stats().total_messages, sim.events_processed())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0, "different seeds, different latencies");
+    }
+
+    #[test]
+    fn partition_blocks_delivery() {
+        let (mut sim, ids) = ring_sim(2);
+        sim.partition_pair(ids[0], ids[1]);
+        sim.post(ids[2], ids[0], Num(5)); // n0 will try to send to n1
+        sim.run_to_quiescence();
+        // The initial delivery reaches n0, whose forward to n1 is dropped.
+        assert_eq!(sim.stats().dropped_messages, 1);
+        assert_eq!(sim.stats().delivered_messages, 1);
+    }
+
+    #[test]
+    fn heal_restores_links() {
+        let (mut sim, ids) = ring_sim(3);
+        sim.partition_pair(ids[0], ids[1]);
+        sim.heal_all();
+        sim.post(ids[2], ids[0], Num(3));
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().dropped_messages, 0);
+    }
+
+    #[test]
+    fn drops_are_probabilistic_and_seeded() {
+        let mut cfg = SimConfig::lan(9);
+        cfg.drop_probability = 0.5;
+        let mut sim = Simulation::new(cfg);
+        let a = sim.add_node(Ring {
+            next: NodeId(1),
+            seen: Vec::new(),
+        });
+        let b = sim.add_node(Ring {
+            next: NodeId(0),
+            seen: Vec::new(),
+        });
+        sim.post(a, b, Num(200));
+        sim.run_to_quiescence();
+        let s = sim.stats();
+        assert!(s.dropped_messages > 0, "some messages should drop");
+        assert!(s.delivered_messages > 0, "some messages should survive");
+    }
+
+    #[test]
+    fn timers_fire() {
+        struct TimerNode;
+        #[derive(Clone, Debug)]
+        struct Unit;
+        impl Message for Unit {
+            fn kind(&self) -> &'static str {
+                "unit"
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+        }
+        impl Actor<Unit> for TimerNode {
+            fn on_message(&mut self, _f: NodeId, _m: Unit, ctx: &mut Context<'_, Unit>) {
+                ctx.set_timer(SimTime::from_millis(30), 3);
+                ctx.set_timer(SimTime::from_millis(10), 1);
+                ctx.set_timer(SimTime::from_millis(20), 2);
+            }
+        }
+        let mut sim = Simulation::new(SimConfig::lan(4));
+        let n = sim.add_node(TimerNode);
+        sim.post_local(n, n, Unit);
+        sim.run_to_quiescence();
+        // 1 delivery + 3 timer events.
+        assert_eq!(sim.events_processed(), 4);
+        assert!(sim.now() >= SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, ids) = ring_sim(5);
+        sim.post(ids[0], ids[1], Num(1_000_000));
+        sim.run_until(SimTime::from_millis(1));
+        assert!(sim.now() >= SimTime::from_millis(1));
+        // The ring has not drained: events remain.
+        assert!(sim.step());
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_quiet() {
+        let (mut sim, _) = ring_sim(6);
+        sim.run_until(SimTime::from_millis(500));
+        assert_eq!(sim.now(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn per_kind_accounting() {
+        let (mut sim, ids) = ring_sim(6);
+        sim.post(ids[0], ids[1], Num(4));
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().sent_by_kind("num"), 5);
+        assert_eq!(sim.stats().bytes_by_kind("num"), 40);
+        assert_eq!(sim.stats().sent_by_kind("nope"), 0);
+    }
+}

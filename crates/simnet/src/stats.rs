@@ -1,0 +1,125 @@
+//! Per-run network accounting: message counts and bytes, by message kind.
+//!
+//! The paper's evaluation (§6) is phrased almost entirely in message counts
+//! ("a total of `2⌈(n+b+1)/2⌉` messages will be exchanged…"). These counters
+//! are what the benchmark harness compares against those formulas.
+
+use std::collections::BTreeMap;
+
+/// Aggregated network statistics for a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages submitted to the network (sent).
+    pub total_messages: u64,
+    /// Messages actually delivered.
+    pub delivered_messages: u64,
+    /// Messages lost to drops or partitions.
+    pub dropped_messages: u64,
+    /// Total bytes submitted.
+    pub total_bytes: u64,
+    sent_by_kind: BTreeMap<&'static str, u64>,
+    bytes_by_kind: BTreeMap<&'static str, u64>,
+    delivered_by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl NetStats {
+    pub(crate) fn record_send(&mut self, kind: &'static str, bytes: usize) {
+        self.total_messages += 1;
+        self.total_bytes += bytes as u64;
+        *self.sent_by_kind.entry(kind).or_default() += 1;
+        *self.bytes_by_kind.entry(kind).or_default() += bytes as u64;
+    }
+
+    pub(crate) fn record_delivery(&mut self, kind: &'static str) {
+        self.delivered_messages += 1;
+        *self.delivered_by_kind.entry(kind).or_default() += 1;
+    }
+
+    pub(crate) fn record_drop(&mut self, _kind: &'static str) {
+        self.dropped_messages += 1;
+    }
+
+    /// Messages of `kind` submitted to the network.
+    pub fn sent_by_kind(&self, kind: &str) -> u64 {
+        self.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Bytes of `kind` submitted to the network.
+    pub fn bytes_by_kind(&self, kind: &str) -> u64 {
+        self.bytes_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Messages of `kind` delivered.
+    pub fn delivered_by_kind(&self, kind: &str) -> u64 {
+        self.delivered_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(kind, sent-count)` pairs in kind order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.sent_by_kind.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Difference against an earlier snapshot: counts accumulated since.
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        let map_diff = |a: &BTreeMap<&'static str, u64>, b: &BTreeMap<&'static str, u64>| {
+            a.iter()
+                .map(|(&k, &v)| (k, v - b.get(k).copied().unwrap_or(0)))
+                .filter(|&(_, v)| v > 0)
+                .collect()
+        };
+        NetStats {
+            total_messages: self.total_messages - earlier.total_messages,
+            delivered_messages: self.delivered_messages - earlier.delivered_messages,
+            dropped_messages: self.dropped_messages - earlier.dropped_messages,
+            total_bytes: self.total_bytes - earlier.total_bytes,
+            sent_by_kind: map_diff(&self.sent_by_kind, &earlier.sent_by_kind),
+            bytes_by_kind: map_diff(&self.bytes_by_kind, &earlier.bytes_by_kind),
+            delivered_by_kind: map_diff(&self.delivered_by_kind, &earlier.delivered_by_kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = NetStats::default();
+        s.record_send("read", 100);
+        s.record_send("read", 100);
+        s.record_send("write", 50);
+        s.record_delivery("read");
+        s.record_drop("write");
+        assert_eq!(s.total_messages, 3);
+        assert_eq!(s.total_bytes, 250);
+        assert_eq!(s.sent_by_kind("read"), 2);
+        assert_eq!(s.bytes_by_kind("read"), 200);
+        assert_eq!(s.delivered_by_kind("read"), 1);
+        assert_eq!(s.dropped_messages, 1);
+        assert_eq!(s.sent_by_kind("missing"), 0);
+    }
+
+    #[test]
+    fn kinds_iterates_sorted() {
+        let mut s = NetStats::default();
+        s.record_send("b", 1);
+        s.record_send("a", 1);
+        let kinds: Vec<_> = s.kinds().collect();
+        assert_eq!(kinds, vec![("a", 1), ("b", 1)]);
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let mut s = NetStats::default();
+        s.record_send("x", 10);
+        let snapshot = s.clone();
+        s.record_send("x", 10);
+        s.record_send("y", 5);
+        let d = s.since(&snapshot);
+        assert_eq!(d.total_messages, 2);
+        assert_eq!(d.sent_by_kind("x"), 1);
+        assert_eq!(d.sent_by_kind("y"), 1);
+        assert_eq!(d.total_bytes, 15);
+    }
+}

@@ -1,0 +1,115 @@
+//! Simulated time, in microseconds.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, in microseconds.
+///
+/// ```
+/// use sstore_simnet::SimTime;
+///
+/// let t = SimTime::from_millis(3) + SimTime::from_micros(500);
+/// assert_eq!(t.as_micros(), 3_500);
+/// assert_eq!(format!("{t}"), "3.500ms");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Constructs from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Value in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Value in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow, like integer subtraction.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{:03}ms", self.0 / 1_000, self.0 % 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
+        assert_eq!(SimTime::from_micros(1500).as_millis(), 1);
+        assert!((SimTime::from_micros(1500).as_millis_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(2);
+        let b = SimTime::from_millis(3);
+        assert_eq!(a + b, SimTime::from_millis(5));
+        assert_eq!(b - a, SimTime::from_millis(1));
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", SimTime::from_micros(12_345)), "12.345ms");
+        assert_eq!(format!("{}", SimTime::ZERO), "0.000ms");
+    }
+}

@@ -1,0 +1,172 @@
+//! Simulator stress tests: partitions forming and healing mid-run, lossy
+//! links, heavy-tailed latency, and determinism under all of it.
+
+use rand::Rng;
+use sstore_simnet::{
+    Actor, Context, LatencyModel, Message, NodeId, SimConfig, SimTime, Simulation,
+};
+
+#[derive(Clone, Debug)]
+struct Token {
+    hops_left: u32,
+    id: u64,
+}
+
+impl Message for Token {
+    fn kind(&self) -> &'static str {
+        "token"
+    }
+    fn size_bytes(&self) -> usize {
+        12
+    }
+}
+
+/// Forwards tokens to random peers until their hop budget runs out.
+struct RandomWalker {
+    n: usize,
+    received: u64,
+}
+
+impl Actor<Token> for RandomWalker {
+    fn on_message(&mut self, _from: NodeId, msg: Token, ctx: &mut Context<'_, Token>) {
+        self.received += 1;
+        if msg.hops_left > 0 {
+            let me = ctx.node().0;
+            let mut next = ctx.rng().gen_range(0..self.n);
+            if next == me {
+                next = (next + 1) % self.n;
+            }
+            ctx.send(
+                NodeId(next),
+                Token {
+                    hops_left: msg.hops_left - 1,
+                    id: msg.id,
+                },
+            );
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+fn walker_sim(n: usize, config: SimConfig) -> Simulation<Token> {
+    let mut sim = Simulation::new(config);
+    for _ in 0..n {
+        sim.add_node(RandomWalker { n, received: 0 });
+    }
+    sim
+}
+
+#[test]
+fn random_walk_is_deterministic() {
+    let run = |seed| {
+        let mut sim = walker_sim(8, SimConfig::lan(seed));
+        for id in 0..10 {
+            sim.post(NodeId(0), NodeId((id as usize) % 8), Token { hops_left: 50, id });
+        }
+        sim.run_to_quiescence();
+        (sim.now(), sim.stats().total_messages)
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}
+
+#[test]
+fn partitions_mid_run_change_flow_and_heal() {
+    let mut sim = walker_sim(6, SimConfig::lan(9));
+    sim.post(NodeId(5), NodeId(0), Token { hops_left: 500, id: 1 });
+    // Let it run a little, then island node 0 completely.
+    sim.run_until(SimTime::from_millis(2));
+    for peer in 1..6 {
+        sim.partition_pair(NodeId(0), NodeId(peer));
+    }
+    sim.run_until(SimTime::from_millis(50));
+    let dropped_mid = sim.stats().dropped_messages;
+    sim.heal_all();
+    sim.run_to_quiescence();
+    let total_dropped = sim.stats().dropped_messages;
+    // The walk either died at node 0's island (drops observed) or avoided
+    // node 0 entirely; either way healing must not add new drops.
+    assert_eq!(total_dropped, dropped_mid, "no drops after heal");
+}
+
+#[test]
+fn lossy_network_drops_proportionally() {
+    let mut lossy = SimConfig::lan(11);
+    lossy.drop_probability = 0.25;
+    let mut sim = walker_sim(4, lossy);
+    for id in 0..200 {
+        sim.post(NodeId(0), NodeId(1), Token { hops_left: 3, id });
+    }
+    sim.run_to_quiescence();
+    let s = sim.stats();
+    let rate = s.dropped_messages as f64 / s.total_messages as f64;
+    assert!((0.15..0.35).contains(&rate), "drop rate {rate} far from 0.25");
+}
+
+#[test]
+fn heavy_tail_latency_spreads_completion() {
+    let run = |latency: LatencyModel| {
+        let mut cfg = SimConfig::lan(13);
+        cfg.latency = latency;
+        let mut sim = walker_sim(4, cfg);
+        for id in 0..50 {
+            sim.post(NodeId(0), NodeId(1), Token { hops_left: 20, id });
+        }
+        sim.run_to_quiescence();
+        sim.now()
+    };
+    let uniform = run(LatencyModel::wan());
+    let heavy = run(LatencyModel::wan_heavy_tail());
+    assert!(
+        heavy > uniform,
+        "heavy tail ({heavy}) should stretch the makespan past uniform ({uniform})"
+    );
+}
+
+#[test]
+fn stats_reset_and_since() {
+    let mut sim = walker_sim(3, SimConfig::lan(17));
+    sim.post(NodeId(0), NodeId(1), Token { hops_left: 10, id: 1 });
+    sim.run_to_quiescence();
+    let first = sim.stats().clone();
+    assert!(first.total_messages > 0);
+    sim.reset_stats();
+    assert_eq!(sim.stats().total_messages, 0);
+    sim.post(NodeId(0), NodeId(1), Token { hops_left: 5, id: 2 });
+    sim.run_to_quiescence();
+    assert_eq!(sim.stats().total_messages, 6);
+}
+
+#[test]
+fn node_state_inspectable_via_downcast() {
+    let mut sim = walker_sim(3, SimConfig::lan(19));
+    sim.post(NodeId(2), NodeId(0), Token { hops_left: 7, id: 1 });
+    sim.run_to_quiescence();
+    let total: u64 = (0..3)
+        .map(|i| {
+            sim.with_node(NodeId(i), |a| {
+                a.as_any_mut()
+                    .and_then(|x| x.downcast_mut::<RandomWalker>())
+                    .map(|w| w.received)
+                    .unwrap()
+            })
+        })
+        .sum();
+    assert_eq!(total, 8, "7 hops + initial delivery");
+}
+
+#[test]
+fn messages_to_unknown_nodes_are_ignored() {
+    let mut sim = walker_sim(2, SimConfig::lan(23));
+    sim.post(NodeId(0), NodeId(99), Token { hops_left: 0, id: 1 });
+    sim.run_to_quiescence(); // must not panic
+    assert_eq!(sim.stats().total_messages, 1);
+    assert_eq!(
+        sim.stats().delivered_messages,
+        0,
+        "nothing is delivered to a nonexistent node"
+    );
+}

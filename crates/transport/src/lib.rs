@@ -1,0 +1,524 @@
+//! Real-time threaded transport for the secure store.
+//!
+//! The same sans-I/O state machines that run inside the deterministic
+//! simulator (`sstore-core`) run here on actual OS threads connected by
+//! channels: one thread per server, blocking client handles for
+//! applications. This is the deployment-shaped path used by the examples —
+//! protocol logic is byte-for-byte identical to the simulated one.
+//!
+//! ```
+//! use sstore_transport::LocalCluster;
+//! use sstore_core::types::{Consistency, DataId, GroupId};
+//!
+//! let cluster = LocalCluster::start(4, 1, 2);
+//! let mut alice = cluster.client(0);
+//! let group = GroupId(1);
+//! alice.connect(group, false).unwrap();
+//! alice.write(DataId(1), group, Consistency::Mrc, b"hello".to_vec()).unwrap();
+//! let (_, value) = alice.read(DataId(1), group, Consistency::Mrc).unwrap();
+//! assert_eq!(value, b"hello");
+//! alice.disconnect(group).unwrap();
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sstore_core::client::{ClientCore, ClientOp, OpResult, Outcome, Output};
+use sstore_core::config::{ClientConfig, ServerConfig};
+use sstore_core::directory::{generate_client_keys, Directory};
+use sstore_core::server::{Addr, ServerNode};
+use sstore_core::types::{ClientId, Consistency, DataId, GroupId, ServerId, Timestamp};
+use sstore_core::wire::Msg;
+use sstore_crypto::schnorr::SigningKey;
+use sstore_simnet::SimTime;
+
+/// An envelope on a node's inbox.
+enum Env {
+    Deliver(Addr, Msg),
+    Stop,
+}
+
+/// Shared routing table: who to hand an envelope to.
+struct Router {
+    start: Instant,
+    servers: Vec<Sender<Env>>,
+    clients: RwLock<HashMap<ClientId, Sender<Env>>>,
+}
+
+impl Router {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn route(&self, from: Addr, to: Addr, msg: Msg) {
+        let env = Env::Deliver(from, msg);
+        match to {
+            Addr::Server(s) => {
+                if let Some(tx) = self.servers.get(s.0 as usize) {
+                    let _ = tx.send(env);
+                }
+            }
+            Addr::Client(c) => {
+                if let Some(tx) = self.clients.read().get(&c) {
+                    let _ = tx.send(env);
+                }
+            }
+        }
+    }
+}
+
+fn server_loop(
+    mut node: ServerNode,
+    rx: Receiver<Env>,
+    router: Arc<Router>,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let me = Addr::Server(node.id());
+    let period = Duration::from_micros(node.gossip_period().as_micros().max(1));
+    let mut next_gossip = Instant::now() + period;
+    loop {
+        let timeout = next_gossip.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(timeout) {
+            Ok(Env::Deliver(from, msg)) => {
+                for (to, out) in node.handle(from, msg, router.now()) {
+                    router.route(me, to, out);
+                }
+            }
+            Ok(Env::Stop) => return,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                for (to, out) in node.on_gossip_timer(router.now(), &mut rng) {
+                    router.route(me, to, out);
+                }
+                next_gossip = Instant::now() + period;
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Error returned by blocking client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The operation could not assemble its quorum.
+    Unavailable,
+    /// The read found only values older than the client's context.
+    Stale,
+    /// A multi-writer read exposed an equivocating writer.
+    FaultyWriter,
+    /// The cluster has shut down.
+    Disconnected,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Unavailable => write!(f, "quorum unavailable"),
+            StoreError::Stale => write!(f, "only stale copies reachable"),
+            StoreError::FaultyWriter => write!(f, "writer equivocation detected"),
+            StoreError::Disconnected => write!(f, "cluster has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A blocking client handle bound to one [`LocalCluster`].
+pub struct SyncClient {
+    core: ClientCore,
+    rx: Receiver<Env>,
+    router: Arc<Router>,
+    rng: StdRng,
+    timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
+}
+
+impl SyncClient {
+    /// Runs one operation to completion.
+    fn run_op(&mut self, op: ClientOp) -> Result<OpResult, StoreError> {
+        let now = self.router.now();
+        let (op_id, out) = self.core.begin(op, now, &mut self.rng);
+        if let Some(r) = self.dispatch(out, op_id) {
+            return Self::map_result(r);
+        }
+        let hard_deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            // Next client-protocol timer, if any.
+            let wake = self
+                .timers
+                .peek()
+                .map(|std::cmp::Reverse((t, _))| *t)
+                .unwrap_or(hard_deadline);
+            let timeout = wake
+                .min(hard_deadline)
+                .saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(timeout) {
+                Ok(Env::Deliver(Addr::Server(sid), msg)) => {
+                    let now = self.router.now();
+                    let out = self.core.on_message(sid, msg, now);
+                    if let Some(r) = self.dispatch(out, op_id) {
+                        return Self::map_result(r);
+                    }
+                }
+                Ok(Env::Deliver(Addr::Client(_), _)) => {}
+                Ok(Env::Stop) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(StoreError::Disconnected)
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= hard_deadline {
+                        return Err(StoreError::Unavailable);
+                    }
+                    // Fire due protocol timers.
+                    while let Some(std::cmp::Reverse((t, token))) = self.timers.peek().copied() {
+                        if t > Instant::now() {
+                            break;
+                        }
+                        self.timers.pop();
+                        let now = self.router.now();
+                        let out = self.core.on_timeout(token, now);
+                        if let Some(r) = self.dispatch(out, op_id) {
+                            return Self::map_result(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends effects; returns the result if `op_id` completed.
+    fn dispatch(&mut self, out: Output, op_id: sstore_core::types::OpId) -> Option<OpResult> {
+        let me = Addr::Client(self.core.id());
+        for (to, msg) in out.sends {
+            self.router.route(me, Addr::Server(to), msg);
+        }
+        for (delay, token) in out.timers {
+            let at = Instant::now() + Duration::from_micros(delay.as_micros());
+            self.timers.push(std::cmp::Reverse((at, token)));
+        }
+        out.done.into_iter().find(|r| r.op == op_id)
+    }
+
+    fn map_result(r: OpResult) -> Result<OpResult, StoreError> {
+        match &r.outcome {
+            Outcome::Unavailable => Err(StoreError::Unavailable),
+            Outcome::Stale { .. } => Err(StoreError::Stale),
+            Outcome::FaultyWriterDetected { .. } => Err(StoreError::FaultyWriter),
+            _ => Ok(r),
+        }
+    }
+
+    /// Starts a session for `group` ([`ClientOp::Connect`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the context quorum cannot form.
+    pub fn connect(&mut self, group: GroupId, recover: bool) -> Result<OpResult, StoreError> {
+        self.run_op(ClientOp::Connect { group, recover })
+    }
+
+    /// Stores the context and ends the session.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the context quorum cannot form.
+    pub fn disconnect(&mut self, group: GroupId) -> Result<OpResult, StoreError> {
+        self.run_op(ClientOp::Disconnect { group })
+    }
+
+    /// Single-writer write.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if `b+1` servers cannot be reached.
+    pub fn write(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+        value: Vec<u8>,
+    ) -> Result<Timestamp, StoreError> {
+        let r = self.run_op(ClientOp::Write {
+            data,
+            group,
+            consistency,
+            value,
+        })?;
+        match r.outcome {
+            Outcome::WriteOk { ts } => Ok(ts),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    /// Single-writer read; returns `(timestamp, value)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Stale`] when only older-than-context copies are
+    /// reachable; [`StoreError::Unavailable`] when no quorum forms.
+    pub fn read(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+    ) -> Result<(Timestamp, Vec<u8>), StoreError> {
+        let r = self.run_op(ClientOp::Read {
+            data,
+            group,
+            consistency,
+        })?;
+        match r.outcome {
+            Outcome::ReadOk { ts, value, .. } => Ok((ts, value)),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    /// Multi-writer write.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if `2b+1` servers cannot be reached.
+    pub fn mw_write(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        value: Vec<u8>,
+    ) -> Result<Timestamp, StoreError> {
+        let r = self.run_op(ClientOp::MwWrite { data, group, value })?;
+        match r.outcome {
+            Outcome::WriteOk { ts } => Ok(ts),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    /// Multi-writer read; returns `(timestamp, value, confirmations)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SyncClient::read`], plus [`StoreError::FaultyWriter`] when
+    /// the read exposes writer equivocation.
+    pub fn mw_read(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+    ) -> Result<(Timestamp, Vec<u8>, usize), StoreError> {
+        let r = self.run_op(ClientOp::MwRead {
+            data,
+            group,
+            consistency,
+        })?;
+        match r.outcome {
+            Outcome::ReadOk {
+                ts,
+                value,
+                confirmations,
+            } => Ok((ts, value, confirmations)),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    /// Drops all volatile state as if the process crashed (then use
+    /// `connect(group, true)` to reconstruct).
+    pub fn simulate_crash(&mut self) {
+        self.core.crash();
+    }
+
+    /// The client's current context for `group`.
+    pub fn context(&self, group: GroupId) -> sstore_core::Context {
+        self.core.context(group)
+    }
+}
+
+/// A local cluster of server threads plus registered clients.
+pub struct LocalCluster {
+    router: Arc<Router>,
+    handles: Vec<JoinHandle<()>>,
+    dir: Arc<Directory>,
+    signing: HashMap<ClientId, SigningKey>,
+    client_cfg: ClientConfig,
+}
+
+impl LocalCluster {
+    /// Starts `n` server threads tolerating `b` faults, with keys for
+    /// `clients` clients. Default server/client configs.
+    pub fn start(n: usize, b: usize, clients: u16) -> Self {
+        Self::start_with(n, b, clients, ServerConfig::default(), ClientConfig::default())
+    }
+
+    /// Starts a cluster with explicit configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(n, b)` is invalid.
+    pub fn start_with(
+        n: usize,
+        b: usize,
+        clients: u16,
+        server_cfg: ServerConfig,
+        client_cfg: ClientConfig,
+    ) -> Self {
+        let (signing, verifying) = generate_client_keys(clients, 0x7ea1);
+        let dir = Directory::new(n, b, verifying);
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let router = Arc::new(Router {
+            start: Instant::now(),
+            servers: txs,
+            clients: RwLock::new(HashMap::new()),
+        });
+        let mut handles = Vec::with_capacity(n);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let node = ServerNode::new(ServerId(i as u16), dir.clone(), server_cfg.clone());
+            let router = router.clone();
+            handles.push(std::thread::spawn(move || {
+                server_loop(node, rx, router, 0xbeef + i as u64)
+            }));
+        }
+        LocalCluster {
+            router,
+            handles,
+            dir,
+            signing,
+            client_cfg,
+        }
+    }
+
+    /// The cluster directory.
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.dir
+    }
+
+    /// Kills server `i`'s thread (simulates a crash fault). Operations
+    /// keep working as long as at most `b` servers are killed.
+    pub fn kill_server(&self, i: usize) {
+        if let Some(tx) = self.router.servers.get(i) {
+            let _ = tx.send(Env::Stop);
+        }
+    }
+
+    /// Creates the blocking handle for client `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` has no registered key (i.e. `i >= clients`).
+    pub fn client(&self, i: u16) -> SyncClient {
+        let id = ClientId(i);
+        let key = self.signing.get(&id).expect("client key registered").clone();
+        let (tx, rx) = unbounded();
+        self.router.clients.write().insert(id, tx);
+        SyncClient {
+            core: ClientCore::new(id, self.dir.clone(), self.client_cfg.clone(), key),
+            rx,
+            router: self.router.clone(),
+            rng: StdRng::seed_from_u64(0xc0ffee + i as u64),
+            timers: BinaryHeap::new(),
+        }
+    }
+
+    /// Stops all server threads.
+    pub fn shutdown(self) {
+        for tx in &self.router.servers {
+            let _ = tx.send(Env::Stop);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip_over_threads() {
+        let cluster = LocalCluster::start(4, 1, 1);
+        let mut c = cluster.client(0);
+        let g = GroupId(1);
+        c.connect(g, false).unwrap();
+        c.write(DataId(1), g, Consistency::Mrc, b"threaded".to_vec())
+            .unwrap();
+        let (ts, v) = c.read(DataId(1), g, Consistency::Mrc).unwrap();
+        assert_eq!(v, b"threaded");
+        assert_eq!(ts, Timestamp::Version(1));
+        c.disconnect(g).unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn two_clients_share_single_writer_data() {
+        let cluster = LocalCluster::start(4, 1, 2);
+        let g = GroupId(2);
+        let mut writer = cluster.client(0);
+        writer.connect(g, false).unwrap();
+        writer
+            .write(DataId(5), g, Consistency::Mrc, b"bulletin".to_vec())
+            .unwrap();
+        // Give dissemination a moment so the reader's quorum sees it.
+        std::thread::sleep(Duration::from_millis(600));
+        let mut reader = cluster.client(1);
+        reader.connect(g, false).unwrap();
+        let (_, v) = reader.read(DataId(5), g, Consistency::Mrc).unwrap();
+        assert_eq!(v, b"bulletin");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crash_and_reconstruct() {
+        let cluster = LocalCluster::start(4, 1, 1);
+        let g = GroupId(3);
+        let mut c = cluster.client(0);
+        c.connect(g, false).unwrap();
+        c.write(DataId(1), g, Consistency::Mrc, b"precious".to_vec())
+            .unwrap();
+        c.simulate_crash();
+        c.connect(g, true).unwrap();
+        assert_eq!(c.context(g).len(), 1);
+        let (_, v) = c.read(DataId(1), g, Consistency::Mrc).unwrap();
+        assert_eq!(v, b"precious");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn survives_killed_server() {
+        let cluster = LocalCluster::start(4, 1, 1);
+        cluster.kill_server(2);
+        let g = GroupId(9);
+        let mut c = cluster.client(0);
+        c.connect(g, false).unwrap();
+        c.write(DataId(1), g, Consistency::Mrc, b"still here".to_vec())
+            .unwrap();
+        let (_, v) = c.read(DataId(1), g, Consistency::Mrc).unwrap();
+        assert_eq!(v, b"still here");
+        c.disconnect(g).unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn multi_writer_over_threads() {
+        let cluster = LocalCluster::start(4, 1, 2);
+        let g = GroupId(4);
+        let mut a = cluster.client(0);
+        a.connect(g, false).unwrap();
+        a.mw_write(DataId(9), g, b"from-a".to_vec()).unwrap();
+        let (_, v, confirmations) = a.mw_read(DataId(9), g, Consistency::Cc).unwrap();
+        assert_eq!(v, b"from-a");
+        assert!(confirmations >= 2);
+        cluster.shutdown();
+    }
+}
