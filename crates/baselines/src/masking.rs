@@ -144,7 +144,9 @@ impl Actor<MaskMsg> for MaskServer {
 }
 
 enum MaskOp {
-    Write { acks: HashSet<ServerId> },
+    Write {
+        acks: HashSet<ServerId>,
+    },
     Read {
         responses: HashMap<ServerId, Option<StoredItem>>,
     },
@@ -216,21 +218,21 @@ impl Actor<MaskMsg> for MaskClient {
                     let mut tally: Vec<(&StoredItem, usize)> = Vec::new();
                     for it in responses.values().flatten() {
                         match tally.iter_mut().find(|(t, _)| {
-                            t.meta.ts.compare(&it.meta.ts)
-                                == sstore_core::types::TsOrder::Equal
+                            t.meta.ts.compare(&it.meta.ts) == sstore_core::types::TsOrder::Equal
                         }) {
                             Some((_, c)) => *c += 1,
                             None => tally.push((it, 1)),
                         }
                     }
-                    let best = tally
-                        .into_iter()
-                        .filter(|(_, c)| *c >= accept)
-                        .max_by(|a, b| match a.0.meta.ts.compare(&b.0.meta.ts) {
-                            sstore_core::types::TsOrder::Greater => std::cmp::Ordering::Greater,
-                            sstore_core::types::TsOrder::Less => std::cmp::Ordering::Less,
-                            _ => std::cmp::Ordering::Equal,
-                        });
+                    let best =
+                        tally
+                            .into_iter()
+                            .filter(|(_, c)| *c >= accept)
+                            .max_by(|a, b| match a.0.meta.ts.compare(&b.0.meta.ts) {
+                                sstore_core::types::TsOrder::Greater => std::cmp::Ordering::Greater,
+                                sstore_core::types::TsOrder::Less => std::cmp::Ordering::Less,
+                                _ => std::cmp::Ordering::Equal,
+                            });
                     self.result = Some(BaselineResult {
                         ok: true,
                         value: best.map(|(i, _)| i.value.clone()),
@@ -363,7 +365,12 @@ impl MaskCluster {
                 &c.key,
                 &mut c.counters,
             );
-            c.inflight = Some((op_id, MaskOp::Write { acks: HashSet::new() }));
+            c.inflight = Some((
+                op_id,
+                MaskOp::Write {
+                    acks: HashSet::new(),
+                },
+            ));
             c.result = None;
             (op_id, item)
         });

@@ -46,9 +46,11 @@ impl Command {
                 &data.0.to_be_bytes(),
                 value,
             ]),
-            Command::Get { data } => {
-                digest_parts([b"get".as_slice(), &op.0.to_be_bytes(), &data.0.to_be_bytes()])
-            }
+            Command::Get { data } => digest_parts([
+                b"get".as_slice(),
+                &op.0.to_be_bytes(),
+                &data.0.to_be_bytes(),
+            ]),
         }
     }
 }
@@ -487,7 +489,7 @@ impl Actor<PbftMsg> for PbftClient {
                 None => tally.push((r, 1)),
             }
         }
-        if let Some((value, _)) = tally.into_iter().find(|(_, c)| *c >= self.f + 1) {
+        if let Some((value, _)) = tally.into_iter().find(|(_, c)| *c > self.f) {
             self.result = Some(BaselineResult {
                 ok: true,
                 value: value.clone(),

@@ -14,12 +14,13 @@ use sstore_core::types::{Consistency, DataId, GroupId, Timestamp};
 const G: GroupId = GroupId(1);
 
 fn quiet() -> ServerConfig {
-    let mut cfg = ServerConfig::default();
-    cfg.gossip = GossipConfig {
-        enabled: false,
-        ..GossipConfig::default()
-    };
-    cfg
+    ServerConfig {
+        gossip: GossipConfig {
+            enabled: false,
+            ..GossipConfig::default()
+        },
+        ..ServerConfig::default()
+    }
 }
 
 /// One full session (connect, write, read, disconnect) in the simulator.

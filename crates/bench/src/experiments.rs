@@ -15,8 +15,8 @@ use rand::SeedableRng;
 use sstore_baselines::masking::MaskCluster;
 use sstore_baselines::pbft::PbftCluster;
 use sstore_core::client::{ClientOp, OpKind, OpResult, Outcome};
-use sstore_core::config::{ClientConfig, GossipConfig, ServerConfig};
 use sstore_core::confidential::{FragmentStore, ValueCipher};
+use sstore_core::config::{ClientConfig, GossipConfig, ServerConfig};
 use sstore_core::faults::Behavior;
 use sstore_core::metrics::CryptoCounters;
 use sstore_core::quorum;
@@ -80,12 +80,13 @@ fn mw_read(data: u64) -> Step {
 }
 
 fn quiet_server_cfg() -> ServerConfig {
-    let mut cfg = ServerConfig::default();
-    cfg.gossip = GossipConfig {
-        enabled: false,
-        ..GossipConfig::default()
-    };
-    cfg
+    ServerConfig {
+        gossip: GossipConfig {
+            enabled: false,
+            ..GossipConfig::default()
+        },
+        ..ServerConfig::default()
+    }
 }
 
 /// Sticky clients reuse the same quorum across ops: the paper's cost
@@ -106,7 +107,13 @@ struct RunOutput {
     results: Vec<OpResult>,
 }
 
-fn run_script(n: usize, b: usize, seed: u64, server_cfg: ServerConfig, script: Vec<Step>) -> RunOutput {
+fn run_script(
+    n: usize,
+    b: usize,
+    seed: u64,
+    server_cfg: ServerConfig,
+    script: Vec<Step>,
+) -> RunOutput {
     let mut cluster = ClusterBuilder::new(n, b)
         .seed(seed)
         .server_config(server_cfg)
@@ -169,8 +176,15 @@ pub fn t1_context_costs() -> Table {
     let mut t = Table::new(
         "T1: context operation costs (messages and crypto ops per operation)",
         &[
-            "n", "b", "q=⌈(n+b+1)/2⌉", "paper msgs (2q)", "ctx-read msgs", "ctx-write msgs",
-            "client signs", "server verifies", "warm-read verifies",
+            "n",
+            "b",
+            "q=⌈(n+b+1)/2⌉",
+            "paper msgs (2q)",
+            "ctx-read msgs",
+            "ctx-write msgs",
+            "client signs",
+            "server verifies",
+            "warm-read verifies",
         ],
     );
     for (n, b) in [(4, 1), (7, 1), (7, 2), (10, 2), (10, 3), (13, 3), (16, 3)] {
@@ -212,9 +226,18 @@ pub fn t2_data_costs() -> Table {
     let mut t = Table::new(
         "T2: single-writer data costs per operation (K=8 ops averaged)",
         &[
-            "b", "n", "mode", "paper write msgs (b+1)", "write msgs", "write signs",
-            "srv verifies/write", "read ts-queries", "read fetches", "read verifies",
-            "write ms", "read ms",
+            "b",
+            "n",
+            "mode",
+            "paper write msgs (b+1)",
+            "write msgs",
+            "write signs",
+            "srv verifies/write",
+            "read ts-queries",
+            "read fetches",
+            "read verifies",
+            "write ms",
+            "read ms",
         ],
     );
     const K: u64 = 8;
@@ -223,7 +246,14 @@ pub fn t2_data_costs() -> Table {
         for consistency in [Consistency::Mrc, Consistency::Cc] {
             let base = vec![connect()];
             let writes: Vec<Step> = (0..K).map(|i| write(i + 1, consistency)).collect();
-            let wm = marginal(n, b, 2000 + b as u64, quiet_server_cfg(), base.clone(), writes.clone());
+            let wm = marginal(
+                n,
+                b,
+                2000 + b as u64,
+                quiet_server_cfg(),
+                base.clone(),
+                writes.clone(),
+            );
 
             let mut base_r = base.clone();
             base_r.extend(writes);
@@ -261,8 +291,17 @@ pub fn t3_multi_writer_costs() -> Table {
     let mut t = Table::new(
         "T3: multi-writer data costs per operation (K=8 ops averaged)",
         &[
-            "b", "n", "paper msgs (2b+1)", "write msgs", "read msgs", "accept thresh (b+1)",
-            "client read verifies", "srv verifies/write", "max log len", "write ms", "read ms",
+            "b",
+            "n",
+            "paper msgs (2b+1)",
+            "write msgs",
+            "read msgs",
+            "accept thresh (b+1)",
+            "client read verifies",
+            "srv verifies/write",
+            "max log len",
+            "write ms",
+            "read ms",
         ],
     );
     const K: u64 = 8;
@@ -270,12 +309,26 @@ pub fn t3_multi_writer_costs() -> Table {
         let n = 3 * b + 1;
         let base = vec![connect()];
         let writes: Vec<Step> = (0..K).map(|i| mw_write(i + 1)).collect();
-        let wm = marginal(n, b, 3000 + b as u64, quiet_server_cfg(), base.clone(), writes.clone());
+        let wm = marginal(
+            n,
+            b,
+            3000 + b as u64,
+            quiet_server_cfg(),
+            base.clone(),
+            writes.clone(),
+        );
 
         let mut base_r = base.clone();
         base_r.extend(writes);
         let reads: Vec<Step> = (0..K).map(|i| mw_read(i + 1)).collect();
-        let rm = marginal(n, b, 3000 + b as u64, quiet_server_cfg(), base_r.clone(), reads);
+        let rm = marginal(
+            n,
+            b,
+            3000 + b as u64,
+            quiet_server_cfg(),
+            base_r.clone(),
+            reads,
+        );
 
         // Log length inspection on a fresh full run.
         let mut full = base_r;
@@ -316,11 +369,7 @@ pub fn t3_multi_writer_costs() -> Table {
 // T4 — comparison with masking quorums and PBFT (paper §6 ¶9–11)
 // ---------------------------------------------------------------------
 
-fn secure_store_op_costs(
-    n: usize,
-    b: usize,
-    net: SimConfig,
-) -> (f64, f64, f64, f64) {
+fn secure_store_op_costs(n: usize, b: usize, net: SimConfig) -> (f64, f64, f64, f64) {
     const K: u64 = 6;
     let mut cluster = ClusterBuilder::new(n, b)
         .seed(net.seed)
@@ -350,8 +399,16 @@ fn secure_store_op_costs(
     (
         write_msgs,
         read_msgs,
-        writes.iter().map(|r| r.latency().as_millis_f64()).sum::<f64>() / kf,
-        reads.iter().map(|r| r.latency().as_millis_f64()).sum::<f64>() / kf,
+        writes
+            .iter()
+            .map(|r| r.latency().as_millis_f64())
+            .sum::<f64>()
+            / kf,
+        reads
+            .iter()
+            .map(|r| r.latency().as_millis_f64())
+            .sum::<f64>()
+            / kf,
     )
 }
 
@@ -361,12 +418,14 @@ fn masking_op_costs(n: usize, b: usize, net: SimConfig) -> (f64, f64, f64, f64) 
     let mut wl = 0.0;
     let mut rl = 0.0;
     for i in 0..K {
-        wl += cluster.write(DataId(i as u64 + 1), &[0xab; 64]).latency.as_millis_f64();
+        wl += cluster
+            .write(DataId(i as u64 + 1), &[0xab; 64])
+            .latency
+            .as_millis_f64();
     }
     let snap = cluster.sim.stats().clone();
-    let write_msgs = (snap.sent_by_kind("mask-write") + snap.sent_by_kind("mask-write-ack"))
-        as f64
-        / K as f64;
+    let write_msgs =
+        (snap.sent_by_kind("mask-write") + snap.sent_by_kind("mask-write-ack")) as f64 / K as f64;
     for i in 0..K {
         rl += cluster.read(DataId(i as u64 + 1)).latency.as_millis_f64();
     }
@@ -382,7 +441,10 @@ fn pbft_op_costs(f: usize, net: SimConfig) -> (f64, f64, f64, f64) {
     let mut wl = 0.0;
     let mut rl = 0.0;
     for i in 0..K {
-        wl += cluster.put(DataId(i as u64 + 1), &[0xab; 64]).latency.as_millis_f64();
+        wl += cluster
+            .put(DataId(i as u64 + 1), &[0xab; 64])
+            .latency
+            .as_millis_f64();
     }
     let snap = cluster.sim.stats().clone();
     let write_msgs = snap.total_messages as f64 / K as f64;
@@ -403,8 +465,15 @@ pub fn t4_baseline_comparison() -> Table {
     let mut t = Table::new(
         "T4: system comparison (per-op messages and mean latency)",
         &[
-            "system", "b/f", "n", "write msgs", "read msgs",
-            "LAN write ms", "LAN read ms", "WAN write ms", "WAN read ms",
+            "system",
+            "b/f",
+            "n",
+            "write msgs",
+            "read msgs",
+            "LAN write ms",
+            "LAN read ms",
+            "WAN write ms",
+            "WAN read ms",
         ],
     );
     for b in [1usize, 2, 3] {
@@ -465,7 +534,11 @@ pub fn f1_dissemination() -> Table {
     let mut t = Table::new(
         "F1: read retries vs. gossip period (n=7, b=1, writer at 5 writes/s)",
         &[
-            "gossip period ms", "reads", "mean rounds", "stale-fail rate", "mean read ms",
+            "gossip period ms",
+            "reads",
+            "mean rounds",
+            "stale-fail rate",
+            "mean read ms",
         ],
     );
     for period_ms in [25u64, 50, 100, 200, 400, 800] {
@@ -474,12 +547,18 @@ pub fn f1_dissemination() -> Table {
         server_cfg.gossip.fanout = 1;
         let writer: Vec<Step> = std::iter::once(connect())
             .chain((0..20).flat_map(|_| {
-                vec![write(1, Consistency::Mrc), Step::Wait(SimTime::from_millis(200))]
+                vec![
+                    write(1, Consistency::Mrc),
+                    Step::Wait(SimTime::from_millis(200)),
+                ]
             }))
             .collect();
         let reader: Vec<Step> = std::iter::once(connect())
             .chain((0..20).flat_map(|_| {
-                vec![read(1, Consistency::Mrc), Step::Wait(SimTime::from_millis(200))]
+                vec![
+                    read(1, Consistency::Mrc),
+                    Step::Wait(SimTime::from_millis(200)),
+                ]
             }))
             .collect();
         let mut cluster = ClusterBuilder::new(7, 1)
@@ -500,11 +579,16 @@ pub fn f1_dissemination() -> Table {
             reads.len().to_string(),
             f2(reads.iter().map(|r| r.rounds as f64).sum::<f64>() / reads.len() as f64),
             f2(stale as f64 / reads.len() as f64),
-            f2(reads.iter().map(|r| r.latency().as_millis_f64()).sum::<f64>()
+            f2(reads
+                .iter()
+                .map(|r| r.latency().as_millis_f64())
+                .sum::<f64>()
                 / reads.len() as f64),
         ]);
     }
-    t.note("rounds > 1 mean the b+1 quorum lacked a fresh-enough copy and the client widened/retried");
+    t.note(
+        "rounds > 1 mean the b+1 quorum lacked a fresh-enough copy and the client widened/retried",
+    );
     t
 }
 
@@ -514,7 +598,12 @@ pub fn f1_dissemination() -> Table {
 
 fn secure_store_success_rate(n: usize, b: usize, faulty: usize, behavior: Behavior) -> f64 {
     let script: Vec<Step> = std::iter::once(connect())
-        .chain((0..6u64).flat_map(|i| vec![write(i % 3 + 1, Consistency::Mrc), read(i % 3 + 1, Consistency::Mrc)]))
+        .chain((0..6u64).flat_map(|i| {
+            vec![
+                write(i % 3 + 1, Consistency::Mrc),
+                read(i % 3 + 1, Consistency::Mrc),
+            ]
+        }))
         .chain(std::iter::once(disconnect()))
         .collect();
     let mut builder = ClusterBuilder::new(n, b)
@@ -543,8 +632,12 @@ pub fn f2_availability() -> Table {
     let mut t = Table::new(
         "F2: availability under faults (n=7, design bound b=2)",
         &[
-            "faulty servers", "ss crash", "ss stale-byz", "ss corrupt-byz",
-            "masking(n=9) crash", "pbft(n=7) crash",
+            "faulty servers",
+            "ss crash",
+            "ss stale-byz",
+            "ss corrupt-byz",
+            "masking(n=9) crash",
+            "pbft(n=7) crash",
         ],
     );
     for f in 0..=4usize {
@@ -607,7 +700,14 @@ pub fn f2_availability() -> Table {
 pub fn f4_consistency_tradeoff() -> Table {
     let mut t = Table::new(
         "F4: latency by consistency level (b=1, WAN 40-80ms one-way)",
-        &["protocol / consistency", "n", "write ms", "read ms", "write msgs", "read msgs"],
+        &[
+            "protocol / consistency",
+            "n",
+            "write ms",
+            "read ms",
+            "write msgs",
+            "read msgs",
+        ],
     );
     let (wm, rm, wl, rl) = secure_store_op_costs(4, 1, SimConfig::wan(80));
     t.row(vec![
@@ -643,7 +743,10 @@ pub fn f4_consistency_tradeoff() -> Table {
             "4".into(),
             f2(w.iter().map(|x| x.latency().as_millis_f64()).sum::<f64>() / K as f64),
             f2(r.iter().map(|x| x.latency().as_millis_f64()).sum::<f64>() / K as f64),
-            f2((stats.sent_by_kind("write-req") + stats.sent_by_kind("write-ack")) as f64 / K as f64),
+            f2(
+                (stats.sent_by_kind("write-req") + stats.sent_by_kind("write-ack")) as f64
+                    / K as f64,
+            ),
             f2((stats.sent_by_kind("ts-query-req")
                 + stats.sent_by_kind("ts-query-resp")
                 + stats.sent_by_kind("read-req")
@@ -668,17 +771,28 @@ pub fn f4_consistency_tradeoff() -> Table {
             .build();
         cluster.run_to_quiescence();
         let results = cluster.client_results(0);
-        let w: Vec<&OpResult> = results.iter().filter(|r| r.kind == OpKind::MwWrite).collect();
-        let r: Vec<&OpResult> = results.iter().filter(|r| r.kind == OpKind::MwRead).collect();
+        let w: Vec<&OpResult> = results
+            .iter()
+            .filter(|r| r.kind == OpKind::MwWrite)
+            .collect();
+        let r: Vec<&OpResult> = results
+            .iter()
+            .filter(|r| r.kind == OpKind::MwRead)
+            .collect();
         let stats = cluster.sim.stats();
         t.row(vec![
             "secure-store multi-writer CC".into(),
             "4".into(),
             f2(w.iter().map(|x| x.latency().as_millis_f64()).sum::<f64>() / K as f64),
             f2(r.iter().map(|x| x.latency().as_millis_f64()).sum::<f64>() / K as f64),
-            f2((stats.sent_by_kind("write-req") + stats.sent_by_kind("write-ack")) as f64 / K as f64),
-            f2((stats.sent_by_kind("mw-read-req") + stats.sent_by_kind("mw-read-resp")) as f64
-                / K as f64),
+            f2(
+                (stats.sent_by_kind("write-req") + stats.sent_by_kind("write-ack")) as f64
+                    / K as f64,
+            ),
+            f2(
+                (stats.sent_by_kind("mw-read-req") + stats.sent_by_kind("mw-read-resp")) as f64
+                    / K as f64,
+            ),
         ]);
     }
     let (wm, rm, wl, rl) = masking_op_costs(5, 1, SimConfig::wan(83));
@@ -699,7 +813,9 @@ pub fn f4_consistency_tradeoff() -> Table {
         f2(wm),
         f2(rm),
     ]);
-    t.note("same WAN model for all systems; weaker consistency = fewer servers on the critical path");
+    t.note(
+        "same WAN model for all systems; weaker consistency = fewer servers on the critical path",
+    );
     t
 }
 
@@ -711,7 +827,13 @@ pub fn f4_consistency_tradeoff() -> Table {
 pub fn f5_staleness() -> Table {
     let mut t = Table::new(
         "F5: read staleness vs gossip aggressiveness (n=7, b=1, 25 writes at 10/s)",
-        &["fanout", "period ms", "mean version lag", "max lag", "fresh-read rate"],
+        &[
+            "fanout",
+            "period ms",
+            "mean version lag",
+            "max lag",
+            "fresh-read rate",
+        ],
     );
     for fanout in [1usize, 2, 3] {
         for period_ms in [100u64, 400] {
@@ -720,12 +842,18 @@ pub fn f5_staleness() -> Table {
             server_cfg.gossip.period = SimTime::from_millis(period_ms);
             let writer: Vec<Step> = std::iter::once(connect())
                 .chain((0..25).flat_map(|_| {
-                    vec![write(1, Consistency::Mrc), Step::Wait(SimTime::from_millis(100))]
+                    vec![
+                        write(1, Consistency::Mrc),
+                        Step::Wait(SimTime::from_millis(100)),
+                    ]
                 }))
                 .collect();
             let reader: Vec<Step> = std::iter::once(connect())
                 .chain((0..25).flat_map(|_| {
-                    vec![read(1, Consistency::Mrc), Step::Wait(SimTime::from_millis(100))]
+                    vec![
+                        read(1, Consistency::Mrc),
+                        Step::Wait(SimTime::from_millis(100)),
+                    ]
                 }))
                 .collect();
             let mut cluster = ClusterBuilder::new(7, 1)
@@ -790,8 +918,14 @@ pub fn f6_reconstruction() -> Table {
     let mut t = Table::new(
         "F6: context acquisition vs reconstruction (n=7, b=2)",
         &[
-            "group size", "warm msgs", "warm verifies", "warm ms",
-            "reconstruct msgs", "reconstruct verifies", "reconstruct ms", "latency ratio",
+            "group size",
+            "warm msgs",
+            "warm verifies",
+            "warm ms",
+            "reconstruct msgs",
+            "reconstruct verifies",
+            "reconstruct ms",
+            "latency ratio",
         ],
     );
     for m in [2usize, 4, 8, 16, 32, 64] {
@@ -849,7 +983,13 @@ pub fn f6_reconstruction() -> Table {
 pub fn f7_confidentiality() -> Table {
     let mut t = Table::new(
         "F7: confidentiality backends (1 KiB values, wall-clock on this host)",
-        &["backend", "k/n", "protect us/op", "recover us/op", "storage blowup"],
+        &[
+            "backend",
+            "k/n",
+            "protect us/op",
+            "recover us/op",
+            "storage blowup",
+        ],
     );
     let value = vec![0x5a; 1024];
     let iters = 50u32;
@@ -904,7 +1044,9 @@ pub fn f7_confidentiality() -> Table {
             ]);
         }
     }
-    t.note("shamir = information-theoretic at n× storage; ida = n/k× storage, computational secrecy");
+    t.note(
+        "shamir = information-theoretic at n× storage; ida = n/k× storage, computational secrecy",
+    );
     t
 }
 
@@ -921,7 +1063,12 @@ pub fn f8_read_ablation() -> Table {
     let mut t = Table::new(
         "F8 (ablation): two-phase read vs piggybacked read (b=1, n=4)",
         &[
-            "variant", "value B", "read msgs", "read bytes", "LAN read ms", "WAN read ms",
+            "variant",
+            "value B",
+            "read msgs",
+            "read bytes",
+            "LAN read ms",
+            "WAN read ms",
         ],
     );
     for (label, limit, value_len) in [

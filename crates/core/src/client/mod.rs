@@ -377,7 +377,9 @@ impl ClientCore {
             rng.gen_range(0..self.dir.n())
         };
         let out = match op {
-            ClientOp::Connect { group, recover } => self.begin_connect(id, group, recover, now, offset),
+            ClientOp::Connect { group, recover } => {
+                self.begin_connect(id, group, recover, now, offset)
+            }
             ClientOp::Disconnect { group } => self.begin_disconnect(id, group, now, offset),
             ClientOp::Write {
                 data,
@@ -450,7 +452,9 @@ impl ClientCore {
     /// The rotation of all servers starting at `offset`.
     pub(crate) fn rotation(&self, offset: usize) -> Vec<ServerId> {
         let n = self.dir.n();
-        (0..n).map(|i| ServerId(((offset + i) % n) as u16)).collect()
+        (0..n)
+            .map(|i| ServerId(((offset + i) % n) as u16))
+            .collect()
     }
 
     /// Target contact-set size for `round` with base quorum `base`.
@@ -572,8 +576,8 @@ impl ClientCore {
             }
         };
         match state_kind {
-            0 | 1 | 2 => self.session_timeout(op_id, now),
-            3 | 4 | 5 => self.ops_timeout(op_id, now),
+            0..=2 => self.session_timeout(op_id, now),
+            3..=5 => self.ops_timeout(op_id, now),
             _ => self.multi_timeout(op_id, now),
         }
     }

@@ -151,7 +151,10 @@ impl ClientCore {
         let Some(mut op) = self.take_op(op_id) else {
             return out;
         };
-        let OpState::MwWrite { acks, needed, ts, .. } = &mut op.state else {
+        let OpState::MwWrite {
+            acks, needed, ts, ..
+        } = &mut op.state
+        else {
             self.insert_op(op_id, op);
             return out;
         };
@@ -188,9 +191,7 @@ impl ClientCore {
             self.insert_op(op_id, op);
             return out;
         };
-        if *awaiting_retry
-            || !op.common.contacted.contains(&from)
-            || responded.contains_key(&from)
+        if *awaiting_retry || !op.common.contacted.contains(&from) || responded.contains_key(&from)
         {
             self.insert_op(op_id, op);
             return out;
@@ -276,20 +277,14 @@ impl ClientCore {
             }
         }
         if faulty_writer {
-            Self::complete(
-                op_id,
-                op,
-                Outcome::FaultyWriterDetected { data },
-                now,
-                out,
-            );
+            Self::complete(op_id, op, Outcome::FaultyWriterDetected { data }, now, out);
             return;
         }
         let accept = quorum::multi_writer_accept(self.dir().b());
         let verify_reads = self.cfg().verify_multi_writer_reads;
         let mut viable: Vec<(StoredItem, usize)> = Vec::new();
         for bucket in buckets {
-            if best_seen.map_or(true, |b| bucket.item.meta.ts.is_newer_than(&b)) {
+            if best_seen.is_none_or(|b| bucket.item.meta.ts.is_newer_than(&b)) {
                 *best_seen = Some(bucket.item.meta.ts);
             }
             if bucket.holders.len() < accept || !bucket.item.meta.ts.is_at_least(&ctx_ts) {
@@ -423,10 +418,20 @@ impl ClientCore {
                     },
                     &mut out,
                 );
-                Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                Self::arm_timer(
+                    op_id,
+                    &mut op.common,
+                    self.cfg().retry.phase_timeout,
+                    &mut out,
+                );
                 self.insert_op(op_id, op);
             }
-            OpState::MwRead { awaiting_retry, responded, data, .. } => {
+            OpState::MwRead {
+                awaiting_retry,
+                responded,
+                data,
+                ..
+            } => {
                 if *awaiting_retry {
                     *awaiting_retry = false;
                     responded.clear();
@@ -434,7 +439,12 @@ impl ClientCore {
                     for &s in &op.common.contacted {
                         out.sends.push((s, Msg::MwReadReq { op: op_id, data }));
                     }
-                    Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                    Self::arm_timer(
+                        op_id,
+                        &mut op.common,
+                        self.cfg().retry.phase_timeout,
+                        &mut out,
+                    );
                     self.insert_op(op_id, op);
                 } else {
                     self.evaluate_mw_read(op_id, op, now, &mut out);

@@ -150,7 +150,9 @@ impl ClientCore {
             return out;
         };
         match &mut op.state {
-            OpState::Write { acks, needed, ts, .. } if op.common.contacted.contains(&from) => {
+            OpState::Write {
+                acks, needed, ts, ..
+            } if op.common.contacted.contains(&from) => {
                 if accepted {
                     acks.insert(from);
                 }
@@ -195,16 +197,13 @@ impl ClientCore {
             self.insert_op(op_id, op);
             return out;
         };
-        if *awaiting_retry
-            || !op.common.contacted.contains(&from)
-            || !responded.insert(from)
-        {
+        if *awaiting_retry || !op.common.contacted.contains(&from) || !responded.insert(from) {
             self.insert_op(op_id, op);
             return out;
         }
         if let Some(m) = meta {
             if m.data == *data {
-                if best_seen.map_or(true, |b| m.ts.is_newer_than(&b)) {
+                if best_seen.is_none_or(|b| m.ts.is_newer_than(&b)) {
                     *best_seen = Some(m.ts);
                 }
                 // Only trust a piggybacked item that matches the metadata.
@@ -353,8 +352,12 @@ impl ClientCore {
         let base = quorum::data_quorum(self.dir().b());
         let target = self.target_count(base, round);
         let (data, consistency) = match &op.state {
-            OpState::ReadP1 { data, consistency, .. }
-            | OpState::ReadP2 { data, consistency, .. } => (*data, *consistency),
+            OpState::ReadP1 {
+                data, consistency, ..
+            }
+            | OpState::ReadP2 {
+                data, consistency, ..
+            } => (*data, *consistency),
             _ => unreachable!("escalate_read on non-read op"),
         };
         let already = op.common.contacted.len();
@@ -379,7 +382,11 @@ impl ClientCore {
                 out,
             );
             for &s in op.common.contacted.clone().iter() {
-                if !out.sends.iter().any(|(to, m)| *to == s && m.op() == Some(op_id)) {
+                if !out
+                    .sends
+                    .iter()
+                    .any(|(to, m)| *to == s && m.op() == Some(op_id))
+                {
                     out.sends.push((s, Msg::TsQueryReq { op: op_id, data }));
                 }
             }
@@ -458,7 +465,12 @@ impl ClientCore {
                             ts: meta.ts,
                         },
                     ));
-                    Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                    Self::arm_timer(
+                        op_id,
+                        &mut op.common,
+                        self.cfg().retry.phase_timeout,
+                        &mut out,
+                    );
                     self.insert_op(op_id, op);
                 } else {
                     self.escalate_read(op_id, op, best_seen, now, &mut out);
@@ -495,7 +507,12 @@ impl ClientCore {
                     },
                     &mut out,
                 );
-                Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                Self::arm_timer(
+                    op_id,
+                    &mut op.common,
+                    self.cfg().retry.phase_timeout,
+                    &mut out,
+                );
                 self.insert_op(op_id, op);
             }
             OpState::ReadP1 {
@@ -514,7 +531,12 @@ impl ClientCore {
                     for &s in &op.common.contacted {
                         out.sends.push((s, Msg::TsQueryReq { op: op_id, data }));
                     }
-                    Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                    Self::arm_timer(
+                        op_id,
+                        &mut op.common,
+                        self.cfg().retry.phase_timeout,
+                        &mut out,
+                    );
                     self.insert_op(op_id, op);
                 } else {
                     // Phase timeout with partial responses: decide with
@@ -544,7 +566,12 @@ impl ClientCore {
                             ts: meta.ts,
                         },
                     ));
-                    Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+                    Self::arm_timer(
+                        op_id,
+                        &mut op.common,
+                        self.cfg().retry.phase_timeout,
+                        &mut out,
+                    );
                     self.insert_op(op_id, op);
                 } else {
                     self.escalate_read(op_id, op, best_seen, now, &mut out);

@@ -168,7 +168,7 @@ impl ClientCore {
         let OpState::CtxRead { candidates, .. } = &mut op.state else {
             unreachable!("finish_ctx_read on non-CtxRead op");
         };
-        candidates.sort_by(|a, b| b.session.cmp(&a.session));
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.session));
         let mut adopted: Option<SignedContext> = None;
         let my_key = self.verifying_key();
         for sc in candidates.drain(..) {
@@ -274,10 +274,7 @@ impl ClientCore {
         // The crashed session's number is unknown; derive a strictly larger
         // one from simulated time so the next stored context supersedes all
         // previous ones.
-        let session = self
-            .session_of(group)
-            .max(now.as_micros())
-            .max(1);
+        let session = self.session_of(group).max(now.as_micros()).max(1);
         self.sessions.insert(group, session);
         Self::complete(op_id, op, Outcome::Connected { context_len }, now, out);
     }
@@ -372,7 +369,12 @@ impl ClientCore {
             }
             _ => unreachable!("session_timeout on non-session op"),
         }
-        Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, &mut out);
+        Self::arm_timer(
+            op_id,
+            &mut op.common,
+            self.cfg().retry.phase_timeout,
+            &mut out,
+        );
         self.insert_op(op_id, op);
         out
     }

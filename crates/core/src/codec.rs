@@ -1,0 +1,846 @@
+//! Canonical binary wire codec for [`Msg`] — the deployable counterpart
+//! of the in-process transports.
+//!
+//! The encoder reuses the injective [`Enc`] primitives that already back
+//! every signature in the store, so the bytes that travel on a socket are
+//! built from the same canonical building blocks as the bytes that get
+//! signed. The decoder is strict and bounds-checked: every length prefix is
+//! validated against the remaining input, composite fields are tagged,
+//! contexts must arrive in canonical (sorted, non-degenerate) form, and a
+//! message must consume its buffer exactly. Malformed or truncated input
+//! returns a [`CodecError`]; it never panics and never over-allocates.
+//!
+//! Layout of an encoded message:
+//!
+//! ```text
+//! [version: u8 = WIRE_VERSION] [tag: u8] [variant fields...]
+//! ```
+//!
+//! Framing (length prefixes on a byte stream) lives one layer up, in
+//! `sstore-net`; this module is transport-agnostic.
+
+use sstore_crypto::schnorr::Signature;
+use sstore_crypto::sha256::{Digest, DIGEST_LEN};
+
+use crate::context::Context;
+use crate::encoding::Enc;
+use crate::item::{ItemMeta, SignedContext, StoredItem};
+use crate::types::{ClientId, DataId, GroupId, OpId, Timestamp};
+use crate::wire::Msg;
+
+/// Version byte leading every encoded message. Bumped on any incompatible
+/// layout change so that mixed deployments fail loudly instead of
+/// misparsing.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Why a byte string failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the field being parsed did.
+    Truncated,
+    /// The leading version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// Unknown message (or composite-field) tag.
+    BadTag(u8),
+    /// The message parsed but left unconsumed bytes behind.
+    TrailingBytes(usize),
+    /// A length or count field exceeds what the remaining input could hold.
+    BadLength,
+    /// Structurally valid but non-canonical input (unsorted context,
+    /// degenerate timestamp, out-of-range tag for an option/bool).
+    NonCanonical(&'static str),
+    /// An embedded structure (e.g. a signature) failed its own parser.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            CodecError::BadLength => write!(f, "length field exceeds input"),
+            CodecError::NonCanonical(what) => write!(f, "non-canonical {what}"),
+            CodecError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// Message tags
+// ---------------------------------------------------------------------------
+
+const TAG_CTX_READ_REQ: u8 = 1;
+const TAG_CTX_READ_RESP: u8 = 2;
+const TAG_CTX_WRITE_REQ: u8 = 3;
+const TAG_CTX_WRITE_ACK: u8 = 4;
+const TAG_TS_SCAN_REQ: u8 = 5;
+const TAG_TS_SCAN_RESP: u8 = 6;
+const TAG_TS_QUERY_REQ: u8 = 7;
+const TAG_TS_QUERY_RESP: u8 = 8;
+const TAG_READ_REQ: u8 = 9;
+const TAG_READ_RESP: u8 = 10;
+const TAG_WRITE_REQ: u8 = 11;
+const TAG_WRITE_ACK: u8 = 12;
+const TAG_MW_READ_REQ: u8 = 13;
+const TAG_MW_READ_RESP: u8 = 14;
+const TAG_GOSSIP_PUSH: u8 = 15;
+const TAG_GOSSIP_SUMMARY: u8 = 16;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn enc_signature(e: Enc, sig: &Signature) -> Enc {
+    e.bytes(&sig.to_bytes())
+}
+
+fn enc_meta(mut e: Enc, m: &ItemMeta) -> Enc {
+    e = e
+        .u64(m.data.0)
+        .u32(m.group.0)
+        .timestamp(&m.ts)
+        .u16(m.writer.0)
+        .digest(&m.value_digest);
+    e = match &m.writer_ctx {
+        Some(ctx) => e.u8(1).context(ctx),
+        None => e.u8(0),
+    };
+    enc_signature(e, &m.signature)
+}
+
+fn enc_item(e: Enc, item: &StoredItem) -> Enc {
+    enc_meta(e, &item.meta).bytes(&item.value)
+}
+
+fn enc_signed_context(e: Enc, s: &SignedContext) -> Enc {
+    let e = e.u16(s.client.0).u64(s.session).context(&s.ctx);
+    enc_signature(e, &s.signature)
+}
+
+fn enc_opt_meta(e: Enc, m: &Option<ItemMeta>) -> Enc {
+    match m {
+        Some(m) => enc_meta(e.u8(1), m),
+        None => e.u8(0),
+    }
+}
+
+fn enc_opt_item(e: Enc, i: &Option<StoredItem>) -> Enc {
+    match i {
+        Some(i) => enc_item(e.u8(1), i),
+        None => e.u8(0),
+    }
+}
+
+/// Encodes `msg` into its canonical wire form (version byte included).
+pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let e = Enc::new().u8(WIRE_VERSION);
+    let e = match msg {
+        Msg::CtxReadReq { op, client, group } => {
+            e.u8(TAG_CTX_READ_REQ).u64(op.0).u16(client.0).u32(group.0)
+        }
+        Msg::CtxReadResp { op, stored } => {
+            let e = e.u8(TAG_CTX_READ_RESP).u64(op.0);
+            match stored {
+                Some(s) => enc_signed_context(e.u8(1), s),
+                None => e.u8(0),
+            }
+        }
+        Msg::CtxWriteReq { op, group, signed } => {
+            enc_signed_context(e.u8(TAG_CTX_WRITE_REQ).u64(op.0).u32(group.0), signed)
+        }
+        Msg::CtxWriteAck { op } => e.u8(TAG_CTX_WRITE_ACK).u64(op.0),
+        Msg::TsScanReq { op, group } => e.u8(TAG_TS_SCAN_REQ).u64(op.0).u32(group.0),
+        Msg::TsScanResp { op, entries } => {
+            let mut e = e.u8(TAG_TS_SCAN_RESP).u64(op.0).u64(entries.len() as u64);
+            for m in entries {
+                e = enc_meta(e, m);
+            }
+            e
+        }
+        Msg::TsQueryReq { op, data } => e.u8(TAG_TS_QUERY_REQ).u64(op.0).u64(data.0),
+        Msg::TsQueryResp {
+            op,
+            data,
+            meta,
+            inline,
+        } => {
+            let e = e.u8(TAG_TS_QUERY_RESP).u64(op.0).u64(data.0);
+            let e = enc_opt_meta(e, meta);
+            enc_opt_item(e, inline)
+        }
+        Msg::ReadReq { op, data, ts } => e.u8(TAG_READ_REQ).u64(op.0).u64(data.0).timestamp(ts),
+        Msg::ReadResp { op, item } => enc_opt_item(e.u8(TAG_READ_RESP).u64(op.0), item),
+        Msg::WriteReq { op, item } => enc_item(e.u8(TAG_WRITE_REQ).u64(op.0), item),
+        Msg::WriteAck { op, accepted } => e.u8(TAG_WRITE_ACK).u64(op.0).u8(u8::from(*accepted)),
+        Msg::MwReadReq { op, data } => e.u8(TAG_MW_READ_REQ).u64(op.0).u64(data.0),
+        Msg::MwReadResp { op, data, versions } => {
+            let mut e = e
+                .u8(TAG_MW_READ_RESP)
+                .u64(op.0)
+                .u64(data.0)
+                .u64(versions.len() as u64);
+            for i in versions {
+                e = enc_item(e, i);
+            }
+            e
+        }
+        Msg::GossipPush { items } => {
+            let mut e = e.u8(TAG_GOSSIP_PUSH).u64(items.len() as u64);
+            for i in items {
+                e = enc_item(e, i);
+            }
+            e
+        }
+        Msg::GossipSummary {
+            entries,
+            want_reply,
+        } => {
+            let mut e = e
+                .u8(TAG_GOSSIP_SUMMARY)
+                .u8(u8::from(*want_reply))
+                .u64(entries.len() as u64);
+            for (d, ts) in entries {
+                e = e.u64(d.0).timestamp(ts);
+            }
+            e
+        }
+    };
+    e.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Minimum encoded size of a timestamp (tag + u64 version).
+const MIN_TS: usize = 1 + 8;
+/// Minimum encoded size of a signature (u64 length prefix + 4-byte header).
+const MIN_SIG: usize = 8 + 4;
+/// Minimum encoded size of an item's metadata.
+const MIN_META: usize = 8 + 4 + MIN_TS + 2 + DIGEST_LEN + 1 + MIN_SIG;
+/// Minimum encoded size of a context entry.
+const MIN_CTX_ENTRY: usize = 8 + MIN_TS;
+
+/// Strict, bounds-checked cursor over an encoded message.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::NonCanonical("bool")),
+        }
+    }
+
+    /// Tag of an `Option`: 0 = `None`, 1 = `Some`.
+    fn opt(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::NonCanonical("option tag")),
+        }
+    }
+
+    /// A length-prefixed byte string (the [`Enc::bytes`] encoding). The
+    /// length is validated against the remaining input before any
+    /// allocation.
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u64()?;
+        if len > self.remaining() as u64 {
+            return Err(CodecError::BadLength);
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    /// An element count, validated so that `count` elements of at least
+    /// `min_elem` bytes each could still fit in the remaining input.
+    fn count(&mut self, min_elem: usize) -> Result<usize, CodecError> {
+        let count = self.u64()?;
+        if count > (self.remaining() / min_elem.max(1)) as u64 {
+            return Err(CodecError::BadLength);
+        }
+        Ok(count as usize)
+    }
+
+    fn digest(&mut self) -> Result<Digest, CodecError> {
+        let bytes: [u8; DIGEST_LEN] = self.take(DIGEST_LEN)?.try_into().expect("digest length");
+        Ok(Digest::from(bytes))
+    }
+
+    fn timestamp(&mut self) -> Result<Timestamp, CodecError> {
+        match self.u8()? {
+            1 => Ok(Timestamp::Version(self.u64()?)),
+            2 => Ok(Timestamp::Multi {
+                time: self.u64()?,
+                writer: ClientId(self.u16()?),
+                digest: self.digest()?,
+            }),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+
+    fn signature(&mut self) -> Result<Signature, CodecError> {
+        let bytes = self.bytes()?;
+        let sig = Signature::from_bytes(&bytes).map_err(|_| CodecError::Malformed("signature"))?;
+        // `from_bytes` tolerates some redundant encodings; insist on the
+        // canonical one so decoding stays injective.
+        if sig.to_bytes() != bytes {
+            return Err(CodecError::NonCanonical("signature"));
+        }
+        Ok(sig)
+    }
+
+    /// A context in canonical form: entries strictly sorted by `DataId`,
+    /// every timestamp strictly newer than [`Timestamp::GENESIS`].
+    fn context(&mut self) -> Result<Context, CodecError> {
+        let group = GroupId(self.u32()?);
+        let count = self.count(MIN_CTX_ENTRY)?;
+        let mut ctx = Context::new(group);
+        let mut prev: Option<DataId> = None;
+        for _ in 0..count {
+            let data = DataId(self.u64()?);
+            if prev.is_some_and(|p| p >= data) {
+                return Err(CodecError::NonCanonical("context order"));
+            }
+            prev = Some(data);
+            let ts = self.timestamp()?;
+            if !ctx.observe(data, ts) {
+                return Err(CodecError::NonCanonical("context entry"));
+            }
+        }
+        Ok(ctx)
+    }
+
+    fn item_meta(&mut self) -> Result<ItemMeta, CodecError> {
+        let data = DataId(self.u64()?);
+        let group = GroupId(self.u32()?);
+        let ts = self.timestamp()?;
+        let writer = ClientId(self.u16()?);
+        let value_digest = self.digest()?;
+        let writer_ctx = if self.opt()? {
+            Some(self.context()?)
+        } else {
+            None
+        };
+        let signature = self.signature()?;
+        Ok(ItemMeta {
+            data,
+            group,
+            ts,
+            writer,
+            value_digest,
+            writer_ctx,
+            signature,
+        })
+    }
+
+    fn stored_item(&mut self) -> Result<StoredItem, CodecError> {
+        Ok(StoredItem {
+            meta: self.item_meta()?,
+            value: self.bytes()?,
+        })
+    }
+
+    fn signed_context(&mut self) -> Result<SignedContext, CodecError> {
+        let client = ClientId(self.u16()?);
+        let session = self.u64()?;
+        let ctx = self.context()?;
+        let signature = self.signature()?;
+        Ok(SignedContext {
+            client,
+            session,
+            ctx,
+            signature,
+        })
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(CodecError::TrailingBytes(n)),
+        }
+    }
+}
+
+/// Decodes one canonical message. The whole input must be consumed.
+///
+/// # Errors
+///
+/// Any [`CodecError`] for truncated, malformed, unknown-version or
+/// non-canonical input. Never panics.
+pub fn decode_msg(bytes: &[u8]) -> Result<Msg, CodecError> {
+    let mut d = Dec::new(bytes);
+    let version = d.u8()?;
+    if version != WIRE_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let tag = d.u8()?;
+    let msg = match tag {
+        TAG_CTX_READ_REQ => Msg::CtxReadReq {
+            op: OpId(d.u64()?),
+            client: ClientId(d.u16()?),
+            group: GroupId(d.u32()?),
+        },
+        TAG_CTX_READ_RESP => Msg::CtxReadResp {
+            op: OpId(d.u64()?),
+            stored: if d.opt()? {
+                Some(d.signed_context()?)
+            } else {
+                None
+            },
+        },
+        TAG_CTX_WRITE_REQ => Msg::CtxWriteReq {
+            op: OpId(d.u64()?),
+            group: GroupId(d.u32()?),
+            signed: d.signed_context()?,
+        },
+        TAG_CTX_WRITE_ACK => Msg::CtxWriteAck { op: OpId(d.u64()?) },
+        TAG_TS_SCAN_REQ => Msg::TsScanReq {
+            op: OpId(d.u64()?),
+            group: GroupId(d.u32()?),
+        },
+        TAG_TS_SCAN_RESP => {
+            let op = OpId(d.u64()?);
+            let count = d.count(MIN_META)?;
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(d.item_meta()?);
+            }
+            Msg::TsScanResp { op, entries }
+        }
+        TAG_TS_QUERY_REQ => Msg::TsQueryReq {
+            op: OpId(d.u64()?),
+            data: DataId(d.u64()?),
+        },
+        TAG_TS_QUERY_RESP => Msg::TsQueryResp {
+            op: OpId(d.u64()?),
+            data: DataId(d.u64()?),
+            meta: if d.opt()? { Some(d.item_meta()?) } else { None },
+            inline: if d.opt()? {
+                Some(d.stored_item()?)
+            } else {
+                None
+            },
+        },
+        TAG_READ_REQ => Msg::ReadReq {
+            op: OpId(d.u64()?),
+            data: DataId(d.u64()?),
+            ts: d.timestamp()?,
+        },
+        TAG_READ_RESP => Msg::ReadResp {
+            op: OpId(d.u64()?),
+            item: if d.opt()? {
+                Some(d.stored_item()?)
+            } else {
+                None
+            },
+        },
+        TAG_WRITE_REQ => Msg::WriteReq {
+            op: OpId(d.u64()?),
+            item: d.stored_item()?,
+        },
+        TAG_WRITE_ACK => Msg::WriteAck {
+            op: OpId(d.u64()?),
+            accepted: d.bool()?,
+        },
+        TAG_MW_READ_REQ => Msg::MwReadReq {
+            op: OpId(d.u64()?),
+            data: DataId(d.u64()?),
+        },
+        TAG_MW_READ_RESP => {
+            let op = OpId(d.u64()?);
+            let data = DataId(d.u64()?);
+            let count = d.count(MIN_META)?;
+            let mut versions = Vec::with_capacity(count);
+            for _ in 0..count {
+                versions.push(d.stored_item()?);
+            }
+            Msg::MwReadResp { op, data, versions }
+        }
+        TAG_GOSSIP_PUSH => {
+            let count = d.count(MIN_META)?;
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(d.stored_item()?);
+            }
+            Msg::GossipPush { items }
+        }
+        TAG_GOSSIP_SUMMARY => {
+            let want_reply = d.bool()?;
+            let count = d.count(8 + MIN_TS)?;
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let data = DataId(d.u64()?);
+                entries.push((data, d.timestamp()?));
+            }
+            Msg::GossipSummary {
+                entries,
+                want_reply,
+            }
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    d.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::generate_client_keys;
+    use crate::metrics::CryptoCounters;
+    use sstore_crypto::sha256::digest;
+
+    fn sample_ctx() -> Context {
+        let mut ctx = Context::new(GroupId(3));
+        ctx.observe(DataId(1), Timestamp::Version(4));
+        ctx.observe(
+            DataId(2),
+            Timestamp::Multi {
+                time: 9,
+                writer: ClientId(1),
+                digest: digest(b"mw"),
+            },
+        );
+        ctx
+    }
+
+    fn sample_item(with_ctx: bool) -> StoredItem {
+        let (keys, _) = generate_client_keys(2, 7);
+        let mut c = CryptoCounters::new();
+        StoredItem::create(
+            DataId(5),
+            GroupId(3),
+            Timestamp::Version(2),
+            ClientId(1),
+            with_ctx.then(sample_ctx),
+            b"wire value".to_vec(),
+            &keys[&ClientId(1)],
+            &mut c,
+        )
+    }
+
+    fn sample_signed_ctx() -> SignedContext {
+        let (keys, _) = generate_client_keys(2, 7);
+        let mut c = CryptoCounters::new();
+        SignedContext::create(ClientId(0), 11, sample_ctx(), &keys[&ClientId(0)], &mut c)
+    }
+
+    fn all_variants() -> Vec<Msg> {
+        let item = sample_item(true);
+        let plain = sample_item(false);
+        vec![
+            Msg::CtxReadReq {
+                op: OpId(1),
+                client: ClientId(2),
+                group: GroupId(3),
+            },
+            Msg::CtxReadResp {
+                op: OpId(2),
+                stored: Some(sample_signed_ctx()),
+            },
+            Msg::CtxReadResp {
+                op: OpId(3),
+                stored: None,
+            },
+            Msg::CtxWriteReq {
+                op: OpId(4),
+                group: GroupId(3),
+                signed: sample_signed_ctx(),
+            },
+            Msg::CtxWriteAck { op: OpId(5) },
+            Msg::TsScanReq {
+                op: OpId(6),
+                group: GroupId(3),
+            },
+            Msg::TsScanResp {
+                op: OpId(7),
+                entries: vec![item.meta.clone(), plain.meta.clone()],
+            },
+            Msg::TsQueryReq {
+                op: OpId(8),
+                data: DataId(5),
+            },
+            Msg::TsQueryResp {
+                op: OpId(9),
+                data: DataId(5),
+                meta: Some(item.meta.clone()),
+                inline: Some(plain.clone()),
+            },
+            Msg::TsQueryResp {
+                op: OpId(10),
+                data: DataId(5),
+                meta: None,
+                inline: None,
+            },
+            Msg::ReadReq {
+                op: OpId(11),
+                data: DataId(5),
+                ts: Timestamp::Version(2),
+            },
+            Msg::ReadResp {
+                op: OpId(12),
+                item: Some(item.clone()),
+            },
+            Msg::ReadResp {
+                op: OpId(13),
+                item: None,
+            },
+            Msg::WriteReq {
+                op: OpId(14),
+                item: item.clone(),
+            },
+            Msg::WriteAck {
+                op: OpId(15),
+                accepted: true,
+            },
+            Msg::MwReadReq {
+                op: OpId(16),
+                data: DataId(5),
+            },
+            Msg::MwReadResp {
+                op: OpId(17),
+                data: DataId(5),
+                versions: vec![item.clone(), plain.clone()],
+            },
+            Msg::GossipPush {
+                items: vec![item, plain],
+            },
+            Msg::GossipSummary {
+                entries: vec![
+                    (DataId(1), Timestamp::Version(3)),
+                    (
+                        DataId(2),
+                        Timestamp::Multi {
+                            time: 4,
+                            writer: ClientId(0),
+                            digest: digest(b"x"),
+                        },
+                    ),
+                ],
+                want_reply: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for msg in all_variants() {
+            let bytes = encode_msg(&msg);
+            assert_eq!(bytes[0], WIRE_VERSION);
+            let back =
+                decode_msg(&bytes).unwrap_or_else(|e| panic!("decode failed for {msg:?}: {e}"));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected() {
+        for msg in all_variants() {
+            let bytes = encode_msg(&msg);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_msg(&bytes[..cut]).is_err(),
+                    "prefix of len {cut} decoded for {msg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_msg(&Msg::CtxWriteAck { op: OpId(1) });
+        bytes.push(0);
+        assert_eq!(decode_msg(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = encode_msg(&Msg::CtxWriteAck { op: OpId(1) });
+        bytes[0] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode_msg(&bytes),
+            Err(CodecError::BadVersion(WIRE_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let bytes = vec![WIRE_VERSION, 0xEE];
+        assert_eq!(decode_msg(&bytes), Err(CodecError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn absurd_count_rejected_without_allocation() {
+        // GossipSummary claiming u64::MAX entries in a tiny buffer.
+        let bytes = Enc::new()
+            .u8(WIRE_VERSION)
+            .u8(TAG_GOSSIP_SUMMARY)
+            .u8(0)
+            .u64(u64::MAX)
+            .finish();
+        assert_eq!(decode_msg(&bytes), Err(CodecError::BadLength));
+    }
+
+    #[test]
+    fn oversized_value_length_rejected() {
+        // ReadResp with an item whose value claims more bytes than remain.
+        let item = sample_item(false);
+        let msg = Msg::ReadResp {
+            op: OpId(1),
+            item: Some(item),
+        };
+        let mut bytes = encode_msg(&msg);
+        // The value length prefix is the 8 bytes right before the value
+        // itself (last 10 bytes are the value "wire value").
+        let len_at = bytes.len() - b"wire value".len() - 8;
+        bytes[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert_eq!(decode_msg(&bytes), Err(CodecError::BadLength));
+    }
+
+    #[test]
+    fn unsorted_context_rejected() {
+        // Hand-build a CtxWriteAck-framed... rather: a context with
+        // descending entries inside a CtxReadResp.
+        let signed = sample_signed_ctx();
+        let good = encode_msg(&Msg::CtxReadResp {
+            op: OpId(1),
+            stored: Some(signed.clone()),
+        });
+        assert!(decode_msg(&good).is_ok());
+        // Re-encode with swapped entry order by crafting the bytes: encode a
+        // two-entry context manually.
+        let e = Enc::new()
+            .u8(WIRE_VERSION)
+            .u8(TAG_CTX_READ_RESP)
+            .u64(1)
+            .u8(1) // Some
+            .u16(signed.client.0)
+            .u64(signed.session)
+            .u32(signed.ctx.group().0)
+            .u64(2)
+            // entries out of order: DataId(2) before DataId(1)
+            .u64(2)
+            .u8(1)
+            .u64(4)
+            .u64(1)
+            .u8(1)
+            .u64(4)
+            .bytes(&signed.signature.to_bytes());
+        assert_eq!(
+            decode_msg(&e.finish()),
+            Err(CodecError::NonCanonical("context order"))
+        );
+    }
+
+    #[test]
+    fn genesis_context_entry_rejected() {
+        let signed = sample_signed_ctx();
+        let e = Enc::new()
+            .u8(WIRE_VERSION)
+            .u8(TAG_CTX_READ_RESP)
+            .u64(1)
+            .u8(1)
+            .u16(signed.client.0)
+            .u64(signed.session)
+            .u32(signed.ctx.group().0)
+            .u64(1)
+            .u64(1)
+            .u8(1)
+            .u64(0) // Timestamp::Version(0) can never appear in a context
+            .bytes(&signed.signature.to_bytes());
+        assert_eq!(
+            decode_msg(&e.finish()),
+            Err(CodecError::NonCanonical("context entry"))
+        );
+    }
+
+    #[test]
+    fn bad_option_and_bool_tags_rejected() {
+        let bytes = Enc::new()
+            .u8(WIRE_VERSION)
+            .u8(TAG_CTX_READ_RESP)
+            .u64(1)
+            .u8(7) // option tag must be 0 or 1
+            .finish();
+        assert_eq!(
+            decode_msg(&bytes),
+            Err(CodecError::NonCanonical("option tag"))
+        );
+        let bytes = Enc::new()
+            .u8(WIRE_VERSION)
+            .u8(TAG_WRITE_ACK)
+            .u64(1)
+            .u8(9) // bool must be 0 or 1
+            .finish();
+        assert_eq!(decode_msg(&bytes), Err(CodecError::NonCanonical("bool")));
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic() {
+        // Flip every byte of every variant one at a time; decoding must
+        // return (any) Result, never panic.
+        for msg in all_variants() {
+            let bytes = encode_msg(&msg);
+            for i in 0..bytes.len() {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 0xA5;
+                let _ = decode_msg(&corrupt);
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_size_matches_encoding() {
+        for msg in all_variants() {
+            assert_eq!(msg.encoded_size(), encode_msg(&msg).len());
+        }
+    }
+}

@@ -195,9 +195,7 @@ impl FragmentStore {
                         }
                         Ok(ida::Fragment {
                             index: f.index,
-                            data_len: u64::from_be_bytes(
-                                f.bytes[..8].try_into().expect("8 bytes"),
-                            ),
+                            data_len: u64::from_be_bytes(f.bytes[..8].try_into().expect("8 bytes")),
                             data: f.bytes[8..].to_vec(),
                         })
                     })
@@ -283,10 +281,7 @@ mod tests {
         let store = FragmentStore::shamir(2, 4);
         let frags = store.split(b"fragment me", &mut rng()).unwrap();
         assert_eq!(frags.len(), 4);
-        assert_eq!(
-            store.reconstruct(&frags[1..3]).unwrap(),
-            b"fragment me"
-        );
+        assert_eq!(store.reconstruct(&frags[1..3]).unwrap(), b"fragment me");
     }
 
     #[test]

@@ -194,7 +194,10 @@ mod tests {
         assert!(!b.dominates(&a));
         b.observe(DataId(3), v(1));
         assert!(!a.dominates(&b), "b has an entry a lacks");
-        assert!(a.dominates(&Context::new(GroupId(1))), "everything dominates empty");
+        assert!(
+            a.dominates(&Context::new(GroupId(1))),
+            "everything dominates empty"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl Directory {
 pub fn generate_client_keys(
     count: u16,
     seed: u64,
-) -> (HashMap<ClientId, SigningKey>, HashMap<ClientId, VerifyingKey>) {
+) -> (
+    HashMap<ClientId, SigningKey>,
+    HashMap<ClientId, VerifyingKey>,
+) {
     let params = SchnorrParams::toy();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut signing = HashMap::new();

@@ -144,9 +144,8 @@ impl AdversaryState {
             },
             Msg::CtxReadResp { op, stored } => Msg::CtxReadResp {
                 op,
-                stored: stored.and_then(|s| {
-                    self.first_ctxs.get(&(s.client, s.ctx.group())).cloned()
-                }),
+                stored: stored
+                    .and_then(|s| self.first_ctxs.get(&(s.client, s.ctx.group())).cloned()),
             },
             Msg::TsScanResp { op, entries } => Msg::TsScanResp {
                 op,

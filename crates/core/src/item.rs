@@ -54,14 +54,21 @@ impl ItemMeta {
     /// # Errors
     ///
     /// [`CryptoError::BadSignature`] when the signature does not match.
-    pub fn verify(&self, key: &VerifyingKey, counters: &mut CryptoCounters) -> Result<(), CryptoError> {
+    pub fn verify(
+        &self,
+        key: &VerifyingKey,
+        counters: &mut CryptoCounters,
+    ) -> Result<(), CryptoError> {
         counters.count_verify();
         key.verify(&self.payload(), &self.signature)
     }
 
     /// Estimated wire size in bytes.
     pub fn size_bytes(&self) -> usize {
-        8 + 4 + 43 + 2 + 32
+        8 + 4
+            + 43
+            + 2
+            + 32
             + self.writer_ctx.as_ref().map_or(1, |c| 1 + c.size_bytes())
             + self.signature.encoded_len()
     }
@@ -113,7 +120,11 @@ impl StoredItem {
     /// [`CryptoError::BadSignature`] for a bad signature, or
     /// [`CryptoError::BadMac`] when the value does not hash to the signed
     /// digest (a corrupted value).
-    pub fn verify(&self, key: &VerifyingKey, counters: &mut CryptoCounters) -> Result<(), CryptoError> {
+    pub fn verify(
+        &self,
+        key: &VerifyingKey,
+        counters: &mut CryptoCounters,
+    ) -> Result<(), CryptoError> {
         self.meta.verify(key, counters)?;
         counters.count_digest();
         if digest(&self.value) != self.meta.value_digest {
@@ -166,7 +177,11 @@ impl SignedContext {
     /// # Errors
     ///
     /// [`CryptoError::BadSignature`] when the signature does not match.
-    pub fn verify(&self, key: &VerifyingKey, counters: &mut CryptoCounters) -> Result<(), CryptoError> {
+    pub fn verify(
+        &self,
+        key: &VerifyingKey,
+        counters: &mut CryptoCounters,
+    ) -> Result<(), CryptoError> {
         counters.count_verify();
         key.verify(
             &context_payload(self.client, &self.ctx, self.session),

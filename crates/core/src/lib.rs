@@ -23,6 +23,8 @@
 //! - [`types`], [`context`], [`item`], [`encoding`]: protocol data model —
 //!   timestamps (plain versions and `(time, uid, d(v))` tuples), contexts,
 //!   signed items, canonical signing bytes.
+//! - [`codec`]: canonical binary wire codec (encode + strict decoder) used
+//!   by the TCP deployment path (`sstore-net`).
 //! - [`quorum`]: the quorum arithmetic above.
 //! - [`server`]: the passive repository state machine — storage, gossip
 //!   dissemination, multi-writer write logs with causal holdback and GC.
@@ -70,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod codec;
 pub mod confidential;
 pub mod config;
 pub mod context;

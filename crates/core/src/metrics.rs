@@ -1,10 +1,23 @@
-//! Cryptographic-operation accounting (paper §6's "computational overhead").
+//! Cryptographic-operation accounting (paper §6's "computational overhead")
+//! and wire-byte accounting for the deployment path.
 //!
 //! The paper counts signatures, signature verifications and digests per
 //! operation; every client and server in the reproduction tallies them here
 //! so the benchmark harness can compare measured counts against the
 //! formulas (e.g. "context write: one signature and `⌈(n+b+1)/2⌉`
 //! verifications").
+//!
+//! [`WireStats`] extends the §6 message-cost accounting from *formula
+//! estimates* ([`sstore_simnet::Message::size_bytes`]) to *measured bytes*:
+//! the TCP transport records the exact encoded frame length of every
+//! message next to the formula figure, per message kind, so cost tables can
+//! print both columns and the divergence between them.
+
+use std::collections::BTreeMap;
+
+use sstore_simnet::Message;
+
+use crate::wire::Msg;
 
 /// Counts of cryptographic operations performed by one node.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,6 +89,134 @@ impl std::fmt::Display for CryptoCounters {
     }
 }
 
+/// Byte accounting for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireKindStats {
+    /// Messages recorded.
+    pub count: u64,
+    /// Sum of the §6 formula estimates (`size_bytes`).
+    pub formula_bytes: u64,
+    /// Sum of actual encoded frame lengths.
+    pub encoded_bytes: u64,
+    /// Smallest encoded frame seen.
+    pub min_frame: u64,
+    /// Largest encoded frame seen.
+    pub max_frame: u64,
+}
+
+impl WireKindStats {
+    fn record(&mut self, formula: u64, encoded: u64) {
+        if self.count == 0 {
+            self.min_frame = encoded;
+            self.max_frame = encoded;
+        } else {
+            self.min_frame = self.min_frame.min(encoded);
+            self.max_frame = self.max_frame.max(encoded);
+        }
+        self.count += 1;
+        self.formula_bytes += formula;
+        self.encoded_bytes += encoded;
+    }
+
+    /// Mean encoded frame length (0 when nothing was recorded).
+    pub fn mean_frame(&self) -> u64 {
+        self.encoded_bytes.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Per-[`Msg::kind`] measured-vs-formula byte accounting.
+///
+/// Fed by the socket transport (`sstore-net`) with the exact number of
+/// bytes each frame put on the wire. Keyed by the same `kind()` labels the
+/// simulator's [`sstore_simnet::NetStats`] uses, so the two tables line up.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStats {
+    per_kind: BTreeMap<&'static str, WireKindStats>,
+}
+
+impl WireStats {
+    /// Creates empty accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message and the encoded frame length it produced.
+    pub fn record(&mut self, msg: &Msg, encoded_len: usize) {
+        self.per_kind
+            .entry(msg.kind())
+            .or_default()
+            .record(msg.size_bytes() as u64, encoded_len as u64);
+    }
+
+    /// Records a message by encoding it (for callers that do not already
+    /// hold the encoded bytes).
+    pub fn record_encoding(&mut self, msg: &Msg) {
+        self.record(msg, msg.encoded_size());
+    }
+
+    /// Stats for one message kind, if any were recorded.
+    pub fn kind(&self, kind: &str) -> Option<&WireKindStats> {
+        self.per_kind.get(kind)
+    }
+
+    /// Iterates `(kind, stats)` in kind order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, &WireKindStats)> + '_ {
+        self.per_kind.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Total messages recorded.
+    pub fn total_count(&self) -> u64 {
+        self.per_kind.values().map(|s| s.count).sum()
+    }
+
+    /// Total encoded bytes recorded.
+    pub fn total_encoded_bytes(&self) -> u64 {
+        self.per_kind.values().map(|s| s.encoded_bytes).sum()
+    }
+
+    /// Folds another accounting into this one.
+    pub fn merge(&mut self, other: &WireStats) {
+        for (kind, s) in other.kinds() {
+            let slot = self.per_kind.entry(kind).or_default();
+            if slot.count == 0 {
+                *slot = *s;
+            } else if s.count > 0 {
+                slot.count += s.count;
+                slot.formula_bytes += s.formula_bytes;
+                slot.encoded_bytes += s.encoded_bytes;
+                slot.min_frame = slot.min_frame.min(s.min_frame);
+                slot.max_frame = slot.max_frame.max(s.max_frame);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WireStats {
+    /// A fixed-width table: kind, count, formula vs measured bytes,
+    /// min/mean/max frame.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>8} {:>12} {:>12} {:>8} {:>8} {:>8}",
+            "kind", "count", "formula-B", "measured-B", "min", "mean", "max"
+        )?;
+        for (kind, s) in self.kinds() {
+            writeln!(
+                f,
+                "{:<16} {:>8} {:>12} {:>12} {:>8} {:>8} {:>8}",
+                kind,
+                s.count,
+                s.formula_bytes,
+                s.encoded_bytes,
+                s.min_frame,
+                s.mean_frame(),
+                s.max_frame
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +252,60 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", CryptoCounters::new()).is_empty());
+    }
+
+    use crate::types::{ClientId, GroupId, OpId};
+
+    fn ack() -> Msg {
+        Msg::CtxWriteAck { op: OpId(1) }
+    }
+
+    fn req() -> Msg {
+        Msg::CtxReadReq {
+            op: OpId(2),
+            client: ClientId(1),
+            group: GroupId(1),
+        }
+    }
+
+    #[test]
+    fn wire_stats_records_both_columns() {
+        let mut w = WireStats::new();
+        w.record_encoding(&ack());
+        w.record_encoding(&ack());
+        w.record_encoding(&req());
+        let acks = w.kind("ctx-write-ack").unwrap();
+        assert_eq!(acks.count, 2);
+        assert_eq!(acks.encoded_bytes, 2 * ack().encoded_size() as u64);
+        assert_eq!(acks.formula_bytes, 2 * ack().size_bytes() as u64);
+        assert_eq!(acks.min_frame, acks.max_frame);
+        assert_eq!(acks.mean_frame(), ack().encoded_size() as u64);
+        assert_eq!(w.total_count(), 3);
+        assert!(w.total_encoded_bytes() > 0);
+    }
+
+    #[test]
+    fn wire_stats_merge_accumulates() {
+        let mut a = WireStats::new();
+        a.record(&ack(), 10);
+        let mut b = WireStats::new();
+        b.record(&ack(), 30);
+        b.record(&req(), 20);
+        a.merge(&b);
+        let acks = a.kind("ctx-write-ack").unwrap();
+        assert_eq!(acks.count, 2);
+        assert_eq!(acks.encoded_bytes, 40);
+        assert_eq!(acks.min_frame, 10);
+        assert_eq!(acks.max_frame, 30);
+        assert_eq!(a.total_count(), 3);
+    }
+
+    #[test]
+    fn wire_stats_display_lists_kinds() {
+        let mut w = WireStats::new();
+        w.record_encoding(&req());
+        let table = format!("{w}");
+        assert!(table.contains("ctx-read-req"));
+        assert!(table.contains("measured-B"));
     }
 }

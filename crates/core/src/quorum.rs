@@ -91,7 +91,7 @@ mod tests {
             for b in 1..=(n - 1) / 3 {
                 let q = context_quorum(n, b);
                 // |Q1 ∩ Q2| >= 2q - n >= b+1
-                assert!(2 * q - n >= b + 1, "n={n} b={b} q={q}");
+                assert!(2 * q - n > b, "n={n} b={b} q={q}");
             }
         }
     }
@@ -101,7 +101,7 @@ mod tests {
         for n in 5usize..40 {
             for b in 1..=(n.saturating_sub(1)) / 4 {
                 let q = masking_quorum(n, b);
-                assert!(2 * q - n >= 2 * b + 1, "n={n} b={b} q={q}");
+                assert!(2 * q - n > 2 * b, "n={n} b={b} q={q}");
             }
         }
     }

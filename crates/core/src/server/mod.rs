@@ -162,7 +162,15 @@ impl ServerNode {
                 let inline = item
                     .filter(|i| i.value.len() <= self.cfg.read_inline_limit)
                     .cloned();
-                vec![(from, Msg::TsQueryResp { op, data, meta, inline })]
+                vec![(
+                    from,
+                    Msg::TsQueryResp {
+                        op,
+                        data,
+                        meta,
+                        inline,
+                    },
+                )]
             }
             Msg::ReadReq { op, data, ts } => {
                 let item = self
@@ -237,11 +245,8 @@ impl ServerNode {
         peers.truncate(self.cfg.gossip.fanout);
         let mut out = Vec::new();
         if self.cfg.gossip.anti_entropy {
-            let entries: Vec<(DataId, Timestamp)> = self
-                .items
-                .iter()
-                .map(|(&d, i)| (d, i.meta.ts))
-                .collect();
+            let entries: Vec<(DataId, Timestamp)> =
+                self.items.iter().map(|(&d, i)| (d, i.meta.ts)).collect();
             for peer in peers {
                 out.push((
                     Addr::Server(peer),
@@ -260,7 +265,12 @@ impl ServerNode {
                 .collect();
             if !items.is_empty() {
                 for peer in peers {
-                    out.push((Addr::Server(peer), Msg::GossipPush { items: items.clone() }));
+                    out.push((
+                        Addr::Server(peer),
+                        Msg::GossipPush {
+                            items: items.clone(),
+                        },
+                    ));
                 }
                 self.dirty.clear();
             }
@@ -316,7 +326,13 @@ impl ServerNode {
     ) -> Vec<(Addr, Msg)> {
         if !self.verify_item(&item) {
             return match reply {
-                Some((to, op)) => vec![(to, Msg::WriteAck { op, accepted: false })],
+                Some((to, op)) => vec![(
+                    to,
+                    Msg::WriteAck {
+                        op,
+                        accepted: false,
+                    },
+                )],
                 None => Vec::new(),
             };
         }
@@ -449,11 +465,8 @@ impl ServerNode {
             out.push((from, Msg::GossipPush { items: missing }));
         }
         if want_reply {
-            let entries: Vec<(DataId, Timestamp)> = self
-                .items
-                .iter()
-                .map(|(&d, i)| (d, i.meta.ts))
-                .collect();
+            let entries: Vec<(DataId, Timestamp)> =
+                self.items.iter().map(|(&d, i)| (d, i.meta.ts)).collect();
             out.push((
                 from,
                 Msg::GossipSummary {
@@ -480,16 +493,13 @@ impl ServerNode {
         let my_ts = self.items.get(&data).map(|i| i.meta.ts);
         for ts in candidates {
             let mut holders = 0usize;
-            if my_ts.map_or(false, |mine| mine.is_at_least(&ts)) {
+            if my_ts.is_some_and(|mine| mine.is_at_least(&ts)) {
                 holders += 1;
             }
             holders += self
                 .peer_knowledge
                 .values()
-                .filter(|k| {
-                    k.get(&data)
-                        .map_or(false, |theirs| theirs.is_at_least(&ts))
-                })
+                .filter(|k| k.get(&data).is_some_and(|theirs| theirs.is_at_least(&ts)))
                 .count();
             if holders >= threshold {
                 log.retain_from(ts);
@@ -557,10 +567,7 @@ mod tests {
             },
             now(),
         );
-        assert!(matches!(
-            out[0].1,
-            Msg::WriteAck { accepted: true, .. }
-        ));
+        assert!(matches!(out[0].1, Msg::WriteAck { accepted: true, .. }));
         let out = f.server.handle(
             client_addr(0),
             Msg::ReadReq {
@@ -571,7 +578,9 @@ mod tests {
             now(),
         );
         match &out[0].1 {
-            Msg::ReadResp { item: Some(got), .. } => assert_eq!(got.value, b"hello"),
+            Msg::ReadResp {
+                item: Some(got), ..
+            } => assert_eq!(got.value, b"hello"),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -581,11 +590,20 @@ mod tests {
         let mut f = fixture(4, 1);
         let new = item_v(&mut f, 0, 1, 5, b"v5");
         let old = item_v(&mut f, 0, 1, 3, b"v3");
-        f.server
-            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item: new }, now());
+        f.server.handle(
+            client_addr(0),
+            Msg::WriteReq {
+                op: OpId(1),
+                item: new,
+            },
+            now(),
+        );
         let out = f.server.handle(
             client_addr(0),
-            Msg::WriteReq { op: OpId(2), item: old },
+            Msg::WriteReq {
+                op: OpId(2),
+                item: old,
+            },
             now(),
         );
         // The server holds something at least as new: positive ack (the
@@ -603,12 +621,16 @@ mod tests {
         let mut f = fixture(4, 1);
         let mut item = item_v(&mut f, 0, 1, 1, b"real");
         item.value = b"fake".to_vec(); // signature no longer matches
-        let out = f.server.handle(
-            client_addr(0),
-            Msg::WriteReq { op: OpId(1), item },
-            now(),
-        );
-        assert!(matches!(out[0].1, Msg::WriteAck { accepted: false, .. }));
+        let out = f
+            .server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, now());
+        assert!(matches!(
+            out[0].1,
+            Msg::WriteAck {
+                accepted: false,
+                ..
+            }
+        ));
         assert!(f.server.item(DataId(1)).is_none());
     }
 
@@ -630,7 +652,13 @@ mod tests {
         let out = f
             .server
             .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, now());
-        assert!(matches!(out[0].1, Msg::WriteAck { accepted: false, .. }));
+        assert!(matches!(
+            out[0].1,
+            Msg::WriteAck {
+                accepted: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -685,13 +713,8 @@ mod tests {
         let mut f = fixture(4, 1);
         let mut ctx = Context::new(GroupId(1));
         ctx.observe(DataId(1), Timestamp::Version(2));
-        let signed = SignedContext::create(
-            ClientId(0),
-            1,
-            ctx,
-            &f.keys[&ClientId(0)],
-            &mut f.counters,
-        );
+        let signed =
+            SignedContext::create(ClientId(0), 1, ctx, &f.keys[&ClientId(0)], &mut f.counters);
         let out = f.server.handle(
             client_addr(0),
             Msg::CtxWriteReq {
@@ -712,7 +735,9 @@ mod tests {
             now(),
         );
         match &out[0].1 {
-            Msg::CtxReadResp { stored: Some(s), .. } => assert_eq!(s, &signed),
+            Msg::CtxReadResp {
+                stored: Some(s), ..
+            } => assert_eq!(s, &signed),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -763,7 +788,9 @@ mod tests {
             now(),
         );
         match &out[0].1 {
-            Msg::CtxReadResp { stored: Some(s), .. } => assert_eq!(s.session, 5),
+            Msg::CtxReadResp {
+                stored: Some(s), ..
+            } => assert_eq!(s.session, 5),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -33,9 +33,7 @@ use std::sync::Arc;
 use rand::Rng;
 
 use sstore_crypto::schnorr::SigningKey;
-use sstore_simnet::{
-    Actor, Context as SimContext, NodeId, SimConfig, SimTime, Simulation,
-};
+use sstore_simnet::{Actor, Context as SimContext, NodeId, SimConfig, SimTime, Simulation};
 
 use crate::client::{ClientCore, ClientOp, OpResult, Output};
 use crate::config::{ClientConfig, ServerConfig};
@@ -343,9 +341,7 @@ impl ClusterBuilder {
         let (signing, verifying) = generate_client_keys(client_count, self.seed ^ 0xc11e);
         let dir = Directory::new(self.n, self.b, verifying);
         let book = AddrBook::new(self.n);
-        let sim_config = self
-            .sim_config
-            .unwrap_or_else(|| SimConfig::lan(self.seed));
+        let sim_config = self.sim_config.unwrap_or_else(|| SimConfig::lan(self.seed));
         let mut sim = Simulation::new(sim_config);
         for i in 0..self.n {
             let mut cfg = self.server_config.clone();
@@ -406,7 +402,10 @@ impl Cluster {
     pub fn run_to_quiescence(&mut self) {
         let deadline = self.sim.now() + SimTime::from_secs(3600);
         while !self.clients_idle() {
-            assert!(self.sim.now() < deadline, "clients stuck after 1h simulated");
+            assert!(
+                self.sim.now() < deadline,
+                "clients stuck after 1h simulated"
+            );
             let chunk = self.sim.now() + SimTime::from_millis(100);
             self.sim.run_until(chunk);
         }

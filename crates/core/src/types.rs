@@ -206,10 +206,7 @@ mod tests {
     #[test]
     fn multi_ordering_time_then_writer() {
         assert_eq!(multi(1, 5, b"a").compare(&multi(2, 1, b"a")), TsOrder::Less);
-        assert_eq!(
-            multi(2, 1, b"a").compare(&multi(2, 2, b"a")),
-            TsOrder::Less
-        );
+        assert_eq!(multi(2, 1, b"a").compare(&multi(2, 2, b"a")), TsOrder::Less);
         assert_eq!(
             multi(2, 2, b"a").compare(&multi(2, 1, b"b")),
             TsOrder::Greater
@@ -218,7 +215,10 @@ mod tests {
 
     #[test]
     fn equal_time_writer_same_digest_is_equal() {
-        assert_eq!(multi(3, 1, b"v").compare(&multi(3, 1, b"v")), TsOrder::Equal);
+        assert_eq!(
+            multi(3, 1, b"v").compare(&multi(3, 1, b"v")),
+            TsOrder::Equal
+        );
     }
 
     #[test]
@@ -231,7 +231,10 @@ mod tests {
 
     #[test]
     fn genesis_precedes_multi() {
-        assert_eq!(Timestamp::GENESIS.compare(&multi(1, 1, b"v")), TsOrder::Less);
+        assert_eq!(
+            Timestamp::GENESIS.compare(&multi(1, 1, b"v")),
+            TsOrder::Less
+        );
         assert_eq!(
             multi(1, 1, b"v").compare(&Timestamp::GENESIS),
             TsOrder::Greater

@@ -11,7 +11,7 @@ use crate::item::{ItemMeta, SignedContext, StoredItem};
 use crate::types::{ClientId, DataId, GroupId, OpId, Timestamp};
 
 /// All secure-store protocol messages.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
     // ------------------------------------------------------------------
     // Context management (paper §5.1, Fig. 1)
@@ -180,6 +180,16 @@ impl Msg {
             Msg::GossipPush { .. } | Msg::GossipSummary { .. } => None,
         }
     }
+
+    /// The *measured* wire size: the length of this message's canonical
+    /// binary encoding ([`crate::codec::encode_msg`]), version byte
+    /// included. [`Message::size_bytes`] keeps reporting the paper's §6
+    /// formula estimate so simulator cost tables stay comparable across
+    /// revisions; deployment-path accounting records both (see
+    /// [`crate::metrics::WireStats`]).
+    pub fn encoded_size(&self) -> usize {
+        crate::codec::encode_msg(self).len()
+    }
 }
 
 impl Message for Msg {
@@ -232,9 +242,7 @@ impl Message for Msg {
             Msg::MwReadResp { versions, .. } => {
                 HDR + 8 + versions.iter().map(|i| i.size_bytes()).sum::<usize>()
             }
-            Msg::GossipPush { items } => {
-                HDR + items.iter().map(|i| i.size_bytes()).sum::<usize>()
-            }
+            Msg::GossipPush { items } => HDR + items.iter().map(|i| i.size_bytes()).sum::<usize>(),
             Msg::GossipSummary { entries, .. } => HDR + 1 + entries.len() * (8 + 43),
         }
     }
@@ -281,7 +289,9 @@ mod tests {
             want_reply: false,
         };
         let big = Msg::GossipSummary {
-            entries: (0..10).map(|i| (DataId(i), Timestamp::Version(i))).collect(),
+            entries: (0..10)
+                .map(|i| (DataId(i), Timestamp::Version(i)))
+                .collect(),
             want_reply: false,
         };
         assert!(big.size_bytes() > small.size_bytes());

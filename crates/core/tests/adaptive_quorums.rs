@@ -106,7 +106,10 @@ fn estimate_rises_under_faults_and_reads_stay_correct() {
     }
     // The estimate must have risen after the corrupt responses.
     let reads: Vec<_> = results.iter().filter(|r| r.kind == OpKind::Read).collect();
-    assert!(reads.iter().any(|r| r.rounds > 1), "faults forced escalation");
+    assert!(
+        reads.iter().any(|r| r.rounds > 1),
+        "faults forced escalation"
+    );
 }
 
 #[test]

@@ -1,0 +1,223 @@
+//! Property-based coverage for the canonical wire codec: arbitrary
+//! messages round-trip exactly, and mangled inputs (truncated, corrupted,
+//! extended) are rejected without panicking.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use sstore_core::codec::{decode_msg, encode_msg};
+use sstore_core::item::{ItemMeta, SignedContext, StoredItem};
+use sstore_core::types::{ClientId, DataId, GroupId, OpId, Timestamp};
+use sstore_core::wire::Msg;
+use sstore_core::Context;
+use sstore_crypto::schnorr::{SchnorrParams, Signature, SigningKey};
+use sstore_crypto::sha256::Digest;
+
+/// One deterministic key (micro parameters keep signing fast); signatures
+/// only need to be canonical bytes here, not valid over the message.
+fn test_key() -> &'static SigningKey {
+    static KEY: OnceLock<SigningKey> = OnceLock::new();
+    KEY.get_or_init(|| SigningKey::from_seed(&SchnorrParams::micro(), 42))
+}
+
+fn arb_signature() -> impl Strategy<Value = Signature> {
+    proptest::collection::vec(any::<u8>(), 0..16).prop_map(|m| test_key().sign(&m))
+}
+
+fn arb_multi_ts() -> impl Strategy<Value = Timestamp> {
+    (any::<u64>(), any::<u16>(), any::<[u8; 32]>()).prop_map(|(time, writer, digest)| {
+        Timestamp::Multi {
+            time,
+            writer: ClientId(writer),
+            digest: Digest::from(digest),
+        }
+    })
+}
+
+/// Any timestamp a message field may carry (GENESIS included).
+fn arb_timestamp() -> impl Strategy<Value = Timestamp> {
+    prop_oneof![any::<u64>().prop_map(Timestamp::Version), arb_multi_ts(),]
+}
+
+/// A timestamp that can live inside a context (strictly after GENESIS).
+fn arb_ctx_timestamp() -> impl Strategy<Value = Timestamp> {
+    prop_oneof![(1u64..).prop_map(Timestamp::Version), arb_multi_ts(),]
+}
+
+fn arb_context() -> impl Strategy<Value = Context> {
+    (
+        any::<u32>(),
+        proptest::collection::btree_map(any::<u64>(), arb_ctx_timestamp(), 0..5),
+    )
+        .prop_map(|(group, entries)| {
+            let mut ctx = Context::new(GroupId(group));
+            for (d, ts) in entries {
+                ctx.observe(DataId(d), ts);
+            }
+            ctx
+        })
+}
+
+fn arb_meta() -> impl Strategy<Value = ItemMeta> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        arb_timestamp(),
+        any::<u16>(),
+        any::<[u8; 32]>(),
+        proptest::option::of(arb_context()),
+        arb_signature(),
+    )
+        .prop_map(
+            |(data, group, ts, writer, digest, writer_ctx, signature)| ItemMeta {
+                data: DataId(data),
+                group: GroupId(group),
+                ts,
+                writer: ClientId(writer),
+                value_digest: Digest::from(digest),
+                writer_ctx,
+                signature,
+            },
+        )
+}
+
+fn arb_item() -> impl Strategy<Value = StoredItem> {
+    (arb_meta(), proptest::collection::vec(any::<u8>(), 0..64))
+        .prop_map(|(meta, value)| StoredItem { meta, value })
+}
+
+fn arb_signed_context() -> impl Strategy<Value = SignedContext> {
+    (any::<u16>(), any::<u64>(), arb_context(), arb_signature()).prop_map(
+        |(client, session, ctx, signature)| SignedContext {
+            client: ClientId(client),
+            session,
+            ctx,
+            signature,
+        },
+    )
+}
+
+/// Every [`Msg`] variant, fields fully arbitrary.
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    let op = any::<u64>().prop_map(OpId);
+    prop_oneof![
+        (op.clone(), any::<u16>(), any::<u32>()).prop_map(|(op, c, g)| Msg::CtxReadReq {
+            op,
+            client: ClientId(c),
+            group: GroupId(g),
+        }),
+        (op.clone(), proptest::option::of(arb_signed_context()))
+            .prop_map(|(op, stored)| Msg::CtxReadResp { op, stored }),
+        (op.clone(), any::<u32>(), arb_signed_context()).prop_map(|(op, g, signed)| {
+            Msg::CtxWriteReq {
+                op,
+                group: GroupId(g),
+                signed,
+            }
+        }),
+        op.clone().prop_map(|op| Msg::CtxWriteAck { op }),
+        (op.clone(), any::<u32>()).prop_map(|(op, g)| Msg::TsScanReq {
+            op,
+            group: GroupId(g),
+        }),
+        (op.clone(), proptest::collection::vec(arb_meta(), 0..3))
+            .prop_map(|(op, entries)| Msg::TsScanResp { op, entries }),
+        (op.clone(), any::<u64>()).prop_map(|(op, d)| Msg::TsQueryReq {
+            op,
+            data: DataId(d),
+        }),
+        (
+            op.clone(),
+            any::<u64>(),
+            proptest::option::of(arb_meta()),
+            proptest::option::of(arb_item()),
+        )
+            .prop_map(|(op, d, meta, inline)| Msg::TsQueryResp {
+                op,
+                data: DataId(d),
+                meta,
+                inline,
+            }),
+        (op.clone(), any::<u64>(), arb_timestamp()).prop_map(|(op, d, ts)| Msg::ReadReq {
+            op,
+            data: DataId(d),
+            ts,
+        }),
+        (op.clone(), proptest::option::of(arb_item()))
+            .prop_map(|(op, item)| Msg::ReadResp { op, item }),
+        (op.clone(), arb_item()).prop_map(|(op, item)| Msg::WriteReq { op, item }),
+        (op.clone(), any::<bool>()).prop_map(|(op, accepted)| Msg::WriteAck { op, accepted }),
+        (op.clone(), any::<u64>()).prop_map(|(op, d)| Msg::MwReadReq {
+            op,
+            data: DataId(d),
+        }),
+        (
+            op.clone(),
+            any::<u64>(),
+            proptest::collection::vec(arb_item(), 0..3)
+        )
+            .prop_map(|(op, d, versions)| Msg::MwReadResp {
+                op,
+                data: DataId(d),
+                versions,
+            }),
+        proptest::collection::vec(arb_item(), 0..3).prop_map(|items| Msg::GossipPush { items }),
+        (
+            proptest::collection::btree_map(any::<u64>(), arb_timestamp(), 0..4),
+            any::<bool>(),
+        )
+            .prop_map(|(entries, want_reply)| Msg::GossipSummary {
+                entries: entries.into_iter().map(|(d, ts)| (DataId(d), ts)).collect(),
+                want_reply,
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_is_exact(msg in arb_msg()) {
+        let bytes = encode_msg(&msg);
+        let back = decode_msg(&bytes);
+        prop_assert_eq!(back.as_ref(), Ok(&msg));
+    }
+
+    #[test]
+    fn strict_prefixes_are_rejected(msg in arb_msg(), cut in any::<prop::sample::Index>()) {
+        let bytes = encode_msg(&msg);
+        let cut = cut.index(bytes.len());
+        prop_assert!(decode_msg(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(msg in arb_msg(), tail in proptest::collection::vec(any::<u8>(), 1..8)) {
+        let mut bytes = encode_msg(&msg);
+        bytes.extend_from_slice(&tail);
+        prop_assert!(decode_msg(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic_or_alias(
+        msg in arb_msg(),
+        at in any::<prop::sample::Index>(),
+        mask in 1u8..,
+    ) {
+        let bytes = encode_msg(&msg);
+        let mut corrupt = bytes.clone();
+        let at = at.index(corrupt.len());
+        corrupt[at] ^= mask;
+        // Decoding must not panic. If the corrupted bytes still decode,
+        // canonicality guarantees they decode to a *different* message —
+        // otherwise two distinct byte strings would encode one message.
+        if let Ok(other) = decode_msg(&corrupt) {
+            prop_assert_ne!(other, msg);
+        }
+    }
+
+    #[test]
+    fn arbitrary_junk_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_msg(&junk);
+    }
+}

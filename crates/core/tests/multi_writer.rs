@@ -2,7 +2,7 @@
 //! garbage collection, equivocating writers, concurrent-writer ordering.
 
 use sstore_core::client::{ClientOp, OpKind, Outcome};
-use sstore_core::config::{GossipConfig, ServerConfig};
+use sstore_core::config::ServerConfig;
 use sstore_core::item::StoredItem;
 use sstore_core::metrics::CryptoCounters;
 use sstore_core::sim::{ClusterBuilder, Step};
@@ -67,11 +67,7 @@ fn equivocating_writer_is_detected_by_readers() {
     // A malicious writer signs two different values under the same
     // timestamp and sends one half of the cluster each. Readers must
     // detect the fault instead of silently picking one.
-    let reader = vec![
-        Step::Wait(SimTime::from_millis(600)),
-        connect(),
-        mw_read(5),
-    ];
+    let reader = vec![Step::Wait(SimTime::from_millis(600)), connect(), mw_read(5)];
     let mut cluster = ClusterBuilder::new(4, 1)
         .seed(101)
         .client(reader)
@@ -80,10 +76,24 @@ fn equivocating_writer_is_detected_by_readers() {
     let a = craft(&cluster, 1, 5, 10, b"left", None);
     let b = craft(&cluster, 1, 5, 10, b"right", None);
     for s in 0..2u16 {
-        cluster.inject_from_client(1, ServerId(s), Msg::WriteReq { op: OpId(1), item: a.clone() });
+        cluster.inject_from_client(
+            1,
+            ServerId(s),
+            Msg::WriteReq {
+                op: OpId(1),
+                item: a.clone(),
+            },
+        );
     }
     for s in 2..4u16 {
-        cluster.inject_from_client(1, ServerId(s), Msg::WriteReq { op: OpId(2), item: b.clone() });
+        cluster.inject_from_client(
+            1,
+            ServerId(s),
+            Msg::WriteReq {
+                op: OpId(2),
+                item: b.clone(),
+            },
+        );
     }
     cluster.run_to_quiescence();
     let results = cluster.client_results(0);
@@ -101,8 +111,22 @@ fn equivocating_writes_survive_in_logs_as_evidence() {
     let a = craft(&cluster, 0, 5, 10, b"left", None);
     let b = craft(&cluster, 0, 5, 10, b"right", None);
     for s in 0..4u16 {
-        cluster.inject_from_client(0, ServerId(s), Msg::WriteReq { op: OpId(1), item: a.clone() });
-        cluster.inject_from_client(0, ServerId(s), Msg::WriteReq { op: OpId(2), item: b.clone() });
+        cluster.inject_from_client(
+            0,
+            ServerId(s),
+            Msg::WriteReq {
+                op: OpId(1),
+                item: a.clone(),
+            },
+        );
+        cluster.inject_from_client(
+            0,
+            ServerId(s),
+            Msg::WriteReq {
+                op: OpId(2),
+                item: b.clone(),
+            },
+        );
     }
     // No scripted clients to wait for — just let the injected traffic land.
     cluster.drain(SimTime::from_secs(1));
@@ -131,13 +155,29 @@ fn causal_holdback_releases_on_dissemination() {
     let mut ctx = sstore_core::Context::new(G);
     ctx.observe(DataId(1), pred.meta.ts);
     let dep = craft(&cluster, 0, 2, 2, b"second", Some(ctx));
-    cluster.inject_from_client(0, ServerId(0), Msg::WriteReq { op: OpId(1), item: pred });
+    cluster.inject_from_client(
+        0,
+        ServerId(0),
+        Msg::WriteReq {
+            op: OpId(1),
+            item: pred,
+        },
+    );
     for s in 1..4u16 {
-        cluster.inject_from_client(0, ServerId(s), Msg::WriteReq { op: OpId(2), item: dep.clone() });
+        cluster.inject_from_client(
+            0,
+            ServerId(s),
+            Msg::WriteReq {
+                op: OpId(2),
+                item: dep.clone(),
+            },
+        );
     }
     // Immediately: servers 1..3 must hold x2 pending.
     cluster.run_until(SimTime::from_millis(5));
-    let pending: usize = (1..4).map(|s| cluster.with_server(s, |n| n.pending_len())).sum();
+    let pending: usize = (1..4)
+        .map(|s| cluster.with_server(s, |n| n.pending_len()))
+        .sum();
     assert!(pending >= 1, "dependent write should be held back");
     // After gossip spreads x1, everything is admitted.
     cluster.run_until(SimTime::from_secs(3));
@@ -203,11 +243,7 @@ fn concurrent_writers_converge_on_total_order() {
             }))
             .collect()
     };
-    let reader = vec![
-        Step::Wait(SimTime::from_secs(4)),
-        connect(),
-        mw_read(1),
-    ];
+    let reader = vec![Step::Wait(SimTime::from_secs(4)), connect(), mw_read(1)];
     let mut cluster = ClusterBuilder::new(4, 1)
         .seed(105)
         .client(mk_writer("a", 0))
@@ -226,7 +262,9 @@ fn concurrent_writers_converge_on_total_order() {
     );
     let results = cluster.client_results(2);
     match &results.last().unwrap().outcome {
-        Outcome::ReadOk { ts, confirmations, .. } => {
+        Outcome::ReadOk {
+            ts, confirmations, ..
+        } => {
             assert_eq!(*ts, tss[0], "reader saw the converged winner");
             assert!(*confirmations >= 2);
         }
@@ -284,11 +322,7 @@ fn premature_server_alone_cannot_make_poison_readable() {
     // One Premature server (skips causal validation) reports a poisoned
     // write; b+1 = 2 matching reports are required, so readers ignore it.
     use sstore_core::faults::Behavior;
-    let reader = vec![
-        Step::Wait(SimTime::from_millis(400)),
-        connect(),
-        mw_read(9),
-    ];
+    let reader = vec![Step::Wait(SimTime::from_millis(400)), connect(), mw_read(9)];
     let mut cluster = ClusterBuilder::new(4, 1)
         .seed(108)
         .behavior(3, Behavior::Premature)
@@ -306,7 +340,14 @@ fn premature_server_alone_cannot_make_poison_readable() {
     );
     let poison = craft(&cluster, 1, 9, 1000, b"poison", Some(phantom));
     for s in 0..4u16 {
-        cluster.inject_from_client(1, ServerId(s), Msg::WriteReq { op: OpId(7), item: poison.clone() });
+        cluster.inject_from_client(
+            1,
+            ServerId(s),
+            Msg::WriteReq {
+                op: OpId(7),
+                item: poison.clone(),
+            },
+        );
     }
     cluster.run_to_quiescence();
     let results = cluster.client_results(0);

@@ -6,7 +6,7 @@ use sstore_core::faults::Behavior;
 use sstore_core::quorum;
 use sstore_core::sim::{ClusterBuilder, Step};
 use sstore_core::types::{Consistency, DataId, GroupId, Timestamp};
-use sstore_simnet::{Message, SimConfig, SimTime};
+use sstore_simnet::{SimConfig, SimTime};
 
 const G: GroupId = GroupId(1);
 
@@ -185,7 +185,11 @@ fn mrc_reads_are_monotonic_under_byzantine_stale_server() {
 
 #[test]
 fn byzantine_corrupt_value_is_detected_and_masked() {
-    for behavior in [Behavior::CorruptValue, Behavior::CorruptSig, Behavior::Equivocate] {
+    for behavior in [
+        Behavior::CorruptValue,
+        Behavior::CorruptSig,
+        Behavior::Equivocate,
+    ] {
         let mut cluster = ClusterBuilder::new(4, 1)
             .seed(11)
             .behavior(1, behavior)
@@ -292,7 +296,10 @@ fn multi_writer_roundtrip_two_writers() {
     cluster.run_to_quiescence();
     for i in 0..2 {
         let results = cluster.client_results(i);
-        assert!(results.iter().all(|r| r.outcome.is_ok()), "client {i}: {results:?}");
+        assert!(
+            results.iter().all(|r| r.outcome.is_ok()),
+            "client {i}: {results:?}"
+        );
         if let Some(Outcome::ReadOk { confirmations, .. }) = results
             .iter()
             .find(|r| r.kind == OpKind::MwRead)
@@ -310,7 +317,12 @@ fn multi_writer_roundtrip_two_writers() {
 fn multi_writer_survives_premature_reporting_servers() {
     // b=1 premature server reports values before causal preds arrive; the
     // b+1 matching rule must mask it.
-    let alice = vec![connect(), mw_write(1, b"a"), mw_write(2, b"b"), disconnect()];
+    let alice = vec![
+        connect(),
+        mw_write(1, b"a"),
+        mw_write(2, b"b"),
+        disconnect(),
+    ];
     let reader = vec![
         Step::Wait(SimTime::from_millis(300)),
         connect(),
@@ -417,14 +429,24 @@ fn message_costs_match_paper_formulas() {
     // Fault-free run, gossip disabled: the wire counts must equal §6.
     let n = 7;
     let b = 2;
-    let mut server_cfg = ServerConfig::default();
-    server_cfg.gossip = GossipConfig {
-        enabled: false,
-        ..GossipConfig::default()
+    let server_cfg = ServerConfig {
+        gossip: GossipConfig {
+            enabled: false,
+            ..GossipConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    // With gossip off and random per-op rotation, a read may miss the b+1
+    // servers the write landed on and retry — the §6 formulas assume the
+    // client revisits its own write set, so pin the rotation.
+    let client_cfg = ClientConfig {
+        sticky_rotation: true,
+        ..ClientConfig::default()
     };
     let mut cluster = ClusterBuilder::new(n, b)
         .seed(29)
         .server_config(server_cfg)
+        .client_config(client_cfg)
         .client(vec![
             connect(),
             write(1, Consistency::Mrc, b"v"),
@@ -458,9 +480,16 @@ fn crypto_costs_match_paper_formulas() {
     let b = 2;
     let mut server_cfg = ServerConfig::default();
     server_cfg.gossip.enabled = false;
+    // Pin the rotation for the same reason as the message-cost test above:
+    // the formula counts assume the read revisits the written servers.
+    let client_cfg = ClientConfig {
+        sticky_rotation: true,
+        ..ClientConfig::default()
+    };
     let mut cluster = ClusterBuilder::new(n, b)
         .seed(31)
         .server_config(server_cfg)
+        .client_config(client_cfg)
         .client(vec![
             connect(),
             write(1, Consistency::Mrc, b"v"),
@@ -469,10 +498,7 @@ fn crypto_costs_match_paper_formulas() {
         ])
         .build();
     cluster.run_to_quiescence();
-    assert!(cluster
-        .client_results(0)
-        .iter()
-        .all(|r| r.outcome.is_ok()));
+    assert!(cluster.client_results(0).iter().all(|r| r.outcome.is_ok()));
 
     let client = cluster.client_counters(0);
     // Client: 1 sign for the data write + 1 sign for the context write.
@@ -497,7 +523,11 @@ fn dissemination_makes_wider_reads_succeed() {
     let mut cluster = ClusterBuilder::new(7, 1)
         .seed(37)
         .server_config(gossip_on)
-        .client(vec![connect(), write(1, Consistency::Mrc, b"spread"), disconnect()])
+        .client(vec![
+            connect(),
+            write(1, Consistency::Mrc, b"spread"),
+            disconnect(),
+        ])
         .client(vec![
             Step::Wait(SimTime::from_secs(2)), // let gossip do its work
             connect(),
@@ -571,7 +601,11 @@ fn wan_latency_dominates_op_time() {
         let mut cluster = ClusterBuilder::new(4, 1)
             .seed(43)
             .network(config)
-            .client(vec![connect(), write(1, Consistency::Mrc, b"v"), disconnect()])
+            .client(vec![
+                connect(),
+                write(1, Consistency::Mrc, b"v"),
+                disconnect(),
+            ])
             .build();
         cluster.run_to_quiescence();
         let results = cluster.client_results(0);
@@ -593,7 +627,11 @@ fn wan_latency_dominates_op_time() {
 fn gossip_message_sizes_accounted() {
     let mut cluster = ClusterBuilder::new(4, 1)
         .seed(47)
-        .client(vec![connect(), write(1, Consistency::Mrc, b"payload"), disconnect()])
+        .client(vec![
+            connect(),
+            write(1, Consistency::Mrc, b"payload"),
+            disconnect(),
+        ])
         .build();
     cluster.run_to_quiescence();
     cluster.drain(SimTime::from_secs(1));

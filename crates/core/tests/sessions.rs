@@ -56,11 +56,7 @@ fn groups_have_independent_contexts() {
     cluster.run_to_quiescence();
     let results = cluster.client_results(0);
     assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
-    let reconnects: Vec<&Outcome> = results
-        .iter()
-        .skip(6)
-        .map(|r| &r.outcome)
-        .collect();
+    let reconnects: Vec<&Outcome> = results.iter().skip(6).map(|r| &r.outcome).collect();
     assert_eq!(*reconnects[0], Outcome::Connected { context_len: 1 });
     assert_eq!(*reconnects[1], Outcome::Connected { context_len: 1 });
 }
@@ -107,7 +103,10 @@ fn many_sessions_monotonic_context() {
     assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
     let final_connect = results.last().unwrap();
     assert_eq!(final_connect.kind, OpKind::Connect);
-    assert_eq!(final_connect.outcome, Outcome::Connected { context_len: 10 });
+    assert_eq!(
+        final_connect.outcome,
+        Outcome::Connected { context_len: 10 }
+    );
 }
 
 #[test]
@@ -176,7 +175,11 @@ fn reconstruction_finds_items_from_other_writers_in_group() {
         .expect("reconstruction ran");
     // Both items (dissemination willing) — at least B's own write plus,
     // after 800ms of gossip, A's item too.
-    assert_eq!(rec.outcome, Outcome::Connected { context_len: 2 }, "{results:?}");
+    assert_eq!(
+        rec.outcome,
+        Outcome::Connected { context_len: 2 },
+        "{results:?}"
+    );
 }
 
 #[test]

@@ -101,7 +101,7 @@ impl BigUint {
 
     /// Whether the low bit is clear.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -116,7 +116,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     fn normalize(&mut self) {
@@ -207,9 +207,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &l) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = l.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -476,8 +476,8 @@ impl BigUint {
     pub fn random_below(bound: &BigUint, rng: &mut impl Rng) -> BigUint {
         assert!(!bound.is_zero(), "random_below(0)");
         let bits = bound.bit_len();
-        let limbs = (bits + 63) / 64;
-        let top_mask = if bits % 64 == 0 {
+        let limbs = bits.div_ceil(64);
+        let top_mask = if bits.is_multiple_of(64) {
             u64::MAX
         } else {
             (1u64 << (bits % 64)) - 1
@@ -498,7 +498,7 @@ impl BigUint {
     /// Random integer with exactly `bits` significant bits (top bit set).
     pub fn random_bits(bits: usize, rng: &mut impl Rng) -> BigUint {
         assert!(bits > 0, "random_bits(0)");
-        let limbs = (bits + 63) / 64;
+        let limbs = bits.div_ceil(64);
         let mut l: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
         let top_bit = (bits - 1) % 64;
         let top = l.last_mut().expect("at least one limb");
@@ -713,7 +713,14 @@ mod tests {
                 "{p} should be prime"
             );
         }
-        for c in [1u64, 4, 100, 65535, 561 /* Carmichael */, 1_000_000_001] {
+        for c in [
+            1u64,
+            4,
+            100,
+            65535,
+            561, /* Carmichael */
+            1_000_000_001,
+        ] {
             assert!(
                 !BigUint::from(c).is_probable_prime(20, &mut rng),
                 "{c} should be composite"

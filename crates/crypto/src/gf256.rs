@@ -18,8 +18,8 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             // Multiply x by the generator 3 = x + 1: x*3 = x<<1 ^ x.
             x = (x << 1) ^ x;
@@ -96,10 +96,7 @@ pub fn poly_eval(coeffs: &[u8], x: u8) -> u8 {
 /// Solves the linear system `m · sol = rhs` over GF(256) in place via
 /// Gauss–Jordan elimination. `m` is row-major `n × n`; `rhs` has `n` rows of
 /// `width` bytes each. Returns `None` if the matrix is singular.
-pub fn solve_linear(
-    m: &mut [Vec<u8>],
-    rhs: &mut [Vec<u8>],
-) -> Option<()> {
+pub fn solve_linear(m: &mut [Vec<u8>], rhs: &mut [Vec<u8>]) -> Option<()> {
     let n = m.len();
     for col in 0..n {
         // Find a pivot.

@@ -201,7 +201,7 @@ mod tests {
     fn k_equals_one_replicates() {
         let frags = disperse(b"rep", 1, 3).unwrap();
         for f in &frags {
-            assert_eq!(reconstruct(&[f.clone()], 1).unwrap(), b"rep");
+            assert_eq!(reconstruct(std::slice::from_ref(f), 1).unwrap(), b"rep");
         }
     }
 

@@ -282,7 +282,11 @@ pub struct VerifyingKey {
 
 impl std::fmt::Debug for VerifyingKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "VerifyingKey(y=0x{}..)", &self.y.to_hex()[..8.min(self.y.to_hex().len())])
+        write!(
+            f,
+            "VerifyingKey(y=0x{}..)",
+            &self.y.to_hex()[..8.min(self.y.to_hex().len())]
+        )
     }
 }
 
@@ -354,7 +358,9 @@ mod tests {
     fn sign_verify_roundtrip() {
         let key = toy_key(1);
         let sig = key.sign(b"hello secure store");
-        key.verifying_key().verify(b"hello secure store", &sig).unwrap();
+        key.verifying_key()
+            .verify(b"hello secure store", &sig)
+            .unwrap();
     }
 
     #[test]

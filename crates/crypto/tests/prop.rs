@@ -133,7 +133,7 @@ fn miller_rabin_vs_trial_division() {
         }
         let mut d = 2;
         while d * d <= n {
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 return false;
             }
             d += 1;

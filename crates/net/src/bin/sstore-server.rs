@@ -1,0 +1,123 @@
+//! `sstore-server`: one repository server per process.
+//!
+//! ```text
+//! sstore-server --id 0 --b 1 --listen 127.0.0.1:7450 \
+//!     --peers 127.0.0.1:7450,127.0.0.1:7451,127.0.0.1:7452,127.0.0.1:7453 \
+//!     [--clients 8] [--key-seed 0x7ea1]
+//! ```
+//!
+//! `--peers` lists every server's listen address in server-id order (the
+//! entry at position `--id` is this process); `n` is its length. All
+//! servers and clients of one deployment must agree on `--clients` and
+//! `--key-seed`, which stand in for the paper's well-known client public
+//! keys.
+
+use std::net::{SocketAddr, TcpListener};
+use std::process::exit;
+
+use sstore_core::config::ServerConfig;
+use sstore_core::directory::{generate_client_keys, Directory};
+use sstore_core::server::ServerNode;
+use sstore_core::types::ServerId;
+use sstore_net::{NetServer, NetServerConfig};
+
+const USAGE: &str = "usage: sstore-server --id N --b B --listen ADDR --peers A,B,C,... \
+                     [--clients N] [--key-seed SEED]";
+
+struct Args {
+    id: u16,
+    b: usize,
+    listen: SocketAddr,
+    peers: Vec<SocketAddr>,
+    clients: u16,
+    key_seed: u64,
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut id = None;
+    let mut b = None;
+    let mut listen = None;
+    let mut peers = None;
+    let mut clients = 8u16;
+    let mut key_seed = 0x7ea1u64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let value = argv.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--id" => id = Some(value.parse().map_err(|_| "bad --id")?),
+            "--b" => b = Some(value.parse().map_err(|_| "bad --b")?),
+            "--listen" => listen = Some(value.parse().map_err(|_| "bad --listen")?),
+            "--peers" => {
+                let parsed: Result<Vec<SocketAddr>, _> = value.split(',').map(str::parse).collect();
+                peers = Some(parsed.map_err(|_| "bad --peers")?);
+            }
+            "--clients" => clients = value.parse().map_err(|_| "bad --clients")?,
+            "--key-seed" => {
+                key_seed = parse_u64(&value).ok_or("bad --key-seed")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        id: id.ok_or("--id is required")?,
+        b: b.ok_or("--b is required")?,
+        listen: listen.ok_or("--listen is required")?,
+        peers: peers.ok_or("--peers is required")?,
+        clients,
+        key_seed,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sstore-server: {e}\n{USAGE}");
+            exit(2);
+        }
+    };
+    let n = args.peers.len();
+    if usize::from(args.id) >= n {
+        eprintln!("sstore-server: --id {} out of range for {n} peers", args.id);
+        exit(2);
+    }
+    let (_, verifying) = generate_client_keys(args.clients, args.key_seed);
+    let dir = Directory::new(n, args.b, verifying);
+    let node = ServerNode::new(ServerId(args.id), dir, ServerConfig::default());
+    let listener = match TcpListener::bind(args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("sstore-server: cannot bind {}: {e}", args.listen);
+            exit(1);
+        }
+    };
+    let server = match NetServer::start(
+        node,
+        listener,
+        args.peers.clone(),
+        NetServerConfig::default(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sstore-server: cannot start: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "sstore-server {}/{n} (b={}) listening on {}",
+        args.id,
+        args.b,
+        server.local_addr()
+    );
+    loop {
+        std::thread::park();
+    }
+}

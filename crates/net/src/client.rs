@@ -1,0 +1,560 @@
+//! The blocking socket client: [`ClientCore`] driven over TCP.
+//!
+//! [`NetClient`] mirrors `sstore-transport`'s `SyncClient` loop exactly —
+//! begin an operation, pump messages and protocol timers until the state
+//! machine reports a result — but its messages travel through framed TCP
+//! connections instead of in-process channels. Each server gets one lazily
+//! (re)dialed connection with bounded exponential backoff; a dead or
+//! unreachable server therefore surfaces to the protocol as *silence*, and
+//! the quorum logic rides over up to `b` of them exactly as the paper
+//! prescribes. A hard per-request deadline bounds every blocking call.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sstore_core::client::{ClientCore, ClientOp, OpResult, Outcome, Output};
+use sstore_core::codec::{decode_msg, encode_msg};
+use sstore_core::config::ClientConfig;
+use sstore_core::directory::{generate_client_keys, Directory};
+use sstore_core::metrics::WireStats;
+use sstore_core::server::Addr;
+use sstore_core::types::{ClientId, Consistency, DataId, GroupId, OpId, ServerId, Timestamp};
+use sstore_core::wire::Msg;
+use sstore_core::Context;
+use sstore_crypto::schnorr::SigningKey;
+use sstore_simnet::SimTime;
+use sstore_transport::{StoreError, StoreHandle};
+
+use crate::frame::{encode_hello, read_frame, write_frame, DEFAULT_MAX_FRAME};
+
+/// Socket-layer tuning for a [`NetClient`].
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// Hard deadline for one blocking operation (covers all retry rounds).
+    pub request_timeout: Duration,
+    /// Timeout for dialing one server.
+    pub connect_timeout: Duration,
+    /// First redial delay after a failed dial.
+    pub backoff_min: Duration,
+    /// Redial delay cap (doubles up to this).
+    pub backoff_max: Duration,
+    /// Upper bound on one inbound frame.
+    pub max_frame: usize,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        NetClientConfig {
+            request_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_millis(250),
+            backoff_min: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// What a reader thread reports back to the blocking loop.
+// `Deliver` dwarfs `Down`, but events flow straight through the channel to
+// the blocking loop and are never stored in bulk.
+#[allow(clippy::large_enum_variant)]
+enum Event {
+    /// A decoded message from a server. Deliveries are processed even if
+    /// the link has since been cycled — messages are self-validating.
+    Deliver(ServerId, Msg),
+    /// The link with the given epoch died.
+    Down(ServerId, u64),
+}
+
+/// Per-server connection state.
+struct Link {
+    /// Write half of the current connection, if one is up.
+    writer: Option<TcpStream>,
+    /// Bumped on every successful dial; guards stale `Down` events.
+    epoch: u64,
+    /// Earliest time the next dial may be attempted.
+    next_attempt: Instant,
+    /// Current redial backoff.
+    backoff: Duration,
+}
+
+/// Handle on a TCP-deployed cluster: directory, client keys and the server
+/// listen addresses. Mint blocking [`NetClient`]s from it.
+///
+/// Both sides of a deployment must agree on the client key set; like the
+/// paper's "well-known public keys" assumption, this reproduction derives
+/// them deterministically from `(clients, key_seed)`, so pass the same pair
+/// to [`NetCluster::connect`] and to each `sstore-server` process.
+pub struct NetCluster {
+    dir: Arc<Directory>,
+    signing: HashMap<ClientId, SigningKey>,
+    addrs: Vec<SocketAddr>,
+    client_cfg: ClientConfig,
+    net_cfg: NetClientConfig,
+}
+
+impl NetCluster {
+    /// Points a cluster handle at `addrs` (one listen address per server,
+    /// indexed by server id) tolerating `b` faults, with keys for
+    /// `clients` clients derived from `key_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(addrs.len(), b)` is invalid (requires `n ≥ 3b + 1`).
+    pub fn connect(addrs: Vec<SocketAddr>, b: usize, clients: u16, key_seed: u64) -> Self {
+        Self::connect_with(
+            addrs,
+            b,
+            clients,
+            key_seed,
+            ClientConfig::default(),
+            NetClientConfig::default(),
+        )
+    }
+
+    /// [`NetCluster::connect`] with explicit protocol and socket configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(addrs.len(), b)` is invalid (requires `n ≥ 3b + 1`).
+    pub fn connect_with(
+        addrs: Vec<SocketAddr>,
+        b: usize,
+        clients: u16,
+        key_seed: u64,
+        client_cfg: ClientConfig,
+        net_cfg: NetClientConfig,
+    ) -> Self {
+        let (signing, verifying) = generate_client_keys(clients, key_seed);
+        let dir = Directory::new(addrs.len(), b, verifying);
+        NetCluster {
+            dir,
+            signing,
+            addrs,
+            client_cfg,
+            net_cfg,
+        }
+    }
+
+    /// The cluster directory.
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.dir
+    }
+
+    /// Creates the blocking socket handle for client `i`. Connections are
+    /// dialed lazily on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` has no registered key (i.e. `i >= clients`).
+    pub fn client(&self, i: u16) -> NetClient {
+        let id = ClientId(i);
+        let key = self
+            .signing
+            .get(&id)
+            .expect("client key registered")
+            .clone();
+        let (tx, rx) = unbounded();
+        let links = self
+            .addrs
+            .iter()
+            .map(|_| Link {
+                writer: None,
+                epoch: 0,
+                next_attempt: Instant::now(),
+                backoff: self.net_cfg.backoff_min,
+            })
+            .collect();
+        NetClient {
+            core: ClientCore::new(id, self.dir.clone(), self.client_cfg.clone(), key),
+            links,
+            addrs: self.addrs.clone(),
+            tx,
+            rx,
+            rng: StdRng::seed_from_u64(0xc0ffee + u64::from(i)),
+            timers: BinaryHeap::new(),
+            start: Instant::now(),
+            stats: WireStats::new(),
+            cfg: self.net_cfg.clone(),
+        }
+    }
+}
+
+/// A blocking client handle speaking the framed TCP protocol.
+pub struct NetClient {
+    core: ClientCore,
+    links: Vec<Link>,
+    addrs: Vec<SocketAddr>,
+    tx: Sender<Event>,
+    rx: Receiver<Event>,
+    rng: StdRng,
+    timers: BinaryHeap<Reverse<(Instant, u64)>>,
+    start: Instant,
+    stats: WireStats,
+    cfg: NetClientConfig,
+}
+
+impl NetClient {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Measured-vs-formula byte accounting for every frame this client has
+    /// sent.
+    pub fn wire_stats(&self) -> &WireStats {
+        &self.stats
+    }
+
+    /// (Re)dials every server whose link is down and whose backoff has
+    /// elapsed. Failures just push the next attempt out — the protocol
+    /// treats the server as silent in the meantime.
+    fn ensure_links(&mut self) {
+        let me = self.core.id();
+        for (i, link) in self.links.iter_mut().enumerate() {
+            if link.writer.is_some() || Instant::now() < link.next_attempt {
+                continue;
+            }
+            match dial(self.addrs[i], me, &self.cfg) {
+                Ok(stream) => {
+                    link.epoch += 1;
+                    link.backoff = self.cfg.backoff_min;
+                    let sid = ServerId(i as u16);
+                    let epoch = link.epoch;
+                    let tx = self.tx.clone();
+                    let max_frame = self.cfg.max_frame;
+                    if let Ok(mut reader) = stream.try_clone() {
+                        std::thread::spawn(move || {
+                            while let Ok(msg) = read_frame(&mut reader, max_frame)
+                                .map_err(|_| ())
+                                .and_then(|p| decode_msg(&p).map_err(|_| ()))
+                            {
+                                if tx.send(Event::Deliver(sid, msg)).is_err() {
+                                    break;
+                                }
+                            }
+                            let _ = tx.send(Event::Down(sid, epoch));
+                        });
+                        link.writer = Some(stream);
+                    }
+                }
+                Err(_) => {
+                    link.next_attempt = Instant::now() + link.backoff;
+                    link.backoff = (link.backoff * 2).min(self.cfg.backoff_max);
+                }
+            }
+        }
+    }
+
+    /// Tears down server `sid`'s connection after a send failure or a
+    /// reader-reported drop; the next `ensure_links` may redial at once.
+    fn drop_link(&mut self, sid: ServerId) {
+        if let Some(link) = self.links.get_mut(sid.0 as usize) {
+            if let Some(stream) = link.writer.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            link.next_attempt = Instant::now();
+            link.backoff = self.cfg.backoff_min;
+        }
+    }
+
+    /// Sends one message, dropping the link on failure (silence, not error).
+    fn send(&mut self, to: ServerId, msg: Msg) {
+        let bytes = encode_msg(&msg);
+        self.stats.record(&msg, bytes.len());
+        let ok = match self
+            .links
+            .get_mut(to.0 as usize)
+            .and_then(|l| l.writer.as_mut())
+        {
+            Some(stream) => write_frame(stream, &bytes).is_ok(),
+            None => return,
+        };
+        if !ok {
+            self.drop_link(to);
+        }
+    }
+
+    /// Runs one operation to completion against the hard request deadline.
+    fn run_op(&mut self, op: ClientOp) -> Result<OpResult, StoreError> {
+        self.ensure_links();
+        let now = self.now();
+        let (op_id, out) = self.core.begin(op, now, &mut self.rng);
+        if let Some(r) = self.dispatch(out, op_id) {
+            return map_result(r);
+        }
+        let hard_deadline = Instant::now() + self.cfg.request_timeout;
+        loop {
+            let wake = self
+                .timers
+                .peek()
+                .map(|Reverse((t, _))| *t)
+                .unwrap_or(hard_deadline);
+            let timeout = wake
+                .min(hard_deadline)
+                .saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(timeout) {
+                Ok(Event::Deliver(sid, msg)) => {
+                    let now = self.now();
+                    let out = self.core.on_message(sid, msg, now);
+                    if let Some(r) = self.dispatch(out, op_id) {
+                        return map_result(r);
+                    }
+                }
+                Ok(Event::Down(sid, epoch)) => {
+                    if self
+                        .links
+                        .get(sid.0 as usize)
+                        .is_some_and(|l| l.epoch == epoch && l.writer.is_some())
+                    {
+                        self.drop_link(sid);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(StoreError::Disconnected),
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= hard_deadline {
+                        return Err(StoreError::Unavailable);
+                    }
+                    // Fire due protocol timers; retry rounds get a chance
+                    // to redial before their messages go out.
+                    self.ensure_links();
+                    while let Some(Reverse((t, token))) = self.timers.peek().copied() {
+                        if t > Instant::now() {
+                            break;
+                        }
+                        self.timers.pop();
+                        let now = self.now();
+                        let out = self.core.on_timeout(token, now);
+                        if let Some(r) = self.dispatch(out, op_id) {
+                            return map_result(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends effects; returns the result if `op_id` completed.
+    fn dispatch(&mut self, out: Output, op_id: OpId) -> Option<OpResult> {
+        for (to, msg) in out.sends {
+            self.send(to, msg);
+        }
+        for (delay, token) in out.timers {
+            let at = Instant::now() + Duration::from_micros(delay.as_micros());
+            self.timers.push(Reverse((at, token)));
+        }
+        out.done.into_iter().find(|r| r.op == op_id)
+    }
+
+    /// Starts a session for `group` ([`ClientOp::Connect`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the context quorum cannot form.
+    pub fn connect(&mut self, group: GroupId, recover: bool) -> Result<OpResult, StoreError> {
+        self.run_op(ClientOp::Connect { group, recover })
+    }
+
+    /// Stores the context and ends the session.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the context quorum cannot form.
+    pub fn disconnect(&mut self, group: GroupId) -> Result<OpResult, StoreError> {
+        self.run_op(ClientOp::Disconnect { group })
+    }
+
+    /// Single-writer write.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if `b+1` servers cannot be reached.
+    pub fn write(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+        value: Vec<u8>,
+    ) -> Result<Timestamp, StoreError> {
+        let r = self.run_op(ClientOp::Write {
+            data,
+            group,
+            consistency,
+            value,
+        })?;
+        match r.outcome {
+            Outcome::WriteOk { ts } => Ok(ts),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    /// Single-writer read; returns `(timestamp, value)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Stale`] when only older-than-context copies are
+    /// reachable; [`StoreError::Unavailable`] when no quorum forms.
+    pub fn read(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+    ) -> Result<(Timestamp, Vec<u8>), StoreError> {
+        let r = self.run_op(ClientOp::Read {
+            data,
+            group,
+            consistency,
+        })?;
+        match r.outcome {
+            Outcome::ReadOk { ts, value, .. } => Ok((ts, value)),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    /// Multi-writer write.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if `2b+1` servers cannot be reached.
+    pub fn mw_write(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        value: Vec<u8>,
+    ) -> Result<Timestamp, StoreError> {
+        let r = self.run_op(ClientOp::MwWrite { data, group, value })?;
+        match r.outcome {
+            Outcome::WriteOk { ts } => Ok(ts),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    /// Multi-writer read; returns `(timestamp, value, confirmations)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetClient::read`], plus [`StoreError::FaultyWriter`] when
+    /// the read exposes writer equivocation.
+    pub fn mw_read(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+    ) -> Result<(Timestamp, Vec<u8>, usize), StoreError> {
+        let r = self.run_op(ClientOp::MwRead {
+            data,
+            group,
+            consistency,
+        })?;
+        match r.outcome {
+            Outcome::ReadOk {
+                ts,
+                value,
+                confirmations,
+            } => Ok((ts, value, confirmations)),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    /// Drops all volatile state as if the process crashed (then use
+    /// `connect(group, true)` to reconstruct).
+    pub fn simulate_crash(&mut self) {
+        self.core.crash();
+    }
+
+    /// The client's current context for `group`.
+    pub fn context(&self, group: GroupId) -> Context {
+        self.core.context(group)
+    }
+}
+
+impl Drop for NetClient {
+    /// Closes every connection so reader threads unblock and exit.
+    fn drop(&mut self) {
+        for link in &mut self.links {
+            if let Some(stream) = link.writer.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Dials one server and performs the hello handshake.
+fn dial(addr: SocketAddr, me: ClientId, cfg: &NetClientConfig) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    let mut hello = stream.try_clone()?;
+    write_frame(&mut hello, &encode_hello(Addr::Client(me)))?;
+    Ok(stream)
+}
+
+fn map_result(r: OpResult) -> Result<OpResult, StoreError> {
+    match &r.outcome {
+        Outcome::Unavailable => Err(StoreError::Unavailable),
+        Outcome::Stale { .. } => Err(StoreError::Stale),
+        Outcome::FaultyWriterDetected { .. } => Err(StoreError::FaultyWriter),
+        _ => Ok(r),
+    }
+}
+
+impl StoreHandle for NetClient {
+    fn connect(&mut self, group: GroupId, recover: bool) -> Result<OpResult, StoreError> {
+        NetClient::connect(self, group, recover)
+    }
+
+    fn disconnect(&mut self, group: GroupId) -> Result<OpResult, StoreError> {
+        NetClient::disconnect(self, group)
+    }
+
+    fn write(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+        value: Vec<u8>,
+    ) -> Result<Timestamp, StoreError> {
+        NetClient::write(self, data, group, consistency, value)
+    }
+
+    fn read(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+    ) -> Result<(Timestamp, Vec<u8>), StoreError> {
+        NetClient::read(self, data, group, consistency)
+    }
+
+    fn mw_write(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        value: Vec<u8>,
+    ) -> Result<Timestamp, StoreError> {
+        NetClient::mw_write(self, data, group, value)
+    }
+
+    fn mw_read(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+    ) -> Result<(Timestamp, Vec<u8>, usize), StoreError> {
+        NetClient::mw_read(self, data, group, consistency)
+    }
+
+    fn simulate_crash(&mut self) {
+        NetClient::simulate_crash(self)
+    }
+
+    fn context(&self, group: GroupId) -> Context {
+        NetClient::context(self, group)
+    }
+}

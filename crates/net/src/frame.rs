@@ -1,0 +1,162 @@
+//! Length-prefixed framing and the connection handshake.
+//!
+//! A connection carries a sequence of *frames*: a 4-byte big-endian length
+//! followed by that many payload bytes. Every payload is either the
+//! canonical encoding of a [`Msg`] (see [`sstore_core::codec`]) or the
+//! 5-byte *hello* that opens a connection and identifies the dialing party:
+//!
+//! ```text
+//! [WIRE_VERSION] [0xFE] [kind: 0 = client, 1 = server] [id: u16 BE]
+//! ```
+//!
+//! The hello exists because routing identity (who a frame is from) is a
+//! connection-layer concern — protocol messages deliberately do not repeat
+//! the sender on every message. Note the hello is *routing* metadata only:
+//! trust never derives from it, since every stored payload is client-signed
+//! and verified end-to-end (paper §4).
+
+use std::io::{self, Read, Write};
+
+use sstore_core::codec::{CodecError, WIRE_VERSION};
+use sstore_core::server::Addr;
+use sstore_core::types::{ClientId, ServerId};
+
+/// Default upper bound on one frame. Frames above this are treated as a
+/// protocol violation and the connection is dropped — a remote peer must
+/// not be able to make us allocate unbounded memory.
+pub const DEFAULT_MAX_FRAME: usize = 32 * 1024 * 1024;
+
+/// Payload tag of the hello frame (outside the [`Msg`] tag space).
+const HELLO_TAG: u8 = 0xFE;
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads longer than `u32::MAX`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, rejecting lengths above `max` before allocating.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including `UnexpectedEof` on a cleanly closed
+/// connection); oversized frames surface as `InvalidData`.
+pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap {max}"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Encodes the hello payload identifying `addr` as the dialing party.
+pub fn encode_hello(addr: Addr) -> Vec<u8> {
+    let (kind, id) = match addr {
+        Addr::Client(c) => (0u8, c.0),
+        Addr::Server(s) => (1u8, s.0),
+    };
+    let id = id.to_be_bytes();
+    vec![WIRE_VERSION, HELLO_TAG, kind, id[0], id[1]]
+}
+
+/// Decodes a hello payload.
+///
+/// # Errors
+///
+/// [`CodecError`] for any payload that is not a well-formed hello.
+pub fn decode_hello(payload: &[u8]) -> Result<Addr, CodecError> {
+    if payload.len() < 5 {
+        return Err(CodecError::Truncated);
+    }
+    if payload.len() > 5 {
+        return Err(CodecError::TrailingBytes(payload.len() - 5));
+    }
+    if payload[0] != WIRE_VERSION {
+        return Err(CodecError::BadVersion(payload[0]));
+    }
+    if payload[1] != HELLO_TAG {
+        return Err(CodecError::BadTag(payload[1]));
+    }
+    let id = u16::from_be_bytes([payload[3], payload[4]]);
+    match payload[2] {
+        0 => Ok(Addr::Client(ClientId(id))),
+        1 => Ok(Addr::Server(ServerId(id))),
+        _ => Err(CodecError::NonCanonical("hello kind")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frame").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
+            b"hello frame"
+        );
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        let err = read_frame(&mut cursor, 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_reports_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = io::Cursor::new(buf);
+        let err = read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn hello_roundtrip_both_kinds() {
+        for addr in [Addr::Client(ClientId(7)), Addr::Server(ServerId(300))] {
+            assert_eq!(decode_hello(&encode_hello(addr)).unwrap(), addr);
+        }
+    }
+
+    #[test]
+    fn malformed_hellos_rejected() {
+        assert!(decode_hello(&[]).is_err());
+        assert!(decode_hello(&[WIRE_VERSION, HELLO_TAG, 0, 0]).is_err());
+        assert!(decode_hello(&[WIRE_VERSION, HELLO_TAG, 9, 0, 1]).is_err());
+        assert!(decode_hello(&[WIRE_VERSION + 1, HELLO_TAG, 0, 0, 1]).is_err());
+        assert!(decode_hello(&[WIRE_VERSION, 0x01, 0, 0, 1]).is_err());
+        assert!(decode_hello(&[WIRE_VERSION, HELLO_TAG, 0, 0, 1, 0]).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Real TCP deployment path for the secure store.
+//!
+//! The repository's protocol logic lives in sans-I/O state machines
+//! (`sstore-core`'s `ClientCore` / `ServerNode`); this crate is the third
+//! and outermost shell around them:
+//!
+//! 1. **deterministic simulator** (`sstore-simnet`) — protocol validation
+//!    with seeded faults;
+//! 2. **threaded in-process transport** (`sstore-transport`) — real time,
+//!    real concurrency, in-memory channels;
+//! 3. **`sstore-net`** (this crate) — real sockets: a canonical binary
+//!    codec (`sstore_core::codec`) under length-prefixed framing, the
+//!    [`NetServer`] daemon (also packaged as the `sstore-server` binary,
+//!    one repository server per process), and the blocking
+//!    [`NetClient`] with per-request deadlines and bounded-backoff
+//!    reconnect.
+//!
+//! The byte-for-byte identical state machines are the point: behavior
+//! validated in the simulator is the behavior deployed on the wire. The
+//! failure model also carries over — a crashed or unreachable server is
+//! *silence*, never an error, so client quorum logic degrades gracefully
+//! with up to `b` servers gone (paper §3.4).
+//!
+//! Applications use [`StoreHandle`] to stay generic over deployment path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod frame;
+mod server;
+
+pub use client::{NetClient, NetClientConfig, NetCluster};
+pub use frame::{decode_hello, encode_hello, read_frame, write_frame, DEFAULT_MAX_FRAME};
+pub use server::{NetServer, NetServerConfig};
+pub use sstore_transport::{StoreError, StoreHandle};

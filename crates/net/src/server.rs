@@ -1,0 +1,441 @@
+//! The TCP repository server: one [`ServerNode`] behind an accept loop.
+//!
+//! Architecture (threads-and-channels, matching `sstore-transport`):
+//!
+//! - one **accept loop** thread polls the listener and spawns a connection
+//!   pair per accepted socket;
+//! - each connection runs a **reader** thread (frames → [`Msg`] →
+//!   [`ServerNode::handle`]) and a **writer** thread draining a channel of
+//!   outbound messages;
+//! - one **gossip** thread fires [`ServerNode::on_gossip_timer`] on the
+//!   configured period and routes the resulting messages to peers over a
+//!   lazily-dialed outbound mesh with bounded-backoff redial.
+//!
+//! The sans-I/O state machine is shared behind a mutex; it is only ever
+//! locked for the duration of one `handle`/`on_gossip_timer` call, never
+//! across I/O. Connections that send garbage are dropped; unreachable
+//! peers or vanished clients make messages silently evaporate — exactly the
+//! "silence, not errors" failure model the quorum protocols assume.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sstore_core::codec::{decode_msg, encode_msg};
+use sstore_core::metrics::WireStats;
+use sstore_core::server::{Addr, ServerNode};
+use sstore_core::types::ServerId;
+use sstore_core::wire::Msg;
+use sstore_simnet::SimTime;
+
+use crate::frame::{decode_hello, encode_hello, read_frame, write_frame, DEFAULT_MAX_FRAME};
+
+/// Socket-layer tuning for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Upper bound on one inbound frame.
+    pub max_frame: usize,
+    /// Timeout for dialing a peer server.
+    pub connect_timeout: Duration,
+    /// First redial delay after a failed peer dial.
+    pub backoff_min: Duration,
+    /// Redial delay cap (doubles up to this).
+    pub backoff_max: Duration,
+    /// Poll interval of the accept and gossip loops (bounds shutdown
+    /// latency, not throughput).
+    pub poll_interval: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            connect_timeout: Duration::from_millis(250),
+            backoff_min: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A live outbound link: generation (for safe deregistration) plus the
+/// channel drained by the link's writer thread.
+struct Link {
+    gen: u64,
+    tx: Sender<Msg>,
+}
+
+struct Shared {
+    me: ServerId,
+    node: Mutex<ServerNode>,
+    links: Mutex<HashMap<Addr, Link>>,
+    /// Socket clones used solely to unblock reader threads at shutdown.
+    socks: Mutex<Vec<TcpStream>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Peer listen addresses, indexed by `ServerId.0`.
+    peers: Vec<SocketAddr>,
+    /// Per-peer redial state: (earliest next attempt, current backoff).
+    redial: Mutex<HashMap<ServerId, (Instant, Duration)>>,
+    start: Instant,
+    stats: Mutex<WireStats>,
+    shutdown: AtomicBool,
+    link_gen: AtomicU64,
+    cfg: NetServerConfig,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+}
+
+/// One repository server listening on a TCP socket.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+}
+
+impl NetServer {
+    /// Starts serving `node` on `listener`, gossiping with `peers` (listen
+    /// addresses indexed by server id; the entry for `node.id()` itself is
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn start(
+        node: ServerNode,
+        listener: TcpListener,
+        peers: Vec<SocketAddr>,
+        cfg: NetServerConfig,
+    ) -> io::Result<NetServer> {
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let me = node.id();
+        let gossip_period = Duration::from_micros(node.gossip_period().as_micros().max(1));
+        let shared = Arc::new(Shared {
+            me,
+            node: Mutex::new(node),
+            links: Mutex::new(HashMap::new()),
+            socks: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+            peers,
+            redial: Mutex::new(HashMap::new()),
+            start: Instant::now(),
+            stats: Mutex::new(WireStats::new()),
+            shutdown: AtomicBool::new(false),
+            link_gen: AtomicU64::new(0),
+            cfg,
+        });
+
+        // Accept loop.
+        let accept_shared = shared.clone();
+        let accept = std::thread::spawn(move || accept_loop(accept_shared, listener));
+        // Gossip timer.
+        let gossip_shared = shared.clone();
+        let gossip = std::thread::spawn(move || gossip_loop(gossip_shared, gossip_period));
+        shared
+            .threads
+            .lock()
+            .expect("threads lock")
+            .extend([accept, gossip]);
+
+        Ok(NetServer { shared, local_addr })
+    }
+
+    /// The bound listen address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.shared.me
+    }
+
+    /// Snapshot of the measured-vs-formula byte accounting for every frame
+    /// this server has sent.
+    pub fn wire_stats(&self) -> WireStats {
+        self.shared.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Runs `f` against the server state machine (test/inspection hook).
+    pub fn with_node<R>(&self, f: impl FnOnce(&ServerNode) -> R) -> R {
+        f(&self.shared.node.lock().expect("node lock"))
+    }
+
+    /// Stops all threads and closes every connection. Blocks until the
+    /// accept, gossip and connection threads have exited.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the links closes the writer channels; shutting the
+        // sockets down unblocks the readers.
+        self.shared.links.lock().expect("links lock").clear();
+        for sock in self.shared.socks.lock().expect("socks lock").drain(..) {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .shared
+            .threads
+            .lock()
+            .expect("threads lock")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let conn_shared = shared.clone();
+                let handle = std::thread::spawn(move || {
+                    run_accepted(conn_shared, stream);
+                });
+                shared.threads.lock().expect("threads lock").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(shared.cfg.poll_interval);
+            }
+        }
+    }
+}
+
+/// Handles an accepted connection: read the hello, then serve frames.
+fn run_accepted(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(ctrl) = stream.try_clone() else { return };
+    shared.socks.lock().expect("socks lock").push(ctrl);
+    // The flag is set before shutdown() drains the registry; re-checking
+    // after the push closes the race with a connection accepted mid-drain.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let remote = match read_frame(&mut reader, shared.cfg.max_frame)
+        .map_err(|_| ())
+        .and_then(|payload| decode_hello(&payload).map_err(|_| ()))
+    {
+        Ok(addr) => addr,
+        Err(()) => return, // not a store peer; drop silently
+    };
+    let _tx = register_link(&shared, remote, stream);
+    reader_loop(&shared, remote, &mut reader);
+}
+
+/// Registers the writer side of a connection and returns its channel.
+fn register_link(shared: &Arc<Shared>, remote: Addr, stream: TcpStream) -> Sender<Msg> {
+    let (tx, rx) = unbounded::<Msg>();
+    let gen = shared.link_gen.fetch_add(1, Ordering::SeqCst);
+    shared.links.lock().expect("links lock").insert(
+        remote,
+        Link {
+            gen,
+            tx: tx.clone(),
+        },
+    );
+    let writer_shared = shared.clone();
+    let handle = std::thread::spawn(move || {
+        writer_loop(writer_shared, remote, gen, stream, rx);
+    });
+    shared.threads.lock().expect("threads lock").push(handle);
+    tx
+}
+
+/// Drains a link's channel onto its socket until the channel closes or a
+/// write fails; then deregisters the link (if it is still the current one).
+fn writer_loop(
+    shared: Arc<Shared>,
+    remote: Addr,
+    gen: u64,
+    mut stream: TcpStream,
+    rx: Receiver<Msg>,
+) {
+    for msg in rx.iter() {
+        let bytes = encode_msg(&msg);
+        shared
+            .stats
+            .lock()
+            .expect("stats lock")
+            .record(&msg, bytes.len());
+        if write_frame(&mut stream, &bytes).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    let mut links = shared.links.lock().expect("links lock");
+    if links.get(&remote).is_some_and(|l| l.gen == gen) {
+        links.remove(&remote);
+    }
+}
+
+/// Reads frames and feeds them through the state machine until the
+/// connection breaks or sends garbage.
+fn reader_loop(shared: &Arc<Shared>, remote: Addr, reader: &mut TcpStream) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(reader, shared.cfg.max_frame) {
+            Ok(p) => p,
+            Err(_) => return, // closed or broken
+        };
+        let msg = match decode_msg(&payload) {
+            Ok(m) => m,
+            Err(_) => {
+                // Protocol violation: drop the whole connection rather than
+                // guessing at resynchronization.
+                let _ = reader.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        dispatch(shared, remote, msg);
+    }
+}
+
+/// Runs one message through the state machine and routes the output.
+fn dispatch(shared: &Arc<Shared>, from: Addr, msg: Msg) {
+    let now = shared.now();
+    let outs = shared
+        .node
+        .lock()
+        .expect("node lock")
+        .handle(from, msg, now);
+    for (to, out) in outs {
+        route(shared, to, out);
+    }
+}
+
+/// Delivers `msg` to `to` if a link exists (dialing peer servers on
+/// demand); drops it otherwise — remote failure must look like silence.
+fn route(shared: &Arc<Shared>, to: Addr, msg: Msg) {
+    let existing = shared
+        .links
+        .lock()
+        .expect("links lock")
+        .get(&to)
+        .map(|l| l.tx.clone());
+    let msg = if let Some(tx) = existing {
+        match tx.send(msg) {
+            Ok(()) => return,
+            // Writer died between lookup and send; take the message back
+            // and fall through to redial.
+            Err(e) => e.0,
+        }
+    } else if let Addr::Client(_) = to {
+        return; // client went away; nothing to do
+    } else {
+        msg
+    };
+    let Addr::Server(peer) = to else { return };
+    if let Some(tx) = dial(shared, peer) {
+        let _ = tx.send(msg);
+    }
+}
+
+/// Dials a peer server (respecting backoff) and registers the link.
+fn dial(shared: &Arc<Shared>, peer: ServerId) -> Option<Sender<Msg>> {
+    if shared.shutdown.load(Ordering::SeqCst) || peer == shared.me {
+        return None;
+    }
+    let addr = *shared.peers.get(peer.0 as usize)?;
+    {
+        let redial = shared.redial.lock().expect("redial lock");
+        if let Some((next_attempt, _)) = redial.get(&peer) {
+            if Instant::now() < *next_attempt {
+                return None;
+            }
+        }
+    }
+    match TcpStream::connect_timeout(&addr, shared.cfg.connect_timeout) {
+        Ok(stream) => {
+            let _ = stream.set_nodelay(true);
+            let mut hello_stream = match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return None,
+            };
+            if write_frame(&mut hello_stream, &encode_hello(Addr::Server(shared.me))).is_err() {
+                return None;
+            }
+            if let Ok(ctrl) = stream.try_clone() {
+                shared.socks.lock().expect("socks lock").push(ctrl);
+            }
+            // Same mid-drain race as in `run_accepted`.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                let _ = stream.shutdown(Shutdown::Both);
+                return None;
+            }
+            if let Ok(mut reader) = stream.try_clone() {
+                let reader_shared = shared.clone();
+                let handle = std::thread::spawn(move || {
+                    reader_loop(&reader_shared, Addr::Server(peer), &mut reader);
+                });
+                shared.threads.lock().expect("threads lock").push(handle);
+            }
+            shared.redial.lock().expect("redial lock").remove(&peer);
+            Some(register_link(shared, Addr::Server(peer), stream))
+        }
+        Err(_) => {
+            let mut redial = shared.redial.lock().expect("redial lock");
+            let backoff = redial
+                .get(&peer)
+                .map(|&(_, b)| (b * 2).min(shared.cfg.backoff_max))
+                .unwrap_or(shared.cfg.backoff_min);
+            redial.insert(peer, (Instant::now() + backoff, backoff));
+            None
+        }
+    }
+}
+
+/// Fires the gossip timer on its period until shutdown.
+fn gossip_loop(shared: Arc<Shared>, period: Duration) {
+    let mut rng = StdRng::seed_from_u64(0xbeef ^ u64::from(shared.me.0));
+    let mut next = Instant::now() + period;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(shared.cfg.poll_interval.min(next - now));
+            continue;
+        }
+        next = now + period;
+        let sim_now = shared.now();
+        let outs = shared
+            .node
+            .lock()
+            .expect("node lock")
+            .on_gossip_timer(sim_now, &mut rng);
+        for (to, msg) in outs {
+            route(&shared, to, msg);
+        }
+    }
+}

@@ -105,8 +105,8 @@ impl LatencyModel {
                 spike_factor,
             } => {
                 let base = (min.as_micros() + max.as_micros()) as f64 / 2.0;
-                let mean =
-                    base * (1.0 - spike_probability) + base * spike_factor as f64 * spike_probability;
+                let mean = base * (1.0 - spike_probability)
+                    + base * spike_factor as f64 * spike_probability;
                 SimTime::from_micros(mean as u64)
             }
         }

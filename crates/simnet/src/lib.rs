@@ -494,7 +494,11 @@ mod tests {
             let (mut sim, ids) = ring_sim(seed);
             sim.post(ids[0], ids[1], Num(20));
             sim.run_to_quiescence();
-            (sim.now(), sim.stats().total_messages, sim.events_processed())
+            (
+                sim.now(),
+                sim.stats().total_messages,
+                sim.events_processed(),
+            )
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7).0, run(8).0, "different seeds, different latencies");

@@ -64,7 +64,11 @@ fn random_walk_is_deterministic() {
     let run = |seed| {
         let mut sim = walker_sim(8, SimConfig::lan(seed));
         for id in 0..10 {
-            sim.post(NodeId(0), NodeId((id as usize) % 8), Token { hops_left: 50, id });
+            sim.post(
+                NodeId(0),
+                NodeId((id as usize) % 8),
+                Token { hops_left: 50, id },
+            );
         }
         sim.run_to_quiescence();
         (sim.now(), sim.stats().total_messages)
@@ -76,7 +80,14 @@ fn random_walk_is_deterministic() {
 #[test]
 fn partitions_mid_run_change_flow_and_heal() {
     let mut sim = walker_sim(6, SimConfig::lan(9));
-    sim.post(NodeId(5), NodeId(0), Token { hops_left: 500, id: 1 });
+    sim.post(
+        NodeId(5),
+        NodeId(0),
+        Token {
+            hops_left: 500,
+            id: 1,
+        },
+    );
     // Let it run a little, then island node 0 completely.
     sim.run_until(SimTime::from_millis(2));
     for peer in 1..6 {
@@ -103,7 +114,10 @@ fn lossy_network_drops_proportionally() {
     sim.run_to_quiescence();
     let s = sim.stats();
     let rate = s.dropped_messages as f64 / s.total_messages as f64;
-    assert!((0.15..0.35).contains(&rate), "drop rate {rate} far from 0.25");
+    assert!(
+        (0.15..0.35).contains(&rate),
+        "drop rate {rate} far from 0.25"
+    );
 }
 
 #[test]
@@ -129,13 +143,27 @@ fn heavy_tail_latency_spreads_completion() {
 #[test]
 fn stats_reset_and_since() {
     let mut sim = walker_sim(3, SimConfig::lan(17));
-    sim.post(NodeId(0), NodeId(1), Token { hops_left: 10, id: 1 });
+    sim.post(
+        NodeId(0),
+        NodeId(1),
+        Token {
+            hops_left: 10,
+            id: 1,
+        },
+    );
     sim.run_to_quiescence();
     let first = sim.stats().clone();
     assert!(first.total_messages > 0);
     sim.reset_stats();
     assert_eq!(sim.stats().total_messages, 0);
-    sim.post(NodeId(0), NodeId(1), Token { hops_left: 5, id: 2 });
+    sim.post(
+        NodeId(0),
+        NodeId(1),
+        Token {
+            hops_left: 5,
+            id: 2,
+        },
+    );
     sim.run_to_quiescence();
     assert_eq!(sim.stats().total_messages, 6);
 }
@@ -143,7 +171,14 @@ fn stats_reset_and_since() {
 #[test]
 fn node_state_inspectable_via_downcast() {
     let mut sim = walker_sim(3, SimConfig::lan(19));
-    sim.post(NodeId(2), NodeId(0), Token { hops_left: 7, id: 1 });
+    sim.post(
+        NodeId(2),
+        NodeId(0),
+        Token {
+            hops_left: 7,
+            id: 1,
+        },
+    );
     sim.run_to_quiescence();
     let total: u64 = (0..3)
         .map(|i| {
@@ -161,7 +196,14 @@ fn node_state_inspectable_via_downcast() {
 #[test]
 fn messages_to_unknown_nodes_are_ignored() {
     let mut sim = walker_sim(2, SimConfig::lan(23));
-    sim.post(NodeId(0), NodeId(99), Token { hops_left: 0, id: 1 });
+    sim.post(
+        NodeId(0),
+        NodeId(99),
+        Token {
+            hops_left: 0,
+            id: 1,
+        },
+    );
     sim.run_to_quiescence(); // must not panic
     assert_eq!(sim.stats().total_messages, 1);
     assert_eq!(

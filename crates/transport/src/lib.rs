@@ -44,6 +44,9 @@ use sstore_crypto::schnorr::SigningKey;
 use sstore_simnet::SimTime;
 
 /// An envelope on a node's inbox.
+// `Deliver` dwarfs `Stop`, but envelopes are moved straight into per-node
+// channels and never stored in bulk, so boxing would only add a hop.
+#[allow(clippy::large_enum_variant)]
 enum Env {
     Deliver(Addr, Msg),
     Stop,
@@ -78,12 +81,7 @@ impl Router {
     }
 }
 
-fn server_loop(
-    mut node: ServerNode,
-    rx: Receiver<Env>,
-    router: Arc<Router>,
-    seed: u64,
-) {
+fn server_loop(mut node: ServerNode, rx: Receiver<Env>, router: Arc<Router>, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let me = Addr::Server(node.id());
     let period = Duration::from_micros(node.gossip_period().as_micros().max(1));
@@ -133,6 +131,88 @@ impl std::fmt::Display for StoreError {
 }
 
 impl std::error::Error for StoreError {}
+
+/// The blocking client API shared by every deployment path.
+///
+/// Applications written against this trait run unchanged on the threaded
+/// in-process transport ([`SyncClient`]) and on the TCP socket transport
+/// (`sstore-net`'s `NetClient`): same operations, same [`StoreError`]
+/// surface, same blocking semantics. Examples and tests can therefore be
+/// generic over *where* the cluster actually lives.
+pub trait StoreHandle {
+    /// Starts a session for `group`; `recover` reconstructs the context
+    /// from server metadata instead of reading the stored copy.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the context quorum cannot form.
+    fn connect(&mut self, group: GroupId, recover: bool) -> Result<OpResult, StoreError>;
+
+    /// Stores the context and ends the session.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the context quorum cannot form.
+    fn disconnect(&mut self, group: GroupId) -> Result<OpResult, StoreError>;
+
+    /// Single-writer write.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if `b+1` servers cannot be reached.
+    fn write(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+        value: Vec<u8>,
+    ) -> Result<Timestamp, StoreError>;
+
+    /// Single-writer read; returns `(timestamp, value)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Stale`] when only older-than-context copies are
+    /// reachable; [`StoreError::Unavailable`] when no quorum forms.
+    fn read(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+    ) -> Result<(Timestamp, Vec<u8>), StoreError>;
+
+    /// Multi-writer write.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if `2b+1` servers cannot be reached.
+    fn mw_write(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        value: Vec<u8>,
+    ) -> Result<Timestamp, StoreError>;
+
+    /// Multi-writer read; returns `(timestamp, value, confirmations)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StoreHandle::read`], plus [`StoreError::FaultyWriter`]
+    /// when the read exposes writer equivocation.
+    fn mw_read(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+    ) -> Result<(Timestamp, Vec<u8>, usize), StoreError>;
+
+    /// Drops all volatile state as if the process crashed (then use
+    /// `connect(group, true)` to reconstruct).
+    fn simulate_crash(&mut self);
+
+    /// The client's current context for `group`.
+    fn context(&self, group: GroupId) -> sstore_core::Context;
+}
 
 /// A blocking client handle bound to one [`LocalCluster`].
 pub struct SyncClient {
@@ -339,6 +419,61 @@ impl SyncClient {
     }
 }
 
+impl StoreHandle for SyncClient {
+    fn connect(&mut self, group: GroupId, recover: bool) -> Result<OpResult, StoreError> {
+        SyncClient::connect(self, group, recover)
+    }
+
+    fn disconnect(&mut self, group: GroupId) -> Result<OpResult, StoreError> {
+        SyncClient::disconnect(self, group)
+    }
+
+    fn write(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+        value: Vec<u8>,
+    ) -> Result<Timestamp, StoreError> {
+        SyncClient::write(self, data, group, consistency, value)
+    }
+
+    fn read(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+    ) -> Result<(Timestamp, Vec<u8>), StoreError> {
+        SyncClient::read(self, data, group, consistency)
+    }
+
+    fn mw_write(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        value: Vec<u8>,
+    ) -> Result<Timestamp, StoreError> {
+        SyncClient::mw_write(self, data, group, value)
+    }
+
+    fn mw_read(
+        &mut self,
+        data: DataId,
+        group: GroupId,
+        consistency: Consistency,
+    ) -> Result<(Timestamp, Vec<u8>, usize), StoreError> {
+        SyncClient::mw_read(self, data, group, consistency)
+    }
+
+    fn simulate_crash(&mut self) {
+        SyncClient::simulate_crash(self)
+    }
+
+    fn context(&self, group: GroupId) -> sstore_core::Context {
+        SyncClient::context(self, group)
+    }
+}
+
 /// A local cluster of server threads plus registered clients.
 pub struct LocalCluster {
     router: Arc<Router>,
@@ -352,7 +487,13 @@ impl LocalCluster {
     /// Starts `n` server threads tolerating `b` faults, with keys for
     /// `clients` clients. Default server/client configs.
     pub fn start(n: usize, b: usize, clients: u16) -> Self {
-        Self::start_with(n, b, clients, ServerConfig::default(), ClientConfig::default())
+        Self::start_with(
+            n,
+            b,
+            clients,
+            ServerConfig::default(),
+            ClientConfig::default(),
+        )
     }
 
     /// Starts a cluster with explicit configurations.
@@ -418,7 +559,11 @@ impl LocalCluster {
     /// Panics if `i` has no registered key (i.e. `i >= clients`).
     pub fn client(&self, i: u16) -> SyncClient {
         let id = ClientId(i);
-        let key = self.signing.get(&id).expect("client key registered").clone();
+        let key = self
+            .signing
+            .get(&id)
+            .expect("client key registered")
+            .clone();
         let (tx, rx) = unbounded();
         self.router.clients.write().insert(id, tx);
         SyncClient {
@@ -506,6 +651,23 @@ mod tests {
         let (_, v) = c.read(DataId(1), g, Consistency::Mrc).unwrap();
         assert_eq!(v, b"still here");
         c.disconnect(g).unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn works_through_store_handle_trait() {
+        // Code generic over StoreHandle runs identically on any transport.
+        fn exercise(h: &mut dyn StoreHandle, g: GroupId) {
+            h.connect(g, false).unwrap();
+            h.write(DataId(1), g, Consistency::Mrc, b"generic".to_vec())
+                .unwrap();
+            let (_, v) = h.read(DataId(1), g, Consistency::Mrc).unwrap();
+            assert_eq!(v, b"generic");
+            h.disconnect(g).unwrap();
+        }
+        let cluster = LocalCluster::start(4, 1, 1);
+        let mut c = cluster.client(0);
+        exercise(&mut c, GroupId(8));
         cluster.shutdown();
     }
 

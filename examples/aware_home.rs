@@ -31,9 +31,8 @@ fn main() {
         (BLOOD_TYPE, &b"blood type: O+"[..]),
         (MEDICATION, &b"medication: 5mg lisinopril daily"[..]),
     ] {
-        let next = sstore_core::Timestamp::Version(
-            resident.context(RECORDS).timestamp(item).time() + 1,
-        );
+        let next =
+            sstore_core::Timestamp::Version(resident.context(RECORDS).timestamp(item).time() + 1);
         let sealed = cipher.encrypt(plaintext, &next);
         let ts = resident
             .write(item, RECORDS, Consistency::Mrc, sealed)

@@ -23,7 +23,10 @@ fn secure_store_run(behavior: Behavior) -> (bool, Vec<u8>) {
         .seed(7)
         .behavior(0, behavior)
         .client(vec![
-            Step::Do(ClientOp::Connect { group: G, recover: false }),
+            Step::Do(ClientOp::Connect {
+                group: G,
+                recover: false,
+            }),
             Step::Do(ClientOp::Write {
                 data: DataId(1),
                 group: G,
@@ -68,7 +71,10 @@ fn main() {
             String::from_utf8_lossy(&value)
         );
         assert!(ok, "{behavior:?} must be masked");
-        assert_eq!(value, b"ground truth", "{behavior:?} must not corrupt reads");
+        assert_eq!(
+            value, b"ground truth",
+            "{behavior:?} must not corrupt reads"
+        );
     }
 
     println!("\n=== masking-quorum baseline: b crash faults of n=5 ===");
@@ -87,7 +93,10 @@ fn main() {
     mask2.crash_server(0);
     mask2.crash_server(1);
     let w = mask2.write(DataId(1), b"too many");
-    println!("  2 crashes (quorum 4 of 5 impossible): write ok = {}", w.ok);
+    println!(
+        "  2 crashes (quorum 4 of 5 impossible): write ok = {}",
+        w.ok
+    );
     assert!(!w.ok);
 
     println!("\n=== PBFT-lite baseline: f=1 of n=4 ===");
@@ -105,7 +114,10 @@ fn main() {
     let mut pbft2 = PbftCluster::new(1, SimConfig::lan(12));
     pbft2.crash_replica(0);
     let w = pbft2.put(DataId(1), b"no primary");
-    println!("  primary crash (no view change in -lite): put ok = {}", w.ok);
+    println!(
+        "  primary crash (no view change in -lite): put ok = {}",
+        w.ok
+    );
     assert!(!w.ok);
 
     println!("\nall drills passed: faults within bounds are masked, beyond bounds fail safe");

@@ -119,7 +119,11 @@ fn main() {
         println!("--- {name} ---");
         for r in cluster.client_results(idx) {
             match &r.outcome {
-                Outcome::ReadOk { ts, value, confirmations } => println!(
+                Outcome::ReadOk {
+                    ts,
+                    value,
+                    confirmations,
+                } => println!(
                     "  {:?} -> {} ({} servers vouched): {}",
                     r.kind,
                     ts,

@@ -21,7 +21,10 @@ fn sim_and_transport_agree_on_values() {
     let mut sim = ClusterBuilder::new(4, 1)
         .seed(5)
         .client(vec![
-            Step::Do(ClientOp::Connect { group: G, recover: false }),
+            Step::Do(ClientOp::Connect {
+                group: G,
+                recover: false,
+            }),
             Step::Do(ClientOp::Write {
                 data: DataId(1),
                 group: G,
@@ -82,7 +85,10 @@ fn all_three_systems_roundtrip() {
     let mut ss = ClusterBuilder::new(5, 1)
         .seed(6)
         .client(vec![
-            Step::Do(ClientOp::Connect { group: G, recover: false }),
+            Step::Do(ClientOp::Connect {
+                group: G,
+                recover: false,
+            }),
             Step::Do(ClientOp::Write {
                 data: DataId(1),
                 group: G,
@@ -117,7 +123,9 @@ fn fragmented_storage_across_servers() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     for store in [FragmentStore::shamir(2, 4), FragmentStore::ida(2, 4)] {
-        let frags = store.split(b"fragment across the cluster", &mut rng).unwrap();
+        let frags = store
+            .split(b"fragment across the cluster", &mut rng)
+            .unwrap();
         assert_eq!(frags.len(), 4);
         // Lose any two fragments; the rest reconstructs.
         for keep in [[0usize, 1], [1, 3], [2, 0]] {
