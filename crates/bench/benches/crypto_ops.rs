@@ -38,18 +38,27 @@ fn bench_hmac(c: &mut Criterion) {
 
 fn bench_schnorr(c: &mut Criterion) {
     let mut g = c.benchmark_group("schnorr");
+    g.sample_size(10);
     for (label, params) in [
         ("micro-128", SchnorrParams::micro()),
         ("toy-256", SchnorrParams::toy()),
+        ("group-512", SchnorrParams::group_512()),
+        ("group-1024", SchnorrParams::group_1024()),
     ] {
         let key = SigningKey::from_seed(&params, 1);
         let msg = vec![0x11u8; 256];
         let sig = key.sign(&msg);
+        // Warm the lazily-built fixed-base tables outside the timed region.
+        key.verifying_key().verify(&msg, &sig).unwrap();
         g.bench_function(BenchmarkId::new("sign", label), |b| {
             b.iter(|| key.sign(&msg));
         });
         g.bench_function(BenchmarkId::new("verify", label), |b| {
             b.iter(|| key.verifying_key().verify(&msg, &sig).unwrap());
+        });
+        // The pre-Montgomery implementation, kept as the speedup baseline.
+        g.bench_function(BenchmarkId::new("verify-schoolbook", label), |b| {
+            b.iter(|| key.verifying_key().verify_schoolbook(&msg, &sig).unwrap());
         });
     }
     g.finish();

@@ -205,8 +205,8 @@ pub fn t1_context_costs() -> Table {
             read_msgs.to_string(),
             write_msgs.to_string(),
             m.client.signs.to_string(),
-            m.servers.verifies.to_string(),
-            m.client.verifies.to_string(),
+            m.servers.logical_verifies().to_string(),
+            m.client.logical_verifies().to_string(),
         ]);
     }
     t.note("warm session: context already stored; paper best case = 1 warm-read verify");
@@ -268,10 +268,10 @@ pub fn t2_data_costs() -> Table {
                 (b + 1).to_string(),
                 f2(wm.stats.sent_by_kind("write-req") as f64 / kf),
                 f2(wm.client.signs as f64 / kf),
-                f2(wm.servers.verifies as f64 / kf),
+                f2(wm.servers.logical_verifies() as f64 / kf),
                 f2(rm.stats.sent_by_kind("ts-query-req") as f64 / kf),
                 f2(rm.stats.sent_by_kind("read-req") as f64 / kf),
-                f2(rm.client.verifies as f64 / kf),
+                f2(rm.client.logical_verifies() as f64 / kf),
                 f2(mean_latency_ms(&wm.results)),
                 f2(mean_latency_ms(&rm.results)),
             ]);
@@ -354,8 +354,8 @@ pub fn t3_multi_writer_costs() -> Table {
             f2(wm.stats.sent_by_kind("write-req") as f64 / kf),
             f2(rm.stats.sent_by_kind("mw-read-req") as f64 / kf),
             (b + 1).to_string(),
-            f2(rm.client.verifies as f64 / kf),
-            f2(wm.servers.verifies as f64 / kf),
+            f2(rm.client.logical_verifies() as f64 / kf),
+            f2(wm.servers.logical_verifies() as f64 / kf),
             max_log.to_string(),
             f2(mean_latency_ms(&wm.results)),
             f2(mean_latency_ms(&rm.results)),
@@ -962,10 +962,10 @@ pub fn f6_reconstruction() -> Table {
         t.row(vec![
             m.to_string(),
             warm_msgs.to_string(),
-            warm.client.verifies.to_string(),
+            warm.client.logical_verifies().to_string(),
             f2(warm_ms),
             rec_msgs.to_string(),
-            rec.client.verifies.to_string(),
+            rec.client.logical_verifies().to_string(),
             f2(rec_ms),
             ratio(rec_ms, warm_ms),
         ]);

@@ -33,6 +33,7 @@ use crate::item::{ItemMeta, SignedContext, StoredItem};
 use crate::metrics::CryptoCounters;
 use crate::quorum;
 use crate::types::{ClientId, Consistency, DataId, GroupId, OpId, ServerId, Timestamp};
+use crate::vcache::VerifyCache;
 use crate::wire::Msg;
 
 /// An operation a client can perform against the store.
@@ -299,6 +300,10 @@ pub struct ClientCore {
     ops: HashMap<OpId, Op>,
     next_op: u64,
     counters: CryptoCounters,
+    /// Signatures this client has already verified — quorum reads deliver
+    /// the same signed item from several servers, and repeated reads of a
+    /// stable item should not re-pay the public-key operation.
+    vcache: VerifyCache,
     /// Current fault estimate `b̂` for adaptive read quorums (always the
     /// full bound `b` unless `adaptive_read_quorum` is on).
     fault_estimate: usize,
@@ -319,8 +324,14 @@ impl ClientCore {
             ops: HashMap::new(),
             next_op: 1,
             counters: CryptoCounters::new(),
+            vcache: VerifyCache::default(),
             fault_estimate,
         }
+    }
+
+    /// The verification cache (for hit/miss inspection by harnesses).
+    pub fn verify_cache(&self) -> &VerifyCache {
+        &self.vcache
     }
 
     /// The current read-quorum fault estimate `b̂`.
@@ -360,6 +371,8 @@ impl ClientCore {
         self.contexts.clear();
         self.sessions.clear();
         self.ops.clear();
+        // A crash loses in-memory state — including remembered verifications.
+        self.vcache = VerifyCache::default();
     }
 
     /// Number of operations still in flight.
@@ -538,6 +551,7 @@ impl ClientCore {
         &SigningKey,
         &mut HashMap<OpId, Op>,
         &mut CryptoCounters,
+        &mut VerifyCache,
     ) {
         (
             &self.dir,
@@ -545,6 +559,7 @@ impl ClientCore {
             &self.key,
             &mut self.ops,
             &mut self.counters,
+            &mut self.vcache,
         )
     }
 

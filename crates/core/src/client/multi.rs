@@ -48,7 +48,7 @@ impl ClientCore {
         let writer_ctx = Some(self.context(group));
         let client = self.id();
         let item = {
-            let (_, _, key, _, counters) = self.parts();
+            let (_, _, key, _, counters, _) = self.parts();
             StoredItem::create(data, group, ts, client, writer_ctx, value, key, counters)
         };
         let needed = quorum::multi_writer_quorum(self.dir().b());
@@ -271,7 +271,7 @@ impl ClientCore {
             }
         }
         {
-            let (_, _, _, _, counters) = self.parts();
+            let (_, _, _, _, counters, _) = self.parts();
             for _ in 0..digest_checks {
                 counters.count_digest();
             }
@@ -295,8 +295,8 @@ impl ClientCore {
                     continue;
                 };
                 let ok = {
-                    let (_, _, _, _, counters) = self.parts();
-                    bucket.item.verify(&key, counters).is_ok()
+                    let (_, _, _, _, counters, vcache) = self.parts();
+                    bucket.item.verify_cached(&key, vcache, counters).is_ok()
                 };
                 if !ok {
                     continue;

@@ -41,7 +41,7 @@ impl ClientCore {
         };
         let client = self.id();
         let item = {
-            let (_, _, key, _, counters) = self.parts();
+            let (_, _, key, _, counters, _) = self.parts();
             StoredItem::create(data, group, ts, client, writer_ctx, value, key, counters)
         };
         let needed = quorum::data_quorum(self.dir().b());
@@ -311,8 +311,8 @@ impl ClientCore {
         }
         let key = self.dir().client_key(item.meta.writer)?.clone();
         let ok = {
-            let (_, _, _, _, counters) = self.parts();
-            item.verify(&key, counters).is_ok()
+            let (_, _, _, _, counters, vcache) = self.parts();
+            item.verify_cached(&key, vcache, counters).is_ok()
         };
         if !ok {
             return None;

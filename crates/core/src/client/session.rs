@@ -82,7 +82,7 @@ impl ClientCore {
         let ctx = self.context(group);
         let client = self.id();
         let signed = {
-            let (_, _, key, _, counters) = self.parts();
+            let (_, _, key, _, counters, _) = self.parts();
             SignedContext::create(client, session, ctx, key, counters)
         };
         let mut common = OpCommon {
@@ -173,8 +173,8 @@ impl ClientCore {
         let my_key = self.verifying_key();
         for sc in candidates.drain(..) {
             let ok = {
-                let (_, _, _, _, counters) = self.parts();
-                sc.verify(&my_key, counters).is_ok()
+                let (_, _, _, _, counters, vcache) = self.parts();
+                sc.verify_cached(&my_key, vcache, counters).is_ok()
             };
             if ok {
                 adopted = Some(sc);
@@ -260,8 +260,8 @@ impl ClientCore {
                     continue;
                 };
                 let ok = {
-                    let (_, _, _, _, counters) = self.parts();
-                    meta.verify(&key, counters).is_ok()
+                    let (_, _, _, _, counters, vcache) = self.parts();
+                    meta.verify_cached(&key, vcache, counters).is_ok()
                 };
                 if ok {
                     ctx.observe(data, meta.ts);
@@ -351,7 +351,7 @@ impl ClientCore {
                 let session = self.pending_session.get(&group).copied().unwrap_or(1);
                 let ctx = self.context(group);
                 let signed = {
-                    let (_, _, key, _, counters) = self.parts();
+                    let (_, _, key, _, counters, _) = self.parts();
                     SignedContext::create(client, session, ctx, key, counters)
                 };
                 Self::widen_contacts(

@@ -334,6 +334,13 @@ impl<'a> Dec<'a> {
         if sig.to_bytes() != bytes {
             return Err(CodecError::NonCanonical("signature"));
         }
+        // Scalars must be minimally encoded (no leading zero bytes):
+        // zero-padding `e` or `s` yields a second wire encoding of the same
+        // valid signature, and padded and minimal forms would also occupy
+        // distinct verification-cache entries.
+        if !sig.scalars_minimal() {
+            return Err(CodecError::NonCanonical("signature scalar padding"));
+        }
         Ok(sig)
     }
 
@@ -692,6 +699,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn zero_padded_signature_scalars_rejected() {
+        // Re-encode a valid signature with each scalar prefixed by a zero
+        // byte: same mathematical signature, different wire bytes. The
+        // decoder must refuse the padded variant to stay injective.
+        let item = sample_item(false);
+        let sig_bytes = item.meta.signature.to_bytes();
+        let e_len = u32::from_be_bytes(sig_bytes[..4].try_into().unwrap()) as usize;
+        let (e, s) = (&sig_bytes[4..4 + e_len], &sig_bytes[4 + e_len..]);
+        let mut padded = Vec::new();
+        padded.extend_from_slice(&(e_len as u32 + 1).to_be_bytes());
+        padded.push(0);
+        padded.extend_from_slice(e);
+        padded.push(0);
+        padded.extend_from_slice(s);
+        let padded_sig = Signature::from_bytes(&padded).unwrap();
+        assert!(!padded_sig.scalars_minimal());
+        let mut bad = item;
+        bad.meta.signature = padded_sig;
+        let bytes = encode_msg(&Msg::ReadResp {
+            op: OpId(1),
+            item: Some(bad),
+        });
+        assert_eq!(
+            decode_msg(&bytes),
+            Err(CodecError::NonCanonical("signature scalar padding"))
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::context::Context;
 use crate::encoding::{context_payload, write_payload};
 use crate::metrics::CryptoCounters;
 use crate::types::{ClientId, DataId, GroupId, Timestamp};
+use crate::vcache::VerifyCache;
 
 /// Signed metadata of a stored data item.
 ///
@@ -61,6 +62,26 @@ impl ItemMeta {
     ) -> Result<(), CryptoError> {
         counters.count_verify();
         key.verify(&self.payload(), &self.signature)
+    }
+
+    /// As [`ItemMeta::verify`], but consults (and on success populates) the
+    /// node's verification cache. A hit is counted as `verify_cached`
+    /// instead of `verify` and performs no public-key operation.
+    pub fn verify_cached(
+        &self,
+        key: &VerifyingKey,
+        cache: &mut VerifyCache,
+        counters: &mut CryptoCounters,
+    ) -> Result<(), CryptoError> {
+        let payload = self.payload();
+        if cache.check(self.writer, &payload, &self.signature) {
+            counters.count_verify_cached();
+            return Ok(());
+        }
+        counters.count_verify();
+        key.verify(&payload, &self.signature)?;
+        cache.insert(self.writer, &payload, &self.signature);
+        Ok(())
     }
 
     /// Estimated wire size in bytes.
@@ -133,6 +154,25 @@ impl StoredItem {
         Ok(())
     }
 
+    /// As [`StoredItem::verify`], but the signature check may be satisfied
+    /// by the verification cache. The value is digest-checked against the
+    /// signed digest on *every* call — the cache only ever replaces the
+    /// public-key operation, never the integrity check of the bytes in
+    /// hand.
+    pub fn verify_cached(
+        &self,
+        key: &VerifyingKey,
+        cache: &mut VerifyCache,
+        counters: &mut CryptoCounters,
+    ) -> Result<(), CryptoError> {
+        self.meta.verify_cached(key, cache, counters)?;
+        counters.count_digest();
+        if digest(&self.value) != self.meta.value_digest {
+            return Err(CryptoError::BadMac);
+        }
+        Ok(())
+    }
+
     /// Estimated wire size in bytes.
     pub fn size_bytes(&self) -> usize {
         self.meta.size_bytes() + 8 + self.value.len()
@@ -187,6 +227,25 @@ impl SignedContext {
             &context_payload(self.client, &self.ctx, self.session),
             &self.signature,
         )
+    }
+
+    /// As [`SignedContext::verify`], but consults (and on success
+    /// populates) the node's verification cache.
+    pub fn verify_cached(
+        &self,
+        key: &VerifyingKey,
+        cache: &mut VerifyCache,
+        counters: &mut CryptoCounters,
+    ) -> Result<(), CryptoError> {
+        let payload = context_payload(self.client, &self.ctx, self.session);
+        if cache.check(self.client, &payload, &self.signature) {
+            counters.count_verify_cached();
+            return Ok(());
+        }
+        counters.count_verify();
+        key.verify(&payload, &self.signature)?;
+        cache.insert(self.client, &payload, &self.signature);
+        Ok(())
     }
 
     /// Estimated wire size in bytes.
@@ -317,6 +376,80 @@ mod tests {
         let mut bad2 = sc;
         bad2.ctx.observe(DataId(1), Timestamp::Version(1));
         assert!(bad2.verify(k.verifying_key(), &mut c).is_err());
+    }
+
+    #[test]
+    fn verify_cached_counts_hits_separately() {
+        let k = key(11);
+        let mut c = CryptoCounters::new();
+        let mut cache = VerifyCache::new(16);
+        let item = sample_item(&k, &mut c);
+        item.verify_cached(k.verifying_key(), &mut cache, &mut c)
+            .unwrap();
+        assert_eq!((c.verifies, c.verify_cached), (1, 0));
+        item.verify_cached(k.verifying_key(), &mut cache, &mut c)
+            .unwrap();
+        assert_eq!((c.verifies, c.verify_cached), (1, 1));
+        assert_eq!(c.logical_verifies(), 2);
+    }
+
+    #[test]
+    fn verify_cached_still_detects_corrupted_value() {
+        let k = key(12);
+        let mut c = CryptoCounters::new();
+        let mut cache = VerifyCache::new(16);
+        let item = sample_item(&k, &mut c);
+        item.verify_cached(k.verifying_key(), &mut cache, &mut c)
+            .unwrap();
+        // Same signed metadata (cache hit), corrupted value bytes: the
+        // digest check must still fire even though the signature is cached.
+        let mut corrupt = item.clone();
+        corrupt.value = b"evil".to_vec();
+        assert_eq!(
+            corrupt.verify_cached(k.verifying_key(), &mut cache, &mut c),
+            Err(CryptoError::BadMac)
+        );
+    }
+
+    #[test]
+    fn failed_verifications_are_not_cached() {
+        let k1 = key(13);
+        let k2 = key(14);
+        let mut c = CryptoCounters::new();
+        let mut cache = VerifyCache::new(16);
+        let item = sample_item(&k1, &mut c);
+        // Verify against the wrong key: fails, must not populate the cache.
+        assert!(item
+            .verify_cached(k2.verifying_key(), &mut cache, &mut c)
+            .is_err());
+        assert!(cache.is_empty());
+        // A later check against the wrong key is still a real (failing)
+        // verification, not a hit.
+        assert!(item
+            .verify_cached(k2.verifying_key(), &mut cache, &mut c)
+            .is_err());
+        assert_eq!(c.verify_cached, 0);
+    }
+
+    #[test]
+    fn signed_context_verify_cached_roundtrip() {
+        let k = key(15);
+        let mut c = CryptoCounters::new();
+        let mut cache = VerifyCache::new(16);
+        let mut ctx = Context::new(GroupId(2));
+        ctx.observe(DataId(1), Timestamp::Version(1));
+        let sc = SignedContext::create(ClientId(1), 7, ctx, &k, &mut c);
+        sc.verify_cached(k.verifying_key(), &mut cache, &mut c)
+            .unwrap();
+        sc.verify_cached(k.verifying_key(), &mut cache, &mut c)
+            .unwrap();
+        assert_eq!((c.verifies, c.verify_cached), (1, 1));
+        // Tampering misses the cache and fails verification.
+        let mut bad = sc.clone();
+        bad.session = 8;
+        assert!(bad
+            .verify_cached(k.verifying_key(), &mut cache, &mut c)
+            .is_err());
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //! - [`client`]: the consistency-enforcing client — sessions (context
 //!   acquisition/storage/reconstruction), MRC/CC reads and writes,
 //!   multi-writer reads and writes.
+//! - [`metrics`], [`vcache`]: §6 crypto-operation accounting and the
+//!   bounded LRU verification cache that lets nodes skip re-verifying
+//!   signatures they have already validated.
 //! - [`faults`]: Byzantine server behaviours for fault injection.
 //! - [`sim`]: a harness running whole clusters inside the deterministic
 //!   `sstore-simnet` simulator.
@@ -85,6 +88,7 @@ pub mod quorum;
 pub mod server;
 pub mod sim;
 pub mod types;
+pub mod vcache;
 pub mod wire;
 
 pub use client::{ClientCore, ClientOp, OpKind, OpResult, Outcome};
@@ -94,4 +98,5 @@ pub use directory::Directory;
 pub use item::{ItemMeta, SignedContext, StoredItem};
 pub use server::{Addr, ServerNode};
 pub use types::{ClientId, Consistency, DataId, GroupId, OpId, ServerId, Timestamp};
+pub use vcache::VerifyCache;
 pub use wire::Msg;

@@ -24,8 +24,15 @@ use crate::wire::Msg;
 pub struct CryptoCounters {
     /// Signatures produced.
     pub signs: u64,
-    /// Signature verifications performed.
+    /// Signature verifications performed (actual public-key operations).
     pub verifies: u64,
+    /// Verifications satisfied by the verification cache: the node needed a
+    /// signature check but had already verified the identical
+    /// `(writer, payload, signature)` triple, so no public-key operation
+    /// ran. Counted separately so the §6 formula tables can report both the
+    /// logical demand ([`CryptoCounters::logical_verifies`]) and the actual
+    /// cost.
+    pub verify_cached: u64,
     /// Digest computations (value hashing).
     pub digests: u64,
     /// MAC computations (used by the PBFT-lite baseline).
@@ -48,6 +55,18 @@ impl CryptoCounters {
         self.verifies += 1;
     }
 
+    /// Records one verification satisfied from the cache.
+    pub fn count_verify_cached(&mut self) {
+        self.verify_cached += 1;
+    }
+
+    /// Verifications the protocol *demanded*, whether served by a fresh
+    /// public-key operation or by the cache. This is the quantity the §6
+    /// formulas predict.
+    pub fn logical_verifies(&self) -> u64 {
+        self.verifies + self.verify_cached
+    }
+
     /// Records one digest computation.
     pub fn count_digest(&mut self) {
         self.digests += 1;
@@ -63,6 +82,7 @@ impl CryptoCounters {
         CryptoCounters {
             signs: self.signs + other.signs,
             verifies: self.verifies + other.verifies,
+            verify_cached: self.verify_cached + other.verify_cached,
             digests: self.digests + other.digests,
             macs: self.macs + other.macs,
         }
@@ -73,6 +93,7 @@ impl CryptoCounters {
         CryptoCounters {
             signs: self.signs - earlier.signs,
             verifies: self.verifies - earlier.verifies,
+            verify_cached: self.verify_cached - earlier.verify_cached,
             digests: self.digests - earlier.digests,
             macs: self.macs - earlier.macs,
         }
@@ -83,8 +104,8 @@ impl std::fmt::Display for CryptoCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "sign={} verify={} digest={} mac={}",
-            self.signs, self.verifies, self.digests, self.macs
+            "sign={} verify={} verify-cached={} digest={} mac={}",
+            self.signs, self.verifies, self.verify_cached, self.digests, self.macs
         )
     }
 }
@@ -227,14 +248,31 @@ mod tests {
         a.count_sign();
         a.count_verify();
         a.count_verify();
+        a.count_verify_cached();
         a.count_digest();
         a.count_mac();
         let b = a;
         let sum = a.merged(b);
         assert_eq!(sum.signs, 2);
         assert_eq!(sum.verifies, 4);
+        assert_eq!(sum.verify_cached, 2);
+        assert_eq!(sum.logical_verifies(), 6);
         assert_eq!(sum.digests, 2);
         assert_eq!(sum.macs, 2);
+    }
+
+    #[test]
+    fn cached_verifies_tracked_separately() {
+        let mut c = CryptoCounters::new();
+        c.count_verify();
+        let snap = c;
+        c.count_verify_cached();
+        c.count_verify_cached();
+        let d = c.since(snap);
+        assert_eq!(d.verifies, 0);
+        assert_eq!(d.verify_cached, 2);
+        assert_eq!(d.logical_verifies(), 2);
+        assert!(format!("{c}").contains("verify-cached=2"));
     }
 
     #[test]

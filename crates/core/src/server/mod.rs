@@ -29,6 +29,7 @@ use crate::directory::Directory;
 use crate::item::{SignedContext, StoredItem};
 use crate::metrics::CryptoCounters;
 use crate::types::{ClientId, DataId, GroupId, ServerId, Timestamp};
+use crate::vcache::VerifyCache;
 use crate::wire::Msg;
 
 /// A participant address: either a peer server or a client.
@@ -73,6 +74,10 @@ pub struct ServerNode {
     /// servers").
     peer_knowledge: HashMap<ServerId, HashMap<DataId, Timestamp>>,
     counters: CryptoCounters,
+    /// Signatures this server has already verified — gossip and quorum
+    /// traffic re-deliver the same signed bytes constantly, and a repeat
+    /// admission check should not cost another public-key operation.
+    vcache: VerifyCache,
 }
 
 impl ServerNode {
@@ -90,6 +95,7 @@ impl ServerNode {
             dirty: HashSet::new(),
             peer_knowledge: HashMap::new(),
             counters: CryptoCounters::new(),
+            vcache: VerifyCache::default(),
         }
     }
 
@@ -101,6 +107,11 @@ impl ServerNode {
     /// Cryptographic-operation counters accumulated so far.
     pub fn counters(&self) -> CryptoCounters {
         self.counters
+    }
+
+    /// The verification cache (for hit/miss inspection by harnesses).
+    pub fn verify_cache(&self) -> &VerifyCache {
+        &self.vcache
     }
 
     /// The configured gossip period (used by adapters to re-arm timers).
@@ -285,7 +296,10 @@ impl ServerNode {
             return false;
         };
         let key = key.clone();
-        if signed.verify(&key, &mut self.counters).is_err() {
+        if signed
+            .verify_cached(&key, &mut self.vcache, &mut self.counters)
+            .is_err()
+        {
             return false;
         }
         let slot = (signed.client, group);
@@ -414,13 +428,16 @@ impl ServerNode {
         self.items.insert(item.meta.data, item);
     }
 
-    /// Full verification of a client-signed item (signature + value digest).
+    /// Full verification of a client-signed item (signature + value digest),
+    /// skipping the public-key operation when this exact item was already
+    /// verified here.
     fn verify_item(&mut self, item: &StoredItem) -> bool {
         let Some(key) = self.dir.client_key(item.meta.writer) else {
             return false;
         };
         let key = key.clone();
-        item.verify(&key, &mut self.counters).is_ok()
+        item.verify_cached(&key, &mut self.vcache, &mut self.counters)
+            .is_ok()
     }
 
     /// Processes an anti-entropy summary: learn what the peer has, send it

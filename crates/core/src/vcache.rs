@@ -1,0 +1,301 @@
+//! Bounded LRU cache of already-verified signatures.
+//!
+//! Servers and clients repeatedly see the *same* signed bytes: a server
+//! re-validates an item when gossip offers it again, a reader re-verifies
+//! the winning item of a quorum after verifying the same copy from another
+//! server, a frequently-read item is verified on every read. Each of those
+//! checks costs two modular exponentiations. The cache remembers the triple
+//! `(writer, payload digest, signature digest)` of every signature that has
+//! already verified on this node, so an identical re-check is a hash lookup
+//! instead of a public-key operation.
+//!
+//! # Why a hit cannot weaken Byzantine guarantees
+//!
+//! A hit requires the *writer id*, the *full signed payload bytes* (by
+//! SHA-256 digest) and the *signature bytes* (by digest) to be identical to
+//! a triple this same node previously verified against the writer's public
+//! key. Key resolution (writer id → [`VerifyingKey`]) is immutable for the
+//! lifetime of a deployment, caches are per-node and only populated by that
+//! node's own successful verifications, and value bytes are still digest-
+//! checked against the signed digest on every call. A cache hit therefore
+//! asserts exactly what a fresh verification would: *these bytes carry a
+//! valid signature by this writer* — nothing more. Failed verifications are
+//! never cached, so a forged signature is re-examined (and re-rejected)
+//! every time. See DESIGN.md for the full argument.
+//!
+//! Nodes count hits via [`CryptoCounters::count_verify_cached`], separately
+//! from real verifications, so the §6 formula tables remain exact: the
+//! formulas predict [`CryptoCounters::logical_verifies`].
+//!
+//! [`CryptoCounters::count_verify_cached`]: crate::metrics::CryptoCounters::count_verify_cached
+//! [`CryptoCounters::logical_verifies`]: crate::metrics::CryptoCounters::logical_verifies
+//! [`VerifyingKey`]: sstore_crypto::schnorr::VerifyingKey
+
+use std::collections::HashMap;
+
+use sstore_crypto::schnorr::Signature;
+use sstore_crypto::sha256::{digest, Digest};
+
+use crate::types::ClientId;
+
+/// Default number of verified triples a node remembers.
+pub const DEFAULT_VERIFY_CACHE_CAPACITY: usize = 1024;
+
+/// Cache key: who signed, what bytes were signed, and with what signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    writer: ClientId,
+    payload: Digest,
+    signature: Digest,
+}
+
+impl Key {
+    fn new(writer: ClientId, payload: &[u8], signature: &Signature) -> Self {
+        Key {
+            writer,
+            payload: digest(payload),
+            signature: digest(signature.to_bytes()),
+        }
+    }
+}
+
+/// One entry in the intrusive doubly-linked LRU list.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: Key,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A bounded LRU set of verified `(writer, payload, signature)` triples.
+///
+/// Capacity is fixed at construction; inserting into a full cache evicts
+/// the least-recently-used entry. Lookups refresh recency. All storage is
+/// pre-sized — no allocation after the first `capacity` insertions.
+#[derive(Debug, Clone)]
+pub struct VerifyCache {
+    map: HashMap<Key, usize>,
+    slots: Vec<Slot>,
+    /// Most recently used slot, or `NIL` when empty.
+    head: usize,
+    /// Least recently used slot, or `NIL` when empty.
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for VerifyCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_VERIFY_CACHE_CAPACITY)
+    }
+}
+
+impl VerifyCache {
+    /// Creates a cache holding at most `capacity` triples (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        VerifyCache {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether this exact triple has already been verified. A hit refreshes
+    /// the entry's recency.
+    pub fn check(&mut self, writer: ClientId, payload: &[u8], signature: &Signature) -> bool {
+        let key = Key::new(writer, payload, signature);
+        match self.map.get(&key) {
+            Some(&idx) => {
+                self.touch(idx);
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Records a successfully verified triple, evicting the least-recently-
+    /// used entry when full. Only call after a *successful* verification.
+    pub fn insert(&mut self, writer: ClientId, payload: &[u8], signature: &Signature) {
+        let key = Key::new(writer, payload, signature);
+        if let Some(&idx) = self.map.get(&key) {
+            self.touch(idx);
+            return;
+        }
+        let idx = if self.slots.len() < self.capacity {
+            let idx = self.slots.len();
+            self.slots.push(Slot {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
+            idx
+        } else {
+            // Reuse the LRU slot in place.
+            let idx = self.tail;
+            self.unlink(idx);
+            self.map.remove(&self.slots[idx].key);
+            self.slots[idx].key = key;
+            idx
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a real verification.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let Slot { prev, next, .. } = self.slots[idx];
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slots[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_crypto::schnorr::{SchnorrParams, SigningKey};
+
+    fn sig(n: u64) -> Signature {
+        SigningKey::from_seed(&SchnorrParams::micro(), 1).sign(&n.to_be_bytes())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = VerifyCache::new(4);
+        let s = sig(1);
+        assert!(!c.check(ClientId(1), b"payload", &s));
+        c.insert(ClientId(1), b"payload", &s);
+        assert!(c.check(ClientId(1), b"payload", &s));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn key_distinguishes_all_three_components() {
+        let mut c = VerifyCache::new(8);
+        let s1 = sig(1);
+        let s2 = sig(2);
+        c.insert(ClientId(1), b"payload", &s1);
+        assert!(!c.check(ClientId(2), b"payload", &s1), "different writer");
+        assert!(!c.check(ClientId(1), b"other", &s1), "different payload");
+        assert!(
+            !c.check(ClientId(1), b"payload", &s2),
+            "different signature"
+        );
+        assert!(c.check(ClientId(1), b"payload", &s1));
+    }
+
+    #[test]
+    fn capacity_bounds_and_lru_eviction() {
+        let mut c = VerifyCache::new(2);
+        let s = sig(1);
+        c.insert(ClientId(1), b"a", &s);
+        c.insert(ClientId(1), b"b", &s);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(c.check(ClientId(1), b"a", &s));
+        c.insert(ClientId(1), b"c", &s);
+        assert_eq!(c.len(), 2);
+        assert!(c.check(ClientId(1), b"a", &s), "recently used survives");
+        assert!(c.check(ClientId(1), b"c", &s), "new entry present");
+        assert!(!c.check(ClientId(1), b"b", &s), "LRU entry evicted");
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = VerifyCache::new(2);
+        let s = sig(1);
+        c.insert(ClientId(1), b"a", &s);
+        c.insert(ClientId(1), b"b", &s);
+        c.insert(ClientId(1), b"a", &s); // refresh, not duplicate
+        assert_eq!(c.len(), 2);
+        c.insert(ClientId(1), b"c", &s); // evicts "b", the true LRU
+        assert!(c.check(ClientId(1), b"a", &s));
+        assert!(!c.check(ClientId(1), b"b", &s));
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut c = VerifyCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        let s = sig(1);
+        c.insert(ClientId(1), b"a", &s);
+        c.insert(ClientId(1), b"b", &s);
+        assert_eq!(c.len(), 1);
+        assert!(c.check(ClientId(1), b"b", &s));
+    }
+
+    #[test]
+    fn heavy_churn_keeps_list_consistent() {
+        let mut c = VerifyCache::new(8);
+        let s = sig(1);
+        for round in 0u64..200 {
+            let payload = (round % 24).to_be_bytes();
+            if !c.check(ClientId(1), &payload, &s) {
+                c.insert(ClientId(1), &payload, &s);
+            }
+            assert!(c.len() <= 8);
+        }
+        assert_eq!(c.len(), 8);
+        // The most recent payload must still be resident.
+        assert!(c.check(ClientId(1), &(199u64 % 24).to_be_bytes(), &s));
+    }
+}

@@ -1,9 +1,23 @@
 //! Arbitrary-precision unsigned integers, purpose-built for Schnorr groups.
 //!
 //! Little-endian `u64` limbs, schoolbook multiplication, Knuth Algorithm D
-//! division, square-and-multiply modular exponentiation and Miller–Rabin
-//! primality testing. The sizes in play (≤ 1024-bit moduli in the
-//! reproduction presets) keep the quadratic algorithms comfortably fast.
+//! division and Miller–Rabin primality testing. Modular exponentiation is
+//! the protocol hot path (every signature costs one, every verification
+//! two), so it gets the full treatment:
+//!
+//! - [`MontgomeryCtx`]: precomputed Montgomery-form reduction for an odd
+//!   modulus — multiplication without per-step division;
+//! - fixed-window (w = 4) exponentiation in [`BigUint::modpow`] and
+//!   [`MontgomeryCtx::modpow`], replacing the bit-at-a-time loop (kept as
+//!   [`BigUint::modpow_schoolbook`] for reference and equivalence tests);
+//! - [`MontgomeryCtx::modpow2`]: Strauss–Shamir simultaneous double
+//!   exponentiation `a^ea · b^eb mod m` in a single shared-squaring pass;
+//! - [`FixedBaseTable`]: precomputed window tables for a fixed base, making
+//!   repeated exponentiations (the generator `g`, a public key `y`)
+//!   multiplication-only.
+//!
+//! None of this is constant-time; the reproduction trades side-channel
+//! hygiene for clarity, exactly like the schoolbook code it replaces.
 //!
 //! ```
 //! use sstore_crypto::bigint::BigUint;
@@ -12,6 +26,8 @@
 //! let g = BigUint::from(5u64);
 //! assert_eq!(g.modpow(&BigUint::from(6u64), &p), BigUint::from(8u64));
 //! ```
+
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -412,12 +428,31 @@ impl BigUint {
         self.mul(other).rem(m)
     }
 
-    /// `self^exp mod m` via square-and-multiply.
+    /// `self^exp mod m` via fixed-window (w = 4) exponentiation, using
+    /// Montgomery multiplication when `m` is odd.
     ///
     /// # Panics
     ///
     /// Panics if `m` is zero.
     pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        match MontgomeryCtx::new(m) {
+            Some(ctx) => ctx.modpow(self, exp),
+            None => self.modpow_windowed_plain(exp, m),
+        }
+    }
+
+    /// `self^exp mod m` via bit-at-a-time square-and-multiply with a full
+    /// division per step — the original implementation, kept as the
+    /// reference the fast paths are tested (and benchmarked) against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow_schoolbook(&self, exp: &BigUint, m: &BigUint) -> BigUint {
         assert!(!m.is_zero(), "modpow with zero modulus");
         if m.is_one() {
             return BigUint::zero();
@@ -431,6 +466,47 @@ impl BigUint {
             base = base.mulmod(&base, m);
         }
         result
+    }
+
+    /// Fixed-window exponentiation with plain (divide-to-reduce)
+    /// multiplication, for even moduli where Montgomery form does not
+    /// apply. `m` must be > 1.
+    fn modpow_windowed_plain(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        let bits = exp.bit_len();
+        if bits == 0 {
+            return BigUint::one();
+        }
+        let base = self.rem(m);
+        // tbl[i] = base^(i+1) mod m for i in 0..15.
+        let mut tbl = Vec::with_capacity(15);
+        tbl.push(base.clone());
+        for i in 1..15 {
+            let next = tbl[i - 1].mulmod(&base, m);
+            tbl.push(next);
+        }
+        let windows = bits.div_ceil(4);
+        let mut acc = BigUint::one();
+        for w in (0..windows).rev() {
+            if w != windows - 1 {
+                for _ in 0..4 {
+                    acc = acc.mulmod(&acc, m);
+                }
+            }
+            let d = exp.window4(w);
+            if d != 0 {
+                acc = acc.mulmod(&tbl[d as usize - 1], m);
+            }
+        }
+        acc
+    }
+
+    /// The 4-bit window `w` of the exponent: bits `4w .. 4w+4`.
+    fn window4(&self, w: usize) -> u8 {
+        let bit = 4 * w;
+        let limb = bit / 64;
+        let off = bit % 64;
+        // A window never straddles limbs (64 is a multiple of 4).
+        (self.limbs.get(limb).copied().unwrap_or(0) >> off) as u8 & 0xf
     }
 
     /// Modular multiplicative inverse via the extended Euclidean algorithm.
@@ -543,15 +619,19 @@ impl BigUint {
         let d = n_minus_1.shr(s);
         let two = BigUint::from(2u64);
         let upper = self.sub(&BigUint::from(3u64));
+        // Trial division already rejected even numbers, so a Montgomery
+        // context always exists; building it once amortizes the setup over
+        // every witness round.
+        let ctx = MontgomeryCtx::new(self).expect("odd modulus > 1");
         'witness: for _ in 0..rounds {
             // a in [2, n-2]
             let a = BigUint::random_below(&upper, rng).add(&two);
-            let mut x = a.modpow(&d, self);
+            let mut x = ctx.modpow(&a, &d);
             if x.is_one() || x == n_minus_1 {
                 continue;
             }
             for _ in 0..s - 1 {
-                x = x.mulmod(&x, self);
+                x = ctx.mulmod(&x, &x);
                 if x == n_minus_1 {
                     continue 'witness;
                 }
@@ -559,6 +639,298 @@ impl BigUint {
             return false;
         }
         true
+    }
+}
+
+/// `a + b*c + carry`, returned as `(low, high)` limbs.
+#[inline(always)]
+fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + (b as u128) * (c as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// `a >= b` on equal-length little-endian limb slices.
+fn limbs_ge(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b` on equal-length little-endian limb slices (no final borrow).
+fn limbs_sub_assign(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+}
+
+/// Precomputed Montgomery-reduction state for an odd modulus `m > 1`.
+///
+/// Values in "Montgomery form" are stored as fixed `k`-limb vectors holding
+/// `x·R mod m` where `R = 2^(64k)` and `k` is the limb count of `m`. One
+/// [`MontgomeryCtx::mont_mul`] (CIOS: coarsely integrated operand scanning)
+/// replaces a schoolbook multiply *and* a Knuth division, which is what
+/// makes the exponentiation loops cheap.
+///
+/// The public methods speak plain [`BigUint`]s: inputs are reduced mod `m`
+/// and converted in, results converted back out.
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    m: BigUint,
+    /// `m` as exactly `k` limbs.
+    m_limbs: Vec<u64>,
+    /// Limb count of the modulus.
+    k: usize,
+    /// `-m^{-1} mod 2^64`.
+    n0: u64,
+    /// `R mod m` — the Montgomery form of 1.
+    r1: Vec<u64>,
+    /// `R^2 mod m` — multiplying by this converts into Montgomery form.
+    r2: Vec<u64>,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for `m`. Returns `None` unless `m` is odd and > 1.
+    pub fn new(m: &BigUint) -> Option<Self> {
+        if m.is_even() || m.is_one() || m.is_zero() {
+            return None;
+        }
+        let k = m.limbs.len();
+        let m_limbs = m.limbs.clone();
+        // Newton's iteration for m0^{-1} mod 2^64: doubles correct bits each
+        // step, 6 steps cover 64 bits (odd m0 makes m0 its own inverse mod 8).
+        let m0 = m_limbs[0];
+        let mut inv: u64 = m0;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let n0 = inv.wrapping_neg();
+        let to_k = |x: BigUint| {
+            let mut l = x.limbs;
+            l.resize(k, 0);
+            l
+        };
+        let r1 = to_k(BigUint::one().shl(64 * k).rem(m));
+        let r2 = to_k(BigUint::one().shl(128 * k).rem(m));
+        Some(MontgomeryCtx {
+            m: m.clone(),
+            m_limbs,
+            k,
+            n0,
+            r1,
+            r2,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.m
+    }
+
+    /// Montgomery product `a·b·R^{-1} mod m` of two `k`-limb values (CIOS).
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        let m = &self.m_limbs;
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter().take(k) {
+            let mut carry = 0u64;
+            for j in 0..k {
+                let (lo, hi) = mac(t[j], ai, b[j], carry);
+                t[j] = lo;
+                carry = hi;
+            }
+            let (s, c) = t[k].overflowing_add(carry);
+            t[k] = s;
+            t[k + 1] += c as u64;
+            // Choose mu so t + mu*m clears the low limb, then shift down.
+            let mu = t[0].wrapping_mul(self.n0);
+            let (_, mut carry) = mac(t[0], mu, m[0], 0);
+            for j in 1..k {
+                let (lo, hi) = mac(t[j], mu, m[j], carry);
+                t[j - 1] = lo;
+                carry = hi;
+            }
+            let (s, c) = t[k].overflowing_add(carry);
+            t[k - 1] = s;
+            t[k] = t[k + 1] + c as u64;
+            t[k + 1] = 0;
+        }
+        // t < 2m here, so at most one subtraction normalizes it.
+        if t[k] != 0 || limbs_ge(&t[..k], m) {
+            limbs_sub_assign(&mut t[..k], m);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Converts `x` (reduced mod `m`) into Montgomery form.
+    fn mont_encode(&self, x: &BigUint) -> Vec<u64> {
+        let mut l = x.rem(&self.m).limbs;
+        l.resize(self.k, 0);
+        self.mont_mul(&l, &self.r2)
+    }
+
+    /// Converts out of Montgomery form into a normalized [`BigUint`].
+    fn mont_decode(&self, a: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        let mut n = BigUint {
+            limbs: self.mont_mul(a, &one),
+        };
+        n.normalize();
+        n
+    }
+
+    /// `(a * b) mod m`.
+    pub fn mulmod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.mont_encode(a);
+        let bm = self.mont_encode(b);
+        self.mont_decode(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod m` via fixed-window (w = 4) Montgomery exponentiation.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let bits = exp.bit_len();
+        if bits == 0 {
+            return self.mont_decode(&self.r1);
+        }
+        let b = self.mont_encode(base);
+        self.mont_decode(&self.pow_mont(&b, exp))
+    }
+
+    /// Windowed exponentiation on a Montgomery-form base; `exp` nonzero.
+    fn pow_mont(&self, b: &[u64], exp: &BigUint) -> Vec<u64> {
+        // tbl[i] = b^(i+1).
+        let mut tbl = Vec::with_capacity(15);
+        tbl.push(b.to_vec());
+        for i in 1..15 {
+            let next = self.mont_mul(&tbl[i - 1], b);
+            tbl.push(next);
+        }
+        let windows = exp.bit_len().div_ceil(4);
+        let mut acc = self.r1.clone();
+        for w in (0..windows).rev() {
+            if w != windows - 1 {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let d = exp.window4(w);
+            if d != 0 {
+                acc = self.mont_mul(&acc, &tbl[d as usize - 1]);
+            }
+        }
+        acc
+    }
+
+    /// `a^ea · b^eb mod m` via Strauss–Shamir simultaneous exponentiation:
+    /// one shared squaring chain over `max(bits(ea), bits(eb))` with a
+    /// precomputed `a·b`, instead of two independent exponentiations plus a
+    /// final multiply.
+    pub fn modpow2(&self, a: &BigUint, ea: &BigUint, b: &BigUint, eb: &BigUint) -> BigUint {
+        let am = self.mont_encode(a);
+        let bm = self.mont_encode(b);
+        let abm = self.mont_mul(&am, &bm);
+        let bits = ea.bit_len().max(eb.bit_len());
+        let mut acc = self.r1.clone();
+        for i in (0..bits).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            match (ea.bit(i), eb.bit(i)) {
+                (true, true) => acc = self.mont_mul(&acc, &abm),
+                (true, false) => acc = self.mont_mul(&acc, &am),
+                (false, true) => acc = self.mont_mul(&acc, &bm),
+                (false, false) => {}
+            }
+        }
+        self.mont_decode(&acc)
+    }
+}
+
+/// Precomputed fixed-base window table: `base^(j · 16^i) mod m` for every
+/// window position `i` and digit `j`.
+///
+/// Exponentiating a *fixed* base this way needs no squarings at all — one
+/// Montgomery multiply per nonzero 4-bit window of the exponent (≤ 40 for a
+/// 160-bit exponent), versus ~160 squarings + ~40 multiplies for the
+/// sliding loop. Built once per long-lived base (a group generator, a
+/// public key) and shared via [`Arc`].
+#[derive(Debug, Clone)]
+pub struct FixedBaseTable {
+    ctx: Arc<MontgomeryCtx>,
+    /// `table[i][j-1] = base^(j · 16^i)` in Montgomery form.
+    table: Vec<Vec<Vec<u64>>>,
+    windows: usize,
+}
+
+impl FixedBaseTable {
+    /// Precomputes windows for exponents up to `max_exp_bits` bits.
+    pub fn new(ctx: Arc<MontgomeryCtx>, base: &BigUint, max_exp_bits: usize) -> Self {
+        let windows = max_exp_bits.div_ceil(4).max(1);
+        let mut table = Vec::with_capacity(windows);
+        // cur = base^(16^i), advanced one window at a time.
+        let mut cur = ctx.mont_encode(base);
+        for _ in 0..windows {
+            let mut row = Vec::with_capacity(15);
+            row.push(cur.clone());
+            for j in 1..15 {
+                let next = ctx.mont_mul(&row[j - 1], &cur);
+                row.push(next);
+            }
+            cur = ctx.mont_mul(&row[14], &cur);
+            table.push(row);
+        }
+        FixedBaseTable {
+            ctx,
+            table,
+            windows,
+        }
+    }
+
+    /// The exponent capacity in bits.
+    pub fn max_exp_bits(&self) -> usize {
+        self.windows * 4
+    }
+
+    /// `base^exp mod m`, or `None` when `exp` exceeds the table's capacity
+    /// (callers fall back to a generic exponentiation).
+    pub fn pow(&self, exp: &BigUint) -> Option<BigUint> {
+        Some(self.ctx.mont_decode(&self.pow_mont(exp)?))
+    }
+
+    /// As [`FixedBaseTable::pow`] but staying in Montgomery form, so two
+    /// fixed-base powers can be combined with a single reduction.
+    fn pow_mont(&self, exp: &BigUint) -> Option<Vec<u64>> {
+        if exp.bit_len() > self.windows * 4 {
+            return None;
+        }
+        let mut acc = self.ctx.r1.clone();
+        for w in 0..exp.bit_len().div_ceil(4) {
+            let d = exp.window4(w);
+            if d != 0 {
+                acc = self.ctx.mont_mul(&acc, &self.table[w][d as usize - 1]);
+            }
+        }
+        Some(acc)
+    }
+
+    /// `a^ea · b^eb mod m` where both tables share a modulus — the verify
+    /// hot path (`g^s · y^{q-e}`) as pure table lookups plus one combine.
+    ///
+    /// Returns `None` when either exponent exceeds its table, or when the
+    /// two tables were built over different moduli.
+    pub fn pow_mul(&self, ea: &BigUint, other: &FixedBaseTable, eb: &BigUint) -> Option<BigUint> {
+        if self.ctx.m != other.ctx.m {
+            return None;
+        }
+        let a = self.pow_mont(ea)?;
+        let b = other.pow_mont(eb)?;
+        Some(self.ctx.mont_decode(&self.ctx.mont_mul(&a, &b)))
     }
 }
 
@@ -749,5 +1121,154 @@ mod tests {
     fn ordering() {
         assert!(big(5) < big(6));
         assert!(BigUint::from_hex("100000000000000000") > BigUint::from_hex("ffffffffffffffff"));
+    }
+
+    #[test]
+    fn montgomery_rejects_even_or_trivial_moduli() {
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::one()).is_none());
+        assert!(MontgomeryCtx::new(&big(1 << 20)).is_none());
+        assert!(MontgomeryCtx::new(&big(997)).is_some());
+    }
+
+    #[test]
+    fn montgomery_mulmod_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for bits in [17usize, 64, 65, 127, 256, 521] {
+            let mut m = BigUint::random_bits(bits, &mut rng);
+            if m.is_even() {
+                m = m.add(&BigUint::one());
+            }
+            if m.is_one() {
+                continue;
+            }
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            for _ in 0..20 {
+                // Deliberately unreduced operands (up to 2x the modulus bits).
+                let a = BigUint::random_bits(1 + rng.gen_range(1..2 * bits), &mut rng);
+                let b = BigUint::random_bits(1 + rng.gen_range(1..2 * bits), &mut rng);
+                assert_eq!(ctx.mulmod(&a, &b), a.mulmod(&b, &m), "m={m} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_modpow_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for bits in [33usize, 64, 128, 255] {
+            let mut m = BigUint::random_bits(bits, &mut rng);
+            if m.is_even() {
+                m = m.add(&BigUint::one());
+            }
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            for _ in 0..10 {
+                let b = BigUint::random_bits(1 + rng.gen_range(1..bits), &mut rng);
+                let e = BigUint::random_bits(1 + rng.gen_range(1..160), &mut rng);
+                assert_eq!(
+                    ctx.modpow(&b, &e),
+                    b.modpow_schoolbook(&e, &m),
+                    "m={m} b={b} e={e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_modpow_edge_cases() {
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61");
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let m1 = m.sub(&BigUint::one());
+        for b in [BigUint::zero(), BigUint::one(), m1.clone(), m.clone()] {
+            for e in [BigUint::zero(), BigUint::one(), big(2), m1.clone()] {
+                assert_eq!(
+                    ctx.modpow(&b, &e),
+                    b.modpow_schoolbook(&e, &m),
+                    "b={b} e={e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_dispatches_even_moduli_correctly() {
+        // Even moduli bypass Montgomery; both paths must agree with schoolbook.
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let m = BigUint::random_bits(1 + rng.gen_range(2..128), &mut rng);
+            if m.is_one() || m.is_zero() {
+                continue;
+            }
+            let b = BigUint::random_bits(1 + rng.gen_range(1..128), &mut rng);
+            let e = BigUint::random_bits(1 + rng.gen_range(1..96), &mut rng);
+            assert_eq!(b.modpow(&e, &m), b.modpow_schoolbook(&e, &m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn modpow2_matches_separate_exponentiations() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61");
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for _ in 0..20 {
+            let a = BigUint::random_below(&m, &mut rng);
+            let b = BigUint::random_below(&m, &mut rng);
+            let ea = BigUint::random_bits(1 + rng.gen_range(1..160), &mut rng);
+            let eb = BigUint::random_bits(1 + rng.gen_range(1..160), &mut rng);
+            let want = a
+                .modpow_schoolbook(&ea, &m)
+                .mulmod(&b.modpow_schoolbook(&eb, &m), &m);
+            assert_eq!(ctx.modpow2(&a, &ea, &b, &eb), want);
+        }
+        // Degenerate exponents.
+        let a = big(7);
+        let b = big(11);
+        assert_eq!(
+            ctx.modpow2(&a, &BigUint::zero(), &b, &BigUint::zero()),
+            BigUint::one()
+        );
+        assert_eq!(
+            ctx.modpow2(&a, &BigUint::one(), &b, &BigUint::zero()),
+            a.rem(&m)
+        );
+    }
+
+    #[test]
+    fn fixed_base_table_matches_modpow() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61");
+        let ctx = Arc::new(MontgomeryCtx::new(&m).unwrap());
+        let g = big(5);
+        let tbl = FixedBaseTable::new(ctx.clone(), &g, 160);
+        assert_eq!(tbl.max_exp_bits(), 160);
+        for _ in 0..20 {
+            let e = BigUint::random_bits(1 + rng.gen_range(1..160), &mut rng);
+            assert_eq!(tbl.pow(&e).unwrap(), g.modpow_schoolbook(&e, &m), "e={e}");
+        }
+        assert_eq!(tbl.pow(&BigUint::zero()).unwrap(), BigUint::one());
+        // Exponent past the table's capacity is refused, not mangled.
+        assert!(tbl.pow(&BigUint::one().shl(160)).is_none());
+    }
+
+    #[test]
+    fn fixed_base_pow_mul_combines_two_bases() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61");
+        let ctx = Arc::new(MontgomeryCtx::new(&m).unwrap());
+        let g = big(5);
+        let y = big(1234567891011u64 as u128);
+        let tg = FixedBaseTable::new(ctx.clone(), &g, 160);
+        let ty = FixedBaseTable::new(ctx.clone(), &y, 160);
+        for _ in 0..10 {
+            let ea = BigUint::random_bits(1 + rng.gen_range(1..160), &mut rng);
+            let eb = BigUint::random_bits(1 + rng.gen_range(1..160), &mut rng);
+            let want = g
+                .modpow_schoolbook(&ea, &m)
+                .mulmod(&y.modpow_schoolbook(&eb, &m), &m);
+            assert_eq!(tg.pow_mul(&ea, &ty, &eb).unwrap(), want);
+        }
+        // Mismatched moduli are refused.
+        let other = Arc::new(MontgomeryCtx::new(&big(997)).unwrap());
+        let tz = FixedBaseTable::new(other, &big(3), 160);
+        assert!(tg.pow_mul(&BigUint::one(), &tz, &BigUint::one()).is_none());
     }
 }

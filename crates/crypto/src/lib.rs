@@ -10,7 +10,10 @@
 //! - [`hmac`]: HMAC-SHA-256, used for PBFT-lite message authenticators and
 //!   for deterministic nonce derivation.
 //! - [`bigint`]: fixed-purpose arbitrary-precision unsigned integers with
-//!   modular exponentiation and Miller–Rabin primality testing.
+//!   Montgomery-form modular arithmetic ([`bigint::MontgomeryCtx`]),
+//!   fixed-window and fixed-base exponentiation
+//!   ([`bigint::FixedBaseTable`]), Strauss–Shamir double exponentiation and
+//!   Miller–Rabin primality testing.
 //! - [`schnorr`]: Schnorr signatures over a Schnorr group (prime-order
 //!   subgroup of `Z_p*`), with DSA-style parameter generation. Signing is
 //!   deterministic (nonce derived via HMAC) so protocol runs are replayable.

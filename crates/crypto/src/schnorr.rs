@@ -26,18 +26,48 @@ use std::sync::OnceLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::bigint::BigUint;
+use crate::bigint::{BigUint, FixedBaseTable, MontgomeryCtx};
 use crate::hmac::HmacSha256;
 use crate::sha256::Sha256;
 use crate::CryptoError;
 
+/// Per-group acceleration state, built lazily on first use and shared by
+/// every key over the same parameters: the Montgomery context for `p` and
+/// the fixed-base window table for the generator `g`.
+#[derive(Debug, Clone)]
+struct ParamsAccel {
+    ctx: Arc<MontgomeryCtx>,
+    g_table: Arc<FixedBaseTable>,
+}
+
 /// Group parameters `(p, q, g)` for Schnorr signatures.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct SchnorrParams {
     p: BigUint,
     q: BigUint,
     g: BigUint,
+    accel: OnceLock<ParamsAccel>,
 }
+
+impl std::fmt::Debug for SchnorrParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchnorrParams")
+            .field("p", &self.p)
+            .field("q", &self.q)
+            .field("g", &self.g)
+            .finish()
+    }
+}
+
+// Equality is over the mathematical group only; the lazily-built
+// acceleration tables are derived state.
+impl PartialEq for SchnorrParams {
+    fn eq(&self, other: &Self) -> bool {
+        self.p == other.p && self.q == other.q && self.g == other.g
+    }
+}
+
+impl Eq for SchnorrParams {}
 
 impl SchnorrParams {
     /// Generates fresh parameters with a `p_bits`-bit modulus and
@@ -83,7 +113,12 @@ impl SchnorrParams {
                 break g;
             }
         };
-        SchnorrParams { p, q, g }
+        SchnorrParams {
+            p,
+            q,
+            g,
+            accel: OnceLock::new(),
+        }
     }
 
     /// Small deterministic parameters (256-bit `p`, 160-bit `q`) for tests,
@@ -110,6 +145,52 @@ impl SchnorrParams {
                 Arc::new(SchnorrParams::generate(128, 64, &mut rng))
             })
             .clone()
+    }
+
+    /// Deterministic 512-bit group (224-bit subgroup order), the reference
+    /// size for the wall-clock crypto benchmarks. Generated once per process
+    /// and cached.
+    pub fn group_512() -> Arc<SchnorrParams> {
+        static G512: OnceLock<Arc<SchnorrParams>> = OnceLock::new();
+        G512.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(TOY_SEED ^ 0x512);
+            Arc::new(SchnorrParams::generate(512, 224, &mut rng))
+        })
+        .clone()
+    }
+
+    /// Deterministic 1024-bit group (256-bit subgroup order) for benchmarks
+    /// at a classically meaningful modulus size. Generated once per process
+    /// and cached.
+    pub fn group_1024() -> Arc<SchnorrParams> {
+        static G1024: OnceLock<Arc<SchnorrParams>> = OnceLock::new();
+        G1024
+            .get_or_init(|| {
+                let mut rng = StdRng::seed_from_u64(TOY_SEED ^ 0x1024);
+                Arc::new(SchnorrParams::generate(1024, 256, &mut rng))
+            })
+            .clone()
+    }
+
+    fn accel(&self) -> &ParamsAccel {
+        self.accel.get_or_init(|| {
+            let ctx = Arc::new(MontgomeryCtx::new(&self.p).expect("prime modulus is odd and > 1"));
+            // Exponents of g never exceed q (the largest is q - e itself, in
+            // verification), so q's bit length bounds the table.
+            let g_table = Arc::new(FixedBaseTable::new(ctx.clone(), &self.g, self.q.bit_len()));
+            ParamsAccel { ctx, g_table }
+        })
+    }
+
+    /// The Montgomery-reduction context for the modulus `p`, built lazily
+    /// and shared by every key over these parameters.
+    pub fn mont_ctx(&self) -> &Arc<MontgomeryCtx> {
+        &self.accel().ctx
+    }
+
+    /// The fixed-base exponentiation table for the generator `g`.
+    pub fn g_table(&self) -> &Arc<FixedBaseTable> {
+        &self.accel().g_table
     }
 
     /// The prime modulus `p`.
@@ -175,6 +256,14 @@ impl Signature {
         out
     }
 
+    /// Whether both scalars use the minimal big-endian encoding (no leading
+    /// zero bytes). Signatures produced by [`SigningKey::sign`] always do;
+    /// the wire codec rejects the padded variants so each signature has
+    /// exactly one encoding.
+    pub fn scalars_minimal(&self) -> bool {
+        self.e.first() != Some(&0) && self.s.first() != Some(&0)
+    }
+
     /// Parses the [`Signature::to_bytes`] encoding.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
         if bytes.len() < 4 {
@@ -224,13 +313,17 @@ impl SigningKey {
     pub fn from_secret(params: &Arc<SchnorrParams>, x: BigUint) -> Self {
         let x = x.rem(&params.q);
         assert!(!x.is_zero(), "secret key must be nonzero mod q");
-        let y = params.g.modpow(&x, &params.p);
+        let y = params
+            .g_table()
+            .pow(&x)
+            .unwrap_or_else(|| params.mont_ctx().modpow(&params.g, &x));
         SigningKey {
             params: params.clone(),
             x,
             public: VerifyingKey {
                 params: params.clone(),
                 y,
+                y_table: Arc::new(OnceLock::new()),
             },
         }
     }
@@ -248,7 +341,6 @@ impl SigningKey {
 
     /// Signs `message` deterministically.
     pub fn sign(&self, message: &[u8]) -> Signature {
-        let p = &self.params.p;
         let q = &self.params.q;
         // Deterministic nonce: k = HMAC(x, message || ctr) mod q, k != 0.
         let x_bytes = self.x.to_be_bytes();
@@ -262,7 +354,11 @@ impl SigningKey {
             }
             ctr += 1;
         };
-        let r = self.params.g.modpow(&k, p);
+        let r = self
+            .params
+            .g_table()
+            .pow(&k)
+            .unwrap_or_else(|| self.params.mont_ctx().modpow(&self.params.g, &k));
         let e = challenge(&r, message, q);
         // s = k + e*x mod q
         let s = k.add(&e.mulmod(&self.x, q)).rem(q);
@@ -274,19 +370,27 @@ impl SigningKey {
 }
 
 /// A Schnorr public key.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct VerifyingKey {
     params: Arc<SchnorrParams>,
     y: BigUint,
+    /// Fixed-base window table for `y`, built on the first verification and
+    /// shared across clones of this key.
+    y_table: Arc<OnceLock<FixedBaseTable>>,
 }
+
+impl PartialEq for VerifyingKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params && self.y == other.y
+    }
+}
+
+impl Eq for VerifyingKey {}
 
 impl std::fmt::Debug for VerifyingKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "VerifyingKey(y=0x{}..)",
-            &self.y.to_hex()[..8.min(self.y.to_hex().len())]
-        )
+        let hex = self.y.to_hex();
+        write!(f, "VerifyingKey(y=0x{}..)", &hex[..8.min(hex.len())])
     }
 }
 
@@ -308,7 +412,6 @@ impl VerifyingKey {
     /// Returns [`CryptoError::BadSignature`] when the signature does not
     /// verify.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
-        let p = &self.params.p;
         let q = &self.params.q;
         let e = BigUint::from_be_bytes(&signature.e);
         let s = BigUint::from_be_bytes(&signature.s);
@@ -316,14 +419,58 @@ impl VerifyingKey {
             return Err(CryptoError::BadSignature);
         }
         // r' = g^s * y^(q-e) mod p  (y has order q, so y^(q-e) = y^{-e})
-        let gs = self.params.g.modpow(&s, p);
-        let ye = self.y.modpow(&q.sub(&e), p);
+        let qe = q.sub(&e);
+        let g_table = self.params.g_table();
+        let r = match g_table.pow_mul(&s, self.y_table(), &qe) {
+            Some(r) => r,
+            // Fallback (exponent past table capacity can't happen for
+            // scalars < q, but stay total): Strauss–Shamir double
+            // exponentiation under one Montgomery context.
+            None => self
+                .params
+                .mont_ctx()
+                .modpow2(&self.params.g, &s, &self.y, &qe),
+        };
+        if challenge(&r, message, q) == e {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+
+    /// Reference implementation of [`VerifyingKey::verify`] using the
+    /// schoolbook bit-at-a-time exponentiation. Kept as the benchmark
+    /// baseline and as an oracle for the equivalence tests.
+    pub fn verify_schoolbook(
+        &self,
+        message: &[u8],
+        signature: &Signature,
+    ) -> Result<(), CryptoError> {
+        let p = &self.params.p;
+        let q = &self.params.q;
+        let e = BigUint::from_be_bytes(&signature.e);
+        let s = BigUint::from_be_bytes(&signature.s);
+        if e >= *q || s >= *q {
+            return Err(CryptoError::BadSignature);
+        }
+        let gs = self.params.g.modpow_schoolbook(&s, p);
+        let ye = self.y.modpow_schoolbook(&q.sub(&e), p);
         let r = gs.mulmod(&ye, p);
         if challenge(&r, message, q) == e {
             Ok(())
         } else {
             Err(CryptoError::BadSignature)
         }
+    }
+
+    fn y_table(&self) -> &FixedBaseTable {
+        self.y_table.get_or_init(|| {
+            FixedBaseTable::new(
+                self.params.mont_ctx().clone(),
+                &self.y,
+                self.params.q.bit_len(),
+            )
+        })
     }
 }
 
@@ -433,5 +580,63 @@ mod tests {
         let a = toy_key(42);
         let b = toy_key(42);
         assert_eq!(a.verifying_key(), b.verifying_key());
+    }
+
+    #[test]
+    fn fast_verify_agrees_with_schoolbook() {
+        let key = toy_key(10);
+        let vk = key.verifying_key();
+        for msg in [b"a".as_slice(), b"hello secure store", &[0u8; 600]] {
+            let sig = key.sign(msg);
+            assert!(vk.verify(msg, &sig).is_ok());
+            assert!(vk.verify_schoolbook(msg, &sig).is_ok());
+            // Both reject the same tamperings.
+            assert!(vk.verify(b"other", &sig).is_err());
+            assert!(vk.verify_schoolbook(b"other", &sig).is_err());
+        }
+    }
+
+    #[test]
+    fn public_key_matches_schoolbook_derivation() {
+        // y = g^x computed through the fixed-base table must equal the
+        // schoolbook exponentiation — signing determinism depends on it.
+        let params = SchnorrParams::toy();
+        let key = toy_key(11);
+        let sig = key.sign(b"probe");
+        let x = BigUint::from_be_bytes(&sig.s); // any scalar < q works
+        let via_table = SigningKey::from_secret(&params, x.clone());
+        let y = params
+            .generator()
+            .modpow_schoolbook(&x.rem(params.order()), params.modulus());
+        assert_eq!(via_table.verifying_key().element(), &y);
+    }
+
+    #[test]
+    fn signatures_use_minimal_scalar_encodings() {
+        for seed in 0..20u64 {
+            let key = toy_key(100 + seed);
+            let sig = key.sign(&seed.to_be_bytes());
+            assert!(sig.scalars_minimal(), "seed {seed}");
+        }
+        let padded = Signature {
+            e: vec![0, 1],
+            s: vec![2],
+        };
+        assert!(!padded.scalars_minimal());
+        // Empty scalars encode zero minimally.
+        let zero = Signature {
+            e: Vec::new(),
+            s: Vec::new(),
+        };
+        assert!(zero.scalars_minimal());
+    }
+
+    #[test]
+    fn micro_params_verify_roundtrip() {
+        // Exercise the accelerated path on the second preset group too.
+        let key = SigningKey::from_seed(&SchnorrParams::micro(), 3);
+        let sig = key.sign(b"m");
+        key.verifying_key().verify(b"m", &sig).unwrap();
+        key.verifying_key().verify_schoolbook(b"m", &sig).unwrap();
     }
 }

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use sstore_crypto::bigint::BigUint;
+use sstore_crypto::bigint::{BigUint, FixedBaseTable, MontgomeryCtx};
 use sstore_crypto::cipher::SealKey;
 use sstore_crypto::hmac::hmac_sha256;
 use sstore_crypto::sha256::{digest, digest_parts, Sha256};
@@ -102,6 +102,77 @@ proptest! {
         let gy = g.modpow(&BigUint::from(y), &m);
         let gxy = g.modpow(&BigUint::from(x + y), &m);
         prop_assert_eq!(gx.mulmod(&gy, &m), gxy);
+    }
+
+    /// Montgomery multiplication agrees with schoolbook `mulmod` on random
+    /// operands, including operands larger than the modulus.
+    #[test]
+    fn montgomery_mul_matches_schoolbook(a in arb_biguint(320),
+                                         b in arb_biguint(320),
+                                         m in arb_biguint(256)) {
+        prop_assume!(!m.is_even() && !m.is_zero() && !m.is_one());
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        prop_assert_eq!(ctx.mulmod(&a, &b), a.mulmod(&b, &m));
+    }
+
+    /// Windowed/Montgomery `modpow` agrees with the schoolbook
+    /// bit-at-a-time implementation on random operands (both parities of
+    /// modulus, since even moduli dispatch to the non-Montgomery window
+    /// loop).
+    #[test]
+    fn modpow_matches_schoolbook(b in arb_biguint(256),
+                                 e in arb_biguint(192),
+                                 m in arb_biguint(224)) {
+        prop_assume!(!m.is_zero());
+        prop_assert_eq!(b.modpow(&e, &m), b.modpow_schoolbook(&e, &m));
+    }
+
+    /// Equivalence at the edges: base ∈ {0, 1, m-1, m, m+1} and exponent
+    /// ∈ {0, 1, 2} all agree with schoolbook under a random odd modulus.
+    #[test]
+    fn modpow_edge_cases_match_schoolbook(m in arb_biguint(200), e_small in 0u64..3) {
+        prop_assume!(!m.is_even() && !m.is_zero() && !m.is_one());
+        let one = BigUint::one();
+        let bases = [
+            BigUint::zero(),
+            one.clone(),
+            m.sub(&one),
+            m.clone(),
+            m.add(&one),
+        ];
+        let e = BigUint::from(e_small);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for b in bases {
+            prop_assert_eq!(b.modpow(&e, &m), b.modpow_schoolbook(&e, &m));
+            prop_assert_eq!(ctx.modpow(&b, &e), b.modpow_schoolbook(&e, &m));
+        }
+    }
+
+    /// Strauss–Shamir double exponentiation equals the product of two
+    /// independent schoolbook exponentiations.
+    #[test]
+    fn modpow2_matches_separate_exponentiations(a in arb_biguint(192),
+                                                b in arb_biguint(192),
+                                                ea in arb_biguint(160),
+                                                eb in arb_biguint(160),
+                                                m in arb_biguint(192)) {
+        prop_assume!(!m.is_even() && !m.is_zero() && !m.is_one());
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let want = a.modpow_schoolbook(&ea, &m).mulmod(&b.modpow_schoolbook(&eb, &m), &m);
+        prop_assert_eq!(ctx.modpow2(&a, &ea, &b, &eb), want);
+    }
+
+    /// Fixed-base tables agree with schoolbook exponentiation for every
+    /// exponent within capacity, and refuse exponents beyond it.
+    #[test]
+    fn fixed_base_table_matches_schoolbook(base in arb_biguint(192),
+                                           e in arb_biguint(96),
+                                           m in arb_biguint(192)) {
+        prop_assume!(!m.is_even() && !m.is_zero() && !m.is_one());
+        let ctx = std::sync::Arc::new(MontgomeryCtx::new(&m).unwrap());
+        let tbl = FixedBaseTable::new(ctx, &base, 96);
+        prop_assert_eq!(tbl.pow(&e).unwrap(), base.modpow_schoolbook(&e, &m));
+        prop_assert!(tbl.pow(&BigUint::one().shl(96)).is_none());
     }
 
     /// Sealing round-trips and any corruption is caught.
