@@ -14,6 +14,7 @@ use std::collections::{HashMap, HashSet};
 
 use sstore_core::metrics::CryptoCounters;
 use sstore_core::types::{DataId, OpId};
+use sstore_crypto::ct::ct_eq;
 use sstore_crypto::hmac::hmac_sha256;
 use sstore_crypto::sha256::{digest_parts, Digest};
 use sstore_simnet::{Actor, Context, Message, NodeId, SimConfig, SimTime, Simulation};
@@ -162,7 +163,10 @@ fn check_mac(
     counters: &mut CryptoCounters,
 ) -> bool {
     counters.count_mac();
-    &hmac_sha256(&pair_key(from, to), digest.as_bytes()) == mac
+    ct_eq(
+        hmac_sha256(&pair_key(from, to), digest.as_bytes()).as_bytes(),
+        mac.as_bytes(),
+    )
 }
 
 #[derive(Debug, Default)]
@@ -365,7 +369,7 @@ impl Actor<PbftMsg> for PbftReplica {
                 if !check_mac(from.0, self.index, &digest, &mac, &mut self.counters) {
                     return;
                 }
-                if cmd.digest(op) != digest {
+                if !ct_eq(cmd.digest(op).as_bytes(), digest.as_bytes()) {
                     return; // primary equivocation
                 }
                 let own = self.index as u16;
@@ -401,7 +405,10 @@ impl Actor<PbftMsg> for PbftReplica {
                     return;
                 }
                 let slot = self.slots.entry(seq).or_default();
-                if slot.digest.is_some_and(|d| d != digest) {
+                if slot
+                    .digest
+                    .is_some_and(|d| !ct_eq(d.as_bytes(), digest.as_bytes()))
+                {
                     return;
                 }
                 slot.prepares.insert(replica);
@@ -418,7 +425,10 @@ impl Actor<PbftMsg> for PbftReplica {
                     return;
                 }
                 let slot = self.slots.entry(seq).or_default();
-                if slot.digest.is_some_and(|d| d != digest) {
+                if slot
+                    .digest
+                    .is_some_and(|d| !ct_eq(d.as_bytes(), digest.as_bytes()))
+                {
                     return;
                 }
                 slot.commits.insert(replica);

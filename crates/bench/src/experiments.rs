@@ -350,7 +350,7 @@ pub fn t3_multi_writer_costs() -> Table {
         t.row(vec![
             b.to_string(),
             n.to_string(),
-            (2 * b + 1).to_string(),
+            sstore_core::quorum::multi_writer_quorum(b).to_string(),
             f2(wm.stats.sent_by_kind("write-req") as f64 / kf),
             f2(rm.stats.sent_by_kind("mw-read-req") as f64 / kf),
             (b + 1).to_string(),

@@ -578,7 +578,10 @@ impl ClientCore {
     /// Dispatches a phase timeout to the family-specific handler.
     fn on_op_timeout(&mut self, op_id: OpId, now: SimTime) -> Output {
         let state_kind = {
-            let op = &self.ops[&op_id];
+            let Some(op) = self.ops.get(&op_id) else {
+                // Timer fired after the op completed: nothing to do.
+                return Output::default();
+            };
             match &op.state {
                 OpState::CtxRead { .. } => 0,
                 OpState::CtxScan { .. } => 1,

@@ -16,6 +16,7 @@ use crate::item::StoredItem;
 use crate::quorum;
 use crate::types::{Consistency, DataId, GroupId, OpId, ServerId, Timestamp, TsOrder};
 use crate::wire::Msg;
+use sstore_crypto::ct::ct_eq;
 use sstore_crypto::sha256::digest;
 
 impl ClientCore {
@@ -218,7 +219,8 @@ impl ClientCore {
             ..
         } = &mut op.state
         else {
-            unreachable!("evaluate_mw_read on wrong state");
+            debug_assert!(false, "evaluate_mw_read on wrong state");
+            return;
         };
         let data = *data;
         let consistency = *consistency;
@@ -244,7 +246,7 @@ impl ClientCore {
                 // server-side corruption and cannot vouch for anything.
                 if let Timestamp::Multi { digest: d, .. } = item.meta.ts {
                     digest_checks += 1;
-                    if digest(&item.value) != d {
+                    if !ct_eq(digest(&item.value).as_bytes(), d.as_bytes()) {
                         continue;
                     }
                 }
@@ -354,7 +356,8 @@ impl ClientCore {
             ..
         } = &mut op.state
         else {
-            unreachable!("escalate_mw_read on non-MwRead op");
+            debug_assert!(false, "escalate_mw_read on non-MwRead op");
+            return;
         };
         let data = *data;
         responded.clear();
@@ -450,7 +453,7 @@ impl ClientCore {
                     self.evaluate_mw_read(op_id, op, now, &mut out);
                 }
             }
-            _ => unreachable!("multi_timeout on non-multi op"),
+            _ => debug_assert!(false, "multi_timeout on non-multi op"),
         }
         out
     }

@@ -231,7 +231,9 @@ impl ClientCore {
             ..
         } = &mut op.state
         else {
-            unreachable!("evaluate_read_p1 on wrong state");
+            // Dispatch bug: drop the op rather than abort the client.
+            debug_assert!(false, "evaluate_read_p1 on wrong state");
+            return;
         };
         let data = *data;
         let consistency = *consistency;
@@ -278,8 +280,9 @@ impl ClientCore {
                 data,
                 consistency,
                 target,
-                fallbacks: viable[1..]
+                fallbacks: viable
                     .iter()
+                    .skip(1)
                     .map(|(s, m, _)| (*s, m.clone()))
                     .collect(),
                 best_seen,
@@ -358,7 +361,10 @@ impl ClientCore {
             | OpState::ReadP2 {
                 data, consistency, ..
             } => (*data, *consistency),
-            _ => unreachable!("escalate_read on non-read op"),
+            _ => {
+                debug_assert!(false, "escalate_read on non-read op");
+                return;
+            }
         };
         let already = op.common.contacted.len();
         op.state = OpState::ReadP1 {
@@ -577,7 +583,7 @@ impl ClientCore {
                     self.escalate_read(op_id, op, best_seen, now, &mut out);
                 }
             }
-            _ => unreachable!("ops_timeout on non-data op"),
+            _ => debug_assert!(false, "ops_timeout on non-data op"),
         }
         out
     }

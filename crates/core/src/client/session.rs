@@ -166,7 +166,8 @@ impl ClientCore {
     /// requires just one signature verification" (paper §6).
     fn finish_ctx_read(&mut self, op_id: OpId, mut op: Op, now: SimTime, out: &mut Output) {
         let OpState::CtxRead { candidates, .. } = &mut op.state else {
-            unreachable!("finish_ctx_read on non-CtxRead op");
+            debug_assert!(false, "finish_ctx_read on non-CtxRead op");
+            return;
         };
         candidates.sort_by_key(|c| std::cmp::Reverse(c.session));
         let mut adopted: Option<SignedContext> = None;
@@ -235,7 +236,8 @@ impl ClientCore {
     /// to oldest and adopt the first that verifies.
     fn finish_ctx_scan(&mut self, op_id: OpId, mut op: Op, now: SimTime, out: &mut Output) {
         let OpState::CtxScan { metas, .. } = &mut op.state else {
-            unreachable!("finish_ctx_scan on non-CtxScan op");
+            debug_assert!(false, "finish_ctx_scan on non-CtxScan op");
+            return;
         };
         let group = op.common.group;
         let mut by_item: HashMap<DataId, Vec<ItemMeta>> = HashMap::new();
@@ -367,7 +369,7 @@ impl ClientCore {
                     &mut out,
                 );
             }
-            _ => unreachable!("session_timeout on non-session op"),
+            _ => debug_assert!(false, "session_timeout on non-session op"),
         }
         Self::arm_timer(
             op_id,

@@ -241,34 +241,38 @@ impl<'a> Dec<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::Truncated);
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        let out = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
         Ok(out)
     }
 
     fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
     }
 
     fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_be_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        let be: [u8; 2] = self
+            .take(2)?
+            .try_into()
+            .map_err(|_| CodecError::Truncated)?;
+        Ok(u16::from_be_bytes(be))
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_be_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let be: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| CodecError::Truncated)?;
+        Ok(u32::from_be_bytes(be))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_be_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let be: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| CodecError::Truncated)?;
+        Ok(u64::from_be_bytes(be))
     }
 
     fn bool(&mut self) -> Result<bool, CodecError> {
@@ -310,7 +314,10 @@ impl<'a> Dec<'a> {
     }
 
     fn digest(&mut self) -> Result<Digest, CodecError> {
-        let bytes: [u8; DIGEST_LEN] = self.take(DIGEST_LEN)?.try_into().expect("digest length");
+        let bytes: [u8; DIGEST_LEN] = self
+            .take(DIGEST_LEN)?
+            .try_into()
+            .map_err(|_| CodecError::Truncated)?;
         Ok(Digest::from(bytes))
     }
 

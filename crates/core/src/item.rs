@@ -4,6 +4,7 @@
 //! signed by the writing client, so a malicious server can withhold or
 //! replay but never fabricate or alter data undetectably.
 
+use sstore_crypto::ct::ct_eq;
 use sstore_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 use sstore_crypto::sha256::{digest, Digest};
 use sstore_crypto::CryptoError;
@@ -148,7 +149,10 @@ impl StoredItem {
     ) -> Result<(), CryptoError> {
         self.meta.verify(key, counters)?;
         counters.count_digest();
-        if digest(&self.value) != self.meta.value_digest {
+        if !ct_eq(
+            digest(&self.value).as_bytes(),
+            self.meta.value_digest.as_bytes(),
+        ) {
             return Err(CryptoError::BadMac);
         }
         Ok(())
@@ -167,7 +171,10 @@ impl StoredItem {
     ) -> Result<(), CryptoError> {
         self.meta.verify_cached(key, cache, counters)?;
         counters.count_digest();
-        if digest(&self.value) != self.meta.value_digest {
+        if !ct_eq(
+            digest(&self.value).as_bytes(),
+            self.meta.value_digest.as_bytes(),
+        ) {
             return Err(CryptoError::BadMac);
         }
         Ok(())

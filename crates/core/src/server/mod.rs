@@ -356,18 +356,15 @@ impl ServerNode {
         // present; each admission may unlock more.
         loop {
             let mut progressed = false;
-            let mut i = 0;
-            while i < self.pending.len() {
-                let ready = self.causal_preds_present(&self.pending[i].0);
-                if ready {
-                    let (item, reply) = self.pending.remove(i);
+            for (item, reply) in std::mem::take(&mut self.pending) {
+                if self.causal_preds_present(&item) {
                     self.admit_multi_writer(item);
                     if let Some((to, op)) = reply {
                         out.push((to, Msg::WriteAck { op, accepted: true }));
                     }
                     progressed = true;
                 } else {
-                    i += 1;
+                    self.pending.push((item, reply));
                 }
             }
             if !progressed {
@@ -503,7 +500,7 @@ impl ServerNode {
         let Some(log) = self.logs.get_mut(&data) else {
             return;
         };
-        let threshold = 2 * self.dir.b() + 1;
+        let threshold = crate::quorum::multi_writer_quorum(self.dir.b());
         // Collect candidate timestamps from our own log (newest first) and
         // find the newest one replicated widely enough.
         let candidates: Vec<Timestamp> = log.reportable().map(|i| i.meta.ts).collect();

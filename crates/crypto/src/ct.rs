@@ -1,0 +1,51 @@
+//! Constant-time byte comparison.
+//!
+//! Comparing a computed digest or MAC against an attacker-supplied value
+//! with `==` short-circuits at the first mismatching byte, leaking how
+//! much of the value was right through timing. Every digest/signature/MAC
+//! comparison on a verification path must go through [`ct_eq`] instead —
+//! the workspace lint (rule L4) flags `==`/`!=` on digest-flavoured
+//! operands anywhere outside this module.
+//!
+//! Timing side channels are mostly academic inside a simulator, but the
+//! same verification code runs under `sstore-net` against real sockets,
+//! so the substrate is honest about how the comparison must be done.
+
+/// Compares two byte slices in time independent of where they differ.
+///
+/// The comparison always scans `min(a.len(), b.len())` bytes; a length
+/// mismatch still returns `false` (lengths are public — both sides of a
+/// digest comparison are fixed-width).
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = u8::from(a.len() != b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(&[0u8; 32], &[0u8; 32]));
+    }
+
+    #[test]
+    fn first_and_last_byte_differences() {
+        assert!(!ct_eq(b"xbc", b"abc"));
+        assert!(!ct_eq(b"abx", b"abc"));
+    }
+
+    #[test]
+    fn length_mismatch() {
+        assert!(!ct_eq(b"ab", b"abc"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"a"));
+    }
+}

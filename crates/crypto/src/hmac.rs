@@ -11,7 +11,7 @@
 //! assert_eq!(tag.as_bytes().len(), 32);
 //! ```
 
-use crate::sha256::{Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
+use crate::sha256::{Digest, Sha256, BLOCK_LEN};
 
 const IPAD: u8 = 0x36;
 const OPAD: u8 = 0x5c;
@@ -29,15 +29,19 @@ impl HmacSha256 {
         let mut key_block = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
             let d = crate::sha256::digest(key);
-            key_block[..DIGEST_LEN].copy_from_slice(d.as_bytes());
+            for (dst, src) in key_block.iter_mut().zip(d.as_bytes()) {
+                *dst = *src;
+            }
         } else {
-            key_block[..key.len()].copy_from_slice(key);
+            for (dst, src) in key_block.iter_mut().zip(key) {
+                *dst = *src;
+            }
         }
         let mut ipad = [0u8; BLOCK_LEN];
         let mut opad = [0u8; BLOCK_LEN];
-        for i in 0..BLOCK_LEN {
-            ipad[i] = key_block[i] ^ IPAD;
-            opad[i] = key_block[i] ^ OPAD;
+        for ((i, o), k) in ipad.iter_mut().zip(opad.iter_mut()).zip(key_block) {
+            *i = k ^ IPAD;
+            *o = k ^ OPAD;
         }
         let mut inner = Sha256::new();
         inner.update(ipad);
@@ -67,17 +71,9 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
     mac.finalize()
 }
 
-/// Constant-time equality of two digests.
-///
-/// Timing side channels are irrelevant inside a simulator, but verification
-/// code paths use this anyway so the substrate is honest about how MAC
-/// comparison must be done.
+/// Constant-time equality of two digests, via [`crate::ct::ct_eq`].
 pub fn verify_mac(expected: &Digest, actual: &Digest) -> bool {
-    let mut diff = 0u8;
-    for (a, b) in expected.as_bytes().iter().zip(actual.as_bytes()) {
-        diff |= a ^ b;
-    }
-    diff == 0
+    crate::ct::ct_eq(expected.as_bytes(), actual.as_bytes())
 }
 
 #[cfg(test)]

@@ -76,7 +76,9 @@ pub fn disperse(data: &[u8], k: usize, n: usize) -> Result<Vec<Fragment>, Crypto
                 let byte = data.get(col * k + j).copied().unwrap_or(0);
                 acc = gf256::add(acc, gf256::mul(coef, byte));
             }
-            frag.data[col] = acc;
+            if let Some(slot) = frag.data.get_mut(col) {
+                *slot = acc;
+            }
         }
     }
     Ok(frags)
@@ -89,12 +91,14 @@ pub fn disperse(data: &[u8], k: usize, n: usize) -> Result<Vec<Fragment>, Crypto
 /// Returns [`CryptoError::BadShares`] when fewer than `k` fragments are
 /// supplied, fragments disagree on shape, or indices repeat.
 pub fn reconstruct(frags: &[Fragment], k: usize) -> Result<Vec<u8>, CryptoError> {
-    if k == 0 || frags.len() < k {
+    if k == 0 {
         return Err(CryptoError::BadShares("not enough fragments"));
     }
-    let frags = &frags[..k];
-    let cols = frags[0].data.len();
-    let data_len = frags[0].data_len as usize;
+    let Some(frags) = frags.get(..k) else {
+        return Err(CryptoError::BadShares("not enough fragments"));
+    };
+    let cols = frags.first().map_or(0, |f| f.data.len());
+    let data_len = frags.first().map_or(0, |f| f.data_len as usize);
     if frags
         .iter()
         .any(|f| f.data.len() != cols || f.data_len as usize != data_len)
@@ -102,7 +106,7 @@ pub fn reconstruct(frags: &[Fragment], k: usize) -> Result<Vec<u8>, CryptoError>
         return Err(CryptoError::BadShares("inconsistent fragment shapes"));
     }
     for (i, a) in frags.iter().enumerate() {
-        if frags[i + 1..].iter().any(|b| b.index == a.index) {
+        if frags.iter().skip(i + 1).any(|b| b.index == a.index) {
             return Err(CryptoError::BadShares("duplicate fragment indices"));
         }
     }
@@ -116,9 +120,11 @@ pub fn reconstruct(frags: &[Fragment], k: usize) -> Result<Vec<u8>, CryptoError>
     gf256::solve_linear(&mut m, &mut rhs)
         .ok_or(CryptoError::BadShares("singular dispersal matrix"))?;
     let mut out = vec![0u8; cols * k];
-    for col in 0..cols {
-        for (j, row) in rhs.iter().enumerate() {
-            out[col * k + j] = row[col];
+    for (j, row) in rhs.iter().enumerate() {
+        for (col, &byte) in row.iter().enumerate() {
+            if let Some(slot) = out.get_mut(col * k + j) {
+                *slot = byte;
+            }
         }
     }
     out.truncate(data_len);

@@ -22,6 +22,8 @@
 //!   confidentiality extension the paper cites as related/future work.
 //! - [`cipher`]: a hash-CTR stream cipher with encrypt-then-MAC sealing for
 //!   the client-side encryption of non-shared data (§5.2).
+//! - [`ct`]: constant-time byte comparison; every digest/MAC check on a
+//!   verification path goes through [`ct::ct_eq`] (workspace lint rule L4).
 //!
 //! # Security note
 //!
@@ -46,6 +48,7 @@
 
 pub mod bigint;
 pub mod cipher;
+pub mod ct;
 pub mod gf256;
 pub mod hmac;
 pub mod ida;
@@ -53,6 +56,7 @@ pub mod schnorr;
 pub mod sha256;
 pub mod shamir;
 
+pub use ct::ct_eq;
 pub use schnorr::{SchnorrParams, Signature, SigningKey, VerifyingKey};
 pub use sha256::{digest, Digest, Sha256};
 

@@ -174,6 +174,7 @@ impl SchnorrParams {
 
     fn accel(&self) -> &ParamsAccel {
         self.accel.get_or_init(|| {
+            // lint:allow(L1): params are generated locally, never decoded from the wire; p is an odd prime by construction
             let ctx = Arc::new(MontgomeryCtx::new(&self.p).expect("prime modulus is odd and > 1"));
             // Exponents of g never exceed q (the largest is q - e itself, in
             // verification), so q's bit length bounds the table.
@@ -266,16 +267,20 @@ impl Signature {
 
     /// Parses the [`Signature::to_bytes`] encoding.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
-        if bytes.len() < 4 {
+        let Some((len_bytes, rest)) = bytes.split_at_checked(4) else {
             return Err(CryptoError::BadParams("signature too short"));
+        };
+        let mut be = [0u8; 4];
+        for (dst, src) in be.iter_mut().zip(len_bytes) {
+            *dst = *src;
         }
-        let e_len = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
-        if bytes.len() < 4 + e_len {
+        let e_len = u32::from_be_bytes(be) as usize;
+        let Some((e, s)) = rest.split_at_checked(e_len) else {
             return Err(CryptoError::BadParams("signature truncated"));
-        }
+        };
         Ok(Signature {
-            e: bytes[4..4 + e_len].to_vec(),
-            s: bytes[4 + e_len..].to_vec(),
+            e: e.to_vec(),
+            s: s.to_vec(),
         })
     }
 }
@@ -390,7 +395,8 @@ impl Eq for VerifyingKey {}
 impl std::fmt::Debug for VerifyingKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let hex = self.y.to_hex();
-        write!(f, "VerifyingKey(y=0x{}..)", &hex[..8.min(hex.len())])
+        let prefix = hex.get(..8.min(hex.len())).unwrap_or(&hex);
+        write!(f, "VerifyingKey(y=0x{prefix}..)")
     }
 }
 

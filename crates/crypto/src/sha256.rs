@@ -61,13 +61,21 @@ impl Digest {
     /// Handy for hash-based sampling and for deriving per-item gossip
     /// jitter; not a substitute for the full digest in security contexts.
     pub fn prefix_u64(&self) -> u64 {
-        u64::from_be_bytes(self.0[..8].try_into().expect("digest has 32 bytes"))
+        let mut prefix = [0u8; 8];
+        for (dst, src) in prefix.iter_mut().zip(self.0.iter()) {
+            *dst = *src;
+        }
+        u64::from_be_bytes(prefix)
     }
 }
 
 impl std::fmt::Debug for Digest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Digest({}..)", &self.to_hex()[..12])
+        f.write_str("Digest(")?;
+        for b in self.0.iter().take(6) {
+            write!(f, "{b:02x}")?;
+        }
+        f.write_str("..)")
     }
 }
 
@@ -138,25 +146,32 @@ impl Sha256 {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         if self.buf_len > 0 {
             let take = (BLOCK_LEN - self.buf_len).min(data.len());
-            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            let (head, rest) = data.split_at(take);
+            for (dst, src) in self.buf.iter_mut().skip(self.buf_len).zip(head) {
+                *dst = *src;
+            }
             self.buf_len += take;
-            data = &data[take..];
+            data = rest;
             if self.buf_len == BLOCK_LEN {
                 let block = self.buf;
                 self.compress(&block);
                 self.buf_len = 0;
             }
         }
-        while data.len() >= BLOCK_LEN {
-            let (block, rest) = data.split_at(BLOCK_LEN);
+        let mut blocks = data.chunks_exact(BLOCK_LEN);
+        for block in blocks.by_ref() {
             let mut arr = [0u8; BLOCK_LEN];
-            arr.copy_from_slice(block);
+            for (dst, src) in arr.iter_mut().zip(block) {
+                *dst = *src;
+            }
             self.compress(&arr);
-            data = rest;
         }
-        if !data.is_empty() {
-            self.buf[..data.len()].copy_from_slice(data);
-            self.buf_len = data.len();
+        let tail = blocks.remainder();
+        if !tail.is_empty() {
+            for (dst, src) in self.buf.iter_mut().zip(tail) {
+                *dst = *src;
+            }
+            self.buf_len = tail.len();
         }
         self
     }
@@ -172,8 +187,8 @@ impl Sha256 {
         self.raw_update(&bit_len.to_be_bytes());
         debug_assert_eq!(self.buf_len, 0);
         let mut out = [0u8; DIGEST_LEN];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
         }
         Digest(out)
     }
@@ -181,7 +196,9 @@ impl Sha256 {
     /// `update` without advancing `total_len` — used only for padding.
     fn raw_update(&mut self, data: &[u8]) {
         for &byte in data {
-            self.buf[self.buf_len] = byte;
+            if let Some(slot) = self.buf.get_mut(self.buf_len) {
+                *slot = byte;
+            }
             self.buf_len += 1;
             if self.buf_len == BLOCK_LEN {
                 let block = self.buf;
@@ -193,26 +210,33 @@ impl Sha256 {
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
         let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        for (word, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            let mut be = [0u8; 4];
+            for (dst, src) in be.iter_mut().zip(chunk) {
+                *dst = *src;
+            }
+            *word = u32::from_be_bytes(be);
         }
         for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+            let next = {
+                let at = |back: usize| w.get(i - back).copied().unwrap_or(0);
+                let s0 = at(15).rotate_right(7) ^ at(15).rotate_right(18) ^ (at(15) >> 3);
+                let s1 = at(2).rotate_right(17) ^ at(2).rotate_right(19) ^ (at(2) >> 10);
+                at(16).wrapping_add(s0).wrapping_add(at(7)).wrapping_add(s1)
+            };
+            if let Some(slot) = w.get_mut(i) {
+                *slot = next;
+            }
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
+        for (&ki, &wi) in K.iter().zip(w.iter()) {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
             let t1 = h
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
+                .wrapping_add(ki)
+                .wrapping_add(wi);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let t2 = s0.wrapping_add(maj);
@@ -225,14 +249,9 @@ impl Sha256 {
             b = a;
             a = t1.wrapping_add(t2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
     }
 }
 

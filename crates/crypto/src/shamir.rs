@@ -74,11 +74,13 @@ pub fn split(
 /// Returns [`CryptoError::BadShares`] when fewer than `k` shares are given,
 /// shares have inconsistent lengths, or two shares use the same point.
 pub fn reconstruct(shares: &[Share], k: usize) -> Result<Vec<u8>, CryptoError> {
-    if shares.len() < k || k == 0 {
+    if k == 0 {
         return Err(CryptoError::BadShares("not enough shares"));
     }
-    let shares = &shares[..k];
-    let len = shares[0].data.len();
+    let Some(shares) = shares.get(..k) else {
+        return Err(CryptoError::BadShares("not enough shares"));
+    };
+    let len = shares.first().map_or(0, |s| s.data.len());
     if shares.iter().any(|s| s.data.len() != len) {
         return Err(CryptoError::BadShares("inconsistent share lengths"));
     }
@@ -86,7 +88,7 @@ pub fn reconstruct(shares: &[Share], k: usize) -> Result<Vec<u8>, CryptoError> {
         if a.x == 0 {
             return Err(CryptoError::BadShares("share point zero is invalid"));
         }
-        if shares[i + 1..].iter().any(|b| b.x == a.x) {
+        if shares.iter().skip(i + 1).any(|b| b.x == a.x) {
             return Err(CryptoError::BadShares("duplicate share points"));
         }
     }

@@ -1,0 +1,154 @@
+//! The committed violation baseline and its ratchet semantics.
+//!
+//! `lint_baseline.toml` at the workspace root records the grandfathered
+//! violation count per `file:rule` key. Check mode requires reality to
+//! match the baseline *exactly*: counts above baseline are regressions,
+//! counts below it (or stale entries) mean an improvement landed without
+//! being locked in — both fail, with different messages. The only writer
+//! is `--update-baseline`, and it refuses to let any count grow, so over
+//! the life of the repo every count is monotonically non-increasing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parsed baseline: `"path:RULE"` → grandfathered count.
+pub type Baseline = BTreeMap<String, u64>;
+
+/// Parses the baseline file format (a deliberately tiny TOML subset:
+/// comments, a `[counts]` header, and `"key" = N` lines).
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut map = Baseline::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line == "[counts]" {
+            continue;
+        }
+        let parsed = line
+            .split_once('=')
+            .and_then(|(k, v)| {
+                let key = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+                let count: u64 = v.trim().parse().ok()?;
+                Some((key.to_string(), count))
+            })
+            .ok_or_else(|| format!("lint_baseline.toml:{}: unparseable line: {raw}", lineno + 1))?;
+        map.insert(parsed.0, parsed.1);
+    }
+    Ok(map)
+}
+
+/// Serializes a baseline deterministically (sorted keys, zero counts
+/// omitted) so diffs stay reviewable.
+pub fn serialize(counts: &Baseline) -> String {
+    let mut out = String::from(
+        "# sstore-lint baseline: grandfathered violation counts per file and rule.\n\
+         # Maintained exclusively by `cargo run -p sstore-lint -- --update-baseline`,\n\
+         # which refuses to let any count grow. Do not edit by hand.\n\n\
+         [counts]\n",
+    );
+    for (key, count) in counts {
+        if *count > 0 {
+            let _ = writeln!(out, "\"{key}\" = {count}");
+        }
+    }
+    out
+}
+
+/// A check-mode discrepancy between reality and the baseline.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Drift {
+    /// More violations than grandfathered: a regression.
+    Regression {
+        key: String,
+        baseline: u64,
+        actual: u64,
+    },
+    /// Fewer violations than grandfathered: run `--update-baseline` to
+    /// lock the improvement in.
+    Unlocked {
+        key: String,
+        baseline: u64,
+        actual: u64,
+    },
+}
+
+/// Compares actual counts against the baseline.
+pub fn diff(baseline: &Baseline, actual: &Baseline) -> Vec<Drift> {
+    let mut out = Vec::new();
+    let keys: std::collections::BTreeSet<&String> = baseline.keys().chain(actual.keys()).collect();
+    for key in keys {
+        let base = baseline.get(key).copied().unwrap_or(0);
+        let now = actual.get(key).copied().unwrap_or(0);
+        if now > base {
+            out.push(Drift::Regression {
+                key: key.clone(),
+                baseline: base,
+                actual: now,
+            });
+        } else if now < base {
+            out.push(Drift::Unlocked {
+                key: key.clone(),
+                baseline: base,
+                actual: now,
+            });
+        }
+    }
+    out
+}
+
+/// Keys whose count would grow if `next` replaced `prev` — the ratchet
+/// `--update-baseline` enforces.
+pub fn growth(prev: &Baseline, next: &Baseline) -> Vec<String> {
+    next.iter()
+        .filter(|(k, n)| **n > prev.get(*k).copied().unwrap_or(0))
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = Baseline::new();
+        b.insert("crates/a/src/x.rs:L1".into(), 3);
+        b.insert("crates/b/src/y.rs:L4".into(), 1);
+        let text = serialize(&b);
+        assert_eq!(parse(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn zero_counts_dropped_on_write() {
+        let mut b = Baseline::new();
+        b.insert("k:L1".into(), 0);
+        assert!(!serialize(&b).contains("k:L1"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("not a baseline").is_err());
+        assert!(parse("\"k\" = notanumber").is_err());
+    }
+
+    #[test]
+    fn diff_classifies_both_directions() {
+        let base = parse("\"f:L1\" = 2\n\"g:L1\" = 1").unwrap();
+        let mut actual = Baseline::new();
+        actual.insert("f:L1".into(), 3);
+        let d = diff(&base, &actual);
+        assert!(matches!(&d[0], Drift::Regression { key, actual: 3, .. } if key == "f:L1"));
+        assert!(matches!(&d[1], Drift::Unlocked { key, actual: 0, .. } if key == "g:L1"));
+    }
+
+    #[test]
+    fn growth_catches_ratchet_breaks() {
+        let prev = parse("\"f:L1\" = 2").unwrap();
+        let mut next = Baseline::new();
+        next.insert("f:L1".into(), 2);
+        next.insert("h:L2".into(), 1);
+        assert_eq!(growth(&prev, &next), ["h:L2"]);
+        next.insert("f:L1".into(), 1);
+        next.remove("h:L2");
+        assert!(growth(&prev, &next).is_empty());
+    }
+}

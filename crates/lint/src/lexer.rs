@@ -1,0 +1,502 @@
+//! A minimal Rust lexer — just enough structure for token-pattern lint
+//! rules. Pure std, no external parser: the container this tool must run
+//! in cannot fetch `syn`, and the rules below only need token shapes, not
+//! a full AST.
+//!
+//! Produces a flat token stream with line numbers, marks tokens that live
+//! inside `#[test]` / `#[cfg(test)]` items, and collects
+//! `// lint:allow(RULE): reason` suppression comments.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// Integer or float literal (digits; prefixes/suffixes preserved).
+    Num,
+    /// String, raw string, byte string, or char literal.
+    Lit,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Punctuation; multi-char operators are merged (`==`, `::`, `..=`).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Inside a `#[test]` fn or `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A `// lint:allow(L1): reason` suppression comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub line: u32,
+    pub rules: Vec<String>,
+    /// Whether a non-empty justification followed the rule list.
+    pub has_reason: bool,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub allows: Vec<Allow>,
+}
+
+/// Multi-char operators, longest first so maximal munch works.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `src` into tokens and suppression comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut allows = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                if let Some(a) = parse_allow(&src[start..i], line) {
+                    allows.push(a);
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, as in real Rust.
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (len, newlines) = scan_string(&b[i..]);
+                toks.push(tok(TokKind::Lit, "\"..\"", line));
+                line += newlines;
+                i += len;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&b[i..]) => {
+                let (len, newlines) = scan_raw_or_byte(&b[i..]);
+                toks.push(tok(TokKind::Lit, "\"..\"", line));
+                line += newlines;
+                i += len;
+            }
+            b'r' if b.get(i + 1) == Some(&b'#') && is_ident_start(b.get(i + 2).copied()) => {
+                // Raw identifier r#ident — strip the prefix.
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                toks.push(tok(TokKind::Ident, &src[start..j], line));
+                i = j;
+            }
+            b'\'' => {
+                let (len, kind, newlines) = scan_quote(&b[i..]);
+                toks.push(tok(kind, "'", line));
+                line += newlines;
+                i += len;
+            }
+            _ if is_ident_start(Some(c)) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(tok(TokKind::Ident, &src[start..i], line));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || (b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    i += 1;
+                }
+                toks.push(tok(TokKind::Num, &src[start..i], line));
+            }
+            _ => {
+                let rest = &src[i..];
+                let op = OPS.iter().find(|op| rest.starts_with(**op));
+                match op {
+                    Some(op) => {
+                        toks.push(tok(TokKind::Punct, op, line));
+                        i += op.len();
+                    }
+                    None => {
+                        toks.push(tok(TokKind::Punct, &src[i..i + 1], line));
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    mark_test_regions(&mut toks);
+    Lexed { toks, allows }
+}
+
+fn tok(kind: TokKind, text: &str, line: u32) -> Tok {
+    Tok {
+        kind,
+        text: text.to_string(),
+        line,
+        in_test: false,
+    }
+}
+
+fn is_ident_start(c: Option<u8>) -> bool {
+    matches!(c, Some(c) if c == b'_' || c.is_ascii_alphabetic())
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Length and newline count of a `"…"` string starting at `b[0] == '"'`.
+fn scan_string(b: &[u8]) -> (usize, u32) {
+    let mut i = 1;
+    let mut newlines = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (b.len(), newlines)
+}
+
+/// Does the input start a raw string (`r"`/`r#`), byte string (`b"`), or
+/// raw byte string (`br`)?
+fn starts_raw_or_byte_string(b: &[u8]) -> bool {
+    match b.first() {
+        Some(b'b') => {
+            matches!(b.get(1), Some(b'"')) || (b.get(1) == Some(&b'r') && raw_at(&b[2..]))
+        }
+        Some(b'r') => raw_at(&b[1..]),
+        _ => false,
+    }
+}
+
+fn raw_at(b: &[u8]) -> bool {
+    let mut i = 0;
+    while b.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    b.get(i) == Some(&b'"')
+}
+
+/// Length and newline count of a raw / byte / raw-byte string.
+fn scan_raw_or_byte(b: &[u8]) -> (usize, u32) {
+    let mut i = 0;
+    let mut raw = false;
+    if b.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(b.get(i), Some(&b'"'));
+    i += 1;
+    let mut newlines = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if !raw => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => {
+                if !raw
+                    || b[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&c| c == b'#')
+                        .count()
+                        == hashes
+                {
+                    return (i + 1 + if raw { hashes } else { 0 }, newlines);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (b.len(), newlines)
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) at `b[0] == '\''`.
+fn scan_quote(b: &[u8]) -> (usize, TokKind, u32) {
+    if b.get(1) == Some(&b'\\') {
+        // Escaped char literal: '\n', '\u{..}', …
+        let mut i = 2;
+        let mut newlines = 0;
+        while i < b.len() && b[i] != b'\'' {
+            if b[i] == b'\n' {
+                newlines += 1;
+            }
+            i += 1;
+        }
+        return (i + 1, TokKind::Lit, newlines);
+    }
+    if is_ident_start(b.get(1).copied()) {
+        // 'x' is a char literal; 'x followed by non-quote is a lifetime.
+        let mut j = 2;
+        while j < b.len() && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'\'') {
+            return (j + 1, TokKind::Lit, 0);
+        }
+        return (j, TokKind::Lifetime, 0);
+    }
+    // Something like '0' or a stray quote.
+    let mut i = 1;
+    while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'\'') {
+        (i + 1, TokKind::Lit, 0)
+    } else {
+        (1, TokKind::Punct, 0)
+    }
+}
+
+/// Parses `// lint:allow(L1, L4): reason` from a line comment.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let idx = comment.find("lint:allow(")?;
+    let rest = &comment[idx + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let after = rest[close + 1..].trim_start();
+    let has_reason = after
+        .strip_prefix(':')
+        .is_some_and(|r| !r.trim().is_empty());
+    Some(Allow {
+        line,
+        rules,
+        has_reason,
+    })
+}
+
+/// Marks tokens inside `#[test]` / `#[cfg(test)]` items as test code.
+///
+/// On seeing such an attribute, the following item is consumed: any
+/// further attributes, then either a `;`-terminated item or a braced body
+/// tracked to its matching `}`.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            let (attr_end, is_test) = scan_attr(toks, i + 1);
+            if is_test {
+                let mut j = attr_end;
+                // Skip any further attributes on the same item.
+                while j < toks.len()
+                    && toks[j].text == "#"
+                    && toks.get(j + 1).is_some_and(|t| t.text == "[")
+                {
+                    let (e, _) = scan_attr(toks, j + 1);
+                    j = e;
+                }
+                let item_end = scan_item(toks, j);
+                for t in toks.iter_mut().take(item_end).skip(i) {
+                    t.in_test = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Scans an attribute starting at the `[` index; returns (index past `]`,
+/// whether it is a test attribute).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut text = String::new();
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    let is_test = text == "[test" || text.contains("cfg(test");
+                    return (j + 1, is_test);
+                }
+            }
+            _ => {}
+        }
+        text.push_str(&toks[j].text);
+        j += 1;
+    }
+    (toks.len(), false)
+}
+
+/// Scans one item starting at `start`; returns the index one past its end
+/// (past the `;` of a bodiless item or past the matching `}` of its body).
+fn scan_item(toks: &[Tok], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            ";" if depth == 0 => return j + 1,
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn merges_multichar_ops() {
+        assert_eq!(texts("a != b"), ["a", "!=", "b"]);
+        assert_eq!(texts("x..=y"), ["x", "..=", "y"]);
+        assert_eq!(texts("m::n"), ["m", "::", "n"]);
+    }
+
+    #[test]
+    fn skips_comments_and_strings() {
+        let l = lex("let s = \"a[0].unwrap()\"; // b.unwrap()\n/* c[1] */ x");
+        let t: Vec<_> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(t, ["let", "s", "=", "\"..\"", ";", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a u8) { let c = 'z'; }");
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lit && t.text == "'"));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        assert_eq!(
+            texts(r##"let x = r#"v[0]"# ;"##),
+            ["let", "x", "=", "\"..\"", ";"]
+        );
+        assert_eq!(texts("let y = b\"ab\" ;"), ["let", "y", "=", "\"..\"", ";"]);
+    }
+
+    #[test]
+    fn marks_cfg_test_modules() {
+        let src = "fn live() { v[0]; }\n#[cfg(test)]\nmod tests { fn t() { v[1]; } }";
+        let l = lex(src);
+        let idx: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.text == "[" || t.text == "]")
+            .collect();
+        // The live index brackets are not test code; the module's are.
+        assert!(!idx.first().unwrap().in_test);
+        assert!(idx.last().unwrap().in_test);
+        assert!(l.toks.iter().any(|t| t.text == "tests" && t.in_test));
+        assert!(l.toks.iter().any(|t| t.text == "live" && !t.in_test));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live() {
+        let l = lex("#[cfg(not(test))]\nfn live() { v[0]; }");
+        assert!(l.toks.iter().all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn test_attr_fn_marked() {
+        let l = lex("#[test]\nfn t() { x.unwrap(); }\nfn live() {}");
+        assert!(l.toks.iter().any(|t| t.text == "unwrap" && t.in_test));
+        assert!(l.toks.iter().any(|t| t.text == "live" && !t.in_test));
+    }
+
+    #[test]
+    fn parses_allow_comments() {
+        let l = lex("x; // lint:allow(L1): index is bounds-checked above\ny;");
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].rules, ["L1"]);
+        assert!(l.allows[0].has_reason);
+        assert_eq!(l.allows[0].line, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_flagged() {
+        let l = lex("// lint:allow(L2)\nx;");
+        assert_eq!(l.allows.len(), 1);
+        assert!(!l.allows[0].has_reason);
+    }
+
+    #[test]
+    fn raw_idents_stripped() {
+        assert_eq!(texts("r#type"), ["type"]);
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let l = lex("a\nb\n  c");
+        let lines: Vec<_> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+}

@@ -1,0 +1,524 @@
+//! The five invariant rules, as token-pattern checks over [`crate::lexer`]
+//! output. Each rule has a path scope; test code (`#[cfg(test)]` /
+//! `#[test]`) is always exempt.
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | L1 | panic-freedom on Byzantine-facing paths (no `unwrap`/`expect`/`panic!`-family/indexing/`unchecked_*`) |
+//! | L2 | quorum arithmetic only in `core/src/quorum.rs` |
+//! | L3 | wire decode sites live next to a verify/dispatch step |
+//! | L4 | digest/signature/mac byte comparison goes through `ct_eq` |
+//! | L5 | no bare narrowing `as` casts in codec paths |
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    pub line: u32,
+    /// `L1`..`L5`, or `LINT` for malformed suppressions (never baselinable).
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+/// All ratchetable rules, in report order.
+pub const RULES: &[&str] = &["L1", "L2", "L3", "L4", "L5"];
+
+/// Files where L1/L3 must be zero regardless of the baseline: everything
+/// that parses bytes straight off a socket.
+pub const ZERO_TOLERANCE: &[&str] = &[
+    "crates/net/src/frame.rs",
+    "crates/net/src/server.rs",
+    "crates/net/src/client.rs",
+];
+
+/// Rust keywords that may directly precede `[` when it is *not* an index
+/// expression (array literals, types, patterns).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while",
+];
+
+/// Macros whose expansion can abort the process.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Digest/signature-flavoured identifiers whose `==`/`!=` comparison must
+/// go through `sstore_crypto::ct::ct_eq` (L4).
+const SECRET_NAMES: &[&str] = &["digest", "value_digest", "signature", "mac"];
+
+fn in_scope_l1(path: &str) -> bool {
+    path == "crates/core/src/codec.rs"
+        || path.starts_with("crates/core/src/server/")
+        || path.starts_with("crates/core/src/client/")
+        || path.starts_with("crates/net/src/")
+        || path.starts_with("crates/crypto/src/")
+}
+
+fn in_scope_l2(path: &str) -> bool {
+    path != "crates/core/src/quorum.rs"
+}
+
+fn in_scope_l3(path: &str) -> bool {
+    path.starts_with("crates/net/src/") || path.starts_with("crates/core/src/server/")
+}
+
+fn in_scope_l4(path: &str) -> bool {
+    path != "crates/crypto/src/ct.rs"
+}
+
+fn in_scope_l5(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/core/src/codec.rs" | "crates/core/src/encoding.rs" | "crates/net/src/frame.rs"
+    )
+}
+
+/// Runs every applicable rule over one lexed file.
+pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Violation> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    if in_scope_l1(path) {
+        rule_l1(path, toks, &mut out);
+    }
+    if in_scope_l2(path) {
+        rule_l2(path, toks, &mut out);
+    }
+    if in_scope_l3(path) {
+        rule_l3(path, toks, &mut out);
+    }
+    if in_scope_l4(path) {
+        rule_l4(path, toks, &mut out);
+    }
+    if in_scope_l5(path) {
+        rule_l5(path, toks, &mut out);
+    }
+    apply_suppressions(lexed, &mut out);
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    path: &str,
+    line: u32,
+    rule: &'static str,
+    msg: impl Into<String>,
+) {
+    out.push(Violation {
+        path: path.to_string(),
+        line,
+        rule,
+        msg: msg.into(),
+    });
+}
+
+/// L1: panic-freedom. Flags `.unwrap()` / `.expect(`, the panic macro
+/// family, `.unchecked_*(`, and index/slice expressions `expr[...]`.
+fn rule_l1(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                let prev_dot = i > 0 && toks[i - 1].text == ".";
+                let next_paren = toks.get(i + 1).is_some_and(|n| n.text == "(");
+                let next_bang = toks.get(i + 1).is_some_and(|n| n.text == "!");
+                if prev_dot && next_paren && (t.text == "unwrap" || t.text == "expect") {
+                    push(out, path, t.line, "L1", format!(".{}() can panic", t.text));
+                } else if prev_dot && next_paren && t.text.starts_with("unchecked_") {
+                    push(
+                        out,
+                        path,
+                        t.line,
+                        "L1",
+                        format!(".{}() skips checks", t.text),
+                    );
+                } else if next_bang && PANIC_MACROS.contains(&t.text.as_str()) {
+                    push(
+                        out,
+                        path,
+                        t.line,
+                        "L1",
+                        format!("{}! aborts the node", t.text),
+                    );
+                }
+            }
+            TokKind::Punct if t.text == "[" && i > 0 => {
+                let p = &toks[i - 1];
+                let indexes = match p.kind {
+                    TokKind::Ident => !KEYWORDS.contains(&p.text.as_str()),
+                    TokKind::Punct => p.text == ")" || p.text == "]" || p.text == "?",
+                    TokKind::Lit => true,
+                    _ => false,
+                };
+                if indexes {
+                    push(out, path, t.line, "L1", "index/slice expression can panic");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// L2: quorum hygiene. Flags hand-rolled threshold arithmetic —
+/// `(… b … 1 …) / 2` and `2 * … b … + 1` — outside `core/src/quorum.rs`.
+fn rule_l2(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    let live: Vec<&Tok> = toks.iter().filter(|t| !t.in_test).collect();
+    for i in 0..live.len() {
+        let t = live[i];
+        // `) / 2` with `b` and `1` in the parenthesized group.
+        if t.text == "/" && live.get(i + 1).is_some_and(|n| n.text == "2") {
+            let window = &live[i.saturating_sub(14)..i];
+            let has_b = window
+                .iter()
+                .any(|w| w.kind == TokKind::Ident && (w.text == "b" || w.text == "n"));
+            let has_one = window
+                .iter()
+                .any(|w| w.kind == TokKind::Num && w.text == "1");
+            if has_b && has_one {
+                push(
+                    out,
+                    path,
+                    t.line,
+                    "L2",
+                    "quorum-style `(.. b .. 1) / 2` outside quorum.rs",
+                );
+            }
+        }
+        // `2 * … b … + 1`.
+        if t.kind == TokKind::Num && t.text == "2" && live.get(i + 1).is_some_and(|n| n.text == "*")
+        {
+            let window = &live[i + 1..(i + 11).min(live.len())];
+            let has_b = window
+                .iter()
+                .any(|w| w.kind == TokKind::Ident && w.text == "b");
+            let plus_one = window
+                .windows(2)
+                .any(|w| w[0].text == "+" && w[1].kind == TokKind::Num && w[1].text == "1");
+            if has_b && plus_one {
+                push(
+                    out,
+                    path,
+                    t.line,
+                    "L2",
+                    "quorum-style `2 * b + 1` outside quorum.rs",
+                );
+            }
+        }
+    }
+}
+
+/// L3: verify-before-use, approximated at file granularity: a file that
+/// calls the wire decoders must also contain a `verify*` call or dispatch
+/// into a protocol state machine (`.handle(` on the server, `.on_message(`
+/// on the client), which performs verification.
+fn rule_l3(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    let live: Vec<&Tok> = toks.iter().filter(|t| !t.in_test).collect();
+    let redeemed = live.windows(2).any(|w| {
+        w[1].text == "("
+            && w[0].kind == TokKind::Ident
+            && (w[0].text.starts_with("verify")
+                || w[0].text == "handle"
+                || w[0].text == "on_message")
+    });
+    if redeemed {
+        return;
+    }
+    for i in 0..live.len() {
+        let t = live[i];
+        if t.kind == TokKind::Ident
+            && (t.text == "decode_msg" || t.text == "decode_hello")
+            && live.get(i + 1).is_some_and(|n| n.text == "(")
+            && !(i > 0 && live[i - 1].text == "fn")
+        {
+            push(
+                out,
+                path,
+                t.line,
+                "L3",
+                format!(
+                    "`{}` result used without a verify/dispatch step in this file",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// L4: constant-time digests. Flags `==`/`!=` whose operand chain is
+/// anchored on a digest/signature/mac identifier; those comparisons must
+/// route through `sstore_crypto::ct::ct_eq`.
+fn rule_l4(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    let live: Vec<&Tok> = toks.iter().filter(|t| !t.in_test).collect();
+    for i in 0..live.len() {
+        let t = live[i];
+        if t.text != "==" && t.text != "!=" {
+            continue;
+        }
+        let back = backward_anchor(&live, i);
+        let fwd = forward_anchor(&live, i);
+        let hit = |a: Option<&str>| a.is_some_and(|a| SECRET_NAMES.contains(&a));
+        if hit(back) || hit(fwd) {
+            push(
+                out,
+                path,
+                t.line,
+                "L4",
+                format!("`{}` on digest/signature bytes; use ct_eq", t.text),
+            );
+        }
+    }
+}
+
+/// Last identifier of the expression ending just before `live[op]`:
+/// `self.meta.value_digest ==` → `value_digest`; `digest(&v) ==` → `digest`.
+fn backward_anchor<'a>(live: &[&'a Tok], op: usize) -> Option<&'a str> {
+    let mut j = op.checked_sub(1)?;
+    if live[j].text == ")" {
+        let mut depth = 1i32;
+        while depth > 0 {
+            j = j.checked_sub(1)?;
+            match live[j].text.as_str() {
+                ")" => depth += 1,
+                "(" => depth -= 1,
+                _ => {}
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+    (live[j].kind == TokKind::Ident).then(|| live[j].text.as_str())
+}
+
+/// Last identifier of the `a.b::c` chain starting just after `live[op]`.
+fn forward_anchor<'a>(live: &[&'a Tok], op: usize) -> Option<&'a str> {
+    let mut j = op + 1;
+    // Skip leading `&`, `*`, `!`.
+    while live
+        .get(j)
+        .is_some_and(|t| matches!(t.text.as_str(), "&" | "*" | "!"))
+    {
+        j += 1;
+    }
+    let mut last = None;
+    while let Some(t) = live.get(j) {
+        match t.kind {
+            TokKind::Ident => last = Some(t.text.as_str()),
+            TokKind::Punct if t.text == "." || t.text == "::" => {}
+            _ => break,
+        }
+        j += 1;
+    }
+    last
+}
+
+/// L5: checked narrowing. Flags bare `as u8|u16|u32` in codec paths;
+/// widths there must be proven with `try_from` + an explicit error.
+fn rule_l5(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    let live: Vec<&Tok> = toks.iter().filter(|t| !t.in_test).collect();
+    for w in live.windows(2) {
+        if w[0].text == "as"
+            && w[0].kind == TokKind::Ident
+            && matches!(w[1].text.as_str(), "u8" | "u16" | "u32")
+        {
+            push(
+                out,
+                path,
+                w[0].line,
+                "L5",
+                format!(
+                    "bare narrowing `as {}`; use try_from with a codec error",
+                    w[1].text
+                ),
+            );
+        }
+    }
+}
+
+/// Removes violations covered by a justified `lint:allow` on the same or
+/// preceding line.
+fn apply_suppressions(lexed: &Lexed, out: &mut Vec<Violation>) {
+    out.retain(|v| {
+        !lexed.allows.iter().any(|a| {
+            a.has_reason
+                && (a.line == v.line || a.line + 1 == v.line)
+                && a.rules.iter().any(|r| r == v.rule)
+        })
+    });
+}
+
+/// [`check_file`] plus `LINT` violations for malformed suppression
+/// comments (unknown rule name or missing justification) — those always
+/// fail and can never be baselined away.
+pub fn check_file_full(path: &str, lexed: &Lexed) -> Vec<Violation> {
+    let mut out = check_file(path, lexed);
+    for a in &lexed.allows {
+        let bad_rule = a.rules.iter().any(|r| !RULES.contains(&r.as_str()));
+        if !a.has_reason || bad_rule {
+            push(
+                &mut out,
+                path,
+                a.line,
+                "LINT",
+                "malformed lint:allow (unknown rule or missing justification)",
+            );
+        }
+    }
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Vec<Violation> {
+        check_file_full(path, &lex(src))
+    }
+
+    const NET: &str = "crates/net/src/frame.rs";
+
+    #[test]
+    fn l1_unwrap_expect_panic() {
+        let v = run(
+            NET,
+            "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); }",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "L1").count(), 3);
+    }
+
+    #[test]
+    fn l1_indexing_flagged_but_not_array_types() {
+        let v = run(
+            NET,
+            "fn f(a: [u8; 4], v: &[u8]) -> u8 { let _x: Vec<[u8; 2]> = vec![]; v[0] }",
+        );
+        let l1: Vec<_> = v.iter().filter(|v| v.rule == "L1").collect();
+        assert_eq!(l1.len(), 1, "{l1:?}");
+    }
+
+    #[test]
+    fn l1_slice_patterns_are_fine() {
+        let v = run(
+            NET,
+            "fn f(v: &[u8]) { let [a, b] = v else { return }; let _ = (a, b); }",
+        );
+        assert!(v.iter().all(|v| v.rule != "L1"), "{v:?}");
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_else_and_tests() {
+        let v = run(
+            NET,
+            "fn f() { x.unwrap_or_else(|e| e.into_inner()); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }",
+        );
+        assert!(v.iter().all(|v| v.rule != "L1"), "{v:?}");
+    }
+
+    #[test]
+    fn l1_out_of_scope_file_ignored() {
+        let v = run("crates/core/src/sim.rs", "fn f() { x.unwrap(); }");
+        assert!(v.iter().all(|v| v.rule != "L1"));
+    }
+
+    #[test]
+    fn l2_flags_handrolled_quorum_math() {
+        let v = run(NET, "fn t(n: usize, b: usize) -> usize { (n + b + 1) / 2 }");
+        assert_eq!(v.iter().filter(|v| v.rule == "L2").count(), 1);
+        let v = run(NET, "fn t(&self) -> usize { 2 * self.dir.b() + 1 }");
+        assert_eq!(v.iter().filter(|v| v.rule == "L2").count(), 1);
+    }
+
+    #[test]
+    fn l2_allows_quorum_rs_and_plain_halving() {
+        let v = run(
+            "crates/core/src/quorum.rs",
+            "pub fn q(n: usize, b: usize) -> usize { (n + b + 1) / 2 }",
+        );
+        assert!(v.iter().all(|v| v.rule != "L2"));
+        let v = run(NET, "fn mid(len: usize) -> usize { len / 2 }");
+        assert!(v.iter().all(|v| v.rule != "L2"));
+    }
+
+    #[test]
+    fn l3_decode_without_verify_flagged() {
+        let v = run(
+            "crates/net/src/server.rs",
+            "fn r() { let m = decode_msg(&buf); store(m); }",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "L3").count(), 1);
+    }
+
+    #[test]
+    fn l3_decode_with_dispatch_ok() {
+        let v = run(
+            "crates/net/src/server.rs",
+            "fn r(&self) { let m = decode_msg(&buf); self.node.handle(m); }",
+        );
+        assert!(v.iter().all(|v| v.rule != "L3"));
+        // Client-side dispatch counts too.
+        let v = run(
+            "crates/net/src/client.rs",
+            "fn r(&mut self) { let m = decode_msg(&buf); self.core.on_message(sid, m, now); }",
+        );
+        assert!(v.iter().all(|v| v.rule != "L3"));
+        // Definition sites don't count as uses.
+        let v = run(NET, "pub fn decode_hello(p: &[u8]) -> R { todo() }");
+        assert!(v.iter().all(|v| v.rule != "L3"));
+    }
+
+    #[test]
+    fn l4_digest_comparison_flagged() {
+        let v = run(
+            "crates/core/src/item.rs",
+            "fn f(&self) { if digest(&self.value) != self.meta.value_digest { } }",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "L4").count(), 1);
+    }
+
+    #[test]
+    fn l4_plain_comparisons_ok() {
+        let v = run(
+            "crates/core/src/item.rs",
+            "fn f(a: u8, e: u8) { if a == e { } }",
+        );
+        assert!(v.iter().all(|v| v.rule != "L4"));
+    }
+
+    #[test]
+    fn l5_narrowing_cast_flagged_in_codec_only() {
+        let v = run(
+            "crates/core/src/encoding.rs",
+            "fn f(v: &[u8]) -> u32 { v.len() as u32 }",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "L5").count(), 1);
+        let v = run(
+            "crates/core/src/encoding.rs",
+            "fn f(v: &[u8]) -> u64 { v.len() as u64 }",
+        );
+        assert!(v.iter().all(|v| v.rule != "L5"));
+        let v = run("crates/core/src/sim.rs", "fn f(x: u64) -> u32 { x as u32 }");
+        assert!(v.iter().all(|v| v.rule != "L5"));
+    }
+
+    #[test]
+    fn suppression_with_reason_works() {
+        let v = run(
+            NET,
+            "fn f() { // lint:allow(L1): length checked two lines up\n x.unwrap(); }",
+        );
+        assert!(v.iter().all(|v| v.rule != "L1"), "{v:?}");
+    }
+
+    #[test]
+    fn suppression_without_reason_is_error() {
+        let v = run(NET, "fn f() { // lint:allow(L1)\n x.unwrap(); }");
+        assert!(v.iter().any(|v| v.rule == "LINT"));
+        assert!(v.iter().any(|v| v.rule == "L1"));
+    }
+}

@@ -11,7 +11,6 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::io;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,7 +32,7 @@ use sstore_crypto::schnorr::SigningKey;
 use sstore_simnet::SimTime;
 use sstore_transport::{StoreError, StoreHandle};
 
-use crate::frame::{encode_hello, read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::frame::{encode_hello, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME};
 
 /// Socket-layer tuning for a [`NetClient`].
 #[derive(Debug, Clone)]
@@ -160,6 +159,7 @@ impl NetCluster {
         let key = self
             .signing
             .get(&id)
+            // lint:allow(L1): documented panic on a local config precondition; `i` never comes off the wire
             .expect("client key registered")
             .clone();
         let (tx, rx) = unbounded();
@@ -222,7 +222,10 @@ impl NetClient {
             if link.writer.is_some() || Instant::now() < link.next_attempt {
                 continue;
             }
-            match dial(self.addrs[i], me, &self.cfg) {
+            let Some(&addr) = self.addrs.get(i) else {
+                continue;
+            };
+            match dial(addr, me, &self.cfg) {
                 Ok(stream) => {
                     link.epoch += 1;
                     link.backoff = self.cfg.backoff_min;
@@ -487,7 +490,7 @@ impl Drop for NetClient {
 }
 
 /// Dials one server and performs the hello handshake.
-fn dial(addr: SocketAddr, me: ClientId, cfg: &NetClientConfig) -> io::Result<TcpStream> {
+fn dial(addr: SocketAddr, me: ClientId, cfg: &NetClientConfig) -> Result<TcpStream, WireError> {
     let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
     stream.set_nodelay(true)?;
     let mut hello = stream.try_clone()?;

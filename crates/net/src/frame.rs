@@ -15,6 +15,7 @@
 //! trust never derives from it, since every stored payload is client-signed
 //! and verified end-to-end (paper §4).
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
 use sstore_core::codec::{CodecError, WIRE_VERSION};
@@ -29,34 +30,92 @@ pub const DEFAULT_MAX_FRAME: usize = 32 * 1024 * 1024;
 /// Payload tag of the hello frame (outside the [`Msg`] tag space).
 const HELLO_TAG: u8 = 0xFE;
 
+/// Everything that can go wrong at the framed-socket boundary.
+///
+/// Every byte a frame function looks at came off the network, so none of
+/// these conditions is a program bug: they are all reported as values and
+/// the caller decides (invariably: drop the connection). Nothing in this
+/// module panics on remote input.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket I/O failed, or the peer closed the connection mid-frame.
+    Io(io::Error),
+    /// A frame length exceeded the configured cap (or, on the write side,
+    /// the `u32` length prefix).
+    Oversized {
+        /// The offending frame length.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// A payload was not a canonical encoding.
+    Codec(CodecError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap {max}")
+            }
+            WireError::Codec(e) => write!(f, "malformed payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Oversized { .. } => None,
+            WireError::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
 /// Writes one frame (length prefix + payload) and flushes.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors; rejects payloads longer than `u32::MAX`.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+/// Propagates I/O errors; payloads longer than `u32::MAX` are rejected as
+/// [`WireError::Oversized`] before anything is written.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized {
+        len: payload.len(),
+        max: u32::MAX as usize,
+    })?;
     w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Reads one frame, rejecting lengths above `max` before allocating.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors (including `UnexpectedEof` on a cleanly closed
-/// connection); oversized frames surface as `InvalidData`.
-pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Vec<u8>> {
+/// I/O errors (including `UnexpectedEof` on a cleanly closed connection)
+/// surface as [`WireError::Io`]; an announced length above `max` as
+/// [`WireError::Oversized`].
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, WireError> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > max {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds cap {max}"),
-        ));
+        return Err(WireError::Oversized { len, max });
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
@@ -69,33 +128,35 @@ pub fn encode_hello(addr: Addr) -> Vec<u8> {
         Addr::Client(c) => (0u8, c.0),
         Addr::Server(s) => (1u8, s.0),
     };
-    let id = id.to_be_bytes();
-    vec![WIRE_VERSION, HELLO_TAG, kind, id[0], id[1]]
+    let [hi, lo] = id.to_be_bytes();
+    vec![WIRE_VERSION, HELLO_TAG, kind, hi, lo]
 }
 
 /// Decodes a hello payload.
 ///
 /// # Errors
 ///
-/// [`CodecError`] for any payload that is not a well-formed hello.
-pub fn decode_hello(payload: &[u8]) -> Result<Addr, CodecError> {
-    if payload.len() < 5 {
-        return Err(CodecError::Truncated);
+/// [`WireError::Codec`] for any payload that is not a well-formed hello.
+pub fn decode_hello(payload: &[u8]) -> Result<Addr, WireError> {
+    // The slice pattern proves the length once; no index below can panic.
+    let [ver, tag, kind, hi, lo] = payload else {
+        return Err(if payload.len() < 5 {
+            CodecError::Truncated.into()
+        } else {
+            CodecError::TrailingBytes(payload.len() - 5).into()
+        });
+    };
+    if *ver != WIRE_VERSION {
+        return Err(CodecError::BadVersion(*ver).into());
     }
-    if payload.len() > 5 {
-        return Err(CodecError::TrailingBytes(payload.len() - 5));
+    if *tag != HELLO_TAG {
+        return Err(CodecError::BadTag(*tag).into());
     }
-    if payload[0] != WIRE_VERSION {
-        return Err(CodecError::BadVersion(payload[0]));
-    }
-    if payload[1] != HELLO_TAG {
-        return Err(CodecError::BadTag(payload[1]));
-    }
-    let id = u16::from_be_bytes([payload[3], payload[4]]);
-    match payload[2] {
+    let id = u16::from_be_bytes([*hi, *lo]);
+    match kind {
         0 => Ok(Addr::Client(ClientId(id))),
         1 => Ok(Addr::Server(ServerId(id))),
-        _ => Err(CodecError::NonCanonical("hello kind")),
+        _ => Err(CodecError::NonCanonical("hello kind").into()),
     }
 }
 
@@ -129,8 +190,13 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_be_bytes());
         let mut cursor = io::Cursor::new(buf);
-        let err = read_frame(&mut cursor, 1024).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        match read_frame(&mut cursor, 1024).unwrap_err() {
+            WireError::Oversized { len, max } => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
     }
 
     #[test]
@@ -139,8 +205,23 @@ mod tests {
         write_frame(&mut buf, b"full payload").unwrap();
         buf.truncate(buf.len() - 3);
         let mut cursor = io::Cursor::new(buf);
-        let err = read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap_err() {
+            WireError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_length_prefix_reports_eof() {
+        // Fewer than the 4 length-prefix bytes: the reader must error, not
+        // block or panic.
+        for n in 0..4 {
+            let mut cursor = io::Cursor::new(vec![0u8; n]);
+            match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap_err() {
+                WireError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+                other => panic!("expected Io, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -152,11 +233,31 @@ mod tests {
 
     #[test]
     fn malformed_hellos_rejected() {
-        assert!(decode_hello(&[]).is_err());
-        assert!(decode_hello(&[WIRE_VERSION, HELLO_TAG, 0, 0]).is_err());
-        assert!(decode_hello(&[WIRE_VERSION, HELLO_TAG, 9, 0, 1]).is_err());
-        assert!(decode_hello(&[WIRE_VERSION + 1, HELLO_TAG, 0, 0, 1]).is_err());
-        assert!(decode_hello(&[WIRE_VERSION, 0x01, 0, 0, 1]).is_err());
-        assert!(decode_hello(&[WIRE_VERSION, HELLO_TAG, 0, 0, 1, 0]).is_err());
+        // Short payloads of every length, including empty.
+        for n in 0..5 {
+            assert!(matches!(
+                decode_hello(&vec![WIRE_VERSION; n]).unwrap_err(),
+                WireError::Codec(CodecError::Truncated)
+            ));
+        }
+        // Trailing garbage.
+        assert!(matches!(
+            decode_hello(&[WIRE_VERSION, HELLO_TAG, 0, 0, 1, 0]).unwrap_err(),
+            WireError::Codec(CodecError::TrailingBytes(1))
+        ));
+        // Unknown kind byte.
+        assert!(matches!(
+            decode_hello(&[WIRE_VERSION, HELLO_TAG, 9, 0, 1]).unwrap_err(),
+            WireError::Codec(CodecError::NonCanonical(_))
+        ));
+        // Wrong version and wrong tag.
+        assert!(matches!(
+            decode_hello(&[WIRE_VERSION + 1, HELLO_TAG, 0, 0, 1]).unwrap_err(),
+            WireError::Codec(CodecError::BadVersion(_))
+        ));
+        assert!(matches!(
+            decode_hello(&[WIRE_VERSION, 0x01, 0, 0, 1]).unwrap_err(),
+            WireError::Codec(CodecError::BadTag(0x01))
+        ));
     }
 }

@@ -31,6 +31,8 @@ mod frame;
 mod server;
 
 pub use client::{NetClient, NetClientConfig, NetCluster};
-pub use frame::{decode_hello, encode_hello, read_frame, write_frame, DEFAULT_MAX_FRAME};
+pub use frame::{
+    decode_hello, encode_hello, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME,
+};
 pub use server::{NetServer, NetServerConfig};
 pub use sstore_transport::{StoreError, StoreHandle};

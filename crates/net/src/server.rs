@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -97,6 +97,17 @@ impl Shared {
     }
 }
 
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Every critical section in this file either completes a whole state
+/// mutation or performs none (the state machine's `handle` only commits
+/// effects it returns), so a poisoned lock carries no torn state — and one
+/// panicking connection thread must not wedge the entire server, which is
+/// exactly the availability story the deployment exists to demonstrate.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// One repository server listening on a TCP socket.
 pub struct NetServer {
     shared: Arc<Shared>,
@@ -142,11 +153,7 @@ impl NetServer {
         // Gossip timer.
         let gossip_shared = shared.clone();
         let gossip = std::thread::spawn(move || gossip_loop(gossip_shared, gossip_period));
-        shared
-            .threads
-            .lock()
-            .expect("threads lock")
-            .extend([accept, gossip]);
+        locked(&shared.threads).extend([accept, gossip]);
 
         Ok(NetServer { shared, local_addr })
     }
@@ -164,12 +171,12 @@ impl NetServer {
     /// Snapshot of the measured-vs-formula byte accounting for every frame
     /// this server has sent.
     pub fn wire_stats(&self) -> WireStats {
-        self.shared.stats.lock().expect("stats lock").clone()
+        locked(&self.shared.stats).clone()
     }
 
     /// Runs `f` against the server state machine (test/inspection hook).
     pub fn with_node<R>(&self, f: impl FnOnce(&ServerNode) -> R) -> R {
-        f(&self.shared.node.lock().expect("node lock"))
+        f(&locked(&self.shared.node))
     }
 
     /// Stops all threads and closes every connection. Blocks until the
@@ -178,17 +185,11 @@ impl NetServer {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Dropping the links closes the writer channels; shutting the
         // sockets down unblocks the readers.
-        self.shared.links.lock().expect("links lock").clear();
-        for sock in self.shared.socks.lock().expect("socks lock").drain(..) {
+        locked(&self.shared.links).clear();
+        for sock in locked(&self.shared.socks).drain(..) {
             let _ = sock.shutdown(Shutdown::Both);
         }
-        let handles: Vec<JoinHandle<()>> = self
-            .shared
-            .threads
-            .lock()
-            .expect("threads lock")
-            .drain(..)
-            .collect();
+        let handles: Vec<JoinHandle<()>> = locked(&self.shared.threads).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -209,7 +210,7 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
                 let handle = std::thread::spawn(move || {
                     run_accepted(conn_shared, stream);
                 });
-                shared.threads.lock().expect("threads lock").push(handle);
+                locked(&shared.threads).push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(shared.cfg.poll_interval);
@@ -228,7 +229,7 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
 fn run_accepted(shared: Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let Ok(ctrl) = stream.try_clone() else { return };
-    shared.socks.lock().expect("socks lock").push(ctrl);
+    locked(&shared.socks).push(ctrl);
     // The flag is set before shutdown() drains the registry; re-checking
     // after the push closes the race with a connection accepted mid-drain.
     if shared.shutdown.load(Ordering::SeqCst) {
@@ -254,7 +255,7 @@ fn run_accepted(shared: Arc<Shared>, stream: TcpStream) {
 fn register_link(shared: &Arc<Shared>, remote: Addr, stream: TcpStream) -> Sender<Msg> {
     let (tx, rx) = unbounded::<Msg>();
     let gen = shared.link_gen.fetch_add(1, Ordering::SeqCst);
-    shared.links.lock().expect("links lock").insert(
+    locked(&shared.links).insert(
         remote,
         Link {
             gen,
@@ -265,7 +266,7 @@ fn register_link(shared: &Arc<Shared>, remote: Addr, stream: TcpStream) -> Sende
     let handle = std::thread::spawn(move || {
         writer_loop(writer_shared, remote, gen, stream, rx);
     });
-    shared.threads.lock().expect("threads lock").push(handle);
+    locked(&shared.threads).push(handle);
     tx
 }
 
@@ -280,17 +281,13 @@ fn writer_loop(
 ) {
     for msg in rx.iter() {
         let bytes = encode_msg(&msg);
-        shared
-            .stats
-            .lock()
-            .expect("stats lock")
-            .record(&msg, bytes.len());
+        locked(&shared.stats).record(&msg, bytes.len());
         if write_frame(&mut stream, &bytes).is_err() {
             break;
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
-    let mut links = shared.links.lock().expect("links lock");
+    let mut links = locked(&shared.links);
     if links.get(&remote).is_some_and(|l| l.gen == gen) {
         links.remove(&remote);
     }
@@ -323,11 +320,7 @@ fn reader_loop(shared: &Arc<Shared>, remote: Addr, reader: &mut TcpStream) {
 /// Runs one message through the state machine and routes the output.
 fn dispatch(shared: &Arc<Shared>, from: Addr, msg: Msg) {
     let now = shared.now();
-    let outs = shared
-        .node
-        .lock()
-        .expect("node lock")
-        .handle(from, msg, now);
+    let outs = locked(&shared.node).handle(from, msg, now);
     for (to, out) in outs {
         route(shared, to, out);
     }
@@ -336,12 +329,7 @@ fn dispatch(shared: &Arc<Shared>, from: Addr, msg: Msg) {
 /// Delivers `msg` to `to` if a link exists (dialing peer servers on
 /// demand); drops it otherwise — remote failure must look like silence.
 fn route(shared: &Arc<Shared>, to: Addr, msg: Msg) {
-    let existing = shared
-        .links
-        .lock()
-        .expect("links lock")
-        .get(&to)
-        .map(|l| l.tx.clone());
+    let existing = locked(&shared.links).get(&to).map(|l| l.tx.clone());
     let msg = if let Some(tx) = existing {
         match tx.send(msg) {
             Ok(()) => return,
@@ -367,7 +355,7 @@ fn dial(shared: &Arc<Shared>, peer: ServerId) -> Option<Sender<Msg>> {
     }
     let addr = *shared.peers.get(peer.0 as usize)?;
     {
-        let redial = shared.redial.lock().expect("redial lock");
+        let redial = locked(&shared.redial);
         if let Some((next_attempt, _)) = redial.get(&peer) {
             if Instant::now() < *next_attempt {
                 return None;
@@ -385,7 +373,7 @@ fn dial(shared: &Arc<Shared>, peer: ServerId) -> Option<Sender<Msg>> {
                 return None;
             }
             if let Ok(ctrl) = stream.try_clone() {
-                shared.socks.lock().expect("socks lock").push(ctrl);
+                locked(&shared.socks).push(ctrl);
             }
             // Same mid-drain race as in `run_accepted`.
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -397,13 +385,13 @@ fn dial(shared: &Arc<Shared>, peer: ServerId) -> Option<Sender<Msg>> {
                 let handle = std::thread::spawn(move || {
                     reader_loop(&reader_shared, Addr::Server(peer), &mut reader);
                 });
-                shared.threads.lock().expect("threads lock").push(handle);
+                locked(&shared.threads).push(handle);
             }
-            shared.redial.lock().expect("redial lock").remove(&peer);
+            locked(&shared.redial).remove(&peer);
             Some(register_link(shared, Addr::Server(peer), stream))
         }
         Err(_) => {
-            let mut redial = shared.redial.lock().expect("redial lock");
+            let mut redial = locked(&shared.redial);
             let backoff = redial
                 .get(&peer)
                 .map(|&(_, b)| (b * 2).min(shared.cfg.backoff_max))
@@ -429,11 +417,7 @@ fn gossip_loop(shared: Arc<Shared>, period: Duration) {
         }
         next = now + period;
         let sim_now = shared.now();
-        let outs = shared
-            .node
-            .lock()
-            .expect("node lock")
-            .on_gossip_timer(sim_now, &mut rng);
+        let outs = locked(&shared.node).on_gossip_timer(sim_now, &mut rng);
         for (to, msg) in outs {
             route(&shared, to, msg);
         }

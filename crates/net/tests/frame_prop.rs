@@ -1,0 +1,81 @@
+//! Property-based coverage for the framing layer: arbitrary or mangled
+//! bytes must never panic the frame reader or the hello decoder — every
+//! byte both of them look at comes straight off a socket, so a reachable
+//! panic here would let one malicious peer crash a server and burn part of
+//! the protocol's `b`-fault budget.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use sstore_core::server::Addr;
+use sstore_core::types::{ClientId, ServerId};
+use sstore_net::{
+    decode_hello, encode_hello, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME,
+};
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    (any::<bool>(), any::<u16>()).prop_map(|(server, id)| {
+        if server {
+            Addr::Server(ServerId(id))
+        } else {
+            Addr::Client(ClientId(id))
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frame_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = Cursor::new(buf);
+        prop_assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), payload);
+    }
+
+    #[test]
+    fn read_frame_never_panics_on_junk(
+        junk in proptest::collection::vec(any::<u8>(), 0..512),
+        max in 0usize..1024,
+    ) {
+        let mut cursor = Cursor::new(junk);
+        let _ = read_frame(&mut cursor, max);
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_reading_body(len in 1025u32.., tail in any::<u8>()) {
+        // Only the length prefix and one stray byte are present: the
+        // announced length must be rejected before the body is read (or
+        // allocated), not after an attempted huge allocation.
+        let mut buf = len.to_be_bytes().to_vec();
+        buf.push(tail);
+        let mut cursor = Cursor::new(buf);
+        prop_assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(WireError::Oversized { max: 1024, .. })
+        ));
+    }
+
+    #[test]
+    fn decode_hello_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_hello(&junk);
+    }
+
+    #[test]
+    fn hello_roundtrip(addr in arb_addr()) {
+        prop_assert_eq!(decode_hello(&encode_hello(addr)).unwrap(), addr);
+    }
+
+    #[test]
+    fn mutated_hello_never_panics(addr in arb_addr(), at in 0usize..5, mask in 1u8..) {
+        let mut bytes = encode_hello(addr);
+        bytes[at] ^= mask;
+        // Must not panic; if it still decodes, the flipped byte was inside
+        // the id field, so it must decode to a *different* address.
+        if let Ok(other) = decode_hello(&bytes) {
+            prop_assert_ne!(other, addr);
+        }
+    }
+}
