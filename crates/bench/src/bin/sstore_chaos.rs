@@ -1,0 +1,390 @@
+//! sstore-chaos — seeded chaos campaigns against the simulated store.
+//!
+//! Runs the [`sstore_core::chaos`] campaign engine over a seed range,
+//! shrinks every failing seed with delta debugging, and writes the
+//! minimal schedules as replay files that re-run byte-for-byte
+//! deterministically.
+//!
+//! ```text
+//! # standard campaign (both oracles must hold on every seed)
+//! sstore-chaos --seeds 0..200
+//!
+//! # over-budget probe (b+1 stale servers; the safety oracle is
+//! # expected to flag some seeds — exit 0 only if it does)
+//! sstore-chaos --seeds 0..50 --over-budget --expect-flagged
+//!
+//! # re-run a minimal replay file twice and check determinism
+//! sstore-chaos --replay chaos-failures/seed-17.replay
+//!
+//! # EXPERIMENTS.md availability table (runs both campaigns)
+//! sstore-chaos --seeds 0..200 --markdown
+//! ```
+//!
+//! Exit codes: `0` success (or expected flags present), `1` oracle
+//! failure / missing expected flags / IO error, `2` bad usage or a
+//! nondeterministic replay.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use sstore_core::chaos::{self, ChaosConfig, FailureClass, Verdict};
+
+struct Args {
+    seed_from: u64,
+    seed_to: u64,
+    n: usize,
+    b: usize,
+    over_budget: bool,
+    expect_flagged: bool,
+    markdown: bool,
+    json: bool,
+    out_dir: String,
+    shrink_budget: usize,
+    replay: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed_from: 0,
+            seed_to: 200,
+            n: 4,
+            b: 1,
+            over_budget: false,
+            expect_flagged: false,
+            markdown: false,
+            json: false,
+            out_dir: "chaos-failures".to_string(),
+            shrink_budget: 400,
+            replay: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires an argument"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                let spec = value("--seeds")?;
+                let (a, z) = spec
+                    .split_once("..")
+                    .ok_or_else(|| format!("--seeds expects A..B, got {spec}"))?;
+                args.seed_from = a.parse().map_err(|e| format!("bad seed {a}: {e}"))?;
+                args.seed_to = z.parse().map_err(|e| format!("bad seed {z}: {e}"))?;
+                if args.seed_to <= args.seed_from {
+                    return Err(format!("empty seed range {spec}"));
+                }
+            }
+            "--n" => args.n = value("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--b" => args.b = value("--b")?.parse().map_err(|e| format!("bad --b: {e}"))?,
+            "--over-budget" => args.over_budget = true,
+            "--expect-flagged" => args.expect_flagged = true,
+            "--markdown" => args.markdown = true,
+            "--json" => args.json = true,
+            "--out" => args.out_dir = value("--out")?,
+            "--shrink-budget" => {
+                args.shrink_budget = value("--shrink-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --shrink-budget: {e}"))?
+            }
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--help" | "-h" => {
+                return Err("usage: sstore-chaos [--seeds A..B] [--n N] [--b B] \
+                     [--over-budget] [--expect-flagged] [--json] [--markdown] \
+                     [--out DIR] [--shrink-budget N] | --replay FILE [--json]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn verdict_json(v: &Verdict) -> String {
+    let class = match v.class() {
+        Some(FailureClass::Safety) => "\"safety\"".to_string(),
+        Some(FailureClass::Liveness) => "\"liveness\"".to_string(),
+        None => "null".to_string(),
+    };
+    let list = |items: &[String]| {
+        items
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{{\"seed\":{},\"passed\":{},\"class\":{},\"ops_ok\":{},\"ops_total\":{},\
+         \"messages\":{},\"delivered\":{},\"dropped\":{},\"safety\":[{}],\"liveness\":[{}]}}",
+        v.seed,
+        v.passed(),
+        class,
+        v.ops_ok,
+        v.ops_total,
+        v.stats.total_messages,
+        v.stats.delivered_messages,
+        v.stats.dropped_messages,
+        list(&v.safety),
+        list(&v.liveness),
+    )
+}
+
+/// Aggregate counters for one campaign section.
+#[derive(Default)]
+struct Tally {
+    seeds: usize,
+    passed: usize,
+    safety_flagged: usize,
+    liveness_flagged: usize,
+    ops_ok: usize,
+    ops_total: usize,
+    messages: u64,
+    dropped: u64,
+}
+
+impl Tally {
+    fn absorb(&mut self, v: &Verdict) {
+        self.seeds += 1;
+        if v.passed() {
+            self.passed += 1;
+        }
+        if !v.safety_ok() {
+            self.safety_flagged += 1;
+        }
+        if !v.liveness_ok() {
+            self.liveness_flagged += 1;
+        }
+        self.ops_ok += v.ops_ok;
+        self.ops_total += v.ops_total;
+        self.messages += v.stats.total_messages;
+        self.dropped += v.stats.dropped_messages;
+    }
+
+    fn availability(&self) -> f64 {
+        if self.ops_total == 0 {
+            return 0.0;
+        }
+        self.ops_ok as f64 / self.ops_total as f64
+    }
+}
+
+/// Runs one campaign section; returns the tally and the failing seeds.
+fn run_section(args: &Args, cfg: &ChaosConfig, label: &str) -> Result<(Tally, Vec<u64>), String> {
+    let mut tally = Tally::default();
+    let mut failing = Vec::new();
+    for seed in args.seed_from..args.seed_to {
+        let schedule = chaos::generate(seed, cfg);
+        let verdict = chaos::run(&schedule)?;
+        tally.absorb(&verdict);
+        if !verdict.passed() {
+            failing.push(seed);
+        }
+        if args.json {
+            println!("{}", verdict_json(&verdict));
+        } else if !args.markdown && !verdict.passed() {
+            eprintln!(
+                "[{label}] seed {seed}: safety={:?} liveness={:?}",
+                verdict.safety, verdict.liveness
+            );
+        }
+    }
+    Ok((tally, failing))
+}
+
+/// Shrinks each failing seed and writes the minimal schedule as a replay
+/// file under `out_dir`. Returns the written paths.
+fn shrink_and_emit(args: &Args, cfg: &ChaosConfig, failing: &[u64]) -> Result<Vec<String>, String> {
+    if failing.is_empty() {
+        return Ok(Vec::new());
+    }
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", args.out_dir))?;
+    let mut written = Vec::new();
+    for &seed in failing {
+        let schedule = chaos::generate(seed, cfg);
+        let shrunk = chaos::shrink(&schedule, args.shrink_budget)?;
+        let path = format!("{}/seed-{seed}.replay", args.out_dir);
+        std::fs::write(&path, shrunk.schedule.to_text())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "[shrink] seed {seed}: {:?} reproduced in {} runs -> {path}",
+            shrunk.class, shrunk.runs
+        );
+        written.push(path);
+    }
+    Ok(written)
+}
+
+fn replay(path: &str, json: bool) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let schedule = chaos::Schedule::from_text(&text)?;
+    let first = chaos::run(&schedule)?;
+    let second = chaos::run(&schedule)?;
+    let deterministic = first.safety == second.safety
+        && first.liveness == second.liveness
+        && first.ops_ok == second.ops_ok
+        && first.stats == second.stats;
+    if json {
+        println!("{}", verdict_json(&first));
+    } else {
+        println!(
+            "replay {path}: seed={} passed={} class={:?}",
+            first.seed,
+            first.passed(),
+            first.class()
+        );
+        for v in &first.safety {
+            println!("  safety: {v}");
+        }
+        for v in &first.liveness {
+            println!("  liveness: {v}");
+        }
+    }
+    if !deterministic {
+        eprintln!("replay {path}: NONDETERMINISTIC — two runs disagreed");
+        return Ok(ExitCode::from(2));
+    }
+    println!("replay {path}: deterministic (verdicts and NetStats identical across two runs)");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn markdown_table(standard: &Tally, over: &Tally, args: &Args) -> String {
+    let row = |label: &str, faulty: String, gossip: &str, t: &Tally| {
+        format!(
+            "| {label} | {faulty} | {gossip} | {} | {} | {} | {} | {}/{} ({:.1}%) | {:.1} |\n",
+            t.seeds,
+            t.passed,
+            t.safety_flagged,
+            t.liveness_flagged,
+            t.ops_ok,
+            t.ops_total,
+            100.0 * t.availability(),
+            t.messages as f64 / t.seeds.max(1) as f64,
+        )
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| campaign (n={}, b={}) | faulty | gossip | seeds | passed | safety flags | liveness flags | ops completed | msgs/seed |",
+        args.n, args.b
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str(&row(
+        "standard (menu adversaries + fault windows)",
+        format!("{}", args.b),
+        "drawn",
+        standard,
+    ));
+    out.push_str(&row(
+        "over-budget (all-stale probe)",
+        format!("{}", args.b + 1),
+        "off",
+        over,
+    ));
+    out
+}
+
+fn campaign(args: &Args) -> Result<ExitCode, String> {
+    if args.markdown {
+        // Both sections, one table — the EXPERIMENTS.md path.
+        let std_cfg = ChaosConfig::standard(args.n, args.b);
+        let over_cfg = ChaosConfig::over_budget(args.n, args.b);
+        let (std_tally, std_failing) = run_section(args, &std_cfg, "standard")?;
+        let (over_tally, _) = run_section(args, &over_cfg, "over-budget")?;
+        print!("{}", markdown_table(&std_tally, &over_tally, args));
+        let ok = std_failing.is_empty() && over_tally.safety_flagged > 0;
+        return Ok(if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    let cfg = if args.over_budget {
+        ChaosConfig::over_budget(args.n, args.b)
+    } else {
+        ChaosConfig::standard(args.n, args.b)
+    };
+    let label = if args.over_budget {
+        "over-budget"
+    } else {
+        "standard"
+    };
+    let (tally, failing) = run_section(args, &cfg, label)?;
+    eprintln!(
+        "[{label}] seeds {}..{}: {}/{} passed, {} safety / {} liveness flags, \
+         {}/{} ops ok ({:.1}% availability)",
+        args.seed_from,
+        args.seed_to,
+        tally.passed,
+        tally.seeds,
+        tally.safety_flagged,
+        tally.liveness_flagged,
+        tally.ops_ok,
+        tally.ops_total,
+        100.0 * tally.availability(),
+    );
+
+    if args.expect_flagged {
+        // Over-budget CI probe: the harness must demonstrate it catches
+        // real violations. Shrink the flagged seeds as evidence.
+        if tally.safety_flagged == 0 {
+            eprintln!("[{label}] expected the safety oracle to flag at least one seed; none were");
+            return Ok(ExitCode::FAILURE);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if failing.is_empty() {
+        return Ok(ExitCode::SUCCESS);
+    }
+    let written = shrink_and_emit(args, &cfg, &failing)?;
+    eprintln!(
+        "[{label}] {} failing seed(s); minimal replays in {:?}",
+        failing.len(),
+        written
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match &args.replay {
+        Some(path) => replay(path, args.json),
+        None => campaign(&args),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("sstore-chaos: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -613,6 +613,7 @@ fn secure_store_success_rate(n: usize, b: usize, faulty: usize, behavior: Behavi
                 phase_timeout: SimTime::from_millis(200),
                 stale_retry_delay: SimTime::from_millis(100),
                 max_rounds: 4,
+                ..sstore_core::RetryPolicy::default()
             },
             ..ClientConfig::default()
         })

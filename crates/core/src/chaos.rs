@@ -1,0 +1,1499 @@
+//! Deterministic chaos campaigns: seeded fault schedules, safety/liveness
+//! oracles, and failing-seed shrinking.
+//!
+//! A *campaign* draws a [`Schedule`] from a seed — an adversary assignment
+//! over the [`Behavior`] menu, timed network fault windows (partitions,
+//! loss phases, latency spikes, server crash/restart), and a randomized
+//! per-client workload (single- and multi-writer MRC/CC operations with
+//! disconnect/reconnect and post-crash context reconstruction) — runs it on
+//! the deterministic simulator, and checks two oracles:
+//!
+//! - **Safety** (must hold regardless of faults, given at most `b` faulty
+//!   servers): every successful read returns a value some honest client
+//!   actually wrote to that item; per client and item, successful
+//!   operations never go backwards in timestamp order (monotonic reads,
+//!   paper §4); no run reports a faulty writer when every writer is
+//!   honest.
+//! - **Liveness** (holds once the network has healed and at most `b`
+//!   servers are faulty): every operation issued after the client's
+//!   `calm_from` index completes successfully, and all clients go idle
+//!   before the schedule deadline.
+//!
+//! Failing seeds are shrunk by greedy delta debugging ([`shrink`]) into a
+//! minimal schedule that still exhibits the same failure class, and every
+//! schedule serializes to a line-based replay file ([`Schedule::to_text`] /
+//! [`Schedule::from_text`]) that re-runs byte-for-byte deterministically —
+//! same verdict, same [`NetStats`].
+//!
+//! The generator is deliberately conservative so that the oracles are
+//! *sound*: fault windows all close before a settle gap, session churn
+//! (disconnect/reconnect, crash/recover) happens only in the calm phase,
+//! calm reads are preceded by a calm write of the same item, each item is
+//! used with a single consistency level and a single writer mode, and
+//! clients that crash-recover issue no multi-writer turbulence writes
+//! (crash amnesia could otherwise re-issue a multi-writer timestamp with a
+//! different digest, which a reader would report as writer equivocation).
+//!
+//! Replay-file grammar (one token-separated directive per line, `#`
+//! comments allowed):
+//!
+//! ```text
+//! sstore-chaos-schedule v1
+//! seed <u64>
+//! n <usize>          b <usize>
+//! deadline-ms <u64>
+//! gossip <0|1>       gossip-period-ms <u64>
+//! behaviors <name>*n          # honest|crash|stale|corrupt-value|
+//!                             # corrupt-sig|equivocate|premature
+//! fault partition <from-ms> <to-ms> <node-a> <node-z>
+//! fault drop <from-ms> <to-ms> <p-mille>
+//! fault latency <from-ms> <to-ms>
+//! fault restart <from-ms> <to-ms> <server>
+//! client calm-from <op-index>
+//! step connect <recover 0|1> | step disconnect | step crash
+//! step wait <ms>
+//! step write <data> <k> <cc 0|1> | step read <data> <cc 0|1>
+//! step mwwrite <data> <k>        | step mwread <data>
+//! end
+//! ```
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sstore_simnet::{LatencyModel, LinkState, NetEvent, NetStats, NodeId, SimConfig, SimTime};
+
+use crate::client::{ClientOp, Outcome};
+use crate::config::ServerConfig;
+use crate::faults::Behavior;
+use crate::quorum;
+use crate::sim::{Cluster, ClusterBuilder, Step};
+use crate::types::{Consistency, DataId, GroupId, Timestamp, TsOrder};
+
+/// All campaign traffic uses one related-data group.
+const GROUP: GroupId = GroupId(1);
+
+/// End of the turbulence phase: every generated fault window closes by
+/// this simulated time.
+const TURBULENCE_END_MS: u64 = 9_000;
+
+/// Settle gap between the last fault window closing and the calm phase.
+const SETTLE_MS: u64 = 3_000;
+
+/// The Byzantine behaviours a standard campaign draws from.
+const MENU: &[Behavior] = &[
+    Behavior::Crash,
+    Behavior::Stale,
+    Behavior::CorruptValue,
+    Behavior::CorruptSig,
+    Behavior::Equivocate,
+    Behavior::Premature,
+];
+
+/// Campaign parameters from which per-seed [`Schedule`]s are drawn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Number of servers.
+    pub n: usize,
+    /// Fault budget the protocol is configured for.
+    pub b: usize,
+    /// Number of servers actually made faulty (`b` for a standard
+    /// campaign; `b + 1` to deliberately exceed the budget).
+    pub faulty: usize,
+    /// Number of scripted clients.
+    pub clients: usize,
+    /// Simulated-time budget per run.
+    pub deadline_ms: u64,
+    /// Force every faulty server to [`Behavior::Stale`], skip network
+    /// fault windows, and disable gossip — the over-budget safety probe.
+    /// (Stale servers gossip truthfully, so anti-entropy would repair the
+    /// eclipse this probe exists to demonstrate.)
+    pub force_stale: bool,
+}
+
+impl ChaosConfig {
+    /// Standard campaign: exactly `b` faulty servers drawn from the full
+    /// behaviour menu plus network fault windows. Both oracles must hold.
+    pub fn standard(n: usize, b: usize) -> Self {
+        ChaosConfig {
+            n,
+            b,
+            faulty: b,
+            clients: 3,
+            deadline_ms: 120_000,
+            force_stale: false,
+        }
+    }
+
+    /// Over-budget campaign: `b + 1` stale servers and a workload shaped
+    /// to probe crash-recovery reconstruction. The safety oracle is
+    /// expected to flag some seeds — that the harness *can* catch real
+    /// violations is itself an acceptance criterion.
+    pub fn over_budget(n: usize, b: usize) -> Self {
+        ChaosConfig {
+            n,
+            b,
+            faulty: quorum::data_quorum(b),
+            clients: 3,
+            deadline_ms: 120_000,
+            force_stale: true,
+        }
+    }
+}
+
+/// A timed network fault window. All times are absolute simulated
+/// milliseconds; windows are generated to close before the calm phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Cut both link directions between two simulator nodes, then restore
+    /// them. Nodes `0..n` are servers; `n..n+clients` are clients.
+    Partition {
+        /// Window start (ms).
+        from_ms: u64,
+        /// Window end (ms).
+        to_ms: u64,
+        /// One endpoint (simulator node index).
+        a: usize,
+        /// The other endpoint (simulator node index).
+        z: usize,
+    },
+    /// Raise the global message-drop probability, then restore it to 0.
+    Drop {
+        /// Window start (ms).
+        from_ms: u64,
+        /// Window end (ms).
+        to_ms: u64,
+        /// Drop probability in per-mille (0..=1000) — integral so replay
+        /// files round-trip exactly.
+        p_mille: u32,
+    },
+    /// Swap the latency model to a heavy-tailed WAN, then back to LAN.
+    LatencySpike {
+        /// Window start (ms).
+        from_ms: u64,
+        /// Window end (ms).
+        to_ms: u64,
+    },
+    /// Take a server down (process crash with stable storage), then
+    /// restart it.
+    Restart {
+        /// Window start (ms).
+        from_ms: u64,
+        /// Window end (ms).
+        to_ms: u64,
+        /// Server index in `0..n`.
+        server: usize,
+    },
+}
+
+/// One step of a generated client workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadStep {
+    /// Start a session; `recover` reconstructs the context from a scan.
+    Connect {
+        /// `true` after a crash.
+        recover: bool,
+    },
+    /// Store the context and end the session.
+    Disconnect,
+    /// Lose all volatile state (context included).
+    Crash,
+    /// Idle for the given simulated duration.
+    Wait {
+        /// Pause length.
+        ms: u64,
+    },
+    /// Single-writer write of generation `k` to `data`.
+    Write {
+        /// Item id.
+        data: u64,
+        /// Value generation (embedded in the stored bytes).
+        k: u64,
+        /// `true` for causal consistency, `false` for MRC.
+        cc: bool,
+    },
+    /// Single-writer read of `data`.
+    Read {
+        /// Item id.
+        data: u64,
+        /// `true` for causal consistency, `false` for MRC.
+        cc: bool,
+    },
+    /// Multi-writer write of generation `k` to `data`.
+    MwWrite {
+        /// Item id.
+        data: u64,
+        /// Value generation.
+        k: u64,
+    },
+    /// Multi-writer read of `data` (always MRC).
+    MwRead {
+        /// Item id.
+        data: u64,
+    },
+}
+
+impl WorkloadStep {
+    /// Whether the step completes with an [`crate::client::OpResult`]
+    /// (`Wait` and `Crash` do not).
+    pub fn produces_result(&self) -> bool {
+        !matches!(self, WorkloadStep::Wait { .. } | WorkloadStep::Crash)
+    }
+}
+
+/// One client's scripted workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientScript {
+    /// Index (into the client's result-producing steps) of the first
+    /// operation issued after the network healed: the liveness oracle
+    /// requires this and every later operation to succeed.
+    pub calm_from: usize,
+    /// The steps, executed sequentially.
+    pub steps: Vec<WorkloadStep>,
+}
+
+/// A fully-determined chaos run: everything needed to reproduce it
+/// byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Seed for the simulator and all in-run randomness.
+    pub seed: u64,
+    /// Number of servers.
+    pub n: usize,
+    /// Configured fault budget.
+    pub b: usize,
+    /// Simulated-time budget.
+    pub deadline_ms: u64,
+    /// Whether servers run gossip dissemination.
+    pub gossip: bool,
+    /// Gossip period in milliseconds.
+    pub gossip_period_ms: u64,
+    /// Per-server behaviour assignment (length `n`).
+    pub behaviors: Vec<Behavior>,
+    /// Timed network fault windows.
+    pub faults: Vec<FaultEvent>,
+    /// Per-client workloads.
+    pub clients: Vec<ClientScript>,
+}
+
+/// Which oracle a failing run violated first (safety dominates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The safety oracle found a violation.
+    Safety,
+    /// Only the liveness oracle found a violation.
+    Liveness,
+}
+
+/// Outcome of one chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// The schedule's seed (for reporting).
+    pub seed: u64,
+    /// Whether every client went idle before the deadline.
+    pub idle: bool,
+    /// Safety-oracle violations (empty = safe).
+    pub safety: Vec<String>,
+    /// Liveness-oracle violations (empty = live).
+    pub liveness: Vec<String>,
+    /// Operations that completed.
+    pub ops_total: usize,
+    /// Operations that completed successfully.
+    pub ops_ok: usize,
+    /// Network statistics at the end of the run — replaying the same
+    /// schedule must reproduce these exactly.
+    pub stats: NetStats,
+}
+
+impl Verdict {
+    /// Whether the safety oracle held.
+    pub fn safety_ok(&self) -> bool {
+        self.safety.is_empty()
+    }
+
+    /// Whether the liveness oracle held.
+    pub fn liveness_ok(&self) -> bool {
+        self.liveness.is_empty()
+    }
+
+    /// Whether both oracles held.
+    pub fn passed(&self) -> bool {
+        self.safety_ok() && self.liveness_ok()
+    }
+
+    /// The failure class, if any (safety dominates liveness).
+    pub fn class(&self) -> Option<FailureClass> {
+        if !self.safety.is_empty() {
+            Some(FailureClass::Safety)
+        } else if !self.liveness.is_empty() {
+            Some(FailureClass::Liveness)
+        } else {
+            None
+        }
+    }
+}
+
+/// The canonical value a chaos client writes: parseable so the safety
+/// oracle can check provenance of everything read back.
+pub fn chaos_value(client: usize, data: u64, k: u64) -> Vec<u8> {
+    format!("chaos:c{client}:d{data}:k{k}").into_bytes()
+}
+
+/// Inverse of [`chaos_value`]: `(client, data, k)` if the bytes parse.
+pub fn parse_chaos_value(bytes: &[u8]) -> Option<(usize, u64, u64)> {
+    let s = std::str::from_utf8(bytes).ok()?;
+    let rest = s.strip_prefix("chaos:c")?;
+    let (c, rest) = rest.split_once(":d")?;
+    let (d, k) = rest.split_once(":k")?;
+    Some((c.parse().ok()?, d.parse().ok()?, k.parse().ok()?))
+}
+
+/// How a client's session is cycled during the calm phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Churn {
+    None,
+    DisconnectReconnect,
+    CrashRecover,
+}
+
+/// Draws the schedule for `seed` under `cfg`. Pure function of its
+/// arguments: the same `(seed, cfg)` always yields the same schedule.
+pub fn generate(seed: u64, cfg: &ChaosConfig) -> Schedule {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a0_5eed_0b57_ac1e);
+    let n = cfg.n;
+
+    // Adversary assignment: `faulty` distinct servers.
+    let mut behaviors = vec![Behavior::Honest; n];
+    let mut pool: Vec<usize> = (0..n).collect();
+    for _ in 0..cfg.faulty.min(n) {
+        if pool.is_empty() {
+            break;
+        }
+        let at = rng.gen_range(0..pool.len());
+        let server = pool.swap_remove(at);
+        let behavior = if cfg.force_stale {
+            Behavior::Stale
+        } else {
+            MENU.get(rng.gen_range(0..MENU.len()))
+                .copied()
+                .unwrap_or(Behavior::Stale)
+        };
+        if let Some(slot) = behaviors.get_mut(server) {
+            *slot = behavior;
+        }
+    }
+
+    // Stale servers store honestly and replay stale state only on
+    // client-facing responses — their gossip is truthful, so anti-entropy
+    // would repair the over-budget eclipse within one period. The probe
+    // therefore runs with gossip off; standard campaigns draw it.
+    let gossip = if cfg.force_stale {
+        false
+    } else {
+        rng.gen_bool(0.75)
+    };
+    let gossip_period_ms = if rng.gen_bool(0.5) { 250 } else { 500 };
+
+    // Timed fault windows, all inside the turbulence phase.
+    let mut faults = Vec::new();
+    if !cfg.force_stale {
+        let total_nodes = n + cfg.clients;
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let from_ms = rng.gen_range(800..6_000u64);
+            let to_ms = (from_ms + rng.gen_range(500..3_000u64)).min(TURBULENCE_END_MS);
+            faults.push(match rng.gen_range(0..4u32) {
+                0 => {
+                    // One endpoint is always a server; the other may be a
+                    // server (cutting gossip) or a client (cutting quorum
+                    // access).
+                    let a = rng.gen_range(0..n);
+                    let mut z = rng.gen_range(0..total_nodes.saturating_sub(1).max(1));
+                    if z >= a {
+                        z += 1;
+                    }
+                    FaultEvent::Partition {
+                        from_ms,
+                        to_ms,
+                        a,
+                        z,
+                    }
+                }
+                1 => FaultEvent::Drop {
+                    from_ms,
+                    to_ms,
+                    p_mille: rng.gen_range(50..300),
+                },
+                2 => FaultEvent::LatencySpike { from_ms, to_ms },
+                _ => FaultEvent::Restart {
+                    from_ms,
+                    to_ms,
+                    server: rng.gen_range(0..n),
+                },
+            });
+        }
+    }
+
+    let mut clients = Vec::new();
+    for idx in 0..cfg.clients {
+        clients.push(if cfg.force_stale {
+            generate_over_budget_script(idx)
+        } else {
+            generate_standard_script(idx, gossip, &mut rng)
+        });
+    }
+
+    Schedule {
+        seed,
+        n,
+        b: cfg.b,
+        deadline_ms: cfg.deadline_ms,
+        gossip,
+        gossip_period_ms,
+        behaviors,
+        faults,
+        clients,
+    }
+}
+
+/// Standard per-client workload: connect, a turbulence phase of writes
+/// and reads racing the fault windows, a settle wait, then a calm phase
+/// (optionally cycling the session) whose operations must all succeed.
+fn generate_standard_script(idx: usize, gossip: bool, rng: &mut StdRng) -> ClientScript {
+    let churn = match idx % 3 {
+        0 => Churn::DisconnectReconnect,
+        1 => Churn::CrashRecover,
+        _ => Churn::None,
+    };
+    // Crash amnesia can re-issue a multi-writer timestamp with a new
+    // digest, which readers would correctly report as equivocation — so
+    // crash-recovering clients stay single-writer during turbulence.
+    // Multi-writer writes also carry causal dependencies on the writer's
+    // single-writer items, which live at only `b + 1` servers; without
+    // gossip those dependencies never reach a `2b + 1` write quorum and
+    // the write legitimately cannot complete.
+    let mw_ok = churn != Churn::CrashRecover && gossip;
+    let sw_data = 10 + idx as u64;
+    let sw_cc = rng.gen_bool(0.5);
+    let mw_data = 1_000u64;
+    let mut sw_k = 0u64;
+    let mut mw_k = 0u64;
+    let mut wrote_sw = false;
+    let mut wrote_mw = false;
+
+    let mut steps = vec![WorkloadStep::Connect { recover: false }];
+    for _ in 0..rng.gen_range(2..=4usize) {
+        steps.push(WorkloadStep::Wait {
+            ms: rng.gen_range(100..900),
+        });
+        if mw_ok && wrote_sw && rng.gen_bool(0.35) {
+            if wrote_mw && rng.gen_bool(0.5) {
+                steps.push(WorkloadStep::MwRead { data: mw_data });
+            } else {
+                mw_k += 1;
+                steps.push(WorkloadStep::MwWrite {
+                    data: mw_data,
+                    k: mw_k,
+                });
+                wrote_mw = true;
+            }
+        } else if wrote_sw && rng.gen_bool(0.4) {
+            steps.push(WorkloadStep::Read {
+                data: sw_data,
+                cc: sw_cc,
+            });
+        } else {
+            sw_k += 1;
+            steps.push(WorkloadStep::Write {
+                data: sw_data,
+                k: sw_k,
+                cc: sw_cc,
+            });
+            wrote_sw = true;
+        }
+    }
+    // Everything after this wait starts with the network healed and
+    // gossip settled: the calm phase.
+    steps.push(WorkloadStep::Wait {
+        ms: TURBULENCE_END_MS + SETTLE_MS,
+    });
+    let calm_from = steps.iter().filter(|s| s.produces_result()).count();
+
+    match churn {
+        Churn::DisconnectReconnect => {
+            steps.push(WorkloadStep::Disconnect);
+            steps.push(WorkloadStep::Connect { recover: false });
+        }
+        Churn::CrashRecover => {
+            steps.push(WorkloadStep::Crash);
+            steps.push(WorkloadStep::Connect { recover: true });
+        }
+        Churn::None => {}
+    }
+    sw_k += 1;
+    steps.push(WorkloadStep::Write {
+        data: sw_data,
+        k: sw_k,
+        cc: sw_cc,
+    });
+    steps.push(WorkloadStep::Read {
+        data: sw_data,
+        cc: sw_cc,
+    });
+    if mw_ok {
+        mw_k += 1;
+        steps.push(WorkloadStep::MwWrite {
+            data: mw_data,
+            k: mw_k,
+        });
+        steps.push(WorkloadStep::MwRead { data: mw_data });
+    }
+    steps.push(WorkloadStep::Read {
+        data: sw_data,
+        cc: sw_cc,
+    });
+    steps.push(WorkloadStep::Disconnect);
+    ClientScript { calm_from, steps }
+}
+
+/// Over-budget probe script: write three generations of two items, crash,
+/// reconstruct, read both back. If the last generation's `b + 1` holders
+/// all fall inside the stale set, reconstruction cannot see it and a
+/// later read travels backwards — exactly what the safety oracle flags.
+fn generate_over_budget_script(idx: usize) -> ClientScript {
+    let mut steps = vec![WorkloadStep::Connect { recover: false }];
+    let items = [10 + idx as u64, 20 + idx as u64];
+    for data in items {
+        for k in 1..=3 {
+            steps.push(WorkloadStep::Write { data, k, cc: false });
+        }
+    }
+    steps.push(WorkloadStep::Wait { ms: 2_000 });
+    steps.push(WorkloadStep::Crash);
+    steps.push(WorkloadStep::Connect { recover: true });
+    for data in items {
+        steps.push(WorkloadStep::Read { data, cc: false });
+    }
+    steps.push(WorkloadStep::Disconnect);
+    ClientScript {
+        calm_from: 0,
+        steps,
+    }
+}
+
+fn consistency(cc: bool) -> Consistency {
+    if cc {
+        Consistency::Cc
+    } else {
+        Consistency::Mrc
+    }
+}
+
+/// Lowers a workload step onto the simulation harness for client `idx`.
+fn lower_step(idx: usize, step: &WorkloadStep) -> Step {
+    match step {
+        WorkloadStep::Connect { recover } => Step::Do(ClientOp::Connect {
+            group: GROUP,
+            recover: *recover,
+        }),
+        WorkloadStep::Disconnect => Step::Do(ClientOp::Disconnect { group: GROUP }),
+        WorkloadStep::Crash => Step::Crash,
+        WorkloadStep::Wait { ms } => Step::Wait(SimTime::from_millis(*ms)),
+        WorkloadStep::Write { data, k, cc } => Step::Do(ClientOp::Write {
+            data: DataId(*data),
+            group: GROUP,
+            consistency: consistency(*cc),
+            value: chaos_value(idx, *data, *k),
+        }),
+        WorkloadStep::Read { data, cc } => Step::Do(ClientOp::Read {
+            data: DataId(*data),
+            group: GROUP,
+            consistency: consistency(*cc),
+        }),
+        WorkloadStep::MwWrite { data, k } => Step::Do(ClientOp::MwWrite {
+            data: DataId(*data),
+            group: GROUP,
+            value: chaos_value(idx, *data, *k),
+        }),
+        WorkloadStep::MwRead { data } => Step::Do(ClientOp::MwRead {
+            data: DataId(*data),
+            group: GROUP,
+            consistency: Consistency::Mrc,
+        }),
+    }
+}
+
+/// Validates a schedule's structural invariants before building a cluster
+/// (a hand-edited replay file must fail cleanly, not panic).
+fn validate(schedule: &Schedule) -> Result<(), String> {
+    quorum::validate(schedule.n, schedule.b)?;
+    if schedule.behaviors.len() != schedule.n {
+        return Err(format!(
+            "behaviors lists {} servers, n = {}",
+            schedule.behaviors.len(),
+            schedule.n
+        ));
+    }
+    if schedule.clients.is_empty() {
+        return Err("schedule has no clients".into());
+    }
+    let total_nodes = schedule.n + schedule.clients.len();
+    for f in &schedule.faults {
+        match f {
+            FaultEvent::Partition { a, z, .. } => {
+                if *a >= total_nodes || *z >= total_nodes || a == z {
+                    return Err(format!("partition endpoints {a}/{z} out of range"));
+                }
+            }
+            FaultEvent::Drop { p_mille, .. } => {
+                if *p_mille > 1_000 {
+                    return Err(format!("drop probability {p_mille}‰ > 1000‰"));
+                }
+            }
+            FaultEvent::LatencySpike { .. } => {}
+            FaultEvent::Restart { server, .. } => {
+                if *server >= schedule.n {
+                    return Err(format!("restart server {server} out of range"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Schedules a fault window's open/close events onto the simulator.
+fn schedule_fault(cluster: &mut Cluster, fault: &FaultEvent) {
+    let ms = SimTime::from_millis;
+    match fault {
+        FaultEvent::Partition {
+            from_ms,
+            to_ms,
+            a,
+            z,
+        } => {
+            let (na, nz) = (NodeId(*a), NodeId(*z));
+            cluster
+                .sim
+                .schedule_net_event(ms(*from_ms), NetEvent::PartitionPair(na, nz));
+            cluster
+                .sim
+                .schedule_net_event(ms(*to_ms), NetEvent::SetLink(na, nz, LinkState::Up));
+            cluster
+                .sim
+                .schedule_net_event(ms(*to_ms), NetEvent::SetLink(nz, na, LinkState::Up));
+        }
+        FaultEvent::Drop {
+            from_ms,
+            to_ms,
+            p_mille,
+        } => {
+            let p = f64::from(*p_mille) / 1_000.0;
+            cluster
+                .sim
+                .schedule_net_event(ms(*from_ms), NetEvent::SetDropProbability(p));
+            cluster
+                .sim
+                .schedule_net_event(ms(*to_ms), NetEvent::SetDropProbability(0.0));
+        }
+        FaultEvent::LatencySpike { from_ms, to_ms } => {
+            cluster.sim.schedule_net_event(
+                ms(*from_ms),
+                NetEvent::SetLatency(LatencyModel::wan_heavy_tail()),
+            );
+            cluster
+                .sim
+                .schedule_net_event(ms(*to_ms), NetEvent::SetLatency(LatencyModel::lan()));
+        }
+        FaultEvent::Restart {
+            from_ms,
+            to_ms,
+            server,
+        } => {
+            cluster
+                .sim
+                .schedule_net_event(ms(*from_ms), NetEvent::NodeDown(NodeId(*server)));
+            cluster
+                .sim
+                .schedule_net_event(ms(*to_ms), NetEvent::NodeUp(NodeId(*server)));
+        }
+    }
+}
+
+/// Runs a schedule to completion (or deadline) and applies both oracles.
+///
+/// # Errors
+///
+/// Returns a description of the structural problem if the schedule is
+/// internally inconsistent (bad `n`/`b`, out-of-range fault endpoints, …).
+pub fn run(schedule: &Schedule) -> Result<Verdict, String> {
+    validate(schedule)?;
+
+    let mut server_cfg = ServerConfig::default();
+    server_cfg.gossip.enabled = schedule.gossip;
+    server_cfg.gossip.period = SimTime::from_millis(schedule.gossip_period_ms.max(1));
+
+    let mut builder = ClusterBuilder::new(schedule.n, schedule.b)
+        .seed(schedule.seed)
+        .network(SimConfig::lan(schedule.seed))
+        .server_config(server_cfg);
+    for (i, behavior) in schedule.behaviors.iter().enumerate() {
+        builder = builder.behavior(i, *behavior);
+    }
+    for (idx, script) in schedule.clients.iter().enumerate() {
+        builder = builder.client(script.steps.iter().map(|s| lower_step(idx, s)).collect());
+    }
+    let mut cluster = builder.build();
+    for fault in &schedule.faults {
+        schedule_fault(&mut cluster, fault);
+    }
+
+    let idle = cluster.run_until_idle(SimTime::from_millis(schedule.deadline_ms));
+
+    // Provenance index: every (writer, item, generation) the schedule
+    // issues, successful or not — a failed write may still have reached
+    // some servers, so its value reappearing later is not forgery.
+    let mut written: HashSet<(usize, u64, u64)> = HashSet::new();
+    for (ci, script) in schedule.clients.iter().enumerate() {
+        for step in &script.steps {
+            match step {
+                WorkloadStep::Write { data, k, .. } | WorkloadStep::MwWrite { data, k } => {
+                    written.insert((ci, *data, *k));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut safety = Vec::new();
+    let mut liveness = Vec::new();
+    let mut ops_total = 0usize;
+    let mut ops_ok = 0usize;
+
+    for (ci, script) in schedule.clients.iter().enumerate() {
+        let results = cluster.client_results(ci);
+        let dos: Vec<&WorkloadStep> = script
+            .steps
+            .iter()
+            .filter(|s| s.produces_result())
+            .collect();
+        // Highest timestamp this client has successfully written or read,
+        // per item: later successful operations must never go below it.
+        let mut max_ts: HashMap<u64, Timestamp> = HashMap::new();
+        for (oi, (step, res)) in dos.iter().zip(results.iter()).enumerate() {
+            ops_total += 1;
+            if res.outcome.is_ok() {
+                ops_ok += 1;
+            } else if oi >= script.calm_from {
+                liveness.push(format!(
+                    "client {ci} op {oi} {step:?} failed in the calm phase: {:?}",
+                    res.outcome
+                ));
+            }
+            match (&res.outcome, *step) {
+                (
+                    Outcome::WriteOk { ts },
+                    WorkloadStep::Write { data, .. } | WorkloadStep::MwWrite { data, .. },
+                ) => {
+                    let order = max_ts.get(data).map(|m| ts.compare(m));
+                    match order {
+                        Some(TsOrder::Less) => safety.push(format!(
+                            "client {ci} op {oi}: write to item {data} went backwards ({ts:?})"
+                        )),
+                        Some(TsOrder::FaultyWriter) => safety.push(format!(
+                            "client {ci} op {oi}: write to item {data} re-used a \
+                             timestamp with a different digest"
+                        )),
+                        _ => {
+                            max_ts.insert(*data, *ts);
+                        }
+                    }
+                }
+                (
+                    Outcome::ReadOk { ts, value, .. },
+                    WorkloadStep::Read { data, .. } | WorkloadStep::MwRead { data },
+                ) => {
+                    match parse_chaos_value(value) {
+                        None => safety.push(format!(
+                            "client {ci} op {oi}: read of item {data} returned bytes no \
+                             chaos client ever wrote (corrupted or forged)"
+                        )),
+                        Some((wc, wd, wk)) => {
+                            if wd != *data {
+                                safety.push(format!(
+                                    "client {ci} op {oi}: read of item {data} returned a \
+                                     value written to item {wd}"
+                                ));
+                            } else if !written.contains(&(wc, wd, wk)) {
+                                safety.push(format!(
+                                    "client {ci} op {oi}: read of item {data} returned \
+                                     generation k={wk} that client {wc} never wrote"
+                                ));
+                            }
+                        }
+                    }
+                    let order = max_ts.get(data).map(|m| ts.compare(m));
+                    match order {
+                        Some(TsOrder::Less) => safety.push(format!(
+                            "client {ci} op {oi}: read of item {data} returned a value \
+                             older than one this client already observed (got {ts:?})"
+                        )),
+                        Some(TsOrder::FaultyWriter) => safety.push(format!(
+                            "client {ci} op {oi}: read of item {data} returned a \
+                             timestamp twin with a different digest"
+                        )),
+                        Some(TsOrder::Incomparable) => safety.push(format!(
+                            "client {ci} op {oi}: read of item {data} returned a \
+                             timestamp incomparable with this client's history"
+                        )),
+                        Some(TsOrder::Greater) | None => {
+                            max_ts.insert(*data, *ts);
+                        }
+                        Some(TsOrder::Equal) => {}
+                    }
+                }
+                (Outcome::FaultyWriterDetected { .. }, _) => {
+                    // Every scripted writer is honest, so equivocation
+                    // proof means fabricated state got past verification.
+                    safety.push(format!(
+                        "client {ci} op {oi}: reported a faulty writer, but every \
+                         writer in this campaign is honest"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        for oi in results.len()..dos.len() {
+            if oi >= script.calm_from {
+                liveness.push(format!(
+                    "client {ci} op {oi} {:?} never completed before the deadline",
+                    dos.get(oi)
+                ));
+            }
+        }
+    }
+    if !idle {
+        liveness.push(format!(
+            "clients still busy at the {} ms deadline",
+            schedule.deadline_ms
+        ));
+    }
+    safety.sort();
+    liveness.sort();
+
+    Ok(Verdict {
+        seed: schedule.seed,
+        idle,
+        safety,
+        liveness,
+        ops_total,
+        ops_ok,
+        stats: cluster.sim.stats().clone(),
+    })
+}
+
+/// One shrinking edit: remove a coherent chunk of the schedule.
+#[derive(Debug, Clone)]
+enum Edit {
+    RemoveFault(usize),
+    ClearClient(usize),
+    /// Remove `count` consecutive steps starting at `step` of `client`
+    /// (1 for a single step; 2 for a `Crash`/`Disconnect` + `Connect`
+    /// pair, which only make sense together).
+    RemoveSteps {
+        client: usize,
+        step: usize,
+        count: usize,
+    },
+}
+
+/// Candidate edits for one greedy pass, largest chunks first.
+fn candidate_edits(schedule: &Schedule) -> Vec<Edit> {
+    let mut edits = Vec::new();
+    for i in 0..schedule.faults.len() {
+        edits.push(Edit::RemoveFault(i));
+    }
+    for (ci, script) in schedule.clients.iter().enumerate() {
+        if !script.steps.is_empty() {
+            edits.push(Edit::ClearClient(ci));
+        }
+    }
+    for (ci, script) in schedule.clients.iter().enumerate() {
+        for (si, pair) in script.steps.windows(2).enumerate() {
+            let churn_pair = matches!(
+                pair,
+                [
+                    WorkloadStep::Crash | WorkloadStep::Disconnect,
+                    WorkloadStep::Connect { .. }
+                ]
+            );
+            if churn_pair {
+                edits.push(Edit::RemoveSteps {
+                    client: ci,
+                    step: si,
+                    count: 2,
+                });
+            }
+        }
+        for si in 0..script.steps.len() {
+            edits.push(Edit::RemoveSteps {
+                client: ci,
+                step: si,
+                count: 1,
+            });
+        }
+    }
+    edits
+}
+
+/// Applies an edit, keeping `calm_from` aligned with the surviving
+/// result-producing steps. Returns `None` if the edit no longer fits the
+/// (already further-shrunk) schedule.
+fn apply_edit(schedule: &Schedule, edit: &Edit) -> Option<Schedule> {
+    let mut next = schedule.clone();
+    match edit {
+        Edit::RemoveFault(i) => {
+            if *i >= next.faults.len() {
+                return None;
+            }
+            next.faults.remove(*i);
+        }
+        Edit::ClearClient(ci) => {
+            let script = next.clients.get_mut(*ci)?;
+            if script.steps.is_empty() {
+                return None;
+            }
+            script.steps.clear();
+            script.calm_from = 0;
+        }
+        Edit::RemoveSteps {
+            client,
+            step,
+            count,
+        } => {
+            let script = next.clients.get_mut(*client)?;
+            if step + count > script.steps.len() {
+                return None;
+            }
+            let removed_results = script
+                .steps
+                .get(*step..step + count)?
+                .iter()
+                .filter(|s| s.produces_result())
+                .count();
+            let results_before = script
+                .steps
+                .get(..*step)?
+                .iter()
+                .filter(|s| s.produces_result())
+                .count();
+            script.steps.drain(*step..step + count);
+            if results_before < script.calm_from {
+                script.calm_from = script
+                    .calm_from
+                    .saturating_sub(removed_results.min(script.calm_from - results_before));
+            }
+        }
+    }
+    Some(next)
+}
+
+/// Result of shrinking a failing schedule.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimal schedule found (the input itself if it passed).
+    pub schedule: Schedule,
+    /// Failure class preserved throughout shrinking, if the input failed.
+    pub class: Option<FailureClass>,
+    /// Total number of runs spent (including the initial one).
+    pub runs: usize,
+}
+
+/// Greedy delta debugging: repeatedly tries removing fault windows, whole
+/// client scripts, churn pairs and single steps, keeping any removal that
+/// still exhibits the original failure class, until a fixpoint or the run
+/// `budget` is exhausted.
+///
+/// # Errors
+///
+/// Propagates [`run`]'s error if the input schedule is malformed.
+pub fn shrink(schedule: &Schedule, budget: usize) -> Result<ShrinkResult, String> {
+    let original = run(schedule)?;
+    let mut runs = 1usize;
+    let Some(class) = original.class() else {
+        return Ok(ShrinkResult {
+            schedule: schedule.clone(),
+            class: None,
+            runs,
+        });
+    };
+    let mut current = schedule.clone();
+    'outer: loop {
+        if runs >= budget {
+            break;
+        }
+        let mut improved = false;
+        for edit in candidate_edits(&current) {
+            if runs >= budget {
+                break 'outer;
+            }
+            let Some(candidate) = apply_edit(&current, &edit) else {
+                continue;
+            };
+            runs += 1;
+            if let Ok(v) = run(&candidate) {
+                if v.class() == Some(class) {
+                    current = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(ShrinkResult {
+        schedule: current,
+        class: Some(class),
+        runs,
+    })
+}
+
+fn behavior_name(b: Behavior) -> &'static str {
+    match b {
+        Behavior::Honest => "honest",
+        Behavior::Crash => "crash",
+        Behavior::Stale => "stale",
+        Behavior::CorruptValue => "corrupt-value",
+        Behavior::CorruptSig => "corrupt-sig",
+        Behavior::Equivocate => "equivocate",
+        Behavior::Premature => "premature",
+    }
+}
+
+fn behavior_from_name(name: &str) -> Option<Behavior> {
+    Some(match name {
+        "honest" => Behavior::Honest,
+        "crash" => Behavior::Crash,
+        "stale" => Behavior::Stale,
+        "corrupt-value" => Behavior::CorruptValue,
+        "corrupt-sig" => Behavior::CorruptSig,
+        "equivocate" => Behavior::Equivocate,
+        "premature" => Behavior::Premature,
+        _ => return None,
+    })
+}
+
+impl Schedule {
+    /// Serializes the schedule as a replay file (grammar in the module
+    /// docs). `from_text(to_text(s)) == s` for every schedule.
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("sstore-chaos-schedule v1\n");
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!("n {}\n", self.n));
+        s.push_str(&format!("b {}\n", self.b));
+        s.push_str(&format!("deadline-ms {}\n", self.deadline_ms));
+        s.push_str(&format!("gossip {}\n", u8::from(self.gossip)));
+        s.push_str(&format!("gossip-period-ms {}\n", self.gossip_period_ms));
+        s.push_str("behaviors");
+        for b in &self.behaviors {
+            s.push(' ');
+            s.push_str(behavior_name(*b));
+        }
+        s.push('\n');
+        for f in &self.faults {
+            match f {
+                FaultEvent::Partition {
+                    from_ms,
+                    to_ms,
+                    a,
+                    z,
+                } => {
+                    s.push_str(&format!("fault partition {from_ms} {to_ms} {a} {z}\n"));
+                }
+                FaultEvent::Drop {
+                    from_ms,
+                    to_ms,
+                    p_mille,
+                } => {
+                    s.push_str(&format!("fault drop {from_ms} {to_ms} {p_mille}\n"));
+                }
+                FaultEvent::LatencySpike { from_ms, to_ms } => {
+                    s.push_str(&format!("fault latency {from_ms} {to_ms}\n"));
+                }
+                FaultEvent::Restart {
+                    from_ms,
+                    to_ms,
+                    server,
+                } => {
+                    s.push_str(&format!("fault restart {from_ms} {to_ms} {server}\n"));
+                }
+            }
+        }
+        for script in &self.clients {
+            s.push_str(&format!("client calm-from {}\n", script.calm_from));
+            for step in &script.steps {
+                match step {
+                    WorkloadStep::Connect { recover } => {
+                        s.push_str(&format!("step connect {}\n", u8::from(*recover)));
+                    }
+                    WorkloadStep::Disconnect => s.push_str("step disconnect\n"),
+                    WorkloadStep::Crash => s.push_str("step crash\n"),
+                    WorkloadStep::Wait { ms } => s.push_str(&format!("step wait {ms}\n")),
+                    WorkloadStep::Write { data, k, cc } => {
+                        s.push_str(&format!("step write {data} {k} {}\n", u8::from(*cc)));
+                    }
+                    WorkloadStep::Read { data, cc } => {
+                        s.push_str(&format!("step read {data} {}\n", u8::from(*cc)));
+                    }
+                    WorkloadStep::MwWrite { data, k } => {
+                        s.push_str(&format!("step mwwrite {data} {k}\n"));
+                    }
+                    WorkloadStep::MwRead { data } => {
+                        s.push_str(&format!("step mwread {data}\n"));
+                    }
+                }
+            }
+            s.push_str("end\n");
+        }
+        s
+    }
+
+    /// Parses a replay file produced by [`Schedule::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line. Never panics, whatever
+    /// the input: replay files come from disk.
+    pub fn from_text(text: &str) -> Result<Schedule, String> {
+        fn num<T: std::str::FromStr>(
+            tok: Option<&str>,
+            what: &str,
+            line_no: usize,
+        ) -> Result<T, String> {
+            tok.ok_or_else(|| format!("line {line_no}: missing {what}"))?
+                .parse::<T>()
+                .map_err(|_| format!("line {line_no}: bad {what}"))
+        }
+        fn flag(tok: Option<&str>, what: &str, line_no: usize) -> Result<bool, String> {
+            match num::<u8>(tok, what, line_no)? {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(format!("line {line_no}: {what} must be 0 or 1")),
+            }
+        }
+
+        let mut schedule = Schedule {
+            seed: 0,
+            n: 0,
+            b: 0,
+            deadline_ms: 0,
+            gossip: false,
+            gossip_period_ms: 1,
+            behaviors: Vec::new(),
+            faults: Vec::new(),
+            clients: Vec::new(),
+        };
+        let mut saw_header = false;
+        let mut open: Option<ClientScript> = None;
+
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if !saw_header {
+                if line != "sstore-chaos-schedule v1" {
+                    return Err(format!("line {line_no}: not a v1 chaos replay file"));
+                }
+                saw_header = true;
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            let key = toks.next().unwrap_or("");
+            match key {
+                "seed" => schedule.seed = num(toks.next(), "seed", line_no)?,
+                "n" => schedule.n = num(toks.next(), "n", line_no)?,
+                "b" => schedule.b = num(toks.next(), "b", line_no)?,
+                "deadline-ms" => {
+                    schedule.deadline_ms = num(toks.next(), "deadline-ms", line_no)?;
+                }
+                "gossip" => schedule.gossip = flag(toks.next(), "gossip", line_no)?,
+                "gossip-period-ms" => {
+                    schedule.gossip_period_ms = num(toks.next(), "gossip-period-ms", line_no)?;
+                }
+                "behaviors" => {
+                    for name in toks.by_ref() {
+                        let b = behavior_from_name(name)
+                            .ok_or_else(|| format!("line {line_no}: unknown behavior {name:?}"))?;
+                        schedule.behaviors.push(b);
+                    }
+                }
+                "fault" => {
+                    let kind = toks.next().unwrap_or("");
+                    let from_ms = num(toks.next(), "fault start", line_no)?;
+                    let to_ms = num(toks.next(), "fault end", line_no)?;
+                    let fault = match kind {
+                        "partition" => FaultEvent::Partition {
+                            from_ms,
+                            to_ms,
+                            a: num(toks.next(), "partition endpoint", line_no)?,
+                            z: num(toks.next(), "partition endpoint", line_no)?,
+                        },
+                        "drop" => FaultEvent::Drop {
+                            from_ms,
+                            to_ms,
+                            p_mille: num(toks.next(), "drop per-mille", line_no)?,
+                        },
+                        "latency" => FaultEvent::LatencySpike { from_ms, to_ms },
+                        "restart" => FaultEvent::Restart {
+                            from_ms,
+                            to_ms,
+                            server: num(toks.next(), "restart server", line_no)?,
+                        },
+                        other => {
+                            return Err(format!("line {line_no}: unknown fault {other:?}"));
+                        }
+                    };
+                    schedule.faults.push(fault);
+                }
+                "client" => {
+                    if open.is_some() {
+                        return Err(format!("line {line_no}: client block not closed"));
+                    }
+                    if toks.next() != Some("calm-from") {
+                        return Err(format!("line {line_no}: expected `client calm-from <k>`"));
+                    }
+                    open = Some(ClientScript {
+                        calm_from: num(toks.next(), "calm-from", line_no)?,
+                        steps: Vec::new(),
+                    });
+                }
+                "step" => {
+                    let Some(script) = open.as_mut() else {
+                        return Err(format!("line {line_no}: step outside a client block"));
+                    };
+                    let step = match toks.next().unwrap_or("") {
+                        "connect" => WorkloadStep::Connect {
+                            recover: flag(toks.next(), "recover", line_no)?,
+                        },
+                        "disconnect" => WorkloadStep::Disconnect,
+                        "crash" => WorkloadStep::Crash,
+                        "wait" => WorkloadStep::Wait {
+                            ms: num(toks.next(), "wait ms", line_no)?,
+                        },
+                        "write" => WorkloadStep::Write {
+                            data: num(toks.next(), "data id", line_no)?,
+                            k: num(toks.next(), "generation", line_no)?,
+                            cc: flag(toks.next(), "cc", line_no)?,
+                        },
+                        "read" => WorkloadStep::Read {
+                            data: num(toks.next(), "data id", line_no)?,
+                            cc: flag(toks.next(), "cc", line_no)?,
+                        },
+                        "mwwrite" => WorkloadStep::MwWrite {
+                            data: num(toks.next(), "data id", line_no)?,
+                            k: num(toks.next(), "generation", line_no)?,
+                        },
+                        "mwread" => WorkloadStep::MwRead {
+                            data: num(toks.next(), "data id", line_no)?,
+                        },
+                        other => {
+                            return Err(format!("line {line_no}: unknown step {other:?}"));
+                        }
+                    };
+                    script.steps.push(step);
+                }
+                "end" => match open.take() {
+                    Some(script) => schedule.clients.push(script),
+                    None => {
+                        return Err(format!("line {line_no}: `end` outside a client block"));
+                    }
+                },
+                other => return Err(format!("line {line_no}: unknown directive {other:?}")),
+            }
+            if toks.next().is_some() && key != "behaviors" {
+                return Err(format!("line {line_no}: trailing tokens"));
+            }
+        }
+        if !saw_header {
+            return Err("empty replay file".into());
+        }
+        if open.is_some() {
+            return Err("unterminated client block at end of file".into());
+        }
+        Ok(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let cfg = ChaosConfig::standard(4, 1);
+        assert_eq!(generate(7, &cfg), generate(7, &cfg));
+        assert_ne!(generate(7, &cfg), generate(8, &cfg));
+    }
+
+    #[test]
+    fn standard_schedule_shape_is_sound() {
+        let cfg = ChaosConfig::standard(4, 1);
+        for seed in 0..20 {
+            let s = generate(seed, &cfg);
+            assert_eq!(s.behaviors.iter().filter(|b| b.is_faulty()).count(), 1);
+            assert_eq!(s.clients.len(), 3);
+            for f in &s.faults {
+                let (from, to) = match f {
+                    FaultEvent::Partition { from_ms, to_ms, .. }
+                    | FaultEvent::Drop { from_ms, to_ms, .. }
+                    | FaultEvent::LatencySpike { from_ms, to_ms }
+                    | FaultEvent::Restart { from_ms, to_ms, .. } => (*from_ms, *to_ms),
+                };
+                assert!(from < to && to <= TURBULENCE_END_MS, "window {f:?}");
+            }
+            for script in &s.clients {
+                // Calm phase starts after the settle wait.
+                assert!(script.calm_from > 0);
+                assert!(script
+                    .steps
+                    .iter()
+                    .any(|st| matches!(st, WorkloadStep::Wait { ms } if *ms >= TURBULENCE_END_MS)));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_text_roundtrips() {
+        for seed in [0, 3, 11] {
+            for cfg in [ChaosConfig::standard(4, 1), ChaosConfig::over_budget(4, 1)] {
+                let s = generate(seed, &cfg);
+                let text = s.to_text();
+                assert_eq!(Schedule::from_text(&text), Ok(s.clone()), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_junk_without_panicking() {
+        for bad in [
+            "",
+            "not a replay",
+            "sstore-chaos-schedule v1\nbogus 3",
+            "sstore-chaos-schedule v1\nseed x",
+            "sstore-chaos-schedule v1\nstep wait 5",
+            "sstore-chaos-schedule v1\nclient calm-from 0\nstep write 1\nend",
+            "sstore-chaos-schedule v1\nclient calm-from 0",
+            "sstore-chaos-schedule v1\nfault warp 1 2",
+            "sstore-chaos-schedule v1\nend",
+        ] {
+            assert!(Schedule::from_text(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn run_rejects_malformed_schedules() {
+        let cfg = ChaosConfig::standard(4, 1);
+        let good = generate(1, &cfg);
+        let mut bad_n = good.clone();
+        bad_n.n = 2;
+        assert!(run(&bad_n).is_err());
+        let mut bad_server = good.clone();
+        bad_server.faults = vec![FaultEvent::Restart {
+            from_ms: 1_000,
+            to_ms: 2_000,
+            server: 99,
+        }];
+        assert!(run(&bad_server).is_err());
+        let mut no_clients = good;
+        no_clients.clients.clear();
+        assert!(run(&no_clients).is_err());
+    }
+
+    #[test]
+    fn standard_seeds_pass_both_oracles() {
+        let cfg = ChaosConfig::standard(4, 1);
+        for seed in 0..15 {
+            let schedule = generate(seed, &cfg);
+            let v = run(&schedule).expect("valid schedule");
+            assert!(
+                v.passed(),
+                "seed {seed} failed: safety={:?} liveness={:?}\n{}",
+                v.safety,
+                v.liveness,
+                schedule.to_text()
+            );
+            assert!(v.ops_total > 0);
+        }
+    }
+
+    #[test]
+    fn over_budget_is_flagged_by_safety_oracle() {
+        let cfg = ChaosConfig::over_budget(4, 1);
+        let mut flagged = 0;
+        for seed in 0..20 {
+            let v = run(&generate(seed, &cfg)).expect("valid schedule");
+            if !v.safety_ok() {
+                flagged += 1;
+            }
+        }
+        assert!(
+            flagged > 0,
+            "b+1 stale servers never violated safety across 20 seeds"
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let std_cfg = ChaosConfig::standard(4, 1);
+        let ob_cfg = ChaosConfig::over_budget(4, 1);
+        for schedule in [generate(5, &std_cfg), generate(5, &ob_cfg)] {
+            let a = run(&schedule).expect("valid schedule");
+            let b = run(&Schedule::from_text(&schedule.to_text()).expect("roundtrip"))
+                .expect("valid schedule");
+            assert_eq!(a, b, "replay diverged for seed {}", schedule.seed);
+        }
+    }
+
+    #[test]
+    fn shrink_preserves_failure_class_and_shrinks() {
+        let cfg = ChaosConfig::over_budget(4, 1);
+        // Find a failing seed first.
+        let failing = (0..20)
+            .map(|s| generate(s, &cfg))
+            .find(|sched| {
+                run(sched)
+                    .map(|v| v.class() == Some(FailureClass::Safety))
+                    .unwrap_or(false)
+            })
+            .expect("some over-budget seed must fail safety");
+        let before: usize = failing.clients.iter().map(|c| c.steps.len()).sum();
+        let res = shrink(&failing, 60).expect("shrink runs");
+        assert_eq!(res.class, Some(FailureClass::Safety));
+        let after: usize = res.schedule.clients.iter().map(|c| c.steps.len()).sum();
+        assert!(after <= before);
+        let v = run(&res.schedule).expect("shrunk schedule runs");
+        assert_eq!(v.class(), Some(FailureClass::Safety));
+        assert!(res.runs <= 60);
+    }
+
+    #[test]
+    fn shrink_of_passing_schedule_is_identity() {
+        let cfg = ChaosConfig::standard(4, 1);
+        let s = generate(2, &cfg);
+        let res = shrink(&s, 10).expect("runs");
+        assert_eq!(res.class, None);
+        assert_eq!(res.schedule, s);
+        assert_eq!(res.runs, 1);
+    }
+
+    #[test]
+    fn chaos_value_roundtrips() {
+        assert_eq!(parse_chaos_value(&chaos_value(2, 17, 9)), Some((2, 17, 9)));
+        assert_eq!(parse_chaos_value(b"garbage"), None);
+        assert_eq!(parse_chaos_value(b"chaos:c1:d2"), None);
+        assert_eq!(parse_chaos_value(&[0xff, 0xfe]), None);
+    }
+}

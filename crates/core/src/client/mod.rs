@@ -26,7 +26,7 @@ use rand::Rng;
 use sstore_crypto::schnorr::SigningKey;
 use sstore_simnet::SimTime;
 
-use crate::config::ClientConfig;
+use crate::config::{ClientConfig, RetryPolicy};
 use crate::context::Context;
 use crate::directory::Directory;
 use crate::item::{ItemMeta, SignedContext, StoredItem};
@@ -227,6 +227,10 @@ pub(crate) enum OpState {
     CtxScan {
         responded: HashSet<ServerId>,
         metas: Vec<(ServerId, Vec<ItemMeta>)>,
+        /// Set once `n - b` responses arrived: the scan keeps waiting one
+        /// grace round for honest stragglers so a fast faulty server cannot
+        /// eclipse the sole honest holder of the client's latest write.
+        grace: bool,
     },
     /// Context storage (paper Fig. 1, write side).
     CtxWrite {
@@ -494,6 +498,30 @@ impl ClientCore {
         }
     }
 
+    /// Arms the phase timer with the policy's backed-off delay for the
+    /// op's current round (round 1 = the base timeout).
+    pub(crate) fn arm_phase_timer(
+        op_id: OpId,
+        common: &mut OpCommon,
+        retry: RetryPolicy,
+        out: &mut Output,
+    ) {
+        let delay = retry.phase_delay(common.round);
+        Self::arm_timer(op_id, common, delay, out);
+    }
+
+    /// Arms the stale-retry timer with the policy's backed-off delay for
+    /// the op's current round.
+    pub(crate) fn arm_stale_timer(
+        op_id: OpId,
+        common: &mut OpCommon,
+        retry: RetryPolicy,
+        out: &mut Output,
+    ) {
+        let delay = retry.stale_delay(common.round);
+        Self::arm_timer(op_id, common, delay, out);
+    }
+
     /// Arms the op's (sole valid) phase timer.
     pub(crate) fn arm_timer(op_id: OpId, common: &mut OpCommon, delay: SimTime, out: &mut Output) {
         common.timer_epoch += 1;
@@ -569,6 +597,13 @@ impl ClientCore {
 
     pub(crate) fn cfg(&self) -> &ClientConfig {
         &self.cfg
+    }
+
+    /// The retry/backoff policy this client runs under. Real transports
+    /// reuse it for their own redial schedules so every retry loop in the
+    /// system shares one bounded-backoff story.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.cfg.retry
     }
 
     pub(crate) fn ctx_quorum(&self) -> usize {

@@ -77,7 +77,7 @@ impl ClientCore {
                 &mut out,
             );
         }
-        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        Self::arm_phase_timer(op_id, &mut common, self.cfg().retry, &mut out);
         self.insert_op(
             op_id,
             Op {
@@ -123,7 +123,7 @@ impl ClientCore {
             |op| Msg::MwReadReq { op, data },
             &mut out,
         );
-        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        Self::arm_phase_timer(op_id, &mut common, self.cfg().retry, &mut out);
         self.insert_op(
             op_id,
             Op {
@@ -381,15 +381,10 @@ impl ClientCore {
                     out.sends.push((s, Msg::MwReadReq { op: op_id, data }));
                 }
             }
-            Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, out);
+            Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, out);
         } else {
             *awaiting_retry = true;
-            Self::arm_timer(
-                op_id,
-                &mut op.common,
-                self.cfg().retry.stale_retry_delay,
-                out,
-            );
+            Self::arm_stale_timer(op_id, &mut op.common, self.cfg().retry, out);
         }
         self.insert_op(op_id, op);
     }
@@ -401,7 +396,9 @@ impl ClientCore {
             return out;
         };
         match &mut op.state {
-            OpState::MwWrite { needed, item, .. } => {
+            OpState::MwWrite {
+                needed, item, acks, ..
+            } => {
                 if op.common.round >= self.cfg().retry.max_rounds {
                     Self::complete(op_id, op, Outcome::Unavailable, now, &mut out);
                     return out;
@@ -410,6 +407,7 @@ impl ClientCore {
                 let target = self.target_count(*needed, op.common.round);
                 let rotation = self.rotation(op.common.offset);
                 let item = item.clone();
+                let acked = acks.clone();
                 Self::widen_contacts(
                     op_id,
                     &mut op.common,
@@ -421,12 +419,28 @@ impl ClientCore {
                     },
                     &mut out,
                 );
-                Self::arm_timer(
-                    op_id,
-                    &mut op.common,
-                    self.cfg().retry.phase_timeout,
-                    &mut out,
-                );
+                // Re-deliver to servers that have not acked yet: a server
+                // holding the write back for a causal dependency re-checks
+                // admission on every delivery, so retries make progress once
+                // the dependency has disseminated.
+                for &s in op.common.contacted.iter() {
+                    if acked.contains(&s)
+                        || out
+                            .sends
+                            .iter()
+                            .any(|(to, m)| *to == s && m.op() == Some(op_id))
+                    {
+                        continue;
+                    }
+                    out.sends.push((
+                        s,
+                        Msg::WriteReq {
+                            op: op_id,
+                            item: item.clone(),
+                        },
+                    ));
+                }
+                Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, &mut out);
                 self.insert_op(op_id, op);
             }
             OpState::MwRead {
@@ -442,12 +456,7 @@ impl ClientCore {
                     for &s in &op.common.contacted {
                         out.sends.push((s, Msg::MwReadReq { op: op_id, data }));
                     }
-                    Self::arm_timer(
-                        op_id,
-                        &mut op.common,
-                        self.cfg().retry.phase_timeout,
-                        &mut out,
-                    );
+                    Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, &mut out);
                     self.insert_op(op_id, op);
                 } else {
                     self.evaluate_mw_read(op_id, op, now, &mut out);

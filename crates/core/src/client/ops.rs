@@ -70,7 +70,7 @@ impl ClientCore {
                 &mut out,
             );
         }
-        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        Self::arm_phase_timer(op_id, &mut common, self.cfg().retry, &mut out);
         self.insert_op(
             op_id,
             Op {
@@ -119,7 +119,7 @@ impl ClientCore {
             |op| Msg::TsQueryReq { op, data },
             &mut out,
         );
-        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        Self::arm_phase_timer(op_id, &mut common, self.cfg().retry, &mut out);
         self.insert_op(
             op_id,
             Op {
@@ -287,7 +287,7 @@ impl ClientCore {
                     .collect(),
                 best_seen,
             };
-            Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, out);
+            Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, out);
             self.insert_op(op_id, op);
         } else {
             self.escalate_read(op_id, op, best_seen, now, out);
@@ -396,19 +396,14 @@ impl ClientCore {
                     out.sends.push((s, Msg::TsQueryReq { op: op_id, data }));
                 }
             }
-            Self::arm_timer(op_id, &mut op.common, self.cfg().retry.phase_timeout, out);
+            Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, out);
         } else {
             // Everyone asked and all stale: "try later" — wait for the
             // dissemination protocol to make progress.
             if let OpState::ReadP1 { awaiting_retry, .. } = &mut op.state {
                 *awaiting_retry = true;
             }
-            Self::arm_timer(
-                op_id,
-                &mut op.common,
-                self.cfg().retry.stale_retry_delay,
-                out,
-            );
+            Self::arm_stale_timer(op_id, &mut op.common, self.cfg().retry, out);
         }
         self.insert_op(op_id, op);
     }
@@ -471,12 +466,7 @@ impl ClientCore {
                             ts: meta.ts,
                         },
                     ));
-                    Self::arm_timer(
-                        op_id,
-                        &mut op.common,
-                        self.cfg().retry.phase_timeout,
-                        &mut out,
-                    );
+                    Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, &mut out);
                     self.insert_op(op_id, op);
                 } else {
                     self.escalate_read(op_id, op, best_seen, now, &mut out);
@@ -513,12 +503,7 @@ impl ClientCore {
                     },
                     &mut out,
                 );
-                Self::arm_timer(
-                    op_id,
-                    &mut op.common,
-                    self.cfg().retry.phase_timeout,
-                    &mut out,
-                );
+                Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, &mut out);
                 self.insert_op(op_id, op);
             }
             OpState::ReadP1 {
@@ -537,12 +522,7 @@ impl ClientCore {
                     for &s in &op.common.contacted {
                         out.sends.push((s, Msg::TsQueryReq { op: op_id, data }));
                     }
-                    Self::arm_timer(
-                        op_id,
-                        &mut op.common,
-                        self.cfg().retry.phase_timeout,
-                        &mut out,
-                    );
+                    Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, &mut out);
                     self.insert_op(op_id, op);
                 } else {
                     // Phase timeout with partial responses: decide with
@@ -572,12 +552,7 @@ impl ClientCore {
                             ts: meta.ts,
                         },
                     ));
-                    Self::arm_timer(
-                        op_id,
-                        &mut op.common,
-                        self.cfg().retry.phase_timeout,
-                        &mut out,
-                    );
+                    Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, &mut out);
                     self.insert_op(op_id, op);
                 } else {
                     self.escalate_read(op_id, op, best_seen, now, &mut out);

@@ -48,6 +48,7 @@ impl ClientCore {
             OpState::CtxScan {
                 responded: HashSet::new(),
                 metas: Vec::new(),
+                grace: false,
             }
         } else {
             let client = self.id();
@@ -64,7 +65,7 @@ impl ClientCore {
                 candidates: Vec::new(),
             }
         };
-        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        Self::arm_phase_timer(op_id, &mut common, self.cfg().retry, &mut out);
         self.insert_op(op_id, Op { common, state });
         out
     }
@@ -108,7 +109,7 @@ impl ClientCore {
             },
             &mut out,
         );
-        Self::arm_timer(op_id, &mut common, self.cfg().retry.phase_timeout, &mut out);
+        Self::arm_phase_timer(op_id, &mut common, self.cfg().retry, &mut out);
         self.insert_op(
             op_id,
             Op {
@@ -213,7 +214,12 @@ impl ClientCore {
         let Some(mut op) = self.take_op(op_id) else {
             return out;
         };
-        let OpState::CtxScan { responded, metas } = &mut op.state else {
+        let OpState::CtxScan {
+            responded,
+            metas,
+            grace,
+        } = &mut op.state
+        else {
             self.insert_op(op_id, op);
             return out;
         };
@@ -222,10 +228,20 @@ impl ClientCore {
             return out;
         }
         metas.push((from, entries));
+        let done = responded.len();
         // Only faulty servers may withhold: n-b responses are guaranteed.
-        if responded.len() >= self.dir().n() - self.dir().b() {
+        // But finishing at the *first* n-b would let one fast faulty server
+        // displace the lone honest holder of the client's latest write
+        // (written to only a data quorum of b+1 servers), silently shrinking
+        // the reconstructed context. Finish immediately only once everyone
+        // answered; otherwise wait one bounded grace round for stragglers.
+        if done >= self.dir().n() {
             self.finish_ctx_scan(op_id, op, now, &mut out);
         } else {
+            if done >= self.dir().n() - self.dir().b() && !*grace {
+                *grace = true;
+                Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, &mut out);
+            }
             self.insert_op(op_id, op);
         }
         out
@@ -316,6 +332,20 @@ impl ClientCore {
         let Some(mut op) = self.take_op(op_id) else {
             return out;
         };
+        // A scan whose grace round expired finishes with what it has: at
+        // least n-b servers (so every honest one reachable right now) have
+        // already answered.
+        if let OpState::CtxScan {
+            grace: true,
+            responded,
+            ..
+        } = &op.state
+        {
+            if !responded.is_empty() {
+                self.finish_ctx_scan(op_id, op, now, &mut out);
+                return out;
+            }
+        }
         let max_rounds = self.cfg().retry.max_rounds;
         if op.common.round >= max_rounds {
             // Best effort: a scan can still finish with what it has.
@@ -371,12 +401,7 @@ impl ClientCore {
             }
             _ => debug_assert!(false, "session_timeout on non-session op"),
         }
-        Self::arm_timer(
-            op_id,
-            &mut op.common,
-            self.cfg().retry.phase_timeout,
-            &mut out,
-        );
+        Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, &mut out);
         self.insert_op(op_id, op);
         out
     }

@@ -31,14 +31,26 @@ impl Default for GossipConfig {
 
 /// Client-side retry behaviour when a quorum phase stalls or returns only
 /// stale data (paper Fig. 2: "contact additional servers or try later").
+///
+/// This one policy backs every retry loop in the system: the simulated
+/// client's phase timers and stale-read retries, and the TCP client's
+/// redial schedule. All delays grow exponentially (doubling per round,
+/// capped at [`RetryPolicy::max_delay`]) so a lossy network sees bounded,
+/// decreasingly aggressive retries instead of a fixed-rate hammer. Round 1
+/// always uses the base values, so a healthy network's behaviour — and the
+/// paper's §6 message counts — are unchanged from a flat policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
-    /// How long to wait for quorum responses before widening/retrying.
+    /// How long to wait for quorum responses before widening/retrying
+    /// (base value; round `r` waits `phase_delay(r)`).
     pub phase_timeout: SimTime,
-    /// Delay before re-trying a read that found only stale data.
+    /// Delay before re-trying a read that found only stale data
+    /// (base value; round `r` waits `stale_delay(r)`).
     pub stale_retry_delay: SimTime,
     /// Total rounds (initial attempt included) before the operation fails.
     pub max_rounds: u32,
+    /// Ceiling on any backed-off delay.
+    pub max_delay: SimTime,
 }
 
 impl Default for RetryPolicy {
@@ -47,7 +59,42 @@ impl Default for RetryPolicy {
             phase_timeout: SimTime::from_millis(500),
             stale_retry_delay: SimTime::from_millis(200),
             max_rounds: 6,
+            max_delay: SimTime::from_secs(2),
         }
+    }
+}
+
+impl RetryPolicy {
+    /// Doubles `base` per completed round, capped at `max_delay`.
+    /// `round` counts from 1 (the initial attempt).
+    fn backoff(&self, base: SimTime, round: u32) -> SimTime {
+        let exp = round.saturating_sub(1).min(32);
+        let us = base
+            .as_micros()
+            .saturating_mul(1u64 << exp)
+            .min(self.max_delay.as_micros().max(base.as_micros()));
+        SimTime::from_micros(us)
+    }
+
+    /// Quorum-phase timeout for attempt `round` (1-based).
+    pub fn phase_delay(&self, round: u32) -> SimTime {
+        self.backoff(self.phase_timeout, round)
+    }
+
+    /// Stale-read retry delay for attempt `round` (1-based).
+    pub fn stale_delay(&self, round: u32) -> SimTime {
+        self.backoff(self.stale_retry_delay, round)
+    }
+
+    /// Redial delay after `attempt` consecutive failed connection attempts
+    /// to the same server (1-based), for real-transport clients.
+    pub fn dial_delay(&self, attempt: u32) -> SimTime {
+        self.backoff(self.stale_retry_delay, attempt)
+    }
+
+    /// Whether another round is allowed after `round` completed attempts.
+    pub fn allows_round(&self, round: u32) -> bool {
+        round < self.max_rounds
     }
 }
 
@@ -126,6 +173,44 @@ mod tests {
         let r = RetryPolicy::default();
         assert!(r.max_rounds >= 1);
         assert!(r.phase_timeout > SimTime::ZERO);
+        assert!(r.max_delay >= r.phase_timeout);
+    }
+
+    #[test]
+    fn backoff_starts_at_base_and_is_capped() {
+        let r = RetryPolicy::default();
+        // Round 1 is exactly the base values: fast paths are unchanged.
+        assert_eq!(r.phase_delay(1), r.phase_timeout);
+        assert_eq!(r.stale_delay(1), r.stale_retry_delay);
+        assert_eq!(r.dial_delay(1), r.stale_retry_delay);
+        // Doubling per round…
+        assert_eq!(r.phase_delay(2), SimTime::from_millis(1000));
+        assert_eq!(r.stale_delay(2), SimTime::from_millis(400));
+        // …capped at max_delay, monotone non-decreasing far out.
+        assert_eq!(r.phase_delay(3), r.max_delay);
+        assert_eq!(r.phase_delay(60), r.max_delay);
+        assert_eq!(r.stale_delay(60), r.max_delay);
+    }
+
+    #[test]
+    fn backoff_degenerate_configs_do_not_overflow() {
+        let r = RetryPolicy {
+            phase_timeout: SimTime::from_micros(u64::MAX / 2),
+            stale_retry_delay: SimTime::ZERO,
+            max_rounds: u32::MAX,
+            max_delay: SimTime::ZERO,
+        };
+        // max_delay below base: the base still applies (never shrink).
+        assert_eq!(r.phase_delay(u32::MAX), r.phase_timeout);
+        assert_eq!(r.stale_delay(u32::MAX), SimTime::ZERO);
+        assert!(r.allows_round(1));
+    }
+
+    #[test]
+    fn allows_round_bounds_retries() {
+        let r = RetryPolicy::default();
+        assert!(r.allows_round(r.max_rounds - 1));
+        assert!(!r.allows_round(r.max_rounds));
         let m = MultiWriterConfig::default();
         assert!(m.validate_causal_deps);
         assert!(m.log_capacity >= 2);

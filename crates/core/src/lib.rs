@@ -74,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod codec;
 pub mod confidential;

@@ -203,7 +203,11 @@ impl ServerNode {
                             .items
                             .get(&data)
                             .is_some_and(|cur| cur.meta.ts.is_at_least(&ts));
-                    vec![(from, Msg::WriteAck { op, accepted })]
+                    let mut out = vec![(from, Msg::WriteAck { op, accepted })];
+                    // A new single-writer item may satisfy the causal
+                    // dependency a held-back multi-writer write is waiting on.
+                    out.extend(self.release_pending());
+                    out
                 }
                 Timestamp::Multi { .. } => self.accept_multi_writer(item, Some((from, op))),
             },
@@ -227,6 +231,9 @@ impl ServerNode {
                         }
                     }
                 }
+                // Gossiped single-writer items may satisfy causal
+                // dependencies held-back multi-writer writes are waiting on.
+                out.extend(self.release_pending());
                 out
             }
             Msg::GossipSummary {
@@ -351,9 +358,15 @@ impl ServerNode {
             };
         }
         self.pending.push((item, reply));
+        self.release_pending()
+    }
+
+    /// Fixpoint: admit every pending multi-writer write whose predecessors
+    /// are present; each admission may unlock more. Called whenever new
+    /// state arrives that could satisfy a causal dependency — a multi-writer
+    /// write, but also single-writer writes and gossiped items.
+    fn release_pending(&mut self) -> Vec<(Addr, Msg)> {
         let mut out = Vec::new();
-        // Fixpoint: admit every pending write whose predecessors are
-        // present; each admission may unlock more.
         loop {
             let mut progressed = false;
             for (item, reply) in std::mem::take(&mut self.pending) {

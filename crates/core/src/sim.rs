@@ -411,6 +411,22 @@ impl Cluster {
         }
     }
 
+    /// Runs until every client is idle or simulated time reaches
+    /// `deadline`, whichever comes first. Returns whether the clients went
+    /// idle — the non-panicking alternative to
+    /// [`Cluster::run_to_quiescence`] for harnesses (like the chaos
+    /// campaign engine) where a stuck run is a *finding*, not a bug.
+    pub fn run_until_idle(&mut self, deadline: SimTime) -> bool {
+        while !self.clients_idle() {
+            if self.sim.now() >= deadline {
+                return false;
+            }
+            let chunk = (self.sim.now() + SimTime::from_millis(100)).min(deadline);
+            self.sim.run_until(chunk);
+        }
+        true
+    }
+
     /// Whether every scripted client has finished all its work.
     pub fn clients_idle(&mut self) -> bool {
         let nodes = self.client_nodes.clone();

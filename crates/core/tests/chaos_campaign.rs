@@ -1,0 +1,260 @@
+//! Integration coverage for the chaos campaign engine: fresh seed ranges
+//! through both oracles, deterministic byte-for-byte replay of shrunk
+//! failures, and a directed multi-writer equivocation injected at the
+//! wire level.
+
+use sstore_core::chaos::{self, ChaosConfig, FailureClass, Schedule};
+use sstore_core::client::{ClientOp, OpKind, Outcome};
+use sstore_core::item::StoredItem;
+use sstore_core::metrics::CryptoCounters;
+use sstore_core::sim::{ClusterBuilder, Step};
+use sstore_core::types::{ClientId, Consistency, DataId, GroupId, OpId, ServerId, Timestamp};
+use sstore_core::wire::Msg;
+use sstore_crypto::sha256::digest;
+use sstore_simnet::SimTime;
+
+/// Fresh seed range (disjoint from the unit tests' 0..15): every standard
+/// schedule must satisfy both oracles.
+#[test]
+fn standard_campaign_fresh_seeds() {
+    let cfg = ChaosConfig::standard(4, 1);
+    for seed in 100..112 {
+        let schedule = chaos::generate(seed, &cfg);
+        let verdict = chaos::run(&schedule).expect("run");
+        assert!(
+            verdict.passed(),
+            "seed {seed}: safety={:?} liveness={:?}",
+            verdict.safety,
+            verdict.liveness
+        );
+        assert!(verdict.idle, "seed {seed}: cluster not idle at deadline");
+    }
+}
+
+/// A bigger cluster configuration exercises the quorum arithmetic beyond
+/// the default `n = 4, b = 1`.
+#[test]
+fn standard_campaign_larger_cluster() {
+    let cfg = ChaosConfig::standard(7, 2);
+    for seed in 0..4 {
+        let schedule = chaos::generate(seed, &cfg);
+        let verdict = chaos::run(&schedule).expect("run");
+        assert!(
+            verdict.passed(),
+            "n=7 b=2 seed {seed}: safety={:?} liveness={:?}",
+            verdict.safety,
+            verdict.liveness
+        );
+    }
+}
+
+/// The acceptance loop in one test: an over-budget seed is flagged by the
+/// safety oracle, delta-debugging shrinks it while preserving the failure
+/// class, the minimal schedule survives a text round-trip, and two replay
+/// runs agree on every verdict field *and* on the network statistics.
+#[test]
+fn flagged_seed_shrinks_and_replays_deterministically() {
+    let cfg = ChaosConfig::over_budget(4, 1);
+    let flagged = (0..30)
+        .map(|seed| chaos::generate(seed, &cfg))
+        .find(|s| chaos::run(s).map(|v| !v.safety_ok()).unwrap_or(false))
+        .expect("some over-budget seed in 0..30 must be flagged");
+
+    let shrunk = chaos::shrink(&flagged, 300).expect("shrink");
+    assert_eq!(
+        shrunk.class,
+        Some(FailureClass::Safety),
+        "shrinking changed the failure class"
+    );
+    let steps = |s: &Schedule| -> usize { s.clients.iter().map(|c| c.steps.len()).sum() };
+    assert!(
+        steps(&shrunk.schedule) <= steps(&flagged),
+        "shrinking grew the schedule"
+    );
+
+    // Byte-for-byte replay: text round-trip, then two independent runs.
+    let text = shrunk.schedule.to_text();
+    let parsed = Schedule::from_text(&text).expect("replay text parses");
+    assert_eq!(
+        parsed, shrunk.schedule,
+        "text round-trip changed the schedule"
+    );
+    assert_eq!(parsed.to_text(), text, "re-serialization is not stable");
+
+    let first = chaos::run(&parsed).expect("first replay");
+    let second = chaos::run(&parsed).expect("second replay");
+    assert!(!first.safety_ok(), "shrunk schedule no longer fails");
+    assert_eq!(first.safety, second.safety, "safety verdicts diverged");
+    assert_eq!(
+        first.liveness, second.liveness,
+        "liveness verdicts diverged"
+    );
+    assert_eq!(first.ops_ok, second.ops_ok, "op counts diverged");
+    assert_eq!(
+        first.stats, second.stats,
+        "NetStats diverged across replays"
+    );
+}
+
+const G: GroupId = GroupId(1);
+const MW: DataId = DataId(1);
+
+/// Directed equivocation: a malicious *client* signs two different values
+/// under the same `(time, writer)` multi-writer timestamp and sends each
+/// half of the cluster a different one. Both halves admit their copy (the
+/// signatures are valid) — but an honest reader crossing the halves must
+/// detect the split and report the faulty writer, never silently pick a
+/// side.
+#[test]
+fn equivocating_writer_detected_by_honest_reader() {
+    for seed in 0..6u64 {
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(900 + seed)
+            .client(vec![
+                Step::Do(ClientOp::Connect {
+                    group: G,
+                    recover: false,
+                }),
+                Step::Wait(SimTime::from_millis(500)),
+                Step::Do(ClientOp::MwRead {
+                    data: MW,
+                    group: G,
+                    consistency: Consistency::Mrc,
+                }),
+            ])
+            // Client 1 is the equivocator: no script, only injected traffic.
+            .client(vec![])
+            .build();
+
+        let key = cluster.signing_key(1).clone();
+        let mut counters = CryptoCounters::new();
+        let mut forge = |value: &[u8]| -> StoredItem {
+            let ts = Timestamp::Multi {
+                time: 1,
+                writer: ClientId(1),
+                digest: digest(value),
+            };
+            StoredItem::create(
+                MW,
+                G,
+                ts,
+                ClientId(1),
+                None,
+                value.to_vec(),
+                &key,
+                &mut counters,
+            )
+        };
+        let side_a = forge(b"evil-a");
+        let side_b = forge(b"evil-b");
+        for s in [0u16, 1] {
+            cluster.inject_from_client(
+                1,
+                ServerId(s),
+                Msg::WriteReq {
+                    op: OpId(9_000 + s as u64),
+                    item: side_a.clone(),
+                },
+            );
+        }
+        for s in [2u16, 3] {
+            cluster.inject_from_client(
+                1,
+                ServerId(s),
+                Msg::WriteReq {
+                    op: OpId(9_000 + s as u64),
+                    item: side_b.clone(),
+                },
+            );
+        }
+        cluster.run_to_quiescence();
+
+        let results = cluster.client_results(0);
+        let mw_read = results
+            .iter()
+            .find(|r| r.kind == OpKind::MwRead)
+            .expect("MwRead result");
+        assert_eq!(
+            mw_read.outcome,
+            Outcome::FaultyWriterDetected { data: MW },
+            "seed {seed}: equivocation not detected: {:?}",
+            mw_read.outcome
+        );
+    }
+}
+
+/// The same split must also be caught when the reader only reaches one
+/// side directly and learns the other side through gossip.
+#[test]
+fn equivocation_detected_after_gossip_mixes_the_sides() {
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(912)
+        .client(vec![
+            Step::Do(ClientOp::Connect {
+                group: G,
+                recover: false,
+            }),
+            // Long enough for several anti-entropy rounds to cross-pollinate.
+            Step::Wait(SimTime::from_millis(3_000)),
+            Step::Do(ClientOp::MwRead {
+                data: MW,
+                group: G,
+                consistency: Consistency::Mrc,
+            }),
+        ])
+        .client(vec![])
+        .build();
+
+    let key = cluster.signing_key(1).clone();
+    let mut counters = CryptoCounters::new();
+    let mut forge = |value: &[u8]| -> StoredItem {
+        let ts = Timestamp::Multi {
+            time: 7,
+            writer: ClientId(1),
+            digest: digest(value),
+        };
+        StoredItem::create(
+            MW,
+            G,
+            ts,
+            ClientId(1),
+            None,
+            value.to_vec(),
+            &key,
+            &mut counters,
+        )
+    };
+    let side_a = forge(b"gossip-a");
+    let side_b = forge(b"gossip-b");
+    cluster.inject_from_client(
+        1,
+        ServerId(0),
+        Msg::WriteReq {
+            op: OpId(9_100),
+            item: side_a,
+        },
+    );
+    cluster.inject_from_client(
+        1,
+        ServerId(2),
+        Msg::WriteReq {
+            op: OpId(9_101),
+            item: side_b,
+        },
+    );
+    cluster.run_to_quiescence();
+
+    let results = cluster.client_results(0);
+    let mw_read = results
+        .iter()
+        .find(|r| r.kind == OpKind::MwRead)
+        .expect("MwRead result");
+    // Either the reader sees both sides and flags the writer, or (if the
+    // accept rule starves both sides of `b+1` confirmations) it refuses to
+    // return a value — it must never silently return one of the two.
+    match &mw_read.outcome {
+        Outcome::FaultyWriterDetected { data } => assert_eq!(*data, MW),
+        Outcome::Stale { .. } => {}
+        other => panic!("equivocation slipped through: {other:?}"),
+    }
+}

@@ -287,6 +287,7 @@ fn mw_write_not_available_until_quorum_acks() {
                 phase_timeout: SimTime::from_millis(100),
                 stale_retry_delay: SimTime::from_millis(50),
                 max_rounds: 3,
+                ..sstore_core::RetryPolicy::default()
             },
             ..Default::default()
         })

@@ -1,0 +1,153 @@
+//! Multi-writer causal order against Premature servers (paper §5.3).
+//!
+//! A Premature server skips the causal-dependency holdback and reports
+//! multi-writer writes before their predecessors have arrived. The
+//! `2b+1` read / `b+1` matching-accept rule masks it: an honest reader
+//! only accepts a version vouched for by at least one honest server,
+//! and honest servers admit a write only after its causal context is
+//! satisfied locally — so a reader that accepts a write can always
+//! resolve the write's dependencies afterwards.
+
+use sstore_core::client::{ClientOp, OpKind, Outcome};
+use sstore_core::faults::Behavior;
+use sstore_core::sim::{ClusterBuilder, Step};
+use sstore_core::types::{Consistency, DataId, GroupId};
+use sstore_simnet::SimTime;
+
+const G: GroupId = GroupId(1);
+
+const SW_DATA: DataId = DataId(5);
+const MW_DATA: DataId = DataId(1);
+
+/// Writer: a single-writer item (the causal dependency), then a
+/// multi-writer item whose writer context names it.
+fn writer_script() -> Vec<Step> {
+    vec![
+        Step::Do(ClientOp::Connect {
+            group: G,
+            recover: false,
+        }),
+        Step::Do(ClientOp::Write {
+            data: SW_DATA,
+            group: G,
+            consistency: Consistency::Cc,
+            value: b"dependency".to_vec(),
+        }),
+        Step::Do(ClientOp::MwWrite {
+            data: MW_DATA,
+            group: G,
+            value: b"dependent".to_vec(),
+        }),
+        Step::Do(ClientOp::Disconnect { group: G }),
+    ]
+}
+
+/// Reader: a causally consistent multi-writer read racing the writer,
+/// then a read of the dependency. If the first read observed the
+/// dependent write, the second must observe the dependency.
+fn reader_script(initial_wait_ms: u64) -> Vec<Step> {
+    vec![
+        Step::Do(ClientOp::Connect {
+            group: G,
+            recover: false,
+        }),
+        Step::Wait(SimTime::from_millis(initial_wait_ms)),
+        Step::Do(ClientOp::MwRead {
+            data: MW_DATA,
+            group: G,
+            consistency: Consistency::Cc,
+        }),
+        Step::Do(ClientOp::Read {
+            data: SW_DATA,
+            group: G,
+            consistency: Consistency::Cc,
+        }),
+        Step::Do(ClientOp::Disconnect { group: G }),
+    ]
+}
+
+/// Checks the §5.3 causal-order guarantee on the reader's results: the
+/// reader may legitimately miss the dependent write (it raced it), but
+/// once it *accepts* the dependent write, the dependency must be
+/// readable — never `Stale`, never a forged value.
+fn assert_causal_order(results: &[sstore_core::OpResult], label: &str) {
+    let mw_read = results
+        .iter()
+        .find(|r| r.kind == OpKind::MwRead)
+        .unwrap_or_else(|| panic!("{label}: no MwRead result"));
+    let sw_read = results
+        .iter()
+        .find(|r| r.kind == OpKind::Read)
+        .unwrap_or_else(|| panic!("{label}: no Read result"));
+    match &mw_read.outcome {
+        Outcome::ReadOk { value, .. } => {
+            assert_eq!(
+                value.as_slice(),
+                b"dependent",
+                "{label}: forged multi-writer value"
+            );
+            // Causal order: the dependency must now be visible.
+            match &sw_read.outcome {
+                Outcome::ReadOk { value, .. } => {
+                    assert_eq!(
+                        value.as_slice(),
+                        b"dependency",
+                        "{label}: dependency read out of causal order"
+                    );
+                }
+                other => panic!(
+                    "{label}: accepted the dependent write but the dependency \
+                     read failed: {other:?}"
+                ),
+            }
+        }
+        // Racing the writer may leave the reader behind; that is a
+        // consistency-preserving outcome, not a violation.
+        Outcome::Stale { .. } | Outcome::Unavailable => {}
+        other => panic!("{label}: unexpected MwRead outcome {other:?}"),
+    }
+}
+
+/// Premature server at every placement, reader racing at several offsets:
+/// no interleaving may surface the dependent write without its dependency.
+#[test]
+fn premature_server_never_breaks_causal_order() {
+    for placement in 0..4usize {
+        for wait_ms in [0u64, 20, 200, 2_000] {
+            let mut cluster = ClusterBuilder::new(4, 1)
+                .seed(11 + placement as u64 + wait_ms)
+                .behavior(placement, Behavior::Premature)
+                .client(writer_script())
+                .client(reader_script(wait_ms))
+                .build();
+            cluster.run_to_quiescence();
+            let writer = cluster.client_results(0);
+            assert!(
+                writer.iter().all(|r| r.outcome.is_ok()),
+                "writer failed with Premature@S{placement}: {writer:?}"
+            );
+            let reader = cluster.client_results(1);
+            assert_causal_order(&reader, &format!("Premature@S{placement}+{wait_ms}ms"));
+        }
+    }
+}
+
+/// Premature plus a crashed server (`b = 2`, `n = 7`): the accept rule
+/// still masks the premature reports.
+#[test]
+fn premature_and_crash_still_masked() {
+    for wait_ms in [0u64, 500] {
+        let mut cluster = ClusterBuilder::new(7, 2)
+            .seed(77 + wait_ms)
+            .behavior(2, Behavior::Premature)
+            .behavior(6, Behavior::Crash)
+            .client(writer_script())
+            .client(reader_script(wait_ms))
+            .build();
+        cluster.run_to_quiescence();
+        let writer = cluster.client_results(0);
+        assert!(writer.iter().all(|r| r.outcome.is_ok()), "{writer:?}");
+        let reader = cluster.client_results(1);
+        assert_causal_order(&reader, &format!("Premature+Crash+{wait_ms}ms"));
+    }
+}

@@ -559,6 +559,7 @@ fn unavailable_when_too_many_servers_crash() {
                 phase_timeout: SimTime::from_millis(100),
                 stale_retry_delay: SimTime::from_millis(50),
                 max_rounds: 3,
+                ..sstore_core::RetryPolicy::default()
             },
             ..ClientConfig::default()
         })

@@ -1,0 +1,171 @@
+//! Context reconstruction after a client crash, under every Byzantine
+//! server behaviour: with at most `b` faulty servers the recovered
+//! context must equal the pre-crash context, and the post-recovery reads
+//! must return the latest generations the client wrote.
+
+use sstore_core::client::{ClientOp, OpKind, Outcome};
+use sstore_core::faults::Behavior;
+use sstore_core::sim::{ClusterBuilder, Step};
+use sstore_core::types::{Consistency, DataId, GroupId, Timestamp};
+use sstore_simnet::{NetEvent, NodeId, SimTime};
+
+const G: GroupId = GroupId(1);
+
+const ALL_BEHAVIORS: [Behavior; 6] = [
+    Behavior::Crash,
+    Behavior::Stale,
+    Behavior::CorruptValue,
+    Behavior::CorruptSig,
+    Behavior::Equivocate,
+    Behavior::Premature,
+];
+
+fn write(data: u64, value: &[u8]) -> Step {
+    Step::Do(ClientOp::Write {
+        data: DataId(data),
+        group: G,
+        consistency: Consistency::Mrc,
+        value: value.to_vec(),
+    })
+}
+
+fn read(data: u64) -> Step {
+    Step::Do(ClientOp::Read {
+        data: DataId(data),
+        group: G,
+        consistency: Consistency::Mrc,
+    })
+}
+
+/// Three items (one with two generations), a settle window for gossip,
+/// then crash + recovery + reads of everything.
+fn crash_recovery_script() -> Vec<Step> {
+    vec![
+        Step::Do(ClientOp::Connect {
+            group: G,
+            recover: false,
+        }),
+        write(1, b"one-v1"),
+        write(1, b"one-v2"),
+        write(2, b"two"),
+        write(3, b"three"),
+        Step::Wait(SimTime::from_millis(1_500)),
+        Step::Crash,
+        Step::Do(ClientOp::Connect {
+            group: G,
+            recover: true,
+        }),
+        read(1),
+        read(2),
+        read(3),
+    ]
+}
+
+fn assert_recovery(results: &[sstore_core::OpResult], label: &str) {
+    assert!(
+        results.iter().all(|r| r.outcome.is_ok()),
+        "{label}: {results:?}"
+    );
+    // The reconstructed context must cover exactly the three items the
+    // client wrote before crashing — amnesia recovery is complete.
+    let recovered = results
+        .iter()
+        .find(|r| r.kind == OpKind::Reconstruct)
+        .expect("recovery connect result");
+    assert_eq!(
+        recovered.outcome,
+        Outcome::Connected { context_len: 3 },
+        "{label}: reconstructed context differs from pre-crash context"
+    );
+    // And the reads must see the latest generation of each item.
+    let reads: Vec<_> = results.iter().filter(|r| r.kind == OpKind::Read).collect();
+    let expected: [&[u8]; 3] = [b"one-v2", b"two", b"three"];
+    assert_eq!(reads.len(), 3, "{label}");
+    for (r, want) in reads.iter().zip(expected) {
+        match &r.outcome {
+            Outcome::ReadOk { value, ts, .. } => {
+                assert_eq!(value.as_slice(), want, "{label}: wrong generation");
+                assert!(
+                    ts.is_newer_than(&Timestamp::GENESIS),
+                    "{label}: genesis timestamp on a written item"
+                );
+            }
+            other => panic!("{label}: post-recovery read failed: {other:?}"),
+        }
+    }
+}
+
+/// Every behaviour × two placements: recovery with `b` faulty servers is
+/// both safe (latest generations) and complete (full context).
+#[test]
+fn crash_recovery_under_every_behavior() {
+    for behavior in ALL_BEHAVIORS {
+        for placement in [0usize, 2] {
+            let mut cluster = ClusterBuilder::new(4, 1)
+                .seed(101 + placement as u64)
+                .behavior(placement, behavior)
+                .client(crash_recovery_script())
+                .build();
+            cluster.run_to_quiescence();
+            let results = cluster.client_results(0);
+            assert_recovery(&results, &format!("{behavior:?}@S{placement}"));
+        }
+    }
+}
+
+/// Recovery with `b = 2` faulty servers out of `n = 7`, mixed behaviours.
+#[test]
+fn crash_recovery_two_faults_mixed() {
+    let pairs = [
+        (Behavior::Stale, Behavior::Stale),
+        (Behavior::Crash, Behavior::Stale),
+        (Behavior::CorruptSig, Behavior::Equivocate),
+    ];
+    for (b1, b2) in pairs {
+        let mut cluster = ClusterBuilder::new(7, 2)
+            .seed(202)
+            .behavior(1, b1)
+            .behavior(5, b2)
+            .client(crash_recovery_script())
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(0);
+        assert_recovery(&results, &format!("{b1:?}+{b2:?}"));
+    }
+}
+
+/// A server that is *down* (not Byzantine — simply unreachable) during
+/// recovery: the context scan reaches `n - b` responses, arms its grace
+/// round, and must still finish with the full context rather than wait
+/// forever for the missing server.
+#[test]
+fn crash_recovery_with_one_server_down() {
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(303)
+        .client(crash_recovery_script())
+        .build();
+    // Take server 1 down just before the settle window ends, so writes
+    // and gossip complete first but the recovery scan sees only three
+    // servers.
+    cluster
+        .sim
+        .schedule_net_event(SimTime::from_millis(1_400), NetEvent::NodeDown(NodeId(1)));
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert_recovery(&results, "node-down@S1");
+}
+
+/// The same scan-grace path with a Byzantine server too: `n = 4, b = 1`
+/// tolerates one fault, and a crashed (silent) server is the worst case
+/// for scan liveness because only `n - b` responses can ever arrive.
+#[test]
+fn crash_recovery_with_silent_byzantine_server() {
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(404)
+        .behavior(3, Behavior::Crash)
+        .client(crash_recovery_script())
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    assert_recovery(&results, "crash@S3");
+}

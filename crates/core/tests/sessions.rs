@@ -70,6 +70,7 @@ fn read_of_never_written_item_reports_stale_or_empty() {
                 phase_timeout: SimTime::from_millis(100),
                 stale_retry_delay: SimTime::from_millis(50),
                 max_rounds: 2,
+                ..sstore_core::RetryPolicy::default()
             },
             ..Default::default()
         })
@@ -250,6 +251,7 @@ fn cross_group_data_id_reuse_is_rejected_at_read() {
                 phase_timeout: SimTime::from_millis(100),
                 stale_retry_delay: SimTime::from_millis(50),
                 max_rounds: 2,
+                ..sstore_core::RetryPolicy::default()
             },
             ..Default::default()
         })

@@ -1,0 +1,178 @@
+//! Property coverage for timestamp fuzzing (paper §5.2): version numbers
+//! advanced by a random extra amount must stay strictly monotonic per
+//! writer, and MRC/CC reads must never return a timestamp older than the
+//! reader's context — fuzz gaps are not an excuse to travel backwards.
+
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+use sstore_core::client::{ClientOp, OpKind, Outcome};
+use sstore_core::sim::{ClusterBuilder, Step};
+use sstore_core::types::{Consistency, DataId, GroupId, Timestamp};
+use sstore_core::{ClientConfig, RetryPolicy};
+
+const G: GroupId = GroupId(1);
+
+/// Interleaved writes and reads of two items with fuzzing enabled.
+fn fuzzed_script(writes: u64, cc: bool) -> Vec<Step> {
+    let consistency = if cc {
+        Consistency::Cc
+    } else {
+        Consistency::Mrc
+    };
+    let mut steps = vec![Step::Do(ClientOp::Connect {
+        group: G,
+        recover: false,
+    })];
+    for k in 1..=writes {
+        for data in [1u64, 2] {
+            steps.push(Step::Do(ClientOp::Write {
+                data: DataId(data),
+                group: G,
+                consistency,
+                value: format!("d{data}-g{k}").into_bytes(),
+            }));
+        }
+        steps.push(Step::Do(ClientOp::Read {
+            data: DataId(1),
+            group: G,
+            consistency,
+        }));
+    }
+    steps.push(Step::Do(ClientOp::Read {
+        data: DataId(2),
+        group: G,
+        consistency,
+    }));
+    steps.push(Step::Do(ClientOp::Disconnect { group: G }));
+    steps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any fuzz bound, seed, and workload length: per-item write
+    /// timestamps are strictly increasing, every fuzz gap respects the
+    /// configured bound, and no read ever returns a timestamp below the
+    /// highest one this client previously observed for that item.
+    #[test]
+    fn fuzzed_timestamps_monotonic_and_reads_never_regress(
+        fuzz in 1..64u64,
+        writes in 1..5u64,
+        seed in 0..1_000u64,
+        cc in any::<bool>(),
+    ) {
+        let script = fuzzed_script(writes, cc);
+        let issued: Vec<ClientOp> = script
+            .iter()
+            .filter_map(|s| match s {
+                Step::Do(op) => Some(op.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(seed)
+            .client_config(ClientConfig {
+                timestamp_fuzz: Some(fuzz),
+                ..ClientConfig::default()
+            })
+            .client(script)
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(0);
+        prop_assert_eq!(results.len(), issued.len());
+        for r in &results {
+            prop_assert!(
+                r.outcome.is_ok(),
+                "op {:?} failed: {:?} (fuzz={fuzz} seed={seed})",
+                r.kind,
+                r.outcome
+            );
+        }
+
+        // Track the highest timestamp seen per item, from the client's
+        // own completed operations. Results complete in script order.
+        let mut high: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (op, r) in issued.iter().zip(results.iter()) {
+            let (data, ts) = match (op, &r.outcome) {
+                (ClientOp::Write { data, .. }, Outcome::WriteOk { ts }) => (data.0, ts),
+                (ClientOp::Read { data, .. }, Outcome::ReadOk { ts, .. }) => (data.0, ts),
+                _ => continue,
+            };
+            let Timestamp::Version(v) = ts else {
+                prop_assert!(false, "single-writer path produced non-version ts {ts:?}");
+                return Ok(());
+            };
+            let prev = high.get(&data).copied().unwrap_or(0);
+            match r.kind {
+                OpKind::Write => {
+                    prop_assert!(
+                        *v > prev,
+                        "write ts {v} not strictly above {prev} for item {data}"
+                    );
+                    prop_assert!(
+                        *v <= prev + 1 + fuzz,
+                        "write ts {v} jumped past the fuzz bound from {prev} (fuzz={fuzz})"
+                    );
+                }
+                OpKind::Read => {
+                    prop_assert!(
+                        *v >= prev,
+                        "read returned ts {v} older than context ts {prev} for item {data}"
+                    );
+                }
+                _ => {}
+            }
+            high.insert(data, prev.max(*v));
+        }
+    }
+
+    /// Fuzzing must also survive a Byzantine stale server: reads still
+    /// never regress below the reader's context.
+    #[test]
+    fn fuzzed_reads_never_regress_with_stale_server(
+        fuzz in 1..32u64,
+        seed in 0..500u64,
+    ) {
+        let script = fuzzed_script(3, false);
+        let issued: Vec<ClientOp> = script
+            .iter()
+            .filter_map(|s| match s {
+                Step::Do(op) => Some(op.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut cluster = ClusterBuilder::new(4, 1)
+            .seed(seed)
+            .behavior((seed % 4) as usize, sstore_core::faults::Behavior::Stale)
+            .client_config(ClientConfig {
+                timestamp_fuzz: Some(fuzz),
+                retry: RetryPolicy::default(),
+                ..ClientConfig::default()
+            })
+            .client(script)
+            .build();
+        cluster.run_to_quiescence();
+        let results = cluster.client_results(0);
+        let mut high: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (op, r) in issued.iter().zip(results.iter()) {
+            let (data, ts) = match (op, &r.outcome) {
+                (ClientOp::Write { data, .. }, Outcome::WriteOk { ts }) => (data.0, ts),
+                (ClientOp::Read { data, .. }, Outcome::ReadOk { ts, .. }) => (data.0, ts),
+                _ => continue,
+            };
+            let Timestamp::Version(v) = ts else {
+                prop_assert!(false, "non-version ts {ts:?}");
+                return Ok(());
+            };
+            let prev = high.get(&data).copied().unwrap_or(0);
+            if r.kind == OpKind::Read {
+                prop_assert!(
+                    *v >= prev,
+                    "stale server made a fuzzed read regress: {v} < {prev} (seed={seed})"
+                );
+            }
+            high.insert(data, prev.max(*v));
+        }
+    }
+}

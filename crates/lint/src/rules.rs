@@ -52,6 +52,7 @@ const SECRET_NAMES: &[&str] = &["digest", "value_digest", "signature", "mac"];
 
 fn in_scope_l1(path: &str) -> bool {
     path == "crates/core/src/codec.rs"
+        || path == "crates/core/src/chaos.rs"
         || path.starts_with("crates/core/src/server/")
         || path.starts_with("crates/core/src/client/")
         || path.starts_with("crates/net/src/")

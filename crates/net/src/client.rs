@@ -35,16 +35,17 @@ use sstore_transport::{StoreError, StoreHandle};
 use crate::frame::{encode_hello, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME};
 
 /// Socket-layer tuning for a [`NetClient`].
+///
+/// Redial pacing is *not* configured here: it comes from the protocol-level
+/// [`sstore_core::RetryPolicy`] in the cluster's `ClientConfig`, so the sim
+/// client's phase retries and the socket client's reconnects share one
+/// bounded-backoff schedule.
 #[derive(Debug, Clone)]
 pub struct NetClientConfig {
     /// Hard deadline for one blocking operation (covers all retry rounds).
     pub request_timeout: Duration,
     /// Timeout for dialing one server.
     pub connect_timeout: Duration,
-    /// First redial delay after a failed dial.
-    pub backoff_min: Duration,
-    /// Redial delay cap (doubles up to this).
-    pub backoff_max: Duration,
     /// Upper bound on one inbound frame.
     pub max_frame: usize,
 }
@@ -54,8 +55,6 @@ impl Default for NetClientConfig {
         NetClientConfig {
             request_timeout: Duration::from_secs(5),
             connect_timeout: Duration::from_millis(250),
-            backoff_min: Duration::from_millis(50),
-            backoff_max: Duration::from_secs(2),
             max_frame: DEFAULT_MAX_FRAME,
         }
     }
@@ -81,8 +80,9 @@ struct Link {
     epoch: u64,
     /// Earliest time the next dial may be attempted.
     next_attempt: Instant,
-    /// Current redial backoff.
-    backoff: Duration,
+    /// Consecutive failed dials since the last success; drives the shared
+    /// [`sstore_core::RetryPolicy`] backoff.
+    dial_attempts: u32,
 }
 
 /// Handle on a TCP-deployed cluster: directory, client keys and the server
@@ -170,7 +170,7 @@ impl NetCluster {
                 writer: None,
                 epoch: 0,
                 next_attempt: Instant::now(),
-                backoff: self.net_cfg.backoff_min,
+                dial_attempts: 0,
             })
             .collect();
         NetClient {
@@ -218,6 +218,7 @@ impl NetClient {
     /// treats the server as silent in the meantime.
     fn ensure_links(&mut self) {
         let me = self.core.id();
+        let retry = self.core.retry_policy();
         for (i, link) in self.links.iter_mut().enumerate() {
             if link.writer.is_some() || Instant::now() < link.next_attempt {
                 continue;
@@ -228,7 +229,7 @@ impl NetClient {
             match dial(addr, me, &self.cfg) {
                 Ok(stream) => {
                     link.epoch += 1;
-                    link.backoff = self.cfg.backoff_min;
+                    link.dial_attempts = 0;
                     let sid = ServerId(i as u16);
                     let epoch = link.epoch;
                     let tx = self.tx.clone();
@@ -249,8 +250,9 @@ impl NetClient {
                     }
                 }
                 Err(_) => {
-                    link.next_attempt = Instant::now() + link.backoff;
-                    link.backoff = (link.backoff * 2).min(self.cfg.backoff_max);
+                    link.dial_attempts = link.dial_attempts.saturating_add(1);
+                    let delay = retry.dial_delay(link.dial_attempts);
+                    link.next_attempt = Instant::now() + Duration::from_micros(delay.as_micros());
                 }
             }
         }
@@ -264,7 +266,7 @@ impl NetClient {
                 let _ = stream.shutdown(Shutdown::Both);
             }
             link.next_attempt = Instant::now();
-            link.backoff = self.cfg.backoff_min;
+            link.dial_attempts = 0;
         }
     }
 

@@ -52,10 +52,13 @@ proptest! {
         let mut buf = len.to_be_bytes().to_vec();
         buf.push(tail);
         let mut cursor = Cursor::new(buf);
-        prop_assert!(matches!(
-            read_frame(&mut cursor, 1024),
-            Err(WireError::Oversized { max: 1024, .. })
-        ));
+        prop_assert!(
+            matches!(
+                read_frame(&mut cursor, 1024),
+                Err(WireError::Oversized { max: 1024, .. })
+            ),
+            "oversized announced length was not rejected"
+        );
     }
 
     #[test]

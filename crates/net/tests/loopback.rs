@@ -127,11 +127,24 @@ fn cross_client_visibility_over_loopback() {
     writer
         .write(DataId(5), g, Consistency::Mrc, b"bulletin".to_vec())
         .expect("write");
-    // Give gossip dissemination a moment so the reader's quorum sees it.
-    std::thread::sleep(Duration::from_millis(600));
+    // Poll with a bounded deadline instead of a fixed sleep: gossip
+    // dissemination timing varies under load, and a flat sleep is either
+    // flaky (too short) or slow (long enough for the worst case).
     let mut reader = cluster.client(1);
     reader.connect(g, false).expect("reader connect");
-    let (_, v) = reader.read(DataId(5), g, Consistency::Mrc).expect("read");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let v = loop {
+        match reader.read(DataId(5), g, Consistency::Mrc) {
+            Ok((_, v)) => break v,
+            Err(e) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "reader never saw the write within the deadline: {e:?}"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    };
     assert_eq!(v, b"bulletin");
     drop(writer);
     drop(reader);

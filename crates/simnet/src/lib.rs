@@ -169,6 +169,36 @@ pub enum LinkState {
     Down,
 }
 
+/// A scheduled change to the network or node population, applied at a fixed
+/// simulated time via [`Simulation::schedule_net_event`]. This is what the
+/// chaos harness uses to script partitions forming and healing, servers
+/// crashing and restarting, and loss/latency phases — all deterministically
+/// replayable from the schedule alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetEvent {
+    /// Sets the directed link `from → to`.
+    SetLink(NodeId, NodeId, LinkState),
+    /// Cuts both directions between the pair.
+    PartitionPair(NodeId, NodeId),
+    /// Restores every link to [`LinkState::Up`].
+    HealAll,
+    /// Takes a node down: deliveries to it are dropped and its timers are
+    /// deferred until it comes back up. Models a process crash/pause with
+    /// stable storage — the actor's state survives.
+    NodeDown(NodeId),
+    /// Brings a node back up; deferred timers resume shortly after.
+    NodeUp(NodeId),
+    /// Changes the global message-drop probability.
+    SetDropProbability(f64),
+    /// Swaps the latency model applied to subsequently sent messages.
+    SetLatency(LatencyModel),
+}
+
+/// How long a down node's timer events are pushed back before re-checking.
+/// Small enough that a restarted node resumes its periodic work promptly,
+/// large enough not to flood the queue while it is down.
+const DOWN_TIMER_DEFER: SimTime = SimTime::from_millis(5);
+
 /// Simulation configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -219,12 +249,39 @@ pub struct Simulation<M: Message> {
     nodes: Vec<Box<dyn Actor<M>>>,
     queue: BinaryHeap<Reverse<Event<M>>>,
     links: HashMap<(NodeId, NodeId), LinkState>,
+    /// Nodes currently down (see [`NetEvent::NodeDown`]).
+    down: Vec<bool>,
+    /// Scheduled network events, ordered by `(at, seq)`.
+    net_queue: BinaryHeap<Reverse<ScheduledNetEvent>>,
     now: SimTime,
     seq: u64,
     rng: StdRng,
     config: SimConfig,
     stats: NetStats,
     events_processed: u64,
+}
+
+struct ScheduledNetEvent {
+    at: SimTime,
+    seq: u64,
+    event: NetEvent,
+}
+
+impl PartialEq for ScheduledNetEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledNetEvent {}
+impl PartialOrd for ScheduledNetEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledNetEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
 }
 
 impl<M: Message> std::fmt::Debug for Simulation<M> {
@@ -244,6 +301,8 @@ impl<M: Message> Simulation<M> {
             nodes: Vec::new(),
             queue: BinaryHeap::new(),
             links: HashMap::new(),
+            down: Vec::new(),
+            net_queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
             rng: StdRng::seed_from_u64(config.seed),
@@ -256,6 +315,7 @@ impl<M: Message> Simulation<M> {
     /// Registers an actor and returns its node id.
     pub fn add_node(&mut self, actor: impl Actor<M> + 'static) -> NodeId {
         self.nodes.push(Box::new(actor));
+        self.down.push(false);
         NodeId(self.nodes.len() - 1)
     }
 
@@ -293,6 +353,46 @@ impl<M: Message> Simulation<M> {
     /// Restores all links.
     pub fn heal_all(&mut self) {
         self.links.clear();
+    }
+
+    /// Schedules `event` to be applied at absolute simulated time `at`
+    /// (clamped to now). Events fire in `(at, insertion)` order, interleaved
+    /// deterministically with message deliveries and timers.
+    pub fn schedule_net_event(&mut self, at: SimTime, event: NetEvent) {
+        self.seq += 1;
+        self.net_queue.push(Reverse(ScheduledNetEvent {
+            at: at.max(self.now),
+            seq: self.seq,
+            event,
+        }));
+    }
+
+    /// Applies a network event immediately.
+    pub fn apply_net_event(&mut self, event: NetEvent) {
+        match event {
+            NetEvent::SetLink(from, to, state) => self.set_link(from, to, state),
+            NetEvent::PartitionPair(a, b) => self.partition_pair(a, b),
+            NetEvent::HealAll => self.heal_all(),
+            NetEvent::NodeDown(n) => {
+                if let Some(d) = self.down.get_mut(n.0) {
+                    *d = true;
+                }
+            }
+            NetEvent::NodeUp(n) => {
+                if let Some(d) = self.down.get_mut(n.0) {
+                    *d = false;
+                }
+            }
+            NetEvent::SetDropProbability(p) => {
+                self.config.drop_probability = p.clamp(0.0, 1.0);
+            }
+            NetEvent::SetLatency(model) => self.config.latency = model,
+        }
+    }
+
+    /// Whether `node` is currently down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down.get(node.0).copied().unwrap_or(false)
     }
 
     /// Injects a message from `from` to `to`, subject to the network model.
@@ -347,8 +447,34 @@ impl<M: Message> Simulation<M> {
         }));
     }
 
-    /// Processes the next event. Returns `false` when the queue is empty.
+    /// Earliest pending event time (actor or scheduled network event).
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        let actor = self.queue.peek().map(|Reverse(e)| e.at);
+        let net = self.net_queue.peek().map(|Reverse(e)| e.at);
+        match (actor, net) {
+            (Some(a), Some(n)) => Some(a.min(n)),
+            (a, n) => a.or(n),
+        }
+    }
+
+    /// Processes the next event. Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
+        // Scheduled network events fire before actor events at the same
+        // instant, so a partition scheduled at `t` affects deliveries at `t`.
+        let net_due = match (self.net_queue.peek(), self.queue.peek()) {
+            (Some(Reverse(n)), Some(Reverse(a))) => n.at <= a.at,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if net_due {
+            if let Some(Reverse(ev)) = self.net_queue.pop() {
+                debug_assert!(ev.at >= self.now, "time went backwards");
+                self.now = ev.at;
+                self.events_processed += 1;
+                self.apply_net_event(ev.event);
+            }
+            return true;
+        }
         let Some(Reverse(ev)) = self.queue.pop() else {
             return false;
         };
@@ -358,6 +484,24 @@ impl<M: Message> Simulation<M> {
         let node = ev.to;
         if node.0 >= self.nodes.len() {
             return true; // message to an unknown node: dropped
+        }
+        if self.is_down(node) {
+            match ev.kind {
+                // A down node's inbound traffic is lost, exactly like a
+                // crashed process behind a live network interface.
+                EventKind::Deliver { msg, .. } => self.stats.record_drop(msg.kind()),
+                // Timers survive the outage: defer until the node returns.
+                EventKind::Timer { token } => {
+                    self.seq += 1;
+                    self.queue.push(Reverse(Event {
+                        at: self.now + DOWN_TIMER_DEFER,
+                        seq: self.seq,
+                        to: node,
+                        kind: EventKind::Timer { token },
+                    }));
+                }
+            }
+            return true;
         }
         let mut ctx = Context {
             node,
@@ -396,8 +540,8 @@ impl<M: Message> Simulation<M> {
     /// On return, `now()` is at least `deadline` even if the queue drained
     /// early, so repeated calls advance a quiet simulation's clock.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some(at) = self.next_event_at() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -463,6 +607,9 @@ mod tests {
         }
         fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, Num>) {
             ctx.send(self.next, Num(token));
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
         }
     }
 
@@ -599,5 +746,90 @@ mod tests {
         assert_eq!(sim.stats().sent_by_kind("num"), 5);
         assert_eq!(sim.stats().bytes_by_kind("num"), 40);
         assert_eq!(sim.stats().sent_by_kind("nope"), 0);
+    }
+
+    #[test]
+    fn scheduled_partition_window_blocks_then_heals() {
+        // A partition window [10ms, 10s) over n0↔n1 while a slow ring
+        // message is in flight: the forward from n0 to n1 dies inside the
+        // window; after HealAll a fresh message circulates cleanly.
+        let (mut sim, ids) = ring_sim(11);
+        sim.schedule_net_event(
+            SimTime::from_millis(10),
+            NetEvent::PartitionPair(ids[0], ids[1]),
+        );
+        sim.schedule_net_event(SimTime::from_secs(10), NetEvent::HealAll);
+        // Timer at n2 fires at 100ms: n2 → n0 delivers, n0's forward to n1
+        // crosses the partitioned link inside the window.
+        sim.schedule_timer(ids[2], SimTime::from_millis(100), 1);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.stats().dropped_messages, 1);
+        sim.run_until(SimTime::from_secs(11));
+        sim.post(ids[2], ids[0], Num(2));
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().dropped_messages, 1, "healed links deliver");
+        assert!(sim.stats().delivered_messages >= 3);
+    }
+
+    #[test]
+    fn down_node_drops_deliveries_and_defers_timers() {
+        let (mut sim, ids) = ring_sim(12);
+        sim.apply_net_event(NetEvent::NodeDown(ids[1]));
+        assert!(sim.is_down(ids[1]));
+        // Delivery to a down node is dropped (counted after the send).
+        sim.post(ids[0], ids[1], Num(3));
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.stats().dropped_messages, 1);
+        // A timer set while down survives the outage and fires after NodeUp.
+        sim.schedule_timer(ids[1], SimTime::from_millis(10), 7);
+        sim.schedule_net_event(SimTime::from_millis(500), NetEvent::NodeUp(ids[1]));
+        sim.run_to_quiescence();
+        assert!(!sim.is_down(ids[1]));
+        // The deferred timer fired after restart: n1 sent Num(7) onward.
+        sim.with_node(ids[2], |n| {
+            let ring = n
+                .as_any_mut()
+                .and_then(|a| a.downcast_mut::<Ring>())
+                .expect("ring actor");
+            assert_eq!(ring.seen.first(), Some(&7), "deferred timer fired");
+        });
+        assert!(sim.now() >= SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn scheduled_drop_probability_window() {
+        let (mut sim, ids) = ring_sim(13);
+        sim.schedule_net_event(SimTime::ZERO, NetEvent::SetDropProbability(1.0));
+        sim.schedule_net_event(SimTime::from_secs(1), NetEvent::SetDropProbability(0.0));
+        // Lost inside the 100% drop phase.
+        sim.schedule_timer(ids[0], SimTime::from_millis(100), 1);
+        // Delivered after the phase ends.
+        sim.schedule_timer(ids[0], SimTime::from_millis(1500), 0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().dropped_messages, 1);
+        assert!(sim.stats().delivered_messages >= 1);
+    }
+
+    #[test]
+    fn net_events_are_deterministic_with_actor_events() {
+        let run = |seed| {
+            let (mut sim, ids) = ring_sim(seed);
+            sim.schedule_net_event(
+                SimTime::from_millis(1),
+                NetEvent::SetLatency(LatencyModel::wan()),
+            );
+            sim.schedule_net_event(
+                SimTime::from_millis(2),
+                NetEvent::PartitionPair(ids[0], ids[1]),
+            );
+            sim.schedule_net_event(SimTime::from_millis(300), NetEvent::HealAll);
+            sim.schedule_net_event(SimTime::from_millis(40), NetEvent::NodeDown(ids[2]));
+            sim.schedule_net_event(SimTime::from_millis(200), NetEvent::NodeUp(ids[2]));
+            sim.post(ids[0], ids[1], Num(30));
+            sim.schedule_timer(ids[1], SimTime::from_millis(50), 9);
+            sim.run_to_quiescence();
+            (sim.now(), sim.stats().clone(), sim.events_processed())
+        };
+        assert_eq!(run(21), run(21));
     }
 }
