@@ -13,6 +13,10 @@
 //! # expected to flag some seeds — exit 0 only if it does)
 //! sstore-chaos --seeds 0..50 --over-budget --expect-flagged
 //!
+//! # crash-recovery batch: every seed gets at least one server
+//! # restart that replays the write-ahead log from stable storage
+//! sstore-chaos --seeds 200..280 --force-restart --restart-mode recover
+//!
 //! # re-run a minimal replay file twice and check determinism
 //! sstore-chaos --replay chaos-failures/seed-17.replay
 //!
@@ -28,6 +32,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use sstore_core::chaos::{self, ChaosConfig, FailureClass, Verdict};
+use sstore_core::sim::RestartMode;
 
 struct Args {
     seed_from: u64,
@@ -36,6 +41,8 @@ struct Args {
     b: usize,
     over_budget: bool,
     expect_flagged: bool,
+    restart_mode: RestartMode,
+    force_restart: bool,
     markdown: bool,
     json: bool,
     out_dir: String,
@@ -52,6 +59,8 @@ impl Default for Args {
             b: 1,
             over_budget: false,
             expect_flagged: false,
+            restart_mode: RestartMode::Recover,
+            force_restart: false,
             markdown: false,
             json: false,
             out_dir: "chaos-failures".to_string(),
@@ -85,6 +94,14 @@ fn parse_args() -> Result<Args, String> {
             "--b" => args.b = value("--b")?.parse().map_err(|e| format!("bad --b: {e}"))?,
             "--over-budget" => args.over_budget = true,
             "--expect-flagged" => args.expect_flagged = true,
+            "--restart-mode" => {
+                args.restart_mode = match value("--restart-mode")?.as_str() {
+                    "wipe" => RestartMode::Wipe,
+                    "recover" => RestartMode::Recover,
+                    other => return Err(format!("bad --restart-mode {other} (wipe|recover)")),
+                }
+            }
+            "--force-restart" => args.force_restart = true,
             "--markdown" => args.markdown = true,
             "--json" => args.json = true,
             "--out" => args.out_dir = value("--out")?,
@@ -96,7 +113,8 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(value("--replay")?),
             "--help" | "-h" => {
                 return Err("usage: sstore-chaos [--seeds A..B] [--n N] [--b B] \
-                     [--over-budget] [--expect-flagged] [--json] [--markdown] \
+                     [--over-budget] [--expect-flagged] [--restart-mode wipe|recover] \
+                     [--force-restart] [--json] [--markdown] \
                      [--out DIR] [--shrink-budget N] | --replay FILE [--json]"
                     .to_string());
             }
@@ -322,11 +340,13 @@ fn campaign(args: &Args) -> Result<ExitCode, String> {
         });
     }
 
-    let cfg = if args.over_budget {
+    let mut cfg = if args.over_budget {
         ChaosConfig::over_budget(args.n, args.b)
     } else {
         ChaosConfig::standard(args.n, args.b)
     };
+    cfg.restart_mode = args.restart_mode;
+    cfg.force_restart = args.force_restart;
     let label = if args.over_budget {
         "over-budget"
     } else {

@@ -38,7 +38,7 @@
 //! comments allowed):
 //!
 //! ```text
-//! sstore-chaos-schedule v1
+//! sstore-chaos-schedule v2
 //! seed <u64>
 //! n <usize>          b <usize>
 //! deadline-ms <u64>
@@ -48,7 +48,7 @@
 //! fault partition <from-ms> <to-ms> <node-a> <node-z>
 //! fault drop <from-ms> <to-ms> <p-mille>
 //! fault latency <from-ms> <to-ms>
-//! fault restart <from-ms> <to-ms> <server>
+//! fault restart <from-ms> <to-ms> <server> <wipe|recover>
 //! client calm-from <op-index>
 //! step connect <recover 0|1> | step disconnect | step crash
 //! step wait <ms>
@@ -56,6 +56,12 @@
 //! step mwwrite <data> <k>        | step mwread <data>
 //! end
 //! ```
+//!
+//! Version history: `v1` (PR 4) had no restart mode — those windows kept
+//! the server's state across the outage, so `v1` files still parse and a
+//! bare `fault restart` defaults to `recover` (the closest semantics:
+//! state survives via stable storage, now with a torn tail injected and
+//! repaired on the way back). `to_text` always emits `v2`.
 
 use std::collections::{HashMap, HashSet};
 
@@ -68,7 +74,8 @@ use crate::client::{ClientOp, Outcome};
 use crate::config::ServerConfig;
 use crate::faults::Behavior;
 use crate::quorum;
-use crate::sim::{Cluster, ClusterBuilder, Step};
+use crate::server::storage::StorageConfig;
+use crate::sim::{Cluster, ClusterBuilder, RestartMode, Step};
 use crate::types::{Consistency, DataId, GroupId, Timestamp, TsOrder};
 
 /// All campaign traffic uses one related-data group.
@@ -110,6 +117,19 @@ pub struct ChaosConfig {
     /// (Stale servers gossip truthfully, so anti-entropy would repair the
     /// eclipse this probe exists to demonstrate.)
     pub force_stale: bool,
+    /// Mode applied to every generated restart window. The default is
+    /// [`RestartMode::Recover`]: with fsync-per-record stores, a restarted
+    /// server loses no acknowledged write, so both oracles must still
+    /// hold. [`RestartMode::Wipe`] models losing the disk with the
+    /// process — amnesia that can legitimately cost liveness (the wiped
+    /// server may have held the only fresh copies a later quorum needs),
+    /// so it is opt-in rather than drawn randomly.
+    pub restart_mode: RestartMode,
+    /// Guarantee at least one restart window per schedule (the CI
+    /// recover-restart batch uses this so every seed actually exercises
+    /// crash-consistent recovery). No-op under `force_stale`, which
+    /// generates no fault windows at all.
+    pub force_restart: bool,
 }
 
 impl ChaosConfig {
@@ -123,6 +143,8 @@ impl ChaosConfig {
             clients: 3,
             deadline_ms: 120_000,
             force_stale: false,
+            restart_mode: RestartMode::Recover,
+            force_restart: false,
         }
     }
 
@@ -138,6 +160,8 @@ impl ChaosConfig {
             clients: 3,
             deadline_ms: 120_000,
             force_stale: true,
+            restart_mode: RestartMode::Recover,
+            force_restart: false,
         }
     }
 }
@@ -175,8 +199,8 @@ pub enum FaultEvent {
         /// Window end (ms).
         to_ms: u64,
     },
-    /// Take a server down (process crash with stable storage), then
-    /// restart it.
+    /// Take a server down (process crash), then restart it — either
+    /// recovering from its store or wiped clean, per `mode`.
     Restart {
         /// Window start (ms).
         from_ms: u64,
@@ -184,6 +208,8 @@ pub enum FaultEvent {
         to_ms: u64,
         /// Server index in `0..n`.
         server: usize,
+        /// What the server comes back with.
+        mode: RestartMode,
     },
 }
 
@@ -429,7 +455,21 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> Schedule {
                     from_ms,
                     to_ms,
                     server: rng.gen_range(0..n),
+                    mode: cfg.restart_mode,
                 },
+            });
+        }
+        let has_restart = faults
+            .iter()
+            .any(|f| matches!(f, FaultEvent::Restart { .. }));
+        if cfg.force_restart && !has_restart {
+            let from_ms = rng.gen_range(800..6_000u64);
+            let to_ms = (from_ms + rng.gen_range(500..3_000u64)).min(TURBULENCE_END_MS);
+            faults.push(FaultEvent::Restart {
+                from_ms,
+                to_ms,
+                server: rng.gen_range(0..n),
+                mode: cfg.restart_mode,
             });
         }
     }
@@ -708,13 +748,9 @@ fn schedule_fault(cluster: &mut Cluster, fault: &FaultEvent) {
             from_ms,
             to_ms,
             server,
+            mode,
         } => {
-            cluster
-                .sim
-                .schedule_net_event(ms(*from_ms), NetEvent::NodeDown(NodeId(*server)));
-            cluster
-                .sim
-                .schedule_net_event(ms(*to_ms), NetEvent::NodeUp(NodeId(*server)));
+            cluster.schedule_server_restart(*server, ms(*from_ms), ms(*to_ms), *mode);
         }
     }
 }
@@ -735,7 +771,8 @@ pub fn run(schedule: &Schedule) -> Result<Verdict, String> {
     let mut builder = ClusterBuilder::new(schedule.n, schedule.b)
         .seed(schedule.seed)
         .network(SimConfig::lan(schedule.seed))
-        .server_config(server_cfg);
+        .server_config(server_cfg)
+        .durable(StorageConfig::sim());
     for (i, behavior) in schedule.behaviors.iter().enumerate() {
         builder = builder.behavior(i, *behavior);
     }
@@ -1088,7 +1125,7 @@ impl Schedule {
     /// Serializes the schedule as a replay file (grammar in the module
     /// docs). `from_text(to_text(s)) == s` for every schedule.
     pub fn to_text(&self) -> String {
-        let mut s = String::from("sstore-chaos-schedule v1\n");
+        let mut s = String::from("sstore-chaos-schedule v2\n");
         s.push_str(&format!("seed {}\n", self.seed));
         s.push_str(&format!("n {}\n", self.n));
         s.push_str(&format!("b {}\n", self.b));
@@ -1125,8 +1162,13 @@ impl Schedule {
                     from_ms,
                     to_ms,
                     server,
+                    mode,
                 } => {
-                    s.push_str(&format!("fault restart {from_ms} {to_ms} {server}\n"));
+                    let m = match mode {
+                        RestartMode::Wipe => "wipe",
+                        RestartMode::Recover => "recover",
+                    };
+                    s.push_str(&format!("fault restart {from_ms} {to_ms} {server} {m}\n"));
                 }
             }
         }
@@ -1194,7 +1236,7 @@ impl Schedule {
             faults: Vec::new(),
             clients: Vec::new(),
         };
-        let mut saw_header = false;
+        let mut version: Option<u32> = None;
         let mut open: Option<ClientScript> = None;
 
         for (i, raw) in text.lines().enumerate() {
@@ -1203,11 +1245,14 @@ impl Schedule {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            if !saw_header {
-                if line != "sstore-chaos-schedule v1" {
-                    return Err(format!("line {line_no}: not a v1 chaos replay file"));
-                }
-                saw_header = true;
+            if version.is_none() {
+                version = Some(match line {
+                    "sstore-chaos-schedule v1" => 1,
+                    "sstore-chaos-schedule v2" => 2,
+                    _ => {
+                        return Err(format!("line {line_no}: not a v1/v2 chaos replay file"));
+                    }
+                });
                 continue;
             }
             let mut toks = line.split_whitespace();
@@ -1247,11 +1292,31 @@ impl Schedule {
                             p_mille: num(toks.next(), "drop per-mille", line_no)?,
                         },
                         "latency" => FaultEvent::LatencySpike { from_ms, to_ms },
-                        "restart" => FaultEvent::Restart {
-                            from_ms,
-                            to_ms,
-                            server: num(toks.next(), "restart server", line_no)?,
-                        },
+                        "restart" => {
+                            let server = num(toks.next(), "restart server", line_no)?;
+                            // v1 files predate the mode field; their
+                            // restarts kept server state, which maps to
+                            // recover-from-stable-storage.
+                            let mode = if version == Some(1) {
+                                RestartMode::Recover
+                            } else {
+                                match toks.next() {
+                                    Some("wipe") => RestartMode::Wipe,
+                                    Some("recover") => RestartMode::Recover,
+                                    other => {
+                                        return Err(format!(
+                                            "line {line_no}: bad restart mode {other:?}"
+                                        ));
+                                    }
+                                }
+                            };
+                            FaultEvent::Restart {
+                                from_ms,
+                                to_ms,
+                                server,
+                                mode,
+                            }
+                        }
                         other => {
                             return Err(format!("line {line_no}: unknown fault {other:?}"));
                         }
@@ -1317,7 +1382,7 @@ impl Schedule {
                 return Err(format!("line {line_no}: trailing tokens"));
             }
         }
-        if !saw_header {
+        if version.is_none() {
             return Err("empty replay file".into());
         }
         if open.is_some() {
@@ -1388,9 +1453,59 @@ mod tests {
             "sstore-chaos-schedule v1\nclient calm-from 0",
             "sstore-chaos-schedule v1\nfault warp 1 2",
             "sstore-chaos-schedule v1\nend",
+            "sstore-chaos-schedule v3\nseed 1",
+            "sstore-chaos-schedule v2\nfault restart 1 2 0",
+            "sstore-chaos-schedule v2\nfault restart 1 2 0 sideways",
+            "sstore-chaos-schedule v1\nfault restart 1 2 0 recover",
         ] {
             assert!(Schedule::from_text(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn v1_replay_files_still_parse_and_replay() {
+        // A PR-4-era v1 file: no mode token on restart lines. It must
+        // keep parsing (restart defaults to recover) and keep replaying
+        // deterministically.
+        let v1 = "sstore-chaos-schedule v1\n\
+                  seed 5\n\
+                  n 4\n\
+                  b 1\n\
+                  deadline-ms 30000\n\
+                  gossip 1\n\
+                  gossip-period-ms 500\n\
+                  behaviors honest honest honest honest\n\
+                  fault restart 1000 2500 1\n\
+                  client calm-from 2\n\
+                  step connect 0\n\
+                  step write 1 1 0\n\
+                  step wait 9500\n\
+                  step write 1 2 0\n\
+                  step read 1 0\n\
+                  step disconnect\n\
+                  end\n";
+        let s = Schedule::from_text(v1).expect("v1 file parses");
+        assert_eq!(
+            s.faults,
+            vec![FaultEvent::Restart {
+                from_ms: 1_000,
+                to_ms: 2_500,
+                server: 1,
+                mode: RestartMode::Recover,
+            }]
+        );
+        // Re-serializing upgrades to the current grammar.
+        assert!(s.to_text().starts_with("sstore-chaos-schedule v2\n"));
+        assert!(s.to_text().contains("fault restart 1000 2500 1 recover\n"));
+        let a = run(&s).expect("valid schedule");
+        let b = run(&s).expect("valid schedule");
+        assert_eq!(a, b, "v1 replay diverged");
+        assert!(
+            a.passed(),
+            "safety={:?} liveness={:?}",
+            a.safety,
+            a.liveness
+        );
     }
 
     #[test]
@@ -1405,6 +1520,7 @@ mod tests {
             from_ms: 1_000,
             to_ms: 2_000,
             server: 99,
+            mode: RestartMode::Recover,
         }];
         assert!(run(&bad_server).is_err());
         let mut no_clients = good;
@@ -1426,6 +1542,35 @@ mod tests {
                 schedule.to_text()
             );
             assert!(v.ops_total > 0);
+        }
+    }
+
+    #[test]
+    fn recover_restart_seeds_pass_both_oracles() {
+        // Every seed gets at least one recover-mode restart window:
+        // the server replays its WAL on the way back up. With
+        // fsync-per-record no acked write is lost, so both oracles
+        // must still hold.
+        let mut cfg = ChaosConfig::standard(4, 1);
+        cfg.force_restart = true;
+        for seed in 100..110 {
+            let schedule = generate(seed, &cfg);
+            assert!(
+                schedule
+                    .faults
+                    .iter()
+                    .any(|f| matches!(f, FaultEvent::Restart { mode, .. }
+                        if *mode == RestartMode::Recover)),
+                "seed {seed} drew no restart window"
+            );
+            let v = run(&schedule).expect("valid schedule");
+            assert!(
+                v.passed(),
+                "seed {seed} failed: safety={:?} liveness={:?}\n{}",
+                v.safety,
+                v.liveness,
+                schedule.to_text()
+            );
         }
     }
 

@@ -423,6 +423,53 @@ impl<'a> Dec<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Standalone composite codecs (persistence records)
+// ---------------------------------------------------------------------------
+
+/// Encodes one [`StoredItem`] standalone — the payload of a persistence
+/// WAL record. Same canonical layout as the item embedded in a message.
+pub fn encode_stored_item(item: &StoredItem) -> Vec<u8> {
+    enc_item(Enc::new(), item).finish()
+}
+
+/// Decodes a standalone [`StoredItem`] (inverse of [`encode_stored_item`]).
+/// The whole input must be consumed.
+///
+/// # Errors
+///
+/// Any [`CodecError`] for truncated, malformed or non-canonical input.
+/// Never panics.
+pub fn decode_stored_item(bytes: &[u8]) -> Result<StoredItem, CodecError> {
+    let mut d = Dec::new(bytes);
+    let item = d.stored_item()?;
+    d.finish()?;
+    Ok(item)
+}
+
+/// Encodes a `(group, signed context)` pair standalone — the payload of a
+/// persistence WAL record. The group is stored explicitly because a stored
+/// context is keyed by the *request's* group, which the signature does not
+/// bind.
+pub fn encode_group_context(group: GroupId, signed: &SignedContext) -> Vec<u8> {
+    enc_signed_context(Enc::new().u32(group.0), signed).finish()
+}
+
+/// Decodes a `(group, signed context)` pair (inverse of
+/// [`encode_group_context`]). The whole input must be consumed.
+///
+/// # Errors
+///
+/// Any [`CodecError`] for truncated, malformed or non-canonical input.
+/// Never panics.
+pub fn decode_group_context(bytes: &[u8]) -> Result<(GroupId, SignedContext), CodecError> {
+    let mut d = Dec::new(bytes);
+    let group = GroupId(d.u32()?);
+    let signed = d.signed_context()?;
+    d.finish()?;
+    Ok((group, signed))
+}
+
 /// Decodes one canonical message. The whole input must be consumed.
 ///
 /// # Errors

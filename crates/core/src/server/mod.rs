@@ -12,6 +12,7 @@
 //! drives dissemination. Adapters in `sim` and `sstore-transport` connect
 //! it to the simulator and to real threads.
 
+pub mod storage;
 mod wlog;
 
 pub use wlog::WriteLog;
@@ -78,6 +79,12 @@ pub struct ServerNode {
     /// traffic re-deliver the same signed bytes constantly, and a repeat
     /// admission check should not cost another public-key operation.
     vcache: VerifyCache,
+    /// Durable storage, if attached. `None` keeps the PR-4 in-memory
+    /// behavior (restarts lose everything).
+    store: Option<storage::Store>,
+    /// True while replaying recovered records, so admission paths do not
+    /// re-append what was just read back.
+    replaying: bool,
 }
 
 impl ServerNode {
@@ -96,6 +103,8 @@ impl ServerNode {
             peer_knowledge: HashMap::new(),
             counters: CryptoCounters::new(),
             vcache: VerifyCache::default(),
+            store: None,
+            replaying: false,
         }
     }
 
@@ -139,9 +148,174 @@ impl ServerNode {
         self.items.len()
     }
 
+    /// The shared directory (lets adapters rebuild a server on restart).
+    pub fn directory(&self) -> Arc<Directory> {
+        self.dir.clone()
+    }
+
+    /// The server configuration (lets adapters rebuild on restart).
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Attaches durable storage. Every admitted item, multi-writer log
+    /// entry, hold-back, and stored context is appended from here on.
+    pub fn attach_store(&mut self, store: storage::Store) {
+        self.store = Some(store);
+    }
+
+    /// Detaches and returns the store (the disk survives the process: a
+    /// restart adapter moves it to the replacement node).
+    pub fn take_store(&mut self) -> Option<storage::Store> {
+        self.store.take()
+    }
+
+    /// Storage pipeline counters, if a store is attached.
+    pub fn storage_stats(&self) -> Option<storage::StorageStats> {
+        self.store.as_ref().map(storage::Store::stats)
+    }
+
+    /// Crash-point injection hook: appends a raw partial frame to the
+    /// attached store, modelling a write torn mid-append (test/chaos).
+    pub fn inject_torn_tail(&mut self, bytes: &[u8]) {
+        if let Some(store) = self.store.as_mut() {
+            store.inject_torn_tail(bytes);
+        }
+    }
+
+    /// Replays the attached store through the live admission paths.
+    /// Every record is re-verified (signature and value digest) before it
+    /// can be served — the CRC layer only proves the bytes survived the
+    /// disk, not that they were ever legitimate. Records failing
+    /// verification (bit-rot past the CRC, tampering) or staleness checks
+    /// are counted in [`storage::RecoveryReport::rejected`] and dropped.
+    ///
+    /// A no-op returning a default report when no store is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`storage::StorageError`] when the backend cannot be read.
+    pub fn recover(&mut self) -> Result<storage::RecoveryReport, storage::StorageError> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(storage::RecoveryReport::default());
+        };
+        let (records, mut report) = store.recover()?;
+        self.replaying = true;
+        for rec in records {
+            if !self.apply_record(rec) {
+                report.rejected += 1;
+            }
+        }
+        self.replaying = false;
+        // Admit whatever hold-backs now have their predecessors. The
+        // original requesters are gone, so the acks (None replies) vanish.
+        let _ = self.release_pending();
+        Ok(report)
+    }
+
+    /// Applies one recovered record through the same admission logic as
+    /// live traffic. Returns `false` when the record was rejected
+    /// (verification failure or staleness).
+    fn apply_record(&mut self, rec: storage::Record) -> bool {
+        match rec {
+            storage::Record::Item(item) => {
+                if !self.verify_item(&item) {
+                    return false;
+                }
+                let current_ts = self
+                    .items
+                    .get(&item.meta.data)
+                    .map(|i| i.meta.ts)
+                    .unwrap_or(Timestamp::GENESIS);
+                if item.meta.ts.is_newer_than(&current_ts) {
+                    self.index_and_store(item);
+                }
+                true
+            }
+            storage::Record::MwAdmit(item) => {
+                if !self.verify_item(&item) {
+                    return false;
+                }
+                // Admitted before the crash: hold-back already passed.
+                self.admit_multi_writer(item);
+                true
+            }
+            storage::Record::Pending(item) => {
+                if !self.verify_item(&item) {
+                    return false;
+                }
+                self.pending.push((item, None));
+                true
+            }
+            storage::Record::Context(group, signed) => self.accept_context(group, signed),
+        }
+    }
+
+    /// Appends one record to the attached store (no-op without one, or
+    /// during replay). Storage errors leave the in-memory state
+    /// authoritative: the server keeps serving and the failure is visible
+    /// in the stats.
+    fn persist(&mut self, rec: storage::Record) {
+        if self.replaying {
+            return;
+        }
+        if let Some(store) = self.store.as_mut() {
+            let _ = store.append(&rec);
+        }
+    }
+
+    /// Installs a snapshot once enough appends have accumulated. Called
+    /// only at the end of [`ServerNode::handle`], where the in-memory
+    /// state is consistent — never mid-admission, where a snapshot could
+    /// miss the record that triggered it (or hold-backs transiently
+    /// detached by the release fixpoint) and then compact it away.
+    fn maybe_snapshot(&mut self) {
+        let wants = self
+            .store
+            .as_ref()
+            .is_some_and(storage::Store::wants_snapshot);
+        if !wants {
+            return;
+        }
+        let records = self.state_records();
+        if let Some(store) = self.store.as_mut() {
+            let _ = store.install_snapshot(&records);
+        }
+    }
+
+    /// The full current state as a record stream — the snapshot contents.
+    /// Sorted deterministically so identical states produce identical
+    /// snapshots. Volatile state (gossip dirty set, peer knowledge, the
+    /// verify cache) is deliberately absent: it regenerates.
+    fn state_records(&self) -> Vec<storage::Record> {
+        let mut out = Vec::new();
+        let mut items: Vec<&StoredItem> = self.items.values().collect();
+        items.sort_by_key(|i| i.meta.data);
+        for item in items {
+            out.push(storage::Record::Item(item.clone()));
+        }
+        let mut logs: Vec<(&DataId, &WriteLog)> = self.logs.iter().collect();
+        logs.sort_by_key(|(data, _)| **data);
+        for (_, log) in logs {
+            for entry in log.reportable() {
+                out.push(storage::Record::MwAdmit(entry.clone()));
+            }
+        }
+        for (item, _) in &self.pending {
+            out.push(storage::Record::Pending(item.clone()));
+        }
+        let mut contexts: Vec<(&(ClientId, GroupId), &SignedContext)> =
+            self.contexts.iter().collect();
+        contexts.sort_by_key(|(slot, _)| **slot);
+        for ((_, group), signed) in contexts {
+            out.push(storage::Record::Context(*group, signed.clone()));
+        }
+        out
+    }
+
     /// Handles one incoming message, returning the messages to send.
     pub fn handle(&mut self, from: Addr, msg: Msg, _now: SimTime) -> Vec<(Addr, Msg)> {
-        match msg {
+        let out = match msg {
             Msg::CtxReadReq { op, client, group } => {
                 if !self.dir.is_authorized(client) {
                     return Vec::new();
@@ -249,7 +423,9 @@ impl ServerNode {
             | Msg::ReadResp { .. }
             | Msg::WriteAck { .. }
             | Msg::MwReadResp { .. } => Vec::new(),
-        }
+        };
+        self.maybe_snapshot();
+        out
     }
 
     /// Runs one gossip round: contacts `fanout` random peers with either an
@@ -313,6 +489,7 @@ impl ServerNode {
         match self.contexts.get(&slot) {
             Some(existing) if existing.session >= signed.session => false,
             _ => {
+                self.persist(storage::Record::Context(group, signed.clone()));
                 self.contexts.insert(slot, signed);
                 true
             }
@@ -333,6 +510,7 @@ impl ServerNode {
         if !item.meta.ts.is_newer_than(&current_ts) {
             return false;
         }
+        self.persist(storage::Record::Item(item.clone()));
         self.index_and_store(item);
         true
     }
@@ -357,6 +535,7 @@ impl ServerNode {
                 None => Vec::new(),
             };
         }
+        self.persist(storage::Record::Pending(item.clone()));
         self.pending.push((item, reply));
         self.release_pending()
     }
@@ -411,6 +590,7 @@ impl ServerNode {
     }
 
     fn admit_multi_writer(&mut self, item: StoredItem) {
+        self.persist(storage::Record::MwAdmit(item.clone()));
         let data = item.meta.data;
         let log = self
             .logs
@@ -948,5 +1128,147 @@ mod tests {
         assert!(!first.is_empty());
         let second = f.server.on_gossip_timer(now(), &mut rng);
         assert!(second.is_empty(), "dirty set cleared after push");
+    }
+
+    fn restart_with_same_disk(f: &mut Fixture) -> storage::RecoveryReport {
+        let store = f.server.take_store().expect("store attached");
+        let (dir, cfg) = (f.server.directory(), f.server.config().clone());
+        f.server = ServerNode::new(ServerId(0), dir, cfg);
+        f.server.attach_store(store);
+        f.server.recover().expect("recovery")
+    }
+
+    #[test]
+    fn recovery_restores_items_contexts_and_holdbacks() {
+        let mut f = fixture(4, 1);
+        f.server
+            .attach_store(storage::Store::in_memory(storage::StorageConfig::sim()));
+        let item = item_v(&mut f, 0, 1, 3, b"durable");
+        f.server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, now());
+        let mut ctx = Context::new(GroupId(1));
+        ctx.observe(DataId(1), Timestamp::Version(3));
+        let signed =
+            SignedContext::create(ClientId(0), 2, ctx, &f.keys[&ClientId(0)], &mut f.counters);
+        f.server.handle(
+            client_addr(0),
+            Msg::CtxWriteReq {
+                op: OpId(2),
+                group: GroupId(1),
+                signed: signed.clone(),
+            },
+            now(),
+        );
+        // A multi-writer write held back on a missing predecessor.
+        let mut writer_ctx = Context::new(GroupId(1));
+        writer_ctx.observe(DataId(7), Timestamp::Version(9));
+        let held = StoredItem::create(
+            DataId(2),
+            GroupId(1),
+            Timestamp::Multi {
+                time: 1,
+                writer: ClientId(1),
+                digest: sstore_crypto::sha256::digest(b"held"),
+            },
+            ClientId(1),
+            Some(writer_ctx),
+            b"held".to_vec(),
+            &f.keys[&ClientId(1)],
+            &mut f.counters,
+        );
+        f.server.handle(
+            client_addr(1),
+            Msg::WriteReq {
+                op: OpId(3),
+                item: held,
+            },
+            now(),
+        );
+        assert_eq!(f.server.pending_len(), 1);
+
+        let report = restart_with_same_disk(&mut f);
+        assert_eq!(report.rejected, 0);
+        assert!(!report.torn_tail);
+        let got = f.server.item(DataId(1)).expect("item recovered");
+        assert_eq!(got.value, b"durable");
+        assert_eq!(got.meta.ts, Timestamp::Version(3));
+        assert_eq!(f.server.pending_len(), 1, "hold-back recovered");
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::CtxReadReq {
+                op: OpId(9),
+                client: ClientId(0),
+                group: GroupId(1),
+            },
+            now(),
+        );
+        match &out[0].1 {
+            Msg::CtxReadResp {
+                stored: Some(s), ..
+            } => assert_eq!(s, &signed),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The predecessor arriving after recovery releases the hold-back.
+        let pred = item_v(&mut f, 0, 7, 9, b"pred");
+        f.server.handle(
+            client_addr(0),
+            Msg::WriteReq {
+                op: OpId(10),
+                item: pred,
+            },
+            now(),
+        );
+        assert_eq!(f.server.pending_len(), 0);
+        assert_eq!(f.server.log_len(DataId(2)), 1);
+    }
+
+    #[test]
+    fn recovery_survives_torn_tail_and_snapshot_compaction() {
+        let mut f = fixture(4, 1);
+        f.server
+            .attach_store(storage::Store::in_memory(storage::StorageConfig {
+                fsync: storage::FsyncPolicy::Always,
+                segment_bytes: 2048,
+                snapshot_every: 4,
+            }));
+        for v in 1..=10u64 {
+            let item = item_v(&mut f, 0, v, v, b"x");
+            f.server
+                .handle(client_addr(0), Msg::WriteReq { op: OpId(v), item }, now());
+        }
+        let stats = f.server.storage_stats().expect("stats");
+        assert!(stats.snapshots >= 1, "snapshot_every=4 must have fired");
+        f.server.inject_torn_tail(&[0x13, 0x37, 0x00]);
+        let report = restart_with_same_disk(&mut f);
+        assert!(report.torn_tail, "torn fragment detected and truncated");
+        assert_eq!(f.server.item_count(), 10, "all writes recovered");
+        // The truncated tail is gone for good: a second restart is clean.
+        let report = restart_with_same_disk(&mut f);
+        assert!(!report.torn_tail);
+        assert_eq!(f.server.item_count(), 10);
+    }
+
+    #[test]
+    fn recovery_never_serves_unverifiable_records() {
+        let mut f = fixture(4, 1);
+        // Forge a record whose CRC is fine but whose signature is not —
+        // bit-rot past the checksum, or a tampered disk.
+        let mut forged = item_v(&mut f, 0, 5, 1, b"real");
+        forged.value = b"tampered".to_vec();
+        let mut store = storage::Store::in_memory(storage::StorageConfig::sim());
+        let good = item_v(&mut f, 0, 6, 2, b"good");
+        store
+            .append(&storage::Record::Item(forged))
+            .expect("append");
+        store.append(&storage::Record::Item(good)).expect("append");
+        f.server.attach_store(store);
+        let report = f.server.recover().expect("recovery");
+        assert_eq!(report.records, 2);
+        assert_eq!(report.rejected, 1, "forged record dropped");
+        assert!(
+            f.server.item(DataId(5)).is_none(),
+            "unverifiable record never served"
+        );
+        assert!(f.server.item(DataId(6)).is_some());
     }
 }

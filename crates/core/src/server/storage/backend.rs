@@ -1,0 +1,381 @@
+//! Storage backends: where WAL and snapshot bytes physically live.
+//!
+//! [`FsBackend`] is the real thing — one directory per server holding
+//! `snapshot.bin` plus `wal-<seq>.log` segments. [`MemBackend`] is a
+//! deterministic in-memory "disk" for the simulator whose synced prefix
+//! survives a modelled crash, so chaos campaigns can exercise the exact
+//! recovery code without filesystem nondeterminism.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use super::StorageError;
+
+/// Everything a backend found on open: the latest snapshot (if any) and
+/// the WAL segment byte streams, oldest first. The last segment is the
+/// active one.
+#[derive(Debug, Default)]
+pub struct Loaded {
+    /// Snapshot byte stream, if a snapshot exists.
+    pub snapshot: Option<Vec<u8>>,
+    /// Segment byte streams, oldest first (last = active).
+    pub segments: Vec<Vec<u8>>,
+}
+
+/// Where bytes physically live. Appends are sequential; torn writes only
+/// appear at crash boundaries.
+pub trait Backend: std::fmt::Debug + Send {
+    /// Appends raw bytes to the active segment.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on an I/O failure.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Forces previously appended bytes to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on an I/O failure.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// Seals the active segment (syncing it) and starts a new empty one.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on an I/O failure.
+    fn rotate(&mut self) -> Result<(), StorageError>;
+
+    /// Atomically replaces the snapshot with `bytes` and deletes every
+    /// WAL segment (compaction). A crash in the middle leaves either the
+    /// old snapshot + old segments or the new snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on an I/O failure.
+    fn install_snapshot(&mut self, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Reads everything back for recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on an I/O failure.
+    fn load(&mut self) -> Result<Loaded, StorageError>;
+
+    /// Truncates the active (last) segment to `len` bytes — how recovery
+    /// discards a torn tail so later appends land at a clean boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on an I/O failure.
+    fn truncate_active(&mut self, len: u64) -> Result<(), StorageError>;
+
+    /// Crash-injection hook: models a process crash by dropping bytes
+    /// appended since the last sync, except a `keep_unsynced`-byte prefix
+    /// (a write racing the crash). No-op for real disks, where the kernel
+    /// decides what survived.
+    fn crash(&mut self, _keep_unsynced: usize) {}
+}
+
+/// Deterministic in-memory backend for the simulator.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    snapshot: Option<Vec<u8>>,
+    sealed: Vec<Vec<u8>>,
+    active: Vec<u8>,
+    synced_len: usize,
+}
+
+impl MemBackend {
+    /// An empty in-memory disk.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+
+    /// Bytes appended to the active segment since the last sync.
+    pub fn unsynced_len(&self) -> usize {
+        self.active.len().saturating_sub(self.synced_len)
+    }
+}
+
+impl Backend for MemBackend {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.active.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.synced_len = self.active.len();
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> Result<(), StorageError> {
+        self.sealed.push(std::mem::take(&mut self.active));
+        self.synced_len = 0;
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.snapshot = Some(bytes.to_vec());
+        self.sealed.clear();
+        self.active.clear();
+        self.synced_len = 0;
+        Ok(())
+    }
+
+    fn load(&mut self) -> Result<Loaded, StorageError> {
+        let mut segments = self.sealed.clone();
+        segments.push(self.active.clone());
+        Ok(Loaded {
+            snapshot: self.snapshot.clone(),
+            segments,
+        })
+    }
+
+    fn truncate_active(&mut self, len: u64) -> Result<(), StorageError> {
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        self.active.truncate(len);
+        self.synced_len = self.synced_len.min(self.active.len());
+        Ok(())
+    }
+
+    fn crash(&mut self, keep_unsynced: usize) {
+        let keep = self
+            .synced_len
+            .saturating_add(keep_unsynced)
+            .min(self.active.len());
+        self.active.truncate(keep);
+        self.synced_len = self.synced_len.min(self.active.len());
+    }
+}
+
+/// Filesystem backend: a directory holding `snapshot.bin` plus
+/// `wal-<seq>.log` segments. Snapshot installation goes through a
+/// write-to-temp + fsync + rename so a crash never leaves a half-written
+/// snapshot in place.
+#[derive(Debug)]
+pub struct FsBackend {
+    dir: PathBuf,
+    active: fs::File,
+    active_seq: u64,
+}
+
+const SNAPSHOT_NAME: &str = "snapshot.bin";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+fn io_err(op: &'static str, e: &std::io::Error) -> StorageError {
+    StorageError {
+        op,
+        detail: e.to_string(),
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.log"))
+}
+
+/// Segment sequence numbers present in `dir`, ascending.
+fn segment_seqs(dir: &Path) -> Result<Vec<u64>, StorageError> {
+    let entries = fs::read_dir(dir).map_err(|e| io_err("read_dir", &e))?;
+    let mut seqs = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read_dir", &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("wal-") else {
+            continue;
+        };
+        let Some(digits) = rest.strip_suffix(".log") else {
+            continue;
+        };
+        if let Ok(seq) = digits.parse::<u64>() {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Fsync the directory itself so renames and newly created files are
+/// durable (required on POSIX for crash consistency of the namespace).
+fn sync_dir(dir: &Path) -> Result<(), StorageError> {
+    let d = fs::File::open(dir).map_err(|e| io_err("open_dir", &e))?;
+    d.sync_all().map_err(|e| io_err("sync_dir", &e))
+}
+
+impl FsBackend {
+    /// Opens (creating if needed) the storage directory and its active
+    /// segment.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] when the directory cannot be created or the
+    /// active segment cannot be opened.
+    pub fn open(dir: &Path) -> Result<FsBackend, StorageError> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create_dir", &e))?;
+        let active_seq = segment_seqs(dir)?.last().copied().unwrap_or(0);
+        let active = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(segment_path(dir, active_seq))
+            .map_err(|e| io_err("open_segment", &e))?;
+        Ok(FsBackend {
+            dir: dir.to_path_buf(),
+            active,
+            active_seq,
+        })
+    }
+
+    fn open_fresh_segment(&mut self, seq: u64) -> Result<(), StorageError> {
+        self.active = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(segment_path(&self.dir, seq))
+            .map_err(|e| io_err("open_segment", &e))?;
+        self.active_seq = seq;
+        sync_dir(&self.dir)
+    }
+}
+
+impl Backend for FsBackend {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.active
+            .write_all(bytes)
+            .map_err(|e| io_err("append", &e))
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.active.sync_data().map_err(|e| io_err("fsync", &e))
+    }
+
+    fn rotate(&mut self) -> Result<(), StorageError> {
+        self.sync()?;
+        let next = self.active_seq.saturating_add(1);
+        self.open_fresh_segment(next)
+    }
+
+    fn install_snapshot(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err("snapshot_create", &e))?;
+        f.write_all(bytes)
+            .map_err(|e| io_err("snapshot_write", &e))?;
+        f.sync_all().map_err(|e| io_err("snapshot_fsync", &e))?;
+        drop(f);
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_NAME))
+            .map_err(|e| io_err("snapshot_rename", &e))?;
+        sync_dir(&self.dir)?;
+        // The snapshot now supersedes every segment: delete them and
+        // start a fresh active one.
+        let old = segment_seqs(&self.dir)?;
+        let next = old.last().copied().unwrap_or(0).saturating_add(1);
+        for seq in old {
+            fs::remove_file(segment_path(&self.dir, seq))
+                .map_err(|e| io_err("segment_remove", &e))?;
+        }
+        self.open_fresh_segment(next)
+    }
+
+    fn load(&mut self) -> Result<Loaded, StorageError> {
+        let snapshot = match fs::read(self.dir.join(SNAPSHOT_NAME)) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(io_err("snapshot_read", &e)),
+        };
+        let mut segments = Vec::new();
+        for seq in segment_seqs(&self.dir)? {
+            segments.push(
+                fs::read(segment_path(&self.dir, seq)).map_err(|e| io_err("segment_read", &e))?,
+            );
+        }
+        Ok(Loaded { snapshot, segments })
+    }
+
+    fn truncate_active(&mut self, len: u64) -> Result<(), StorageError> {
+        self.active
+            .set_len(len)
+            .map_err(|e| io_err("truncate", &e))?;
+        self.active.sync_data().map_err(|e| io_err("fsync", &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_crash_keeps_synced_prefix() {
+        let mut m = MemBackend::new();
+        m.append(b"durable").unwrap();
+        m.sync().unwrap();
+        m.append(b"lost-on-crash").unwrap();
+        assert_eq!(m.unsynced_len(), 13);
+        m.crash(4);
+        let loaded = m.load().unwrap();
+        assert_eq!(loaded.segments, vec![b"durablelost".to_vec()]);
+    }
+
+    #[test]
+    fn mem_rotate_and_snapshot() {
+        let mut m = MemBackend::new();
+        m.append(b"one").unwrap();
+        m.rotate().unwrap();
+        m.append(b"two").unwrap();
+        let loaded = m.load().unwrap();
+        assert_eq!(loaded.segments.len(), 2);
+        m.install_snapshot(b"snap").unwrap();
+        let loaded = m.load().unwrap();
+        assert_eq!(loaded.snapshot.as_deref(), Some(&b"snap"[..]));
+        assert_eq!(loaded.segments, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn fs_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "sstore-backend-test-{}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut b = FsBackend::open(&dir).unwrap();
+        b.append(b"hello ").unwrap();
+        b.append(b"world").unwrap();
+        b.sync().unwrap();
+        b.rotate().unwrap();
+        b.append(b"tail").unwrap();
+        let loaded = b.load().unwrap();
+        assert_eq!(loaded.snapshot, None);
+        assert_eq!(
+            loaded.segments,
+            vec![b"hello world".to_vec(), b"tail".to_vec()]
+        );
+
+        // Reopen at the same dir: same contents, appends go to the tail.
+        drop(b);
+        let mut b = FsBackend::open(&dir).unwrap();
+        b.append(b"+more").unwrap();
+        let loaded = b.load().unwrap();
+        assert_eq!(
+            loaded.segments,
+            vec![b"hello world".to_vec(), b"tail+more".to_vec()]
+        );
+
+        b.truncate_active(4).unwrap();
+        let loaded = b.load().unwrap();
+        assert_eq!(
+            loaded.segments,
+            vec![b"hello world".to_vec(), b"tail".to_vec()]
+        );
+
+        b.install_snapshot(b"snapped").unwrap();
+        let loaded = b.load().unwrap();
+        assert_eq!(loaded.snapshot.as_deref(), Some(&b"snapped"[..]));
+        assert_eq!(loaded.segments, vec![Vec::<u8>::new()]);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

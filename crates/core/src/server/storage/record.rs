@@ -1,0 +1,324 @@
+//! WAL record codec: CRC-checksummed, length-prefixed frames around
+//! canonically encoded server state records.
+//!
+//! On-disk frame layout (all integers big-endian):
+//!
+//! ```text
+//! [payload-len u32][crc32(payload) u32][payload]
+//! ```
+//!
+//! The payload is one [`Record`]: a tag byte followed by the same canonical
+//! encoding used on the wire (`codec.rs`), so the WAL inherits the wire
+//! codec's strict bounds checking and canonicality rules. The CRC protects
+//! against torn writes and bit-rot; it is *not* an authenticity mechanism —
+//! every replayed record is still re-verified against the writer's
+//! signature before the server serves it (verify-before-use).
+
+use crate::codec::{
+    decode_group_context, decode_stored_item, encode_group_context, encode_stored_item, CodecError,
+};
+use crate::item::{SignedContext, StoredItem};
+use crate::types::GroupId;
+
+/// Upper bound on a single record payload. A length field above this is
+/// treated as corruption rather than an allocation request.
+pub const MAX_RECORD_BYTES: usize = 16 * 1024 * 1024;
+
+const TAG_ITEM: u8 = 1;
+const TAG_MW_ADMIT: u8 = 2;
+const TAG_PENDING: u8 = 3;
+const TAG_CONTEXT: u8 = 4;
+
+/// One durable unit of server state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// The authoritative copy of an item advanced (single-writer admission
+    /// or a gossip/anti-entropy advance).
+    Item(StoredItem),
+    /// A multi-writer write admitted into the reportable log (which also
+    /// advances the authoritative copy when newer).
+    MwAdmit(StoredItem),
+    /// A multi-writer write held back awaiting causal predecessors.
+    Pending(StoredItem),
+    /// A stored client context, keyed by the request's group (which the
+    /// signature does not bind — hence stored explicitly).
+    Context(GroupId, SignedContext),
+}
+
+impl Record {
+    /// Canonical payload bytes: tag byte plus the wire-codec encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let (tag, body) = match self {
+            Record::Item(i) => (TAG_ITEM, encode_stored_item(i)),
+            Record::MwAdmit(i) => (TAG_MW_ADMIT, encode_stored_item(i)),
+            Record::Pending(i) => (TAG_PENDING, encode_stored_item(i)),
+            Record::Context(g, s) => (TAG_CONTEXT, encode_group_context(*g, s)),
+        };
+        let mut out = Vec::with_capacity(1 + body.len());
+        out.push(tag);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a record payload (inverse of [`Record::encode`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] for empty, truncated, malformed or
+    /// non-canonical input. Never panics, whatever the bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Record, CodecError> {
+        let Some((tag, body)) = bytes.split_first() else {
+            return Err(CodecError::Truncated);
+        };
+        match *tag {
+            TAG_ITEM => Ok(Record::Item(decode_stored_item(body)?)),
+            TAG_MW_ADMIT => Ok(Record::MwAdmit(decode_stored_item(body)?)),
+            TAG_PENDING => Ok(Record::Pending(decode_stored_item(body)?)),
+            TAG_CONTEXT => {
+                let (group, signed) = decode_group_context(body)?;
+                Ok(Record::Context(group, signed))
+            }
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the classic
+/// zlib/Ethernet checksum, table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = table.get(idx).copied().unwrap_or(0) ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Wraps a record payload in its on-disk frame:
+/// `[len u32][crc32 u32][payload]`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Why a frame could not be read at some stream position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream ends inside the frame header or payload — the shape of
+    /// a write torn by a crash.
+    Torn,
+    /// The bytes are all present but inconsistent: an overlong length
+    /// field, a checksum mismatch, or a payload the record codec rejects —
+    /// the shape of bit-rot (or tampering).
+    Corrupt,
+}
+
+/// Reads the frame starting at `buf`. Returns the payload slice and the
+/// total frame size consumed, or `Ok(None)` at an exact end of stream.
+///
+/// # Errors
+///
+/// [`FrameError::Torn`] when the stream ends mid-frame,
+/// [`FrameError::Corrupt`] on a length or checksum inconsistency.
+pub fn read_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, FrameError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    let Some((len_bytes, rest)) = buf.split_at_checked(4) else {
+        return Err(FrameError::Torn);
+    };
+    let Some((crc_bytes, rest)) = rest.split_at_checked(4) else {
+        return Err(FrameError::Torn);
+    };
+    let Ok(len_arr) = <[u8; 4]>::try_from(len_bytes) else {
+        return Err(FrameError::Torn);
+    };
+    let Ok(crc_arr) = <[u8; 4]>::try_from(crc_bytes) else {
+        return Err(FrameError::Torn);
+    };
+    let len = u32::from_be_bytes(len_arr) as usize;
+    if len > MAX_RECORD_BYTES {
+        return Err(FrameError::Corrupt);
+    }
+    let Some((payload, _)) = rest.split_at_checked(len) else {
+        return Err(FrameError::Torn);
+    };
+    if crc32(payload) != u32::from_be_bytes(crc_arr) {
+        return Err(FrameError::Corrupt);
+    }
+    Ok(Some((payload, 8 + len)))
+}
+
+/// Result of scanning one segment or snapshot byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan {
+    /// Frame-valid, codec-valid records in stream order, up to the first
+    /// fault.
+    pub records: Vec<Record>,
+    /// Byte offset of the first undecodable frame, if any — the length of
+    /// the valid prefix.
+    pub fault_at: Option<usize>,
+    /// What stopped the scan, if anything.
+    pub fault: Option<FrameError>,
+}
+
+/// Scans a stream of frames, stopping at the first fault. Records after a
+/// fault are unreachable (a corrupt length field makes resynchronization
+/// unsound), so the valid prefix is all that is ever recovered.
+pub fn scan_stream(buf: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(rest) = buf.get(pos..) {
+        match read_frame(rest) {
+            Ok(None) => break,
+            Ok(Some((payload, used))) => match Record::decode(payload) {
+                Ok(r) => {
+                    records.push(r);
+                    pos += used;
+                }
+                Err(_) => {
+                    return Scan {
+                        records,
+                        fault_at: Some(pos),
+                        fault: Some(FrameError::Corrupt),
+                    }
+                }
+            },
+            Err(e) => {
+                return Scan {
+                    records,
+                    fault_at: Some(pos),
+                    fault: Some(e),
+                }
+            }
+        }
+    }
+    Scan {
+        records,
+        fault_at: None,
+        fault: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CryptoCounters;
+    use crate::types::{ClientId, DataId, Timestamp};
+    use sstore_crypto::schnorr::{SchnorrParams, SigningKey};
+
+    fn sample_item(data: u64, ver: u64) -> StoredItem {
+        let key = SigningKey::from_seed(&SchnorrParams::toy(), 7);
+        StoredItem::create(
+            DataId(data),
+            GroupId(1),
+            Timestamp::Version(ver),
+            ClientId(0),
+            None,
+            b"payload".to_vec(),
+            &key,
+            &mut CryptoCounters::new(),
+        )
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_roundtrip_all_tags() {
+        let item = sample_item(1, 3);
+        let signed = SignedContext::create(
+            ClientId(0),
+            1,
+            crate::context::Context::new(GroupId(2)),
+            &SigningKey::from_seed(&SchnorrParams::toy(), 7),
+            &mut CryptoCounters::new(),
+        );
+        for rec in [
+            Record::Item(item.clone()),
+            Record::MwAdmit(item.clone()),
+            Record::Pending(item),
+            Record::Context(GroupId(2), signed),
+        ] {
+            let bytes = rec.encode();
+            assert_eq!(Record::decode(&bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_stream_scan() {
+        let a = Record::Item(sample_item(1, 1));
+        let b = Record::Item(sample_item(2, 5));
+        let mut stream = frame(&a.encode());
+        stream.extend_from_slice(&frame(&b.encode()));
+        let scan = scan_stream(&stream);
+        assert_eq!(scan.records, vec![a, b]);
+        assert_eq!(scan.fault, None);
+    }
+
+    #[test]
+    fn torn_tail_yields_valid_prefix() {
+        let a = Record::Item(sample_item(1, 1));
+        let b = Record::Item(sample_item(2, 5));
+        let first = frame(&a.encode());
+        let mut stream = first.clone();
+        stream.extend_from_slice(&frame(&b.encode()));
+        // Cut anywhere inside the second frame: only the first survives,
+        // and the fault offset is exactly the valid prefix length.
+        for cut in first.len() + 1..stream.len() {
+            let scan = scan_stream(&stream[..cut]);
+            assert_eq!(scan.records, vec![a.clone()], "cut at {cut}");
+            assert_eq!(scan.fault_at, Some(first.len()));
+            assert_eq!(scan.fault, Some(FrameError::Torn));
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_detected() {
+        let a = Record::Item(sample_item(1, 1));
+        let stream = frame(&a.encode());
+        for i in 8..stream.len() {
+            let mut bad = stream.clone();
+            bad[i] ^= 0x40;
+            let scan = scan_stream(&bad);
+            assert!(scan.records.is_empty(), "flip at {i} must not decode");
+            assert!(scan.fault.is_some());
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_corrupt_not_alloc() {
+        let mut bytes = ((MAX_RECORD_BYTES + 1) as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 12]);
+        assert_eq!(read_frame(&bytes), Err(FrameError::Corrupt));
+    }
+
+    #[test]
+    fn empty_stream_is_clean() {
+        let scan = scan_stream(&[]);
+        assert!(scan.records.is_empty() && scan.fault.is_none());
+    }
+}

@@ -22,17 +22,14 @@ pub struct WriteLog {
 }
 
 impl WriteLog {
-    /// Creates an empty log bounded at `capacity` entries.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero — a log must at least hold the current
-    /// value.
+    /// Creates an empty log bounded at `capacity` entries. A zero
+    /// capacity is clamped to 1 — a log must at least hold the current
+    /// value, and a configuration typo should degrade capacity, not
+    /// crash a server that verifies Byzantine input for a living.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 1, "log capacity must be at least 1");
         WriteLog {
             entries: VecDeque::new(),
-            capacity,
+            capacity: capacity.max(1),
         }
     }
 
@@ -215,8 +212,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity")]
-    fn zero_capacity_rejected() {
-        WriteLog::new(0);
+    fn zero_capacity_clamps_to_one() {
+        let mut log = WriteLog::new(0);
+        for t in 1..=3 {
+            log.insert(mk(t, 0, b"v"));
+        }
+        assert_eq!(log.len(), 1);
+        let times: Vec<u64> = log.reportable().map(|i| i.meta.ts.time()).collect();
+        assert_eq!(times, vec![3], "the newest value must be the survivor");
     }
 }

@@ -33,13 +33,16 @@ use std::sync::Arc;
 use rand::Rng;
 
 use sstore_crypto::schnorr::SigningKey;
-use sstore_simnet::{Actor, Context as SimContext, NodeId, SimConfig, SimTime, Simulation};
+use sstore_simnet::{
+    Actor, Context as SimContext, NetEvent, NodeId, SimConfig, SimTime, Simulation,
+};
 
 use crate::client::{ClientCore, ClientOp, OpResult, Output};
 use crate::config::{ClientConfig, ServerConfig};
 use crate::directory::{generate_client_keys, Directory};
 use crate::faults::{AdversaryState, Behavior};
 use crate::metrics::CryptoCounters;
+use crate::server::storage::{StorageConfig, Store};
 use crate::server::{Addr, ServerNode};
 use crate::types::{ClientId, ServerId};
 use crate::wire::Msg;
@@ -80,6 +83,21 @@ impl AddrBook {
 const GOSSIP_TOKEN: u64 = u64::MAX;
 /// Timer token used to advance a client's script.
 const SCRIPT_TOKEN: u64 = u64::MAX - 1;
+/// Timer token that restarts a server with wiped state.
+const RESTART_WIPE_TOKEN: u64 = u64::MAX - 2;
+/// Timer token that restarts a server recovering from its store.
+const RESTART_RECOVER_TOKEN: u64 = u64::MAX - 3;
+
+/// What a restarted server comes back with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Fresh, empty state — the process *and* its disk are gone (the
+    /// pre-durability chaos behaviour, kept as an explicit mode).
+    Wipe,
+    /// Replay the server's store through verify-before-use: a process
+    /// crash with stable storage.
+    Recover,
+}
 
 /// Simulator actor wrapping a [`ServerNode`], with optional Byzantine
 /// behaviour layered on its wire traffic.
@@ -112,6 +130,33 @@ impl ServerActor {
             ctx.send(self.book.node_of(to), msg);
         }
     }
+
+    /// Replaces the wrapped server with a freshly constructed one, as a
+    /// process restart would. In [`RestartMode::Recover`] the old node's
+    /// store survives and is replayed — after a torn fragment is injected
+    /// at its tail, modelling the append the crash cut short. In
+    /// [`RestartMode::Wipe`] the disk is replaced along with the process.
+    fn restart(&mut self, mode: RestartMode, ctx: &mut SimContext<'_, Msg>) {
+        let id = self.node.id();
+        let dir = self.node.directory();
+        let cfg = self.node.config().clone();
+        let mut fresh = ServerNode::new(id, dir, cfg);
+        match (mode, self.node.take_store()) {
+            (RestartMode::Recover, Some(mut store)) => {
+                let torn_len = ctx.rng().gen_range(3..24usize);
+                let torn: Vec<u8> = (0..torn_len).map(|_| ctx.rng().gen()).collect();
+                store.inject_torn_tail(&torn);
+                fresh.attach_store(store);
+                let _ = fresh.recover();
+            }
+            (RestartMode::Wipe, Some(store)) => {
+                fresh.attach_store(Store::in_memory(store.config().clone()));
+            }
+            (_, None) => {}
+        }
+        self.node = fresh;
+        self.adversary = AdversaryState::new();
+    }
 }
 
 impl Actor<Msg> for ServerActor {
@@ -126,6 +171,15 @@ impl Actor<Msg> for ServerActor {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut SimContext<'_, Msg>) {
+        if token == RESTART_WIPE_TOKEN || token == RESTART_RECOVER_TOKEN {
+            let mode = if token == RESTART_RECOVER_TOKEN {
+                RestartMode::Recover
+            } else {
+                RestartMode::Wipe
+            };
+            self.restart(mode, ctx);
+            return;
+        }
         if token != GOSSIP_TOKEN || self.behavior == Behavior::Crash {
             return;
         }
@@ -274,6 +328,7 @@ pub struct ClusterBuilder {
     client_config: ClientConfig,
     behaviors: Vec<Behavior>,
     scripts: Vec<Vec<Step>>,
+    durable: Option<StorageConfig>,
 }
 
 impl ClusterBuilder {
@@ -288,7 +343,15 @@ impl ClusterBuilder {
             client_config: ClientConfig::default(),
             behaviors: vec![Behavior::Honest; n],
             scripts: Vec::new(),
+            durable: None,
         }
+    }
+
+    /// Attaches a deterministic in-memory store to every server, so
+    /// restarts can run in [`RestartMode::Recover`].
+    pub fn durable(mut self, cfg: StorageConfig) -> Self {
+        self.durable = Some(cfg);
+        self
     }
 
     /// Sets the run seed (default 42).
@@ -348,7 +411,10 @@ impl ClusterBuilder {
             if self.behaviors[i] == Behavior::Premature {
                 cfg.multi_writer.validate_causal_deps = false;
             }
-            let node = ServerNode::new(ServerId(i as u16), dir.clone(), cfg);
+            let mut node = ServerNode::new(ServerId(i as u16), dir.clone(), cfg);
+            if let Some(storage_cfg) = &self.durable {
+                node.attach_store(Store::in_memory(storage_cfg.clone()));
+            }
             let id = sim.add_node(ServerActor::new(node, book, self.behaviors[i]));
             // Stagger initial gossip across the first period.
             let period = self.server_config.gossip.period.as_micros().max(1);
@@ -516,6 +582,28 @@ impl Cluster {
         (0..self.n).fold(CryptoCounters::new(), |acc, i| {
             acc.merged(self.server_counters(i))
         })
+    }
+
+    /// Schedules server `i` to go down at `from` and come back at `to`
+    /// (times relative to now, which is setup time for fault schedules),
+    /// restarting per `mode`. The down/up window drops deliveries as
+    /// before; the restart itself fires as a timer right after the node
+    /// comes back up, before any same-instant deliveries reach it.
+    pub fn schedule_server_restart(
+        &mut self,
+        server: usize,
+        from: SimTime,
+        to: SimTime,
+        mode: RestartMode,
+    ) {
+        let node = NodeId(server);
+        self.sim.schedule_net_event(from, NetEvent::NodeDown(node));
+        self.sim.schedule_net_event(to, NetEvent::NodeUp(node));
+        let token = match mode {
+            RestartMode::Wipe => RESTART_WIPE_TOKEN,
+            RestartMode::Recover => RESTART_RECOVER_TOKEN,
+        };
+        self.sim.schedule_timer(node, to, token);
     }
 
     /// Posts a raw message from a (possibly malicious) client directly into

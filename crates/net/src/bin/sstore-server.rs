@@ -3,7 +3,8 @@
 //! ```text
 //! sstore-server --id 0 --b 1 --listen 127.0.0.1:7450 \
 //!     --peers 127.0.0.1:7450,127.0.0.1:7451,127.0.0.1:7452,127.0.0.1:7453 \
-//!     [--clients 8] [--key-seed 0x7ea1]
+//!     [--clients 8] [--key-seed 0x7ea1] \
+//!     [--data-dir PATH] [--fsync always|never|interval:N]
 //! ```
 //!
 //! `--peers` lists every server's listen address in server-id order (the
@@ -11,18 +12,29 @@
 //! servers and clients of one deployment must agree on `--clients` and
 //! `--key-seed`, which stand in for the paper's well-known client public
 //! keys.
+//!
+//! With `--data-dir` the server keeps a write-ahead log plus periodic
+//! snapshots under that directory and replays them on start, so a
+//! killed process restarted at the same directory comes back with every
+//! durable item, context, and multi-writer hold-back. Each server needs
+//! its own directory. `--fsync` trades durability for throughput:
+//! `always` (default) syncs every record, `interval:N` every N records,
+//! `never` leaves flushing to the OS.
 
 use std::net::{SocketAddr, TcpListener};
+use std::path::Path;
 use std::process::exit;
 
 use sstore_core::config::ServerConfig;
 use sstore_core::directory::{generate_client_keys, Directory};
+use sstore_core::server::storage::{FsyncPolicy, StorageConfig, Store};
 use sstore_core::server::ServerNode;
 use sstore_core::types::ServerId;
 use sstore_net::{NetServer, NetServerConfig};
 
 const USAGE: &str = "usage: sstore-server --id N --b B --listen ADDR --peers A,B,C,... \
-                     [--clients N] [--key-seed SEED]";
+                     [--clients N] [--key-seed SEED] [--data-dir PATH] \
+                     [--fsync always|never|interval:N]";
 
 struct Args {
     id: u16,
@@ -31,6 +43,8 @@ struct Args {
     peers: Vec<SocketAddr>,
     clients: u16,
     key_seed: u64,
+    data_dir: Option<String>,
+    fsync: FsyncPolicy,
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -48,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
     let mut peers = None;
     let mut clients = 8u16;
     let mut key_seed = 0x7ea1u64;
+    let mut data_dir = None;
+    let mut fsync = FsyncPolicy::Always;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let value = argv.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -63,6 +79,22 @@ fn parse_args() -> Result<Args, String> {
             "--key-seed" => {
                 key_seed = parse_u64(&value).ok_or("bad --key-seed")?;
             }
+            "--data-dir" => data_dir = Some(value),
+            "--fsync" => {
+                fsync = match value.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "never" => FsyncPolicy::Never,
+                    other => match other.strip_prefix("interval:") {
+                        Some(num) => FsyncPolicy::EveryN(
+                            num.parse()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or("bad --fsync interval")?,
+                        ),
+                        None => return Err("bad --fsync (always|never|interval:N)".to_string()),
+                    },
+                };
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -73,6 +105,8 @@ fn parse_args() -> Result<Args, String> {
         peers: peers.ok_or("--peers is required")?,
         clients,
         key_seed,
+        data_dir,
+        fsync,
     })
 }
 
@@ -91,7 +125,34 @@ fn main() {
     }
     let (_, verifying) = generate_client_keys(args.clients, args.key_seed);
     let dir = Directory::new(n, args.b, verifying);
-    let node = ServerNode::new(ServerId(args.id), dir, ServerConfig::default());
+    let mut node = ServerNode::new(ServerId(args.id), dir, ServerConfig::default());
+    if let Some(dir) = &args.data_dir {
+        let cfg = StorageConfig {
+            fsync: args.fsync,
+            ..StorageConfig::default()
+        };
+        let store = match Store::open(Path::new(dir), cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sstore-server: cannot open data dir {dir}: {e}");
+                exit(1);
+            }
+        };
+        node.attach_store(store);
+        match node.recover() {
+            Ok(report) => {
+                println!(
+                    "sstore-server {}: recovered {} record(s) from {dir} \
+                     (rejected {}, torn tail: {}, bit-rot faults: {})",
+                    args.id, report.records, report.rejected, report.torn_tail, report.bitrot
+                );
+            }
+            Err(e) => {
+                eprintln!("sstore-server: recovery from {dir} failed: {e}");
+                exit(1);
+            }
+        }
+    }
     let listener = match TcpListener::bind(args.listen) {
         Ok(l) => l,
         Err(e) => {

@@ -10,9 +10,17 @@
 //! for i in 0 1 2 3; do
 //!   cargo run --release --bin sstore-server -- --id $i --b 1 \
 //!     --listen 127.0.0.1:745$i \
-//!     --peers 127.0.0.1:7450,127.0.0.1:7451,127.0.0.1:7452,127.0.0.1:7453 &
+//!     --peers 127.0.0.1:7450,127.0.0.1:7451,127.0.0.1:7452,127.0.0.1:7453 \
+//!     --data-dir /tmp/sstore/s$i &
 //! done
 //! ```
+//!
+//! `--data-dir` (one directory per server) makes a server durable: it
+//! write-ahead-logs admitted state and replays it on start, so a killed
+//! process restarted at the same directory rejoins with everything it had
+//! acknowledged (`--fsync always|never|interval:N` picks the durability /
+//! throughput trade-off). Omit it for a memory-only server, which is what
+//! this in-process example uses.
 
 use std::net::{SocketAddr, TcpListener};
 
