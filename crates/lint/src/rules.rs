@@ -33,6 +33,10 @@ pub const ZERO_TOLERANCE: &[&str] = &[
     "crates/net/src/frame.rs",
     "crates/net/src/server.rs",
     "crates/net/src/client.rs",
+    "crates/net/src/conn.rs",
+    "crates/net/src/event_loop.rs",
+    "crates/net/src/pipeline.rs",
+    "crates/net/src/backoff.rs",
     "crates/core/src/server/storage/mod.rs",
     "crates/core/src/server/storage/record.rs",
     "crates/core/src/server/storage/backend.rs",

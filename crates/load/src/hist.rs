@@ -1,0 +1,246 @@
+//! HDR-style log-linear histogram for microsecond latencies.
+//!
+//! Values are bucketed by order of magnitude (one octave per power of
+//! two) with 64 linear sub-buckets per octave, so the relative error of
+//! any reported quantile is bounded by one sub-bucket: under 1.6%. That
+//! is the same trade HdrHistogram makes — constant memory regardless of
+//! sample count or range, no coordination, O(buckets) quantile reads —
+//! without the configurable precision this rig does not need.
+//!
+//! Histograms merge by element-wise addition, so each load worker
+//! records into its own and the main thread folds them after joining.
+
+/// Linear sub-buckets per octave (64 ⇒ ≤ 1/64 relative error).
+const SUB: usize = 64;
+
+/// log2 of [`SUB`].
+const SUB_BITS: u32 = 6;
+
+/// Bucket count covering all of `u64`: two all-linear bottom octaves
+/// (values below `2 * SUB`) plus one `SUB`-wide group per remaining
+/// most-significant-bit position (7..=63).
+const BUCKETS: usize = SUB * 59;
+
+/// A fixed-memory log-linear histogram of `u64` values (microseconds,
+/// by convention here — the math is unit-agnostic).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let top = (v >> shift) as usize;
+    // Octave `msb` starts at bucket (msb - SUB_BITS + 1) * SUB; `top` is
+    // in [SUB, 2*SUB).
+    ((msb - SUB_BITS + 1) as usize) * SUB + (top - SUB)
+}
+
+/// Smallest value mapping to bucket `idx`, saturating at `u64::MAX` for
+/// the one-past-the-last bound quantile reads ask for.
+fn lower_bound(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        return idx as u64;
+    }
+    let octave = idx / SUB;
+    let sub = (idx % SUB + SUB) as u128;
+    u64::try_from(sub << (octave as u32 - 1)).unwrap_or(u64::MAX)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = index(v).min(BUCKETS - 1);
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c = c.saturating_add(1);
+        }
+        self.total = self.total.saturating_add(1);
+        self.sum = self.sum.saturating_add(u128::from(v));
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst = dst.saturating_add(*src);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket upper bound, clamped to
+    /// the exact max); zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            cum = cum.saturating_add(*c);
+            if cum >= target {
+                if idx + 1 >= BUCKETS {
+                    return self.max;
+                }
+                return lower_bound(idx + 1).saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        // Every value below the linear limit is exact; boundaries align.
+        for v in 0..(2 * SUB as u64) {
+            assert_eq!(index(v), v as usize);
+            assert_eq!(lower_bound(v as usize), v);
+        }
+        let mut prev = 0;
+        for idx in 0..BUCKETS {
+            let lo = lower_bound(idx);
+            assert!(idx == 0 || lo > prev, "bucket {idx} not increasing");
+            assert_eq!(index(lo), idx, "lower bound of {idx} maps back");
+            prev = lo;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 5, 8, 13, 21, 34, 55] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.p50(), 8);
+        assert_eq!(h.max(), 55);
+        assert_eq!(h.quantile(1.0), 55);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        // Pseudo-random values over five decades; histogram quantiles
+        // must stay within one sub-bucket (~1.6%) of exact order
+        // statistics.
+        let mut h = Histogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        let mut state = 0x3157u64;
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (state >> 20) % 10_000_000;
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let truth = exact[rank - 1];
+            let got = h.quantile(q);
+            let err = (got as f64 - truth as f64).abs() / truth.max(1) as f64;
+            assert!(err <= 0.02, "q={q}: got {got}, exact {truth}, err {err}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in 0..1000u64 {
+            let target = if v % 2 == 0 { &mut a } else { &mut b };
+            target.record(v * 37);
+            combined.record(v * 37);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.max(), combined.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), combined.quantile(q));
+        }
+        assert!((a.mean() - combined.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(1.0) == u64::MAX);
+    }
+}

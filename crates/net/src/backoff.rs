@@ -1,0 +1,152 @@
+//! Jittered bounded exponential backoff for redials.
+//!
+//! Both meshes (server↔server gossip links and the pipelined client's
+//! server links) redial failed connections on a doubling schedule capped
+//! at a maximum. Without jitter, a partition that cuts many links at once
+//! makes every survivor redial in lockstep — the thundering herd arrives
+//! exactly when the partition heals and the schedule keeps the herd
+//! synchronized forever. Drawing each delay uniformly from
+//! `[base/2, base]` ("equal jitter") keeps the bounded-backoff guarantee
+//! (never sooner than half the deterministic schedule, never later than
+//! the cap) while decorrelating the fleet.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-target redial schedule: a doubling base delay capped at `max`,
+/// with equal jitter applied to every draw.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    min: Duration,
+    max: Duration,
+    /// Current (un-jittered) base delay; `None` until the first failure.
+    base: Option<Duration>,
+}
+
+impl Backoff {
+    /// A fresh schedule: the first failure waits ~`min`, each consecutive
+    /// failure doubles the base up to `max`.
+    pub fn new(min: Duration, max: Duration) -> Backoff {
+        Backoff {
+            min,
+            max: max.max(min),
+            base: None,
+        }
+    }
+
+    /// Records a failure and returns the jittered delay before the next
+    /// attempt: uniform in `[base/2, base]`, where `base` doubles per
+    /// consecutive failure (capped at the schedule maximum).
+    pub fn next_delay(&mut self, rng: &mut StdRng) -> Duration {
+        let base = match self.base {
+            None => self.min,
+            Some(b) => (b.saturating_mul(2)).min(self.max),
+        };
+        self.base = Some(base);
+        jittered(base, rng)
+    }
+
+    /// The current un-jittered base delay (`None` before any failure).
+    pub fn base(&self) -> Option<Duration> {
+        self.base
+    }
+
+    /// Forgets past failures; the next delay starts from `min` again.
+    pub fn reset(&mut self) {
+        self.base = None;
+    }
+}
+
+/// Equal jitter: a uniform draw from `[base/2, base]`.
+pub fn jittered(base: Duration, rng: &mut StdRng) -> Duration {
+    let us = u64::try_from(base.as_micros()).unwrap_or(u64::MAX);
+    if us == 0 {
+        return Duration::ZERO;
+    }
+    let half = us / 2;
+    Duration::from_micros(rng.gen_range(half..=us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const MIN: Duration = Duration::from_millis(100);
+    const MAX: Duration = Duration::from_secs(2);
+
+    /// The deterministic (un-jittered) schedule under test: doubling from
+    /// `MIN`, saturating at `MAX`.
+    fn expected_base(failures: u32) -> Duration {
+        let mut base = MIN;
+        for _ in 1..failures {
+            base = (base * 2).min(MAX);
+        }
+        base
+    }
+
+    #[test]
+    fn schedule_doubles_and_caps() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = Backoff::new(MIN, MAX);
+        for failures in 1..=10u32 {
+            let d = b.next_delay(&mut rng);
+            let base = expected_base(failures);
+            assert_eq!(b.base(), Some(base), "base after {failures} failures");
+            // The jittered draw must stay inside [base/2, base]: never
+            // sooner than half the deterministic schedule, never later
+            // than the un-jittered delay (which itself is capped).
+            assert!(d >= base / 2, "delay {d:?} below jitter floor of {base:?}");
+            assert!(d <= base, "delay {d:?} above base {base:?}");
+        }
+        assert_eq!(b.base(), Some(MAX), "schedule must cap at max");
+    }
+
+    #[test]
+    fn reset_restarts_from_min() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut b = Backoff::new(MIN, MAX);
+        for _ in 0..6 {
+            b.next_delay(&mut rng);
+        }
+        b.reset();
+        assert_eq!(b.base(), None);
+        let d = b.next_delay(&mut rng);
+        assert_eq!(b.base(), Some(MIN));
+        assert!(d >= MIN / 2 && d <= MIN);
+    }
+
+    #[test]
+    fn jitter_actually_varies() {
+        // Two fleets with different seeds must not redial in lockstep:
+        // across a few rounds at the cap, at least one draw must differ.
+        let mut a = StdRng::seed_from_u64(1);
+        let mut z = StdRng::seed_from_u64(2);
+        let mut ba = Backoff::new(MIN, MAX);
+        let mut bz = Backoff::new(MIN, MAX);
+        let delays_a: Vec<Duration> = (0..8).map(|_| ba.next_delay(&mut a)).collect();
+        let delays_z: Vec<Duration> = (0..8).map(|_| bz.next_delay(&mut z)).collect();
+        assert_ne!(delays_a, delays_z, "jitter must decorrelate schedules");
+    }
+
+    #[test]
+    fn zero_base_is_safe() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(jittered(Duration::ZERO, &mut rng), Duration::ZERO);
+        let mut b = Backoff::new(Duration::ZERO, Duration::ZERO);
+        assert_eq!(b.next_delay(&mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn degenerate_max_below_min_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut b = Backoff::new(MAX, MIN);
+        let d = b.next_delay(&mut rng);
+        // max is lifted to min, so the schedule is flat at MAX.
+        assert!(d <= MAX && d >= MAX / 2);
+        b.next_delay(&mut rng);
+        assert_eq!(b.base(), Some(MAX));
+    }
+}

@@ -4,7 +4,8 @@
 //! sstore-server --id 0 --b 1 --listen 127.0.0.1:7450 \
 //!     --peers 127.0.0.1:7450,127.0.0.1:7451,127.0.0.1:7452,127.0.0.1:7453 \
 //!     [--clients 8] [--key-seed 0x7ea1] \
-//!     [--data-dir PATH] [--fsync always|never|interval:N]
+//!     [--data-dir PATH] [--fsync always|never|interval:N] \
+//!     [--serving event-loop|threaded]
 //! ```
 //!
 //! `--peers` lists every server's listen address in server-id order (the
@@ -20,6 +21,11 @@
 //! its own directory. `--fsync` trades durability for throughput:
 //! `always` (default) syncs every record, `interval:N` every N records,
 //! `never` leaves flushing to the OS.
+//!
+//! `--serving` selects the serving architecture: the default
+//! `event-loop` (one non-blocking readiness loop, request pipelining,
+//! batched gossip flushes) or the legacy `threaded`
+//! (thread-per-connection) path.
 
 use std::net::{SocketAddr, TcpListener};
 use std::path::Path;
@@ -30,11 +36,11 @@ use sstore_core::directory::{generate_client_keys, Directory};
 use sstore_core::server::storage::{FsyncPolicy, StorageConfig, Store};
 use sstore_core::server::ServerNode;
 use sstore_core::types::ServerId;
-use sstore_net::{NetServer, NetServerConfig};
+use sstore_net::{NetServer, NetServerConfig, ServingMode};
 
 const USAGE: &str = "usage: sstore-server --id N --b B --listen ADDR --peers A,B,C,... \
                      [--clients N] [--key-seed SEED] [--data-dir PATH] \
-                     [--fsync always|never|interval:N]";
+                     [--fsync always|never|interval:N] [--serving event-loop|threaded]";
 
 struct Args {
     id: u16,
@@ -45,6 +51,7 @@ struct Args {
     key_seed: u64,
     data_dir: Option<String>,
     fsync: FsyncPolicy,
+    serving: ServingMode,
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -64,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
     let mut key_seed = 0x7ea1u64;
     let mut data_dir = None;
     let mut fsync = FsyncPolicy::Always;
+    let mut serving = ServingMode::default();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let value = argv.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -95,6 +103,13 @@ fn parse_args() -> Result<Args, String> {
                     },
                 };
             }
+            "--serving" => {
+                serving = match value.as_str() {
+                    "event-loop" => ServingMode::EventLoop,
+                    "threaded" => ServingMode::Threaded,
+                    _ => return Err("bad --serving (event-loop|threaded)".to_string()),
+                };
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -107,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         key_seed,
         data_dir,
         fsync,
+        serving,
     })
 }
 
@@ -164,7 +180,10 @@ fn main() {
         node,
         listener,
         args.peers.clone(),
-        NetServerConfig::default(),
+        NetServerConfig {
+            serving: args.serving,
+            ..NetServerConfig::default()
+        },
     ) {
         Ok(s) => s,
         Err(e) => {

@@ -188,6 +188,28 @@ impl NetCluster {
     }
 }
 
+impl NetCluster {
+    /// Creates the *pipelined* non-blocking handle for client `i`: many
+    /// operations in flight over one connection per server, completions
+    /// matched by op id (see [`crate::PipeClient`]). Connections are
+    /// dialed lazily on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` has no registered key (i.e. `i >= clients`).
+    pub fn pipe_client(&self, i: u16) -> crate::PipeClient {
+        let id = ClientId(i);
+        let key = self
+            .signing
+            .get(&id)
+            // lint:allow(L1): documented panic on a local config precondition; `i` never comes off the wire
+            .expect("client key registered")
+            .clone();
+        let core = ClientCore::new(id, self.dir.clone(), self.client_cfg.clone(), key);
+        crate::PipeClient::new(core, self.addrs.clone(), self.net_cfg.clone())
+    }
+}
+
 /// A blocking client handle speaking the framed TCP protocol.
 pub struct NetClient {
     core: ClientCore,
@@ -279,7 +301,7 @@ impl NetClient {
             .get_mut(to.0 as usize)
             .and_then(|l| l.writer.as_mut())
         {
-            Some(stream) => write_frame(stream, &bytes).is_ok(),
+            Some(stream) => write_frame(stream, &bytes, self.cfg.max_frame).is_ok(),
             None => return,
         };
         if !ok {
@@ -496,7 +518,7 @@ fn dial(addr: SocketAddr, me: ClientId, cfg: &NetClientConfig) -> Result<TcpStre
     let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
     stream.set_nodelay(true)?;
     let mut hello = stream.try_clone()?;
-    write_frame(&mut hello, &encode_hello(Addr::Client(me)))?;
+    write_frame(&mut hello, &encode_hello(Addr::Client(me)), cfg.max_frame)?;
     Ok(stream)
 }
 

@@ -1,0 +1,385 @@
+//! Sans-I/O connection state machine for the non-blocking serving path.
+//!
+//! A readiness-driven loop cannot use the blocking [`crate::read_frame`] /
+//! [`crate::write_frame`] helpers: a socket may surface half a length
+//! prefix now and the rest next tick, and a write may accept three bytes
+//! of a frame before returning `WouldBlock`. This module owns exactly that
+//! statefulness, with no I/O of its own:
+//!
+//! - [`FrameReader`] accumulates inbound bytes (fed by whoever did the
+//!   `read`) and yields complete frames, enforcing the frame cap on the
+//!   *announced* length before buffering a body;
+//! - [`WriteQueue`] accumulates encoded outbound frames (enforcing the
+//!   same cap symmetrically — an oversized payload is rejected at enqueue,
+//!   never sent for the peer to drop) and flushes as many bytes as the
+//!   socket will take, resuming mid-frame on the next readiness.
+//!
+//! Both sides are plain byte-buffer machines, so tests can drive them one
+//! byte at a time — or at proptest-chosen split points — without a socket.
+
+use std::io::{self, ErrorKind, Write};
+
+use crate::frame::WireError;
+
+/// Length of the frame header (a `u32` big-endian payload length).
+const HEADER_LEN: usize = 4;
+
+/// Consumed-prefix threshold above which [`FrameReader`] compacts its
+/// buffer instead of letting the dead prefix grow without bound.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// Reassembles length-prefixed frames from arbitrarily-split byte chunks.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Start of un-consumed bytes in `buf` (everything before it has
+    /// already been handed out as frames).
+    pos: usize,
+    max: usize,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max` as the frame cap.
+    pub fn new(max: usize) -> FrameReader {
+        FrameReader {
+            buf: Vec::new(),
+            pos: 0,
+            max,
+        }
+    }
+
+    /// Appends bytes received from the socket.
+    pub fn ingest(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Yields the next complete frame payload, `None` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] as soon as a header announces a length
+    /// above the cap — before any of the body has to arrive. The reader is
+    /// poisoned conceptually at that point; callers drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let Some(end_of_header) = self.pos.checked_add(HEADER_LEN) else {
+            return Ok(None);
+        };
+        let Some(header) = self.buf.get(self.pos..end_of_header) else {
+            self.compact();
+            return Ok(None);
+        };
+        let [h0, h1, h2, h3] = header else {
+            // `get` above returned exactly HEADER_LEN bytes; this arm is
+            // unreachable but keeps the proof panic-free.
+            return Ok(None);
+        };
+        let len = u32::from_be_bytes([*h0, *h1, *h2, *h3]) as usize;
+        if len > self.max {
+            return Err(WireError::Oversized { len, max: self.max });
+        }
+        let Some(end_of_frame) = end_of_header.checked_add(len) else {
+            return Ok(None);
+        };
+        let Some(payload) = self.buf.get(end_of_header..end_of_frame) else {
+            self.compact();
+            return Ok(None);
+        };
+        let payload = payload.to_vec();
+        self.pos = end_of_frame;
+        self.compact();
+        Ok(Some(payload))
+    }
+
+    /// Drops the consumed prefix when it dominates the buffer, keeping
+    /// amortized cost linear.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// What [`WriteQueue::enqueue`] did with a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueued {
+    /// The frame was queued (or partially queued bytes already were).
+    Queued,
+    /// The queue is over its backpressure cap; the frame was dropped.
+    /// Remote slowness must surface as *silence*, exactly like a dead
+    /// peer — the protocol already rides over silence.
+    Dropped,
+}
+
+/// Coalescing outbound frame queue with partial-write resumption.
+#[derive(Debug)]
+pub struct WriteQueue {
+    buf: Vec<u8>,
+    /// Start of un-written bytes in `buf`.
+    pos: usize,
+    max_frame: usize,
+    /// Backpressure bound on buffered bytes; frames past it are dropped.
+    cap: usize,
+    dropped: u64,
+}
+
+impl WriteQueue {
+    /// A queue enforcing `max_frame` per frame and `cap` total buffered
+    /// bytes (`cap` is raised to hold at least one maximum frame).
+    pub fn new(max_frame: usize, cap: usize) -> WriteQueue {
+        WriteQueue {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame,
+            cap: cap.max(max_frame.saturating_add(HEADER_LEN)),
+            dropped: 0,
+        }
+    }
+
+    /// Enqueues one frame (header + payload).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] for payloads above the frame cap — the
+    /// mirror image of the read-side bound, enforced *before* any byte is
+    /// emitted so a too-large frame can never reach a peer that would
+    /// drop the connection over it.
+    pub fn enqueue(&mut self, payload: &[u8]) -> Result<Enqueued, WireError> {
+        if payload.len() > self.max_frame {
+            return Err(WireError::Oversized {
+                len: payload.len(),
+                max: self.max_frame,
+            });
+        }
+        // `max_frame` itself may exceed u32 range; the length prefix
+        // cannot.
+        let Ok(len) = u32::try_from(payload.len()) else {
+            return Err(WireError::Oversized {
+                len: payload.len(),
+                max: u32::MAX as usize,
+            });
+        };
+        if self.pending().saturating_add(HEADER_LEN + payload.len()) > self.cap {
+            self.dropped = self.dropped.saturating_add(1);
+            return Ok(Enqueued::Dropped);
+        }
+        self.buf.extend_from_slice(&len.to_be_bytes());
+        self.buf.extend_from_slice(payload);
+        Ok(Enqueued::Queued)
+    }
+
+    /// Bytes queued but not yet written.
+    pub fn pending(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Frames dropped at the backpressure cap since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Writes as much as `w` will take without blocking.
+    ///
+    /// Returns the number of bytes written this call; `WouldBlock` stops
+    /// the flush (the remainder stays queued for the next readiness) and
+    /// is not an error. One logical frame may be split across many
+    /// flushes.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O errors (connection broken); the caller drops the
+    /// connection.
+    pub fn flush_to(&mut self, w: &mut impl Write) -> io::Result<usize> {
+        let mut written = 0usize;
+        while let Some(rest) = self.buf.get(self.pos..) {
+            if rest.is_empty() {
+                break;
+            }
+            match w.write(rest) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.pos = self.pos.saturating_add(n);
+                    written = written.saturating_add(n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts at most `budget` bytes per `write` call and
+    /// returns `WouldBlock` after `limit` total bytes until `limit` is
+    /// raised — the shape of a slow socket.
+    struct Throttled {
+        taken: Vec<u8>,
+        budget: usize,
+        limit: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.taken.len() >= self.limit {
+                return Err(ErrorKind::WouldBlock.into());
+            }
+            let room = (self.limit - self.taken.len())
+                .min(self.budget)
+                .min(buf.len());
+            self.taken.extend_from_slice(&buf[..room]);
+            Ok(room)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut v = (payload.len() as u32).to_be_bytes().to_vec();
+        v.extend_from_slice(payload);
+        v
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembly() {
+        let frames: Vec<&[u8]> = vec![b"", b"x", b"hello frame", &[0u8; 300]];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&frame_bytes(f));
+        }
+        let mut r = FrameReader::new(1024);
+        let mut out = Vec::new();
+        for byte in wire {
+            r.ingest(&[byte]);
+            while let Some(f) = r.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out.len(), frames.len());
+        for (got, want) in out.iter().zip(frames.iter()) {
+            assert_eq!(got.as_slice(), *want);
+        }
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn incomplete_header_and_body_yield_none() {
+        let mut r = FrameReader::new(1024);
+        assert!(r.next_frame().unwrap().is_none());
+        r.ingest(&[0, 0]); // half a header
+        assert!(r.next_frame().unwrap().is_none());
+        r.ingest(&[0, 3]); // header complete: 3-byte body
+        assert!(r.next_frame().unwrap().is_none());
+        r.ingest(b"ab"); // 2 of 3 body bytes
+        assert!(r.next_frame().unwrap().is_none());
+        r.ingest(b"c");
+        assert_eq!(r.next_frame().unwrap().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn oversized_announced_length_rejected_before_body() {
+        let mut r = FrameReader::new(16);
+        r.ingest(&17u32.to_be_bytes());
+        match r.next_frame().unwrap_err() {
+            WireError::Oversized { len, max } => {
+                assert_eq!((len, max), (17, 16));
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compaction_keeps_frames_intact() {
+        // Push enough traffic through to cross the compaction threshold
+        // several times, interleaved with partial deliveries.
+        let payload = vec![7u8; 9000];
+        let wire = frame_bytes(&payload);
+        let mut r = FrameReader::new(16 * 1024);
+        for round in 0..40 {
+            // Deliver in two uneven chunks.
+            let split = (round * 997) % wire.len();
+            r.ingest(&wire[..split]);
+            assert!(r.next_frame().unwrap().is_none() || split == 0);
+            r.ingest(&wire[split..]);
+            assert_eq!(r.next_frame().unwrap().unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn write_queue_rejects_oversized_symmetrically() {
+        let mut q = WriteQueue::new(8, 1024);
+        match q.enqueue(&[0u8; 9]).unwrap_err() {
+            WireError::Oversized { len, max } => assert_eq!((len, max), (9, 8)),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert_eq!(
+            q.pending(),
+            0,
+            "nothing may be emitted for a rejected frame"
+        );
+    }
+
+    #[test]
+    fn write_queue_drops_at_backpressure_cap() {
+        let mut q = WriteQueue::new(64, 64 + 4);
+        assert_eq!(q.enqueue(&[1u8; 64]).unwrap(), Enqueued::Queued);
+        assert_eq!(q.enqueue(&[2u8; 64]).unwrap(), Enqueued::Dropped);
+        assert_eq!(q.dropped(), 1);
+        // The queued frame is still intact.
+        let mut sink = Throttled {
+            taken: Vec::new(),
+            budget: usize::MAX,
+            limit: usize::MAX,
+        };
+        q.flush_to(&mut sink).unwrap();
+        assert_eq!(sink.taken, frame_bytes(&[1u8; 64]));
+    }
+
+    #[test]
+    fn partial_writes_resume_mid_frame() {
+        let mut q = WriteQueue::new(1024, 4096);
+        q.enqueue(b"first frame").unwrap();
+        q.enqueue(b"second").unwrap();
+        let mut sink = Throttled {
+            taken: Vec::new(),
+            budget: 3, // at most 3 bytes per syscall
+            limit: 7,  // then WouldBlock until raised
+        };
+        let n = q.flush_to(&mut sink).unwrap();
+        assert_eq!(n, 7);
+        assert!(q.pending() > 0);
+        // Socket becomes writable again.
+        sink.limit = usize::MAX;
+        q.flush_to(&mut sink).unwrap();
+        assert_eq!(q.pending(), 0);
+        let mut expect = frame_bytes(b"first frame");
+        expect.extend_from_slice(&frame_bytes(b"second"));
+        assert_eq!(sink.taken, expect);
+        // And the byte stream reassembles into the original frames.
+        let mut r = FrameReader::new(1024);
+        r.ingest(&sink.taken);
+        assert_eq!(r.next_frame().unwrap().unwrap(), b"first frame");
+        assert_eq!(r.next_frame().unwrap().unwrap(), b"second");
+    }
+}

@@ -1,0 +1,498 @@
+//! The non-blocking serving path: one readiness-driven event loop.
+//!
+//! Instead of three threads per connection (reader, writer, plus the
+//! accepted socket's stack), a single loop thread owns every socket in
+//! non-blocking mode and round-robins readiness:
+//!
+//! 1. accept new connections;
+//! 2. register finished outbound dials (peer dials run on short-lived
+//!    helper threads because `std` offers no non-blocking `connect`, and
+//!    a slow dial must not stall the loop);
+//! 3. read every readable socket, reassemble frames with
+//!    [`FrameReader`], and dispatch complete messages through
+//!    [`ServerNode::handle`] — pipelining falls out naturally, since
+//!    every frame on a connection is processed as it completes without
+//!    waiting for earlier responses to be written;
+//! 4. fire the gossip timer when due, *enqueueing* the whole fan-out;
+//! 5. flush every connection's [`WriteQueue`] — one coalesced `write`
+//!    per readable batch and gossip round instead of a
+//!    write+write+flush syscall triple per message;
+//! 6. sleep briefly only when nothing progressed.
+//!
+//! The protocol state machine stays behind the same mutex as in the
+//! thread-per-connection path (both paths serialize `handle` calls), so
+//! the event loop's win is mechanical: no per-connection threads to
+//! stack-allocate and context-switch, and batched writes. Slow or dead
+//! peers surface as *silence*: a full write queue drops frames and an
+//! unreachable peer just never gets a connection, exactly the failure
+//! model the quorum protocols assume.
+
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sstore_core::codec::{decode_msg, encode_msg};
+use sstore_core::metrics::WireStats;
+use sstore_core::server::{Addr, ServerNode};
+use sstore_core::types::ServerId;
+use sstore_core::wire::Msg;
+use sstore_simnet::SimTime;
+
+use crate::backoff::Backoff;
+use crate::conn::{FrameReader, WriteQueue};
+use crate::frame::{decode_hello, encode_hello};
+use crate::server::{locked, NetServerConfig};
+
+/// Read budget per connection per loop tick: bounds how long one chatty
+/// connection can monopolize the loop before its neighbours get a turn.
+const READ_BUDGET: usize = 8;
+
+/// Scratch read-buffer size.
+const SCRATCH: usize = 64 * 1024;
+
+/// Cap on messages buffered for a peer whose dial is still in flight.
+const DIAL_QUEUE_CAP: usize = 1024;
+
+/// Per-connection write-queue cap, as a multiple of the frame cap.
+const OUT_CAP_FRAMES: usize = 4;
+
+/// State shared between the loop thread and the [`crate::NetServer`]
+/// handle.
+pub(crate) struct EventShared {
+    pub(crate) me: ServerId,
+    pub(crate) node: Mutex<ServerNode>,
+    pub(crate) stats: Mutex<WireStats>,
+    pub(crate) shutdown: AtomicBool,
+    start: Instant,
+}
+
+impl EventShared {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+}
+
+/// Handle on a running event loop.
+pub(crate) struct EventHandle {
+    pub(crate) shared: Arc<EventShared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl EventHandle {
+    /// Signals the loop to stop and joins it; every socket closes when
+    /// the loop's state drops.
+    pub(crate) fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let handle = locked(&self.thread).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts the event loop serving `node` on `listener`.
+pub(crate) fn start(
+    node: ServerNode,
+    listener: TcpListener,
+    peers: Vec<SocketAddr>,
+    cfg: NetServerConfig,
+) -> io::Result<EventHandle> {
+    listener.set_nonblocking(true)?;
+    let me = node.id();
+    let gossip_period = Duration::from_micros(node.gossip_period().as_micros().max(1));
+    let shared = Arc::new(EventShared {
+        me,
+        node: Mutex::new(node),
+        stats: Mutex::new(WireStats::new()),
+        shutdown: AtomicBool::new(false),
+        start: Instant::now(),
+    });
+    let loop_shared = shared.clone();
+    let thread = std::thread::spawn(move || run(loop_shared, listener, peers, cfg, gossip_period));
+    Ok(EventHandle {
+        shared,
+        thread: Mutex::new(Some(thread)),
+    })
+}
+
+/// One live connection owned by the loop.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    out: WriteQueue,
+    /// Routing identity; `None` until the inbound hello arrives
+    /// (outbound peer links know it at dial time).
+    addr: Option<Addr>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, cfg: &NetServerConfig) -> Conn {
+        Conn {
+            stream,
+            reader: FrameReader::new(cfg.max_frame),
+            out: WriteQueue::new(cfg.max_frame, cfg.max_frame.saturating_mul(OUT_CAP_FRAMES)),
+            addr: None,
+        }
+    }
+}
+
+/// Redial state for one peer server.
+struct PeerDial {
+    backoff: Backoff,
+    next_attempt: Instant,
+    /// A helper thread is currently dialing; don't start another.
+    inflight: bool,
+    /// Messages awaiting the connection (bounded; overflow is silence).
+    queued: Vec<Msg>,
+}
+
+enum DialResult {
+    Up(ServerId, TcpStream),
+    Down(ServerId),
+}
+
+/// Everything the loop owns; split out so helpers can borrow it whole.
+struct Loop {
+    shared: Arc<EventShared>,
+    cfg: NetServerConfig,
+    peers: Vec<SocketAddr>,
+    conns: Vec<Option<Conn>>,
+    routes: HashMap<Addr, usize>,
+    dials: HashMap<ServerId, PeerDial>,
+    dial_tx: mpsc::Sender<DialResult>,
+    rng: StdRng,
+}
+
+impl Loop {
+    /// Stores `conn` in the first free slot and returns its index.
+    fn insert(&mut self, conn: Conn) -> usize {
+        for (i, slot) in self.conns.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(conn);
+                return i;
+            }
+        }
+        self.conns.push(Some(conn));
+        self.conns.len().saturating_sub(1)
+    }
+
+    /// Closes connection `idx`, dropping its route if it still owns it.
+    fn close(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        if let Some(addr) = conn.addr {
+            if self.routes.get(&addr) == Some(&idx) {
+                self.routes.remove(&addr);
+            }
+        }
+        // Dropping `conn` closes the socket.
+    }
+
+    /// Encodes and enqueues one message on connection `idx`. Frames the
+    /// queue cannot take are dropped — backpressure surfaces as silence.
+    fn enqueue(&mut self, idx: usize, msg: &Msg) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        let bytes = encode_msg(msg);
+        locked(&self.shared.stats).record(msg, bytes.len());
+        let _ = conn.out.enqueue(&bytes);
+    }
+
+    /// Routes one state-machine output: direct to a live connection,
+    /// else (for peer servers) onto the dial queue; vanished clients are
+    /// silence.
+    fn route(&mut self, to: Addr, msg: Msg) {
+        if let Some(&idx) = self.routes.get(&to) {
+            self.enqueue(idx, &msg);
+            return;
+        }
+        let Addr::Server(peer) = to else {
+            return; // client went away; nothing to do
+        };
+        if peer == self.shared.me {
+            return;
+        }
+        let Some(&addr) = self.peers.get(usize::from(peer.0)) else {
+            return;
+        };
+        let dial = self.dials.entry(peer).or_insert_with(|| PeerDial {
+            backoff: Backoff::new(self.cfg.backoff_min, self.cfg.backoff_max),
+            next_attempt: Instant::now(),
+            inflight: false,
+            queued: Vec::new(),
+        });
+        if dial.queued.len() < DIAL_QUEUE_CAP {
+            dial.queued.push(msg);
+        }
+        if !dial.inflight && Instant::now() >= dial.next_attempt {
+            dial.inflight = true;
+            let tx = self.dial_tx.clone();
+            let timeout = self.cfg.connect_timeout;
+            std::thread::spawn(move || {
+                let result = match TcpStream::connect_timeout(&addr, timeout) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        DialResult::Up(peer, stream)
+                    }
+                    Err(_) => DialResult::Down(peer),
+                };
+                let _ = tx.send(result);
+            });
+        }
+    }
+
+    /// Registers a finished outbound dial.
+    fn dial_done(&mut self, result: DialResult) {
+        match result {
+            DialResult::Up(peer, stream) => {
+                if stream.set_nonblocking(true).is_err() {
+                    self.dial_done(DialResult::Down(peer));
+                    return;
+                }
+                let mut conn = Conn::new(stream, &self.cfg);
+                conn.addr = Some(Addr::Server(peer));
+                if conn
+                    .out
+                    .enqueue(&encode_hello(Addr::Server(self.shared.me)))
+                    .is_err()
+                {
+                    return;
+                }
+                let idx = self.insert(conn);
+                self.routes.insert(Addr::Server(peer), idx);
+                let queued = match self.dials.get_mut(&peer) {
+                    Some(dial) => {
+                        dial.inflight = false;
+                        dial.backoff.reset();
+                        std::mem::take(&mut dial.queued)
+                    }
+                    None => Vec::new(),
+                };
+                for msg in queued {
+                    self.enqueue(idx, &msg);
+                }
+            }
+            DialResult::Down(peer) => {
+                if let Some(dial) = self.dials.get_mut(&peer) {
+                    dial.inflight = false;
+                    dial.queued.clear(); // unreachable peer: silence
+                    let delay = dial.backoff.next_delay(&mut self.rng);
+                    dial.next_attempt = Instant::now() + delay;
+                }
+            }
+        }
+    }
+
+    /// Drains readable bytes from connection `idx`, dispatching every
+    /// complete frame through the state machine. Returns whether any
+    /// byte arrived.
+    fn read_conn(&mut self, idx: usize, scratch: &mut [u8]) -> bool {
+        let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return false;
+        };
+        let mut outs: Vec<(Addr, Msg)> = Vec::new();
+        let mut progressed = false;
+        let mut alive = true;
+        let mut budget = READ_BUDGET;
+        'read: while budget > 0 {
+            budget -= 1;
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    alive = false;
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    let Some(bytes) = scratch.get(..n) else {
+                        alive = false;
+                        break;
+                    };
+                    conn.reader.ingest(bytes);
+                    loop {
+                        match conn.reader.next_frame() {
+                            Ok(Some(frame)) => {
+                                if !self.dispatch(&mut conn, idx, &frame, &mut outs) {
+                                    alive = false;
+                                    break 'read;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Oversized announcement: protocol
+                                // violation, drop the connection.
+                                alive = false;
+                                break 'read;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    alive = false;
+                    break;
+                }
+            }
+        }
+        if let Some(slot) = self.conns.get_mut(idx) {
+            *slot = Some(conn);
+        }
+        if !alive {
+            self.close(idx);
+        }
+        // Route only after the connection is back in (or out of) the
+        // slab, so replies to the sender itself find it by route.
+        for (to, msg) in outs {
+            self.route(to, msg);
+        }
+        progressed
+    }
+
+    /// Handles one complete frame on `conn`: the first must be a hello,
+    /// the rest are protocol messages. Returns `false` on a protocol
+    /// violation (caller drops the connection).
+    fn dispatch(
+        &mut self,
+        conn: &mut Conn,
+        idx: usize,
+        frame: &[u8],
+        outs: &mut Vec<(Addr, Msg)>,
+    ) -> bool {
+        match conn.addr {
+            None => match decode_hello(frame) {
+                Ok(addr) => {
+                    conn.addr = Some(addr);
+                    // Last hello wins, like the threaded path's link
+                    // registry: a reconnecting party replaces its route.
+                    self.routes.insert(addr, idx);
+                    true
+                }
+                Err(_) => false,
+            },
+            Some(from) => match decode_msg(frame) {
+                Ok(msg) => {
+                    let now = self.shared.now();
+                    outs.extend(locked(&self.shared.node).handle(from, msg, now));
+                    true
+                }
+                Err(_) => false,
+            },
+        }
+    }
+}
+
+/// The loop body. Runs until shutdown; dropping the state closes every
+/// socket.
+fn run(
+    shared: Arc<EventShared>,
+    listener: TcpListener,
+    peers: Vec<SocketAddr>,
+    cfg: NetServerConfig,
+    gossip_period: Duration,
+) {
+    let me = shared.me;
+    let (dial_tx, dial_rx) = mpsc::channel();
+    let mut lp = Loop {
+        shared,
+        cfg,
+        peers,
+        conns: Vec::new(),
+        routes: HashMap::new(),
+        dials: HashMap::new(),
+        dial_tx,
+        rng: StdRng::seed_from_u64(0xbeef ^ u64::from(me.0)),
+    };
+    let mut scratch = vec![0u8; SCRATCH];
+    let idle = lp
+        .cfg
+        .poll_interval
+        .min(Duration::from_millis(1))
+        .max(Duration::from_micros(50));
+    let mut next_gossip = Instant::now() + gossip_period;
+    loop {
+        if lp.shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut progressed = false;
+
+        // 1. Accept.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn = Conn::new(stream, &lp.cfg);
+                    lp.insert(conn);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // 2. Finished dials.
+        while let Ok(result) = dial_rx.try_recv() {
+            lp.dial_done(result);
+            progressed = true;
+        }
+
+        // 3. Read + dispatch (responses and forwarded messages are
+        // enqueued as they are produced — pipelining).
+        for idx in 0..lp.conns.len() {
+            if lp.read_conn(idx, &mut scratch) {
+                progressed = true;
+            }
+        }
+
+        // 4. Gossip timer: the whole fan-out is enqueued here and hits
+        // the sockets in one flush below (batched gossip).
+        let now = Instant::now();
+        if now >= next_gossip {
+            next_gossip = now + gossip_period;
+            let sim_now = lp.shared.now();
+            let outs = locked(&lp.shared.node).on_gossip_timer(sim_now, &mut lp.rng);
+            for (to, msg) in outs {
+                lp.route(to, msg);
+            }
+            progressed = true;
+        }
+
+        // 5. Flush.
+        let mut dead: Vec<usize> = Vec::new();
+        for (idx, slot) in lp.conns.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else { continue };
+            if conn.out.pending() == 0 {
+                continue;
+            }
+            match conn.out.flush_to(&mut conn.stream) {
+                Ok(n) => {
+                    if n > 0 {
+                        progressed = true;
+                    }
+                }
+                Err(_) => dead.push(idx),
+            }
+        }
+        for idx in dead {
+            lp.close(idx);
+        }
+
+        // 6. Idle wait, bounded by the gossip deadline.
+        if !progressed {
+            let until_gossip = next_gossip.saturating_duration_since(Instant::now());
+            std::thread::sleep(idle.min(until_gossip.max(Duration::from_micros(50))));
+        }
+    }
+}

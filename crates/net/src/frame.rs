@@ -90,9 +90,18 @@ impl From<CodecError> for WireError {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors; payloads longer than `u32::MAX` are rejected as
-/// [`WireError::Oversized`] before anything is written.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+/// Propagates I/O errors; payloads longer than `max` (or `u32::MAX`) are
+/// rejected as [`WireError::Oversized`] before anything is written. The
+/// bound is the same cap the *reader* enforces: emitting a frame above it
+/// would only make the peer drop the connection, so the violation is
+/// surfaced at the sender — where the bug is — instead.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max: usize) -> Result<(), WireError> {
+    if payload.len() > max {
+        return Err(WireError::Oversized {
+            len: payload.len(),
+            max,
+        });
+    }
     let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized {
         len: payload.len(),
         max: u32::MAX as usize,
@@ -167,7 +176,7 @@ mod tests {
     #[test]
     fn frame_roundtrip() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello frame").unwrap();
+        write_frame(&mut buf, b"hello frame", DEFAULT_MAX_FRAME).unwrap();
         let mut cursor = io::Cursor::new(buf);
         assert_eq!(
             read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
@@ -178,7 +187,7 @@ mod tests {
     #[test]
     fn empty_frame_roundtrip() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
         let mut cursor = io::Cursor::new(buf);
         assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME)
             .unwrap()
@@ -200,9 +209,28 @@ mod tests {
     }
 
     #[test]
+    fn oversized_payload_rejected_on_write_before_any_byte() {
+        // Symmetric to the read-side cap: the writer must refuse to emit
+        // a frame the peer is guaranteed to drop, and must not leave a
+        // half-written header on the wire.
+        let mut buf = Vec::new();
+        match write_frame(&mut buf, &[0u8; 1025], 1024).unwrap_err() {
+            WireError::Oversized { len, max } => {
+                assert_eq!(len, 1025);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert!(
+            buf.is_empty(),
+            "no bytes may be emitted for a rejected frame"
+        );
+    }
+
+    #[test]
     fn truncated_frame_reports_eof() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"full payload").unwrap();
+        write_frame(&mut buf, b"full payload", DEFAULT_MAX_FRAME).unwrap();
         buf.truncate(buf.len() - 3);
         let mut cursor = io::Cursor::new(buf);
         match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap_err() {

@@ -11,9 +11,12 @@
 //! 3. **`sstore-net`** (this crate) — real sockets: a canonical binary
 //!    codec (`sstore_core::codec`) under length-prefixed framing, the
 //!    [`NetServer`] daemon (also packaged as the `sstore-server` binary,
-//!    one repository server per process), and the blocking
-//!    [`NetClient`] with per-request deadlines and bounded-backoff
-//!    reconnect.
+//!    one repository server per process; [`ServingMode`] selects the
+//!    default non-blocking event loop or the legacy
+//!    thread-per-connection path), the blocking [`NetClient`] with
+//!    per-request deadlines and bounded-backoff reconnect, and the
+//!    pipelining [`PipeClient`] that multiplexes many in-flight
+//!    operations over one connection set.
 //!
 //! The byte-for-byte identical state machines are the point: behavior
 //! validated in the simulator is the behavior deployed on the wire. The
@@ -26,13 +29,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backoff;
 mod client;
+mod conn;
+mod event_loop;
 mod frame;
+mod pipeline;
 mod server;
 
+pub use backoff::{jittered, Backoff};
 pub use client::{NetClient, NetClientConfig, NetCluster};
+pub use conn::{Enqueued, FrameReader, WriteQueue};
 pub use frame::{
     decode_hello, encode_hello, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME,
 };
-pub use server::{NetServer, NetServerConfig};
+pub use pipeline::PipeClient;
+pub use server::{NetServer, NetServerConfig, ServingMode};
 pub use sstore_transport::{StoreError, StoreHandle};

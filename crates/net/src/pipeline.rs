@@ -1,0 +1,372 @@
+//! The pipelined socket client: many in-flight operations, one
+//! connection set.
+//!
+//! [`crate::NetClient`] is strictly blocking — one operation in flight,
+//! `submit → wait → result`. [`PipeClient`] drives the *same*
+//! [`ClientCore`] state machine over the same framed TCP protocol, but
+//! non-blockingly: callers [`PipeClient::submit`] as many operations as
+//! they like (the core tracks each by [`OpId`]) and then
+//! [`PipeClient::pump`] readiness — every pump reads whatever responses
+//! have arrived on any server connection, advances protocol timers, and
+//! returns whichever operations completed, in whatever order the quorums
+//! formed. Responses are matched to requests by the protocol's operation
+//! id, not by arrival order, so a slow quorum for op 3 never blocks the
+//! completion of op 7.
+//!
+//! This is the client-side half of the serving tentpole: one process can
+//! multiplex thousands of logical sessions over `n` sockets (one per
+//! server) instead of thousands of blocked threads. `sstore-load` is the
+//! canonical consumer.
+//!
+//! Connection management mirrors [`crate::NetClient`]: each server gets
+//! one lazily-dialed connection; failures surface as silence and the
+//! shared [`sstore_core::RetryPolicy`] paces redials, with jitter so a
+//! mass disconnect does not reconnect in lockstep.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sstore_core::client::{ClientCore, ClientOp, OpResult, Output};
+use sstore_core::codec::{decode_msg, encode_msg};
+use sstore_core::metrics::WireStats;
+use sstore_core::server::Addr;
+use sstore_core::types::{ClientId, GroupId, OpId, ServerId};
+use sstore_core::wire::Msg;
+use sstore_core::Context;
+use sstore_simnet::SimTime;
+
+use crate::backoff::jittered;
+use crate::conn::{FrameReader, WriteQueue};
+use crate::frame::encode_hello;
+use crate::NetClientConfig;
+
+/// Scratch read-buffer size.
+const SCRATCH: usize = 64 * 1024;
+
+/// Per-connection write-queue cap, as a multiple of the frame cap.
+const OUT_CAP_FRAMES: usize = 4;
+
+/// Per-server connection state.
+struct PipeLink {
+    /// The non-blocking socket, if the link is up.
+    stream: Option<TcpStream>,
+    reader: FrameReader,
+    out: WriteQueue,
+    /// Earliest time the next dial may be attempted.
+    next_attempt: Instant,
+    /// Consecutive failed dials; drives the shared retry-policy backoff.
+    attempts: u32,
+}
+
+/// A non-blocking, pipelining client handle. See the module docs.
+pub struct PipeClient {
+    core: ClientCore,
+    links: Vec<PipeLink>,
+    addrs: Vec<SocketAddr>,
+    cfg: NetClientConfig,
+    rng: StdRng,
+    timers: BinaryHeap<Reverse<(Instant, u64)>>,
+    start: Instant,
+    stats: WireStats,
+    done: Vec<OpResult>,
+    scratch: Vec<u8>,
+}
+
+impl PipeClient {
+    pub(crate) fn new(
+        core: ClientCore,
+        addrs: Vec<SocketAddr>,
+        cfg: NetClientConfig,
+    ) -> PipeClient {
+        let links = addrs
+            .iter()
+            .map(|_| PipeLink {
+                stream: None,
+                reader: FrameReader::new(cfg.max_frame),
+                out: WriteQueue::new(cfg.max_frame, cfg.max_frame.saturating_mul(OUT_CAP_FRAMES)),
+                next_attempt: Instant::now(),
+                attempts: 0,
+            })
+            .collect();
+        let seed = 0xb1be ^ u64::from(core.id().0);
+        PipeClient {
+            core,
+            links,
+            addrs,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            timers: BinaryHeap::new(),
+            start: Instant::now(),
+            stats: WireStats::new(),
+            done: Vec::new(),
+            scratch: vec![0u8; SCRATCH],
+        }
+    }
+
+    /// This client's protocol id.
+    pub fn id(&self) -> ClientId {
+        self.core.id()
+    }
+
+    /// Operations begun but not yet completed.
+    pub fn inflight(&self) -> usize {
+        self.core.inflight()
+    }
+
+    /// The client's current context for `group`.
+    pub fn context(&self, group: GroupId) -> Context {
+        self.core.context(group)
+    }
+
+    /// Measured-vs-formula byte accounting for every frame sent.
+    pub fn wire_stats(&self) -> &WireStats {
+        &self.stats
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+
+    /// Begins `op` without waiting for it; its messages go out on this
+    /// call (and on every later [`PipeClient::pump`] retry round). The
+    /// returned [`OpId`] matches the eventual [`OpResult::op`].
+    pub fn submit(&mut self, op: ClientOp) -> OpId {
+        self.ensure_links();
+        let now = self.now();
+        let (op_id, out) = self.core.begin(op, now, &mut self.rng);
+        self.apply(out);
+        self.flush_links();
+        op_id
+    }
+
+    /// One readiness round: redial due links, fire due protocol timers,
+    /// drain every readable socket through the state machine, flush
+    /// pending writes. Returns every operation that completed, in
+    /// completion order (which may be any order relative to submission).
+    pub fn pump(&mut self) -> Vec<OpResult> {
+        self.ensure_links();
+        self.fire_due_timers();
+        self.read_links();
+        self.flush_links();
+        std::mem::take(&mut self.done)
+    }
+
+    /// Pumps until at least one operation completes or `deadline`
+    /// passes, sleeping briefly between empty rounds.
+    pub fn pump_until(&mut self, deadline: Instant) -> Vec<OpResult> {
+        loop {
+            let done = self.pump();
+            if !done.is_empty() || Instant::now() >= deadline {
+                return done;
+            }
+            let wake = self
+                .timers
+                .peek()
+                .map(|Reverse((t, _))| *t)
+                .unwrap_or(deadline)
+                .min(deadline);
+            let nap = wake
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_micros(500));
+            std::thread::sleep(nap.max(Duration::from_micros(50)));
+        }
+    }
+
+    /// Sends effects, arms timers, banks completions.
+    fn apply(&mut self, out: Output) {
+        for (to, msg) in out.sends {
+            self.send(to, &msg);
+        }
+        for (delay, token) in out.timers {
+            let at = Instant::now() + Duration::from_micros(delay.as_micros());
+            self.timers.push(Reverse((at, token)));
+        }
+        self.done.extend(out.done);
+    }
+
+    /// Enqueues one message for `to` if its link is up; silence if not.
+    fn send(&mut self, to: ServerId, msg: &Msg) {
+        let Some(link) = self.links.get_mut(usize::from(to.0)) else {
+            return;
+        };
+        if link.stream.is_none() {
+            return;
+        }
+        let bytes = encode_msg(msg);
+        self.stats.record(msg, bytes.len());
+        let _ = link.out.enqueue(&bytes);
+    }
+
+    /// (Re)dials every down link whose backoff has elapsed. The dial
+    /// itself is the one blocking call in this client (bounded by
+    /// `connect_timeout`); jittered retry-policy backoff paces attempts.
+    fn ensure_links(&mut self) {
+        let me = self.core.id();
+        let retry = self.core.retry_policy();
+        for i in 0..self.links.len() {
+            let due = match self.links.get(i) {
+                Some(link) => link.stream.is_none() && Instant::now() >= link.next_attempt,
+                None => false,
+            };
+            if !due {
+                continue;
+            }
+            let Some(&addr) = self.addrs.get(i) else {
+                continue;
+            };
+            let dialed =
+                TcpStream::connect_timeout(&addr, self.cfg.connect_timeout).and_then(|stream| {
+                    stream.set_nodelay(true)?;
+                    stream.set_nonblocking(true)?;
+                    Ok(stream)
+                });
+            let Some(link) = self.links.get_mut(i) else {
+                continue;
+            };
+            match dialed {
+                Ok(stream) => {
+                    link.attempts = 0;
+                    link.reader = FrameReader::new(self.cfg.max_frame);
+                    link.out = WriteQueue::new(
+                        self.cfg.max_frame,
+                        self.cfg.max_frame.saturating_mul(OUT_CAP_FRAMES),
+                    );
+                    if link.out.enqueue(&encode_hello(Addr::Client(me))).is_err() {
+                        continue;
+                    }
+                    link.stream = Some(stream);
+                }
+                Err(_) => {
+                    link.attempts = link.attempts.saturating_add(1);
+                    let delay = retry.dial_delay(link.attempts);
+                    let delay = jittered(Duration::from_micros(delay.as_micros()), &mut self.rng);
+                    link.next_attempt = Instant::now() + delay;
+                }
+            }
+        }
+    }
+
+    /// Tears down server `i`'s connection; the next pump may redial.
+    fn drop_link(&mut self, i: usize) {
+        if let Some(link) = self.links.get_mut(i) {
+            if let Some(stream) = link.stream.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            link.next_attempt = Instant::now();
+            link.attempts = 0;
+        }
+    }
+
+    /// Fires every protocol timer whose deadline has passed.
+    fn fire_due_timers(&mut self) {
+        while let Some(Reverse((t, token))) = self.timers.peek().copied() {
+            if t > Instant::now() {
+                break;
+            }
+            self.timers.pop();
+            let now = self.now();
+            let out = self.core.on_timeout(token, now);
+            self.apply(out);
+        }
+    }
+
+    /// Drains every readable link, feeding complete frames through the
+    /// state machine.
+    fn read_links(&mut self) {
+        for i in 0..self.links.len() {
+            // Collect this link's complete messages first, then run them
+            // through the core (which may enqueue sends on *other* links).
+            let mut inbound: Vec<Msg> = Vec::new();
+            let mut alive = true;
+            {
+                let Some(link) = self.links.get_mut(i) else {
+                    continue;
+                };
+                let Some(stream) = link.stream.as_mut() else {
+                    continue;
+                };
+                'read: loop {
+                    match stream.read(&mut self.scratch) {
+                        Ok(0) => {
+                            alive = false;
+                            break;
+                        }
+                        Ok(n) => {
+                            let Some(bytes) = self.scratch.get(..n) else {
+                                alive = false;
+                                break;
+                            };
+                            link.reader.ingest(bytes);
+                            loop {
+                                match link.reader.next_frame() {
+                                    Ok(Some(frame)) => match decode_msg(&frame) {
+                                        Ok(msg) => inbound.push(msg),
+                                        Err(_) => {
+                                            alive = false;
+                                            break 'read;
+                                        }
+                                    },
+                                    Ok(None) => break,
+                                    Err(_) => {
+                                        alive = false;
+                                        break 'read;
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            alive = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !alive {
+                self.drop_link(i);
+            }
+            let sid = ServerId(u16::try_from(i).unwrap_or(u16::MAX));
+            for msg in inbound {
+                let now = self.now();
+                let out = self.core.on_message(sid, msg, now);
+                self.apply(out);
+            }
+        }
+    }
+
+    /// Flushes every link's write queue as far as the sockets allow.
+    fn flush_links(&mut self) {
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, link) in self.links.iter_mut().enumerate() {
+            let Some(stream) = link.stream.as_mut() else {
+                continue;
+            };
+            if link.out.pending() == 0 {
+                continue;
+            }
+            if link.out.flush_to(stream).is_err() {
+                dead.push(i);
+            }
+        }
+        for i in dead {
+            self.drop_link(i);
+        }
+    }
+}
+
+impl Drop for PipeClient {
+    fn drop(&mut self) {
+        for link in &mut self.links {
+            if let Some(stream) = link.stream.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}

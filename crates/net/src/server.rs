@@ -1,21 +1,25 @@
-//! The TCP repository server: one [`ServerNode`] behind an accept loop.
+//! The TCP repository server: one [`ServerNode`] behind a listener.
 //!
-//! Architecture (threads-and-channels, matching `sstore-transport`):
+//! [`NetServer::start`] runs one of two serving architectures, selected
+//! by [`NetServerConfig::serving`]:
 //!
-//! - one **accept loop** thread polls the listener and spawns a connection
-//!   pair per accepted socket;
-//! - each connection runs a **reader** thread (frames → [`Msg`] →
-//!   [`ServerNode::handle`]) and a **writer** thread draining a channel of
-//!   outbound messages;
-//! - one **gossip** thread fires [`ServerNode::on_gossip_timer`] on the
-//!   configured period and routes the resulting messages to peers over a
-//!   lazily-dialed outbound mesh with bounded-backoff redial.
+//! - [`ServingMode::EventLoop`] (default) — the non-blocking
+//!   readiness-driven loop in [`crate::event_loop`], with request
+//!   pipelining and batched gossip flushes;
+//! - [`ServingMode::Threaded`] — the legacy thread-per-connection path
+//!   in this module, kept behind the flag until the event loop has a
+//!   full parity record: one **accept loop** thread spawning a
+//!   **reader** thread (frames → [`Msg`] → [`ServerNode::handle`]) and
+//!   a **writer** thread per connection, plus one **gossip** thread
+//!   routing [`ServerNode::on_gossip_timer`] output over a lazily-dialed
+//!   outbound mesh with jittered bounded-backoff redial.
 //!
-//! The sans-I/O state machine is shared behind a mutex; it is only ever
-//! locked for the duration of one `handle`/`on_gossip_timer` call, never
-//! across I/O. Connections that send garbage are dropped; unreachable
-//! peers or vanished clients make messages silently evaporate — exactly the
-//! "silence, not errors" failure model the quorum protocols assume.
+//! In both modes the sans-I/O state machine is shared behind a mutex; it
+//! is only ever locked for the duration of one `handle`/`on_gossip_timer`
+//! call, never across I/O. Connections that send garbage are dropped;
+//! unreachable peers or vanished clients make messages silently
+//! evaporate — exactly the "silence, not errors" failure model the
+//! quorum protocols assume.
 
 use std::collections::HashMap;
 use std::io;
@@ -36,7 +40,21 @@ use sstore_core::types::ServerId;
 use sstore_core::wire::Msg;
 use sstore_simnet::SimTime;
 
+use crate::backoff::Backoff;
 use crate::frame::{decode_hello, encode_hello, read_frame, write_frame, DEFAULT_MAX_FRAME};
+
+/// Which serving architecture a [`NetServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServingMode {
+    /// One non-blocking readiness-driven event loop for every
+    /// connection, with request pipelining and batched gossip flushes.
+    #[default]
+    EventLoop,
+    /// The legacy thread-per-connection path (reader + writer thread per
+    /// socket). Kept until the event loop's parity record is long enough
+    /// to delete it.
+    Threaded,
+}
 
 /// Socket-layer tuning for a [`NetServer`].
 #[derive(Debug, Clone)]
@@ -52,6 +70,8 @@ pub struct NetServerConfig {
     /// Poll interval of the accept and gossip loops (bounds shutdown
     /// latency, not throughput).
     pub poll_interval: Duration,
+    /// Serving architecture (default: the event loop).
+    pub serving: ServingMode,
 }
 
 impl Default for NetServerConfig {
@@ -62,6 +82,7 @@ impl Default for NetServerConfig {
             backoff_min: Duration::from_millis(100),
             backoff_max: Duration::from_secs(2),
             poll_interval: Duration::from_millis(20),
+            serving: ServingMode::default(),
         }
     }
 }
@@ -82,8 +103,11 @@ struct Shared {
     threads: Mutex<Vec<JoinHandle<()>>>,
     /// Peer listen addresses, indexed by `ServerId.0`.
     peers: Vec<SocketAddr>,
-    /// Per-peer redial state: (earliest next attempt, current backoff).
-    redial: Mutex<HashMap<ServerId, (Instant, Duration)>>,
+    /// Per-peer redial state: (earliest next attempt, jittered schedule).
+    redial: Mutex<HashMap<ServerId, (Instant, Backoff)>>,
+    /// Rng for redial jitter (shared by whichever connection thread hits
+    /// a failed dial).
+    dial_rng: Mutex<StdRng>,
     start: Instant,
     stats: Mutex<WireStats>,
     shutdown: AtomicBool,
@@ -104,13 +128,19 @@ impl Shared {
 /// effects it returns), so a poisoned lock carries no torn state — and one
 /// panicking connection thread must not wedge the entire server, which is
 /// exactly the availability story the deployment exists to demonstrate.
-fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The serving-mode-specific half of a [`NetServer`].
+enum Imp {
+    Threaded(Arc<Shared>),
+    Event(crate::event_loop::EventHandle),
 }
 
 /// One repository server listening on a TCP socket.
 pub struct NetServer {
-    shared: Arc<Shared>,
+    imp: Imp,
     local_addr: SocketAddr,
 }
 
@@ -129,6 +159,13 @@ impl NetServer {
         cfg: NetServerConfig,
     ) -> io::Result<NetServer> {
         let local_addr = listener.local_addr()?;
+        if cfg.serving == ServingMode::EventLoop {
+            let handle = crate::event_loop::start(node, listener, peers, cfg)?;
+            return Ok(NetServer {
+                imp: Imp::Event(handle),
+                local_addr,
+            });
+        }
         listener.set_nonblocking(true)?;
         let me = node.id();
         let gossip_period = Duration::from_micros(node.gossip_period().as_micros().max(1));
@@ -140,6 +177,7 @@ impl NetServer {
             threads: Mutex::new(Vec::new()),
             peers,
             redial: Mutex::new(HashMap::new()),
+            dial_rng: Mutex::new(StdRng::seed_from_u64(0xd1a1 ^ u64::from(me.0))),
             start: Instant::now(),
             stats: Mutex::new(WireStats::new()),
             shutdown: AtomicBool::new(false),
@@ -155,7 +193,10 @@ impl NetServer {
         let gossip = std::thread::spawn(move || gossip_loop(gossip_shared, gossip_period));
         locked(&shared.threads).extend([accept, gossip]);
 
-        Ok(NetServer { shared, local_addr })
+        Ok(NetServer {
+            imp: Imp::Threaded(shared),
+            local_addr,
+        })
     }
 
     /// The bound listen address (useful with ephemeral ports).
@@ -165,33 +206,47 @@ impl NetServer {
 
     /// This server's id.
     pub fn id(&self) -> ServerId {
-        self.shared.me
+        match &self.imp {
+            Imp::Threaded(shared) => shared.me,
+            Imp::Event(handle) => handle.shared.me,
+        }
     }
 
     /// Snapshot of the measured-vs-formula byte accounting for every frame
     /// this server has sent.
     pub fn wire_stats(&self) -> WireStats {
-        locked(&self.shared.stats).clone()
+        match &self.imp {
+            Imp::Threaded(shared) => locked(&shared.stats).clone(),
+            Imp::Event(handle) => locked(&handle.shared.stats).clone(),
+        }
     }
 
     /// Runs `f` against the server state machine (test/inspection hook).
     pub fn with_node<R>(&self, f: impl FnOnce(&ServerNode) -> R) -> R {
-        f(&locked(&self.shared.node))
+        match &self.imp {
+            Imp::Threaded(shared) => f(&locked(&shared.node)),
+            Imp::Event(handle) => f(&locked(&handle.shared.node)),
+        }
     }
 
     /// Stops all threads and closes every connection. Blocks until the
-    /// accept, gossip and connection threads have exited.
+    /// serving threads have exited.
     pub fn shutdown(self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Dropping the links closes the writer channels; shutting the
-        // sockets down unblocks the readers.
-        locked(&self.shared.links).clear();
-        for sock in locked(&self.shared.socks).drain(..) {
-            let _ = sock.shutdown(Shutdown::Both);
-        }
-        let handles: Vec<JoinHandle<()>> = locked(&self.shared.threads).drain(..).collect();
-        for h in handles {
-            let _ = h.join();
+        match self.imp {
+            Imp::Event(handle) => handle.shutdown(),
+            Imp::Threaded(shared) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                // Dropping the links closes the writer channels; shutting
+                // the sockets down unblocks the readers.
+                locked(&shared.links).clear();
+                for sock in locked(&shared.socks).drain(..) {
+                    let _ = sock.shutdown(Shutdown::Both);
+                }
+                let handles: Vec<JoinHandle<()>> = locked(&shared.threads).drain(..).collect();
+                for h in handles {
+                    let _ = h.join();
+                }
+            }
         }
     }
 }
@@ -282,7 +337,7 @@ fn writer_loop(
     for msg in rx.iter() {
         let bytes = encode_msg(&msg);
         locked(&shared.stats).record(&msg, bytes.len());
-        if write_frame(&mut stream, &bytes).is_err() {
+        if write_frame(&mut stream, &bytes, shared.cfg.max_frame).is_err() {
             break;
         }
     }
@@ -369,7 +424,13 @@ fn dial(shared: &Arc<Shared>, peer: ServerId) -> Option<Sender<Msg>> {
                 Ok(s) => s,
                 Err(_) => return None,
             };
-            if write_frame(&mut hello_stream, &encode_hello(Addr::Server(shared.me))).is_err() {
+            if write_frame(
+                &mut hello_stream,
+                &encode_hello(Addr::Server(shared.me)),
+                shared.cfg.max_frame,
+            )
+            .is_err()
+            {
                 return None;
             }
             if let Ok(ctrl) = stream.try_clone() {
@@ -391,12 +452,18 @@ fn dial(shared: &Arc<Shared>, peer: ServerId) -> Option<Sender<Msg>> {
             Some(register_link(shared, Addr::Server(peer), stream))
         }
         Err(_) => {
+            // Jittered bounded backoff: a partition that cut many links
+            // at once must not make the whole fleet redial in lockstep.
+            let mut rng = locked(&shared.dial_rng);
             let mut redial = locked(&shared.redial);
-            let backoff = redial
-                .get(&peer)
-                .map(|&(_, b)| (b * 2).min(shared.cfg.backoff_max))
-                .unwrap_or(shared.cfg.backoff_min);
-            redial.insert(peer, (Instant::now() + backoff, backoff));
+            let (next_attempt, schedule) = redial.entry(peer).or_insert_with(|| {
+                (
+                    Instant::now(),
+                    Backoff::new(shared.cfg.backoff_min, shared.cfg.backoff_max),
+                )
+            });
+            let delay = schedule.next_delay(&mut rng);
+            *next_attempt = Instant::now() + delay;
             None
         }
     }

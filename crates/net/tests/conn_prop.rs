@@ -1,0 +1,155 @@
+//! Property-based coverage for connection buffering: the frame reader
+//! must reassemble identical frames no matter how the kernel fragments
+//! the byte stream, and the write queue must emit an identical stream no
+//! matter how small the socket's accepted chunks are. TCP guarantees
+//! neither read nor write boundaries, so both sides are driven here
+//! through arbitrary split points.
+
+use std::io::{self, Write};
+
+use proptest::prelude::*;
+
+use sstore_net::{write_frame, Enqueued, FrameReader, WriteQueue, DEFAULT_MAX_FRAME};
+
+/// A writer that accepts at most `chunk` bytes per call — the worst-case
+/// trickle a non-blocking socket can impose.
+struct Trickle {
+    out: Vec<u8>,
+    chunk: usize,
+}
+
+impl Write for Trickle {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let take = buf.len().min(self.chunk.max(1));
+        self.out.extend_from_slice(&buf[..take]);
+        Ok(take)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Splits `stream` at pseudo-arbitrary boundaries derived from `cuts`
+/// and feeds each fragment to the reader, collecting completed frames.
+fn ingest_fragmented(
+    reader: &mut FrameReader,
+    stream: &[u8],
+    cuts: &[usize],
+) -> Result<Vec<Vec<u8>>, sstore_net::WireError> {
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    let mut cut_idx = 0;
+    while pos < stream.len() {
+        let step = if cuts.is_empty() {
+            stream.len()
+        } else {
+            1 + cuts[cut_idx % cuts.len()] % 17
+        };
+        cut_idx += 1;
+        let end = (pos + step).min(stream.len());
+        reader.ingest(&stream[pos..end]);
+        while let Some(frame) = reader.next_frame()? {
+            frames.push(frame);
+        }
+        pos = end;
+    }
+    Ok(frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fragmented_reads_reassemble_exactly(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..300),
+            1..8,
+        ),
+        cuts in proptest::collection::vec(0usize..64, 0..32),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p, DEFAULT_MAX_FRAME).unwrap();
+        }
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        let frames = ingest_fragmented(&mut reader, &stream, &cuts).unwrap();
+        prop_assert_eq!(frames, payloads);
+        prop_assert_eq!(reader.pending(), 0, "no leftover bytes after last frame");
+    }
+
+    #[test]
+    fn fragmented_junk_never_panics(
+        junk in proptest::collection::vec(any::<u8>(), 0..600),
+        cuts in proptest::collection::vec(0usize..64, 0..32),
+    ) {
+        // Junk is not a valid stream, but the reader must fail cleanly
+        // (or keep waiting for more bytes), never panic.
+        let mut reader = FrameReader::new(512);
+        let _ = ingest_fragmented(&mut reader, &junk, &cuts);
+    }
+
+    #[test]
+    fn trickled_writes_roundtrip_through_reader(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..300),
+            1..8,
+        ),
+        chunk in 1usize..40,
+    ) {
+        // Enqueue everything, flush through a writer that takes only
+        // `chunk` bytes at a time, then reassemble: the queue's partial-
+        // write bookkeeping must never duplicate, drop, or reorder bytes.
+        let mut queue = WriteQueue::new(DEFAULT_MAX_FRAME, usize::MAX);
+        for p in &payloads {
+            prop_assert_eq!(queue.enqueue(p).unwrap(), Enqueued::Queued);
+        }
+        let mut sink = Trickle { out: Vec::new(), chunk };
+        while queue.pending() > 0 {
+            let wrote = queue.flush_to(&mut sink).unwrap();
+            prop_assert!(wrote > 0, "flush made no progress with bytes pending");
+        }
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        reader.ingest(&sink.out);
+        let mut frames = Vec::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            frames.push(frame);
+        }
+        prop_assert_eq!(frames, payloads);
+    }
+
+    #[test]
+    fn backpressure_drops_are_counted_not_corrupting(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..100),
+            1..12,
+        ),
+        cap in 0usize..256,
+    ) {
+        // With a tiny buffer cap some enqueues are dropped; the ones that
+        // are queued must still form a valid stream, and every drop must
+        // be counted. (The queue guarantees room for at least one maximum
+        // frame, so a small max_frame keeps the cap genuinely tight.)
+        let mut queue = WriteQueue::new(128, cap);
+        let mut kept = Vec::new();
+        let mut dropped = 0u64;
+        for p in &payloads {
+            match queue.enqueue(p).unwrap() {
+                Enqueued::Queued => kept.push(p.clone()),
+                Enqueued::Dropped => dropped += 1,
+            }
+        }
+        prop_assert_eq!(queue.dropped(), dropped);
+        let mut sink = Trickle { out: Vec::new(), chunk: 7 };
+        while queue.pending() > 0 {
+            queue.flush_to(&mut sink).unwrap();
+        }
+        let mut reader = FrameReader::new(128);
+        reader.ingest(&sink.out);
+        let mut frames = Vec::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            frames.push(frame);
+        }
+        prop_assert_eq!(frames, kept);
+    }
+}

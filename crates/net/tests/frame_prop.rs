@@ -30,7 +30,7 @@ proptest! {
     #[test]
     fn frame_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
         let mut buf = Vec::new();
-        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &payload, DEFAULT_MAX_FRAME).unwrap();
         let mut cursor = Cursor::new(buf);
         prop_assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), payload);
     }
@@ -59,6 +59,31 @@ proptest! {
             ),
             "oversized announced length was not rejected"
         );
+    }
+
+    #[test]
+    fn write_side_cap_is_symmetric(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        max in 0usize..2048,
+    ) {
+        // The writer enforces the same bound the reader does: anything it
+        // emits must be readable back under the same cap, and anything
+        // over the cap must be rejected with zero bytes emitted.
+        let mut buf = Vec::new();
+        match write_frame(&mut buf, &payload, max) {
+            Ok(()) => {
+                prop_assert!(payload.len() <= max);
+                let mut cursor = Cursor::new(buf);
+                prop_assert_eq!(read_frame(&mut cursor, max).unwrap(), payload);
+            }
+            Err(WireError::Oversized { len, max: cap }) => {
+                prop_assert!(payload.len() > max);
+                prop_assert_eq!(len, payload.len());
+                prop_assert_eq!(cap, max);
+                prop_assert!(buf.is_empty());
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@ use std::time::Duration;
 use sstore_core::directory::{generate_client_keys, Directory};
 use sstore_core::types::{Consistency, DataId, GroupId, ServerId, Timestamp};
 use sstore_core::{ClientConfig, ServerConfig, ServerNode};
-use sstore_net::{NetClientConfig, NetCluster, NetServer, NetServerConfig, StoreHandle};
+use sstore_net::{
+    NetClientConfig, NetCluster, NetServer, NetServerConfig, ServingMode, StoreHandle,
+};
 
 const N: usize = 4;
 const B: usize = 1;
@@ -17,7 +19,7 @@ const KEY_SEED: u64 = 0x7ea1;
 
 /// Binds `N` ephemeral listeners first (so every server knows the full
 /// address list), then starts one [`NetServer`] per listener.
-fn start_servers() -> (Vec<NetServer>, Vec<SocketAddr>) {
+fn start_servers(serving: ServingMode) -> (Vec<NetServer>, Vec<SocketAddr>) {
     let listeners: Vec<TcpListener> = (0..N)
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
         .collect();
@@ -32,8 +34,11 @@ fn start_servers() -> (Vec<NetServer>, Vec<SocketAddr>) {
         .enumerate()
         .map(|(i, listener)| {
             let node = ServerNode::new(ServerId(i as u16), dir.clone(), ServerConfig::default());
-            NetServer::start(node, listener, addrs.clone(), NetServerConfig::default())
-                .expect("server start")
+            let config = NetServerConfig {
+                serving,
+                ..NetServerConfig::default()
+            };
+            NetServer::start(node, listener, addrs.clone(), config).expect("server start")
         })
         .collect();
     (servers, addrs)
@@ -55,7 +60,20 @@ fn cluster_for(addrs: Vec<SocketAddr>) -> NetCluster {
 
 #[test]
 fn full_protocol_over_loopback_with_mid_run_server_kill() {
-    let (mut servers, addrs) = start_servers();
+    full_protocol_with_mid_run_kill(ServingMode::EventLoop);
+}
+
+/// The legacy thread-per-connection path must pass the identical
+/// scenario: it stays available behind `ServingMode::Threaded` until the
+/// event loop has fully replaced it, and parity here is what justifies
+/// both sharing one protocol test.
+#[test]
+fn full_protocol_threaded_parity() {
+    full_protocol_with_mid_run_kill(ServingMode::Threaded);
+}
+
+fn full_protocol_with_mid_run_kill(serving: ServingMode) {
+    let (mut servers, addrs) = start_servers(serving);
     let cluster = cluster_for(addrs);
     let mut alice = cluster.client(0);
     let g = GroupId(1);
@@ -119,7 +137,7 @@ fn full_protocol_over_loopback_with_mid_run_server_kill() {
 
 #[test]
 fn cross_client_visibility_over_loopback() {
-    let (servers, addrs) = start_servers();
+    let (servers, addrs) = start_servers(ServingMode::EventLoop);
     let cluster = cluster_for(addrs);
     let g = GroupId(2);
     let mut writer = cluster.client(0);
@@ -164,7 +182,7 @@ fn generic_store_handle_runs_on_tcp() {
         assert_eq!(v, b"generic");
         h.disconnect(g).unwrap();
     }
-    let (servers, addrs) = start_servers();
+    let (servers, addrs) = start_servers(ServingMode::EventLoop);
     let cluster = cluster_for(addrs);
     let mut c = cluster.client(0);
     exercise(&mut c, GroupId(8));

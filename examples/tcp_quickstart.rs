@@ -21,6 +21,15 @@
 //! acknowledged (`--fsync always|never|interval:N` picks the durability /
 //! throughput trade-off). Omit it for a memory-only server, which is what
 //! this in-process example uses.
+//!
+//! Servers run a non-blocking event loop with request pipelining
+//! (`--serving threaded` keeps the legacy thread-per-connection path).
+//! To push a cluster like this one hard — thousands of pipelined
+//! sessions, latency percentiles appended to `BENCH_protocol.json`:
+//!
+//! ```text
+//! cargo run --release -p sstore-load -- --sessions 1024 --duration 10 --compare
+//! ```
 
 use std::net::{SocketAddr, TcpListener};
 
