@@ -31,7 +31,8 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use sstore_core::chaos::{self, ChaosConfig, FailureClass, Verdict};
+use sstore_core::chaos::{self, ChaosConfig, FailureClass, RunOptions, Verdict};
+use sstore_core::server::storage::FsyncPolicy;
 use sstore_core::sim::RestartMode;
 
 struct Args {
@@ -43,6 +44,7 @@ struct Args {
     expect_flagged: bool,
     restart_mode: RestartMode,
     force_restart: bool,
+    options: RunOptions,
     markdown: bool,
     json: bool,
     out_dir: String,
@@ -61,6 +63,7 @@ impl Default for Args {
             expect_flagged: false,
             restart_mode: RestartMode::Recover,
             force_restart: false,
+            options: RunOptions::default(),
             markdown: false,
             json: false,
             out_dir: "chaos-failures".to_string(),
@@ -102,6 +105,26 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--force-restart" => args.force_restart = true,
+            "--fsync" => {
+                let spec = value("--fsync")?;
+                args.options.fsync = match spec.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    other => {
+                        let parsed = other.strip_prefix("group-commit:").and_then(|rest| {
+                            let (batch, delay) = rest.split_once(':')?;
+                            let max_batch: u32 = batch.parse().ok().filter(|n| *n > 0)?;
+                            let max_delay_us: u64 = delay.parse().ok()?;
+                            Some(FsyncPolicy::GroupCommit {
+                                max_batch,
+                                max_delay_us,
+                            })
+                        });
+                        parsed.ok_or_else(|| {
+                            format!("bad --fsync {other} (always|group-commit:N:USEC)")
+                        })?
+                    }
+                };
+            }
             "--markdown" => args.markdown = true,
             "--json" => args.json = true,
             "--out" => args.out_dir = value("--out")?,
@@ -114,7 +137,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: sstore-chaos [--seeds A..B] [--n N] [--b B] \
                      [--over-budget] [--expect-flagged] [--restart-mode wipe|recover] \
-                     [--force-restart] [--json] [--markdown] \
+                     [--force-restart] [--fsync always|group-commit:N:USEC] \
+                     [--json] [--markdown] \
                      [--out DIR] [--shrink-budget N] | --replay FILE [--json]"
                     .to_string());
             }
@@ -214,7 +238,7 @@ fn run_section(args: &Args, cfg: &ChaosConfig, label: &str) -> Result<(Tally, Ve
     let mut failing = Vec::new();
     for seed in args.seed_from..args.seed_to {
         let schedule = chaos::generate(seed, cfg);
-        let verdict = chaos::run(&schedule)?;
+        let verdict = chaos::run_with(&schedule, &args.options)?;
         tally.absorb(&verdict);
         if !verdict.passed() {
             failing.push(seed);
@@ -242,7 +266,7 @@ fn shrink_and_emit(args: &Args, cfg: &ChaosConfig, failing: &[u64]) -> Result<Ve
     let mut written = Vec::new();
     for &seed in failing {
         let schedule = chaos::generate(seed, cfg);
-        let shrunk = chaos::shrink(&schedule, args.shrink_budget)?;
+        let shrunk = chaos::shrink_with(&schedule, args.shrink_budget, &args.options)?;
         let path = format!("{}/seed-{seed}.replay", args.out_dir);
         std::fs::write(&path, shrunk.schedule.to_text())
             .map_err(|e| format!("cannot write {path}: {e}"))?;

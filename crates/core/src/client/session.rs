@@ -3,6 +3,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use sstore_crypto::schnorr::{verify_batch, BatchEntry};
 use sstore_simnet::SimTime;
 
 use crate::client::{ClientCore, Op, OpCommon, OpKind, OpState, Outcome, Output};
@@ -264,8 +265,8 @@ impl ClientCore {
                 }
             }
         }
-        let mut ctx = crate::context::Context::new(group);
-        for (data, mut candidates) in by_item {
+        let mut items: Vec<(DataId, Vec<ItemMeta>)> = by_item.into_iter().collect();
+        for (_, candidates) in &mut items {
             // Newest first; identical timestamps only need one verification.
             candidates.sort_by(|a, b| match a.ts.compare(&b.ts) {
                 crate::types::TsOrder::Less => std::cmp::Ordering::Greater,
@@ -273,6 +274,16 @@ impl ClientCore {
                 _ => std::cmp::Ordering::Equal,
             });
             candidates.dedup_by(|a, b| a.ts.compare(&b.ts) == crate::types::TsOrder::Equal);
+        }
+        // Common case: every item's newest candidate is honest and will be
+        // the one adopted, so verify all of them as one batch up front.
+        // Seeding charges nothing; the adoption loop below still counts one
+        // `verify_cached` per adopted meta, keeping `logical_verifies()`
+        // identical to unbatched execution.
+        let heads: Vec<&ItemMeta> = items.iter().filter_map(|(_, c)| c.first()).collect();
+        self.batch_preverify_metas(&heads);
+        let mut ctx = crate::context::Context::new(group);
+        for (data, candidates) in items {
             for meta in candidates {
                 let Some(key) = self.dir().client_key(meta.writer).cloned() else {
                     continue;
@@ -404,5 +415,63 @@ impl ClientCore {
         Self::arm_phase_timer(op_id, &mut op.common, self.cfg().retry, &mut out);
         self.insert_op(op_id, op);
         out
+    }
+
+    /// Screens `metas` against the verify cache, checks the remainder as
+    /// one random-linear-combination batch ([`verify_batch`]) and seeds
+    /// the successes into the cache — the client-side twin of the server's
+    /// gossip batch preverification. Seeding charges no counters; the
+    /// caller's per-meta `verify_cached` still counts, so
+    /// [`crate::metrics::CryptoCounters::logical_verifies`] is identical
+    /// to unbatched execution. Metas the batch rejects are not seeded and
+    /// fall back to (failing) individual verification.
+    fn batch_preverify_metas(&mut self, metas: &[&ItemMeta]) {
+        let dir = self.dir().clone();
+        let mut candidates: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (i, meta) in metas.iter().enumerate() {
+            if dir.client_key(meta.writer).is_none() {
+                continue;
+            }
+            let payload = meta.payload();
+            let cached = {
+                let (_, _, _, _, _, vcache) = self.parts();
+                vcache.check(meta.writer, &payload, &meta.signature)
+            };
+            if cached {
+                continue;
+            }
+            candidates.push((i, payload));
+        }
+        // A batch of one is strictly more work than a plain verify.
+        if candidates.len() < 2 {
+            return;
+        }
+        let entries: Vec<BatchEntry<'_>> = candidates
+            .iter()
+            .filter_map(|(i, payload)| {
+                let meta = metas.get(*i)?;
+                let key = dir.client_key(meta.writer)?;
+                Some(BatchEntry {
+                    key,
+                    message: payload.as_slice(),
+                    signature: &meta.signature,
+                })
+            })
+            .collect();
+        let bad: HashSet<usize> = match verify_batch(&entries) {
+            Ok(()) => HashSet::new(),
+            Err(bad) => bad.into_iter().collect(),
+        };
+        let batched = entries.len() as u64;
+        let (_, _, _, _, counters, vcache) = self.parts();
+        counters.count_batch(batched);
+        for (pos, (i, payload)) in candidates.iter().enumerate() {
+            if bad.contains(&pos) {
+                continue;
+            }
+            if let Some(meta) = metas.get(*i) {
+                vcache.insert(meta.writer, payload, &meta.signature);
+            }
+        }
     }
 }

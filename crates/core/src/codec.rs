@@ -89,6 +89,11 @@ const TAG_MW_READ_REQ: u8 = 13;
 const TAG_MW_READ_RESP: u8 = 14;
 const TAG_GOSSIP_PUSH: u8 = 15;
 const TAG_GOSSIP_SUMMARY: u8 = 16;
+/// A coalesced frame carrying several complete messages (each in its full
+/// canonical encoding). Only [`decode_frame_msgs`] understands this tag —
+/// [`decode_msg`] rejects it, which is also what makes nested batches
+/// impossible.
+const TAG_BATCH: u8 = 17;
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -421,6 +426,75 @@ impl<'a> Dec<'a> {
             n => Err(CodecError::TrailingBytes(n)),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced multi-message frames
+// ---------------------------------------------------------------------------
+
+/// Encodes several messages as one frame payload. With two or more
+/// messages this produces a `TAG_BATCH` frame — count followed by each
+/// message in its full canonical encoding behind a length prefix; a
+/// single message encodes as itself (no batch overhead), and both shapes
+/// decode through [`decode_frame_msgs`]. An empty slice encodes a
+/// zero-count batch, which the decoder rejects as non-canonical —
+/// callers coalesce only when they have something to send.
+pub fn encode_msg_batch(msgs: &[Msg]) -> Vec<u8> {
+    let parts: Vec<Vec<u8>> = msgs.iter().map(encode_msg).collect();
+    encode_msg_batch_parts(&parts)
+}
+
+/// [`encode_msg_batch`] over messages that are already encoded (each part
+/// a full [`encode_msg`] output) — transports that encode per message for
+/// byte accounting assemble the batch frame from the parts without
+/// re-encoding. A single part is returned unchanged; an empty slice
+/// yields a zero-count batch frame that decoders reject, mirroring
+/// [`encode_msg_batch`] — callers coalesce only when they have something
+/// to send.
+pub fn encode_msg_batch_parts(parts: &[Vec<u8>]) -> Vec<u8> {
+    if let [only] = parts {
+        return only.clone();
+    }
+    let mut e = Enc::new()
+        .u8(WIRE_VERSION)
+        .u8(TAG_BATCH)
+        .u64(parts.len() as u64);
+    for part in parts {
+        e = e.bytes(part);
+    }
+    e.finish()
+}
+
+/// Decodes one frame payload into the messages it carries: a `TAG_BATCH`
+/// frame yields each contained message in order, anything else decodes
+/// as a single message. Receivers that accept coalesced input use this
+/// in place of [`decode_msg`]; the strictness guarantees are identical
+/// (bounds-checked lengths, exact consumption, no panics), and a batch
+/// nested inside a batch fails with [`CodecError::BadTag`].
+///
+/// # Errors
+///
+/// Any [`CodecError`] for truncated, malformed or non-canonical input,
+/// including an empty batch.
+pub fn decode_frame_msgs(bytes: &[u8]) -> Result<Vec<Msg>, CodecError> {
+    if bytes.first() != Some(&WIRE_VERSION) || bytes.get(1) != Some(&TAG_BATCH) {
+        return Ok(vec![decode_msg(bytes)?]);
+    }
+    let mut d = Dec::new(bytes);
+    let _version = d.u8()?;
+    let _tag = d.u8()?;
+    // Each element is at least a u64 length prefix plus version + tag.
+    let count = d.count(8 + 2)?;
+    if count == 0 {
+        return Err(CodecError::NonCanonical("empty batch"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let chunk = d.bytes()?;
+        out.push(decode_msg(&chunk)?);
+    }
+    d.finish()?;
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -911,6 +985,82 @@ mod tests {
             .u8(9) // bool must be 0 or 1
             .finish();
         assert_eq!(decode_msg(&bytes), Err(CodecError::NonCanonical("bool")));
+    }
+
+    #[test]
+    fn batch_frame_roundtrips_in_order() {
+        let msgs = all_variants();
+        let bytes = encode_msg_batch(&msgs);
+        assert_eq!(bytes[1], TAG_BATCH);
+        let back = decode_frame_msgs(&bytes).unwrap();
+        assert_eq!(back, msgs);
+    }
+
+    #[test]
+    fn singleton_batch_is_a_plain_message() {
+        let msg = Msg::CtxWriteAck { op: OpId(1) };
+        let bytes = encode_msg_batch(std::slice::from_ref(&msg));
+        assert_eq!(bytes, encode_msg(&msg), "no batch overhead for one");
+        assert_eq!(decode_frame_msgs(&bytes).unwrap(), vec![msg]);
+    }
+
+    #[test]
+    fn plain_frames_decode_through_the_batch_entry_point() {
+        for msg in all_variants() {
+            let bytes = encode_msg(&msg);
+            assert_eq!(decode_frame_msgs(&bytes).unwrap(), vec![msg]);
+        }
+    }
+
+    #[test]
+    fn nested_and_empty_batches_rejected() {
+        let inner = encode_msg_batch(&[
+            Msg::CtxWriteAck { op: OpId(1) },
+            Msg::CtxWriteAck { op: OpId(2) },
+        ]);
+        // Hand-nest the batch frame inside another batch element.
+        let nested = Enc::new()
+            .u8(WIRE_VERSION)
+            .u8(TAG_BATCH)
+            .u64(1)
+            .bytes(&inner)
+            .finish();
+        assert_eq!(
+            decode_frame_msgs(&nested),
+            Err(CodecError::BadTag(TAG_BATCH))
+        );
+        // decode_msg never accepts a batch frame directly.
+        assert_eq!(decode_msg(&inner), Err(CodecError::BadTag(TAG_BATCH)));
+        let empty = encode_msg_batch(&[]);
+        assert_eq!(
+            decode_frame_msgs(&empty),
+            Err(CodecError::NonCanonical("empty batch"))
+        );
+    }
+
+    #[test]
+    fn batch_strict_prefixes_and_trailing_bytes_rejected() {
+        let msgs = vec![
+            Msg::CtxWriteAck { op: OpId(1) },
+            Msg::WriteAck {
+                op: OpId(2),
+                accepted: true,
+            },
+        ];
+        let bytes = encode_msg_batch(&msgs);
+        for cut in 2..bytes.len() {
+            assert!(
+                decode_frame_msgs(&bytes[..cut]).is_err(),
+                "batch prefix of len {cut} decoded"
+            );
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_frame_msgs(&long).is_err());
+        // An element length lying about its size must not slide the parse.
+        let mut lying = bytes;
+        lying[10..18].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert!(decode_frame_msgs(&lying).is_err());
     }
 
     #[test]

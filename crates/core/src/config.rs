@@ -16,6 +16,12 @@ pub struct GossipConfig {
     /// `true`: anti-entropy summaries (pull missing items both ways).
     /// `false`: push-only rumor mongering of recently changed items.
     pub anti_entropy: bool,
+    /// Anti-entropy amortization: send the full O(items) summary only
+    /// every this many rounds; the rounds in between push just the dirty
+    /// set, like rumor mongering. `1` (the default) summarizes every
+    /// round — the pre-batching behavior. Only meaningful with
+    /// `anti_entropy` on; clamped to at least 1.
+    pub summary_every: u32,
 }
 
 impl Default for GossipConfig {
@@ -25,6 +31,7 @@ impl Default for GossipConfig {
             period: SimTime::from_millis(200),
             fanout: 2,
             anti_entropy: true,
+            summary_every: 1,
         }
     }
 }

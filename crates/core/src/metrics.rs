@@ -37,6 +37,14 @@ pub struct CryptoCounters {
     pub digests: u64,
     /// MAC computations (used by the PBFT-lite baseline).
     pub macs: u64,
+    /// Batched signature-verification operations run (each covers
+    /// `batch_items` signatures with ~2 multi-exponentiations). Telemetry
+    /// only: the per-signature demand is still accounted under
+    /// `verifies`/`verify_cached`, so [`CryptoCounters::logical_verifies`]
+    /// is unchanged by batching.
+    pub batch_ops: u64,
+    /// Signatures covered by batched verification operations.
+    pub batch_items: u64,
 }
 
 impl CryptoCounters {
@@ -77,6 +85,12 @@ impl CryptoCounters {
         self.macs += 1;
     }
 
+    /// Records one batched verification covering `items` signatures.
+    pub fn count_batch(&mut self, items: u64) {
+        self.batch_ops += 1;
+        self.batch_items += items;
+    }
+
     /// Element-wise sum.
     pub fn merged(self, other: CryptoCounters) -> CryptoCounters {
         CryptoCounters {
@@ -85,6 +99,8 @@ impl CryptoCounters {
             verify_cached: self.verify_cached + other.verify_cached,
             digests: self.digests + other.digests,
             macs: self.macs + other.macs,
+            batch_ops: self.batch_ops + other.batch_ops,
+            batch_items: self.batch_items + other.batch_items,
         }
     }
 
@@ -96,6 +112,8 @@ impl CryptoCounters {
             verify_cached: self.verify_cached - earlier.verify_cached,
             digests: self.digests - earlier.digests,
             macs: self.macs - earlier.macs,
+            batch_ops: self.batch_ops - earlier.batch_ops,
+            batch_items: self.batch_items - earlier.batch_items,
         }
     }
 }
@@ -104,8 +122,14 @@ impl std::fmt::Display for CryptoCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "sign={} verify={} verify-cached={} digest={} mac={}",
-            self.signs, self.verifies, self.verify_cached, self.digests, self.macs
+            "sign={} verify={} verify-cached={} digest={} mac={} batch={}x{}",
+            self.signs,
+            self.verifies,
+            self.verify_cached,
+            self.digests,
+            self.macs,
+            self.batch_ops,
+            self.batch_items
         )
     }
 }

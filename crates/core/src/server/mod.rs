@@ -23,6 +23,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
+use sstore_crypto::schnorr::{verify_batch, BatchEntry};
 use sstore_simnet::SimTime;
 
 use crate::config::ServerConfig;
@@ -85,6 +86,18 @@ pub struct ServerNode {
     /// True while replaying recovered records, so admission paths do not
     /// re-append what was just read back.
     replaying: bool,
+    /// Records produced by the message being handled, appended to the
+    /// store as one batch at the exit of [`ServerNode::handle`]
+    /// (group-commit WAL: one backend write, one fsync-policy decision).
+    wal_buf: Vec<storage::Record>,
+    /// Durability acknowledgements held back until the records they cover
+    /// are synced (the `GroupCommit` fsync policy); released by
+    /// [`ServerNode::flush_commits`].
+    deferred_acks: Vec<(Addr, Msg)>,
+    /// Latest time by which deferred work must be synced and released.
+    commit_deadline: Option<SimTime>,
+    /// Gossip rounds run so far (drives the anti-entropy summary cadence).
+    gossip_round: u32,
 }
 
 impl ServerNode {
@@ -105,6 +118,10 @@ impl ServerNode {
             vcache: VerifyCache::default(),
             store: None,
             replaying: false,
+            wal_buf: Vec::new(),
+            deferred_acks: Vec::new(),
+            commit_deadline: None,
+            gossip_round: 0,
         }
     }
 
@@ -210,6 +227,7 @@ impl ServerNode {
         // Admit whatever hold-backs now have their predecessors. The
         // original requesters are gone, so the acks (None replies) vanish.
         let _ = self.release_pending();
+        self.flush_wal();
         Ok(report)
     }
 
@@ -251,16 +269,32 @@ impl ServerNode {
         }
     }
 
-    /// Appends one record to the attached store (no-op without one, or
-    /// during replay). Storage errors leave the in-memory state
-    /// authoritative: the server keeps serving and the failure is visible
-    /// in the stats.
+    /// Stages one record for the attached store (no-op without one, or
+    /// during replay). Records are buffered and land in one
+    /// [`storage::Store::append_batch`] when the current message finishes
+    /// ([`ServerNode::flush_wal`]), so a multi-record admission — a gossip
+    /// push, a hold-back release cascade — costs one backend write and at
+    /// most one fsync instead of one per record.
     fn persist(&mut self, rec: storage::Record) {
-        if self.replaying {
+        if self.replaying || self.store.is_none() {
             return;
         }
+        self.wal_buf.push(rec);
+    }
+
+    /// Drains staged records into the store. Storage errors leave the
+    /// in-memory state authoritative: the server keeps serving and the
+    /// failure is visible in the stats.
+    fn flush_wal(&mut self) {
+        if self.wal_buf.is_empty() {
+            return;
+        }
+        let recs = std::mem::take(&mut self.wal_buf);
         if let Some(store) = self.store.as_mut() {
-            let _ = store.append(&rec);
+            let _ = match recs.as_slice() {
+                [rec] => store.append(rec),
+                many => store.append_batch(many),
+            };
         }
     }
 
@@ -314,7 +348,14 @@ impl ServerNode {
     }
 
     /// Handles one incoming message, returning the messages to send.
-    pub fn handle(&mut self, from: Addr, msg: Msg, _now: SimTime) -> Vec<(Addr, Msg)> {
+    ///
+    /// Under the `GroupCommit` fsync policy the returned messages may
+    /// exclude durability acknowledgements: those wait in a deferred queue
+    /// until their records are synced and are released by
+    /// [`ServerNode::flush_commits`] — which the serving adapter must call
+    /// (per event-loop tick, or with `force` per message for adapters
+    /// without a timer).
+    pub fn handle(&mut self, from: Addr, msg: Msg, now: SimTime) -> Vec<(Addr, Msg)> {
         let out = match msg {
             Msg::CtxReadReq { op, client, group } => {
                 if !self.dir.is_authorized(client) {
@@ -394,6 +435,7 @@ impl ServerNode {
                 vec![(from, Msg::MwReadResp { op, data, versions })]
             }
             Msg::GossipPush { items } => {
+                self.batch_preverify(&items);
                 let mut out = Vec::new();
                 for item in items {
                     match item.meta.ts {
@@ -424,21 +466,110 @@ impl ServerNode {
             | Msg::WriteAck { .. }
             | Msg::MwReadResp { .. } => Vec::new(),
         };
+        self.flush_wal();
         self.maybe_snapshot();
-        out
+        self.hold_commit_acks(out, now)
+    }
+
+    /// Under the `GroupCommit` fsync policy, splits durability
+    /// acknowledgements (positive write acks, context-write acks) out of
+    /// the outgoing messages while their records are still unsynced, and
+    /// arms the commit deadline. Everything else — reads, negative acks,
+    /// gossip — passes straight through. When the store has nothing
+    /// unsynced (an eager `max_batch` sync or a snapshot made everything
+    /// durable) any queued acks are released immediately.
+    fn hold_commit_acks(&mut self, out: Vec<(Addr, Msg)>, now: SimTime) -> Vec<(Addr, Msg)> {
+        let Some(store) = self.store.as_ref() else {
+            return out;
+        };
+        let storage::FsyncPolicy::GroupCommit { max_delay_us, .. } = store.config().fsync else {
+            return out;
+        };
+        if !store.has_unsynced() {
+            self.commit_deadline = None;
+            if self.deferred_acks.is_empty() {
+                return out;
+            }
+            let mut released = std::mem::take(&mut self.deferred_acks);
+            released.extend(out);
+            return released;
+        }
+        let mut pass = Vec::new();
+        for (to, msg) in out {
+            let durability_ack = matches!(
+                msg,
+                Msg::WriteAck { accepted: true, .. } | Msg::CtxWriteAck { .. }
+            );
+            if durability_ack {
+                self.deferred_acks.push((to, msg));
+            } else {
+                pass.push((to, msg));
+            }
+        }
+        if self.commit_deadline.is_none() {
+            self.commit_deadline = Some(now + SimTime::from_micros(max_delay_us));
+        }
+        pass
+    }
+
+    /// Releases deferred durability acknowledgements once their records
+    /// are synced. With `force`, or once the commit deadline has passed,
+    /// the store is synced now; otherwise acks release only if the store
+    /// already synced on its own (eager `max_batch` sync, snapshot
+    /// install). A sync *failure* still releases the acks: appends are
+    /// best-effort by design (the in-memory state stays authoritative and
+    /// the failure shows in [`storage::StorageStats::io_errors`]), exactly
+    /// as the per-record `Always` path acks on a failed append.
+    pub fn flush_commits(&mut self, now: SimTime, force: bool) -> Vec<(Addr, Msg)> {
+        let unsynced = self
+            .store
+            .as_ref()
+            .is_some_and(storage::Store::has_unsynced);
+        if unsynced {
+            let due = force || self.commit_deadline.is_some_and(|d| d <= now);
+            if !due {
+                return Vec::new();
+            }
+            if let Some(store) = self.store.as_mut() {
+                let _ = store.sync_now();
+            }
+        }
+        self.commit_deadline = None;
+        std::mem::take(&mut self.deferred_acks)
+    }
+
+    /// When the next [`ServerNode::flush_commits`] must run at the latest
+    /// (adapters cap their sleep with this).
+    pub fn pending_commit_deadline(&self) -> Option<SimTime> {
+        self.commit_deadline
     }
 
     /// Runs one gossip round: contacts `fanout` random peers with either an
     /// anti-entropy summary or a push of recently changed items.
+    ///
+    /// With `anti_entropy` on, the full O(items) summary goes out only
+    /// every [`GossipConfig::summary_every`]-th round; the rounds in
+    /// between push just the dirty set. Summaries are the dominant
+    /// steady-state gossip cost once the store grows, and the exchange a
+    /// summary triggers (peer pushes what we miss, replies with its own
+    /// summary, we push what it misses) already repairs both directions —
+    /// thinning it out loses nothing but repair latency, bounded by
+    /// `summary_every × period`.
+    ///
+    /// [`GossipConfig::summary_every`]: crate::config::GossipConfig::summary_every
     pub fn on_gossip_timer(&mut self, _now: SimTime, rng: &mut StdRng) -> Vec<(Addr, Msg)> {
         if !self.cfg.gossip.enabled {
             return Vec::new();
         }
+        let round = self.gossip_round;
+        self.gossip_round = self.gossip_round.wrapping_add(1);
+        let summary_round = self.cfg.gossip.anti_entropy
+            && round.is_multiple_of(self.cfg.gossip.summary_every.max(1));
         let mut peers: Vec<ServerId> = self.dir.servers().filter(|&s| s != self.id).collect();
         peers.shuffle(rng);
         peers.truncate(self.cfg.gossip.fanout);
         let mut out = Vec::new();
-        if self.cfg.gossip.anti_entropy {
+        if summary_round {
             let entries: Vec<(DataId, Timestamp)> =
                 self.items.iter().map(|(&d, i)| (d, i.meta.ts)).collect();
             for peer in peers {
@@ -450,6 +581,8 @@ impl ServerNode {
                     },
                 ));
             }
+            // The summary exchange repairs anything the dirty set covers.
+            self.dirty.clear();
         } else {
             let items: Vec<StoredItem> = self
                 .dirty
@@ -616,6 +749,66 @@ impl ServerNode {
             .insert(item.meta.data);
         self.dirty.insert(item.meta.data);
         self.items.insert(item.meta.data, item);
+    }
+
+    /// Amortizes admission crypto for a multi-item delivery: signatures
+    /// not already in the verify cache are checked as one random-linear-
+    /// combination batch ([`verify_batch`]) and the successes are seeded
+    /// into the cache, so the per-item admission path that follows hits
+    /// the cache instead of paying one public-key operation each.
+    ///
+    /// Counter exactness: seeding charges nothing; admission still counts
+    /// one `verify_cached` per item, so
+    /// [`CryptoCounters::logical_verifies`] is identical to unbatched
+    /// execution. Items the batch rejects are simply not seeded — the
+    /// admission path re-verifies them individually (and rejects), so a
+    /// forged item never poisons honest batch-mates.
+    fn batch_preverify(&mut self, items: &[StoredItem]) {
+        let mut candidates: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            if self.dir.client_key(item.meta.writer).is_none() {
+                continue;
+            }
+            let payload = item.meta.payload();
+            if self
+                .vcache
+                .check(item.meta.writer, &payload, &item.meta.signature)
+            {
+                continue;
+            }
+            candidates.push((i, payload));
+        }
+        // A batch of one is strictly more work than a plain verify.
+        if candidates.len() < 2 {
+            return;
+        }
+        let dir = self.dir.clone();
+        let entries: Vec<BatchEntry<'_>> = candidates
+            .iter()
+            .filter_map(|(i, payload)| {
+                let item = items.get(*i)?;
+                let key = dir.client_key(item.meta.writer)?;
+                Some(BatchEntry {
+                    key,
+                    message: payload.as_slice(),
+                    signature: &item.meta.signature,
+                })
+            })
+            .collect();
+        let bad: HashSet<usize> = match verify_batch(&entries) {
+            Ok(()) => HashSet::new(),
+            Err(bad) => bad.into_iter().collect(),
+        };
+        self.counters.count_batch(entries.len() as u64);
+        for (pos, (i, payload)) in candidates.iter().enumerate() {
+            if bad.contains(&pos) {
+                continue;
+            }
+            if let Some(item) = items.get(*i) {
+                self.vcache
+                    .insert(item.meta.writer, payload, &item.meta.signature);
+            }
+        }
     }
 
     /// Full verification of a client-signed item (signature + value digest),
@@ -1128,6 +1321,252 @@ mod tests {
         assert!(!first.is_empty());
         let second = f.server.on_gossip_timer(now(), &mut rng);
         assert!(second.is_empty(), "dirty set cleared after push");
+    }
+
+    #[test]
+    fn gossip_batch_preverify_keeps_logical_verifies_exact() {
+        // Two identical servers; one receives 4 items in a single push
+        // (batch verification kicks in), the other receives them one push
+        // at a time (pure individual verification). The §6 quantity
+        // logical_verifies() must be identical; only the telemetry-only
+        // batch counters may differ.
+        let mut batched = fixture(4, 1);
+        let mut unbatched = fixture(4, 1);
+        let items: Vec<StoredItem> = (0..4)
+            .map(|i| item_v(&mut batched, 0, 10 + i, 1, b"gossip"))
+            .collect();
+        batched.server.handle(
+            Addr::Server(ServerId(1)),
+            Msg::GossipPush {
+                items: items.clone(),
+            },
+            now(),
+        );
+        for item in &items {
+            unbatched.server.handle(
+                Addr::Server(ServerId(1)),
+                Msg::GossipPush {
+                    items: vec![item.clone()],
+                },
+                now(),
+            );
+        }
+        let b = batched.server.counters();
+        let u = unbatched.server.counters();
+        assert_eq!(b.logical_verifies(), u.logical_verifies());
+        assert_eq!(b.logical_verifies(), 4);
+        assert_eq!(b.batch_ops, 1, "4-item push verified as one batch");
+        assert_eq!(b.batch_items, 4);
+        assert_eq!(u.batch_ops, 0, "singleton pushes never batch");
+        // The batch replaced 4 public-key ops with cache seeds: admission
+        // then hit the cache for all 4.
+        assert_eq!((b.verifies, b.verify_cached), (0, 4));
+        assert_eq!((u.verifies, u.verify_cached), (4, 0));
+        assert_eq!(batched.server.item_count(), 4);
+        assert_eq!(unbatched.server.item_count(), 4);
+    }
+
+    #[test]
+    fn gossip_batch_with_forged_item_admits_only_honest_ones() {
+        let mut f = fixture(4, 1);
+        let mut items: Vec<StoredItem> = (0..4)
+            .map(|i| item_v(&mut f, 0, 20 + i, 1, b"ok"))
+            .collect();
+        items[2].value = b"tampered".to_vec();
+        items[2].meta.value_digest = sstore_crypto::sha256::digest(b"something-else");
+        f.server
+            .handle(Addr::Server(ServerId(1)), Msg::GossipPush { items }, now());
+        assert!(f.server.item(DataId(20)).is_some());
+        assert!(f.server.item(DataId(21)).is_some());
+        assert!(f.server.item(DataId(22)).is_none(), "forged item rejected");
+        assert!(f.server.item(DataId(23)).is_some());
+        let c = f.server.counters();
+        assert_eq!(c.batch_ops, 1);
+        // 3 honest items seeded by the batch (cache hits at admission);
+        // the forged one fell back to an individual public-key reject.
+        assert_eq!((c.verifies, c.verify_cached), (1, 3));
+        assert_eq!(c.logical_verifies(), 4);
+    }
+
+    #[test]
+    fn summary_cadence_pushes_dirty_between_summaries() {
+        use rand::SeedableRng;
+        let mut f = fixture(4, 1);
+        f.server.cfg.gossip.summary_every = 3;
+        let mut rng = StdRng::seed_from_u64(1);
+        let kinds = |out: &Vec<(Addr, Msg)>| {
+            out.iter()
+                .map(|(_, m)| sstore_simnet::Message::kind(m))
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        // Round 0: summary round.
+        let item = item_v(&mut f, 0, 1, 1, b"x");
+        f.server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, now());
+        let out = f.server.on_gossip_timer(now(), &mut rng);
+        assert_eq!(
+            kinds(&out),
+            std::collections::BTreeSet::from(["gossip-summary"])
+        );
+        // Rounds 1 and 2: dirty pushes only (summary skipped).
+        let item = item_v(&mut f, 0, 2, 1, b"y");
+        f.server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(2), item }, now());
+        let out = f.server.on_gossip_timer(now(), &mut rng);
+        assert_eq!(
+            kinds(&out),
+            std::collections::BTreeSet::from(["gossip-push"])
+        );
+        let out = f.server.on_gossip_timer(now(), &mut rng);
+        assert!(out.is_empty(), "dirty set cleared, no summary due");
+        // Round 3: summary again.
+        let out = f.server.on_gossip_timer(now(), &mut rng);
+        assert_eq!(
+            kinds(&out),
+            std::collections::BTreeSet::from(["gossip-summary"])
+        );
+    }
+
+    fn group_commit_store(max_batch: u32, max_delay_us: u64) -> storage::Store {
+        storage::Store::in_memory(storage::StorageConfig {
+            fsync: storage::FsyncPolicy::GroupCommit {
+                max_batch,
+                max_delay_us,
+            },
+            segment_bytes: 1 << 20,
+            snapshot_every: 10_000,
+        })
+    }
+
+    #[test]
+    fn group_commit_defers_acks_until_flush() {
+        let mut f = fixture(4, 1);
+        f.server.attach_store(group_commit_store(64, 500));
+        let t0 = SimTime::from_millis(10);
+        let item = item_v(&mut f, 0, 1, 1, b"deferred");
+        let out = f
+            .server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, t0);
+        assert!(out.is_empty(), "ack held back until the record is synced");
+        assert_eq!(
+            f.server.pending_commit_deadline(),
+            Some(t0 + SimTime::from_micros(500))
+        );
+        // Reads pass through untouched while a commit is pending.
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::ReadReq {
+                op: OpId(2),
+                data: DataId(1),
+                ts: Timestamp::Version(1),
+            },
+            t0,
+        );
+        assert!(matches!(out[0].1, Msg::ReadResp { .. }));
+        // Before the deadline, a non-forced flush releases nothing.
+        assert!(f.server.flush_commits(t0, false).is_empty());
+        assert_eq!(f.server.storage_stats().unwrap().syncs, 0);
+        // At the deadline the sync happens and the ack is released.
+        let released = f
+            .server
+            .flush_commits(t0 + SimTime::from_micros(500), false);
+        assert_eq!(released.len(), 1);
+        assert!(matches!(
+            released[0].1,
+            Msg::WriteAck { accepted: true, .. }
+        ));
+        assert_eq!(f.server.storage_stats().unwrap().syncs, 1);
+        assert!(f.server.pending_commit_deadline().is_none());
+    }
+
+    #[test]
+    fn group_commit_forced_flush_releases_immediately() {
+        let mut f = fixture(4, 1);
+        f.server.attach_store(group_commit_store(64, 10_000));
+        let item = item_v(&mut f, 0, 1, 1, b"forced");
+        let out = f
+            .server
+            .handle(client_addr(0), Msg::WriteReq { op: OpId(1), item }, now());
+        assert!(out.is_empty());
+        let released = f.server.flush_commits(now(), true);
+        assert_eq!(released.len(), 1);
+        assert_eq!(f.server.storage_stats().unwrap().syncs, 1);
+    }
+
+    #[test]
+    fn group_commit_max_batch_releases_without_timer() {
+        let mut f = fixture(4, 1);
+        f.server.attach_store(group_commit_store(2, 1_000_000));
+        let a = item_v(&mut f, 0, 1, 1, b"a");
+        let b = item_v(&mut f, 0, 2, 1, b"b");
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::WriteReq {
+                op: OpId(1),
+                item: a,
+            },
+            now(),
+        );
+        assert!(out.is_empty(), "first ack waits for a batch-mate");
+        // The second write reaches max_batch: the store syncs eagerly and
+        // BOTH acks come out of handle() itself — no timer involved.
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::WriteReq {
+                op: OpId(2),
+                item: b,
+            },
+            now(),
+        );
+        assert_eq!(out.len(), 2);
+        for (_, msg) in &out {
+            assert!(matches!(msg, Msg::WriteAck { accepted: true, .. }));
+        }
+        assert_eq!(f.server.storage_stats().unwrap().syncs, 1);
+        assert!(f.server.pending_commit_deadline().is_none());
+    }
+
+    #[test]
+    fn group_commit_unacked_write_can_be_lost_but_acked_cannot() {
+        // The ack-after-fsync invariant, crash edition: a write whose ack
+        // was still deferred may vanish on crash; once flush_commits has
+        // released the ack, the record must survive.
+        let mut f = fixture(4, 1);
+        f.server.attach_store(group_commit_store(64, 500));
+        let a = item_v(&mut f, 0, 1, 1, b"acked");
+        f.server.handle(
+            client_addr(0),
+            Msg::WriteReq {
+                op: OpId(1),
+                item: a,
+            },
+            now(),
+        );
+        let released = f.server.flush_commits(now(), true);
+        assert_eq!(released.len(), 1, "ack released after sync");
+        let b = item_v(&mut f, 0, 2, 1, b"unacked");
+        let out = f.server.handle(
+            client_addr(0),
+            Msg::WriteReq {
+                op: OpId(2),
+                item: b,
+            },
+            now(),
+        );
+        assert!(out.is_empty(), "second ack still deferred");
+        // Crash before the second flush: only the acked write survives.
+        let mut store = f.server.take_store().expect("store");
+        store.crash(0);
+        let (dir, cfg) = (f.server.directory(), f.server.config().clone());
+        f.server = ServerNode::new(ServerId(0), dir, cfg);
+        f.server.attach_store(store);
+        let report = f.server.recover().expect("recovery");
+        assert_eq!(report.rejected, 0);
+        assert!(f.server.item(DataId(1)).is_some(), "acked write durable");
+        assert!(
+            f.server.item(DataId(2)).is_none(),
+            "unacked write may be lost — its ack never left the server"
+        );
     }
 
     fn restart_with_same_disk(f: &mut Fixture) -> storage::RecoveryReport {

@@ -46,8 +46,23 @@ pub enum FsyncPolicy {
     /// restarts.
     Always,
     /// Sync every `n` records (and on rotation); a crash can lose up to
-    /// `n - 1` acknowledged records.
+    /// `n - 1` acknowledged records. `EveryN(0)` is normalized to
+    /// [`FsyncPolicy::Always`] at store construction.
     EveryN(u32),
+    /// Group commit: defer the sync so records accumulated across a
+    /// readiness tick share one fsync, but **hold acknowledgements back**
+    /// until that sync lands (`ServerNode::flush_commits`). The store
+    /// syncs eagerly once `max_batch` records are pending; the serving
+    /// layer forces a sync no later than `max_delay_us` after the first
+    /// deferred record. Unlike [`FsyncPolicy::EveryN`], no acknowledged
+    /// write is ever lost: acks trail durability instead of leading it.
+    GroupCommit {
+        /// Sync as soon as this many records are pending.
+        max_batch: u32,
+        /// Upper bound on how long the serving layer may hold an ack
+        /// waiting for more batch-mates, in microseconds.
+        max_delay_us: u64,
+    },
     /// Never sync explicitly; the OS decides. A crash can lose anything
     /// since the last rotation or snapshot.
     Never,
@@ -118,6 +133,11 @@ pub struct StorageStats {
     pub snapshots: u64,
     /// Append/sync/snapshot failures (the server kept serving).
     pub io_errors: u64,
+    /// Multi-record `append_batch` calls issued.
+    pub batch_appends: u64,
+    /// Records written through `append_batch` (so the mean batch size is
+    /// `batched_records / batch_appends`).
+    pub batched_records: u64,
 }
 
 /// What recovery found on disk.
@@ -165,8 +185,13 @@ impl Store {
         Ok(Store::with_backend(Box::new(FsBackend::open(dir)?), cfg))
     }
 
-    /// A store over any backend.
-    pub fn with_backend(backend: Box<dyn Backend>, cfg: StorageConfig) -> Store {
+    /// A store over any backend. `EveryN(0)` would otherwise mean "sync
+    /// after every 0 records" — an always-true threshold dressed up as a
+    /// batching policy — so it is normalized to [`FsyncPolicy::Always`].
+    pub fn with_backend(backend: Box<dyn Backend>, mut cfg: StorageConfig) -> Store {
+        if cfg.fsync == FsyncPolicy::EveryN(0) {
+            cfg.fsync = FsyncPolicy::Always;
+        }
         Store {
             backend,
             cfg,
@@ -206,15 +231,99 @@ impl Store {
         self.active_bytes += len;
         self.stats.appended += 1;
         self.since_snapshot += 1;
+        self.after_append(1)
+    }
+
+    /// Appends a batch of records as one backend write per segment,
+    /// rotating between records when the active segment fills. The fsync
+    /// policy sees the batch as `recs.len()` records (not one append
+    /// call), so `EveryN(n)` still bounds loss at `n - 1` records and
+    /// `GroupCommit` syncs once `max_batch` records are pending.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on an I/O failure; records framed before the
+    /// failure may or may not have reached the backend, which is the
+    /// same torn-tail exposure a crash mid-append has.
+    pub fn append_batch(&mut self, recs: &[Record]) -> Result<(), StorageError> {
+        if recs.is_empty() {
+            return Ok(());
+        }
+        let mut buf: Vec<u8> = Vec::new();
+        for rec in recs {
+            let bytes = frame(&rec.encode());
+            let len = bytes.len() as u64;
+            let pending = buf.len() as u64;
+            if self.active_bytes.saturating_add(pending) > 0
+                && self
+                    .active_bytes
+                    .saturating_add(pending)
+                    .saturating_add(len)
+                    > self.cfg.segment_bytes
+            {
+                self.flush_chunk(&mut buf)?;
+                self.rotate()?;
+            }
+            buf.extend_from_slice(&bytes);
+        }
+        self.flush_chunk(&mut buf)?;
+        self.stats.appended += recs.len() as u64;
+        self.stats.batch_appends += 1;
+        self.stats.batched_records += recs.len() as u64;
+        self.since_snapshot += recs.len() as u64;
+        self.after_append(recs.len() as u32)
+    }
+
+    /// Writes the accumulated chunk to the active segment in one backend
+    /// call and charges it to `active_bytes`.
+    fn flush_chunk(&mut self, buf: &mut Vec<u8>) -> Result<(), StorageError> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.backend.append(buf).inspect_err(|_| {
+            self.stats.io_errors += 1;
+        })?;
+        self.active_bytes += buf.len() as u64;
+        buf.clear();
+        Ok(())
+    }
+
+    /// Applies the fsync policy after `n` records landed in the backend.
+    fn after_append(&mut self, n: u32) -> Result<(), StorageError> {
         match self.cfg.fsync {
             FsyncPolicy::Always => self.sync()?,
-            FsyncPolicy::EveryN(n) => {
-                self.unsynced += 1;
-                if self.unsynced >= n.max(1) {
+            FsyncPolicy::EveryN(every) => {
+                self.unsynced = self.unsynced.saturating_add(n);
+                if self.unsynced >= every.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::GroupCommit { max_batch, .. } => {
+                self.unsynced = self.unsynced.saturating_add(n);
+                if self.unsynced >= max_batch.max(1) {
                     self.sync()?;
                 }
             }
             FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Whether appended records are still waiting on an explicit sync
+    /// (only meaningful under `EveryN` / `GroupCommit`).
+    pub fn has_unsynced(&self) -> bool {
+        self.unsynced > 0
+    }
+
+    /// Forces deferred records to stable storage now — the group-commit
+    /// flush point. No-op when nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] when the backend sync fails.
+    pub fn sync_now(&mut self) -> Result<(), StorageError> {
+        if self.unsynced > 0 {
+            self.sync()?;
         }
         Ok(())
     }
@@ -314,9 +423,12 @@ impl Store {
     }
 
     /// Crash-injection hook: drops unsynced bytes except a
-    /// `keep_unsynced` prefix (see [`Backend::crash`]).
+    /// `keep_unsynced` prefix (see [`Backend::crash`]). The unsynced
+    /// counter resets — the dropped records no longer exist, so there is
+    /// nothing left to sync.
     pub fn crash(&mut self, keep_unsynced: usize) {
         self.backend.crash(keep_unsynced);
+        self.unsynced = 0;
     }
 }
 
@@ -362,6 +474,115 @@ mod tests {
         assert_eq!(back, recs);
         assert!(!report.torn_tail);
         assert_eq!(report.bitrot, 0);
+    }
+
+    #[test]
+    fn batch_append_roundtrips_and_rotates_like_singles() {
+        let mut batched = sim_store();
+        let mut singles = sim_store();
+        let recs: Vec<Record> = (0..9).map(|i| Record::Item(item(i, i + 1))).collect();
+        batched.append_batch(&recs).unwrap();
+        for r in &recs {
+            singles.append(r).unwrap();
+        }
+        assert!(batched.stats().rotations > 0, "small segments must rotate");
+        assert_eq!(batched.stats().rotations, singles.stats().rotations);
+        assert_eq!(batched.stats().appended, 9);
+        assert_eq!(batched.stats().batch_appends, 1);
+        assert_eq!(batched.stats().batched_records, 9);
+        let (back, report) = batched.recover().unwrap();
+        assert_eq!(back, recs);
+        assert!(!report.torn_tail);
+        assert_eq!(report.bitrot, 0);
+    }
+
+    #[test]
+    fn every_n_counts_records_not_append_calls() {
+        let mut s = Store::in_memory(StorageConfig {
+            fsync: FsyncPolicy::EveryN(3),
+            segment_bytes: 1 << 20,
+            snapshot_every: 1000,
+        });
+        // One batched call carrying 3 records must trip the threshold,
+        // exactly as 3 separate appends would.
+        let recs: Vec<Record> = (0..3).map(|i| Record::Item(item(i, i + 1))).collect();
+        s.append_batch(&recs).unwrap();
+        assert_eq!(s.stats().syncs, 1, "3 records in one call reach EveryN(3)");
+        assert!(!s.has_unsynced());
+        // A 2-record batch stays below the threshold and remains volatile.
+        s.append_batch(&recs[..2]).unwrap();
+        assert_eq!(s.stats().syncs, 1);
+        assert!(s.has_unsynced());
+        s.crash(0);
+        let (back, _) = s.recover().unwrap();
+        assert_eq!(back, recs, "only the synced batch survives");
+    }
+
+    #[test]
+    fn every_n_zero_is_clamped_to_always() {
+        let mut s = Store::in_memory(StorageConfig {
+            fsync: FsyncPolicy::EveryN(0),
+            segment_bytes: 1 << 20,
+            snapshot_every: 1000,
+        });
+        assert_eq!(s.config().fsync, FsyncPolicy::Always);
+        let a = Record::Item(item(1, 1));
+        s.append(&a).unwrap();
+        assert_eq!(s.stats().syncs, 1);
+        s.crash(0);
+        let (back, _) = s.recover().unwrap();
+        assert_eq!(back, vec![a]);
+    }
+
+    #[test]
+    fn group_commit_defers_until_sync_now_or_max_batch() {
+        let mut s = Store::in_memory(StorageConfig {
+            fsync: FsyncPolicy::GroupCommit {
+                max_batch: 4,
+                max_delay_us: 1_000,
+            },
+            segment_bytes: 1 << 20,
+            snapshot_every: 1000,
+        });
+        let recs: Vec<Record> = (0..6).map(|i| Record::Item(item(i, i + 1))).collect();
+        // Two records: below max_batch, so nothing is synced yet.
+        s.append_batch(&recs[..2]).unwrap();
+        assert_eq!(s.stats().syncs, 0);
+        assert!(s.has_unsynced());
+        // The explicit flush point makes them durable in one fsync.
+        s.sync_now().unwrap();
+        assert_eq!(s.stats().syncs, 1);
+        assert!(!s.has_unsynced());
+        s.sync_now().unwrap();
+        assert_eq!(s.stats().syncs, 1, "idle flush is a no-op");
+        // A 4-record batch reaches max_batch and syncs eagerly.
+        s.append_batch(&recs[2..]).unwrap();
+        assert_eq!(s.stats().syncs, 2);
+        s.crash(0);
+        let (back, _) = s.recover().unwrap();
+        assert_eq!(back, recs, "everything synced before the crash");
+    }
+
+    #[test]
+    fn group_commit_unsynced_records_lost_without_flush() {
+        let mut s = Store::in_memory(StorageConfig {
+            fsync: FsyncPolicy::GroupCommit {
+                max_batch: 64,
+                max_delay_us: 1_000,
+            },
+            segment_bytes: 1 << 20,
+            snapshot_every: 1000,
+        });
+        let a = Record::Item(item(1, 1));
+        s.append(&a).unwrap();
+        assert!(s.has_unsynced());
+        s.crash(0);
+        let (back, _) = s.recover().unwrap();
+        assert_eq!(
+            back,
+            Vec::<Record>::new(),
+            "records the server has not flushed (and so has not acked) can vanish"
+        );
     }
 
     #[test]

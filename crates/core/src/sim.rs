@@ -87,6 +87,9 @@ const SCRIPT_TOKEN: u64 = u64::MAX - 1;
 const RESTART_WIPE_TOKEN: u64 = u64::MAX - 2;
 /// Timer token that restarts a server recovering from its store.
 const RESTART_RECOVER_TOKEN: u64 = u64::MAX - 3;
+/// Timer token that flushes a server's group-commit window: syncs the
+/// store and releases the acks held back until durability.
+const COMMIT_TOKEN: u64 = u64::MAX - 4;
 
 /// What a restarted server comes back with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +109,10 @@ pub struct ServerActor {
     book: AddrBook,
     behavior: Behavior,
     adversary: AdversaryState,
+    /// Deadline the currently armed [`COMMIT_TOKEN`] timer targets, so a
+    /// burst of writes in one group-commit window arms one timer, not one
+    /// per write.
+    commit_armed: Option<SimTime>,
 }
 
 impl ServerActor {
@@ -116,6 +123,21 @@ impl ServerActor {
             book,
             behavior,
             adversary: AdversaryState::new(),
+            commit_armed: None,
+        }
+    }
+
+    /// Arms (or re-arms) the group-commit flush timer to match the
+    /// server's pending commit deadline, if any.
+    fn arm_commit(&mut self, ctx: &mut SimContext<'_, Msg>) {
+        match self.node.pending_commit_deadline() {
+            Some(deadline) => {
+                if self.commit_armed != Some(deadline) {
+                    self.commit_armed = Some(deadline);
+                    ctx.set_timer(deadline.saturating_sub(ctx.now()), COMMIT_TOKEN);
+                }
+            }
+            None => self.commit_armed = None,
         }
     }
 
@@ -143,6 +165,12 @@ impl ServerActor {
         let mut fresh = ServerNode::new(id, dir, cfg);
         match (mode, self.node.take_store()) {
             (RestartMode::Recover, Some(mut store)) => {
+                // A crash first loses whatever the group-commit window had
+                // not fsynced yet (keeping a random prefix, as a write
+                // racing the crash would) — a no-op under `Always`, where
+                // everything is synced — then the torn fragment models the
+                // append the crash cut short.
+                store.crash(ctx.rng().gen_range(0..16usize));
                 let torn_len = ctx.rng().gen_range(3..24usize);
                 let torn: Vec<u8> = (0..torn_len).map(|_| ctx.rng().gen()).collect();
                 store.inject_torn_tail(&torn);
@@ -156,6 +184,9 @@ impl ServerActor {
         }
         self.node = fresh;
         self.adversary = AdversaryState::new();
+        // Any deferred acks died with the process; the armed flush timer
+        // (if one is in flight) finds nothing pending and is a no-op.
+        self.commit_armed = None;
     }
 }
 
@@ -168,9 +199,21 @@ impl Actor<Msg> for ServerActor {
         let from_addr = self.book.addr_of(from);
         let out = self.node.handle(from_addr, msg, ctx.now());
         self.dispatch(out, ctx);
+        self.arm_commit(ctx);
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut SimContext<'_, Msg>) {
+        if token == COMMIT_TOKEN {
+            if self.behavior == Behavior::Crash {
+                return;
+            }
+            let out = self.node.flush_commits(ctx.now(), false);
+            self.dispatch(out, ctx);
+            // Not-yet-due deadline (stale timer): re-arm for the rest.
+            self.commit_armed = None;
+            self.arm_commit(ctx);
+            return;
+        }
         if token == RESTART_WIPE_TOKEN || token == RESTART_RECOVER_TOKEN {
             let mode = if token == RESTART_RECOVER_TOKEN {
                 RestartMode::Recover

@@ -135,6 +135,48 @@ fn unauthorized_client_messages_are_ignored() {
 }
 
 #[test]
+fn reconstruction_batch_preverify_keeps_logical_verifies_exact() {
+    // Reconstructing m items batch-verifies the newest candidate per item
+    // up front (one RLC batch), then the adoption loop hits the seeded
+    // cache. The batch must show up only in the batch_* telemetry: every
+    // adopted meta still charges exactly one logical verify, so the §6
+    // count tables are unchanged by batching.
+    let mut cluster = ClusterBuilder::new(4, 1)
+        .seed(11)
+        .client(vec![
+            connect(1),
+            write(1, 1, b"a"),
+            write(1, 2, b"b"),
+            write(1, 3, b"c"),
+            write(1, 4, b"d"),
+            Step::Crash,
+            Step::Do(ClientOp::Connect {
+                group: GroupId(1),
+                recover: true,
+            }),
+        ])
+        .build();
+    cluster.run_to_quiescence();
+    let results = cluster.client_results(0);
+    let rec = results
+        .iter()
+        .find(|r| r.kind == OpKind::Reconstruct)
+        .expect("reconstruction ran");
+    assert_eq!(
+        rec.outcome,
+        Outcome::Connected { context_len: 4 },
+        "{results:?}"
+    );
+    let c = cluster.client_counters(0);
+    assert_eq!(c.batch_ops, 1, "one RLC batch over the four heads: {c:?}");
+    assert_eq!(c.batch_items, 4, "{c:?}");
+    // Each adopted meta is charged once, from the seeded cache; seeding
+    // itself charged nothing.
+    assert!(c.verify_cached >= 4, "{c:?}");
+    assert_eq!(c.logical_verifies(), c.verifies + c.verify_cached);
+}
+
+#[test]
 fn reconstruction_finds_items_from_other_writers_in_group() {
     // CC groups can contain items written by others; reconstruction scans
     // per group, not per writer, so it must pick those up too.

@@ -544,6 +544,40 @@ impl BigUint {
         })
     }
 
+    /// Jacobi symbol `(self / n)` for odd `n > 1`, via the binary
+    /// algorithm (gcd-shaped, no factoring).
+    ///
+    /// Returns `None` when `n` is even or < 3 — the symbol is undefined
+    /// there. For prime `n` this is the Legendre symbol: `1` for quadratic
+    /// residues, `-1` for non-residues, `0` when `n` divides `self`.
+    pub fn jacobi(&self, n: &BigUint) -> Option<i8> {
+        if n.is_even() || n.is_one() || n.is_zero() {
+            return None;
+        }
+        let mut a = self.rem(n);
+        let mut n = n.clone();
+        let mut result: i8 = 1;
+        while !a.is_zero() {
+            while a.is_even() {
+                a = a.shr(1);
+                // (2/n) = -1 iff n ≡ 3, 5 (mod 8).
+                let n_mod_8 = n.limbs.first().copied().unwrap_or(0) & 7;
+                if n_mod_8 == 3 || n_mod_8 == 5 {
+                    result = -result;
+                }
+            }
+            std::mem::swap(&mut a, &mut n);
+            // Quadratic reciprocity: flip when both ≡ 3 (mod 4).
+            let a_mod_4 = a.limbs.first().copied().unwrap_or(0) & 3;
+            let n_mod_4 = n.limbs.first().copied().unwrap_or(0) & 3;
+            if a_mod_4 == 3 && n_mod_4 == 3 {
+                result = -result;
+            }
+            a = a.rem(&n);
+        }
+        Some(if n.is_one() { result } else { 0 })
+    }
+
     /// Uniformly random integer in `[0, bound)`.
     ///
     /// # Panics
@@ -827,6 +861,51 @@ impl MontgomeryCtx {
             }
         }
         acc
+    }
+
+    /// `Π base_i ^ exp_i mod m` via interleaved fixed-window (w = 4)
+    /// multi-exponentiation: every term shares one squaring chain of
+    /// `max_i bits(exp_i)` squarings, so the marginal cost of each extra
+    /// term is only its window table (14 multiplies) plus one multiply per
+    /// nonzero exponent window — the batch-verification workhorse.
+    pub fn multi_pow(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        let bits = pairs.iter().map(|(_, e)| e.bit_len()).max().unwrap_or(0);
+        if bits == 0 {
+            return self.mont_decode(&self.r1);
+        }
+        // tables[i][j-1] = base_i^j in Montgomery form, j in 1..=15.
+        let tables: Vec<Vec<Vec<u64>>> = pairs
+            .iter()
+            .map(|(base, _)| {
+                let b = self.mont_encode(base);
+                let mut tbl = Vec::with_capacity(15);
+                let mut cur = b.clone();
+                tbl.push(cur.clone());
+                for _ in 1..15 {
+                    cur = self.mont_mul(&cur, &b);
+                    tbl.push(cur.clone());
+                }
+                tbl
+            })
+            .collect();
+        let windows = bits.div_ceil(4);
+        let mut acc = self.r1.clone();
+        for w in (0..windows).rev() {
+            if w != windows - 1 {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            for (i, (_, exp)) in pairs.iter().enumerate() {
+                let d = exp.window4(w);
+                if d != 0 {
+                    if let Some(tbl) = tables.get(i).and_then(|t| t.get(d as usize - 1)) {
+                        acc = self.mont_mul(&acc, tbl);
+                    }
+                }
+            }
+        }
+        self.mont_decode(&acc)
     }
 
     /// `a^ea · b^eb mod m` via Strauss–Shamir simultaneous exponentiation:
@@ -1229,6 +1308,101 @@ mod tests {
         assert_eq!(
             ctx.modpow2(&a, &BigUint::one(), &b, &BigUint::zero()),
             a.rem(&m)
+        );
+    }
+
+    #[test]
+    fn jacobi_matches_euler_criterion() {
+        // For prime p the Jacobi symbol is the Legendre symbol, which the
+        // Euler criterion computes as a^((p-1)/2) mod p.
+        let mut rng = StdRng::seed_from_u64(31);
+        for p in [1_000_000_007u64, 0xffff_fffb, 997] {
+            let p = BigUint::from(p);
+            let exp = p.sub(&BigUint::one()).shr(1);
+            for _ in 0..50 {
+                let a = BigUint::random_below(&p, &mut rng);
+                let euler = a.modpow(&exp, &p);
+                let want: i8 = if euler.is_zero() {
+                    0
+                } else if euler.is_one() {
+                    1
+                } else {
+                    assert_eq!(euler, p.sub(&BigUint::one()));
+                    -1
+                };
+                assert_eq!(a.jacobi(&p), Some(want), "a={a} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_known_values_and_composite_moduli() {
+        // (1/n) = 1 always; (0/n) = 0; classic table entries.
+        assert_eq!(big(1).jacobi(&big(9)), Some(1));
+        assert_eq!(big(0).jacobi(&big(9)), Some(0));
+        assert_eq!(big(2).jacobi(&big(15)), Some(1)); // (2/3)(2/5) = (-1)(-1)
+        assert_eq!(big(5).jacobi(&big(21)), Some(1)); // (5/3)(5/7) = (-1)(-1)
+        assert_eq!(big(7).jacobi(&big(15)), Some(-1));
+        assert_eq!(big(3).jacobi(&big(9)), Some(0)); // shared factor
+                                                     // Undefined for even or trivial moduli.
+        assert_eq!(big(3).jacobi(&big(8)), None);
+        assert_eq!(big(3).jacobi(&BigUint::one()), None);
+        assert_eq!(big(3).jacobi(&BigUint::zero()), None);
+    }
+
+    #[test]
+    fn jacobi_is_multiplicative_in_the_numerator() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let n = big(10403); // 101 * 103, odd composite
+        for _ in 0..50 {
+            let a = BigUint::random_below(&n, &mut rng);
+            let b = BigUint::random_below(&n, &mut rng);
+            let ab = a.mulmod(&b, &n);
+            let (ja, jb, jab) = (
+                a.jacobi(&n).unwrap(),
+                b.jacobi(&n).unwrap(),
+                ab.jacobi(&n).unwrap(),
+            );
+            assert_eq!(jab, ja * jb, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn multi_pow_matches_product_of_schoolbook_powers() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61");
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for k in [1usize, 2, 3, 7, 16] {
+            let bases: Vec<BigUint> = (0..k)
+                .map(|_| BigUint::random_below(&m, &mut rng))
+                .collect();
+            let exps: Vec<BigUint> = (0..k)
+                .map(|_| BigUint::random_bits(1 + rng.gen_range(1..160), &mut rng))
+                .collect();
+            let pairs: Vec<(&BigUint, &BigUint)> = bases.iter().zip(exps.iter()).collect();
+            let got = ctx.multi_pow(&pairs);
+            let mut want = BigUint::one();
+            for (b, e) in &pairs {
+                want = want.mulmod(&b.modpow_schoolbook(e, &m), &m);
+            }
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn multi_pow_edge_cases() {
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61");
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        // Empty product and all-zero exponents are 1.
+        assert!(ctx.multi_pow(&[]).is_one());
+        let b = big(7);
+        let z = BigUint::zero();
+        assert!(ctx.multi_pow(&[(&b, &z), (&b, &z)]).is_one());
+        // Mixed zero/nonzero exponents.
+        let e = big(13);
+        assert_eq!(
+            ctx.multi_pow(&[(&b, &z), (&b, &e)]),
+            b.modpow_schoolbook(&e, &m)
         );
     }
 

@@ -1,0 +1,484 @@
+//! Batch Schnorr verification via small-exponent random linear combination.
+//!
+//! Verifying a signature `(r_i, s_i)` individually checks
+//! `g^{s_i} · y_i^{q-e_i} = r_i` with `e_i = H(r_i ‖ m_i)`. For a batch,
+//! draw per-item coefficients `z_i` and check the single combined equation
+//!
+//! ```text
+//!   g^{Σ z_i s_i} · Π_y y^{Σ z_i (q - e_i)}  =  Π r_i^{z_i}   (mod p)
+//! ```
+//!
+//! — one fixed-base exponentiation for `g`, one per *distinct writer* `y`
+//! (terms for the same key merge into one aggregated exponent), and one
+//! interleaved multi-exponentiation [`MontgomeryCtx::multi_pow`] sharing a
+//! single squaring chain across every `r_i`. The marginal cost per item
+//! drops from two table exponentiations to ~46 Montgomery multiplies.
+//!
+//! # Soundness sketch
+//!
+//! Write each claimed commitment as `r_i = ĝ_i · d_i` where `ĝ_i ∈ ⟨g⟩`
+//! and `d_i` lies in the cofactor part of `Z_p*`. The group is generated
+//! only when [`SchnorrParams::is_batch_safe`] holds: `p = 2·q·m'` + 1 with
+//! `m'` prime, so `Z_p*` decomposes as `C_2 × C_q × C_{m'}`.
+//!
+//! - The **Jacobi pre-screen** rejects any `r_i` that is not a quadratic
+//!   residue, eliminating the `C_2` component entirely. Honest commitments
+//!   always pass: `g = h^{2m'}` is a square, hence so is every `g^k`.
+//! - In the **`C_q` component** the combined equation is a random linear
+//!   combination of the per-item verification equations with independent
+//!   128-bit coefficients `z_i`: if any single equation is false, the
+//!   combination only holds when the coefficient vector lands in a
+//!   codimension-1 sublattice — probability ≤ 2⁻¹²⁷ over the coefficient
+//!   space (the `z_i` are odd 128-bit values derived by hashing the full
+//!   batch transcript, so an adversary committed to the batch before
+//!   learning them).
+//! - In the **`C_{m'}` component** the left side is trivial (`g` and every
+//!   honest `y` have order `q`), so the combination collapses to
+//!   `Π d_i^{z_i} = 1` in `C_{m'}`. With `m'` prime, a nonzero `d_i`
+//!   survives only if `Σ z_i·log(d_i) ≡ 0 (mod m')` — probability ~`1/m'`
+//!   (≥ 2⁻⁶³ even for the micro preset) because the full-width `z_i`
+//!   multiply the `r_i` directly.
+//!
+//! A batch failure never condemns honest items: bisection re-checks each
+//! half with the *same* coefficients, and the leaves fall back to the
+//! individual [`VerifyingKey::verify`] — the ground truth. Equivalence
+//! (batch accepts iff every individual verify accepts) is exercised by the
+//! property suite in `crates/crypto/tests/batch_prop.rs`.
+//!
+//! Groups whose cofactor structure cannot be confirmed — or batches mixing
+//! parameter sets — take the individual-verify fallback, trading the
+//! speedup for unconditional correctness.
+
+use std::collections::HashMap;
+
+use crate::bigint::BigUint;
+use crate::ct::ct_eq;
+use crate::sha256::Sha256;
+
+#[cfg(doc)]
+use crate::bigint::MontgomeryCtx;
+
+use super::{challenge, SchnorrParams, Signature, VerifyingKey};
+
+/// One `(key, message, signature)` triple in a batch.
+#[derive(Clone, Copy)]
+pub struct BatchEntry<'a> {
+    /// The claimed writer's public key.
+    pub key: &'a VerifyingKey,
+    /// The signed message bytes.
+    pub message: &'a [u8],
+    /// The signature to check.
+    pub signature: &'a Signature,
+}
+
+/// A screened batch item with its transcript-derived coefficient.
+struct Prepared<'a> {
+    /// Index into the caller's entry slice.
+    idx: usize,
+    key: &'a VerifyingKey,
+    message: &'a [u8],
+    signature: &'a Signature,
+    /// The claimed commitment `r_i` (range- and residue-checked).
+    r: BigUint,
+    /// Full-width 128-bit coefficient `z_i` (exponent of `r_i`).
+    z: BigUint,
+    /// `z_i · s_i mod q`.
+    zs: BigUint,
+    /// `z_i · (q - e_i) mod q`.
+    zqe: BigUint,
+}
+
+/// Verifies every entry, amortizing the exponentiations across the batch.
+///
+/// Accepts exactly when each individual [`VerifyingKey::verify`] accepts.
+/// On rejection returns the sorted indices of precisely the invalid
+/// entries — a single forged item never poisons honest ones (bisection
+/// plus individual re-verification isolate it).
+///
+/// # Errors
+///
+/// `Err(bad)` lists the indices of every entry whose signature does not
+/// verify; all other entries are valid.
+pub fn verify_batch(entries: &[BatchEntry<'_>]) -> Result<(), Vec<usize>> {
+    let Some(first) = entries.first() else {
+        return Ok(());
+    };
+    let params: &SchnorrParams = &first.key.params;
+    if entries.len() < 2
+        || !entries.iter().all(|en| en.key.params == first.key.params)
+        || !params.is_batch_safe()
+    {
+        return verify_each(entries);
+    }
+    let p = params.modulus();
+    let q = params.order();
+    let mut bad: Vec<usize> = Vec::new();
+    // Pass 1: parse, range-check and residue-screen each item, computing
+    // its challenge and absorbing (y, r, e) into the coefficient seed.
+    let mut screened: Vec<(usize, BigUint, BigUint, BigUint)> = Vec::with_capacity(entries.len());
+    let mut seed_h = Sha256::new();
+    for (idx, en) in entries.iter().enumerate() {
+        let r = BigUint::from_be_bytes(&en.signature.r);
+        let s = BigUint::from_be_bytes(&en.signature.s);
+        if s >= *q || r.is_zero() || r >= *p {
+            bad.push(idx);
+            continue;
+        }
+        // Honest commitments are quadratic residues (g = h^{2m'} is a
+        // square); a non-residue cannot lie in ⟨g⟩, so the individual
+        // verify — whose recomputed side always lands in ⟨g⟩ — rejects it
+        // too. Screening it out here both preserves equivalence and keeps
+        // the order-2 subgroup out of the combined equation.
+        if r.jacobi(p) != Some(1) {
+            bad.push(idx);
+            continue;
+        }
+        let e = challenge(&r, en.message, q);
+        for part in [&en.key.y.to_be_bytes(), &r.to_be_bytes(), &e.to_be_bytes()] {
+            seed_h.update((part.len() as u64).to_be_bytes());
+            seed_h.update(part);
+        }
+        screened.push((idx, r, s, e));
+    }
+    if screened.len() < 2 {
+        // Nothing left to amortize over.
+        for (idx, _, _, _) in &screened {
+            if let Some(en) = entries.get(*idx) {
+                if en.key.verify(en.message, en.signature).is_err() {
+                    bad.push(*idx);
+                }
+            }
+        }
+        bad.sort_unstable();
+        return if bad.is_empty() { Ok(()) } else { Err(bad) };
+    }
+    // Pass 2: derive the coefficients from the sealed transcript. Forcing
+    // the low bit keeps every z_i nonzero (odd) without biasing more than
+    // one bit of the 128.
+    let seed = seed_h.finalize();
+    let mut items: Vec<Prepared<'_>> = Vec::with_capacity(screened.len());
+    for (j, (idx, r, s, e)) in screened.into_iter().enumerate() {
+        let Some(en) = entries.get(idx) else {
+            continue;
+        };
+        let mut h = Sha256::new();
+        h.update(seed.as_bytes());
+        h.update((j as u64).to_be_bytes());
+        let digest = h.finalize();
+        let mut z_bytes: Vec<u8> = digest.as_bytes().iter().take(16).copied().collect();
+        if let Some(last) = z_bytes.last_mut() {
+            *last |= 1;
+        }
+        let z = BigUint::from_be_bytes(&z_bytes);
+        let zs = z.mulmod(&s, q);
+        let zqe = z.mulmod(&q.sub(&e), q);
+        items.push(Prepared {
+            idx,
+            key: en.key,
+            message: en.message,
+            signature: en.signature,
+            r,
+            z,
+            zs,
+            zqe,
+        });
+    }
+    if !batch_holds(params, &items) {
+        let (lo, hi) = items.split_at(items.len() / 2);
+        isolate(params, lo, &mut bad);
+        isolate(params, hi, &mut bad);
+    }
+    bad.sort_unstable();
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(bad)
+    }
+}
+
+/// Fallback: verify each entry on its own (mixed or non-batch-safe groups,
+/// and trivially small batches).
+fn verify_each(entries: &[BatchEntry<'_>]) -> Result<(), Vec<usize>> {
+    let bad: Vec<usize> = entries
+        .iter()
+        .enumerate()
+        .filter(|(_, en)| en.key.verify(en.message, en.signature).is_err())
+        .map(|(i, _)| i)
+        .collect();
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(bad)
+    }
+}
+
+/// Evaluates the combined equation over `items` (with their fixed
+/// coefficients): `g^S · Π_y y^{A_y} = Π r_i^{z_i}`.
+fn batch_holds(params: &SchnorrParams, items: &[Prepared<'_>]) -> bool {
+    let q = params.order();
+    let ctx = params.mont_ctx();
+    let mut s_sum = BigUint::zero();
+    // Aggregate per distinct writer so each public key costs one
+    // fixed-base exponentiation no matter how many items it signed.
+    let mut per_writer: HashMap<Vec<u8>, (usize, BigUint)> = HashMap::new();
+    for (j, it) in items.iter().enumerate() {
+        s_sum = s_sum.add(&it.zs).rem(q);
+        let slot = per_writer
+            .entry(it.key.y.to_be_bytes())
+            .or_insert_with(|| (j, BigUint::zero()));
+        slot.1 = slot.1.add(&it.zqe).rem(q);
+    }
+    let mut t = params
+        .g_table()
+        .pow(&s_sum)
+        .unwrap_or_else(|| ctx.modpow(params.generator(), &s_sum));
+    for (rep_j, a) in per_writer.values() {
+        let Some(it) = items.get(*rep_j) else {
+            return false;
+        };
+        let yp = it
+            .key
+            .y_table()
+            .pow(a)
+            .unwrap_or_else(|| ctx.modpow(&it.key.y, a));
+        t = ctx.mulmod(&t, &yp);
+    }
+    // Full-width coefficients on the r side: the C_{m'} component of each
+    // r_i must cancel on its own, so z_i may not be reduced mod q here.
+    let pairs: Vec<(&BigUint, &BigUint)> = items.iter().map(|it| (&it.r, &it.z)).collect();
+    let u = ctx.multi_pow(&pairs);
+    ct_eq(&t.to_be_bytes(), &u.to_be_bytes())
+}
+
+/// Recursive bisection over a failing range: re-check each half with the
+/// same coefficients, falling back to the individual verify at the leaves
+/// so exactly the invalid indices are reported.
+fn isolate(params: &SchnorrParams, items: &[Prepared<'_>], bad: &mut Vec<usize>) {
+    match items {
+        [] => {}
+        [it] => {
+            if it.key.verify(it.message, it.signature).is_err() {
+                bad.push(it.idx);
+            }
+        }
+        _ => {
+            if batch_holds(params, items) {
+                return;
+            }
+            let (lo, hi) = items.split_at(items.len() / 2);
+            isolate(params, lo, bad);
+            isolate(params, hi, bad);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{SchnorrParams, SigningKey};
+    use super::*;
+
+    fn toy_key(seed: u64) -> SigningKey {
+        SigningKey::from_seed(&SchnorrParams::toy(), seed)
+    }
+
+    /// Builds `n` (key, message, signature) fixtures across three writers.
+    fn fixtures(n: usize) -> (Vec<SigningKey>, Vec<Vec<u8>>, Vec<Signature>) {
+        let keys: Vec<SigningKey> = (0..3).map(|i| toy_key(900 + i)).collect();
+        let msgs: Vec<Vec<u8>> = (0..n).map(|i| format!("msg-{i}").into_bytes()).collect();
+        let sigs: Vec<Signature> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| keys[i % keys.len()].sign(m))
+            .collect();
+        (keys, msgs, sigs)
+    }
+
+    fn entries<'a>(
+        keys: &'a [SigningKey],
+        msgs: &'a [Vec<u8>],
+        sigs: &'a [Signature],
+    ) -> Vec<BatchEntry<'a>> {
+        msgs.iter()
+            .enumerate()
+            .map(|(i, m)| BatchEntry {
+                key: keys[i % keys.len()].verifying_key(),
+                message: m,
+                signature: &sigs[i],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        assert_eq!(verify_batch(&[]), Ok(()));
+        let key = toy_key(1);
+        let sig = key.sign(b"solo");
+        assert_eq!(
+            verify_batch(&[BatchEntry {
+                key: key.verifying_key(),
+                message: b"solo",
+                signature: &sig,
+            }]),
+            Ok(())
+        );
+        let other = key.sign(b"other");
+        assert_eq!(
+            verify_batch(&[BatchEntry {
+                key: key.verifying_key(),
+                message: b"solo",
+                signature: &other,
+            }]),
+            Err(vec![0])
+        );
+    }
+
+    #[test]
+    fn all_valid_batch_accepts() {
+        let (keys, msgs, sigs) = fixtures(9);
+        assert_eq!(verify_batch(&entries(&keys, &msgs, &sigs)), Ok(()));
+    }
+
+    #[test]
+    fn single_forged_item_is_isolated() {
+        let (keys, msgs, mut sigs) = fixtures(8);
+        for victim in [0usize, 3, 7] {
+            let orig = sigs[victim].clone();
+            // Swap in a signature over a different message.
+            sigs[victim] = keys[victim % keys.len()].sign(b"not the message");
+            assert_eq!(
+                verify_batch(&entries(&keys, &msgs, &sigs)),
+                Err(vec![victim]),
+                "victim {victim}"
+            );
+            sigs[victim] = orig;
+        }
+    }
+
+    #[test]
+    fn multiple_forged_items_all_reported() {
+        let (keys, msgs, mut sigs) = fixtures(10);
+        for &v in &[1usize, 4, 9] {
+            sigs[v] = keys[v % keys.len()].sign(b"forged");
+        }
+        assert_eq!(
+            verify_batch(&entries(&keys, &msgs, &sigs)),
+            Err(vec![1, 4, 9])
+        );
+    }
+
+    #[test]
+    fn bitflipped_components_rejected() {
+        let (keys, msgs, sigs) = fixtures(6);
+        for flip_r in [true, false] {
+            let mut sigs = sigs.clone();
+            let mut bytes = sigs[2].to_bytes();
+            let pos = if flip_r { 6 } else { bytes.len() - 1 };
+            bytes[pos] ^= 0x40;
+            sigs[2] = Signature::from_bytes(&bytes).unwrap();
+            let got = verify_batch(&entries(&keys, &msgs, &sigs));
+            assert_eq!(got, Err(vec![2]), "flip_r={flip_r}");
+        }
+    }
+
+    #[test]
+    fn duplicate_writer_terms_merge() {
+        // Many items by one writer: exercises the per-writer aggregation.
+        let key = toy_key(77);
+        let msgs: Vec<Vec<u8>> = (0..12).map(|i| format!("dup-{i}").into_bytes()).collect();
+        let sigs: Vec<Signature> = msgs.iter().map(|m| key.sign(m)).collect();
+        let ents: Vec<BatchEntry<'_>> = msgs
+            .iter()
+            .zip(sigs.iter())
+            .map(|(m, s)| BatchEntry {
+                key: key.verifying_key(),
+                message: m,
+                signature: s,
+            })
+            .collect();
+        assert_eq!(verify_batch(&ents), Ok(()));
+    }
+
+    #[test]
+    fn wrong_key_attribution_rejected() {
+        let (keys, msgs, sigs) = fixtures(5);
+        let mut ents = entries(&keys, &msgs, &sigs);
+        // Claim item 3 was signed by a different writer.
+        ents[3].key = keys[(3 + 1) % keys.len()].verifying_key();
+        assert_eq!(verify_batch(&ents), Err(vec![3]));
+    }
+
+    #[test]
+    fn mixed_parameter_sets_fall_back() {
+        let toy = toy_key(5);
+        let micro = SigningKey::from_seed(&SchnorrParams::micro(), 5);
+        let (m1, m2) = (b"toy item".to_vec(), b"micro item".to_vec());
+        let s1 = toy.sign(&m1);
+        let s2 = micro.sign(&m2);
+        let good = vec![
+            BatchEntry {
+                key: toy.verifying_key(),
+                message: &m1,
+                signature: &s1,
+            },
+            BatchEntry {
+                key: micro.verifying_key(),
+                message: &m2,
+                signature: &s2,
+            },
+        ];
+        assert_eq!(verify_batch(&good), Ok(()));
+        let forged = micro.sign(b"something else");
+        let bad = vec![
+            BatchEntry {
+                key: toy.verifying_key(),
+                message: &m1,
+                signature: &s1,
+            },
+            BatchEntry {
+                key: micro.verifying_key(),
+                message: &m2,
+                signature: &forged,
+            },
+        ];
+        assert_eq!(verify_batch(&bad), Err(vec![1]));
+    }
+
+    #[test]
+    fn micro_group_batches_verify() {
+        let params = SchnorrParams::micro();
+        let keys: Vec<SigningKey> = (0..2).map(|i| SigningKey::from_seed(&params, i)).collect();
+        let msgs: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 4]).collect();
+        let sigs: Vec<Signature> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| keys[i % 2].sign(m))
+            .collect();
+        let ents: Vec<BatchEntry<'_>> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| BatchEntry {
+                key: keys[i % 2].verifying_key(),
+                message: m,
+                signature: &sigs[i],
+            })
+            .collect();
+        assert_eq!(verify_batch(&ents), Ok(()));
+    }
+
+    #[test]
+    fn out_of_range_and_nonresidue_components_rejected() {
+        let (keys, msgs, mut sigs) = fixtures(4);
+        let params = SchnorrParams::toy();
+        // Oversized s on item 1.
+        sigs[1] = Signature {
+            r: sigs[1].r.clone(),
+            s: params.order().to_be_bytes(),
+        };
+        // Zero r on item 2.
+        sigs[2] = Signature {
+            r: Vec::new(),
+            s: sigs[2].s.clone(),
+        };
+        assert_eq!(verify_batch(&entries(&keys, &msgs, &sigs)), Err(vec![1, 2]));
+    }
+}

@@ -5,12 +5,23 @@
 //! the writer's well-known public key (paper §4). This module provides that
 //! primitive from scratch:
 //!
-//! - DSA-style parameter generation: a prime `q`, a prime `p = q·m + 1`, and
-//!   a generator `g` of the order-`q` subgroup.
+//! - DSA-style parameter generation: a prime `q`, a prime `p = 2·q·m' + 1`
+//!   with `m'` prime, and a generator `g` of the order-`q` subgroup. The
+//!   prime cofactor half is what makes the group *batch-verification safe*
+//!   (see [`batch`]): the only proper subgroups of `Z_p*` have order 1, 2,
+//!   `q`, `m'` or products of those, so a quadratic-residue check plus the
+//!   random-linear-combination argument leaves no room for small-subgroup
+//!   forgeries.
 //! - Key generation: secret `x ∈ [1, q)`, public `y = g^x mod p`.
 //! - Deterministic signing (the nonce is derived with HMAC from the secret
 //!   key and message, in the spirit of RFC 6979) so that simulation runs are
 //!   exactly reproducible.
+//!
+//! Signatures are the `(r, s)` form: the commitment `r = g^k` travels in
+//! the signature and verification recomputes the Fiat–Shamir challenge
+//! `e = H(r ‖ m)` and checks `g^s · y^{q-e} = r`. Carrying `r` (rather
+//! than `e`) is what enables [`batch::verify_batch`]: a random linear
+//! combination of many such equations shares one multi-exponentiation.
 //!
 //! # Parameter sizes
 //!
@@ -20,6 +31,10 @@
 //! independent of the group size; wall-clock crypto costs are reported
 //! per-group-size in EXPERIMENTS.md.
 
+pub mod batch;
+
+pub use batch::{verify_batch, BatchEntry};
+
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -27,6 +42,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::bigint::{BigUint, FixedBaseTable, MontgomeryCtx};
+use crate::ct::ct_eq;
 use crate::hmac::HmacSha256;
 use crate::sha256::Sha256;
 use crate::CryptoError;
@@ -47,6 +63,9 @@ pub struct SchnorrParams {
     q: BigUint,
     g: BigUint,
     accel: OnceLock<ParamsAccel>,
+    /// Whether the cofactor has the `2·m'` (prime `m'`) shape that batch
+    /// verification relies on; checked once, lazily.
+    batch_safe: OnceLock<bool>,
 }
 
 impl std::fmt::Debug for SchnorrParams {
@@ -90,18 +109,28 @@ impl SchnorrParams {
                 break cand;
             }
         };
-        // Find p = q*m + 1 prime with the right bit length. The cofactor m
-        // must be even: q is odd, so an odd m would make p even.
+        // Find p = 2·q·m' + 1 prime with m' itself prime. The factor 2
+        // keeps p odd (q and m' are both odd); the *prime* m' restricts
+        // the subgroup lattice of Z_p* to {1, 2, q, m'} and products,
+        // which is the structural property batch verification needs —
+        // see `is_batch_safe`.
         let one = BigUint::one();
         let p = loop {
-            let m = BigUint::random_bits(p_bits - q_bits, rng);
-            let m = if m.is_even() { m } else { m.add(&one) };
-            let cand = q.mul(&m).add(&one);
+            let mut m_half = BigUint::random_bits(p_bits - q_bits - 1, rng);
+            if m_half.is_even() {
+                m_half = m_half.add(&one);
+            }
+            if !m_half.is_probable_prime(24, rng) {
+                continue;
+            }
+            let cand = q.mul(&m_half).shl(1).add(&one);
             if cand.bit_len() == p_bits && cand.is_probable_prime(24, rng) {
                 break cand;
             }
         };
         // Find generator of the order-q subgroup: g = h^((p-1)/q) != 1.
+        // The exponent (p-1)/q = 2m' is even, so g is always a quadratic
+        // residue — the invariant the batch pre-screen leans on.
         let exp = p.sub(&one).div_rem(&q).0;
         let g = loop {
             let h = BigUint::random_below(&p, rng);
@@ -118,6 +147,7 @@ impl SchnorrParams {
             q,
             g,
             accel: OnceLock::new(),
+            batch_safe: OnceLock::new(),
         }
     }
 
@@ -209,6 +239,31 @@ impl SchnorrParams {
         &self.g
     }
 
+    /// Whether the group supports sound batch verification: the cofactor
+    /// `(p-1)/q` must be `2·m'` with `m'` prime (or exactly 2, the
+    /// safe-prime case). [`SchnorrParams::generate`] always produces such
+    /// groups; the check is re-derived here (once, cached) so that
+    /// [`batch::verify_batch`] can refuse — and fall back to individual
+    /// verifies on — any parameter set whose subgroup lattice it cannot
+    /// reason about.
+    pub fn is_batch_safe(&self) -> bool {
+        *self.batch_safe.get_or_init(|| {
+            let one = BigUint::one();
+            let p_minus_1 = self.p.sub(&one);
+            let (m, rem) = p_minus_1.div_rem(&self.q);
+            if !rem.is_zero() || !m.is_even() {
+                // q must divide p-1 exactly and the cofactor must be even.
+                return false;
+            }
+            let m_half = m.shr(1);
+            if m_half.is_one() {
+                return true; // p = 2q + 1: safe prime, no spare subgroups
+            }
+            let mut rng = StdRng::seed_from_u64(0xba7c_5afe);
+            m_half.is_probable_prime(24, &mut rng)
+        })
+    }
+
     /// Validates internal consistency: `q` prime, `q | p-1`, `g^q = 1`,
     /// `g != 1`.
     pub fn validate(&self, rng: &mut impl Rng) -> Result<(), CryptoError> {
@@ -235,34 +290,36 @@ impl SchnorrParams {
 /// Fixed seed for the deterministic toy parameter set.
 const TOY_SEED: u64 = 0x5ec5_705e;
 
-/// A Schnorr signature `(e, s)`.
+/// A Schnorr signature `(r, s)`: the nonce commitment `r = g^k mod p` and
+/// the response scalar `s = k + e·x mod q`, with the challenge
+/// `e = H(r ‖ m) mod q` recomputed by the verifier.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Signature {
-    e: Vec<u8>,
+    r: Vec<u8>,
     s: Vec<u8>,
 }
 
 impl Signature {
     /// Serialized length in bytes (used by the cost model).
     pub fn encoded_len(&self) -> usize {
-        self.e.len() + self.s.len() + 8
+        self.r.len() + self.s.len() + 8
     }
 
-    /// Serializes as `len(e) || e || s` (lengths fit in u32).
+    /// Serializes as `len(r) || r || s` (lengths fit in u32).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
-        out.extend_from_slice(&(self.e.len() as u32).to_be_bytes());
-        out.extend_from_slice(&self.e);
+        out.extend_from_slice(&(self.r.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.r);
         out.extend_from_slice(&self.s);
         out
     }
 
-    /// Whether both scalars use the minimal big-endian encoding (no leading
-    /// zero bytes). Signatures produced by [`SigningKey::sign`] always do;
-    /// the wire codec rejects the padded variants so each signature has
-    /// exactly one encoding.
+    /// Whether both components use the minimal big-endian encoding (no
+    /// leading zero bytes). Signatures produced by [`SigningKey::sign`]
+    /// always do; the wire codec rejects the padded variants so each
+    /// signature has exactly one encoding.
     pub fn scalars_minimal(&self) -> bool {
-        self.e.first() != Some(&0) && self.s.first() != Some(&0)
+        self.r.first() != Some(&0) && self.s.first() != Some(&0)
     }
 
     /// Parses the [`Signature::to_bytes`] encoding.
@@ -274,12 +331,12 @@ impl Signature {
         for (dst, src) in be.iter_mut().zip(len_bytes) {
             *dst = *src;
         }
-        let e_len = u32::from_be_bytes(be) as usize;
-        let Some((e, s)) = rest.split_at_checked(e_len) else {
+        let r_len = u32::from_be_bytes(be) as usize;
+        let Some((r, s)) = rest.split_at_checked(r_len) else {
             return Err(CryptoError::BadParams("signature truncated"));
         };
         Ok(Signature {
-            e: e.to_vec(),
+            r: r.to_vec(),
             s: s.to_vec(),
         })
     }
@@ -368,7 +425,7 @@ impl SigningKey {
         // s = k + e*x mod q
         let s = k.add(&e.mulmod(&self.x, q)).rem(q);
         Signature {
-            e: e.to_be_bytes(),
+            r: r.to_be_bytes(),
             s: s.to_be_bytes(),
         }
     }
@@ -411,7 +468,8 @@ impl VerifyingKey {
         self.y.to_be_bytes()
     }
 
-    /// Verifies `signature` over `message`.
+    /// Verifies `signature` over `message`: recomputes `e = H(r ‖ m)` from
+    /// the claimed commitment and checks `g^s · y^{q-e} = r`.
     ///
     /// # Errors
     ///
@@ -419,15 +477,16 @@ impl VerifyingKey {
     /// verify.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
         let q = &self.params.q;
-        let e = BigUint::from_be_bytes(&signature.e);
+        let r = BigUint::from_be_bytes(&signature.r);
         let s = BigUint::from_be_bytes(&signature.s);
-        if e >= *q || s >= *q {
+        if s >= *q || r.is_zero() || r >= self.params.p {
             return Err(CryptoError::BadSignature);
         }
+        let e = challenge(&r, message, q);
         // r' = g^s * y^(q-e) mod p  (y has order q, so y^(q-e) = y^{-e})
         let qe = q.sub(&e);
         let g_table = self.params.g_table();
-        let r = match g_table.pow_mul(&s, self.y_table(), &qe) {
+        let r_prime = match g_table.pow_mul(&s, self.y_table(), &qe) {
             Some(r) => r,
             // Fallback (exponent past table capacity can't happen for
             // scalars < q, but stay total): Strauss–Shamir double
@@ -437,7 +496,7 @@ impl VerifyingKey {
                 .mont_ctx()
                 .modpow2(&self.params.g, &s, &self.y, &qe),
         };
-        if challenge(&r, message, q) == e {
+        if ct_eq(&r_prime.to_be_bytes(), &r.to_be_bytes()) {
             Ok(())
         } else {
             Err(CryptoError::BadSignature)
@@ -454,15 +513,16 @@ impl VerifyingKey {
     ) -> Result<(), CryptoError> {
         let p = &self.params.p;
         let q = &self.params.q;
-        let e = BigUint::from_be_bytes(&signature.e);
+        let r = BigUint::from_be_bytes(&signature.r);
         let s = BigUint::from_be_bytes(&signature.s);
-        if e >= *q || s >= *q {
+        if s >= *q || r.is_zero() || r >= *p {
             return Err(CryptoError::BadSignature);
         }
+        let e = challenge(&r, message, q);
         let gs = self.params.g.modpow_schoolbook(&s, p);
         let ye = self.y.modpow_schoolbook(&q.sub(&e), p);
-        let r = gs.mulmod(&ye, p);
-        if challenge(&r, message, q) == e {
+        let r_prime = gs.mulmod(&ye, p);
+        if ct_eq(&r_prime.to_be_bytes(), &r.to_be_bytes()) {
             Ok(())
         } else {
             Err(CryptoError::BadSignature)
@@ -505,6 +565,7 @@ mod tests {
         params.validate(&mut rng).unwrap();
         assert_eq!(params.modulus().bit_len(), 256);
         assert_eq!(params.order().bit_len(), 160);
+        assert!(params.is_batch_safe());
     }
 
     #[test]
@@ -545,11 +606,17 @@ mod tests {
     fn tampered_signature_rejected() {
         let key = toy_key(6);
         let sig = key.sign(b"m");
+        // Flip the last byte (lands in s).
         let mut bytes = sig.to_bytes();
         let last = bytes.len() - 1;
         bytes[last] ^= 1;
         let bad = Signature::from_bytes(&bytes).unwrap();
         assert!(key.verifying_key().verify(b"m", &bad).is_err());
+        // Flip a byte of the claimed commitment r.
+        let mut bytes = sig.to_bytes();
+        bytes[5] ^= 1;
+        let bad_r = Signature::from_bytes(&bytes).unwrap();
+        assert!(key.verifying_key().verify(b"m", &bad_r).is_err());
     }
 
     #[test]
@@ -571,14 +638,27 @@ mod tests {
     }
 
     #[test]
-    fn oversized_scalars_rejected() {
+    fn out_of_range_components_rejected() {
         let key = toy_key(9);
-        let q_bytes = SchnorrParams::toy().order().to_be_bytes();
-        let bogus = Signature {
-            e: q_bytes.clone(),
-            s: q_bytes,
+        let params = SchnorrParams::toy();
+        let good = key.sign(b"m");
+        // s >= q.
+        let bogus_s = Signature {
+            r: good.r.clone(),
+            s: params.order().to_be_bytes(),
         };
-        assert!(key.verifying_key().verify(b"m", &bogus).is_err());
+        assert!(key.verifying_key().verify(b"m", &bogus_s).is_err());
+        // r >= p and r = 0.
+        let bogus_r = Signature {
+            r: params.modulus().to_be_bytes(),
+            s: good.s.clone(),
+        };
+        assert!(key.verifying_key().verify(b"m", &bogus_r).is_err());
+        let zero_r = Signature {
+            r: Vec::new(),
+            s: good.s.clone(),
+        };
+        assert!(key.verifying_key().verify(b"m", &zero_r).is_err());
     }
 
     #[test]
@@ -625,16 +705,30 @@ mod tests {
             assert!(sig.scalars_minimal(), "seed {seed}");
         }
         let padded = Signature {
-            e: vec![0, 1],
+            r: vec![0, 1],
             s: vec![2],
         };
         assert!(!padded.scalars_minimal());
         // Empty scalars encode zero minimally.
         let zero = Signature {
-            e: Vec::new(),
+            r: Vec::new(),
             s: Vec::new(),
         };
         assert!(zero.scalars_minimal());
+    }
+
+    #[test]
+    fn commitment_is_always_a_quadratic_residue() {
+        // g lands in the QR subgroup by construction (g = h^(2m')), so every
+        // honest commitment r = g^k must have Jacobi symbol 1 — the batch
+        // pre-screen depends on this never misfiring on honest signatures.
+        let params = SchnorrParams::toy();
+        for seed in 0..10u64 {
+            let key = toy_key(200 + seed);
+            let sig = key.sign(&seed.to_le_bytes());
+            let r = BigUint::from_be_bytes(&sig.r);
+            assert_eq!(r.jacobi(params.modulus()), Some(1), "seed {seed}");
+        }
     }
 
     #[test]
@@ -644,5 +738,6 @@ mod tests {
         let sig = key.sign(b"m");
         key.verifying_key().verify(b"m", &sig).unwrap();
         key.verifying_key().verify_schoolbook(b"m", &sig).unwrap();
+        assert!(SchnorrParams::micro().is_batch_safe());
     }
 }

@@ -1,0 +1,199 @@
+//! Property-based equivalence suite for batch Schnorr verification.
+//!
+//! The contract of `verify_batch` is exact equivalence with the individual
+//! verifier: the batch accepts iff every individual `verify` accepts, and
+//! on rejection it names precisely the indices that fail individually —
+//! regardless of how many items are forged, how they are forged, or how
+//! writers repeat within the batch.
+
+use proptest::prelude::*;
+
+use sstore_crypto::schnorr::{verify_batch, BatchEntry, SchnorrParams, Signature, SigningKey};
+
+/// How a single batch item is corrupted (or not).
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Honest signature.
+    None,
+    /// Flip one byte inside the commitment `r`.
+    FlipR(u8),
+    /// Flip one byte inside the response scalar `s`.
+    FlipS(u8),
+    /// Signature over a different message than the one claimed.
+    WrongMessage,
+    /// Signature by a different writer than the one claimed.
+    WrongKey,
+    /// Replace `s` with the (out-of-range) group order.
+    OversizedS,
+    /// Replace `r` with zero.
+    ZeroR,
+}
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    // Honest arms repeated to bias batches toward mostly-valid items
+    // (the interesting regime for bisection).
+    prop_oneof![
+        Just(Mutation::None),
+        Just(Mutation::None),
+        Just(Mutation::None),
+        Just(Mutation::None),
+        Just(Mutation::None),
+        any::<u8>().prop_map(Mutation::FlipR),
+        any::<u8>().prop_map(Mutation::FlipS),
+        Just(Mutation::WrongMessage),
+        Just(Mutation::WrongKey),
+        Just(Mutation::OversizedS),
+        Just(Mutation::ZeroR),
+    ]
+}
+
+/// Splits a serialized signature into its `(r, s)` byte halves.
+fn split_sig(bytes: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    let mut len = [0u8; 4];
+    len.copy_from_slice(&bytes[..4]);
+    let r_len = u32::from_be_bytes(len) as usize;
+    (bytes[4..4 + r_len].to_vec(), bytes[4 + r_len..].to_vec())
+}
+
+fn join_sig(r: &[u8], s: &[u8]) -> Signature {
+    let mut out = Vec::with_capacity(4 + r.len() + s.len());
+    out.extend_from_slice(&(r.len() as u32).to_be_bytes());
+    out.extend_from_slice(r);
+    out.extend_from_slice(s);
+    Signature::from_bytes(&out).expect("well-formed rebuild")
+}
+
+fn apply_mutation(
+    params: &std::sync::Arc<SchnorrParams>,
+    keys: &[SigningKey],
+    writer: usize,
+    message: &[u8],
+    mutation: Mutation,
+) -> (usize, Signature) {
+    let signer = &keys[writer % keys.len()];
+    let sig = signer.sign(message);
+    let (r, s) = split_sig(&sig.to_bytes());
+    match mutation {
+        Mutation::None => (writer % keys.len(), sig),
+        Mutation::FlipR(pos) => {
+            let mut r = r;
+            let i = pos as usize % r.len();
+            r[i] ^= 0x20;
+            (writer % keys.len(), join_sig(&r, &s))
+        }
+        Mutation::FlipS(pos) => {
+            let mut s = s;
+            let i = pos as usize % s.len();
+            s[i] ^= 0x20;
+            (writer % keys.len(), join_sig(&r, &s))
+        }
+        Mutation::WrongMessage => {
+            let mut other = message.to_vec();
+            other.push(0xA5);
+            (writer % keys.len(), signer.sign(&other))
+        }
+        Mutation::WrongKey => ((writer + 1) % keys.len(), sig),
+        Mutation::OversizedS => (
+            writer % keys.len(),
+            join_sig(&r, &params.order().to_be_bytes()),
+        ),
+        Mutation::ZeroR => (writer % keys.len(), join_sig(&[], &s)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch accepts iff every individual verify accepts, and the reported
+    /// bad indices are exactly the individually-failing ones.
+    #[test]
+    fn batch_equivalent_to_individual_verifies(
+        specs in proptest::collection::vec((0usize..4, 0u16..1000, arb_mutation()), 0..12)
+    ) {
+        let params = SchnorrParams::toy();
+        let keys: Vec<SigningKey> =
+            (0..4).map(|i| SigningKey::from_seed(&params, 7000 + i)).collect();
+        let msgs: Vec<Vec<u8>> = specs
+            .iter()
+            .map(|(w, m, _)| format!("w{w}-m{m}").into_bytes())
+            .collect();
+        let built: Vec<(usize, Signature)> = specs
+            .iter()
+            .zip(msgs.iter())
+            .map(|((w, _, mutation), msg)| apply_mutation(&params, &keys, *w, msg, *mutation))
+            .collect();
+        let entries: Vec<BatchEntry<'_>> = built
+            .iter()
+            .zip(msgs.iter())
+            .map(|((claimed, sig), msg)| BatchEntry {
+                key: keys[*claimed].verifying_key(),
+                message: msg,
+                signature: sig,
+            })
+            .collect();
+        // Ground truth: the individual verifier, item by item.
+        let expected_bad: Vec<usize> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, en)| en.key.verify(en.message, en.signature).is_err())
+            .map(|(i, _)| i)
+            .collect();
+        let got = verify_batch(&entries);
+        if expected_bad.is_empty() {
+            prop_assert_eq!(got, Ok(()));
+        } else {
+            prop_assert_eq!(got, Err(expected_bad));
+        }
+    }
+
+    /// A single mutated item in an otherwise-honest batch is always
+    /// rejected, and bisection pins exactly that index.
+    #[test]
+    fn lone_forgery_always_pinpointed(
+        n in 2usize..10,
+        victim_seed in 0usize..100,
+        mutation in arb_mutation(),
+    ) {
+        let params = SchnorrParams::toy();
+        let keys: Vec<SigningKey> =
+            (0..3).map(|i| SigningKey::from_seed(&params, 8100 + i)).collect();
+        let victim = victim_seed % n;
+        let msgs: Vec<Vec<u8>> = (0..n).map(|i| format!("item-{i}").into_bytes()).collect();
+        let built: Vec<(usize, Signature)> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, msg)| {
+                let m = if i == victim { mutation } else { Mutation::None };
+                apply_mutation(&params, &keys, i, msg, m)
+            })
+            .collect();
+        let entries: Vec<BatchEntry<'_>> = built
+            .iter()
+            .zip(msgs.iter())
+            .map(|((claimed, sig), msg)| BatchEntry {
+                key: keys[*claimed].verifying_key(),
+                message: msg,
+                signature: sig,
+            })
+            .collect();
+        let individually_bad = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, en)| en.key.verify(en.message, en.signature).is_err())
+            .map(|(i, _)| i)
+            .collect::<Vec<_>>();
+        let got = verify_batch(&entries);
+        match mutation {
+            Mutation::None => {
+                prop_assert_eq!(individually_bad.len(), 0);
+                prop_assert_eq!(got, Ok(()));
+            }
+            _ => {
+                // Every mutation kind must fail individually and the batch
+                // must isolate exactly the victim.
+                prop_assert_eq!(individually_bad, vec![victim]);
+                prop_assert_eq!(got, Err(vec![victim]));
+            }
+        }
+    }
+}

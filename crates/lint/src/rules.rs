@@ -37,6 +37,8 @@ pub const ZERO_TOLERANCE: &[&str] = &[
     "crates/net/src/event_loop.rs",
     "crates/net/src/pipeline.rs",
     "crates/net/src/backoff.rs",
+    "crates/net/src/coalesce.rs",
+    "crates/crypto/src/schnorr/batch.rs",
     "crates/core/src/server/storage/mod.rs",
     "crates/core/src/server/storage/record.rs",
     "crates/core/src/server/storage/backend.rs",

@@ -39,6 +39,16 @@
 //! `--compare` runs threaded then event-loop and reports the speedup).
 //! External servers must be started with matching `--clients ≥ workers`
 //! and `--key-seed`.
+//!
+//! `--batching on|off` (default on) toggles the hot-path amortizations
+//! this rig can reach: with `on`, self-hosted servers send the full
+//! anti-entropy summary only every 4th gossip round and client submits
+//! stay staged until the next pump (one coalesced frame per burst);
+//! with `off`, every gossip round summarizes and every submit is
+//! flushed to the sockets immediately — one frame per operation, the
+//! pre-batching wire behavior. Self-hosted load servers keep no durable
+//! store, so the group-commit fsync leg is exercised by the chaos rig
+//! (`sstore-chaos --fsync group-commit:N:USEC`), not here.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
@@ -64,7 +74,7 @@ const USAGE: &str = "usage: sstore-load [--servers A,B,C,... | --n N] [--b B]
     [--read-pct PCT] [--dist uniform|zipf|zipf:SKEW] [--groups G]
     [--value-bytes BYTES] [--consistency mrc|cc]
     [--mode closed|open] [--rate OPS_PER_SEC]
-    [--serving event-loop|threaded] [--compare]
+    [--serving event-loop|threaded] [--compare] [--batching on|off]
     [--clients N] [--key-seed SEED] [--seed SEED]
     [--out PATH] [--note STR] [--no-append] [--fail-on-error]";
 
@@ -85,6 +95,7 @@ struct Args {
     rate: f64,
     serving: ServingMode,
     compare: bool,
+    batching: bool,
     clients: u16,
     key_seed: u64,
     seed: u64,
@@ -142,6 +153,7 @@ fn parse_args() -> Result<Args, String> {
         rate: 0.0,
         serving: ServingMode::default(),
         compare: false,
+        batching: true,
         clients: 8,
         key_seed: 0x7ea1,
         seed: 0x10ad,
@@ -241,6 +253,13 @@ fn parse_args() -> Result<Args, String> {
                     _ => return Err("bad --serving (event-loop|threaded)".to_string()),
                 }
             }
+            "--batching" => {
+                args.batching = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => return Err("bad --batching (on|off)".to_string()),
+                }
+            }
             "--clients" => args.clients = value.parse().map_err(|_| "bad --clients")?,
             "--key-seed" => args.key_seed = parse_u64(&value).ok_or("bad --key-seed")?,
             "--seed" => args.seed = parse_u64(&value).ok_or("bad --seed")?,
@@ -280,6 +299,8 @@ struct WorkerCfg {
     value: Vec<u8>,
     consistency: Consistency,
     mode: Mode,
+    /// `false` forces a socket flush after every submit (no coalescing).
+    batching: bool,
     /// Target arrivals per second for this worker (open mode).
     rate: f64,
     /// Shared run epoch, so all workers' windows align.
@@ -475,6 +496,9 @@ fn submit_op(
         }
     };
     let op_id = client.submit(op);
+    if !cfg.batching {
+        client.flush();
+    }
     inflight.insert(op_id, Pending { session, read, t0 });
 }
 
@@ -526,10 +550,14 @@ fn start_servers(args: &Args, serving: ServingMode) -> (Vec<NetServer>, Vec<Sock
         .into_iter()
         .enumerate()
         .map(|(i, listener)| {
+            let mut server_cfg = ServerConfig::default();
+            if args.batching {
+                server_cfg.gossip.summary_every = 4;
+            }
             let node = ServerNode::new(
                 ServerId(u16::try_from(i).unwrap_or(u16::MAX)),
                 dir.clone(),
-                ServerConfig::default(),
+                server_cfg,
             );
             NetServer::start(
                 node,
@@ -580,6 +608,7 @@ fn run_once(args: &Args, serving: ServingMode) -> RunSummary {
             value: vec![0x5a; args.value_bytes],
             consistency: args.consistency,
             mode: args.mode,
+            batching: args.batching,
             rate: args.rate / args.workers as f64,
             t0,
             warmup: args.warmup,
@@ -725,9 +754,10 @@ fn main() {
     };
     let s = &main_run.stats;
     let entry = format!(
-        "  {{\n    \"recorded_unix\": {recorded_unix},\n    \"note\": \"{note}\",\n    \"config\": {{ \"mode\": \"{}\", \"serving\": \"{}\", \"n\": {}, \"b\": {}, \"sessions\": {}, \"workers\": {}, \"groups\": {}, \"read_pct\": {}, \"dist\": \"{}\", \"value_bytes\": {}, \"consistency\": \"{:?}\", \"duration_s\": {:.1}, \"warmup_s\": {:.1}, \"rate_ops_s\": {:.1} }},\n    \"results\": {{\n      \"throughput_ops_s\": {:.1},\n      \"ops\": {},\n      \"errors\": {{ \"unavailable\": {}, \"stale\": {}, \"faulty_writer\": {}, \"connect_failures\": {} }},\n      \"shed_arrivals\": {},\n      \"latency_us\": {{ {}, {}, {} }}{compare_json}\n    }}\n  }}",
+        "  {{\n    \"recorded_unix\": {recorded_unix},\n    \"note\": \"{note}\",\n    \"config\": {{ \"mode\": \"{}\", \"serving\": \"{}\", \"batching\": {}, \"n\": {}, \"b\": {}, \"sessions\": {}, \"workers\": {}, \"groups\": {}, \"read_pct\": {}, \"dist\": \"{}\", \"value_bytes\": {}, \"consistency\": \"{:?}\", \"duration_s\": {:.1}, \"warmup_s\": {:.1}, \"rate_ops_s\": {:.1} }},\n    \"results\": {{\n      \"throughput_ops_s\": {:.1},\n      \"ops\": {},\n      \"errors\": {{ \"unavailable\": {}, \"stale\": {}, \"faulty_writer\": {}, \"connect_failures\": {} }},\n      \"shed_arrivals\": {},\n      \"latency_us\": {{ {}, {}, {} }}{compare_json}\n    }}\n  }}",
         args.mode.name(),
         serving_name(serving),
+        args.batching,
         args.servers.as_ref().map_or(args.n, Vec::len),
         args.b,
         args.sessions,

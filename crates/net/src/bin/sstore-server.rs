@@ -19,8 +19,15 @@
 //! killed process restarted at the same directory comes back with every
 //! durable item, context, and multi-writer hold-back. Each server needs
 //! its own directory. `--fsync` trades durability for throughput:
-//! `always` (default) syncs every record, `interval:N` every N records,
+//! `always` (default) syncs every record, `interval:N` every N records
+//! (acks may lead durability), `group-commit:N:USEC` batches up to N
+//! records or USEC microseconds per fsync *while holding write acks
+//! until the sync lands* (throughput without weakening the ack), and
 //! `never` leaves flushing to the OS.
+//!
+//! `--gossip-summary-every K` sends the full anti-entropy summary only
+//! every K-th gossip round, pushing just the dirty set in between
+//! (default 1: summarize every round).
 //!
 //! `--serving` selects the serving architecture: the default
 //! `event-loop` (one non-blocking readiness loop, request pipelining,
@@ -40,7 +47,8 @@ use sstore_net::{NetServer, NetServerConfig, ServingMode};
 
 const USAGE: &str = "usage: sstore-server --id N --b B --listen ADDR --peers A,B,C,... \
                      [--clients N] [--key-seed SEED] [--data-dir PATH] \
-                     [--fsync always|never|interval:N] [--serving event-loop|threaded]";
+                     [--fsync always|never|interval:N|group-commit:N:USEC] \
+                     [--gossip-summary-every K] [--serving event-loop|threaded]";
 
 struct Args {
     id: u16,
@@ -51,6 +59,7 @@ struct Args {
     key_seed: u64,
     data_dir: Option<String>,
     fsync: FsyncPolicy,
+    summary_every: u32,
     serving: ServingMode,
 }
 
@@ -59,6 +68,40 @@ fn parse_u64(s: &str) -> Option<u64> {
         u64::from_str_radix(hex, 16).ok()
     } else {
         s.parse().ok()
+    }
+}
+
+fn parse_fsync(s: &str) -> Result<FsyncPolicy, String> {
+    const BAD: &str = "bad --fsync (always|never|interval:N|group-commit:N:USEC)";
+    match s {
+        "always" => Ok(FsyncPolicy::Always),
+        "never" => Ok(FsyncPolicy::Never),
+        other => {
+            if let Some(num) = other.strip_prefix("interval:") {
+                return num
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .map(FsyncPolicy::EveryN)
+                    .ok_or_else(|| BAD.to_string());
+            }
+            let Some(rest) = other.strip_prefix("group-commit:") else {
+                return Err(BAD.to_string());
+            };
+            let Some((batch, delay)) = rest.split_once(':') else {
+                return Err(BAD.to_string());
+            };
+            let max_batch: u32 = batch
+                .parse()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| BAD.to_string())?;
+            let max_delay_us: u64 = delay.parse().map_err(|_| BAD.to_string())?;
+            Ok(FsyncPolicy::GroupCommit {
+                max_batch,
+                max_delay_us,
+            })
+        }
     }
 }
 
@@ -71,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
     let mut key_seed = 0x7ea1u64;
     let mut data_dir = None;
     let mut fsync = FsyncPolicy::Always;
+    let mut summary_every = 1u32;
     let mut serving = ServingMode::default();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -89,19 +133,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--data-dir" => data_dir = Some(value),
             "--fsync" => {
-                fsync = match value.as_str() {
-                    "always" => FsyncPolicy::Always,
-                    "never" => FsyncPolicy::Never,
-                    other => match other.strip_prefix("interval:") {
-                        Some(num) => FsyncPolicy::EveryN(
-                            num.parse()
-                                .ok()
-                                .filter(|n| *n > 0)
-                                .ok_or("bad --fsync interval")?,
-                        ),
-                        None => return Err("bad --fsync (always|never|interval:N)".to_string()),
-                    },
-                };
+                fsync = parse_fsync(&value)?;
+            }
+            "--gossip-summary-every" => {
+                summary_every = value
+                    .parse()
+                    .ok()
+                    .filter(|k| *k >= 1)
+                    .ok_or("bad --gossip-summary-every (K >= 1)")?;
             }
             "--serving" => {
                 serving = match value.as_str() {
@@ -122,6 +161,7 @@ fn parse_args() -> Result<Args, String> {
         key_seed,
         data_dir,
         fsync,
+        summary_every,
         serving,
     })
 }
@@ -141,7 +181,9 @@ fn main() {
     }
     let (_, verifying) = generate_client_keys(args.clients, args.key_seed);
     let dir = Directory::new(n, args.b, verifying);
-    let mut node = ServerNode::new(ServerId(args.id), dir, ServerConfig::default());
+    let mut server_cfg = ServerConfig::default();
+    server_cfg.gossip.summary_every = args.summary_every;
+    let mut node = ServerNode::new(ServerId(args.id), dir, server_cfg);
     if let Some(dir) = &args.data_dir {
         let cfg = StorageConfig {
             fsync: args.fsync,

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sstore_core::client::{ClientCore, ClientOp, OpResult, Outcome, Output};
-use sstore_core::codec::{decode_msg, encode_msg};
+use sstore_core::codec::{decode_frame_msgs, encode_msg};
 use sstore_core::config::ClientConfig;
 use sstore_core::directory::{generate_client_keys, Directory};
 use sstore_core::metrics::WireStats;
@@ -258,12 +258,16 @@ impl NetClient {
                     let max_frame = self.cfg.max_frame;
                     if let Ok(mut reader) = stream.try_clone() {
                         std::thread::spawn(move || {
-                            while let Ok(msg) = read_frame(&mut reader, max_frame)
+                            'conn: while let Ok(msgs) = read_frame(&mut reader, max_frame)
                                 .map_err(|_| ())
-                                .and_then(|p| decode_msg(&p).map_err(|_| ()))
+                                .and_then(|p| decode_frame_msgs(&p).map_err(|_| ()))
                             {
-                                if tx.send(Event::Deliver(sid, msg)).is_err() {
-                                    break;
+                                // A server may coalesce several responses
+                                // into one frame; deliver each in order.
+                                for msg in msgs {
+                                    if tx.send(Event::Deliver(sid, msg)).is_err() {
+                                        break 'conn;
+                                    }
                                 }
                             }
                             let _ = tx.send(Event::Down(sid, epoch));

@@ -1,0 +1,199 @@
+//! Per-connection outbound message coalescing.
+//!
+//! The event loop already coalesces at the *byte* level — every frame a
+//! tick produces lands in one [`WriteQueue`] and goes out in one `write`.
+//! This module adds the *frame* level on top: messages staged for the
+//! same connection within a tick are packed into multi-message
+//! `TAG_BATCH` frames ([`sstore_core::codec::encode_msg_batch_parts`]),
+//! so a burst of quorum responses or a gossip fan-out's worth of offers
+//! costs one frame header and one length-prefix walk at the receiver
+//! instead of one framing round-trip per message.
+//!
+//! Shapes preserved:
+//!
+//! - a single staged message encodes as a plain frame — zero overhead on
+//!   the request/response fast path when there is nothing to coalesce;
+//! - every produced frame fits the connection's `max_frame`, splitting
+//!   greedily when a burst is larger (a message that cannot fit even
+//!   alone is dropped, exactly the pre-existing oversized-enqueue
+//!   silence);
+//! - per-message byte accounting still records each message under its
+//!   own kind with its own encoded length, so the §6 cost tables are
+//!   unchanged by coalescing (the few bytes of batch framing are
+//!   transport overhead, not message cost).
+
+use sstore_core::codec::{encode_msg, encode_msg_batch_parts};
+use sstore_core::metrics::WireStats;
+use sstore_core::wire::Msg;
+
+use crate::conn::WriteQueue;
+
+/// Fixed overhead of a multi-message batch frame: wire version, the
+/// batch tag, and the `u64` message count.
+const BATCH_HEADER: usize = 2 + 8;
+
+/// Per-message overhead inside a batch frame: the `u64` length prefix.
+const PER_MSG: usize = 8;
+
+/// Packs messages into batch frames, each within `max_frame`, recording
+/// every message's own encoded length in `stats`. Messages too large to
+/// ship even alone are skipped (backpressure silence, as at the write
+/// queue). Frame boundaries preserve message order.
+pub fn frames_from(
+    msgs: impl IntoIterator<Item = Msg>,
+    max_frame: usize,
+    stats: &mut WireStats,
+) -> Vec<Vec<u8>> {
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    let mut chunk: Vec<Vec<u8>> = Vec::new();
+    let mut chunk_bytes = BATCH_HEADER;
+    for msg in msgs {
+        let part = encode_msg(&msg);
+        stats.record(&msg, part.len());
+        if part.len() > max_frame {
+            continue;
+        }
+        let grown = chunk_bytes
+            .saturating_add(PER_MSG)
+            .saturating_add(part.len());
+        if !chunk.is_empty() && grown > max_frame {
+            frames.push(encode_msg_batch_parts(&chunk));
+            chunk.clear();
+            chunk_bytes = BATCH_HEADER;
+        }
+        chunk_bytes = chunk_bytes
+            .saturating_add(PER_MSG)
+            .saturating_add(part.len());
+        chunk.push(part);
+    }
+    if !chunk.is_empty() {
+        frames.push(encode_msg_batch_parts(&chunk));
+    }
+    frames
+}
+
+/// Staging buffer for one connection's outgoing messages within a tick.
+///
+/// The owner stages messages as the tick produces them and drains once
+/// at flush time; a drain packs everything staged into as few frames as
+/// `max_frame` allows and enqueues them on the connection's
+/// [`WriteQueue`] (frames the queue cannot take are dropped — the same
+/// backpressure-as-silence contract as direct enqueueing).
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    staged: Vec<Msg>,
+}
+
+impl Coalescer {
+    /// An empty staging buffer.
+    pub fn new() -> Coalescer {
+        Coalescer { staged: Vec::new() }
+    }
+
+    /// Stages one message for the next drain.
+    pub fn stage(&mut self, msg: Msg) {
+        self.staged.push(msg);
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Packs everything staged into batch frames and enqueues them.
+    pub fn drain_into(&mut self, out: &mut WriteQueue, max_frame: usize, stats: &mut WireStats) {
+        if self.staged.is_empty() {
+            return;
+        }
+        for frame in frames_from(self.staged.drain(..), max_frame, stats) {
+            let _ = out.enqueue(&frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_core::codec::decode_frame_msgs;
+    use sstore_core::types::OpId;
+
+    fn ack(op: u64) -> Msg {
+        Msg::CtxWriteAck { op: OpId(op) }
+    }
+
+    fn decode_all(frames: &[Vec<u8>]) -> Vec<Msg> {
+        frames
+            .iter()
+            .flat_map(|f| decode_frame_msgs(f).expect("valid frame"))
+            .collect()
+    }
+
+    #[test]
+    fn burst_packs_into_one_frame_in_order() {
+        let msgs: Vec<Msg> = (0..12).map(ack).collect();
+        let mut stats = WireStats::new();
+        let frames = frames_from(msgs.clone(), 64 * 1024, &mut stats);
+        assert_eq!(frames.len(), 1, "one tick's burst is one frame");
+        assert_eq!(decode_all(&frames), msgs);
+        // Accounting is per message, under its own kind.
+        let per_kind = stats.kind("ctx-write-ack").expect("recorded");
+        assert_eq!(per_kind.count, 12);
+    }
+
+    #[test]
+    fn single_message_has_no_batch_overhead() {
+        let mut stats = WireStats::new();
+        let frames = frames_from([ack(1)], 64 * 1024, &mut stats);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0], sstore_core::codec::encode_msg(&ack(1)));
+    }
+
+    #[test]
+    fn splits_to_respect_max_frame() {
+        let one = encode_msg(&ack(0)).len();
+        // Room for roughly three messages per frame.
+        let max = BATCH_HEADER + 3 * (PER_MSG + one);
+        let msgs: Vec<Msg> = (0..10).map(ack).collect();
+        let mut stats = WireStats::new();
+        let frames = frames_from(msgs.clone(), max, &mut stats);
+        assert!(frames.len() >= 4, "10 messages at 3 per frame split");
+        for f in &frames {
+            assert!(f.len() <= max, "frame {} exceeds cap {max}", f.len());
+        }
+        assert_eq!(decode_all(&frames), msgs, "order preserved across splits");
+    }
+
+    #[test]
+    fn oversized_message_is_dropped_not_shipped() {
+        let mut stats = WireStats::new();
+        // A frame cap below even one encoded ack: everything is dropped.
+        let frames = frames_from([ack(1), ack(2)], 2, &mut stats);
+        assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn coalescer_drains_into_queue_and_resets() {
+        let mut c = Coalescer::new();
+        assert!(c.is_empty());
+        for op in 0..5 {
+            c.stage(ack(op));
+        }
+        assert!(!c.is_empty());
+        let mut q = WriteQueue::new(64 * 1024, 256 * 1024);
+        let mut stats = WireStats::new();
+        c.drain_into(&mut q, 64 * 1024, &mut stats);
+        assert!(c.is_empty());
+        assert!(q.pending() > 0);
+        // The queued bytes reassemble into one batch frame of 5 messages.
+        let mut sink = Vec::new();
+        q.flush_to(&mut sink).expect("vec sink");
+        let mut r = crate::conn::FrameReader::new(64 * 1024);
+        r.ingest(&sink);
+        let frame = r.next_frame().expect("no cap").expect("one frame");
+        assert_eq!(
+            decode_frame_msgs(&frame).expect("valid"),
+            (0..5).map(ack).collect::<Vec<_>>()
+        );
+        assert!(r.next_frame().expect("no cap").is_none());
+    }
+}

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sstore_core::codec::{decode_msg, encode_msg};
+use sstore_core::codec::decode_frame_msgs;
 use sstore_core::metrics::WireStats;
 use sstore_core::server::{Addr, ServerNode};
 use sstore_core::types::ServerId;
@@ -47,6 +47,7 @@ use sstore_core::wire::Msg;
 use sstore_simnet::SimTime;
 
 use crate::backoff::Backoff;
+use crate::coalesce::Coalescer;
 use crate::conn::{FrameReader, WriteQueue};
 use crate::frame::{decode_hello, encode_hello};
 use crate::server::{locked, NetServerConfig};
@@ -128,6 +129,9 @@ struct Conn {
     stream: TcpStream,
     reader: FrameReader,
     out: WriteQueue,
+    /// Messages staged this tick, packed into coalesced multi-message
+    /// frames at flush time.
+    staged: Coalescer,
     /// Routing identity; `None` until the inbound hello arrives
     /// (outbound peer links know it at dial time).
     addr: Option<Addr>,
@@ -139,6 +143,7 @@ impl Conn {
             stream,
             reader: FrameReader::new(cfg.max_frame),
             out: WriteQueue::new(cfg.max_frame, cfg.max_frame.saturating_mul(OUT_CAP_FRAMES)),
+            staged: Coalescer::new(),
             addr: None,
         }
     }
@@ -197,15 +202,14 @@ impl Loop {
         // Dropping `conn` closes the socket.
     }
 
-    /// Encodes and enqueues one message on connection `idx`. Frames the
+    /// Stages one message on connection `idx`; the flush phase packs the
+    /// tick's staged messages into coalesced frames. Frames the write
     /// queue cannot take are dropped — backpressure surfaces as silence.
-    fn enqueue(&mut self, idx: usize, msg: &Msg) {
+    fn enqueue(&mut self, idx: usize, msg: Msg) {
         let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
             return;
         };
-        let bytes = encode_msg(msg);
-        locked(&self.shared.stats).record(msg, bytes.len());
-        let _ = conn.out.enqueue(&bytes);
+        conn.staged.stage(msg);
     }
 
     /// Routes one state-machine output: direct to a live connection,
@@ -213,7 +217,7 @@ impl Loop {
     /// silence.
     fn route(&mut self, to: Addr, msg: Msg) {
         if let Some(&idx) = self.routes.get(&to) {
-            self.enqueue(idx, &msg);
+            self.enqueue(idx, msg);
             return;
         }
         let Addr::Server(peer) = to else {
@@ -279,7 +283,7 @@ impl Loop {
                     None => Vec::new(),
                 };
                 for msg in queued {
-                    self.enqueue(idx, &msg);
+                    self.enqueue(idx, msg);
                 }
             }
             DialResult::Down(peer) => {
@@ -359,8 +363,9 @@ impl Loop {
     }
 
     /// Handles one complete frame on `conn`: the first must be a hello,
-    /// the rest are protocol messages. Returns `false` on a protocol
-    /// violation (caller drops the connection).
+    /// the rest are protocol messages — possibly several per frame, when
+    /// the peer coalesced. Returns `false` on a protocol violation
+    /// (caller drops the connection).
     fn dispatch(
         &mut self,
         conn: &mut Conn,
@@ -379,10 +384,13 @@ impl Loop {
                 }
                 Err(_) => false,
             },
-            Some(from) => match decode_msg(frame) {
-                Ok(msg) => {
+            Some(from) => match decode_frame_msgs(frame) {
+                Ok(msgs) => {
                     let now = self.shared.now();
-                    outs.extend(locked(&self.shared.node).handle(from, msg, now));
+                    let mut node = locked(&self.shared.node);
+                    for msg in msgs {
+                        outs.extend(node.handle(from, msg, now));
+                    }
                     true
                 }
                 Err(_) => false,
@@ -469,30 +477,58 @@ fn run(
             progressed = true;
         }
 
-        // 5. Flush.
-        let mut dead: Vec<usize> = Vec::new();
-        for (idx, slot) in lp.conns.iter_mut().enumerate() {
-            let Some(conn) = slot.as_mut() else { continue };
-            if conn.out.pending() == 0 {
-                continue;
+        // 4b. Group-commit flush: sync the store once the deferred-ack
+        // window's deadline passes and release the held acks. Under any
+        // other fsync policy this is a no-op returning nothing.
+        let commit_wait: Option<Duration> = {
+            let sim_now = lp.shared.now();
+            let (commits, deadline) = {
+                let mut node = locked(&lp.shared.node);
+                let commits = node.flush_commits(sim_now, false);
+                (commits, node.pending_commit_deadline())
+            };
+            if !commits.is_empty() {
+                progressed = true;
             }
-            match conn.out.flush_to(&mut conn.stream) {
-                Ok(n) => {
-                    if n > 0 {
-                        progressed = true;
-                    }
+            for (to, msg) in commits {
+                lp.route(to, msg);
+            }
+            deadline.map(|d| Duration::from_micros(d.saturating_sub(sim_now).as_micros()))
+        };
+
+        // 5. Flush: pack each connection's staged messages into coalesced
+        // frames, then write every queue in one batch.
+        let mut dead: Vec<usize> = Vec::new();
+        {
+            let mut stats = locked(&lp.shared.stats);
+            for (idx, slot) in lp.conns.iter_mut().enumerate() {
+                let Some(conn) = slot.as_mut() else { continue };
+                conn.staged
+                    .drain_into(&mut conn.out, lp.cfg.max_frame, &mut stats);
+                if conn.out.pending() == 0 {
+                    continue;
                 }
-                Err(_) => dead.push(idx),
+                match conn.out.flush_to(&mut conn.stream) {
+                    Ok(n) => {
+                        if n > 0 {
+                            progressed = true;
+                        }
+                    }
+                    Err(_) => dead.push(idx),
+                }
             }
         }
         for idx in dead {
             lp.close(idx);
         }
 
-        // 6. Idle wait, bounded by the gossip deadline.
+        // 6. Idle wait, bounded by the gossip and group-commit deadlines.
         if !progressed {
-            let until_gossip = next_gossip.saturating_duration_since(Instant::now());
-            std::thread::sleep(idle.min(until_gossip.max(Duration::from_micros(50))));
+            let mut wait = next_gossip.saturating_duration_since(Instant::now());
+            if let Some(c) = commit_wait {
+                wait = wait.min(c);
+            }
+            std::thread::sleep(idle.min(wait.max(Duration::from_micros(50))));
         }
     }
 }

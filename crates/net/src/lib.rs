@@ -31,6 +31,7 @@
 
 mod backoff;
 mod client;
+mod coalesce;
 mod conn;
 mod event_loop;
 mod frame;
@@ -39,6 +40,7 @@ mod server;
 
 pub use backoff::{jittered, Backoff};
 pub use client::{NetClient, NetClientConfig, NetCluster};
+pub use coalesce::{frames_from, Coalescer};
 pub use conn::{Enqueued, FrameReader, WriteQueue};
 pub use frame::{
     decode_hello, encode_hello, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME,

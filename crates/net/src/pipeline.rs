@@ -33,7 +33,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sstore_core::client::{ClientCore, ClientOp, OpResult, Output};
-use sstore_core::codec::{decode_msg, encode_msg};
+use sstore_core::codec::{decode_frame_msgs, encode_msg};
 use sstore_core::metrics::WireStats;
 use sstore_core::server::Addr;
 use sstore_core::types::{ClientId, GroupId, OpId, ServerId};
@@ -133,16 +133,25 @@ impl PipeClient {
         SimTime::from_micros(u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX))
     }
 
-    /// Begins `op` without waiting for it; its messages go out on this
-    /// call (and on every later [`PipeClient::pump`] retry round). The
+    /// Begins `op` without waiting for it; its messages are *staged* on
+    /// this call and hit the sockets on the next [`PipeClient::pump`] —
+    /// a burst of submits between pumps coalesces into one write per
+    /// connection instead of one syscall per operation. Call
+    /// [`PipeClient::flush`] to force the staged bytes out early. The
     /// returned [`OpId`] matches the eventual [`OpResult::op`].
     pub fn submit(&mut self, op: ClientOp) -> OpId {
         self.ensure_links();
         let now = self.now();
         let (op_id, out) = self.core.begin(op, now, &mut self.rng);
         self.apply(out);
-        self.flush_links();
         op_id
+    }
+
+    /// Forces staged writes onto the sockets without running a full pump
+    /// round — for callers that submit and then wait on something other
+    /// than [`PipeClient::pump`].
+    pub fn flush(&mut self) {
+        self.flush_links();
     }
 
     /// One readiness round: redial due links, fire due protocol timers,
@@ -305,8 +314,8 @@ impl PipeClient {
                             link.reader.ingest(bytes);
                             loop {
                                 match link.reader.next_frame() {
-                                    Ok(Some(frame)) => match decode_msg(&frame) {
-                                        Ok(msg) => inbound.push(msg),
+                                    Ok(Some(frame)) => match decode_frame_msgs(&frame) {
+                                        Ok(msgs) => inbound.extend(msgs),
                                         Err(_) => {
                                             alive = false;
                                             break 'read;

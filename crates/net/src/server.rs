@@ -33,7 +33,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sstore_core::codec::{decode_msg, encode_msg};
+use sstore_core::codec::decode_frame_msgs;
 use sstore_core::metrics::WireStats;
 use sstore_core::server::{Addr, ServerNode};
 use sstore_core::types::ServerId;
@@ -86,6 +86,10 @@ impl Default for NetServerConfig {
         }
     }
 }
+
+/// Cap on messages a writer thread coalesces into one frame batch per
+/// channel drain.
+const WRITER_BATCH_MAX: usize = 32;
 
 /// A live outbound link: generation (for safe deregistration) plus the
 /// channel drained by the link's writer thread.
@@ -334,11 +338,25 @@ fn writer_loop(
     mut stream: TcpStream,
     rx: Receiver<Msg>,
 ) {
-    for msg in rx.iter() {
-        let bytes = encode_msg(&msg);
-        locked(&shared.stats).record(&msg, bytes.len());
-        if write_frame(&mut stream, &bytes, shared.cfg.max_frame).is_err() {
-            break;
+    'serve: for msg in rx.iter() {
+        // Opportunistic coalescing: everything already sitting in the
+        // channel rides in the same (possibly multi-message) frame batch
+        // as the message we just blocked on.
+        let mut batch = vec![msg];
+        while batch.len() < WRITER_BATCH_MAX {
+            match rx.try_recv() {
+                Ok(m) => batch.push(m),
+                Err(_) => break,
+            }
+        }
+        let frames = {
+            let mut stats = locked(&shared.stats);
+            crate::coalesce::frames_from(batch, shared.cfg.max_frame, &mut stats)
+        };
+        for frame in frames {
+            if write_frame(&mut stream, &frame, shared.cfg.max_frame).is_err() {
+                break 'serve;
+            }
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
@@ -359,7 +377,7 @@ fn reader_loop(shared: &Arc<Shared>, remote: Addr, reader: &mut TcpStream) {
             Ok(p) => p,
             Err(_) => return, // closed or broken
         };
-        let msg = match decode_msg(&payload) {
+        let msgs = match decode_frame_msgs(&payload) {
             Ok(m) => m,
             Err(_) => {
                 // Protocol violation: drop the whole connection rather than
@@ -368,15 +386,26 @@ fn reader_loop(shared: &Arc<Shared>, remote: Addr, reader: &mut TcpStream) {
                 return;
             }
         };
-        dispatch(shared, remote, msg);
+        for msg in msgs {
+            dispatch(shared, remote, msg);
+        }
     }
 }
 
 /// Runs one message through the state machine and routes the output.
+///
+/// The threaded path has no per-tick flush point, so any group-commit
+/// window the message opened is forced shut immediately — acks never
+/// wait on a later message here (same-call batches still amortize).
 fn dispatch(shared: &Arc<Shared>, from: Addr, msg: Msg) {
     let now = shared.now();
-    let outs = locked(&shared.node).handle(from, msg, now);
-    for (to, out) in outs {
+    let (outs, commits) = {
+        let mut node = locked(&shared.node);
+        let outs = node.handle(from, msg, now);
+        let commits = node.flush_commits(now, true);
+        (outs, commits)
+    };
+    for (to, out) in outs.into_iter().chain(commits) {
         route(shared, to, out);
     }
 }
