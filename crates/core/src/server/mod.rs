@@ -96,6 +96,10 @@ pub struct ServerNode {
     deferred_acks: Vec<(Addr, Msg)>,
     /// Latest time by which deferred work must be synced and released.
     commit_deadline: Option<SimTime>,
+    /// Storage operations (append/snapshot/sync) that failed while the
+    /// node kept serving from memory. Durability is degraded whenever
+    /// this is nonzero — operators and oracles alert on it.
+    storage_faults: u64,
     /// Gossip rounds run so far (drives the anti-entropy summary cadence).
     gossip_round: u32,
 }
@@ -121,8 +125,15 @@ impl ServerNode {
             wal_buf: Vec::new(),
             deferred_acks: Vec::new(),
             commit_deadline: None,
+            storage_faults: 0,
             gossip_round: 0,
         }
+    }
+
+    /// How many storage operations have failed since startup (the node
+    /// keeps serving from memory; nonzero means durability is degraded).
+    pub fn storage_faults(&self) -> u64 {
+        self.storage_faults
     }
 
     /// This server's identity.
@@ -283,18 +294,22 @@ impl ServerNode {
     }
 
     /// Drains staged records into the store. Storage errors leave the
-    /// in-memory state authoritative: the server keeps serving and the
-    /// failure is visible in the stats.
+    /// in-memory state authoritative: the server keeps serving, and the
+    /// failure is counted in [`ServerNode::storage_faults`] (and the
+    /// store's own io_errors stat).
     fn flush_wal(&mut self) {
         if self.wal_buf.is_empty() {
             return;
         }
         let recs = std::mem::take(&mut self.wal_buf);
         if let Some(store) = self.store.as_mut() {
-            let _ = match recs.as_slice() {
+            let appended = match recs.as_slice() {
                 [rec] => store.append(rec),
                 many => store.append_batch(many),
             };
+            if appended.is_err() {
+                self.storage_faults = self.storage_faults.saturating_add(1);
+            }
         }
     }
 
@@ -313,7 +328,9 @@ impl ServerNode {
         }
         let records = self.state_records();
         if let Some(store) = self.store.as_mut() {
-            let _ = store.install_snapshot(&records);
+            if store.install_snapshot(&records).is_err() {
+                self.storage_faults = self.storage_faults.saturating_add(1);
+            }
         }
     }
 
@@ -531,7 +548,9 @@ impl ServerNode {
                 return Vec::new();
             }
             if let Some(store) = self.store.as_mut() {
-                let _ = store.sync_now();
+                if store.sync_now().is_err() {
+                    self.storage_faults = self.storage_faults.saturating_add(1);
+                }
             }
         }
         self.commit_deadline = None;

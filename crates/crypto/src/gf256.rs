@@ -20,18 +20,37 @@ fn tables() -> &'static Tables {
         let mut x: u16 = 1;
         for (i, e) in exp.iter_mut().enumerate().take(255) {
             *e = x as u8;
-            log[x as usize] = i as u8;
+            if let Some(slot) = log.get_mut(x as usize) {
+                *slot = i as u8;
+            }
             // Multiply x by the generator 3 = x + 1: x*3 = x<<1 ^ x.
             x = (x << 1) ^ x;
             if x & 0x100 != 0 {
                 x ^= 0x11b;
             }
         }
-        for i in 255..512 {
-            exp[i] = exp[i - 255];
+        // The antilog table repeats with period 255, doubled so that
+        // `exp[log a + log b]` (sum ≤ 508) needs no modular reduction.
+        let (lo, hi) = exp.split_at_mut(255);
+        for (i, slot) in hi.iter_mut().enumerate() {
+            *slot = lo.get(i % 255).copied().unwrap_or(0);
         }
         Tables { exp, log }
     })
+}
+
+/// Discrete log of a nonzero element; callers guarantee `a != 0`
+/// (`log[0]` is never written and reads as 0, keeping this total).
+#[inline(always)]
+fn log_of(t: &Tables, a: u8) -> usize {
+    t.log.get(a as usize).copied().unwrap_or(0) as usize
+}
+
+/// Antilog lookup, total over any index (in-range by construction:
+/// the callers' exponents are all below 509).
+#[inline(always)]
+fn exp_at(t: &Tables, i: usize) -> u8 {
+    t.exp.get(i).copied().unwrap_or(0)
 }
 
 /// Adds two field elements (XOR).
@@ -47,7 +66,7 @@ pub fn mul(a: u8, b: u8) -> u8 {
         return 0;
     }
     let t = tables();
-    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+    exp_at(t, log_of(t, a) + log_of(t, b))
 }
 
 /// Multiplicative inverse.
@@ -58,7 +77,8 @@ pub fn mul(a: u8, b: u8) -> u8 {
 pub fn inv(a: u8) -> u8 {
     assert_ne!(a, 0, "zero has no inverse in GF(256)");
     let t = tables();
-    t.exp[255 - t.log[a as usize] as usize]
+    // log ≤ 254, so the subtraction cannot underflow.
+    exp_at(t, 255 - log_of(t, a))
 }
 
 /// Division `a / b`.
@@ -80,8 +100,8 @@ pub fn pow(base: u8, exp: u32) -> u8 {
         return 0;
     }
     let t = tables();
-    let l = t.log[base as usize] as u32;
-    t.exp[((l as u64 * exp as u64) % 255) as usize]
+    let l = log_of(t, base) as u64;
+    exp_at(t, ((l * exp as u64) % 255) as usize)
 }
 
 /// Evaluates the polynomial `coeffs[0] + coeffs[1]·x + …` at `x` (Horner).
@@ -98,32 +118,49 @@ pub fn poly_eval(coeffs: &[u8], x: u8) -> u8 {
 /// `width` bytes each. Returns `None` if the matrix is singular.
 pub fn solve_linear(m: &mut [Vec<u8>], rhs: &mut [Vec<u8>]) -> Option<()> {
     let n = m.len();
+    if rhs.len() < n {
+        return None;
+    }
+    let cell = |m: &[Vec<u8>], r: usize, c: usize| m.get(r).and_then(|row| row.get(c)).copied();
     for col in 0..n {
         // Find a pivot.
-        let pivot = (col..n).find(|&r| m[r][col] != 0)?;
+        let pivot = (col..n).find(|&r| cell(m, r, col).unwrap_or(0) != 0)?;
         m.swap(col, pivot);
         rhs.swap(col, pivot);
-        // Normalize pivot row.
-        let p_inv = inv(m[col][col]);
-        for v in m[col].iter_mut() {
-            *v = mul(*v, p_inv);
+        // Normalize pivot row. The pivot search just proved the entry
+        // nonzero; the zero guard only keeps `inv`'s assert unreachable.
+        let p = cell(m, col, col).unwrap_or(0);
+        if p == 0 {
+            return None;
         }
-        for v in rhs[col].iter_mut() {
-            *v = mul(*v, p_inv);
+        let p_inv = inv(p);
+        if let Some(row) = m.get_mut(col) {
+            for v in row.iter_mut() {
+                *v = mul(*v, p_inv);
+            }
+        }
+        if let Some(row) = rhs.get_mut(col) {
+            for v in row.iter_mut() {
+                *v = mul(*v, p_inv);
+            }
         }
         // Eliminate the column everywhere else.
         for row in 0..n {
-            if row == col || m[row][col] == 0 {
+            let factor = cell(m, row, col).unwrap_or(0);
+            if row == col || factor == 0 {
                 continue;
             }
-            let factor = m[row][col];
-            let pivot_row = m[col].clone();
-            for (dst, src) in m[row].iter_mut().zip(&pivot_row) {
-                *dst = add(*dst, mul(factor, *src));
+            let pivot_row = m.get(col).cloned().unwrap_or_default();
+            if let Some(dst_row) = m.get_mut(row) {
+                for (dst, src) in dst_row.iter_mut().zip(&pivot_row) {
+                    *dst = add(*dst, mul(factor, *src));
+                }
             }
-            let pivot_rhs = rhs[col].clone();
-            for (dst, src) in rhs[row].iter_mut().zip(&pivot_rhs) {
-                *dst = add(*dst, mul(factor, *src));
+            let pivot_rhs = rhs.get(col).cloned().unwrap_or_default();
+            if let Some(dst_row) = rhs.get_mut(row) {
+                for (dst, src) in dst_row.iter_mut().zip(&pivot_rhs) {
+                    *dst = add(*dst, mul(factor, *src));
+                }
             }
         }
     }

@@ -34,9 +34,15 @@ pub struct Tok {
 }
 
 /// A `// lint:allow(L1): reason` suppression comment.
+///
+/// A justification may wrap over several comment lines; `end_line` is the
+/// last line of the contiguous comment run starting at the marker, so the
+/// suppression reaches the code line directly below the whole comment.
 #[derive(Debug, Clone)]
 pub struct Allow {
     pub line: u32,
+    /// Last line of the comment block (== `line` for one-line allows).
+    pub end_line: u32,
     pub rules: Vec<String>,
     /// Whether a non-empty justification followed the rule list.
     pub has_reason: bool,
@@ -77,6 +83,14 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 if let Some(a) = parse_allow(&src[start..i], line) {
                     allows.push(a);
+                } else if let Some(a) = allows.last_mut() {
+                    // A plain comment on the line right below an allow
+                    // extends its justification block — provided no code
+                    // token interrupted the run.
+                    let code_between = toks.last().is_some_and(|t: &Tok| t.line > a.line);
+                    if a.end_line + 1 == line && !code_between {
+                        a.end_line = line;
+                    }
                 }
             }
             b'/' if b.get(i + 1) == Some(&b'*') => {
@@ -144,20 +158,25 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 toks.push(tok(TokKind::Num, &src[start..i], line));
             }
-            _ => {
-                let rest = &src[i..];
-                let op = OPS.iter().find(|op| rest.starts_with(**op));
-                match op {
-                    Some(op) => {
+            _ => match src.get(i..) {
+                Some(rest) => {
+                    if let Some(op) = OPS.iter().find(|op| rest.starts_with(**op)) {
                         toks.push(tok(TokKind::Punct, op, line));
                         i += op.len();
-                    }
-                    None => {
-                        toks.push(tok(TokKind::Punct, &src[i..i + 1], line));
-                        i += 1;
+                    } else {
+                        // Consume one whole char so multibyte input (only
+                        // legal inside comments and strings, but the lexer
+                        // must stay total on arbitrary bytes) never slices
+                        // off a char boundary.
+                        let ch_len = rest.chars().next().map_or(1, char::len_utf8);
+                        toks.push(tok(TokKind::Punct, rest.get(..ch_len).unwrap_or("?"), line));
+                        i += ch_len;
                     }
                 }
-            }
+                // Mid-char index (unreachable once every branch advances
+                // by whole chars) — resynchronize bytewise.
+                None => i += 1,
+            },
         }
     }
     mark_test_regions(&mut toks);
@@ -267,8 +286,10 @@ fn scan_raw_or_byte(b: &[u8]) -> (usize, u32) {
 /// Disambiguates `'a'` (char literal) from `'a` (lifetime) at `b[0] == '\''`.
 fn scan_quote(b: &[u8]) -> (usize, TokKind, u32) {
     if b.get(1) == Some(&b'\\') {
-        // Escaped char literal: '\n', '\u{..}', …
-        let mut i = 2;
+        // Escaped char literal: '\n', '\'', '\u{..}', … — skip the byte
+        // after the backslash so '\'' closes at its own quote, not the
+        // escaped one.
+        let mut i = 3;
         let mut newlines = 0;
         while i < b.len() && b[i] != b'\'' {
             if b[i] == b'\n' {
@@ -317,6 +338,7 @@ fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
         .is_some_and(|r| !r.trim().is_empty());
     Some(Allow {
         line,
+        end_line: line,
         rules,
         has_reason,
     })
@@ -441,6 +463,58 @@ mod tests {
             ["let", "x", "=", "\"..\"", ";"]
         );
         assert_eq!(texts("let y = b\"ab\" ;"), ["let", "y", "=", "\"..\"", ";"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_quotes_and_braces() {
+        assert_eq!(
+            texts(r###"let x = r##"has "quote"# and { unbalanced ] "## ;"###),
+            ["let", "x", "=", "\"..\"", ";"]
+        );
+        // Multi-line raw string advances the line counter.
+        let l = lex("let x = r\"a\nb\" ; y");
+        assert_eq!(l.toks.last().map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        assert_eq!(
+            texts("let r#match = r#fn + 1;"),
+            ["let", "match", "=", "fn", "+", "1", ";"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_to_arbitrary_depth() {
+        assert_eq!(
+            texts("a /* one /* two /* three */ */ still */ b"),
+            ["a", "b"]
+        );
+        // Unterminated nesting swallows the rest without panicking.
+        assert_eq!(texts("a /* /* */ x"), ["a"]);
+    }
+
+    #[test]
+    fn multiline_allow_extends_end_line() {
+        let l = lex("// lint:allow(L7): reason wraps\n// onto a second line\nfoo();");
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!((l.allows[0].line, l.allows[0].end_line), (1, 2));
+        // Code between comment lines breaks the run.
+        let l = lex("// lint:allow(L7): reason\nbar();\n// unrelated\nfoo();");
+        assert_eq!((l.allows[0].line, l.allows[0].end_line), (1, 1));
+    }
+
+    #[test]
+    fn escaped_char_literals_vs_loop_labels() {
+        let l = lex("let a = '\\n'; let b = '\\''; 'outer: loop { break 'outer; }");
+        let lifetimes = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2, "{:?}", l.toks);
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(chars, 2, "{:?}", l.toks);
     }
 
     #[test]

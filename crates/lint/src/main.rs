@@ -5,10 +5,12 @@
 //! arbitrary bytes, so code that parses or reacts to the wire must never
 //! be able to panic; quorum thresholds must come from one audited module;
 //! digest comparisons must be constant-time. This tool enforces those as
-//! token-pattern rules (L1–L5, see `rules.rs`) with a committed baseline
-//! ratchet: existing violations are grandfathered in
-//! `lint_baseline.toml`, new ones fail CI, and the recorded counts can
-//! only ever shrink.
+//! token-pattern rules (L1–L5) plus structural dataflow rules over a
+//! block-tree/call-extent analysis (L6–L10, see `rules.rs` and
+//! `parse.rs`) with a committed baseline ratchet: the baseline is now
+//! empty (every grandfathered count has been burned down), so any
+//! violation anywhere fails; `lint_baseline.toml` remains as the ratchet
+//! mechanism and can only ever shrink.
 //!
 //! Usage:
 //! ```text
@@ -19,6 +21,7 @@
 
 mod baseline;
 mod lexer;
+mod parse;
 mod rules;
 
 use std::collections::BTreeMap;
@@ -26,7 +29,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use baseline::{Baseline, Drift};
-use rules::{Violation, RULES, ZERO_TOLERANCE};
+use rules::{Violation, RULES, STRUCTURAL_RULES, ZERO_TOLERANCE};
 
 const BASELINE_FILE: &str = "lint_baseline.toml";
 
@@ -145,6 +148,18 @@ fn check(root: &Path, violations: &[Violation], actual: &Baseline) -> Result<boo
         }
     }
 
+    // The structural rules (L6–L10) started with zero debt and can never
+    // be baselined, anywhere.
+    for v in violations {
+        if STRUCTURAL_RULES.contains(&v.rule) {
+            clean = false;
+            eprintln!(
+                "error: {}:{}: {}: {} (structural rule: may not be baselined)",
+                v.path, v.line, v.rule, v.msg
+            );
+        }
+    }
+
     for d in baseline::diff(&base, actual) {
         clean = false;
         match d {
@@ -201,10 +216,12 @@ fn update_baseline(
     }
     let mut floor_broken = false;
     for v in violations {
-        if ZERO_TOLERANCE.contains(&v.path.as_str()) && (v.rule == "L1" || v.rule == "L3") {
+        let zero_tol =
+            ZERO_TOLERANCE.contains(&v.path.as_str()) && (v.rule == "L1" || v.rule == "L3");
+        if zero_tol || STRUCTURAL_RULES.contains(&v.rule) {
             floor_broken = true;
             eprintln!(
-                "error: {}:{}: {}: {} (zero-tolerance file: fix, don't baseline)",
+                "error: {}:{}: {}: {} (fix, don't baseline)",
                 v.path, v.line, v.rule, v.msg
             );
         }

@@ -94,6 +94,8 @@ impl EventHandle {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         let handle = locked(&self.thread).take();
         if let Some(h) = handle {
+            // lint:allow(L7): runs on the caller's thread tearing the loop
+            // down, never on the loop itself — the loop cannot join itself.
             let _ = h.join();
         }
     }
@@ -528,6 +530,9 @@ fn run(
             if let Some(c) = commit_wait {
                 wait = wait.min(c);
             }
+            // lint:allow(L7): bounded idle wait (≤ poll_interval, capped by
+            // the gossip/commit deadlines) taken only when no socket made
+            // progress this tick — never on a request-bearing path.
             std::thread::sleep(idle.min(wait.max(Duration::from_micros(50))));
         }
     }
