@@ -213,6 +213,27 @@ pub(crate) struct OpCommon {
     pub offset: usize,
     /// Timer epoch: only the latest armed timer for this op acts.
     pub timer_epoch: u32,
+    /// Servers that explicitly shed this operation. Each server's first
+    /// shed escalates the op at once (retry elsewhere instead of waiting
+    /// out the phase timer); repeats from the same server are ignored, so
+    /// one flapping server cannot burn the whole retry budget.
+    pub sheds: HashSet<ServerId>,
+}
+
+impl OpCommon {
+    /// Fresh bookkeeping for an operation starting now.
+    pub fn start(kind: OpKind, group: GroupId, started: SimTime, offset: usize) -> OpCommon {
+        OpCommon {
+            kind,
+            group,
+            started,
+            round: 1,
+            contacted: HashSet::new(),
+            offset,
+            timer_epoch: 0,
+            sheds: HashSet::new(),
+        }
+    }
 }
 
 /// Protocol-family-specific operation state.
@@ -445,8 +466,99 @@ impl ClientCore {
             Msg::ReadResp { op, item } => self.on_read_resp(op, from, item, now),
             Msg::WriteAck { op, accepted } => self.on_write_ack(op, from, accepted, now),
             Msg::MwReadResp { op, versions, .. } => self.on_mw_read_resp(op, from, versions, now),
+            Msg::Shed { op } => self.on_shed(op, from, now),
             _ => Output::default(),
         }
+    }
+
+    /// Handles an explicit server load-shed: unlike Byzantine silence, a
+    /// shed is attributable, so the op escalates immediately — widening
+    /// its contact set exactly as a phase timeout would ("retry
+    /// elsewhere") instead of waiting the timer out. Only the *first*
+    /// shed from each server escalates; repeats are ignored so one
+    /// flapping server cannot burn the whole retry budget.
+    fn on_shed(&mut self, op_id: OpId, from: ServerId, now: SimTime) -> Output {
+        let newly = match self.ops.get_mut(&op_id) {
+            Some(op) => op.common.sheds.insert(from),
+            None => return Output::default(), // late shed for a completed op
+        };
+        if !newly {
+            return Output::default();
+        }
+        self.on_op_timeout(op_id, now)
+    }
+
+    /// Abandons an in-flight operation past its transport-level deadline,
+    /// returning a completed-with-error result. Real transports call this
+    /// to turn a per-op deadline into a surfaced [`Outcome::Unavailable`]
+    /// instead of leaving the op id pending forever; late responses for
+    /// the expired op are ignored like any completed op's.
+    pub fn expire(&mut self, op_id: OpId, now: SimTime) -> Option<OpResult> {
+        let op = self.ops.remove(&op_id)?;
+        Some(OpResult {
+            op: op_id,
+            kind: op.common.kind,
+            outcome: Outcome::Unavailable,
+            started: op.common.started,
+            finished: now,
+            rounds: op.common.round,
+        })
+    }
+
+    /// Hedges a slow read: contacts one additional server with the op's
+    /// current-phase request *without* consuming a retry round, so a
+    /// straggling quorum member costs one duplicate request instead of a
+    /// full phase timeout. Only read-family phases hedge (context reads,
+    /// single-writer phase 1, multi-writer reads) — writes never fan out
+    /// early, and ops already contacting every server return nothing.
+    /// Transports gate this on a latency percentile and call it at most
+    /// once per op.
+    pub fn hedge(&mut self, op_id: OpId, _now: SimTime) -> Output {
+        let mut out = Output::default();
+        let Some(mut op) = self.take_op(op_id) else {
+            return out;
+        };
+        let rotation = self.rotation(op.common.offset);
+        let target = op.common.contacted.len().saturating_add(1);
+        let client = self.id();
+        let group = op.common.group;
+        match &op.state {
+            OpState::CtxRead { .. } => {
+                Self::widen_contacts(
+                    op_id,
+                    &mut op.common,
+                    &rotation,
+                    target,
+                    |op| Msg::CtxReadReq { op, client, group },
+                    &mut out,
+                );
+            }
+            OpState::ReadP1 { data, .. } => {
+                let data = *data;
+                Self::widen_contacts(
+                    op_id,
+                    &mut op.common,
+                    &rotation,
+                    target,
+                    |op| Msg::TsQueryReq { op, data },
+                    &mut out,
+                );
+            }
+            OpState::MwRead { data, .. } => {
+                let data = *data;
+                Self::widen_contacts(
+                    op_id,
+                    &mut op.common,
+                    &rotation,
+                    target,
+                    |op| Msg::MwReadReq { op, data },
+                    &mut out,
+                );
+            }
+            _ => {}
+        }
+        self.insert_op(op_id, op);
+        out
     }
 
     /// Handles a timer token previously emitted in [`Output::timers`].

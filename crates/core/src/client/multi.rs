@@ -53,15 +53,7 @@ impl ClientCore {
             StoredItem::create(data, group, ts, client, writer_ctx, value, key, counters)
         };
         let needed = quorum::multi_writer_quorum(self.dir().b());
-        let mut common = OpCommon {
-            kind: OpKind::MwWrite,
-            group,
-            started: now,
-            round: 1,
-            contacted: HashSet::new(),
-            offset,
-            timer_epoch: 0,
-        };
+        let mut common = OpCommon::start(OpKind::MwWrite, group, now, offset);
         let rotation = self.rotation(offset);
         {
             let item = &item;
@@ -105,15 +97,7 @@ impl ClientCore {
     ) -> Output {
         let mut out = Output::default();
         let base = quorum::multi_writer_quorum(self.dir().b());
-        let mut common = OpCommon {
-            kind: OpKind::MwRead,
-            group,
-            started: now,
-            round: 1,
-            contacted: HashSet::new(),
-            offset,
-            timer_epoch: 0,
-        };
+        let mut common = OpCommon::start(OpKind::MwRead, group, now, offset);
         let rotation = self.rotation(offset);
         Self::widen_contacts(
             op_id,

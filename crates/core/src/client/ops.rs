@@ -45,15 +45,7 @@ impl ClientCore {
             StoredItem::create(data, group, ts, client, writer_ctx, value, key, counters)
         };
         let needed = quorum::data_quorum(self.dir().b());
-        let mut common = OpCommon {
-            kind: OpKind::Write,
-            group,
-            started: now,
-            round: 1,
-            contacted: HashSet::new(),
-            offset,
-            timer_epoch: 0,
-        };
+        let mut common = OpCommon::start(OpKind::Write, group, now, offset);
         let rotation = self.rotation(offset);
         let target = self.target_count(needed, 1);
         {
@@ -101,15 +93,7 @@ impl ClientCore {
         // Adaptive reads probe with b̂+1 servers (Alvisi et al. dynamic
         // quorums); static configuration uses the full b+1.
         let base = quorum::data_quorum(self.fault_estimate());
-        let mut common = OpCommon {
-            kind: OpKind::Read,
-            group,
-            started: now,
-            round: 1,
-            contacted: HashSet::new(),
-            offset,
-            timer_epoch: 0,
-        };
+        let mut common = OpCommon::start(OpKind::Read, group, now, offset);
         let rotation = self.rotation(offset);
         Self::widen_contacts(
             op_id,

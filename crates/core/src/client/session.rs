@@ -22,19 +22,12 @@ impl ClientCore {
         offset: usize,
     ) -> Output {
         let mut out = Output::default();
-        let mut common = OpCommon {
-            kind: if recover {
-                OpKind::Reconstruct
-            } else {
-                OpKind::Connect
-            },
-            group,
-            started: now,
-            round: 1,
-            contacted: HashSet::new(),
-            offset,
-            timer_epoch: 0,
+        let kind = if recover {
+            OpKind::Reconstruct
+        } else {
+            OpKind::Connect
         };
+        let mut common = OpCommon::start(kind, group, now, offset);
         let rotation = self.rotation(offset);
         let state = if recover {
             // Reconstruction reads item metadata from *all* servers.
@@ -87,15 +80,7 @@ impl ClientCore {
             let (_, _, key, _, counters, _) = self.parts();
             SignedContext::create(client, session, ctx, key, counters)
         };
-        let mut common = OpCommon {
-            kind: OpKind::Disconnect,
-            group,
-            started: now,
-            round: 1,
-            contacted: HashSet::new(),
-            offset,
-            timer_epoch: 0,
-        };
+        let mut common = OpCommon::start(OpKind::Disconnect, group, now, offset);
         let quorum = self.ctx_quorum();
         let rotation = self.rotation(offset);
         Self::widen_contacts(

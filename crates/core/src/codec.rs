@@ -94,6 +94,7 @@ const TAG_GOSSIP_SUMMARY: u8 = 16;
 /// [`decode_msg`] rejects it, which is also what makes nested batches
 /// impossible.
 const TAG_BATCH: u8 = 17;
+const TAG_SHED: u8 = 18;
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -182,6 +183,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
         Msg::WriteReq { op, item } => enc_item(e.u8(TAG_WRITE_REQ).u64(op.0), item),
         Msg::WriteAck { op, accepted } => e.u8(TAG_WRITE_ACK).u64(op.0).u8(u8::from(*accepted)),
         Msg::MwReadReq { op, data } => e.u8(TAG_MW_READ_REQ).u64(op.0).u64(data.0),
+        Msg::Shed { op } => e.u8(TAG_SHED).u64(op.0),
         Msg::MwReadResp { op, data, versions } => {
             let mut e = e
                 .u8(TAG_MW_READ_RESP)
@@ -629,6 +631,7 @@ pub fn decode_msg(bytes: &[u8]) -> Result<Msg, CodecError> {
             op: OpId(d.u64()?),
             data: DataId(d.u64()?),
         },
+        TAG_SHED => Msg::Shed { op: OpId(d.u64()?) },
         TAG_MW_READ_RESP => {
             let op = OpId(d.u64()?);
             let data = DataId(d.u64()?);
@@ -785,6 +788,7 @@ mod tests {
                 data: DataId(5),
                 versions: vec![item.clone(), plain.clone()],
             },
+            Msg::Shed { op: OpId(18) },
             Msg::GossipPush {
                 items: vec![item, plain],
             },

@@ -104,6 +104,14 @@ pub struct ServerNode {
     gossip_round: u32,
 }
 
+/// Hard cap on durability acknowledgements held back for an unsynced
+/// group-commit window. A stalled or failing fsync otherwise grows
+/// [`ServerNode`]'s deferred-ack queue without bound; past the cap the
+/// node rejects further writes explicitly (see
+/// [`ServerNode::flush_commits`]) and counts each rejection in
+/// [`ServerNode::storage_faults`].
+pub const DEFERRED_ACKS_MAX: usize = 1024;
+
 impl ServerNode {
     /// Creates an empty server.
     pub fn new(id: ServerId, dir: Arc<Directory>, cfg: ServerConfig) -> Self {
@@ -134,6 +142,12 @@ impl ServerNode {
     /// keeps serving from memory; nonzero means durability is degraded).
     pub fn storage_faults(&self) -> u64 {
         self.storage_faults
+    }
+
+    /// Durability acknowledgements currently held back for an unsynced
+    /// group-commit window (bounded by [`DEFERRED_ACKS_MAX`]).
+    pub fn deferred_acks_len(&self) -> usize {
+        self.deferred_acks.len()
     }
 
     /// This server's identity.
@@ -481,7 +495,8 @@ impl ServerNode {
             | Msg::TsQueryResp { .. }
             | Msg::ReadResp { .. }
             | Msg::WriteAck { .. }
-            | Msg::MwReadResp { .. } => Vec::new(),
+            | Msg::MwReadResp { .. }
+            | Msg::Shed { .. } => Vec::new(),
         };
         self.flush_wal();
         self.maybe_snapshot();
@@ -517,10 +532,26 @@ impl ServerNode {
                 msg,
                 Msg::WriteAck { accepted: true, .. } | Msg::CtxWriteAck { .. }
             );
-            if durability_ack {
+            if !durability_ack {
+                pass.push((to, msg));
+            } else if self.deferred_acks.len() < DEFERRED_ACKS_MAX {
                 self.deferred_acks.push((to, msg));
             } else {
-                pass.push((to, msg));
+                // A wedged fsync must surface as rejected writes, not
+                // unbounded memory growth: over the cap, positive write
+                // acks are downgraded to explicit rejections and context
+                // acks are dropped (silence), each counted as a storage
+                // fault so operators and oracles see the degradation.
+                self.storage_faults = self.storage_faults.saturating_add(1);
+                if let Msg::WriteAck { op, .. } = msg {
+                    pass.push((
+                        to,
+                        Msg::WriteAck {
+                            op,
+                            accepted: false,
+                        },
+                    ));
+                }
             }
         }
         if self.commit_deadline.is_none() {
@@ -1728,5 +1759,87 @@ mod tests {
             "unverifiable record never served"
         );
         assert!(f.server.item(DataId(6)).is_some());
+    }
+
+    /// A backend whose fsync is permanently wedged: appends land, syncs
+    /// always fail, so the group-commit window never closes on its own.
+    #[derive(Debug)]
+    struct WedgedBackend(storage::MemBackend);
+
+    impl storage::Backend for WedgedBackend {
+        fn append(&mut self, bytes: &[u8]) -> Result<(), storage::StorageError> {
+            self.0.append(bytes)
+        }
+        fn sync(&mut self) -> Result<(), storage::StorageError> {
+            Err(storage::StorageError {
+                op: "fsync",
+                detail: "wedged".to_string(),
+            })
+        }
+        fn rotate(&mut self) -> Result<(), storage::StorageError> {
+            self.0.rotate()
+        }
+        fn install_snapshot(&mut self, bytes: &[u8]) -> Result<(), storage::StorageError> {
+            self.0.install_snapshot(bytes)
+        }
+        fn load(&mut self) -> Result<storage::Loaded, storage::StorageError> {
+            self.0.load()
+        }
+        fn truncate_active(&mut self, len: u64) -> Result<(), storage::StorageError> {
+            self.0.truncate_active(len)
+        }
+    }
+
+    #[test]
+    fn wedged_fsync_caps_deferred_acks_and_rejects_overflow() {
+        let mut f = fixture(4, 1);
+        let cfg = storage::StorageConfig {
+            fsync: storage::FsyncPolicy::GroupCommit {
+                max_batch: u32::MAX,
+                max_delay_us: 1_000_000_000,
+            },
+            segment_bytes: u64::MAX,
+            snapshot_every: u64::MAX,
+        };
+        let store =
+            storage::Store::with_backend(Box::new(WedgedBackend(storage::MemBackend::new())), cfg);
+        f.server.attach_store(store);
+        // One signed item re-written forever: the first admission leaves
+        // unsynced bytes, the wedged fsync never clears them, and every
+        // positive ack after that is deferred — until the cap.
+        let item = item_v(&mut f, 0, 1, 1, b"wedge");
+        let extra = 5u64;
+        let total = DEFERRED_ACKS_MAX as u64 + extra;
+        let mut rejected = 0u64;
+        for i in 0..total {
+            let out = f.server.handle(
+                client_addr(0),
+                Msg::WriteReq {
+                    op: OpId(i + 1),
+                    item: item.clone(),
+                },
+                now(),
+            );
+            for (_, msg) in out {
+                match msg {
+                    Msg::WriteAck {
+                        accepted: false, ..
+                    } => rejected += 1,
+                    Msg::WriteAck { accepted: true, .. } => {
+                        panic!("positive ack escaped the unsynced window")
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(f.server.deferred_acks_len(), DEFERRED_ACKS_MAX);
+        assert_eq!(rejected, extra, "over-cap writes rejected explicitly");
+        assert_eq!(f.server.storage_faults(), extra, "rejections are counted");
+        // A forced flush still releases the capped queue (memory stays
+        // authoritative; the failed sync is one more counted fault).
+        let released = f.server.flush_commits(now(), true);
+        assert_eq!(released.len(), DEFERRED_ACKS_MAX);
+        assert_eq!(f.server.deferred_acks_len(), 0);
+        assert_eq!(f.server.storage_faults(), extra + 1);
     }
 }

@@ -143,6 +143,19 @@ pub enum Msg {
     },
 
     // ------------------------------------------------------------------
+    // Overload control
+    // ------------------------------------------------------------------
+    /// Server load-shed: the server is overloaded (its write queue to
+    /// this client crossed the high-water mark) and refuses to process
+    /// the request. Unlike Byzantine *silence*, a shed is an explicit,
+    /// attributable signal — the client retries elsewhere immediately
+    /// instead of waiting out a phase timer.
+    Shed {
+        /// Echoed operation id of the refused request.
+        op: OpId,
+    },
+
+    // ------------------------------------------------------------------
     // Server-to-server dissemination (paper §4, §5.2)
     // ------------------------------------------------------------------
     /// Push gossip: recently updated items, with original signatures.
@@ -176,7 +189,8 @@ impl Msg {
             | Msg::WriteReq { op, .. }
             | Msg::WriteAck { op, .. }
             | Msg::MwReadReq { op, .. }
-            | Msg::MwReadResp { op, .. } => Some(*op),
+            | Msg::MwReadResp { op, .. }
+            | Msg::Shed { op } => Some(*op),
             Msg::GossipPush { .. } | Msg::GossipSummary { .. } => None,
         }
     }
@@ -209,6 +223,7 @@ impl Message for Msg {
             Msg::WriteAck { .. } => "write-ack",
             Msg::MwReadReq { .. } => "mw-read-req",
             Msg::MwReadResp { .. } => "mw-read-resp",
+            Msg::Shed { .. } => "shed",
             Msg::GossipPush { .. } => "gossip-push",
             Msg::GossipSummary { .. } => "gossip-summary",
         }
@@ -242,6 +257,7 @@ impl Message for Msg {
             Msg::MwReadResp { versions, .. } => {
                 HDR + 8 + versions.iter().map(|i| i.size_bytes()).sum::<usize>()
             }
+            Msg::Shed { .. } => HDR,
             Msg::GossipPush { items } => HDR + items.iter().map(|i| i.size_bytes()).sum::<usize>(),
             Msg::GossipSummary { entries, .. } => HDR + 1 + entries.len() * (8 + 43),
         }

@@ -52,6 +52,7 @@ pub const ZERO_TOLERANCE: &[&str] = &[
     "crates/net/src/pipeline.rs",
     "crates/net/src/backoff.rs",
     "crates/net/src/coalesce.rs",
+    "crates/net/src/wirechaos.rs",
     "crates/crypto/src/schnorr/batch.rs",
     "crates/core/src/server/storage/mod.rs",
     "crates/core/src/server/storage/record.rs",

@@ -320,6 +320,12 @@ struct WorkerStats {
     err_faulty: u64,
     shed: u64,
     connect_failures: u64,
+    /// `Msg::Shed` overload replies observed by this worker's client.
+    server_sheds: u64,
+    /// Hedged read rounds issued by the client resilience layer.
+    hedges: u64,
+    /// Operations surfaced as `Unavailable` by per-op deadline expiry.
+    expired: u64,
 }
 
 impl WorkerStats {
@@ -332,6 +338,9 @@ impl WorkerStats {
         self.err_faulty += other.err_faulty;
         self.shed += other.shed;
         self.connect_failures += other.connect_failures;
+        self.server_sheds += other.server_sheds;
+        self.hedges += other.hedges;
+        self.expired += other.expired;
     }
 
     fn errors(&self) -> u64 {
@@ -458,6 +467,9 @@ fn run_worker(mut client: PipeClient, cfg: WorkerCfg) -> WorkerStats {
             complete(done, &mut inflight, &mut free, &mut stats, warmup_end, end);
         }
     }
+    stats.server_sheds = client.sheds_seen();
+    stats.hedges = client.hedges();
+    stats.expired = client.expired();
     stats
 }
 
@@ -578,6 +590,11 @@ struct RunSummary {
     stats: WorkerStats,
     throughput: f64,
     all: Histogram,
+    /// Server-side counters summed across in-process servers before
+    /// shutdown (all zero when driving external `--servers`).
+    srv_storage_faults: u64,
+    srv_dropped_frames: u64,
+    srv_sheds: u64,
 }
 
 fn run_once(args: &Args, serving: ServingMode) -> RunSummary {
@@ -624,7 +641,13 @@ fn run_once(args: &Args, serving: ServingMode) -> RunSummary {
             Err(_) => eprintln!("sstore-load: worker panicked"),
         }
     }
+    let mut srv_storage_faults = 0u64;
+    let mut srv_dropped_frames = 0u64;
+    let mut srv_sheds = 0u64;
     for server in servers {
+        srv_storage_faults += server.with_node(|n| n.storage_faults());
+        srv_dropped_frames += server.dropped_frames();
+        srv_sheds += server.shed_count();
         server.shutdown();
     }
     let mut all = stats.read.clone();
@@ -634,6 +657,9 @@ fn run_once(args: &Args, serving: ServingMode) -> RunSummary {
         stats,
         throughput,
         all,
+        srv_storage_faults,
+        srv_dropped_frames,
+        srv_sheds,
     }
 }
 
@@ -658,6 +684,16 @@ fn print_summary(label: &str, s: &RunSummary) {
         s.stats.errors(),
         s.stats.shed
     );
+    println!(
+        "  resilience: {} server sheds seen, {} hedged reads, {} deadline-expired",
+        s.stats.server_sheds, s.stats.hedges, s.stats.expired
+    );
+    if s.srv_storage_faults > 0 || s.srv_dropped_frames > 0 || s.srv_sheds > 0 {
+        println!(
+            "  servers: {} storage faults, {} dropped frames, {} shed replies",
+            s.srv_storage_faults, s.srv_dropped_frames, s.srv_sheds
+        );
+    }
     for (name, h) in [
         ("read", &s.stats.read),
         ("write", &s.stats.write),
@@ -754,7 +790,7 @@ fn main() {
     };
     let s = &main_run.stats;
     let entry = format!(
-        "  {{\n    \"recorded_unix\": {recorded_unix},\n    \"note\": \"{note}\",\n    \"config\": {{ \"mode\": \"{}\", \"serving\": \"{}\", \"batching\": {}, \"n\": {}, \"b\": {}, \"sessions\": {}, \"workers\": {}, \"groups\": {}, \"read_pct\": {}, \"dist\": \"{}\", \"value_bytes\": {}, \"consistency\": \"{:?}\", \"duration_s\": {:.1}, \"warmup_s\": {:.1}, \"rate_ops_s\": {:.1} }},\n    \"results\": {{\n      \"throughput_ops_s\": {:.1},\n      \"ops\": {},\n      \"errors\": {{ \"unavailable\": {}, \"stale\": {}, \"faulty_writer\": {}, \"connect_failures\": {} }},\n      \"shed_arrivals\": {},\n      \"latency_us\": {{ {}, {}, {} }}{compare_json}\n    }}\n  }}",
+        "  {{\n    \"recorded_unix\": {recorded_unix},\n    \"note\": \"{note}\",\n    \"config\": {{ \"mode\": \"{}\", \"serving\": \"{}\", \"batching\": {}, \"n\": {}, \"b\": {}, \"sessions\": {}, \"workers\": {}, \"groups\": {}, \"read_pct\": {}, \"dist\": \"{}\", \"value_bytes\": {}, \"consistency\": \"{:?}\", \"duration_s\": {:.1}, \"warmup_s\": {:.1}, \"rate_ops_s\": {:.1} }},\n    \"results\": {{\n      \"throughput_ops_s\": {:.1},\n      \"ops\": {},\n      \"errors\": {{ \"unavailable\": {}, \"stale\": {}, \"faulty_writer\": {}, \"connect_failures\": {} }},\n      \"shed_arrivals\": {},\n      \"resilience\": {{ \"server_sheds_seen\": {}, \"hedged_reads\": {}, \"deadline_expired\": {} }},\n      \"server_counters\": {{ \"storage_faults\": {}, \"dropped_frames\": {}, \"shed_replies\": {} }},\n      \"latency_us\": {{ {}, {}, {} }}{compare_json}\n    }}\n  }}",
         args.mode.name(),
         serving_name(serving),
         args.batching,
@@ -777,6 +813,12 @@ fn main() {
         s.err_faulty,
         s.connect_failures,
         s.shed,
+        s.server_sheds,
+        s.hedges,
+        s.expired,
+        main_run.srv_storage_faults,
+        main_run.srv_dropped_frames,
+        main_run.srv_sheds,
         lat_json("read", &s.read),
         lat_json("write", &s.write),
         lat_json("all", &main_run.all),

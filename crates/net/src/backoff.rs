@@ -10,7 +10,7 @@
 //! (never sooner than half the deterministic schedule, never later than
 //! the cap) while decorrelating the fleet.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -67,6 +67,126 @@ pub fn jittered(base: Duration, rng: &mut StdRng) -> Duration {
     }
     let half = us / 2;
     Duration::from_micros(rng.gen_range(half..=us))
+}
+
+/// Decorrelated jitter: a uniform draw from `[base, prev * 3]`, capped at
+/// `cap` and floored at `base`.
+///
+/// Unlike equal jitter over a doubling schedule — where every client's
+/// delay still clusters around the same deterministic base — each draw
+/// here feeds the next one, so two clients that fail at the same instant
+/// random-walk apart instead of re-colliding every round. This is the
+/// schedule the wire-chaos campaigns exercise: mass resets with many
+/// clients redialing the same few servers.
+pub fn decorrelated_jitter(
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: &mut StdRng,
+) -> Duration {
+    let base_us = u64::try_from(base.as_micros()).unwrap_or(u64::MAX);
+    if base_us == 0 {
+        return Duration::ZERO;
+    }
+    let cap_us = u64::try_from(cap.as_micros())
+        .unwrap_or(u64::MAX)
+        .max(base_us);
+    let prev_us = u64::try_from(prev.as_micros()).unwrap_or(u64::MAX);
+    let hi = prev_us.saturating_mul(3).clamp(base_us, cap_us);
+    Duration::from_micros(rng.gen_range(base_us..=hi))
+}
+
+/// Consecutive faults before [`LinkHealth::quarantined`] reports true.
+const QUARANTINE_FAULTS: u32 = 3;
+
+/// Health score for one client→server link: counts consecutive faults
+/// (failed dials and short-lived connections) and paces redials with
+/// [`decorrelated_jitter`].
+///
+/// The score is what turns "the connection dropped" into a *selection*
+/// signal: a flapping link — one that accepts the dial, then dies before
+/// `healthy_after` of uptime — keeps its fault streak across the
+/// reconnect, so its redial delay keeps growing where a naive
+/// reset-on-connect schedule would hammer it forever. While the link sits
+/// out its delay it stays down, requests to it fall into the protocol's
+/// silence path, and the quorum machinery widens to other servers — the
+/// quarantine *is* the health-scored selection, applied at the transport
+/// where the flapping is observed.
+#[derive(Debug, Clone)]
+pub struct LinkHealth {
+    min: Duration,
+    max: Duration,
+    /// Uptime after which a connection counts as healthy and the fault
+    /// streak resets.
+    healthy_after: Duration,
+    /// Consecutive faults: failed dials plus sub-`healthy_after` drops.
+    faults: u32,
+    /// Previous delay; feeds the decorrelated-jitter recurrence.
+    prev: Duration,
+    /// When the current connection came up, while one is up.
+    up_since: Option<Instant>,
+}
+
+impl LinkHealth {
+    /// A fresh healthy link: redial delays drawn from
+    /// `decorrelated_jitter(min, max, ·)`, fault streaks forgiven after
+    /// `healthy_after` of continuous uptime.
+    pub fn new(min: Duration, max: Duration, healthy_after: Duration) -> LinkHealth {
+        LinkHealth {
+            min,
+            max: max.max(min),
+            healthy_after,
+            faults: 0,
+            prev: Duration::ZERO,
+            up_since: None,
+        }
+    }
+
+    /// Records a successful dial. The fault streak is *not* reset here —
+    /// only surviving `healthy_after` of uptime (observed at the next
+    /// [`LinkHealth::on_drop`]) clears it, so accept-then-die flapping
+    /// cannot launder its history through the accept.
+    pub fn on_connect(&mut self, now: Instant) {
+        self.up_since = Some(now);
+    }
+
+    /// Records a failed dial; returns the delay before the next attempt.
+    pub fn on_dial_failure(&mut self, rng: &mut StdRng) -> Duration {
+        self.up_since = None;
+        self.faults = self.faults.saturating_add(1);
+        self.prev = decorrelated_jitter(self.min, self.max, self.prev, rng);
+        self.prev
+    }
+
+    /// Records a dropped connection; returns the delay before redialing.
+    /// A drop after `healthy_after` of uptime forgives the streak first
+    /// (a long-lived link that died redials promptly); a shorter-lived
+    /// connection extends it (a flapping link keeps backing off).
+    pub fn on_drop(&mut self, now: Instant, rng: &mut StdRng) -> Duration {
+        let healthy = self
+            .up_since
+            .take()
+            .is_some_and(|up| now.saturating_duration_since(up) >= self.healthy_after);
+        if healthy {
+            self.faults = 0;
+            self.prev = Duration::ZERO;
+        }
+        self.faults = self.faults.saturating_add(1);
+        self.prev = decorrelated_jitter(self.min, self.max, self.prev, rng);
+        self.prev
+    }
+
+    /// Consecutive faults since the last healthy stretch.
+    pub fn faults(&self) -> u32 {
+        self.faults
+    }
+
+    /// Whether the link is currently considered flapping (fault streak at
+    /// or past the quarantine threshold). Observability only — pacing is
+    /// already built into the returned delays.
+    pub fn quarantined(&self) -> bool {
+        self.faults >= QUARANTINE_FAULTS
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +257,83 @@ mod tests {
         assert_eq!(jittered(Duration::ZERO, &mut rng), Duration::ZERO);
         let mut b = Backoff::new(Duration::ZERO, Duration::ZERO);
         assert_eq!(b.next_delay(&mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn decorrelated_jitter_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut prev = Duration::ZERO;
+        for _ in 0..64 {
+            prev = decorrelated_jitter(MIN, MAX, prev, &mut rng);
+            assert!(prev >= MIN, "delay {prev:?} below base {MIN:?}");
+            assert!(prev <= MAX, "delay {prev:?} above cap {MAX:?}");
+        }
+        assert_eq!(
+            decorrelated_jitter(Duration::ZERO, MAX, prev, &mut rng),
+            Duration::ZERO,
+            "zero base must stay zero"
+        );
+    }
+
+    #[test]
+    fn decorrelated_jitter_decorrelates_fleets() {
+        let mut a = StdRng::seed_from_u64(21);
+        let mut z = StdRng::seed_from_u64(22);
+        let (mut pa, mut pz) = (Duration::ZERO, Duration::ZERO);
+        let da: Vec<Duration> = (0..8)
+            .map(|_| {
+                pa = decorrelated_jitter(MIN, MAX, pa, &mut a);
+                pa
+            })
+            .collect();
+        let dz: Vec<Duration> = (0..8)
+            .map(|_| {
+                pz = decorrelated_jitter(MIN, MAX, pz, &mut z);
+                pz
+            })
+            .collect();
+        assert_ne!(da, dz, "two fleets must not redial in lockstep");
+    }
+
+    #[test]
+    fn flapping_link_quarantines_and_backs_off() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut h = LinkHealth::new(MIN, MAX, Duration::from_secs(1));
+        let t0 = Instant::now();
+        assert!(!h.quarantined());
+        // Accept-then-die, three times in a row: the streak must survive
+        // each successful dial and the delays must never shrink back to
+        // the first-failure range's floor.
+        let mut delays = Vec::new();
+        for _ in 0..3 {
+            h.on_connect(t0);
+            delays.push(h.on_drop(t0, &mut rng)); // dies instantly
+        }
+        assert_eq!(h.faults(), 3, "accepts must not launder the streak");
+        assert!(h.quarantined(), "three straight faults quarantine");
+        assert!(
+            delays.iter().all(|d| *d >= MIN),
+            "every delay at least the base"
+        );
+    }
+
+    #[test]
+    fn healthy_uptime_forgives_the_streak() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let healthy_after = Duration::from_millis(10);
+        let mut h = LinkHealth::new(MIN, MAX, healthy_after);
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            h.on_dial_failure(&mut rng);
+        }
+        assert!(h.quarantined());
+        // A connection that survives past `healthy_after` resets the
+        // streak when it finally drops: one fault, prompt redial.
+        h.on_connect(t0);
+        let d = h.on_drop(t0 + healthy_after * 2, &mut rng);
+        assert_eq!(h.faults(), 1, "healthy stretch forgives past faults");
+        assert!(!h.quarantined());
+        assert!(d <= MIN * 3, "post-healthy redial starts near the base");
     }
 
     #[test]

@@ -33,6 +33,10 @@
 //! `event-loop` (one non-blocking readiness loop, request pipelining,
 //! batched gossip flushes) or the legacy `threaded`
 //! (thread-per-connection) path.
+//!
+//! `--stats-every SECS` prints a periodic health line to stdout with the
+//! storage fault count, backpressure frame drops, and shed replies
+//! (default 30; 0 disables the line entirely).
 
 use std::net::{SocketAddr, TcpListener};
 use std::path::Path;
@@ -48,7 +52,8 @@ use sstore_net::{NetServer, NetServerConfig, ServingMode};
 const USAGE: &str = "usage: sstore-server --id N --b B --listen ADDR --peers A,B,C,... \
                      [--clients N] [--key-seed SEED] [--data-dir PATH] \
                      [--fsync always|never|interval:N|group-commit:N:USEC] \
-                     [--gossip-summary-every K] [--serving event-loop|threaded]";
+                     [--gossip-summary-every K] [--serving event-loop|threaded] \
+                     [--stats-every SECS]";
 
 struct Args {
     id: u16,
@@ -61,6 +66,7 @@ struct Args {
     fsync: FsyncPolicy,
     summary_every: u32,
     serving: ServingMode,
+    stats_every: u64,
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -116,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
     let mut fsync = FsyncPolicy::Always;
     let mut summary_every = 1u32;
     let mut serving = ServingMode::default();
+    let mut stats_every = 30u64;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let value = argv.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -149,6 +156,9 @@ fn parse_args() -> Result<Args, String> {
                     _ => return Err("bad --serving (event-loop|threaded)".to_string()),
                 };
             }
+            "--stats-every" => {
+                stats_every = value.parse().map_err(|_| "bad --stats-every (SECS)")?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -163,6 +173,7 @@ fn parse_args() -> Result<Args, String> {
         fsync,
         summary_every,
         serving,
+        stats_every,
     })
 }
 
@@ -239,7 +250,24 @@ fn main() {
         args.b,
         server.local_addr()
     );
+    if args.stats_every == 0 {
+        loop {
+            std::thread::park();
+        }
+    }
+    // Periodic health line: storage faults (WAL append/fsync failures and
+    // deferred-ack cap rejections), backpressure frame drops, and shed
+    // replies. One line per interval keeps long-running daemons greppable
+    // without a metrics endpoint.
+    let period = std::time::Duration::from_secs(args.stats_every);
     loop {
-        std::thread::park();
+        std::thread::sleep(period);
+        let faults = server.with_node(|n| n.storage_faults());
+        println!(
+            "sstore-server {}: stats storage_faults={faults} dropped_frames={} sheds={}",
+            args.id,
+            server.dropped_frames(),
+            server.shed_count(),
+        );
     }
 }

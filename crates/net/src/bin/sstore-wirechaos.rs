@@ -1,0 +1,466 @@
+//! `sstore-wirechaos` — seeded wire-level chaos campaigns against real
+//! `sstore-server` processes behind fault-injecting TCP proxies.
+//!
+//! ```text
+//! # standard campaign (both oracles must hold on every seed)
+//! sstore-wirechaos --seeds 0..100
+//!
+//! # over-faulted probe (b+1 servers partitioned for the whole run;
+//! # the harness is expected to flag some seeds — exit 0 only if it does)
+//! sstore-wirechaos --seeds 0..10 --over-faulted --expect-flagged
+//!
+//! # re-run a minimal replay file and check the grammar round-trips
+//! sstore-wirechaos --replay wirechaos-failures/seed-17.replay
+//!
+//! # EXPERIMENTS.md table (runs both campaigns)
+//! sstore-wirechaos --seeds 0..100 --markdown
+//! ```
+//!
+//! Failing seeds are shrunk with delta debugging and written as replay
+//! files that re-execute the identical schedule byte-for-byte (the
+//! grammar round-trips exactly; wall-clock nondeterminism of a real
+//! network means verdicts are reproduced at schedule level, unlike the
+//! simulator's bit-identical replays).
+//!
+//! Exit codes match `sstore-chaos`: `0` success (or expected flags
+//! present), `1` oracle failure / missing expected flags / IO or
+//! environment error, `2` bad usage or a replay file whose grammar
+//! does not round-trip.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sstore_net::wirechaos::{
+    self, WireChaosConfig, WireFailureClass, WireRunOptions, WireSchedule, WireVerdict,
+};
+
+const USAGE: &str = "usage: sstore-wirechaos [--seeds A..B] [--n N] [--b B] \
+     [--over-faulted] [--expect-flagged] [--jobs J] \
+     [--server-bin PATH] [--fsync SPEC] [--request-timeout MS] \
+     [--json] [--markdown] [--out DIR] [--shrink-budget N] \
+     | --replay FILE [--json]";
+
+struct Args {
+    seed_from: u64,
+    seed_to: u64,
+    n: usize,
+    b: usize,
+    over_faulted: bool,
+    expect_flagged: bool,
+    jobs: usize,
+    options: WireRunOptions,
+    markdown: bool,
+    json: bool,
+    out_dir: String,
+    shrink_budget: usize,
+    replay: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed_from: 0,
+            seed_to: 100,
+            n: 4,
+            b: 1,
+            over_faulted: false,
+            expect_flagged: false,
+            jobs: 2,
+            options: WireRunOptions::default(),
+            markdown: false,
+            json: false,
+            out_dir: "wirechaos-failures".to_string(),
+            shrink_budget: 12,
+            replay: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires an argument"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                let spec = value("--seeds")?;
+                let (a, z) = spec
+                    .split_once("..")
+                    .ok_or_else(|| format!("--seeds expects A..B, got {spec}"))?;
+                args.seed_from = a.parse().map_err(|e| format!("bad seed {a}: {e}"))?;
+                args.seed_to = z.parse().map_err(|e| format!("bad seed {z}: {e}"))?;
+                if args.seed_to <= args.seed_from {
+                    return Err(format!("empty seed range {spec}"));
+                }
+            }
+            "--n" => args.n = value("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--b" => args.b = value("--b")?.parse().map_err(|e| format!("bad --b: {e}"))?,
+            "--over-faulted" => args.over_faulted = true,
+            "--expect-flagged" => args.expect_flagged = true,
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .ok()
+                    .filter(|j| *j >= 1)
+                    .ok_or("bad --jobs (J >= 1)")?;
+            }
+            "--server-bin" => args.options.server_bin = PathBuf::from(value("--server-bin")?),
+            "--fsync" => args.options.fsync = value("--fsync")?,
+            "--request-timeout" => {
+                args.options.request_timeout_ms = value("--request-timeout")?
+                    .parse()
+                    .map_err(|e| format!("bad --request-timeout: {e}"))?;
+            }
+            "--markdown" => args.markdown = true,
+            "--json" => args.json = true,
+            "--out" => args.out_dir = value("--out")?,
+            "--shrink-budget" => {
+                args.shrink_budget = value("--shrink-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --shrink-budget: {e}"))?;
+            }
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn verdict_json(v: &WireVerdict) -> String {
+    let class = match v.class() {
+        Some(WireFailureClass::Safety) => "\"safety\"".to_string(),
+        Some(WireFailureClass::Liveness) => "\"liveness\"".to_string(),
+        None => "null".to_string(),
+    };
+    let list = |items: &[String]| {
+        items
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{{\"seed\":{},\"passed\":{},\"class\":{},\"ops_ok\":{},\"ops_total\":{},\
+         \"sheds\":{},\"hedges\":{},\"expired\":{},\"quarantined\":{},\
+         \"safety\":[{}],\"liveness\":[{}]}}",
+        v.seed,
+        v.passed(),
+        class,
+        v.ops_ok,
+        v.ops_total,
+        v.sheds_seen,
+        v.hedges,
+        v.expired,
+        v.quarantined,
+        list(&v.safety),
+        list(&v.liveness),
+    )
+}
+
+/// Aggregate counters for one campaign section.
+#[derive(Default)]
+struct Tally {
+    seeds: usize,
+    passed: usize,
+    safety_flagged: usize,
+    liveness_flagged: usize,
+    ops_ok: usize,
+    ops_total: usize,
+    sheds: u64,
+    hedges: u64,
+    expired: u64,
+}
+
+impl Tally {
+    fn absorb(&mut self, v: &WireVerdict) {
+        self.seeds += 1;
+        if v.passed() {
+            self.passed += 1;
+        }
+        if !v.safety_ok() {
+            self.safety_flagged += 1;
+        }
+        if !v.liveness_ok() {
+            self.liveness_flagged += 1;
+        }
+        self.ops_ok += v.ops_ok;
+        self.ops_total += v.ops_total;
+        self.sheds += v.sheds_seen;
+        self.hedges += v.hedges;
+        self.expired += v.expired;
+    }
+
+    fn availability(&self) -> f64 {
+        if self.ops_total == 0 {
+            return 0.0;
+        }
+        self.ops_ok as f64 / self.ops_total as f64
+    }
+}
+
+/// Runs one campaign section across `--jobs` worker threads; each run
+/// is an independent cluster on its own ephemeral ports and temp dirs.
+fn run_section(
+    args: &Args,
+    cfg: &WireChaosConfig,
+    label: &str,
+) -> Result<(Tally, Vec<u64>), String> {
+    let next = AtomicU64::new(args.seed_from);
+    let results: Mutex<Vec<WireVerdict>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..args.jobs.max(1) {
+            scope.spawn(|| loop {
+                let seed = next.fetch_add(1, Ordering::Relaxed);
+                if seed >= args.seed_to {
+                    break;
+                }
+                let schedule = wirechaos::generate(seed, cfg);
+                match wirechaos::run(&schedule, &args.options) {
+                    Ok(verdict) => {
+                        if !args.json && !args.markdown && !verdict.passed() {
+                            eprintln!(
+                                "[{label}] seed {seed}: safety={:?} liveness={:?}",
+                                verdict.safety, verdict.liveness
+                            );
+                        }
+                        if let Ok(mut all) = results.lock() {
+                            all.push(verdict);
+                        }
+                    }
+                    Err(e) => {
+                        if let Ok(mut errs) = errors.lock() {
+                            errs.push(format!("seed {seed}: {e}"));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let errors = errors.into_inner().unwrap_or_default();
+    if let Some(first) = errors.first() {
+        return Err(format!("{} run error(s), first: {first}", errors.len()));
+    }
+    let mut results = results.into_inner().unwrap_or_default();
+    results.sort_by_key(|v| v.seed);
+    let mut tally = Tally::default();
+    let mut failing = Vec::new();
+    for v in &results {
+        tally.absorb(v);
+        if !v.passed() {
+            failing.push(v.seed);
+        }
+        if args.json {
+            println!("{}", verdict_json(v));
+        }
+    }
+    Ok((tally, failing))
+}
+
+/// Shrinks each failing seed and writes the minimal schedule as a
+/// replay file under `out_dir`. Returns the written paths.
+fn shrink_and_emit(
+    args: &Args,
+    cfg: &WireChaosConfig,
+    failing: &[u64],
+) -> Result<Vec<String>, String> {
+    if failing.is_empty() {
+        return Ok(Vec::new());
+    }
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", args.out_dir))?;
+    let mut written = Vec::new();
+    for &seed in failing {
+        let schedule = wirechaos::generate(seed, cfg);
+        let shrunk = wirechaos::shrink(&schedule, args.shrink_budget, &args.options)?;
+        let path = format!("{}/seed-{seed}.replay", args.out_dir);
+        std::fs::write(&path, shrunk.schedule.to_text())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "[shrink] seed {seed}: {:?} reproduced in {} runs -> {path}",
+            shrunk.class, shrunk.runs
+        );
+        written.push(path);
+    }
+    Ok(written)
+}
+
+fn replay(path: &str, options: &WireRunOptions, json: bool) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let schedule = WireSchedule::from_text(&text)?;
+    // Byte-for-byte replay at schedule level: serializing the parsed
+    // schedule and parsing it again must be the identity.
+    let round = schedule.to_text();
+    match WireSchedule::from_text(&round) {
+        Ok(again) if again == schedule => {}
+        _ => {
+            eprintln!("replay {path}: grammar does not round-trip");
+            return Ok(ExitCode::from(2));
+        }
+    }
+    let verdict = wirechaos::run(&schedule, options)?;
+    if json {
+        println!("{}", verdict_json(&verdict));
+    } else {
+        println!(
+            "replay {path}: seed={} passed={} class={:?}",
+            verdict.seed,
+            verdict.passed(),
+            verdict.class()
+        );
+        for v in &verdict.safety {
+            println!("  safety: {v}");
+        }
+        for v in &verdict.liveness {
+            println!("  liveness: {v}");
+        }
+        println!("replay {path}: schedule round-trips byte-for-byte");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn markdown_table(standard: &Tally, over: &Tally, args: &Args) -> String {
+    let row = |label: &str, faulty: String, t: &Tally| {
+        format!(
+            "| {label} | {faulty} | {} | {} | {} | {} | {}/{} ({:.1}%) | {} | {} | {} |\n",
+            t.seeds,
+            t.passed,
+            t.safety_flagged,
+            t.liveness_flagged,
+            t.ops_ok,
+            t.ops_total,
+            100.0 * t.availability(),
+            t.sheds,
+            t.hedges,
+            t.expired,
+        )
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| campaign (n={}, b={}) | unreachable | seeds | passed | safety flags | \
+         liveness flags | ops completed | sheds | hedges | expired |",
+        args.n, args.b
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str(&row(
+        "standard (wire faults within budget)",
+        format!("<= {}", args.b),
+        standard,
+    ));
+    out.push_str(&row(
+        "over-faulted (b+1 partitioned all run)",
+        format!("{}", args.b + 1),
+        over,
+    ));
+    out
+}
+
+fn campaign(args: &Args) -> Result<ExitCode, String> {
+    if args.markdown {
+        let std_cfg = WireChaosConfig::standard(args.n, args.b);
+        let over_cfg = WireChaosConfig::over_faulted(args.n, args.b);
+        let (std_tally, std_failing) = run_section(args, &std_cfg, "standard")?;
+        let (over_tally, _) = run_section(args, &over_cfg, "over-faulted")?;
+        print!("{}", markdown_table(&std_tally, &over_tally, args));
+        let ok = std_failing.is_empty() && over_tally.liveness_flagged > 0;
+        return Ok(if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    let cfg = if args.over_faulted {
+        WireChaosConfig::over_faulted(args.n, args.b)
+    } else {
+        WireChaosConfig::standard(args.n, args.b)
+    };
+    let label = if args.over_faulted {
+        "over-faulted"
+    } else {
+        "standard"
+    };
+    let (tally, failing) = run_section(args, &cfg, label)?;
+    eprintln!(
+        "[{label}] seeds {}..{}: {}/{} passed, {} safety / {} liveness flags, \
+         {}/{} ops ok ({:.1}% availability), {} sheds, {} hedges, {} expired",
+        args.seed_from,
+        args.seed_to,
+        tally.passed,
+        tally.seeds,
+        tally.safety_flagged,
+        tally.liveness_flagged,
+        tally.ops_ok,
+        tally.ops_total,
+        100.0 * tally.availability(),
+        tally.sheds,
+        tally.hedges,
+        tally.expired,
+    );
+
+    if args.expect_flagged {
+        // The probe must demonstrate the harness catches real
+        // starvation: with b+1 servers gone past budget, calm-phase
+        // quorums cannot form and liveness must flag.
+        if tally.liveness_flagged == 0 && tally.safety_flagged == 0 {
+            eprintln!("[{label}] expected the oracles to flag at least one seed; none were");
+            return Ok(ExitCode::FAILURE);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if failing.is_empty() {
+        return Ok(ExitCode::SUCCESS);
+    }
+    let written = shrink_and_emit(args, &cfg, &failing)?;
+    eprintln!(
+        "[{label}] {} failing seed(s); minimal replays in {:?}",
+        failing.len(),
+        written
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match &args.replay {
+        Some(path) => replay(path, &args.options, args.json),
+        None => campaign(&args),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("sstore-wirechaos: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -32,6 +32,7 @@ use sstore_crypto::schnorr::SigningKey;
 use sstore_simnet::SimTime;
 use sstore_transport::{StoreError, StoreHandle};
 
+use crate::backoff::LinkHealth;
 use crate::frame::{encode_hello, read_frame, write_frame, WireError, DEFAULT_MAX_FRAME};
 
 /// Socket-layer tuning for a [`NetClient`].
@@ -48,6 +49,13 @@ pub struct NetClientConfig {
     pub connect_timeout: Duration,
     /// Upper bound on one inbound frame.
     pub max_frame: usize,
+    /// Hedge a read-family operation still in flight after this
+    /// percentile of recently observed read latencies (e.g. `0.95`):
+    /// contact one extra server with the current-phase request instead of
+    /// waiting out the phase timer. `None` (the default) disables
+    /// hedging. Only [`crate::PipeClient`] hedges — the blocking client's
+    /// single in-flight op has no latency population to draw from.
+    pub hedge_percentile: Option<f64>,
 }
 
 impl Default for NetClientConfig {
@@ -56,6 +64,7 @@ impl Default for NetClientConfig {
             request_timeout: Duration::from_secs(5),
             connect_timeout: Duration::from_millis(250),
             max_frame: DEFAULT_MAX_FRAME,
+            hedge_percentile: None,
         }
     }
 }
@@ -80,9 +89,18 @@ struct Link {
     epoch: u64,
     /// Earliest time the next dial may be attempted.
     next_attempt: Instant,
-    /// Consecutive failed dials since the last success; drives the shared
-    /// [`sstore_core::RetryPolicy`] backoff.
-    dial_attempts: u32,
+    /// Fault streak and decorrelated-jitter redial pacing; quarantines
+    /// flapping links (see [`crate::LinkHealth`]).
+    health: LinkHealth,
+}
+
+/// Builds the redial health tracker from the protocol retry policy: the
+/// dial-backoff base seeds the jitter floor, the policy's delay ceiling
+/// caps it and doubles as the uptime needed to forgive a fault streak.
+fn link_health(retry: &sstore_core::RetryPolicy) -> LinkHealth {
+    let min = Duration::from_micros(retry.dial_delay(1).as_micros());
+    let max = Duration::from_micros(retry.max_delay.as_micros());
+    LinkHealth::new(min, max, max)
 }
 
 /// Handle on a TCP-deployed cluster: directory, client keys and the server
@@ -170,7 +188,7 @@ impl NetCluster {
                 writer: None,
                 epoch: 0,
                 next_attempt: Instant::now(),
-                dial_attempts: 0,
+                health: link_health(&self.client_cfg.retry),
             })
             .collect();
         NetClient {
@@ -240,7 +258,6 @@ impl NetClient {
     /// treats the server as silent in the meantime.
     fn ensure_links(&mut self) {
         let me = self.core.id();
-        let retry = self.core.retry_policy();
         for (i, link) in self.links.iter_mut().enumerate() {
             if link.writer.is_some() || Instant::now() < link.next_attempt {
                 continue;
@@ -251,7 +268,7 @@ impl NetClient {
             match dial(addr, me, &self.cfg) {
                 Ok(stream) => {
                     link.epoch += 1;
-                    link.dial_attempts = 0;
+                    link.health.on_connect(Instant::now());
                     let sid = ServerId(i as u16);
                     let epoch = link.epoch;
                     let tx = self.tx.clone();
@@ -276,23 +293,26 @@ impl NetClient {
                     }
                 }
                 Err(_) => {
-                    link.dial_attempts = link.dial_attempts.saturating_add(1);
-                    let delay = retry.dial_delay(link.dial_attempts);
-                    link.next_attempt = Instant::now() + Duration::from_micros(delay.as_micros());
+                    let delay = link.health.on_dial_failure(&mut self.rng);
+                    link.next_attempt = Instant::now() + delay;
                 }
             }
         }
     }
 
     /// Tears down server `sid`'s connection after a send failure or a
-    /// reader-reported drop; the next `ensure_links` may redial at once.
+    /// reader-reported drop. Redial pacing comes from the link's health
+    /// score: a long-lived connection that died redials promptly, while a
+    /// flapping link (accept-then-die) keeps its fault streak and backs
+    /// off — the transport-level quarantine that lets quorums widen to
+    /// healthier servers.
     fn drop_link(&mut self, sid: ServerId) {
         if let Some(link) = self.links.get_mut(sid.0 as usize) {
             if let Some(stream) = link.writer.take() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
-            link.next_attempt = Instant::now();
-            link.dial_attempts = 0;
+            let delay = link.health.on_drop(Instant::now(), &mut self.rng);
+            link.next_attempt = Instant::now() + delay;
         }
     }
 
@@ -348,9 +368,18 @@ impl NetClient {
                         self.drop_link(sid);
                     }
                 }
-                Err(RecvTimeoutError::Disconnected) => return Err(StoreError::Disconnected),
+                Err(RecvTimeoutError::Disconnected) => {
+                    let now = self.now();
+                    self.core.expire(op_id, now);
+                    return Err(StoreError::Disconnected);
+                }
                 Err(RecvTimeoutError::Timeout) => {
                     if Instant::now() >= hard_deadline {
+                        // Abandon the op in the core too: late responses
+                        // must not resurrect it, and the op table must
+                        // not leak one entry per timed-out request.
+                        let now = self.now();
+                        self.core.expire(op_id, now);
                         return Err(StoreError::Unavailable);
                     }
                     // Fire due protocol timers; retry rounds get a chance

@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 use std::io::{self, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -65,6 +65,13 @@ const DIAL_QUEUE_CAP: usize = 1024;
 /// Per-connection write-queue cap, as a multiple of the frame cap.
 const OUT_CAP_FRAMES: usize = 4;
 
+/// Write-queue high-water mark, as a multiple of the frame cap: once a
+/// client connection's queue holds this much, further requests from it
+/// are answered with [`Msg::Shed`] instead of being processed — explicit
+/// overload, distinguishable from Byzantine silence, cheap enough (one
+/// header-sized reply) to send from an overloaded server.
+const SHED_HIGH_WATER_FRAMES: usize = 2;
+
 /// State shared between the loop thread and the [`crate::NetServer`]
 /// handle.
 pub(crate) struct EventShared {
@@ -72,6 +79,11 @@ pub(crate) struct EventShared {
     pub(crate) node: Mutex<ServerNode>,
     pub(crate) stats: Mutex<WireStats>,
     pub(crate) shutdown: AtomicBool,
+    /// Requests refused with an explicit [`Msg::Shed`] reply.
+    pub(crate) sheds: AtomicU64,
+    /// Frames dropped at write-queue backpressure caps (live + closed
+    /// connections; refreshed by the loop each flush).
+    pub(crate) drops: AtomicU64,
     start: Instant,
 }
 
@@ -116,6 +128,8 @@ pub(crate) fn start(
         node: Mutex::new(node),
         stats: Mutex::new(WireStats::new()),
         shutdown: AtomicBool::new(false),
+        sheds: AtomicU64::new(0),
+        drops: AtomicU64::new(0),
         start: Instant::now(),
     });
     let loop_shared = shared.clone();
@@ -176,6 +190,8 @@ struct Loop {
     dials: HashMap<ServerId, PeerDial>,
     dial_tx: mpsc::Sender<DialResult>,
     rng: StdRng,
+    /// Backpressure drops carried over from closed connections.
+    drops_retired: u64,
 }
 
 impl Loop {
@@ -196,6 +212,7 @@ impl Loop {
         let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) else {
             return;
         };
+        self.drops_retired = self.drops_retired.saturating_add(conn.out.dropped());
         if let Some(addr) = conn.addr {
             if self.routes.get(&addr) == Some(&idx) {
                 self.routes.remove(&addr);
@@ -389,8 +406,25 @@ impl Loop {
             Some(from) => match decode_frame_msgs(frame) {
                 Ok(msgs) => {
                     let now = self.shared.now();
+                    // Overload check *before* handling: once this client
+                    // connection's write queue crosses the high-water
+                    // mark, processing more of its requests only deepens
+                    // the backlog (and the replies would be dropped at
+                    // the cap anyway — Byzantine silence from the
+                    // client's view). An explicit shed is attributable:
+                    // the client escalates to another server at once.
+                    let overloaded = matches!(from, Addr::Client(_))
+                        && conn.out.pending()
+                            >= self.cfg.max_frame.saturating_mul(SHED_HIGH_WATER_FRAMES);
                     let mut node = locked(&self.shared.node);
                     for msg in msgs {
+                        if overloaded {
+                            if let Some(op) = msg.op() {
+                                self.shared.sheds.fetch_add(1, Ordering::Relaxed);
+                                outs.push((from, Msg::Shed { op }));
+                                continue;
+                            }
+                        }
                         outs.extend(node.handle(from, msg, now));
                     }
                     true
@@ -421,6 +455,7 @@ fn run(
         dials: HashMap::new(),
         dial_tx,
         rng: StdRng::seed_from_u64(0xbeef ^ u64::from(me.0)),
+        drops_retired: 0,
     };
     let mut scratch = vec![0u8; SCRATCH];
     let idle = lp
@@ -523,6 +558,16 @@ fn run(
         for idx in dead {
             lp.close(idx);
         }
+        let live_drops: u64 = lp
+            .conns
+            .iter()
+            .flatten()
+            .map(|c| c.out.dropped())
+            .fold(0, u64::saturating_add);
+        lp.shared.drops.store(
+            lp.drops_retired.saturating_add(live_drops),
+            Ordering::Relaxed,
+        );
 
         // 6. Idle wait, bounded by the gossip and group-commit deadlines.
         if !progressed {

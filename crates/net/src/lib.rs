@@ -37,8 +37,9 @@ mod event_loop;
 mod frame;
 mod pipeline;
 mod server;
+pub mod wirechaos;
 
-pub use backoff::{jittered, Backoff};
+pub use backoff::{decorrelated_jitter, jittered, Backoff, LinkHealth};
 pub use client::{NetClient, NetClientConfig, NetCluster};
 pub use coalesce::{frames_from, Coalescer};
 pub use conn::{Enqueued, FrameReader, WriteQueue};

@@ -24,7 +24,7 @@
 //! mass disconnect does not reconnect in lockstep.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::io::{ErrorKind, Read};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sstore_core::client::{ClientCore, ClientOp, OpResult, Output};
+use sstore_core::client::{ClientCore, ClientOp, OpResult, Outcome, Output};
 use sstore_core::codec::{decode_frame_msgs, encode_msg};
 use sstore_core::metrics::WireStats;
 use sstore_core::server::Addr;
@@ -41,7 +41,7 @@ use sstore_core::wire::Msg;
 use sstore_core::Context;
 use sstore_simnet::SimTime;
 
-use crate::backoff::jittered;
+use crate::backoff::LinkHealth;
 use crate::conn::{FrameReader, WriteQueue};
 use crate::frame::encode_hello;
 use crate::NetClientConfig;
@@ -52,6 +52,13 @@ const SCRATCH: usize = 64 * 1024;
 /// Per-connection write-queue cap, as a multiple of the frame cap.
 const OUT_CAP_FRAMES: usize = 4;
 
+/// Completed-read latencies kept for the hedging percentile.
+const LAT_WINDOW: usize = 128;
+
+/// Minimum latency samples before hedging may trigger — below this the
+/// percentile is too noisy to call anything "slow".
+const HEDGE_MIN_SAMPLES: usize = 16;
+
 /// Per-server connection state.
 struct PipeLink {
     /// The non-blocking socket, if the link is up.
@@ -60,8 +67,23 @@ struct PipeLink {
     out: WriteQueue,
     /// Earliest time the next dial may be attempted.
     next_attempt: Instant,
-    /// Consecutive failed dials; drives the shared retry-policy backoff.
-    attempts: u32,
+    /// Fault streak and decorrelated-jitter redial pacing; quarantines
+    /// flapping links (see [`crate::LinkHealth`]).
+    health: LinkHealth,
+}
+
+/// Transport-level bookkeeping for one in-flight operation: the hard
+/// per-op deadline (the retry *budget* in wall-clock form) and the
+/// hedging state.
+struct Pending {
+    /// When the op is abandoned with [`Outcome::Unavailable`].
+    deadline: Instant,
+    /// Submission instant, for the completed-latency population.
+    submitted: Instant,
+    /// Read-family op, eligible for hedging and latency tracking.
+    read: bool,
+    /// Whether the one hedge this op gets has been spent.
+    hedged: bool,
 }
 
 /// A non-blocking, pipelining client handle. See the module docs.
@@ -76,6 +98,14 @@ pub struct PipeClient {
     stats: WireStats,
     done: Vec<OpResult>,
     scratch: Vec<u8>,
+    /// Transport bookkeeping per in-flight op (deadline, hedge state).
+    pending: HashMap<OpId, Pending>,
+    /// Ring of recent completed-read latencies (hedging percentile).
+    lat: Vec<Duration>,
+    lat_pos: usize,
+    sheds_seen: u64,
+    hedges: u64,
+    expired: u64,
 }
 
 impl PipeClient {
@@ -84,6 +114,9 @@ impl PipeClient {
         addrs: Vec<SocketAddr>,
         cfg: NetClientConfig,
     ) -> PipeClient {
+        let retry = core.retry_policy();
+        let min = Duration::from_micros(retry.dial_delay(1).as_micros());
+        let max = Duration::from_micros(retry.max_delay.as_micros());
         let links = addrs
             .iter()
             .map(|_| PipeLink {
@@ -91,7 +124,7 @@ impl PipeClient {
                 reader: FrameReader::new(cfg.max_frame),
                 out: WriteQueue::new(cfg.max_frame, cfg.max_frame.saturating_mul(OUT_CAP_FRAMES)),
                 next_attempt: Instant::now(),
-                attempts: 0,
+                health: LinkHealth::new(min, max, max),
             })
             .collect();
         let seed = 0xb1be ^ u64::from(core.id().0);
@@ -106,6 +139,12 @@ impl PipeClient {
             stats: WireStats::new(),
             done: Vec::new(),
             scratch: vec![0u8; SCRATCH],
+            pending: HashMap::new(),
+            lat: Vec::with_capacity(LAT_WINDOW),
+            lat_pos: 0,
+            sheds_seen: 0,
+            hedges: 0,
+            expired: 0,
         }
     }
 
@@ -129,6 +168,30 @@ impl PipeClient {
         &self.stats
     }
 
+    /// Explicit load-shed responses received from servers. A shed is the
+    /// server saying "overloaded, retry elsewhere" — distinguishable from
+    /// Byzantine silence, and escalated immediately by the core.
+    pub fn sheds_seen(&self) -> u64 {
+        self.sheds_seen
+    }
+
+    /// Reads hedged to one extra server after crossing the configured
+    /// latency percentile ([`NetClientConfig::hedge_percentile`]).
+    pub fn hedges(&self) -> u64 {
+        self.hedges
+    }
+
+    /// Operations abandoned at their per-op deadline and surfaced as
+    /// [`Outcome::Unavailable`] completions.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Links currently quarantined as flapping by their health score.
+    pub fn quarantined_links(&self) -> usize {
+        self.links.iter().filter(|l| l.health.quarantined()).count()
+    }
+
     fn now(&self) -> SimTime {
         SimTime::from_micros(u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX))
     }
@@ -141,8 +204,19 @@ impl PipeClient {
     /// returned [`OpId`] matches the eventual [`OpResult::op`].
     pub fn submit(&mut self, op: ClientOp) -> OpId {
         self.ensure_links();
+        let read = matches!(op, ClientOp::Read { .. } | ClientOp::MwRead { .. });
         let now = self.now();
         let (op_id, out) = self.core.begin(op, now, &mut self.rng);
+        let started = Instant::now();
+        self.pending.insert(
+            op_id,
+            Pending {
+                deadline: started + self.cfg.request_timeout,
+                submitted: started,
+                read,
+                hedged: false,
+            },
+        );
         self.apply(out);
         op_id
     }
@@ -162,23 +236,30 @@ impl PipeClient {
         self.ensure_links();
         self.fire_due_timers();
         self.read_links();
+        self.expire_overdue();
+        self.maybe_hedge();
         self.flush_links();
         std::mem::take(&mut self.done)
     }
 
     /// Pumps until at least one operation completes or `deadline`
-    /// passes, sleeping briefly between empty rounds.
+    /// passes, sleeping briefly between empty rounds. Per-op deadlines
+    /// fire *inside* the pump, so an operation past its retry budget
+    /// comes back as a completed [`Outcome::Unavailable`] result rather
+    /// than lingering in the op table forever.
     pub fn pump_until(&mut self, deadline: Instant) -> Vec<OpResult> {
         loop {
             let done = self.pump();
             if !done.is_empty() || Instant::now() >= deadline {
                 return done;
             }
+            let next_expiry = self.pending.values().map(|p| p.deadline).min();
             let wake = self
                 .timers
                 .peek()
                 .map(|Reverse((t, _))| *t)
                 .unwrap_or(deadline)
+                .min(next_expiry.unwrap_or(deadline))
                 .min(deadline);
             let nap = wake
                 .saturating_duration_since(Instant::now())
@@ -196,7 +277,91 @@ impl PipeClient {
             let at = Instant::now() + Duration::from_micros(delay.as_micros());
             self.timers.push(Reverse((at, token)));
         }
-        self.done.extend(out.done);
+        for r in out.done {
+            if let Some(p) = self.pending.remove(&r.op) {
+                if p.read && matches!(r.outcome, Outcome::ReadOk { .. }) {
+                    self.record_latency(p.submitted.elapsed());
+                }
+            }
+            self.done.push(r);
+        }
+    }
+
+    /// Banks one completed-read latency in the bounded ring.
+    fn record_latency(&mut self, d: Duration) {
+        if self.lat.len() < LAT_WINDOW {
+            self.lat.push(d);
+        } else {
+            if let Some(slot) = self.lat.get_mut(self.lat_pos) {
+                *slot = d;
+            }
+            self.lat_pos = (self.lat_pos + 1) % LAT_WINDOW;
+        }
+    }
+
+    /// Abandons every op past its per-op deadline, surfacing each as a
+    /// completed [`Outcome::Unavailable`] result — the transport-level
+    /// retry budget: however many protocol rounds remain, the caller gets
+    /// an answer by `submit + request_timeout`.
+    fn expire_overdue(&mut self) {
+        let cutoff = Instant::now();
+        let overdue: Vec<OpId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| cutoff >= p.deadline)
+            .map(|(id, _)| *id)
+            .collect();
+        for op_id in overdue {
+            self.pending.remove(&op_id);
+            let now = self.now();
+            if let Some(r) = self.core.expire(op_id, now) {
+                self.expired = self.expired.saturating_add(1);
+                self.done.push(r);
+            }
+        }
+    }
+
+    /// Hedges reads that have outlived the configured percentile of the
+    /// recent completed-read latency population: one extra server gets
+    /// the current-phase request, once per op, without consuming a retry
+    /// round. Off unless [`NetClientConfig::hedge_percentile`] is set and
+    /// enough samples have accumulated.
+    fn maybe_hedge(&mut self) {
+        let Some(p) = self.cfg.hedge_percentile else {
+            return;
+        };
+        if self.lat.len() < HEDGE_MIN_SAMPLES {
+            return;
+        }
+        let threshold = self.latency_percentile(p);
+        let cutoff = Instant::now();
+        let slow: Vec<OpId> = self
+            .pending
+            .iter()
+            .filter(|(_, t)| {
+                t.read && !t.hedged && cutoff.saturating_duration_since(t.submitted) > threshold
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for op_id in slow {
+            if let Some(t) = self.pending.get_mut(&op_id) {
+                t.hedged = true;
+            }
+            let now = self.now();
+            let out = self.core.hedge(op_id, now);
+            if !out.sends.is_empty() {
+                self.hedges = self.hedges.saturating_add(1);
+            }
+            self.apply(out);
+        }
+    }
+
+    /// The `p`-percentile of the recent completed-read latencies.
+    fn latency_percentile(&self, p: f64) -> Duration {
+        let mut v = self.lat.clone();
+        v.sort_unstable();
+        let idx = ((v.len().saturating_sub(1)) as f64 * p.clamp(0.0, 1.0)) as usize;
+        v.get(idx).copied().unwrap_or(Duration::MAX)
     }
 
     /// Enqueues one message for `to` if its link is up; silence if not.
@@ -221,7 +386,6 @@ impl PipeClient {
     /// `connect_timeout`); jittered retry-policy backoff paces attempts.
     fn ensure_links(&mut self) {
         let me = self.core.id();
-        let retry = self.core.retry_policy();
         for i in 0..self.links.len() {
             let due = match self.links.get(i) {
                 Some(link) => link.stream.is_none() && Instant::now() >= link.next_attempt,
@@ -244,7 +408,7 @@ impl PipeClient {
             };
             match dialed {
                 Ok(stream) => {
-                    link.attempts = 0;
+                    link.health.on_connect(Instant::now());
                     link.reader = FrameReader::new(self.cfg.max_frame);
                     link.out = WriteQueue::new(
                         self.cfg.max_frame,
@@ -256,23 +420,24 @@ impl PipeClient {
                     link.stream = Some(stream);
                 }
                 Err(_) => {
-                    link.attempts = link.attempts.saturating_add(1);
-                    let delay = retry.dial_delay(link.attempts);
-                    let delay = jittered(Duration::from_micros(delay.as_micros()), &mut self.rng);
+                    let delay = link.health.on_dial_failure(&mut self.rng);
                     link.next_attempt = Instant::now() + delay;
                 }
             }
         }
     }
 
-    /// Tears down server `i`'s connection; the next pump may redial.
+    /// Tears down server `i`'s connection. Redial pacing comes from the
+    /// link's health score: a long-lived connection that died redials
+    /// promptly, while a flapping link keeps its fault streak and backs
+    /// off — quarantined out of quorum formation until it stays up.
     fn drop_link(&mut self, i: usize) {
         if let Some(link) = self.links.get_mut(i) {
             if let Some(stream) = link.stream.take() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
-            link.next_attempt = Instant::now();
-            link.attempts = 0;
+            let delay = link.health.on_drop(Instant::now(), &mut self.rng);
+            link.next_attempt = Instant::now() + delay;
         }
     }
 
@@ -347,6 +512,9 @@ impl PipeClient {
             }
             let sid = ServerId(u16::try_from(i).unwrap_or(u16::MAX));
             for msg in inbound {
+                if matches!(msg, Msg::Shed { .. }) {
+                    self.sheds_seen = self.sheds_seen.saturating_add(1);
+                }
                 let now = self.now();
                 let out = self.core.on_message(sid, msg, now);
                 self.apply(out);

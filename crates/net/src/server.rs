@@ -225,6 +225,27 @@ impl NetServer {
         }
     }
 
+    /// Requests refused with an explicit [`Msg::Shed`] reply because the
+    /// requesting connection's write queue crossed its high-water mark.
+    /// Only the event loop sheds; the threaded path reports 0.
+    pub fn shed_count(&self) -> u64 {
+        match &self.imp {
+            Imp::Threaded(_) => 0,
+            Imp::Event(handle) => handle.shared.sheds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Frames dropped at write-queue backpressure caps (silence from the
+    /// receiver's view), totalled across live and closed connections.
+    /// Only the event loop uses bounded write queues; the threaded path
+    /// reports 0.
+    pub fn dropped_frames(&self) -> u64 {
+        match &self.imp {
+            Imp::Threaded(_) => 0,
+            Imp::Event(handle) => handle.shared.drops.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs `f` against the server state machine (test/inspection hook).
     pub fn with_node<R>(&self, f: impl FnOnce(&ServerNode) -> R) -> R {
         match &self.imp {

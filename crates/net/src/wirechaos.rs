@@ -1,0 +1,2348 @@
+//! Wire-level chaos: seeded fault injection between real clients and
+//! real `sstore-server` processes.
+//!
+//! [`crate::NetClient`]'s protocol logic is validated twice before it
+//! reaches this module: once in the deterministic simulator
+//! ([`sstore_core::chaos`]) and once over in-process channels. What
+//! neither layer exercises is the *wire itself* — kernel socket
+//! buffers, partial reads, RST mid-frame, a peer that accepts and then
+//! says nothing. This module closes that gap with a seeded,
+//! deterministic-schedule TCP proxy interposed on every client↔server
+//! link of a real multi-process cluster:
+//!
+//! - **added latency / jitter** — per-chunk forwarding delay;
+//! - **bandwidth throttle** — slow-loris trickle, a few bytes per tick;
+//! - **byte corruption** — a bit flipped in every k-th forwarded chunk
+//!   (framing or signature checks must reject it; nothing may panic);
+//! - **connection resets** — live connections torn down mid-frame;
+//! - **half-open links** — accept, then silence, forever;
+//! - **partitions** — connections refused and existing ones severed;
+//! - **process kill/restart** — a real `SIGKILL` against the server
+//!   process, restarted later at the same data dir (WAL recovery).
+//!
+//! The machinery mirrors [`sstore_core::chaos`]: a pure
+//! [`generate`] maps `(seed, config)` to a [`WireSchedule`], [`run`]
+//! executes it against a freshly spawned cluster and judges the
+//! observed operation history with the same two oracles (safety:
+//! provenance + per-client timestamp monotonicity; liveness:
+//! calm-phase operations succeed), [`shrink`] delta-debugs failing
+//! schedules, and a versioned text grammar
+//! (`sstore-wirechaos-schedule v1`) replays them byte-for-byte.
+//!
+//! Faults are only scheduled inside the turbulence window; the safety
+//! oracle must hold *always* (real servers are honest, and signatures
+//! make corrupted bytes detectable), while liveness is only demanded
+//! of operations issued after turbulence ends and the settle window
+//! (sized past the maximum redial backoff) has elapsed. The
+//! over-faulted probe partitions `b + 1` servers for the whole run —
+//! the harness must flag those seeds, or it isn't measuring anything.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::io::{ErrorKind, Read as _, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sstore_core::chaos::{chaos_value, parse_chaos_value};
+use sstore_core::client::{ClientOp, OpResult, Outcome};
+use sstore_core::types::{Consistency, DataId, GroupId, Timestamp, TsOrder};
+use sstore_core::ClientConfig;
+
+use crate::pipeline::PipeClient;
+use crate::{NetClientConfig, NetCluster};
+
+/// All chaos traffic lives in one data group, like the simulator's.
+const GROUP: GroupId = GroupId(1);
+
+/// Seed salt: decouples the schedule stream from other uses of a seed.
+const SALT: u64 = 0x71bc_a05e_ed0b_57ac;
+
+/// Key seed shared by servers and clients (stands in for the paper's
+/// well-known client public keys).
+const KEY_SEED: u64 = 0x7ea1;
+
+/// How long [`run`] waits for a spawned server to accept connections.
+const SPAWN_DEADLINE: Duration = Duration::from_secs(20);
+
+/// Proxy pump read timeout — the cadence at which fault windows and the
+/// stop flag are rechecked on an idle connection.
+const PUMP_TICK: Duration = Duration::from_millis(20);
+
+/// Campaign configuration: cluster shape plus schedule-drawing knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireChaosConfig {
+    /// Servers in the cluster.
+    pub n: usize,
+    /// Fault budget the deployment claims to tolerate.
+    pub b: usize,
+    /// Concurrent pipelined clients.
+    pub clients: usize,
+    /// Most faults drawn per schedule.
+    pub faults_max: usize,
+    /// Most turbulent-phase steps drawn per client.
+    pub steps_max: usize,
+    /// Fault windows end by this offset (ms from epoch).
+    pub turbulence_ms: u64,
+    /// Quiet gap after turbulence before calm-phase ops are issued;
+    /// must exceed the client's maximum redial backoff.
+    pub settle_ms: u64,
+    /// Hard wall-clock cap on the whole run (ms from epoch).
+    pub deadline_ms: u64,
+    /// Partition `b + 1` servers for the entire run: the liveness
+    /// oracle is *expected* to flag these seeds.
+    pub over_faulted: bool,
+}
+
+impl WireChaosConfig {
+    /// The standard campaign: faults within budget, both oracles must
+    /// hold on every seed.
+    pub fn standard(n: usize, b: usize) -> WireChaosConfig {
+        WireChaosConfig {
+            n,
+            b,
+            clients: 2,
+            faults_max: 5,
+            steps_max: 7,
+            turbulence_ms: 1800,
+            settle_ms: 2400,
+            deadline_ms: 12_000,
+            over_faulted: false,
+        }
+    }
+
+    /// The probe campaign: `b + 1` servers partitioned past the
+    /// deadline, so calm-phase quorums starve and liveness must flag.
+    pub fn over_faulted(n: usize, b: usize) -> WireChaosConfig {
+        WireChaosConfig {
+            over_faulted: true,
+            ..WireChaosConfig::standard(n, b)
+        }
+    }
+}
+
+/// One scheduled fault on a client↔server link (or, for kills, on the
+/// server process itself). All times are ms offsets from the epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFault {
+    /// Delay every forwarded chunk by `delay_ms` plus deterministic
+    /// jitter in `0..=jitter_ms` while the window is open.
+    Latency {
+        /// Target server link.
+        server: usize,
+        /// Window start (ms).
+        from_ms: u64,
+        /// Window end (ms).
+        to_ms: u64,
+        /// Base added delay per chunk.
+        delay_ms: u64,
+        /// Extra deterministic jitter bound.
+        jitter_ms: u64,
+    },
+    /// Forward at most `bytes_per_tick` bytes per 10 ms tick — the
+    /// slow-loris trickle.
+    Throttle {
+        /// Target server link.
+        server: usize,
+        /// Window start (ms).
+        from_ms: u64,
+        /// Window end (ms).
+        to_ms: u64,
+        /// Bytes forwarded per 10 ms tick.
+        bytes_per_tick: u64,
+    },
+    /// Flip one bit in every `every`-th forwarded chunk.
+    Corrupt {
+        /// Target server link.
+        server: usize,
+        /// Window start (ms).
+        from_ms: u64,
+        /// Window end (ms).
+        to_ms: u64,
+        /// Corrupt every k-th chunk.
+        every: u64,
+    },
+    /// Abruptly close every live proxied connection at `at_ms` —
+    /// mid-frame if bytes are in flight.
+    Reset {
+        /// Target server link.
+        server: usize,
+        /// Reset instant (ms).
+        at_ms: u64,
+    },
+    /// Accept client connections but never bridge them to the server
+    /// and never send a byte back — silence, not an error.
+    HalfOpen {
+        /// Target server link.
+        server: usize,
+        /// Window start (ms).
+        from_ms: u64,
+        /// Window end (ms).
+        to_ms: u64,
+    },
+    /// Sever existing proxied connections and refuse new ones.
+    Partition {
+        /// Target server link.
+        server: usize,
+        /// Window start (ms).
+        from_ms: u64,
+        /// Window end (ms).
+        to_ms: u64,
+    },
+    /// `SIGKILL` the server process at `at_ms`; respawn it at the same
+    /// data dir `restart_after_ms` later (WAL recovery on the way up).
+    Kill {
+        /// Target server process.
+        server: usize,
+        /// Kill instant (ms).
+        at_ms: u64,
+        /// Gap before the respawn.
+        restart_after_ms: u64,
+    },
+}
+
+impl WireFault {
+    /// The server whose link (or process) this fault targets.
+    pub fn server(&self) -> usize {
+        match *self {
+            WireFault::Latency { server, .. }
+            | WireFault::Throttle { server, .. }
+            | WireFault::Corrupt { server, .. }
+            | WireFault::Reset { server, .. }
+            | WireFault::HalfOpen { server, .. }
+            | WireFault::Partition { server, .. }
+            | WireFault::Kill { server, .. } => server,
+        }
+    }
+
+    /// Whether the fault makes the server wholly unreachable while
+    /// active (and so counts against the budget `b`).
+    pub fn is_hard(&self) -> bool {
+        matches!(
+            self,
+            WireFault::HalfOpen { .. } | WireFault::Partition { .. } | WireFault::Kill { .. }
+        )
+    }
+}
+
+/// One step of a client's scripted workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireStep {
+    /// Idle for `ms` milliseconds.
+    Wait {
+        /// Pause length.
+        ms: u64,
+    },
+    /// Single-writer write of `chaos_value(client, data, k)`.
+    Write {
+        /// Target item.
+        data: u64,
+        /// Per-(client, item) write counter, for provenance.
+        k: u64,
+    },
+    /// Single-writer read.
+    Read {
+        /// Target item.
+        data: u64,
+    },
+    /// Multi-writer write of `chaos_value(client, data, k)`.
+    MwWrite {
+        /// Target item.
+        data: u64,
+        /// Per-(client, item) write counter, for provenance.
+        k: u64,
+    },
+    /// Multi-writer read.
+    MwRead {
+        /// Target item.
+        data: u64,
+    },
+}
+
+impl WireStep {
+    /// Whether the step issues an operation (and so yields a result).
+    pub fn produces_result(&self) -> bool {
+        !matches!(self, WireStep::Wait { .. })
+    }
+}
+
+/// One client's scripted workload. Steps at `calm_from..` are issued
+/// only after turbulence plus settle have elapsed, and must succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireScript {
+    /// Index of the first calm-phase step.
+    pub calm_from: usize,
+    /// The steps, in issue order (each is synchronous).
+    pub steps: Vec<WireStep>,
+}
+
+/// A complete, self-contained wire-chaos schedule: everything [`run`]
+/// needs, round-trippable through the text grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSchedule {
+    /// The seed it was generated from (identification only).
+    pub seed: u64,
+    /// Servers.
+    pub n: usize,
+    /// Fault budget.
+    pub b: usize,
+    /// Fault windows end by this ms offset.
+    pub turbulence_ms: u64,
+    /// Quiet gap before calm-phase ops.
+    pub settle_ms: u64,
+    /// Hard cap on the run.
+    pub deadline_ms: u64,
+    /// The fault schedule.
+    pub faults: Vec<WireFault>,
+    /// Per-client workloads.
+    pub clients: Vec<WireScript>,
+}
+
+/// Which oracle a failing run tripped. Safety dominates liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFailureClass {
+    /// Provenance or timestamp-order violation: never acceptable.
+    Safety,
+    /// A calm-phase operation failed or the run overran its deadline.
+    Liveness,
+}
+
+/// The judged outcome of one [`run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireVerdict {
+    /// Schedule seed.
+    pub seed: u64,
+    /// Safety-oracle violations (must always be empty).
+    pub safety: Vec<String>,
+    /// Liveness-oracle violations.
+    pub liveness: Vec<String>,
+    /// Operations issued (turbulent and calm).
+    pub ops_total: usize,
+    /// Operations that completed successfully.
+    pub ops_ok: usize,
+    /// Explicit `Msg::Shed` overload replies observed by clients.
+    pub sheds_seen: u64,
+    /// Reads hedged to an extra server past the latency percentile.
+    pub hedges: u64,
+    /// Operations abandoned at their per-op deadline.
+    pub expired: u64,
+    /// Client links quarantined as flapping at run end.
+    pub quarantined: usize,
+}
+
+impl WireVerdict {
+    /// No safety violations.
+    pub fn safety_ok(&self) -> bool {
+        self.safety.is_empty()
+    }
+
+    /// No liveness violations.
+    pub fn liveness_ok(&self) -> bool {
+        self.liveness.is_empty()
+    }
+
+    /// Both oracles held.
+    pub fn passed(&self) -> bool {
+        self.safety_ok() && self.liveness_ok()
+    }
+
+    /// The dominating failure class, if any.
+    pub fn class(&self) -> Option<WireFailureClass> {
+        if !self.safety_ok() {
+            Some(WireFailureClass::Safety)
+        } else if !self.liveness_ok() {
+            Some(WireFailureClass::Liveness)
+        } else {
+            None
+        }
+    }
+}
+
+/// Knobs for executing a schedule against a real cluster.
+#[derive(Debug, Clone)]
+pub struct WireRunOptions {
+    /// Path to the `sstore-server` binary. Defaults to a sibling of the
+    /// current executable (both live in the same target dir).
+    pub server_bin: PathBuf,
+    /// `--fsync` policy passed to every server; group commit by default
+    /// so kills exercise held-ack recovery.
+    pub fsync: String,
+    /// Per-operation client deadline (the retry budget in wall-clock
+    /// form); overdue ops surface as `Unavailable`.
+    pub request_timeout_ms: u64,
+    /// Hedge reads past this completed-latency percentile.
+    pub hedge_percentile: Option<f64>,
+}
+
+impl Default for WireRunOptions {
+    fn default() -> WireRunOptions {
+        let server_bin = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("sstore-server")))
+            .unwrap_or_else(|| PathBuf::from("sstore-server"));
+        WireRunOptions {
+            server_bin,
+            fsync: "group-commit:8:500".to_string(),
+            request_timeout_ms: 900,
+            hedge_percentile: Some(0.95),
+        }
+    }
+}
+
+/// Result of [`shrink`].
+#[derive(Debug, Clone)]
+pub struct WireShrinkResult {
+    /// The minimal still-failing schedule.
+    pub schedule: WireSchedule,
+    /// The failure class it reproduces.
+    pub class: WireFailureClass,
+    /// Real cluster runs spent.
+    pub runs: usize,
+}
+
+// ---------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------
+
+/// Fisher–Yates over `0..n`, truncated to `count` picks.
+fn pick_distinct(rng: &mut StdRng, n: usize, count: usize) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..n).collect();
+    let len = ids.len();
+    for i in (1..len).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    ids.truncate(count.min(n));
+    ids
+}
+
+/// One member of `pool`, or `None` if it is empty.
+fn pick(rng: &mut StdRng, pool: &[u64]) -> Option<u64> {
+    if pool.is_empty() {
+        return None;
+    }
+    pool.get(rng.gen_range(0..pool.len())).copied()
+}
+
+/// Next `k` for `(client, data)` provenance values.
+fn bump(next_k: &mut HashMap<u64, u64>, data: u64) -> u64 {
+    let e = next_k.entry(data).or_insert(0);
+    let k = *e;
+    *e = e.saturating_add(1);
+    k
+}
+
+/// A fault window inside `[0, turbulence)`, at least 200 ms long when
+/// the turbulence budget allows it.
+fn window(rng: &mut StdRng, turbulence: u64) -> (u64, u64) {
+    let half = (turbulence / 2).max(1);
+    let from = rng.gen_range(0..half);
+    let lo = (from + 200).min(turbulence);
+    let to = if lo >= turbulence {
+        turbulence
+    } else {
+        rng.gen_range(lo..=turbulence)
+    };
+    (from, to)
+}
+
+/// Pure schedule generation: the same `(seed, cfg)` always yields the
+/// same schedule, so campaigns are reproducible from the seed alone.
+pub fn generate(seed: u64, cfg: &WireChaosConfig) -> WireSchedule {
+    let mut rng = StdRng::seed_from_u64(seed ^ SALT);
+    // Hard faults (half-open, partition, kill) are confined to a fixed
+    // set of `b` servers so concurrent hard-faulted servers never
+    // exceed the budget the deployment claims to tolerate.
+    let hard = pick_distinct(&mut rng, cfg.n, cfg.b);
+    let mut faults: Vec<WireFault> = Vec::new();
+    let mut killed: HashSet<usize> = HashSet::new();
+    let count = rng.gen_range(2..=cfg.faults_max.max(2));
+    for _ in 0..count {
+        let mut kind = rng.gen_range(0..10u32);
+        if kind >= 7 && hard.is_empty() {
+            kind = rng.gen_range(0..7u32);
+        }
+        let soft_server = rng.gen_range(0..cfg.n.max(1));
+        let hard_server = pick(
+            &mut rng,
+            &hard.iter().map(|&s| s as u64).collect::<Vec<u64>>(),
+        )
+        .map(|s| s as usize)
+        .unwrap_or(soft_server);
+        let fault = match kind {
+            0 | 1 => {
+                let (from_ms, to_ms) = window(&mut rng, cfg.turbulence_ms);
+                WireFault::Latency {
+                    server: soft_server,
+                    from_ms,
+                    to_ms,
+                    delay_ms: rng.gen_range(20..=150),
+                    jitter_ms: rng.gen_range(0..=60),
+                }
+            }
+            2 | 3 => {
+                let (from_ms, to_ms) = window(&mut rng, cfg.turbulence_ms);
+                WireFault::Throttle {
+                    server: soft_server,
+                    from_ms,
+                    to_ms,
+                    bytes_per_tick: rng.gen_range(64..=512),
+                }
+            }
+            4 | 5 => {
+                let (from_ms, to_ms) = window(&mut rng, cfg.turbulence_ms);
+                WireFault::Corrupt {
+                    server: soft_server,
+                    from_ms,
+                    to_ms,
+                    every: rng.gen_range(2..=6),
+                }
+            }
+            6 => WireFault::Reset {
+                server: soft_server,
+                at_ms: rng.gen_range(100..cfg.turbulence_ms.max(101)),
+            },
+            7 => {
+                let (from_ms, to_ms) = window(&mut rng, cfg.turbulence_ms);
+                WireFault::HalfOpen {
+                    server: hard_server,
+                    from_ms,
+                    to_ms,
+                }
+            }
+            8 => {
+                let (from_ms, to_ms) = window(&mut rng, cfg.turbulence_ms);
+                WireFault::Partition {
+                    server: hard_server,
+                    from_ms,
+                    to_ms,
+                }
+            }
+            _ => {
+                let half = (cfg.turbulence_ms / 2).max(101);
+                let at_ms = rng.gen_range(100..half);
+                let restart_after_ms = rng.gen_range(300..=(cfg.turbulence_ms - at_ms).max(301));
+                if killed.insert(hard_server) {
+                    WireFault::Kill {
+                        server: hard_server,
+                        at_ms,
+                        restart_after_ms,
+                    }
+                } else {
+                    // One kill per server; a second draw degrades to a
+                    // partition over the same span.
+                    WireFault::Partition {
+                        server: hard_server,
+                        from_ms: at_ms,
+                        to_ms: (at_ms + restart_after_ms).min(cfg.turbulence_ms),
+                    }
+                }
+            }
+        };
+        faults.push(fault);
+    }
+    if cfg.over_faulted {
+        // The probe: b + 1 servers unreachable for the whole run. Calm
+        // quorums that need them cannot form; liveness must flag.
+        for s in pick_distinct(&mut rng, cfg.n, (cfg.b + 1).min(cfg.n)) {
+            faults.push(WireFault::Partition {
+                server: s,
+                from_ms: 0,
+                to_ms: cfg.deadline_ms,
+            });
+        }
+    }
+
+    let mut clients = Vec::new();
+    for c in 0..cfg.clients.max(1) {
+        let sw_pool: Vec<u64> = (0..3).map(|i| 10 * (c as u64) + 1 + i).collect();
+        let mw_pool: Vec<u64> = vec![101, 102];
+        let mut next_k: HashMap<u64, u64> = HashMap::new();
+        let mut written_sw: Vec<u64> = Vec::new();
+        let mut written_mw: Vec<u64> = Vec::new();
+        let mut steps: Vec<WireStep> = Vec::new();
+        let count = rng.gen_range(3..=cfg.steps_max.max(3));
+        for _ in 0..count {
+            let step = match rng.gen_range(0..8u32) {
+                0 | 1 => WireStep::Wait {
+                    ms: rng.gen_range(40..=240),
+                },
+                2 | 3 => match pick(&mut rng, &sw_pool) {
+                    Some(data) => {
+                        written_sw.push(data);
+                        WireStep::Write {
+                            data,
+                            k: bump(&mut next_k, data),
+                        }
+                    }
+                    None => WireStep::Wait { ms: 50 },
+                },
+                4 => match pick(&mut rng, &written_sw) {
+                    Some(data) => WireStep::Read { data },
+                    None => match pick(&mut rng, &sw_pool) {
+                        Some(data) => {
+                            written_sw.push(data);
+                            WireStep::Write {
+                                data,
+                                k: bump(&mut next_k, data),
+                            }
+                        }
+                        None => WireStep::Wait { ms: 50 },
+                    },
+                },
+                5 | 6 => match pick(&mut rng, &mw_pool) {
+                    Some(data) => {
+                        written_mw.push(data);
+                        WireStep::MwWrite {
+                            data,
+                            k: bump(&mut next_k, data),
+                        }
+                    }
+                    None => WireStep::Wait { ms: 50 },
+                },
+                _ => match pick(&mut rng, &written_mw) {
+                    Some(data) => WireStep::MwRead { data },
+                    None => match pick(&mut rng, &mw_pool) {
+                        Some(data) => {
+                            written_mw.push(data);
+                            WireStep::MwWrite {
+                                data,
+                                k: bump(&mut next_k, data),
+                            }
+                        }
+                        None => WireStep::Wait { ms: 50 },
+                    },
+                },
+            };
+            steps.push(step);
+        }
+        let calm_from = steps.len();
+        // The calm block is self-contained: each read follows a calm
+        // write of the same item, so it cannot be starved by turbulent
+        // writes that never landed.
+        if let Some(&data) = sw_pool.first() {
+            steps.push(WireStep::Write {
+                data,
+                k: bump(&mut next_k, data),
+            });
+            steps.push(WireStep::Read { data });
+        }
+        if let Some(&data) = mw_pool.first() {
+            steps.push(WireStep::MwWrite {
+                data,
+                k: bump(&mut next_k, data),
+            });
+            steps.push(WireStep::MwRead { data });
+        }
+        clients.push(WireScript { calm_from, steps });
+    }
+
+    WireSchedule {
+        seed,
+        n: cfg.n,
+        b: cfg.b,
+        turbulence_ms: cfg.turbulence_ms,
+        settle_ms: cfg.settle_ms,
+        deadline_ms: cfg.deadline_ms,
+        faults,
+        clients,
+    }
+}
+
+/// Rejects malformed schedules with an explanation rather than letting
+/// [`run`] misbehave on them (replay files are hand-editable).
+pub fn validate(s: &WireSchedule) -> Result<(), String> {
+    if s.n == 0 || s.n > 16 {
+        return Err(format!("n={} out of range 1..=16", s.n));
+    }
+    if s.n < 3 * s.b + 1 {
+        return Err(format!("n={} violates n >= 3b+1 for b={}", s.n, s.b));
+    }
+    if s.clients.is_empty() || s.clients.len() > 16 {
+        return Err(format!("{} clients out of range 1..=16", s.clients.len()));
+    }
+    if s.turbulence_ms < 200 {
+        return Err("turbulence < 200 ms".to_string());
+    }
+    if s.deadline_ms < s.turbulence_ms + s.settle_ms + 500 {
+        return Err("deadline leaves no calm window".to_string());
+    }
+    for f in &s.faults {
+        if f.server() >= s.n {
+            return Err(format!("fault targets server {} >= n", f.server()));
+        }
+        match *f {
+            WireFault::Latency {
+                from_ms,
+                to_ms,
+                delay_ms,
+                ..
+            } => {
+                if from_ms >= to_ms || to_ms > s.deadline_ms {
+                    return Err(format!("bad latency window {from_ms}..{to_ms}"));
+                }
+                if delay_ms > 10_000 {
+                    return Err("latency delay > 10 s".to_string());
+                }
+            }
+            WireFault::Throttle {
+                from_ms,
+                to_ms,
+                bytes_per_tick,
+                ..
+            } => {
+                if from_ms >= to_ms || to_ms > s.deadline_ms {
+                    return Err(format!("bad throttle window {from_ms}..{to_ms}"));
+                }
+                if bytes_per_tick == 0 {
+                    return Err("throttle of 0 bytes/tick is a partition".to_string());
+                }
+            }
+            WireFault::Corrupt {
+                from_ms,
+                to_ms,
+                every,
+                ..
+            } => {
+                if from_ms >= to_ms || to_ms > s.deadline_ms {
+                    return Err(format!("bad corrupt window {from_ms}..{to_ms}"));
+                }
+                if every == 0 {
+                    return Err("corrupt every=0".to_string());
+                }
+            }
+            WireFault::Reset { at_ms, .. } => {
+                if at_ms > s.deadline_ms {
+                    return Err("reset past deadline".to_string());
+                }
+            }
+            WireFault::HalfOpen { from_ms, to_ms, .. }
+            | WireFault::Partition { from_ms, to_ms, .. } => {
+                if from_ms >= to_ms || to_ms > s.deadline_ms {
+                    return Err(format!("bad hard-fault window {from_ms}..{to_ms}"));
+                }
+            }
+            WireFault::Kill {
+                at_ms,
+                restart_after_ms,
+                ..
+            } => {
+                if restart_after_ms == 0 {
+                    return Err("kill with restart=0".to_string());
+                }
+                if at_ms.saturating_add(restart_after_ms) > s.deadline_ms {
+                    return Err("kill/restart past deadline".to_string());
+                }
+            }
+        }
+    }
+    let mut sw_owner: HashMap<u64, usize> = HashMap::new();
+    for (c, script) in s.clients.iter().enumerate() {
+        if script.calm_from > script.steps.len() {
+            return Err(format!("client {c}: calm_from past end of script"));
+        }
+        let mut written_sw: HashSet<u64> = HashSet::new();
+        let mut written_mw: HashSet<u64> = HashSet::new();
+        for step in &script.steps {
+            match *step {
+                WireStep::Write { data, .. } => {
+                    match sw_owner.insert(data, c) {
+                        Some(owner) if owner != c => {
+                            return Err(format!(
+                                "single-writer item x{data} written by clients {owner} and {c}"
+                            ));
+                        }
+                        _ => {}
+                    }
+                    written_sw.insert(data);
+                }
+                WireStep::Read { data } => {
+                    if !written_sw.contains(&data) {
+                        return Err(format!("client {c} reads x{data} before writing it"));
+                    }
+                }
+                WireStep::MwWrite { data, .. } => {
+                    written_mw.insert(data);
+                }
+                WireStep::MwRead { data } => {
+                    if !written_mw.contains(&data) {
+                        return Err(format!("client {c} mw-reads x{data} before mw-writing it"));
+                    }
+                }
+                WireStep::Wait { .. } => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Text grammar (replay files)
+// ---------------------------------------------------------------------
+
+/// Grammar header; bump the version when the format changes shape.
+const HEADER: &str = "sstore-wirechaos-schedule v1";
+
+impl WireSchedule {
+    /// Serializes to the versioned replay grammar. `from_text` of the
+    /// result reproduces `self` exactly (round-trip identity).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "seed {}", self.seed);
+        let _ = writeln!(out, "cluster n={} b={}", self.n, self.b);
+        let _ = writeln!(
+            out,
+            "phases turbulence={} settle={} deadline={}",
+            self.turbulence_ms, self.settle_ms, self.deadline_ms
+        );
+        for f in &self.faults {
+            match *f {
+                WireFault::Latency {
+                    server,
+                    from_ms,
+                    to_ms,
+                    delay_ms,
+                    jitter_ms,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "fault latency server={server} from={from_ms} to={to_ms} \
+                         delay={delay_ms} jitter={jitter_ms}"
+                    );
+                }
+                WireFault::Throttle {
+                    server,
+                    from_ms,
+                    to_ms,
+                    bytes_per_tick,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "fault throttle server={server} from={from_ms} to={to_ms} \
+                         bytes={bytes_per_tick}"
+                    );
+                }
+                WireFault::Corrupt {
+                    server,
+                    from_ms,
+                    to_ms,
+                    every,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "fault corrupt server={server} from={from_ms} to={to_ms} every={every}"
+                    );
+                }
+                WireFault::Reset { server, at_ms } => {
+                    let _ = writeln!(out, "fault reset server={server} at={at_ms}");
+                }
+                WireFault::HalfOpen {
+                    server,
+                    from_ms,
+                    to_ms,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "fault half-open server={server} from={from_ms} to={to_ms}"
+                    );
+                }
+                WireFault::Partition {
+                    server,
+                    from_ms,
+                    to_ms,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "fault partition server={server} from={from_ms} to={to_ms}"
+                    );
+                }
+                WireFault::Kill {
+                    server,
+                    at_ms,
+                    restart_after_ms,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "fault kill server={server} at={at_ms} restart={restart_after_ms}"
+                    );
+                }
+            }
+        }
+        for (c, script) in self.clients.iter().enumerate() {
+            let _ = writeln!(out, "client {c} calm_from={}", script.calm_from);
+            for step in &script.steps {
+                match *step {
+                    WireStep::Wait { ms } => {
+                        let _ = writeln!(out, "  step wait ms={ms}");
+                    }
+                    WireStep::Write { data, k } => {
+                        let _ = writeln!(out, "  step write data={data} k={k}");
+                    }
+                    WireStep::Read { data } => {
+                        let _ = writeln!(out, "  step read data={data}");
+                    }
+                    WireStep::MwWrite { data, k } => {
+                        let _ = writeln!(out, "  step mw-write data={data} k={k}");
+                    }
+                    WireStep::MwRead { data } => {
+                        let _ = writeln!(out, "  step mw-read data={data}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "end");
+        }
+        out
+    }
+
+    /// Parses the replay grammar, rejecting malformed input with a
+    /// line-anchored explanation (never a panic — replay files arrive
+    /// from disk and hand edits).
+    pub fn from_text(text: &str) -> Result<WireSchedule, String> {
+        fn kv(tok: Option<&&str>, key: &str) -> Result<u64, String> {
+            let tok = tok.ok_or_else(|| format!("missing {key}=N"))?;
+            let rest = tok
+                .strip_prefix(key)
+                .and_then(|r| r.strip_prefix('='))
+                .ok_or_else(|| format!("expected {key}=N, got {tok}"))?;
+            rest.parse::<u64>().map_err(|e| format!("bad {key}: {e}"))
+        }
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let header = lines.next().ok_or_else(|| "empty schedule".to_string())?;
+        if header != HEADER {
+            return Err(format!("bad header {header:?} (want {HEADER:?})"));
+        }
+        let mut seed: Option<u64> = None;
+        let mut n: Option<u64> = None;
+        let mut b: Option<u64> = None;
+        let mut phases: Option<(u64, u64, u64)> = None;
+        let mut faults: Vec<WireFault> = Vec::new();
+        let mut clients: Vec<WireScript> = Vec::new();
+        while let Some(line) = lines.next() {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks.first().copied() {
+                Some("seed") => {
+                    let v = toks
+                        .get(1)
+                        .ok_or_else(|| "seed needs a value".to_string())?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad seed: {e}"))?;
+                    seed = Some(v);
+                }
+                Some("cluster") => {
+                    n = Some(kv(toks.get(1), "n")?);
+                    b = Some(kv(toks.get(2), "b")?);
+                }
+                Some("phases") => {
+                    phases = Some((
+                        kv(toks.get(1), "turbulence")?,
+                        kv(toks.get(2), "settle")?,
+                        kv(toks.get(3), "deadline")?,
+                    ));
+                }
+                Some("fault") => {
+                    let server = kv(toks.get(2), "server")? as usize;
+                    let fault = match toks.get(1).copied() {
+                        Some("latency") => WireFault::Latency {
+                            server,
+                            from_ms: kv(toks.get(3), "from")?,
+                            to_ms: kv(toks.get(4), "to")?,
+                            delay_ms: kv(toks.get(5), "delay")?,
+                            jitter_ms: kv(toks.get(6), "jitter")?,
+                        },
+                        Some("throttle") => WireFault::Throttle {
+                            server,
+                            from_ms: kv(toks.get(3), "from")?,
+                            to_ms: kv(toks.get(4), "to")?,
+                            bytes_per_tick: kv(toks.get(5), "bytes")?,
+                        },
+                        Some("corrupt") => WireFault::Corrupt {
+                            server,
+                            from_ms: kv(toks.get(3), "from")?,
+                            to_ms: kv(toks.get(4), "to")?,
+                            every: kv(toks.get(5), "every")?,
+                        },
+                        Some("reset") => WireFault::Reset {
+                            server,
+                            at_ms: kv(toks.get(3), "at")?,
+                        },
+                        Some("half-open") => WireFault::HalfOpen {
+                            server,
+                            from_ms: kv(toks.get(3), "from")?,
+                            to_ms: kv(toks.get(4), "to")?,
+                        },
+                        Some("partition") => WireFault::Partition {
+                            server,
+                            from_ms: kv(toks.get(3), "from")?,
+                            to_ms: kv(toks.get(4), "to")?,
+                        },
+                        Some("kill") => WireFault::Kill {
+                            server,
+                            at_ms: kv(toks.get(3), "at")?,
+                            restart_after_ms: kv(toks.get(4), "restart")?,
+                        },
+                        other => return Err(format!("unknown fault kind {other:?}")),
+                    };
+                    faults.push(fault);
+                }
+                Some("client") => {
+                    let id = toks
+                        .get(1)
+                        .ok_or_else(|| "client needs an id".to_string())?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad client id: {e}"))?;
+                    if id != clients.len() {
+                        return Err(format!(
+                            "client blocks must be in order: got {id}, expected {}",
+                            clients.len()
+                        ));
+                    }
+                    let calm_from = kv(toks.get(2), "calm_from")? as usize;
+                    let mut steps: Vec<WireStep> = Vec::new();
+                    loop {
+                        let line = lines
+                            .next()
+                            .ok_or_else(|| format!("client {id}: missing end"))?;
+                        if line == "end" {
+                            break;
+                        }
+                        let st: Vec<&str> = line.split_whitespace().collect();
+                        if st.first().copied() != Some("step") {
+                            return Err(format!("client {id}: expected step or end, got {line:?}"));
+                        }
+                        let step = match st.get(1).copied() {
+                            Some("wait") => WireStep::Wait {
+                                ms: kv(st.get(2), "ms")?,
+                            },
+                            Some("write") => WireStep::Write {
+                                data: kv(st.get(2), "data")?,
+                                k: kv(st.get(3), "k")?,
+                            },
+                            Some("read") => WireStep::Read {
+                                data: kv(st.get(2), "data")?,
+                            },
+                            Some("mw-write") => WireStep::MwWrite {
+                                data: kv(st.get(2), "data")?,
+                                k: kv(st.get(3), "k")?,
+                            },
+                            Some("mw-read") => WireStep::MwRead {
+                                data: kv(st.get(2), "data")?,
+                            },
+                            other => return Err(format!("unknown step kind {other:?}")),
+                        };
+                        steps.push(step);
+                    }
+                    clients.push(WireScript { calm_from, steps });
+                }
+                other => return Err(format!("unknown directive {other:?}")),
+            }
+        }
+        let (turbulence_ms, settle_ms, deadline_ms) =
+            phases.ok_or_else(|| "missing phases line".to_string())?;
+        let schedule = WireSchedule {
+            seed: seed.ok_or_else(|| "missing seed line".to_string())?,
+            n: n.ok_or_else(|| "missing cluster line".to_string())? as usize,
+            b: b.ok_or_else(|| "missing cluster line".to_string())? as usize,
+            turbulence_ms,
+            settle_ms,
+            deadline_ms,
+            faults,
+            clients,
+        };
+        validate(&schedule)?;
+        Ok(schedule)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault plan resolution + the proxy
+// ---------------------------------------------------------------------
+
+/// A schedule's faults resolved down to one server link, in the form
+/// the proxy pump checks per forwarded chunk.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct LinkPlan {
+    /// `(from, to, delay, jitter)` windows.
+    latency: Vec<(u64, u64, u64, u64)>,
+    /// `(from, to, bytes_per_tick)` windows.
+    throttle: Vec<(u64, u64, u64)>,
+    /// `(from, to, every)` windows.
+    corrupt: Vec<(u64, u64, u64)>,
+    /// Reset instants.
+    resets: Vec<u64>,
+    /// Half-open windows.
+    half_open: Vec<(u64, u64)>,
+    /// Partition windows.
+    partition: Vec<(u64, u64)>,
+}
+
+impl LinkPlan {
+    fn for_server(s: &WireSchedule, server: usize) -> LinkPlan {
+        let mut plan = LinkPlan::default();
+        for f in s.faults.iter().filter(|f| f.server() == server) {
+            match *f {
+                WireFault::Latency {
+                    from_ms,
+                    to_ms,
+                    delay_ms,
+                    jitter_ms,
+                    ..
+                } => plan.latency.push((from_ms, to_ms, delay_ms, jitter_ms)),
+                WireFault::Throttle {
+                    from_ms,
+                    to_ms,
+                    bytes_per_tick,
+                    ..
+                } => plan.throttle.push((from_ms, to_ms, bytes_per_tick)),
+                WireFault::Corrupt {
+                    from_ms,
+                    to_ms,
+                    every,
+                    ..
+                } => plan.corrupt.push((from_ms, to_ms, every)),
+                WireFault::Reset { at_ms, .. } => plan.resets.push(at_ms),
+                WireFault::HalfOpen { from_ms, to_ms, .. } => plan.half_open.push((from_ms, to_ms)),
+                WireFault::Partition { from_ms, to_ms, .. } => {
+                    plan.partition.push((from_ms, to_ms))
+                }
+                WireFault::Kill { .. } => {}
+            }
+        }
+        plan
+    }
+
+    fn latency_at(&self, now: u64) -> Option<(u64, u64)> {
+        self.latency
+            .iter()
+            .find(|&&(f, t, _, _)| f <= now && now < t)
+            .map(|&(_, _, d, j)| (d, j))
+    }
+
+    fn throttle_at(&self, now: u64) -> Option<u64> {
+        self.throttle
+            .iter()
+            .find(|&&(f, t, _)| f <= now && now < t)
+            .map(|&(_, _, b)| b)
+    }
+
+    fn corrupt_at(&self, now: u64) -> Option<u64> {
+        self.corrupt
+            .iter()
+            .find(|&&(f, t, _)| f <= now && now < t)
+            .map(|&(_, _, e)| e)
+    }
+
+    /// Whether a reset instant falls in `(since, now]` — connections
+    /// opened before the instant die when time passes it.
+    fn reset_between(&self, since: u64, now: u64) -> bool {
+        self.resets.iter().any(|&at| since < at && at <= now)
+    }
+
+    fn half_open_at(&self, now: u64) -> bool {
+        self.half_open.iter().any(|&(f, t)| f <= now && now < t)
+    }
+
+    fn partitioned_at(&self, now: u64) -> bool {
+        self.partition.iter().any(|&(f, t)| f <= now && now < t)
+    }
+}
+
+/// The shared fault epoch: unset while the cluster boots and clients
+/// connect, so no fault window is active before the workload starts.
+#[derive(Clone, Default)]
+struct Epoch(Arc<OnceLock<Instant>>);
+
+impl Epoch {
+    fn start(&self) -> Instant {
+        let _ = self.0.set(Instant::now());
+        self.0.get().copied().unwrap_or_else(Instant::now)
+    }
+
+    /// Milliseconds since the epoch, or `None` before it starts.
+    fn now_ms(&self) -> Option<u64> {
+        self.0
+            .get()
+            .map(|t| u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX))
+    }
+}
+
+/// Deterministic per-chunk noise for corruption bit positions and
+/// latency jitter (SplitMix64 step keyed by chunk number).
+fn chunk_noise(seed: u64, chunk_no: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(chunk_no.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One direction of a proxied connection: read from `src`, apply the
+/// active fault windows, forward to `dst`. Exits on EOF, error, stop,
+/// an active partition, or a reset instant crossing.
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    plan: Arc<LinkPlan>,
+    epoch: Epoch,
+    stop: Arc<AtomicBool>,
+    seed: u64,
+) {
+    let mut buf = vec![0u8; 2048];
+    let mut since = epoch.now_ms().unwrap_or(0);
+    let mut chunk_no: u64 = 0;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // Before the epoch starts (boot + connect) every fault window is
+        // inactive — the schedule's clock has not begun ticking.
+        let now = epoch.now_ms();
+        if let Some(now) = now {
+            if plan.partitioned_at(now) || plan.reset_between(since, now) {
+                break;
+            }
+            since = since.max(now);
+        }
+        match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(len) => {
+                let Some(chunk) = buf.get_mut(..len) else {
+                    break;
+                };
+                chunk_no = chunk_no.wrapping_add(1);
+                if let Some(every) = now.and_then(|t| plan.corrupt_at(t)) {
+                    if every > 0 && chunk_no.is_multiple_of(every) {
+                        let bit = (chunk_noise(seed, chunk_no) as usize) % (len * 8);
+                        if let Some(byte) = chunk.get_mut(bit / 8) {
+                            *byte ^= 1 << (bit % 8);
+                        }
+                    }
+                }
+                if let Some((delay, jitter)) = now.and_then(|t| plan.latency_at(t)) {
+                    let extra = if jitter > 0 {
+                        chunk_noise(seed ^ 0x1a7e, chunk_no) % (jitter + 1)
+                    } else {
+                        0
+                    };
+                    thread::sleep(Duration::from_millis(delay.saturating_add(extra)));
+                }
+                if let Some(per_tick) = now.and_then(|t| plan.throttle_at(t)) {
+                    let step = usize::try_from(per_tick.max(1)).unwrap_or(usize::MAX);
+                    let mut off = 0;
+                    let mut dead = false;
+                    while off < len {
+                        if stop.load(Ordering::Relaxed) {
+                            dead = true;
+                            break;
+                        }
+                        let end = off.saturating_add(step).min(len);
+                        let Some(slice) = chunk.get(off..end) else {
+                            dead = true;
+                            break;
+                        };
+                        if dst.write_all(slice).is_err() {
+                            dead = true;
+                            break;
+                        }
+                        off = end;
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    if dead {
+                        break;
+                    }
+                } else if dst.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+/// The per-server proxy accept loop: bridges client connections to the
+/// real server through the link's fault plan.
+fn proxy_loop(
+    listener: TcpListener,
+    target: SocketAddr,
+    plan: Arc<LinkPlan>,
+    epoch: Epoch,
+    stop: Arc<AtomicBool>,
+    seed: u64,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut conn_no: u64 = 0;
+    while !stop.load(Ordering::Relaxed) {
+        let (sock, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => break,
+        };
+        conn_no = conn_no.wrapping_add(1);
+        let now = epoch.now_ms();
+        if now.is_some_and(|t| plan.partitioned_at(t)) {
+            // Refusal-as-silence: the dial succeeded against the proxy,
+            // but the link drops it on the floor immediately.
+            drop(sock);
+            continue;
+        }
+        if now.is_some_and(|t| plan.half_open_at(t)) {
+            // Accept, then silence: hold the socket un-bridged until
+            // the window closes, then sever it.
+            let plan = Arc::clone(&plan);
+            let epoch = epoch.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if !epoch.now_ms().is_some_and(|t| plan.half_open_at(t)) {
+                        break;
+                    }
+                    thread::sleep(PUMP_TICK);
+                }
+                let _ = sock.shutdown(Shutdown::Both);
+            });
+            continue;
+        }
+        let Ok(upstream) = TcpStream::connect_timeout(&target, Duration::from_secs(2)) else {
+            drop(sock);
+            continue;
+        };
+        let _ = sock.set_nodelay(true);
+        let _ = upstream.set_nodelay(true);
+        let _ = sock.set_read_timeout(Some(PUMP_TICK));
+        let _ = upstream.set_read_timeout(Some(PUMP_TICK));
+        let (Ok(sock2), Ok(upstream2)) = (sock.try_clone(), upstream.try_clone()) else {
+            continue;
+        };
+        let conn_seed = seed ^ conn_no.wrapping_mul(0xd1b5_4a32_d192_ed03);
+        {
+            let plan = Arc::clone(&plan);
+            let epoch = epoch.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || pump(sock, upstream, plan, epoch, stop, conn_seed));
+        }
+        {
+            let plan = Arc::clone(&plan);
+            let epoch = epoch.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || pump(upstream2, sock2, plan, epoch, stop, conn_seed ^ 0xffff));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server process management
+// ---------------------------------------------------------------------
+
+fn peers_arg(addrs: &[SocketAddr]) -> String {
+    addrs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn spawn_server(
+    opts: &WireRunOptions,
+    id: usize,
+    b: usize,
+    addrs: &[SocketAddr],
+    data_dir: &std::path::Path,
+    clients: usize,
+) -> Result<Child, String> {
+    let listen = addrs
+        .get(id)
+        .ok_or_else(|| format!("no address for server {id}"))?;
+    Command::new(&opts.server_bin)
+        .args([
+            "--id",
+            &id.to_string(),
+            "--b",
+            &b.to_string(),
+            "--listen",
+            &listen.to_string(),
+            "--peers",
+            &peers_arg(addrs),
+            "--clients",
+            &clients.to_string(),
+            "--key-seed",
+            &format!("{KEY_SEED:#x}"),
+            "--data-dir",
+            &data_dir.display().to_string(),
+            "--fsync",
+            &opts.fsync,
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", opts.server_bin.display()))
+}
+
+/// Spawns server `id` and waits until it accepts TCP connections,
+/// respawning if the process dies first (e.g. a lost bind race).
+fn spawn_until_up(
+    opts: &WireRunOptions,
+    id: usize,
+    b: usize,
+    addrs: &[SocketAddr],
+    data_dir: &std::path::Path,
+    clients: usize,
+) -> Result<Child, String> {
+    let deadline = Instant::now() + SPAWN_DEADLINE;
+    let addr = *addrs
+        .get(id)
+        .ok_or_else(|| format!("no address for server {id}"))?;
+    let mut child = spawn_server(opts, id, b, addrs, data_dir, clients)?;
+    loop {
+        if TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_ok() {
+            return Ok(child);
+        }
+        match child.try_wait() {
+            Ok(Some(_)) => child = spawn_server(opts, id, b, addrs, data_dir, clients)?,
+            Ok(None) => {}
+            Err(e) => return Err(format!("try_wait server {id}: {e}")),
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(format!("server {id} never came up on {addr}"));
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn sigkill(child: &mut Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+// ---------------------------------------------------------------------
+// Workload driver + oracles
+// ---------------------------------------------------------------------
+
+/// What one executed operation looked like from the client's side.
+#[derive(Debug, Clone)]
+struct OpRecord {
+    client: usize,
+    step: usize,
+    calm: bool,
+    kind: &'static str,
+    data: u64,
+    ok: bool,
+    /// `(ts, value)` for successful reads, fed to the safety oracle.
+    read: Option<(Timestamp, Vec<u8>)>,
+    detail: String,
+}
+
+/// Everything one client thread brings home.
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    records: Vec<OpRecord>,
+    sheds: u64,
+    hedges: u64,
+    expired: u64,
+    quarantined: usize,
+    not_idle: bool,
+}
+
+/// Submits one op and pumps until its completion arrives; `None` if it
+/// neither completes nor expires within `cap` (a harness bug, counted
+/// as a liveness violation).
+fn run_op(client: &mut PipeClient, op: ClientOp, cap: Duration) -> Option<OpResult> {
+    let id = client.submit(op);
+    client.flush();
+    let hard = Instant::now() + cap;
+    loop {
+        let slice = hard.min(Instant::now() + Duration::from_millis(50));
+        for done in client.pump_until(slice) {
+            if done.op == id {
+                return Some(done);
+            }
+        }
+        if Instant::now() >= hard {
+            return None;
+        }
+    }
+}
+
+fn sleep_until(at: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= at {
+            return;
+        }
+        thread::sleep((at - now).min(Duration::from_millis(50)));
+    }
+}
+
+/// Runs one client's script to completion; each step is synchronous so
+/// the per-client read order is the submission order (what the
+/// monotonicity oracle assumes).
+fn drive_client(
+    c: usize,
+    mut client: PipeClient,
+    sched: Arc<WireSchedule>,
+    calm_at: Instant,
+    deadline_at: Instant,
+    op_cap: Duration,
+) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let Some(script) = sched.clients.get(c).cloned() else {
+        return out;
+    };
+    for (i, step) in script.steps.iter().enumerate() {
+        let calm = i >= script.calm_from;
+        if i == script.calm_from {
+            sleep_until(calm_at);
+        }
+        let (kind, op, data): (&'static str, ClientOp, u64) = match *step {
+            WireStep::Wait { ms } => {
+                if !calm {
+                    thread::sleep(Duration::from_millis(ms));
+                }
+                continue;
+            }
+            WireStep::Write { data, k } => (
+                "write",
+                ClientOp::Write {
+                    data: DataId(data),
+                    group: GROUP,
+                    consistency: Consistency::Mrc,
+                    value: chaos_value(c, data, k),
+                },
+                data,
+            ),
+            WireStep::Read { data } => (
+                "read",
+                ClientOp::Read {
+                    data: DataId(data),
+                    group: GROUP,
+                    consistency: Consistency::Mrc,
+                },
+                data,
+            ),
+            WireStep::MwWrite { data, k } => (
+                "mw-write",
+                ClientOp::MwWrite {
+                    data: DataId(data),
+                    group: GROUP,
+                    value: chaos_value(c, data, k),
+                },
+                data,
+            ),
+            WireStep::MwRead { data } => (
+                "mw-read",
+                ClientOp::MwRead {
+                    data: DataId(data),
+                    group: GROUP,
+                    consistency: Consistency::Mrc,
+                },
+                data,
+            ),
+        };
+        let attempts = if calm { 3 } else { 1 };
+        let mut recorded = false;
+        for attempt in 0..attempts {
+            if calm && Instant::now() >= deadline_at {
+                out.records.push(OpRecord {
+                    client: c,
+                    step: i,
+                    calm,
+                    kind,
+                    data,
+                    ok: false,
+                    read: None,
+                    detail: "deadline exhausted before issue".to_string(),
+                });
+                recorded = true;
+                break;
+            }
+            match run_op(&mut client, op.clone(), op_cap) {
+                Some(result) => {
+                    let ok = result.outcome.is_ok();
+                    let read = match &result.outcome {
+                        Outcome::ReadOk { ts, value, .. } => Some((*ts, value.clone())),
+                        _ => None,
+                    };
+                    if ok || !calm || attempt + 1 == attempts {
+                        out.records.push(OpRecord {
+                            client: c,
+                            step: i,
+                            calm,
+                            kind,
+                            data,
+                            ok,
+                            read,
+                            detail: format!("{:?}", result.outcome),
+                        });
+                        recorded = true;
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(250));
+                }
+                None => {
+                    out.records.push(OpRecord {
+                        client: c,
+                        step: i,
+                        calm,
+                        kind,
+                        data,
+                        ok: false,
+                        read: None,
+                        detail: "no completion by harness cap (op lost)".to_string(),
+                    });
+                    recorded = true;
+                    break;
+                }
+            }
+        }
+        if !recorded {
+            out.records.push(OpRecord {
+                client: c,
+                step: i,
+                calm,
+                kind,
+                data,
+                ok: false,
+                read: None,
+                detail: "retries exhausted".to_string(),
+            });
+        }
+    }
+    out.sheds = client.sheds_seen();
+    out.hedges = client.hedges();
+    out.expired = client.expired();
+    out.quarantined = client.quarantined_links();
+    out.not_idle = client.inflight() > 0;
+    out
+}
+
+/// Judges observed histories: provenance + per-client timestamp
+/// monotonicity (safety), calm-phase success (liveness). Pure, so the
+/// oracles are unit-testable without a cluster.
+fn evaluate(sched: &WireSchedule, records: &[OpRecord]) -> (Vec<String>, Vec<String>) {
+    let mut safety = Vec::new();
+    let mut liveness = Vec::new();
+    let legit: HashSet<(usize, u64, u64)> = sched
+        .clients
+        .iter()
+        .enumerate()
+        .flat_map(|(c, script)| {
+            script.steps.iter().filter_map(move |s| match *s {
+                WireStep::Write { data, k } | WireStep::MwWrite { data, k } => Some((c, data, k)),
+                _ => None,
+            })
+        })
+        .collect();
+    let mut last: HashMap<(usize, u64), Timestamp> = HashMap::new();
+    for r in records {
+        if let Some((ts, value)) = &r.read {
+            match parse_chaos_value(value) {
+                None => safety.push(format!(
+                    "client {} step {} {} x{}: value does not parse as a chaos write",
+                    r.client, r.step, r.kind, r.data
+                )),
+                Some((wc, wd, wk)) => {
+                    if wd != r.data {
+                        safety.push(format!(
+                            "client {} step {} read x{} but value claims x{wd}",
+                            r.client, r.step, r.data
+                        ));
+                    } else if !legit.contains(&(wc, wd, wk)) {
+                        safety.push(format!(
+                            "client {} step {} x{}: value (c{wc},d{wd},k{wk}) was never written",
+                            r.client, r.step, r.data
+                        ));
+                    }
+                }
+            }
+            match last.get(&(r.client, r.data)) {
+                Some(prev) => match ts.compare(prev) {
+                    TsOrder::Less => safety.push(format!(
+                        "client {} step {} x{}: timestamp regressed ({ts:?} < {prev:?})",
+                        r.client, r.step, r.data
+                    )),
+                    TsOrder::FaultyWriter => safety.push(format!(
+                        "client {} step {} x{}: two values under one timestamp (faulty writer)",
+                        r.client, r.step, r.data
+                    )),
+                    TsOrder::Incomparable => safety.push(format!(
+                        "client {} step {} x{}: incomparable timestamp families",
+                        r.client, r.step, r.data
+                    )),
+                    TsOrder::Equal | TsOrder::Greater => {
+                        last.insert((r.client, r.data), *ts);
+                    }
+                },
+                None => {
+                    last.insert((r.client, r.data), *ts);
+                }
+            }
+        }
+        if r.calm && !r.ok {
+            liveness.push(format!(
+                "calm {} on x{} by client {} failed: {}",
+                r.kind, r.data, r.client, r.detail
+            ));
+        }
+    }
+    (safety, liveness)
+}
+
+// ---------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------
+
+/// Distinguishes temp dirs across runs of the same seed in one process
+/// (shrink re-runs a schedule many times; recovery from a previous
+/// run's WAL would poison the oracle).
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn reserve_addrs(count: usize) -> Result<Vec<SocketAddr>, String> {
+    let listeners: Result<Vec<TcpListener>, String> = (0..count)
+        .map(|_| TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind ephemeral: {e}")))
+        .collect();
+    listeners?
+        .iter()
+        .map(|l| l.local_addr().map_err(|e| format!("local addr: {e}")))
+        .collect()
+}
+
+/// Executes `schedule` against a freshly spawned real cluster behind
+/// fault-injecting proxies and judges the observed history.
+///
+/// # Errors
+///
+/// Environment failures (cannot spawn servers, clients cannot even
+/// connect through clean proxies, worker panics) — *not* oracle
+/// verdicts, which land in the returned [`WireVerdict`].
+pub fn run(schedule: &WireSchedule, opts: &WireRunOptions) -> Result<WireVerdict, String> {
+    validate(schedule)?;
+    let run_id = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let base = std::env::temp_dir().join(format!(
+        "sstore-wirechaos-{}-{}-{run_id}",
+        std::process::id(),
+        schedule.seed
+    ));
+    let n = schedule.n;
+    let clients = schedule.clients.len();
+    let server_addrs = reserve_addrs(n)?;
+    // Proxy listeners are retained (not re-bound), so there is no race
+    // on their ports.
+    let proxy_listeners: Result<Vec<TcpListener>, String> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind proxy: {e}")))
+        .collect();
+    let proxy_listeners = proxy_listeners?;
+    let proxy_addrs: Result<Vec<SocketAddr>, String> = proxy_listeners
+        .iter()
+        .map(|l| l.local_addr().map_err(|e| format!("proxy addr: {e}")))
+        .collect();
+    let proxy_addrs = proxy_addrs?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let epoch = Epoch::default();
+    let children: Arc<Mutex<Vec<Option<Child>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let cleanup = |children: &Arc<Mutex<Vec<Option<Child>>>>, stop: &Arc<AtomicBool>| {
+        stop.store(true, Ordering::Relaxed);
+        if let Ok(mut kids) = children.lock() {
+            for child in kids.iter_mut().filter_map(Option::as_mut) {
+                sigkill(child);
+            }
+            kids.clear();
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    };
+
+    // 1. Spawn the real servers and wait for them to accept.
+    for id in 0..n {
+        let dir = base.join(format!("s{id}"));
+        match spawn_until_up(opts, id, schedule.b, &server_addrs, &dir, clients) {
+            Ok(child) => {
+                if let Ok(mut kids) = children.lock() {
+                    kids.push(Some(child));
+                }
+            }
+            Err(e) => {
+                cleanup(&children, &stop);
+                return Err(e);
+            }
+        }
+    }
+
+    // 2. Start the fault-injecting proxies (pass-through until the
+    //    epoch starts).
+    let mut proxy_handles = Vec::new();
+    for (id, listener) in proxy_listeners.into_iter().enumerate() {
+        let Some(&target) = server_addrs.get(id) else {
+            cleanup(&children, &stop);
+            return Err(format!("no server address for proxy {id}"));
+        };
+        let plan = Arc::new(LinkPlan::for_server(schedule, id));
+        let epoch = epoch.clone();
+        let stop = Arc::clone(&stop);
+        let seed = schedule.seed ^ (id as u64).wrapping_mul(0x9e37_79b9);
+        proxy_handles.push(thread::spawn(move || {
+            proxy_loop(listener, target, plan, epoch, stop, seed)
+        }));
+    }
+
+    // 3. Connect every client through the (still clean) proxies.
+    let cluster = NetCluster::connect_with(
+        proxy_addrs,
+        schedule.b,
+        u16::try_from(clients).unwrap_or(u16::MAX),
+        KEY_SEED,
+        ClientConfig {
+            verify_multi_writer_reads: true,
+            ..ClientConfig::default()
+        },
+        NetClientConfig {
+            request_timeout: Duration::from_millis(opts.request_timeout_ms),
+            hedge_percentile: opts.hedge_percentile,
+            ..NetClientConfig::default()
+        },
+    );
+    let mut pipes: Vec<PipeClient> = Vec::new();
+    for c in 0..clients {
+        let mut client = cluster.pipe_client(u16::try_from(c).unwrap_or(u16::MAX));
+        let connect_deadline = Instant::now() + Duration::from_secs(15);
+        let mut connected = false;
+        while Instant::now() < connect_deadline {
+            let result = run_op(
+                &mut client,
+                ClientOp::Connect {
+                    group: GROUP,
+                    recover: false,
+                },
+                Duration::from_secs(3),
+            );
+            if result.is_some_and(|r| r.outcome.is_ok()) {
+                connected = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(100));
+        }
+        if !connected {
+            cleanup(&children, &stop);
+            return Err(format!(
+                "client {c} could not connect through clean proxies"
+            ));
+        }
+        pipes.push(client);
+    }
+
+    // 4. Start the clock; faults are now live.
+    let epoch_at = epoch.start();
+    let calm_at = epoch_at + Duration::from_millis(schedule.turbulence_ms + schedule.settle_ms);
+    let deadline_at = epoch_at + Duration::from_millis(schedule.deadline_ms);
+    let op_cap = Duration::from_millis(opts.request_timeout_ms + 1500);
+
+    // 5. Kill controller: SIGKILL at `at_ms`, respawn after the gap.
+    let mut kills: Vec<(usize, u64, u64)> = schedule
+        .faults
+        .iter()
+        .filter_map(|f| match *f {
+            WireFault::Kill {
+                server,
+                at_ms,
+                restart_after_ms,
+            } => Some((server, at_ms, restart_after_ms)),
+            _ => None,
+        })
+        .collect();
+    kills.sort_by_key(|&(_, at, _)| at);
+    let controller = if kills.is_empty() {
+        None
+    } else {
+        let children = Arc::clone(&children);
+        let stop = Arc::clone(&stop);
+        let opts = opts.clone();
+        let server_addrs = server_addrs.clone();
+        let base = base.clone();
+        let b = schedule.b;
+        Some(thread::spawn(move || -> Vec<String> {
+            let mut errors = Vec::new();
+            for (server, at_ms, restart_after_ms) in kills {
+                sleep_until(epoch_at + Duration::from_millis(at_ms));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let mut taken = None;
+                if let Ok(mut kids) = children.lock() {
+                    taken = kids.get_mut(server).and_then(Option::take);
+                }
+                if let Some(mut child) = taken {
+                    sigkill(&mut child);
+                }
+                sleep_until(epoch_at + Duration::from_millis(at_ms + restart_after_ms));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let dir = base.join(format!("s{server}"));
+                match spawn_until_up(&opts, server, b, &server_addrs, &dir, clients) {
+                    Ok(child) => {
+                        if let Ok(mut kids) = children.lock() {
+                            if let Some(slot) = kids.get_mut(server) {
+                                *slot = Some(child);
+                            }
+                        }
+                    }
+                    Err(e) => errors.push(format!("restart of server {server}: {e}")),
+                }
+            }
+            errors
+        }))
+    };
+
+    // 6. Drive every client script on its own thread.
+    let sched = Arc::new(schedule.clone());
+    let mut workers = Vec::new();
+    for (c, client) in pipes.into_iter().enumerate() {
+        let sched = Arc::clone(&sched);
+        workers.push(thread::spawn(move || {
+            drive_client(c, client, sched, calm_at, deadline_at, op_cap)
+        }));
+    }
+    let mut outcomes: Vec<ClientOutcome> = Vec::new();
+    let mut worker_panic = false;
+    for w in workers {
+        match w.join() {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(_) => worker_panic = true,
+        }
+    }
+
+    // 7. Teardown: controller, proxies, servers, data dirs.
+    let controller_errors = match controller {
+        Some(handle) => {
+            stop.store(true, Ordering::Relaxed);
+            handle.join().unwrap_or_default()
+        }
+        None => Vec::new(),
+    };
+    cleanup(&children, &stop);
+    for handle in proxy_handles {
+        let _ = handle.join();
+    }
+    if worker_panic {
+        return Err("a client worker thread panicked".to_string());
+    }
+    if let Some(e) = controller_errors.first() {
+        return Err(e.clone());
+    }
+
+    // 8. Judge.
+    let mut records: Vec<OpRecord> = Vec::new();
+    let mut sheds_seen = 0u64;
+    let mut hedges = 0u64;
+    let mut expired = 0u64;
+    let mut quarantined = 0usize;
+    let mut liveness_extra: Vec<String> = Vec::new();
+    for (c, outcome) in outcomes.into_iter().enumerate() {
+        sheds_seen = sheds_seen.saturating_add(outcome.sheds);
+        hedges = hedges.saturating_add(outcome.hedges);
+        expired = expired.saturating_add(outcome.expired);
+        quarantined = quarantined.saturating_add(outcome.quarantined);
+        if outcome.not_idle {
+            liveness_extra.push(format!("client {c} not idle at run end"));
+        }
+        records.extend(outcome.records);
+    }
+    let (safety, mut liveness) = evaluate(schedule, &records);
+    liveness.extend(liveness_extra);
+    let ops_total = records.len();
+    let ops_ok = records.iter().filter(|r| r.ok).count();
+    Ok(WireVerdict {
+        seed: schedule.seed,
+        safety,
+        liveness,
+        ops_total,
+        ops_ok,
+        sheds_seen,
+        hedges,
+        expired,
+        quarantined,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Shrink
+// ---------------------------------------------------------------------
+
+/// One candidate simplification of a schedule.
+#[derive(Debug, Clone, Copy)]
+enum WireEdit {
+    /// Drop fault `i`.
+    RemoveFault(usize),
+    /// Drop client `c`'s turbulent prefix, keeping only the calm block.
+    KeepCalmOnly(usize),
+    /// Drop client `c`'s script entirely.
+    ClearClient(usize),
+}
+
+fn apply_edit(s: &WireSchedule, edit: WireEdit) -> Option<WireSchedule> {
+    let mut out = s.clone();
+    match edit {
+        WireEdit::RemoveFault(i) => {
+            if i >= out.faults.len() {
+                return None;
+            }
+            out.faults.remove(i);
+        }
+        WireEdit::KeepCalmOnly(c) => {
+            let script = out.clients.get_mut(c)?;
+            if script.calm_from == 0 {
+                return None;
+            }
+            script.steps.drain(..script.calm_from);
+            script.calm_from = 0;
+        }
+        WireEdit::ClearClient(c) => {
+            let script = out.clients.get_mut(c)?;
+            if script.steps.is_empty() {
+                return None;
+            }
+            script.steps.clear();
+            script.calm_from = 0;
+        }
+    }
+    Some(out)
+}
+
+/// Greedy delta debugging over real cluster runs: repeatedly applies
+/// the first edit that still reproduces the original failure class,
+/// until nothing helps or the run budget is spent. Wire runs cost real
+/// seconds each, so budgets are far smaller than the simulator's.
+///
+/// # Errors
+///
+/// If the schedule does not fail in the first place, or a run hits an
+/// environment failure.
+pub fn shrink(
+    schedule: &WireSchedule,
+    budget: usize,
+    opts: &WireRunOptions,
+) -> Result<WireShrinkResult, String> {
+    let first = run(schedule, opts)?;
+    let Some(class) = first.class() else {
+        return Err("schedule passes; nothing to shrink".to_string());
+    };
+    let mut current = schedule.clone();
+    let mut runs = 1usize;
+    let mut progress = true;
+    while progress && runs < budget {
+        progress = false;
+        let edits: Vec<WireEdit> = (0..current.faults.len())
+            .map(WireEdit::RemoveFault)
+            .chain(
+                (0..current.clients.len())
+                    .flat_map(|c| [WireEdit::KeepCalmOnly(c), WireEdit::ClearClient(c)]),
+            )
+            .collect();
+        for edit in edits {
+            if runs >= budget {
+                break;
+            }
+            let Some(candidate) = apply_edit(&current, edit) else {
+                continue;
+            };
+            if validate(&candidate).is_err() {
+                continue;
+            }
+            runs += 1;
+            let verdict = run(&candidate, opts)?;
+            if verdict.class() == Some(class) {
+                current = candidate;
+                progress = true;
+                break;
+            }
+        }
+    }
+    Ok(WireShrinkResult {
+        schedule: current,
+        class,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WireChaosConfig {
+        WireChaosConfig::standard(4, 1)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..20 {
+            assert_eq!(generate(seed, &cfg()), generate(seed, &cfg()));
+        }
+    }
+
+    #[test]
+    fn generated_schedules_validate() {
+        for seed in 0..200 {
+            let s = generate(seed, &cfg());
+            validate(&s).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let o = generate(seed, &WireChaosConfig::over_faulted(4, 1));
+            validate(&o).unwrap_or_else(|e| panic!("over-faulted seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn hard_faults_respect_the_budget() {
+        for seed in 0..200 {
+            let s = generate(seed, &cfg());
+            let hard: HashSet<usize> = s
+                .faults
+                .iter()
+                .filter(|f| f.is_hard())
+                .map(WireFault::server)
+                .collect();
+            assert!(
+                hard.len() <= s.b,
+                "seed {seed}: hard faults on {hard:?} exceed b={}",
+                s.b
+            );
+        }
+    }
+
+    #[test]
+    fn over_faulted_partitions_outlast_the_run() {
+        for seed in 0..50 {
+            let s = generate(seed, &WireChaosConfig::over_faulted(4, 1));
+            let permanent: HashSet<usize> = s
+                .faults
+                .iter()
+                .filter_map(|f| match *f {
+                    WireFault::Partition { server, to_ms, .. } if to_ms >= s.deadline_ms => {
+                        Some(server)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                permanent.len() > s.b,
+                "seed {seed}: only {permanent:?} permanently partitioned"
+            );
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_identity() {
+        for seed in 0..100 {
+            let s = generate(seed, &cfg());
+            let text = s.to_text();
+            let parsed = WireSchedule::from_text(&text).expect("parse own output");
+            assert_eq!(parsed, s, "seed {seed} roundtrip mismatch");
+            assert_eq!(parsed.to_text(), text, "seed {seed} text not stable");
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(WireSchedule::from_text("").is_err());
+        assert!(WireSchedule::from_text("not-a-schedule v9").is_err());
+        let good = generate(3, &cfg()).to_text();
+        let bad_header = good.replacen("v1", "v99", 1);
+        assert!(WireSchedule::from_text(&bad_header).is_err());
+        let truncated: String = good.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(WireSchedule::from_text(&truncated).is_err());
+        let garbled = good.replacen("fault", "fult", 1);
+        if garbled != good {
+            assert!(WireSchedule::from_text(&garbled).is_err());
+        }
+    }
+
+    #[test]
+    fn link_plan_windows_resolve() {
+        let s = WireSchedule {
+            seed: 0,
+            n: 4,
+            b: 1,
+            turbulence_ms: 2000,
+            settle_ms: 2400,
+            deadline_ms: 12_000,
+            faults: vec![
+                WireFault::Latency {
+                    server: 2,
+                    from_ms: 100,
+                    to_ms: 500,
+                    delay_ms: 40,
+                    jitter_ms: 10,
+                },
+                WireFault::Reset {
+                    server: 2,
+                    at_ms: 300,
+                },
+                WireFault::Partition {
+                    server: 1,
+                    from_ms: 0,
+                    to_ms: 1000,
+                },
+            ],
+            clients: vec![WireScript {
+                calm_from: 0,
+                steps: vec![],
+            }],
+        };
+        let p2 = LinkPlan::for_server(&s, 2);
+        assert_eq!(p2.latency_at(200), Some((40, 10)));
+        assert_eq!(p2.latency_at(600), None);
+        assert!(p2.reset_between(100, 300));
+        assert!(!p2.reset_between(300, 400), "reset fires exactly once");
+        assert!(!p2.partitioned_at(500));
+        let p1 = LinkPlan::for_server(&s, 1);
+        assert!(p1.partitioned_at(500));
+        assert!(!p1.partitioned_at(1500));
+    }
+
+    fn read_rec(client: usize, data: u64, ts: Timestamp, value: Vec<u8>) -> OpRecord {
+        OpRecord {
+            client,
+            step: 0,
+            calm: false,
+            kind: "read",
+            data,
+            ok: true,
+            read: Some((ts, value)),
+            detail: String::new(),
+        }
+    }
+
+    fn two_write_schedule() -> WireSchedule {
+        WireSchedule {
+            seed: 9,
+            n: 4,
+            b: 1,
+            turbulence_ms: 2000,
+            settle_ms: 2400,
+            deadline_ms: 12_000,
+            faults: vec![],
+            clients: vec![WireScript {
+                calm_from: 0,
+                steps: vec![
+                    WireStep::Write { data: 11, k: 0 },
+                    WireStep::Write { data: 11, k: 1 },
+                    WireStep::Read { data: 11 },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn oracle_accepts_a_clean_history() {
+        let s = two_write_schedule();
+        let records = vec![
+            read_rec(0, 11, Timestamp::Version(1), chaos_value(0, 11, 0)),
+            read_rec(0, 11, Timestamp::Version(2), chaos_value(0, 11, 1)),
+        ];
+        let (safety, liveness) = evaluate(&s, &records);
+        assert!(safety.is_empty(), "{safety:?}");
+        assert!(liveness.is_empty(), "{liveness:?}");
+    }
+
+    #[test]
+    fn oracle_flags_timestamp_regression() {
+        let s = two_write_schedule();
+        let records = vec![
+            read_rec(0, 11, Timestamp::Version(2), chaos_value(0, 11, 1)),
+            read_rec(0, 11, Timestamp::Version(1), chaos_value(0, 11, 0)),
+        ];
+        let (safety, _) = evaluate(&s, &records);
+        assert!(safety.iter().any(|v| v.contains("regressed")), "{safety:?}");
+    }
+
+    #[test]
+    fn oracle_flags_unwritten_values() {
+        let s = two_write_schedule();
+        let records = vec![read_rec(
+            0,
+            11,
+            Timestamp::Version(1),
+            chaos_value(0, 11, 7),
+        )];
+        let (safety, _) = evaluate(&s, &records);
+        assert!(
+            safety.iter().any(|v| v.contains("never written")),
+            "{safety:?}"
+        );
+        let garbage = vec![read_rec(0, 11, Timestamp::Version(1), b"junk".to_vec())];
+        let (safety, _) = evaluate(&s, &garbage);
+        assert!(
+            safety.iter().any(|v| v.contains("does not parse")),
+            "{safety:?}"
+        );
+    }
+
+    #[test]
+    fn oracle_flags_calm_failures_as_liveness() {
+        let s = two_write_schedule();
+        let records = vec![OpRecord {
+            client: 0,
+            step: 2,
+            calm: true,
+            kind: "read",
+            data: 11,
+            ok: false,
+            read: None,
+            detail: "Unavailable".to_string(),
+        }];
+        let (safety, liveness) = evaluate(&s, &records);
+        assert!(safety.is_empty());
+        assert_eq!(liveness.len(), 1, "{liveness:?}");
+    }
+
+    #[test]
+    fn validate_rejects_cross_client_single_writer_items() {
+        let mut s = two_write_schedule();
+        s.clients.push(WireScript {
+            calm_from: 0,
+            steps: vec![WireStep::Write { data: 11, k: 0 }],
+        });
+        assert!(validate(&s).is_err());
+    }
+
+    #[test]
+    fn shrink_edits_simplify_without_invalidating() {
+        let s = generate(5, &cfg());
+        for i in 0..s.faults.len() {
+            if let Some(c) = apply_edit(&s, WireEdit::RemoveFault(i)) {
+                assert_eq!(c.faults.len(), s.faults.len() - 1);
+                validate(&c).expect("fault removal keeps schedules valid");
+            }
+        }
+        for c in 0..s.clients.len() {
+            if let Some(cand) = apply_edit(&s, WireEdit::KeepCalmOnly(c)) {
+                validate(&cand).expect("calm-only keeps schedules valid");
+                assert_eq!(cand.clients.get(c).map(|sc| sc.calm_from), Some(0));
+            }
+            if let Some(cand) = apply_edit(&s, WireEdit::ClearClient(c)) {
+                validate(&cand).expect("cleared clients keep schedules valid");
+            }
+        }
+    }
+}

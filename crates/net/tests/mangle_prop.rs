@@ -1,0 +1,184 @@
+//! Property-based coverage for wire-level byte mangling: a valid frame
+//! stream subjected to truncation, bit flips, and splices must pass
+//! through [`FrameReader`] and the canonical codec without panicking,
+//! and any message that still decodes must re-encode to bytes that
+//! decode back to the same message (the canonical-form invariant the
+//! chaos proxy's corruption faults lean on — a flipped bit may turn one
+//! message into another, but never into a panic or a non-canonical
+//! decoding).
+
+use proptest::prelude::*;
+
+use sstore_core::codec::{decode_frame_msgs, encode_msg, encode_msg_batch};
+use sstore_core::types::{ClientId, DataId, GroupId, OpId};
+use sstore_core::wire::Msg;
+use sstore_net::{write_frame, FrameReader, DEFAULT_MAX_FRAME};
+
+/// Structurally simple messages cover the interesting mangling surface:
+/// tags, fixed-width integers, and the batch container. (Deep payloads —
+/// signatures, contexts, items — get their own treatment in the core
+/// codec property tests.)
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (any::<u64>(), any::<u16>(), any::<u32>()).prop_map(|(op, client, group)| {
+            Msg::CtxReadReq {
+                op: OpId(op),
+                client: ClientId(client),
+                group: GroupId(group),
+            }
+        }),
+        any::<u64>().prop_map(|op| Msg::CtxWriteAck { op: OpId(op) }),
+        (any::<u64>(), any::<u32>()).prop_map(|(op, group)| Msg::TsScanReq {
+            op: OpId(op),
+            group: GroupId(group),
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(op, data)| Msg::TsQueryReq {
+            op: OpId(op),
+            data: DataId(data),
+        }),
+        any::<u64>().prop_map(|op| Msg::Shed { op: OpId(op) }),
+    ]
+}
+
+/// One mangling step applied to a byte stream.
+#[derive(Debug, Clone)]
+enum Mangle {
+    /// Cut the stream at `at % (len + 1)`.
+    Truncate { at: usize },
+    /// Flip bit `bit` of byte `at % len`.
+    BitFlip { at: usize, bit: u8 },
+    /// Re-insert a copy of `stream[src..src+len]` at `dst` — bytes from a
+    /// real frame appearing where they don't belong.
+    Splice { src: usize, len: usize, dst: usize },
+}
+
+fn arb_mangle() -> impl Strategy<Value = Mangle> {
+    prop_oneof![
+        any::<usize>().prop_map(|at| Mangle::Truncate { at }),
+        (any::<usize>(), 0u8..8).prop_map(|(at, bit)| Mangle::BitFlip { at, bit }),
+        (any::<usize>(), 1usize..64, any::<usize>()).prop_map(|(src, len, dst)| Mangle::Splice {
+            src,
+            len,
+            dst
+        }),
+    ]
+}
+
+fn apply(stream: &mut Vec<u8>, m: &Mangle) {
+    match *m {
+        Mangle::Truncate { at } => {
+            let cut = at % (stream.len() + 1);
+            stream.truncate(cut);
+        }
+        Mangle::BitFlip { at, bit } => {
+            if !stream.is_empty() {
+                let idx = at % stream.len();
+                stream[idx] ^= 1 << bit;
+            }
+        }
+        Mangle::Splice { src, len, dst } => {
+            if !stream.is_empty() {
+                let s = src % stream.len();
+                let e = (s + len).min(stream.len());
+                let chunk: Vec<u8> = stream[s..e].to_vec();
+                let d = dst % (stream.len() + 1);
+                stream.splice(d..d, chunk);
+            }
+        }
+    }
+}
+
+/// A valid frame stream: each message (or batch of messages) framed with
+/// the real length prefix, concatenated as they would appear on a socket.
+fn build_stream(msgs: &[Msg], batch: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    if batch && !msgs.is_empty() {
+        write_frame(&mut out, &encode_msg_batch(msgs), DEFAULT_MAX_FRAME)
+            .expect("valid batch frame");
+    } else {
+        for m in msgs {
+            write_frame(&mut out, &encode_msg(m), DEFAULT_MAX_FRAME).expect("valid frame");
+        }
+    }
+    out
+}
+
+/// Feeds `stream` to a [`FrameReader`] in fragments and decodes whatever
+/// frames come out. Nothing here is allowed to panic; decoded messages
+/// must survive an encode→decode round trip bit-for-bit.
+fn drive(stream: &[u8], frag: usize) -> Result<(), TestCaseError> {
+    let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+    let mut pos = 0;
+    let step = frag.max(1);
+    loop {
+        loop {
+            match reader.next_frame() {
+                Ok(Some(frame)) => {
+                    if let Ok(msgs) = decode_frame_msgs(&frame) {
+                        for m in &msgs {
+                            let re = encode_msg(m);
+                            let back = decode_frame_msgs(&re);
+                            prop_assert!(back.is_ok(), "re-decode failed: {:?}", back);
+                            prop_assert_eq!(
+                                back.unwrap_or_default(),
+                                vec![m.clone()],
+                                "re-encode round trip"
+                            );
+                        }
+                    }
+                }
+                Ok(None) => break,
+                // A poisoned stream (bad length prefix) ends the
+                // connection in production; nothing more to read.
+                Err(_) => return Ok(()),
+            }
+        }
+        if pos >= stream.len() {
+            return Ok(());
+        }
+        let end = (pos + step).min(stream.len());
+        reader.ingest(&stream[pos..end]);
+        pos = end;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn mangled_streams_never_panic_and_survivors_reencode(
+        msgs in proptest::collection::vec(arb_msg(), 1..6),
+        batch in any::<bool>(),
+        mangles in proptest::collection::vec(arb_mangle(), 1..5),
+        frag in 1usize..32,
+    ) {
+        let mut stream = build_stream(&msgs, batch);
+        for m in &mangles {
+            apply(&mut stream, m);
+        }
+        drive(&stream, frag)?;
+    }
+
+    #[test]
+    fn clean_streams_decode_every_message(
+        msgs in proptest::collection::vec(arb_msg(), 1..6),
+        batch in any::<bool>(),
+        frag in 1usize..32,
+    ) {
+        let stream = build_stream(&msgs, batch);
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let end = (pos + frag).min(stream.len());
+            reader.ingest(&stream[pos..end]);
+            pos = end;
+            while let Ok(Some(frame)) = reader.next_frame() {
+                let msgs_dec = decode_frame_msgs(&frame);
+                prop_assert!(msgs_dec.is_ok(), "decode failed: {:?}", msgs_dec);
+                decoded.extend(msgs_dec.unwrap_or_default());
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+}

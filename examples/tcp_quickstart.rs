@@ -30,6 +30,17 @@
 //! ```text
 //! cargo run --release -p sstore-load -- --sessions 1024 --duration 10 --compare
 //! ```
+//!
+//! And to shake a real deployment down under wire-level faults — added
+//! latency, throttling, corrupted bytes, resets, half-open sockets,
+//! partitions, timed SIGKILL/restart — run the seeded campaign driver
+//! against real `sstore-server` processes through its fault-injecting
+//! proxy (DESIGN.md §9); failing seeds shrink to minimal replay files:
+//!
+//! ```text
+//! cargo build --release -p sstore-net --bins
+//! ./target/release/sstore-wirechaos --seeds 0..100 --jobs 4 --markdown
+//! ```
 
 use std::net::{SocketAddr, TcpListener};
 
